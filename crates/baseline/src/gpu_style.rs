@@ -1,0 +1,221 @@
+//! A CPU re-implementation of the Preis et al. CUDA checkerboard kernel.
+//!
+//! The 2009 GPU implementation assigns one thread per same-color site,
+//! groups threads into blocks covering lattice strips, and replaces the
+//! per-site `exp` with a 10-entry lookup table indexed by `(σ, nn)` — GPUs
+//! of that era paid dearly for transcendentals. This port keeps that
+//! structure: rayon parallelism over row strips plays the role of the
+//! thread blocks, and the acceptance table is precomputed per β.
+//!
+//! It is the *functional* baseline: with site-keyed randomness it makes
+//! bit-identical flip decisions with every TPU-mapped implementation in
+//! `tpu-ising-core`, and it is the fastest plain-CPU sampler in the
+//! workspace for large lattices (no matmul detour).
+
+use rayon::prelude::*;
+use tpu_ising_core::{Color, Randomness, Sweeper};
+use tpu_ising_rng::{PhiloxStream, SiteRng};
+use tpu_ising_tensor::Plane;
+
+/// Lookup-table checkerboard Metropolis sampler (GPU-kernel style).
+pub struct GpuStyleIsing {
+    plane: Plane<f32>,
+    beta: f64,
+    /// Acceptance probability indexed by `(σ·nn + 4) / 2 ∈ 0..=4`.
+    accept: [f32; 5],
+    rng: GpuRng,
+    sweep_index: u64,
+}
+
+/// The two randomness modes, mirroring `tpu_ising_core::Randomness` but
+/// with per-row stream splitting (a GPU grid draws per-thread randoms; we
+/// split a Philox stream per row so rows can run in parallel).
+enum GpuRng {
+    RowSplit { root: PhiloxStream },
+    SiteKeyed(SiteRng),
+}
+
+impl GpuStyleIsing {
+    /// Wrap an initial configuration.
+    pub fn new(plane: Plane<f32>, beta: f64, rng: Randomness) -> Self {
+        let rng = match rng {
+            Randomness::Bulk(stream) => GpuRng::RowSplit { root: stream },
+            Randomness::SiteKeyed(site) => GpuRng::SiteKeyed(site),
+        };
+        let mut s = GpuStyleIsing { plane, beta, accept: [0.0; 5], rng, sweep_index: 0 };
+        s.rebuild_table();
+        s
+    }
+
+    fn rebuild_table(&mut self) {
+        // accept[k] = exp(−2β·σnn) for σnn = 2k−4, computed exactly the way
+        // the per-site implementations compute it so site-keyed equivalence
+        // is bitwise.
+        let m2b = (-2.0 * self.beta) as f32;
+        for k in 0..5 {
+            let snn = (2 * k as i32 - 4) as f32;
+            self.accept[k] = (snn * m2b).exp();
+        }
+    }
+
+    /// The configuration.
+    pub fn plane(&self) -> &Plane<f32> {
+        &self.plane
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β (rebuilds the acceptance table, as the CUDA kernel re-
+    /// uploads its constant memory).
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+        self.rebuild_table();
+    }
+
+    /// Update all sites of one color in parallel row strips.
+    pub fn update_color(&mut self, color: Color) {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let accept = self.accept;
+        let sweep = self.sweep_index;
+        let color_parity = color.tag() as usize;
+
+        // Per-row uniforms: either a split stream per row (production) or
+        // the site-keyed field (equivalence testing).
+        let site_rng = match &self.rng {
+            GpuRng::SiteKeyed(s) => Some(*s),
+            GpuRng::RowSplit { .. } => None,
+        };
+        let row_streams: Option<Vec<PhiloxStream>> = match &self.rng {
+            GpuRng::RowSplit { root } => Some(
+                (0..h)
+                    .map(|r| root.split(sweep * 2 * h as u64 + color.tag() as u64 * h as u64 + r as u64))
+                    .collect(),
+            ),
+            GpuRng::SiteKeyed(_) => None,
+        };
+
+        // Read the old plane immutably; produce the new rows in parallel.
+        let src = &self.plane;
+        let new_rows: Vec<Vec<f32>> = (0..h)
+            .into_par_iter()
+            .map(|r| {
+                let mut stream = row_streams.as_ref().map(|v| v[r].clone());
+                let up = if r == 0 { h - 1 } else { r - 1 };
+                let down = if r + 1 == h { 0 } else { r + 1 };
+                let mut row = Vec::with_capacity(w);
+                for c in 0..w {
+                    let s = src.get(r, c);
+                    if (r + c) % 2 != color_parity {
+                        row.push(s);
+                        continue;
+                    }
+                    let left = if c == 0 { w - 1 } else { c - 1 };
+                    let right = if c + 1 == w { 0 } else { c + 1 };
+                    let nn = src.get(up, c) + src.get(down, c) + src.get(r, left) + src.get(r, right);
+                    // σ·nn ∈ {−4,−2,0,2,4} → table index
+                    let k = ((s * nn) as i32 + 4) / 2;
+                    let u: f32 = match (&mut stream, &site_rng) {
+                        (Some(st), _) => st.uniform(),
+                        (None, Some(site)) => {
+                            site.uniform(sweep, color.tag(), r as u32, c as u32)
+                        }
+                        _ => unreachable!(),
+                    };
+                    row.push(if u < accept[k as usize] { -s } else { s });
+                }
+                row
+            })
+            .collect();
+        self.plane = Plane::from_fn(h, w, |r, c| new_rows[r][c]);
+    }
+}
+
+impl Sweeper for GpuStyleIsing {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.plane.height() * self.plane.width()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.plane.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        tpu_ising_core::observables::energy_sum(&self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_core::lattice::{cold_plane, random_plane};
+    use tpu_ising_core::reference::ReferenceIsing;
+
+    #[test]
+    fn lookup_table_values_are_metropolis() {
+        let g = GpuStyleIsing::new(cold_plane(4, 4), 0.37, Randomness::bulk(0));
+        for k in 0..5 {
+            let snn = (2 * k as i32 - 4) as f32;
+            let expect = (snn * (-2.0 * 0.37) as f32).exp();
+            assert_eq!(g.accept[k], expect);
+        }
+        // σnn ≤ 0 entries are ≥ 1 (always accepted)
+        assert!(g.accept[0] >= 1.0 && g.accept[1] >= 1.0 && g.accept[2] == 1.0);
+    }
+
+    #[test]
+    fn matches_reference_exactly_with_site_keyed_rng() {
+        let beta = 0.44;
+        let init = random_plane::<f32>(17, 12, 12);
+        let mut refer = ReferenceIsing::new(init.clone(), beta, Randomness::site_keyed(5));
+        let mut gpu = GpuStyleIsing::new(init, beta, Randomness::site_keyed(5));
+        for step in 0..8 {
+            refer.sweep();
+            gpu.sweep();
+            assert_eq!(gpu.plane(), refer.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn matches_compact_tpu_mapping_exactly() {
+        use tpu_ising_core::CompactIsing;
+        let beta = 1.0 / tpu_ising_core::T_CRITICAL;
+        let init = random_plane::<f32>(23, 16, 16);
+        let mut gpu = GpuStyleIsing::new(init.clone(), beta, Randomness::site_keyed(88));
+        let mut tpu = CompactIsing::from_plane(&init, 4, beta, Randomness::site_keyed(88));
+        for _ in 0..6 {
+            gpu.sweep();
+            tpu.sweep();
+        }
+        assert_eq!(gpu.plane(), &tpu.to_plane());
+    }
+
+    #[test]
+    fn orders_at_low_temperature() {
+        let mut g = GpuStyleIsing::new(cold_plane(32, 32), 1.0, Randomness::bulk(9));
+        for _ in 0..30 {
+            g.sweep();
+        }
+        assert!(g.magnetization_sum() / 1024.0 > 0.9);
+    }
+
+    #[test]
+    fn row_split_streams_are_reproducible() {
+        let init = random_plane::<f32>(3, 16, 16);
+        let mut a = GpuStyleIsing::new(init.clone(), 0.5, Randomness::bulk(42));
+        let mut b = GpuStyleIsing::new(init, 0.5, Randomness::bulk(42));
+        for _ in 0..5 {
+            a.sweep();
+            b.sweep();
+        }
+        assert_eq!(a.plane(), b.plane());
+    }
+}

@@ -1,0 +1,23 @@
+//! The baselines the paper benchmarks against (Table 1, Table 2, Fig. 8).
+//!
+//! Three pieces:
+//!
+//! - [`GpuStyleIsing`]: a functional re-implementation of the Preis et al.
+//!   CUDA checkerboard kernel \[23\] on CPU threads — block-decomposed,
+//!   lookup-table acceptance (GPUs avoid per-site `exp`), one thread-block
+//!   per lattice strip. Validates the baseline's *physics* and serves as
+//!   the fast CPU sampler for large functional runs.
+//! - [`MultiSpinIsing`]: bit-packed multi-spin coding in the spirit of
+//!   Block et al. \[3\]: 64 replicas simulated in parallel, one bit each, the
+//!   Metropolis accept evaluated with bitwise full-adders and bit-sliced
+//!   Bernoulli masks.
+//! - [`published`]: the externally measured throughput constants the paper
+//!   quotes for its competitor systems, carried verbatim into our
+//!   regenerated tables exactly as the paper carries them.
+
+pub mod gpu_style;
+pub mod multispin;
+pub mod published;
+
+pub use gpu_style::GpuStyleIsing;
+pub use multispin::MultiSpinIsing;

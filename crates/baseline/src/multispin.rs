@@ -1,0 +1,340 @@
+//! Bit-packed multi-spin coding (Block et al. 2010 style).
+//!
+//! 64 *independent replicas* of the lattice are simulated simultaneously:
+//! spin `(r, c)` of replica `k` is bit `k` of word `(r, c)` (spin up = 1).
+//! One Metropolis color-update then costs a handful of bitwise ops per
+//! word instead of per spin:
+//!
+//! - neighbor alignment indicators by XNOR,
+//! - the alignment count by a bitwise full-adder tree,
+//! - the temperature-dependent accepts by *bit-sliced Bernoulli masks*: a
+//!   mask whose bits are independently 1 with probability `p`, built by
+//!   comparing the binary expansion of `p` against bit-planes of random
+//!   words (24 bits of resolution, the same as an f32-derived uniform).
+//!
+//! This is the technique behind the 206 flips/ns multi-GPU number the
+//! paper compares against; on a CPU it delivers tens of flips per ns
+//! because every instruction advances 64 Markov chains at once. Unlike
+//! Block et al.'s original (which reused one random number across the
+//! spins packed in a word), the bit-sliced masks here give every replica
+//! an independent acceptance draw, so each replica is an *exact*
+//! Metropolis chain.
+
+use rayon::prelude::*;
+use tpu_ising_core::Color;
+use tpu_ising_rng::PhiloxStream;
+
+/// Resolution (random bit-planes) of the Bernoulli masks: 24 bits, the
+/// entropy of an f32 uniform.
+const BERNOULLI_BITS: u32 = 24;
+
+/// 64 replicas of a periodic Ising lattice, one bit per replica.
+pub struct MultiSpinIsing {
+    /// Row-major words; bit k = spin of replica k (1 = up).
+    words: Vec<u64>,
+    height: usize,
+    width: usize,
+    beta: f64,
+    rng: PhiloxStream,
+    /// Binary expansions (MSB-first) of the two nontrivial acceptance
+    /// probabilities: `p4 = e^{−8β}` (σ·nn = 4) and `p2 = e^{−4β}`.
+    p4_bits: [bool; BERNOULLI_BITS as usize],
+    p2_bits: [bool; BERNOULLI_BITS as usize],
+}
+
+/// MSB-first binary expansion of `p ∈ [0, 1]`.
+fn expand(p: f64) -> [bool; BERNOULLI_BITS as usize] {
+    let mut bits = [false; BERNOULLI_BITS as usize];
+    let mut x = p;
+    for b in bits.iter_mut() {
+        x *= 2.0;
+        if x >= 1.0 {
+            *b = true;
+            x -= 1.0;
+        }
+    }
+    bits
+}
+
+/// Build a word whose bits are independently 1 with probability `p`
+/// (given by its expansion), consuming one random word per bit-plane.
+///
+/// Bit lane semantics: compare a uniform `U` (bit-planes `u_k`, MSB first)
+/// against `p`: the lane accepts iff `U < p`, decided at the first
+/// bit-plane where they differ.
+fn bernoulli_mask(bits: &[bool], rng: &mut PhiloxStream) -> u64 {
+    let mut accept: u64 = 0;
+    let mut undecided: u64 = !0;
+    for &pb in bits {
+        let u = rng.next_u64();
+        if pb {
+            // p-bit 1: lanes with u-bit 0 accept; u-bit 1 stays undecided
+            accept |= undecided & !u;
+            undecided &= u;
+        } else {
+            // p-bit 0: lanes with u-bit 1 reject; u-bit 0 stays undecided
+            undecided &= !u;
+        }
+        if undecided == 0 {
+            break;
+        }
+    }
+    // exactly-equal lanes (prob 2^-24) reject: U < p is strict
+    accept
+}
+
+impl MultiSpinIsing {
+    /// `height × width` lattice, 64 replicas, all started hot with
+    /// i.i.d. spins from the seed.
+    pub fn new(height: usize, width: usize, beta: f64, seed: u64) -> Self {
+        assert!(
+            height.is_multiple_of(2) && width.is_multiple_of(2),
+            "checkerboard needs even dimensions on a torus"
+        );
+        let mut rng = PhiloxStream::from_seed(seed);
+        let words = (0..height * width).map(|_| rng.next_u64()).collect();
+        let mut s = MultiSpinIsing {
+            words,
+            height,
+            width,
+            beta,
+            rng,
+            p4_bits: [false; BERNOULLI_BITS as usize],
+            p2_bits: [false; BERNOULLI_BITS as usize],
+        };
+        s.rebuild_tables();
+        s
+    }
+
+    fn rebuild_tables(&mut self) {
+        self.p4_bits = expand((-8.0 * self.beta).exp());
+        self.p2_bits = expand((-4.0 * self.beta).exp());
+    }
+
+    /// Lattice height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Lattice width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β.
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+        self.rebuild_tables();
+    }
+
+    /// Spin of `(replica, row, col)` as ±1.
+    pub fn spin(&self, replica: usize, r: usize, c: usize) -> i8 {
+        debug_assert!(replica < 64);
+        if (self.words[r * self.width + c] >> replica) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Per-replica magnetization sums `Σσ` (length 64).
+    pub fn magnetizations(&self) -> [f64; 64] {
+        let mut ups = [0u64; 64];
+        for &w in &self.words {
+            for (k, u) in ups.iter_mut().enumerate() {
+                *u += (w >> k) & 1;
+            }
+        }
+        let n = (self.height * self.width) as f64;
+        let mut m = [0.0f64; 64];
+        for k in 0..64 {
+            m[k] = 2.0 * ups[k] as f64 - n;
+        }
+        m
+    }
+
+    /// Update all sites of one color across all replicas.
+    pub fn update_color(&mut self, color: Color) {
+        let (h, w) = (self.height, self.width);
+        let parity = color.tag() as usize;
+        // Pre-draw the Bernoulli masks for every color site (sequential
+        // stream; the bit-plane loop is the expensive part and is still
+        // ~50 words per site-word = <1 word per replica-spin).
+        let n_color_sites = h * w / 2;
+        let mut masks = Vec::with_capacity(n_color_sites);
+        for _ in 0..n_color_sites {
+            let m4 = bernoulli_mask(&self.p4_bits, &mut self.rng);
+            let m2 = bernoulli_mask(&self.p2_bits, &mut self.rng);
+            masks.push((m4, m2));
+        }
+        let src = &self.words;
+        let masks = &masks;
+        let new_words: Vec<u64> = (0..h)
+            .into_par_iter()
+            .flat_map_iter(|r| {
+                let up = if r == 0 { h - 1 } else { r - 1 };
+                let down = if r + 1 == h { 0 } else { r + 1 };
+                (0..w).map(move |c| {
+                    let s = src[r * w + c];
+                    if (r + c) % 2 != parity {
+                        return s;
+                    }
+                    let left = if c == 0 { w - 1 } else { c - 1 };
+                    let right = if c + 1 == w { 0 } else { c + 1 };
+                    // alignment indicators
+                    let x1 = !(s ^ src[up * w + c]);
+                    let x2 = !(s ^ src[down * w + c]);
+                    let x3 = !(s ^ src[r * w + left]);
+                    let x4 = !(s ^ src[r * w + right]);
+                    // full-adder tree: count = x1+x2+x3+x4 as (c2, c1, c0)
+                    let (s0a, c0a) = (x1 ^ x2, x1 & x2);
+                    let (s0b, c0b) = (x3 ^ x4, x3 & x4);
+                    let s0 = s0a ^ s0b; // ones bit
+                    let c1 = s0a & s0b;
+                    let s1 = c0a ^ c0b ^ c1; // twos bit
+                    let c2 = (c0a & c0b) | (c1 & (c0a ^ c0b)); // fours bit
+                    // aligned==4 ⇒ σ·nn = 4; aligned==3 ⇒ σ·nn = 2;
+                    // aligned ≤ 2 ⇒ σ·nn ≤ 0 ⇒ always accept.
+                    let exactly4 = c2;
+                    let exactly3 = s1 & s0;
+                    // per-site color index for the pre-drawn masks: count
+                    // color sites before (r, c) in raster order
+                    let color_idx = (r * w + c) / 2; // exact for even widths
+                    let (m4, m2) = masks[color_idx];
+                    let accept = (!exactly4 & !exactly3) | (exactly4 & m4) | (exactly3 & m2);
+                    s ^ accept
+                })
+            })
+            .collect();
+        self.words = new_words;
+    }
+
+    /// One full sweep (black + white) of all replicas.
+    pub fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+    }
+
+    /// Replica-spins updated per sweep (for throughput accounting):
+    /// `64 · height · width`.
+    pub fn flips_per_sweep(&self) -> u64 {
+        64 * (self.height * self.width) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_roundtrips() {
+        for p in [0.0, 0.5, 0.25, 0.75, 0.123456, 0.9999] {
+            let bits = expand(p);
+            let mut x = 0.0;
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    x += 2f64.powi(-(i as i32 + 1));
+                }
+            }
+            assert!((x - p).abs() < 2f64.powi(-(BERNOULLI_BITS as i32)), "p={p} got {x}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_mask_density_matches_p() {
+        let mut rng = PhiloxStream::from_seed(7);
+        for &p in &[0.1f64, 0.5, 0.9] {
+            let bits = expand(p);
+            let mut ones = 0u64;
+            let trials = 4000;
+            for _ in 0..trials {
+                ones += bernoulli_mask(&bits, &mut rng).count_ones() as u64;
+            }
+            let density = ones as f64 / (64.0 * trials as f64);
+            // σ ≈ sqrt(p(1-p)/(64·4000)) ≈ 1e-3; allow 5σ
+            assert!((density - p).abs() < 5e-3, "p={p} density={density}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = PhiloxStream::from_seed(3);
+        assert_eq!(bernoulli_mask(&expand(0.0), &mut rng), 0);
+        // p = 1 − 2^-24: essentially all-accept
+        let almost_one = expand(1.0 - 2f64.powi(-24));
+        let m = bernoulli_mask(&almost_one, &mut rng);
+        assert!(m.count_ones() >= 60);
+    }
+
+    #[test]
+    fn frozen_at_low_temperature_from_cold() {
+        let mut ms = MultiSpinIsing::new(8, 8, 10.0, 1);
+        // force all replicas cold
+        ms.words.iter_mut().for_each(|w| *w = !0);
+        for _ in 0..5 {
+            ms.sweep();
+        }
+        assert!(ms.words.iter().all(|&w| w == !0), "flips at β=10 from ground state");
+    }
+
+    #[test]
+    fn beta_zero_flips_everything() {
+        let mut ms = MultiSpinIsing::new(6, 6, 0.0, 2);
+        let before = ms.words.clone();
+        ms.update_color(Color::Black);
+        for r in 0..6 {
+            for c in 0..6 {
+                let idx = r * 6 + c;
+                if (r + c) % 2 == 0 {
+                    assert_eq!(ms.words[idx], !before[idx], "black site must flip");
+                } else {
+                    assert_eq!(ms.words[idx], before[idx], "white site must not");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_decorrelate() {
+        // After some sweeps at high temperature, replicas differ.
+        let mut ms = MultiSpinIsing::new(8, 8, 0.2, 5);
+        for _ in 0..10 {
+            ms.sweep();
+        }
+        let m = ms.magnetizations();
+        let distinct = m.iter().map(|&x| x as i64).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 4, "replicas look identical");
+    }
+
+    #[test]
+    fn low_temperature_orders_all_replicas() {
+        let mut ms = MultiSpinIsing::new(16, 16, 0.7, 11);
+        for _ in 0..200 {
+            ms.sweep();
+        }
+        let n = 256.0;
+        let mean_abs: f64 = ms.magnetizations().iter().map(|m| m.abs() / n).sum::<f64>() / 64.0;
+        assert!(mean_abs > 0.8, "⟨|m|⟩ = {mean_abs}");
+    }
+
+    #[test]
+    fn adder_counts_correctly() {
+        // exhaustive check of the 4-input bitwise adder on one bit lane
+        for bits in 0..16u32 {
+            let x: Vec<u64> = (0..4).map(|i| ((bits >> i) & 1) as u64).collect();
+            let (s0a, c0a) = (x[0] ^ x[1], x[0] & x[1]);
+            let (s0b, c0b) = (x[2] ^ x[3], x[2] & x[3]);
+            let s0 = s0a ^ s0b;
+            let c1 = s0a & s0b;
+            let s1 = c0a ^ c0b ^ c1;
+            let c2 = (c0a & c0b) | (c1 & (c0a ^ c0b));
+            let count = bits.count_ones() as u64;
+            assert_eq!(c2 * 4 + s1 * 2 + s0, count, "bits {bits:04b}");
+        }
+    }
+}

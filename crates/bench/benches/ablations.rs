@@ -1,0 +1,78 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - naive (Algorithm 1) vs compact (Algorithm 2) vs conv — the paper's
+//!   ~3× claim for compact over naive on TPU; on CPU the matmul detour
+//!   dominates differently, so the interesting number is the *relative*
+//!   order, reported by these benches;
+//! - bulk Philox stream vs site-keyed randomness (the testing mode's cost);
+//! - tile-size sensitivity of the compact sweep (the CPU analogue of the
+//!   paper's HBM-tiling guidance);
+//! - halo exchange on/off in the SPMD pod (communication share).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::{random_plane, CompactIsing, Randomness, Sweeper};
+use tpu_ising_device::mesh::Torus;
+
+const L: usize = 128;
+const BETA: f64 = 0.4406868;
+
+fn bench_rng_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rng_mode");
+    g.throughput(Throughput::Elements((L * L) as u64));
+    let init = random_plane::<f32>(1, L, L);
+    g.bench_function("bulk_stream", |b| {
+        let mut sim = CompactIsing::from_plane(&init, 16, BETA, Randomness::bulk(3));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function("site_keyed", |b| {
+        let mut sim = CompactIsing::from_plane(&init, 16, BETA, Randomness::site_keyed(3));
+        b.iter(|| sim.sweep());
+    });
+    g.finish();
+}
+
+fn bench_tile_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tile_size");
+    g.throughput(Throughput::Elements((L * L) as u64));
+    let init = random_plane::<f32>(1, L, L);
+    for tile in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
+            let mut sim = CompactIsing::from_plane(&init, tile, BETA, Randomness::bulk(3));
+            b.iter(|| sim.sweep());
+        });
+    }
+    g.finish();
+}
+
+fn bench_pod_topologies(c: &mut Criterion) {
+    // Same global lattice, split over 1 / 2 / 4 threads: the spread shows
+    // the halo-exchange + thread overhead the mesh runtime adds.
+    let mut g = c.benchmark_group("ablation_pod_topology");
+    let global = 128usize;
+    g.throughput(Throughput::Elements((global * global) as u64));
+    g.sample_size(10);
+    for (nx, ny) in [(1usize, 1usize), (1, 2), (2, 2)] {
+        let label = format!("{nx}x{ny}");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(nx, ny), |b, &(nx, ny)| {
+            let cfg = PodConfig {
+                torus: Torus::new(nx, ny),
+                per_core_h: global / nx,
+                per_core_w: global / ny,
+                tile: 16,
+                beta: BETA,
+                seed: 5,
+                rng: PodRng::BulkSplit,
+            };
+            b.iter(|| run_pod::<f32>(&cfg, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rng_modes, bench_tile_sizes, bench_pod_topologies
+}
+criterion_main!(ablations);

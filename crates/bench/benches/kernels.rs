@@ -1,0 +1,92 @@
+//! Criterion kernel benchmarks: wall-clock throughput of every functional
+//! implementation on CPU, measured in spin-flips per second via
+//! `Throughput::Elements`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpu_ising_baseline::{GpuStyleIsing, MultiSpinIsing};
+use tpu_ising_core::{random_plane, CompactIsing, ConvIsing, NaiveIsing, Randomness, Sweeper};
+use tpu_ising_rng::PhiloxStream;
+use tpu_ising_tensor::{band_kernel, Tensor4};
+
+const L: usize = 256;
+const BETA: f64 = 0.4406868; // 1/Tc
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.throughput(Throughput::Elements((L * L) as u64));
+
+    let init = random_plane::<f32>(1, L, L);
+    g.bench_function(BenchmarkId::new("compact_f32", L), |b| {
+        let mut sim = CompactIsing::from_plane(&init, 32, BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function(BenchmarkId::new("compact_bf16", L), |b| {
+        let init = random_plane::<tpu_ising_bf16::Bf16>(1, L, L);
+        let mut sim = CompactIsing::from_plane(&init, 32, BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function(BenchmarkId::new("naive_f32", L), |b| {
+        let mut sim = NaiveIsing::from_plane(&init, 32, BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function(BenchmarkId::new("conv_f32", L), |b| {
+        let mut sim = ConvIsing::new(init.clone(), BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function(BenchmarkId::new("gpu_style_f32", L), |b| {
+        let mut sim = GpuStyleIsing::new(init.clone(), BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.finish();
+
+    // multi-spin coding advances 64 replicas at once
+    let mut g = c.benchmark_group("sweep_multispin");
+    g.throughput(Throughput::Elements((64 * L * L) as u64));
+    g.bench_function(BenchmarkId::new("multispin_64_replicas", L), |b| {
+        let mut sim = MultiSpinIsing::new(L, L, BETA, 3);
+        b.iter(|| sim.sweep());
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    let n = 1 << 20;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("philox_fill_uniform_f32_1m", |b| {
+        let mut stream = PhiloxStream::from_seed(1);
+        let mut buf = vec![0.0f32; n];
+        b.iter(|| stream.fill_uniform(&mut buf));
+    });
+    g.bench_function("philox_fill_uniform_bf16_1m", |b| {
+        let mut stream = PhiloxStream::from_seed(1);
+        let mut buf = vec![tpu_ising_bf16::Bf16::ZERO; n];
+        b.iter(|| stream.fill_uniform(&mut buf));
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor");
+    let shape = [8, 8, 64, 64];
+    let t = Tensor4::<f32>::from_fn(shape, |b0, b1, r, cc| {
+        ((b0 * 3 + b1 * 5 + r * 7 + cc) % 13) as f32 - 6.0
+    });
+    let k = band_kernel::<f32>(64);
+    let macs = (8 * 8 * 64 * 64 * 64) as u64;
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("batched_matmul_right_8x8x64x64", |b| {
+        b.iter(|| t.matmul_right(&k));
+    });
+    g.bench_function("batched_matmul_left_8x8x64x64", |b| {
+        b.iter(|| t.matmul_left(&k));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweeps, bench_rng, bench_matmul
+}
+criterion_main!(benches);

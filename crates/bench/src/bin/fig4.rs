@@ -1,0 +1,159 @@
+//! **Figure 4** — correctness: Binder parameter `U₄(T)` and magnetization
+//! `m(T)` across the critical temperature, float32 vs bfloat16.
+//!
+//! This is a *real* MCMC run of the compact (Algorithm 2) sampler — the
+//! physics experiment of the paper, scaled down from TPU-sized lattices
+//! and 10⁶-sample chains to CPU-friendly sizes (set `ISING_BENCH_QUICK=1`
+//! or pass `--quick` for an even smaller run). The claims it reproduces:
+//!
+//! - `m(T)` drops to ~0 above `Tc`, approaching the Onsager curve below;
+//! - `U₄(T)` curves of different lattice sizes cross at `Tc`;
+//! - the bf16 and f32 curves coincide within error bars.
+
+use tpu_ising_bench::{print_table, quick_mode, write_csv, write_json};
+use tpu_ising_core::{
+    onsager, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL,
+};
+use tpu_ising_bf16::Bf16;
+
+#[derive(serde::Serialize)]
+struct Point {
+    dtype: String,
+    lattice: usize,
+    t_over_tc: f64,
+    mean_abs_m: f64,
+    err_abs_m: f64,
+    binder: f64,
+    mean_energy: f64,
+    onsager_m: f64,
+    onsager_e: f64,
+}
+
+fn run_size<S: tpu_ising_core::Scalar + tpu_ising_rng::RandomUniform>(
+    l: usize,
+    temps: &[f64],
+    burn: usize,
+    samples: usize,
+    points: &mut Vec<Point>,
+) {
+    let tile = (l / 4).clamp(2, 16);
+    for &tt in temps {
+        let t = tt * T_CRITICAL;
+        let beta = 1.0 / t;
+        // ordered start below Tc (avoids long domain-wall equilibration),
+        // hot start above
+        let init = if tt < 1.0 {
+            tpu_ising_core::cold_plane::<S>(l, l)
+        } else {
+            random_plane::<S>(1234 + l as u64, l, l)
+        };
+        let mut sim = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(l as u64 * 7 + (tt * 1000.0) as u64));
+        let stats = run_chain(&mut sim, burn, samples);
+        points.push(Point {
+            dtype: S::DTYPE.to_string(),
+            lattice: l,
+            t_over_tc: tt,
+            mean_abs_m: stats.mean_abs_m,
+            err_abs_m: stats.err_abs_m,
+            binder: stats.binder,
+            mean_energy: stats.mean_energy,
+            onsager_m: onsager::magnetization(t),
+            onsager_e: onsager::energy_per_site(t),
+        });
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    let temps: Vec<f64> = if quick {
+        vec![0.5, 0.9, 1.0, 1.1, 1.5]
+    } else {
+        vec![0.5, 0.8, 0.9, 0.95, 0.975, 1.0, 1.025, 1.05, 1.1, 1.2, 1.5]
+    };
+    let (burn, samples) = if quick { (200, 400) } else { (500, 2000) };
+    println!(
+        "Fig 4 reproduction: sizes {sizes:?}, {} temperatures, {burn}+{samples} sweeps, f32 and bf16",
+        temps.len()
+    );
+
+    let mut points = Vec::new();
+    for &l in sizes {
+        run_size::<f32>(l, &temps, burn, samples, &mut points);
+        run_size::<Bf16>(l, &temps, burn, samples, &mut points);
+        println!("  L = {l} done ({} chains)", temps.len() * 2);
+    }
+
+    // Print per-size tables: f32 and bf16 side by side.
+    for &l in sizes {
+        let rows: Vec<Vec<String>> = temps
+            .iter()
+            .map(|&tt| {
+                let f = points
+                    .iter()
+                    .find(|p| p.lattice == l && p.dtype == "f32" && p.t_over_tc == tt)
+                    .unwrap();
+                let b = points
+                    .iter()
+                    .find(|p| p.lattice == l && p.dtype == "bf16" && p.t_over_tc == tt)
+                    .unwrap();
+                vec![
+                    format!("{tt:.3}"),
+                    format!("{:.4}", f.mean_abs_m),
+                    format!("{:.4}", b.mean_abs_m),
+                    format!("{:+.4}", f.mean_abs_m - b.mean_abs_m),
+                    format!("{:.4}", f.binder),
+                    format!("{:.4}", b.binder),
+                    format!("{:.4}", f.onsager_m),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 4, L = {l}: m(T) and U4(T), f32 vs bf16"),
+            &["T/Tc", "m f32", "m bf16", "Δm", "U4 f32", "U4 bf16", "Onsager m"],
+            &rows,
+        );
+    }
+
+    // Binder crossing check: U4 below Tc larger than above for every size,
+    // and max |f32 − bf16| deviations.
+    let mut max_dm: f64 = 0.0;
+    let mut max_du: f64 = 0.0;
+    for &l in sizes {
+        for &tt in &temps {
+            let f = points
+                .iter()
+                .find(|p| p.lattice == l && p.dtype == "f32" && p.t_over_tc == tt)
+                .unwrap();
+            let b = points
+                .iter()
+                .find(|p| p.lattice == l && p.dtype == "bf16" && p.t_over_tc == tt)
+                .unwrap();
+            max_dm = max_dm.max((f.mean_abs_m - b.mean_abs_m).abs());
+            max_du = max_du.max((f.binder - b.binder).abs());
+        }
+    }
+    println!("\nmax |m_f32 − m_bf16| = {max_dm:.4}; max |U4_f32 − U4_bf16| = {max_du:.4}");
+    println!("(the paper's claim: bf16 curves \"almost completely match\" f32)");
+
+    write_json("fig4", &points);
+    write_csv(
+        "fig4",
+        &["dtype", "L", "T_over_Tc", "abs_m", "err", "binder", "energy", "onsager_m"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dtype.clone(),
+                    p.lattice.to_string(),
+                    p.t_over_tc.to_string(),
+                    p.mean_abs_m.to_string(),
+                    p.err_abs_m.to_string(),
+                    p.binder.to_string(),
+                    p.mean_energy.to_string(),
+                    p.onsager_m.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

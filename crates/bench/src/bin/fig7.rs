@@ -1,0 +1,91 @@
+//! **Figure 7** — correctness of the conv-based (new) implementation.
+//!
+//! Same protocol as Fig. 4 but driving the appendix conv variant, which the
+//! paper re-validates after the algorithm change (their runs: 512² and
+//! 2048² lattices with 0.5–2M burn-in sweeps; ours are scaled down). Also
+//! cross-checks the conv chain against the matmul-based compact chain at
+//! identical site-keyed randomness — they must agree bit-for-bit, which is
+//! a stronger statement than curve overlap.
+
+use tpu_ising_bench::{print_table, quick_mode, write_json};
+use tpu_ising_core::{
+    onsager, random_plane, run_chain, CompactIsing, ConvIsing, Randomness, Sweeper, T_CRITICAL,
+};
+
+#[derive(serde::Serialize)]
+struct Point {
+    lattice: usize,
+    t_over_tc: f64,
+    mean_abs_m: f64,
+    err_abs_m: f64,
+    binder: f64,
+    onsager_m: f64,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let sizes: &[usize] = if quick { &[32] } else { &[32, 64] };
+    let temps: Vec<f64> = if quick {
+        vec![0.5, 0.95, 1.0, 1.05, 1.5]
+    } else {
+        vec![0.5, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.2, 1.5]
+    };
+    let (burn, samples) = if quick { (200, 400) } else { (500, 2000) };
+
+    // Exact agreement with the compact implementation (site-keyed RNG).
+    let init = random_plane::<f32>(99, 32, 32);
+    let beta = 1.0 / T_CRITICAL;
+    let mut conv = ConvIsing::new(init.clone(), beta, Randomness::site_keyed(7));
+    let mut comp = CompactIsing::from_plane(&init, 8, beta, Randomness::site_keyed(7));
+    for _ in 0..20 {
+        conv.sweep();
+        comp.sweep();
+    }
+    assert_eq!(conv.plane(), &comp.to_plane(), "conv and compact diverged");
+    println!("conv == compact: 20 sweeps at Tc bit-identical under site-keyed RNG ✓");
+
+    let mut points = Vec::new();
+    for &l in sizes {
+        for &tt in &temps {
+            let t = tt * T_CRITICAL;
+            let init = if tt < 1.0 {
+                tpu_ising_core::cold_plane::<f32>(l, l)
+            } else {
+                random_plane::<f32>(4321 + l as u64, l, l)
+            };
+            let mut sim = ConvIsing::new(init, 1.0 / t, Randomness::bulk(l as u64 * 13 + (tt * 100.0) as u64));
+            let stats = run_chain(&mut sim, burn, samples);
+            points.push(Point {
+                lattice: l,
+                t_over_tc: tt,
+                mean_abs_m: stats.mean_abs_m,
+                err_abs_m: stats.err_abs_m,
+                binder: stats.binder,
+                onsager_m: onsager::magnetization(t),
+            });
+        }
+        println!("  L = {l} done");
+    }
+
+    for &l in sizes {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.lattice == l)
+            .map(|p| {
+                vec![
+                    format!("{:.3}", p.t_over_tc),
+                    format!("{:.4}", p.mean_abs_m),
+                    format!("{:.4}", p.err_abs_m),
+                    format!("{:.4}", p.binder),
+                    format!("{:.4}", p.onsager_m),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 7, L = {l}: conv-variant physics"),
+            &["T/Tc", "|m|", "err", "U4", "Onsager m"],
+            &rows,
+        );
+    }
+    write_json("fig7", &points);
+}

@@ -1,0 +1,114 @@
+//! **Figure 8** — throughput vs problem size across implementations.
+//!
+//! Series: single-core TPU (compact, Table 1's sweep), multi-core compact
+//! (Table 2), conv-variant pods at the three packing densities (Table 6),
+//! and the published GPU/FPGA reference points the paper prints. The
+//! DGX-2/2H curves in the paper come from reference \[25\] without printed
+//! values; they are omitted rather than guessed (see EXPERIMENTS.md).
+
+use tpu_ising_bench::{print_table, write_json};
+use tpu_ising_device::cost::{throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::params::TpuV3Params;
+
+#[derive(serde::Serialize)]
+struct Point {
+    series: String,
+    lattice_side: u64,
+    spins: f64,
+    flips_per_ns: f64,
+}
+
+fn main() {
+    let p = TpuV3Params::v3();
+    let mut pts = Vec::new();
+
+    // single-core compact sweep over Table 1 sizes
+    for k in [20usize, 40, 80, 160, 320, 640] {
+        let cfg = StepConfig {
+            per_core_h: k * 128,
+            per_core_w: k * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::SingleCore,
+        };
+        pts.push(Point {
+            series: "TPU v3 single core (compact)".into(),
+            lattice_side: (k * 128) as u64,
+            spins: ((k * 128) as f64).powi(2),
+            flips_per_ns: throughput_flips_per_ns(&p, &cfg),
+        });
+    }
+    // compact pod weak scaling (Table 2 shapes)
+    for n in [1usize, 2, 4, 8, 16] {
+        let cores = n * n * 2;
+        let cfg = StepConfig {
+            per_core_h: 896 * 128,
+            per_core_w: 448 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        pts.push(Point {
+            series: "TPU v3 pod (compact)".into(),
+            lattice_side: (512 * 128 * n) as u64,
+            spins: cfg.total_spins(),
+            flips_per_ns: throughput_flips_per_ns(&p, &cfg),
+        });
+    }
+    // conv pods, three densities (Table 6 shapes)
+    for &(label, h, w, topos) in &[
+        ("TPU v3 pod (conv, loose)", 224usize, 224usize, &[(2usize, 2usize), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..]),
+        ("TPU v3 pod (conv, dense)", 448, 448, &[(2, 2), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..]),
+        ("TPU v3 pod (conv, superdense)", 896, 448, &[(2, 4), (4, 8), (8, 16), (16, 32), (32, 64)][..]),
+    ] {
+        for &(tx, ty) in topos {
+            let cfg = StepConfig {
+                per_core_h: h * 128,
+                per_core_w: w * 128,
+                dtype_bytes: 2,
+                variant: Variant::Conv,
+                mode: ExecutionMode::Distributed { cores: tx * ty },
+            };
+            pts.push(Point {
+                series: label.into(),
+                lattice_side: (cfg.total_spins().sqrt()) as u64,
+                spins: cfg.total_spins(),
+                flips_per_ns: throughput_flips_per_ns(&p, &cfg),
+            });
+        }
+    }
+    // published references the paper prints
+    for (series, side, f) in [
+        ("GPU GT200 (Preis 2009)", 10_000u64, tpu_ising_baseline::published::GPU_PREIS_2009_FLIPS_PER_NS),
+        ("Tesla V100 (paper's port)", 81_920, tpu_ising_baseline::published::V100_FLIPS_PER_NS),
+        ("64 GPUs + MPI (Block 2010)", 800_000, tpu_ising_baseline::published::MULTI_GPU_64_FLIPS_PER_NS),
+        ("FPGA (Ortega-Zamorano 2016)", 1_024, tpu_ising_baseline::published::FPGA_FLIPS_PER_NS),
+    ] {
+        pts.push(Point {
+            series: series.into(),
+            lattice_side: side,
+            spins: (side as f64).powi(2),
+            flips_per_ns: f,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.series.clone(),
+                format!("{}", pt.lattice_side),
+                format!("{:.3e}", pt.spins),
+                format!("{:.2}", pt.flips_per_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 8: throughput vs problem size (all series)",
+        &["series", "lattice side", "spins", "flips/ns"],
+        &rows,
+    );
+    println!("\nnote: DGX-2 / DGX-2H series of the paper's Fig. 8 are from [25] and not");
+    println!("printed numerically in the paper; omitted here rather than fabricated.");
+    write_json("fig8", &pts);
+}

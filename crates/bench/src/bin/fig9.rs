@@ -1,0 +1,77 @@
+//! **Figure 9** — strong-scaling curve vs ideal linear scaling.
+//!
+//! Plots (as a printed series + JSON) the Table 7 strong-scaling run
+//! against the ideal line anchored at the smallest configuration. The
+//! departure past ~1000 cores is the communication knee.
+
+use tpu_ising_bench::{print_table, write_json};
+use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::params::TpuV3Params;
+
+const TOPOLOGIES: [(usize, usize); 9] =
+    [(2, 4), (4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32), (32, 64)];
+
+#[derive(serde::Serialize)]
+struct Point {
+    cores: usize,
+    flips_per_ns: f64,
+    ideal_flips_per_ns: f64,
+    efficiency_pct: f64,
+    cp_share_pct: f64,
+}
+
+fn main() {
+    let p = TpuV3Params::v3();
+    let total = 1792 * 128;
+    let mut pts: Vec<Point> = Vec::new();
+    for &(tx, ty) in &TOPOLOGIES {
+        let cores = tx * ty;
+        let cfg = StepConfig {
+            per_core_h: total / tx,
+            per_core_w: total / ty,
+            dtype_bytes: 2,
+            variant: Variant::Conv,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let f = throughput_flips_per_ns(&p, &cfg);
+        let bd = step_time(&p, &cfg);
+        let ideal = if let Some(first) = pts.first() {
+            first.flips_per_ns / 8.0 * cores as f64
+        } else {
+            f
+        };
+        pts.push(Point {
+            cores,
+            flips_per_ns: f,
+            ideal_flips_per_ns: ideal,
+            efficiency_pct: f / ideal * 100.0,
+            cp_share_pct: bd.t_cp / bd.total() * 100.0,
+        });
+    }
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|pt| {
+            // a tiny ASCII sparkline of efficiency
+            let bar = "#".repeat((pt.efficiency_pct / 5.0).round() as usize);
+            vec![
+                pt.cores.to_string(),
+                format!("{:.1}", pt.flips_per_ns),
+                format!("{:.1}", pt.ideal_flips_per_ns),
+                format!("{:.1}", pt.efficiency_pct),
+                format!("{:.1}", pt.cp_share_pct),
+                bar,
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9: strong scaling vs ideal, (128x1792)^2, conv variant",
+        &["cores", "flips/ns", "ideal", "efficiency %", "cp %", "efficiency"],
+        &rows,
+    );
+    let knee = pts.iter().find(|pt| pt.efficiency_pct < 80.0).map(|pt| pt.cores);
+    println!(
+        "\nefficiency drops below 80% at {} cores (paper: knee past ~1000 cores)",
+        knee.map(|c| c.to_string()).unwrap_or_else(|| "-".into())
+    );
+    write_json("fig9", &pts);
+}

@@ -1,0 +1,80 @@
+//! **Table 3** — percentage time breakdown of the computation.
+//!
+//! Two independent views of the same program: (a) the calibrated device
+//! model's step assembly, and (b) the profiler-style trace produced by
+//! walking the actual HLO graph of the compact update with the per-op cost
+//! analyzer. The paper's profiler reports ~59.6 % MXU / 12 % VPU / 28.1 %
+//! data formatting / ≤0.11 % collective permute, stable across scales.
+
+use tpu_ising_bench::{print_table, write_json};
+use tpu_ising_core::hlo_frontend::build_compact_color_step;
+use tpu_ising_core::Color;
+use tpu_ising_device::cost::{step_time, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::params::TpuV3Params;
+use tpu_ising_hlo::graph::Dtype;
+
+/// Paper rows: (cores, mxu %, vpu %, fmt %, cp %).
+const PAPER: [(usize, f64, f64, f64, f64); 5] = [
+    (2, 59.6, 12.0, 28.2, 0.024),
+    (8, 59.6, 12.0, 28.1, 0.038),
+    (32, 59.5, 11.9, 28.2, 0.063),
+    (128, 59.5, 12.0, 28.1, 0.08),
+    (512, 59.4, 12.0, 28.1, 0.11),
+];
+
+#[derive(serde::Serialize)]
+struct Row {
+    cores: usize,
+    mxu_pct: f64,
+    vpu_pct: f64,
+    fmt_pct: f64,
+    cp_pct: f64,
+}
+
+fn main() {
+    let p = TpuV3Params::v3();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &(cores, pm, pv, pf, pc) in &PAPER {
+        let cfg = StepConfig {
+            per_core_h: 896 * 128,
+            per_core_w: 448 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let bd = step_time(&p, &cfg);
+        let (mxu, vpu, fmt, cp) = bd.percentages();
+        rows.push(vec![
+            cores.to_string(),
+            format!("{mxu:.1}"),
+            format!("{vpu:.1}"),
+            format!("{fmt:.1}"),
+            format!("{cp:.3}"),
+            format!("{pm}/{pv}/{pf}/{pc}"),
+        ]);
+        json.push(Row { cores, mxu_pct: mxu, vpu_pct: vpu, fmt_pct: fmt, cp_pct: cp });
+    }
+    print_table(
+        "Table 3: time breakdown (device model), per-core [896x128, 448x128]",
+        &["cores", "MXU %", "VPU %", "fmt %", "cp %", "paper (mxu/vpu/fmt/cp)"],
+        &rows,
+    );
+
+    // Second view: walk the real HLO graph of one color update with the
+    // per-op cost analyzer. The graph is fusion-optimized (rolled slices
+    // are charged as materialized copies, element-wise chains fuse), so
+    // its formatting share differs from the measured TF program — the
+    // MXU-dominance and tiny cp share are the stable fingerprints.
+    let built = build_compact_color_step(448, 224, 128, 0.4407, Color::Black, Dtype::Bf16);
+    let trace = tpu_ising_hlo::cost::analyze(&built.graph, &built.outputs, 512);
+    let b = trace.breakdown();
+    let (mxu, vpu, fmt, cp) = b.percentages();
+    println!(
+        "\nHLO-graph trace view (one black half-sweep, [448,224,128,128] quarters, single-core graph):"
+    );
+    println!("  MXU {mxu:.1}%  VPU {vpu:.1}%  fmt {fmt:.1}%  collective-permute {cp:.3}%");
+    println!("  ({} spans recorded; modeled half-sweep {:.1} ms)", trace.len(), b.step_seconds() * 1e3);
+
+    write_json("table3", &json);
+}

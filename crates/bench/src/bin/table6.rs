@@ -1,0 +1,123 @@
+//! **Table 6** — weak scaling of the conv-based implementation (appendix),
+//! three packing densities, up to a full TPU v3 pod and beyond.
+//!
+//! Loose-packed \[224,224\]·128, dense-packed \[448,448\]·128 and
+//! superdense-packed \[896,448\]·128 per core; the paper reports essentially
+//! flat step times (≈41 / 164 / 332 ms) and linear throughput to 2048+
+//! cores.
+
+use tpu_ising_bench::{ms, pct_dev, print_table, write_json};
+use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::params::TpuV3Params;
+
+/// (density label, per-core h, per-core w, rows: (topology, paper ms, paper flips/ns)).
+struct Section {
+    label: &'static str,
+    h: usize,
+    w: usize,
+    rows: &'static [((usize, usize), f64, f64)],
+}
+
+const SECTIONS: [Section; 3] = [
+    Section {
+        label: "loose [224,224]x128",
+        h: 224,
+        w: 224,
+        rows: &[
+            ((2, 2), 40.78, 80.64),
+            ((3, 3), 40.89, 180.93),
+            ((4, 4), 40.91, 321.52),
+            ((6, 6), 40.87, 724.05),
+            ((8, 8), 41.06, 1281.47),
+            ((11, 11), 41.06, 2422.60),
+            ((16, 16), 41.10, 5120.02),
+            ((23, 23), 41.16, 10566.16),
+            ((32, 32), 41.15, 20456.20),
+            ((45, 45), 41.46, 40456.29),
+        ],
+    },
+    Section {
+        label: "dense [448,448]x128",
+        h: 448,
+        w: 448,
+        rows: &[
+            ((2, 2), 164.08, 80.17),
+            ((3, 3), 164.06, 180.39),
+            ((4, 4), 164.14, 320.54),
+            ((6, 6), 164.22, 720.85),
+            ((8, 8), 164.34, 1280.59),
+            ((11, 11), 164.36, 2420.88),
+            ((16, 16), 164.39, 5120.83),
+            ((23, 23), 164.45, 10577.86),
+            ((32, 32), 164.57, 20460.92),
+            ((45, 45), 164.75, 40418.07),
+        ],
+    },
+    Section {
+        label: "superdense [896,448]x128",
+        h: 896,
+        w: 448,
+        rows: &[
+            ((2, 4), 331.80, 158.57),
+            ((4, 8), 332.08, 633.75),
+            ((8, 16), 332.45, 2532.18),
+            ((16, 32), 332.72, 10120.29),
+            ((32, 64), 333.36, 40403.46),
+        ],
+    },
+];
+
+#[derive(serde::Serialize)]
+struct Row {
+    density: String,
+    topology: String,
+    cores: usize,
+    model_step_ms: f64,
+    model_flips_per_ns: f64,
+    paper_step_ms: f64,
+    paper_flips_per_ns: f64,
+}
+
+fn main() {
+    let p = TpuV3Params::v3();
+    let mut json = Vec::new();
+    for s in &SECTIONS {
+        let mut rows = Vec::new();
+        for &((tx, ty), paper_ms, paper_f) in s.rows {
+            let cores = tx * ty;
+            let cfg = StepConfig {
+                per_core_h: s.h * 128,
+                per_core_w: s.w * 128,
+                dtype_bytes: 2,
+                variant: Variant::Conv,
+                mode: ExecutionMode::Distributed { cores },
+            };
+            let bd = step_time(&p, &cfg);
+            let f = throughput_flips_per_ns(&p, &cfg);
+            rows.push(vec![
+                format!("[{tx},{ty}]"),
+                cores.to_string(),
+                ms(bd.total()),
+                format!("{f:.1}"),
+                format!("{paper_ms:.2}"),
+                format!("{paper_f:.1}"),
+                pct_dev(f, paper_f),
+            ]);
+            json.push(Row {
+                density: s.label.into(),
+                topology: format!("[{tx},{ty}]"),
+                cores,
+                model_step_ms: bd.total() * 1e3,
+                model_flips_per_ns: f,
+                paper_step_ms: paper_ms,
+                paper_flips_per_ns: paper_f,
+            });
+        }
+        print_table(
+            &format!("Table 6 ({}): conv-variant weak scaling", s.label),
+            &["topology", "cores", "step ms", "flips/ns", "paper ms", "paper f/ns", "dev"],
+            &rows,
+        );
+    }
+    write_json("table6", &json);
+}

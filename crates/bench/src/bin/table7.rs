@@ -1,0 +1,91 @@
+//! **Table 7 / Fig. 9 input** — strong scaling of the conv implementation
+//! on a fixed `(128·1792)²` lattice, 8 → 2048 cores.
+//!
+//! The paper: near-linear speedup until ~1000 cores, after which the
+//! collective-permute overhead becomes a significant share of the step.
+
+use tpu_ising_bench::{pct_dev, print_table, write_json};
+use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::params::TpuV3Params;
+
+/// Paper rows: (topology, per-core dims /128, step ms, flips/ns).
+#[allow(clippy::type_complexity)]
+const PAPER: [((usize, usize), (usize, usize), f64, f64); 9] = [
+    ((2, 4), (896, 448), 330.14, 159.37),
+    ((4, 4), (448, 448), 162.55, 323.67),
+    ((4, 8), (448, 224), 81.81, 643.12),
+    ((8, 8), (224, 224), 41.33, 1272.94),
+    ((8, 16), (224, 112), 21.68, 2427.26),
+    ((16, 16), (112, 112), 11.08, 4749.35),
+    ((16, 32), (112, 56), 6.13, 8585.73),
+    ((32, 32), (56, 56), 3.84, 13704.96),
+    ((32, 64), (56, 28), 2.86, 18396.28),
+];
+
+#[derive(serde::Serialize)]
+struct Row {
+    topology: String,
+    cores: usize,
+    model_step_ms: f64,
+    model_flips_per_ns: f64,
+    model_cp_share_pct: f64,
+    paper_step_ms: f64,
+    paper_flips_per_ns: f64,
+    ideal_flips_per_ns: f64,
+}
+
+fn main() {
+    let p = TpuV3Params::v3();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut base_per_core = 0.0;
+    for (i, &((tx, ty), (h, w), paper_ms, paper_f)) in PAPER.iter().enumerate() {
+        let cores = tx * ty;
+        let cfg = StepConfig {
+            per_core_h: h * 128,
+            per_core_w: w * 128,
+            dtype_bytes: 2,
+            variant: Variant::Conv,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let bd = step_time(&p, &cfg);
+        let f = throughput_flips_per_ns(&p, &cfg);
+        if i == 0 {
+            base_per_core = f / cores as f64;
+        }
+        let ideal = base_per_core * cores as f64;
+        let cp_share = bd.t_cp / bd.total() * 100.0;
+        rows.push(vec![
+            format!("[{tx},{ty}]"),
+            cores.to_string(),
+            format!("{:.2}", bd.total() * 1e3),
+            format!("{f:.1}"),
+            format!("{cp_share:.1}"),
+            format!("{paper_ms:.2}"),
+            format!("{paper_f:.1}"),
+            pct_dev(f, paper_f),
+        ]);
+        json.push(Row {
+            topology: format!("[{tx},{ty}]"),
+            cores,
+            model_step_ms: bd.total() * 1e3,
+            model_flips_per_ns: f,
+            model_cp_share_pct: cp_share,
+            paper_step_ms: paper_ms,
+            paper_flips_per_ns: paper_f,
+            ideal_flips_per_ns: ideal,
+        });
+    }
+    print_table(
+        "Table 7: strong scaling of (128x1792)^2, conv variant",
+        &["topology", "cores", "step ms", "flips/ns", "cp %", "paper ms", "paper f/ns", "dev"],
+        &rows,
+    );
+    let eff_512 = json[6].model_flips_per_ns / json[6].ideal_flips_per_ns * 100.0;
+    let eff_2048 = json[8].model_flips_per_ns / json[8].ideal_flips_per_ns * 100.0;
+    println!(
+        "\nparallel efficiency vs ideal: {eff_512:.0}% at 512 cores, {eff_2048:.0}% at 2048 cores \
+         (the paper's knee past ~1000 cores)"
+    );
+    write_json("table7", &json);
+}

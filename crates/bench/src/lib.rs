@@ -1,0 +1,110 @@
+//! Shared plumbing for the per-table / per-figure benchmark binaries.
+//!
+//! Every binary regenerates one evaluation artifact of the paper: it
+//! derives its rows from the calibrated device model (performance tables)
+//! or from real MCMC runs (physics figures), prints a paper-style table
+//! with the paper's published value alongside where one exists, and writes
+//! machine-readable JSON under `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// True when quick mode is requested (smaller lattices / fewer sweeps for
+/// the physics figures). Enabled by `--quick` or `ISING_BENCH_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("ISING_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Pretty-print an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.chars().count()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        println!("{line}");
+    }
+}
+
+/// Directory for machine-readable outputs (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ISING_RESULTS_DIR").unwrap_or_else(|_| {
+        // workspace root, two levels above the bench crate at build time;
+        // at run time prefer the current directory's results/.
+        "results".to_string()
+    });
+    let p = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Write a serializable result as pretty JSON to `results/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Write rows as CSV to `results/<name>.csv`.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Relative deviation helper for "paper vs model" columns.
+pub fn pct_dev(model: f64, paper: f64) -> String {
+    format!("{:+.1}%", (model / paper - 1.0) * 100.0)
+}
+
+/// Format seconds as milliseconds.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_dev_formats() {
+        assert_eq!(pct_dev(110.0, 100.0), "+10.0%");
+        assert_eq!(pct_dev(95.0, 100.0), "-5.0%");
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(0.5747), "574.70");
+    }
+}

@@ -1,0 +1,391 @@
+//! bfloat16 scalar support with TPU-faithful semantics.
+//!
+//! The TPU v3 MXU rounds its float32 inputs down to bfloat16 (1 sign bit,
+//! 8 exponent bits, 7 mantissa bits) before multiplying, and accumulates in
+//! float32. The paper's correctness study (Fig. 4) hinges on the claim that
+//! running the whole Ising update — acceptance ratios and random numbers
+//! included — in bfloat16 does not bias the simulation. To test that claim
+//! in Rust we need a bit-faithful bfloat16: this crate provides [`Bf16`]
+//! with round-to-nearest-even conversion from `f32` (the rounding TPUs and
+//! XLA use), arithmetic that rounds after every operation (storage-precision
+//! semantics), and the [`Scalar`] trait that lets every kernel in the
+//! workspace be written once and instantiated at either precision.
+
+mod scalar;
+
+pub use scalar::Scalar;
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 16-bit brain floating point number: 1 sign, 8 exponent, 7 mantissa bits.
+///
+/// `Bf16` is a storage format: arithmetic is performed by widening to `f32`,
+/// operating, and rounding the result back with round-to-nearest-even. This
+/// matches how the TPU vector unit treats bfloat16 element-wise math and how
+/// the MXU treats its inputs.
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct Bf16(u16);
+
+impl PartialEq for Bf16 {
+    /// IEEE semantics: `-0.0 == +0.0`, `NaN != NaN`.
+    #[inline]
+    fn eq(&self, other: &Bf16) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Negative one.
+    pub const NEG_ONE: Bf16 = Bf16(0xBF80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Smallest positive normal value (2^-126).
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Largest finite value (~3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Machine epsilon: the difference between 1.0 and the next larger
+    /// representable number, 2^-7.
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    ///
+    /// This is the exact algorithm used by XLA's `ConvertElementType` to
+    /// BF16 and by the MXU input path: add the rounding bias
+    /// `0x7FFF + lsb` to the f32 bit pattern and truncate to the upper
+    /// 16 bits. NaN payloads are canonicalized to a quiet NaN to avoid
+    /// accidentally producing an infinity.
+    #[inline]
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve sign, force a quiet NaN.
+            return Bf16(((bits >> 16) as u16 & 0x8000) | 0x7FC0);
+        }
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7FFF + lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Convert from `f32` by truncation (round toward zero).
+    ///
+    /// Some early TPU paths truncated instead of rounding; exposed so the
+    /// precision study can quantify the difference.
+    #[inline]
+    pub fn from_f32_truncate(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            return Bf16(((bits >> 16) as u16 & 0x8000) | 0x7FC0);
+        }
+        Bf16((bits >> 16) as u16)
+    }
+
+    /// Widen to `f32`. Exact: every bfloat16 value is representable in f32.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// `true` if this value is +inf or -inf.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+
+    /// `true` if this value is finite (not NaN, not infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+
+    /// `true` if the sign bit is set (including -0.0 and NaN with sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & 0x8000) != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Bf16 {
+        Bf16(self.0 & 0x7FFF)
+    }
+
+    /// Exponential, computed in f32 and rounded back to bf16.
+    ///
+    /// This models the TPU VPU, which evaluates transcendentals through its
+    /// extended vector unit at (at least) f32 internal precision and stores
+    /// the bf16 result.
+    #[inline]
+    pub fn exp(self) -> Bf16 {
+        Bf16::from_f32(self.to_f32().exp())
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}bf16", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl From<f32> for Bf16 {
+    #[inline]
+    fn from(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    #[inline]
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Bf16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for Bf16 {
+            type Output = Bf16;
+            #[inline]
+            fn $method(self, rhs: Bf16) -> Bf16 {
+                Bf16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for Bf16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Bf16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn neg(self) -> Bf16 {
+        // Flipping the sign bit is exact, like IEEE negation.
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl std::iter::Sum for Bf16 {
+    fn sum<I: Iterator<Item = Bf16>>(iter: I) -> Bf16 {
+        // Accumulate in f32 (MXU-style 32-bit accumulation), round once.
+        Bf16::from_f32(iter.map(Bf16::to_f32).sum())
+    }
+}
+
+impl serde::Serialize for Bf16 {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f32(self.to_f32())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Bf16 {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Bf16, D::Error> {
+        f32::deserialize(d).map(Bf16::from_f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(Bf16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(Bf16::NAN.is_nan());
+        assert_eq!(Bf16::MIN_POSITIVE.to_f32(), f32::from_bits(0x0080_0000));
+        assert_eq!(Bf16::EPSILON.to_f32(), (2.0f32).powi(-7));
+    }
+
+    #[test]
+    fn known_rne_vectors() {
+        // Values exactly representable convert exactly.
+        for &v in &[0.0f32, 1.0, -1.0, 2.0, 0.5, -0.5, 256.0, 1.5] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "exact value {v}");
+        }
+        // 1.0 + 2^-9 is below the rounding midpoint: rounds down to 1.0.
+        assert_eq!(Bf16::from_f32(1.0 + 2f32.powi(-9)).to_f32(), 1.0);
+        // 1.0 + 2^-8 is exactly at the midpoint between 1.0 and 1.0+2^-7:
+        // round-to-even picks 1.0 (mantissa lsb 0).
+        assert_eq!(Bf16::from_f32(1.0 + 2f32.powi(-8)).to_f32(), 1.0);
+        // (1.0 + 2^-7) + 2^-8 is midpoint with odd lsb: rounds up to 1.0+2^-6.
+        let odd = 1.0 + 2f32.powi(-7) + 2f32.powi(-8);
+        assert_eq!(Bf16::from_f32(odd).to_f32(), 1.0 + 2f32.powi(-6));
+        // Just above the midpoint rounds up.
+        assert_eq!(
+            Bf16::from_f32(1.0 + 2f32.powi(-8) + 2f32.powi(-16)).to_f32(),
+            1.0 + 2f32.powi(-7)
+        );
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // The largest f32 rounds to bf16 infinity (its exponent+mantissa
+        // exceed bf16::MAX after rounding).
+        assert!(Bf16::from_f32(f32::MAX).is_infinite());
+        assert!(!Bf16::from_f32(f32::MAX).is_sign_negative());
+        assert!(Bf16::from_f32(f32::MIN).is_infinite());
+        assert!(Bf16::from_f32(f32::MIN).is_sign_negative());
+    }
+
+    #[test]
+    fn nan_canonicalization() {
+        let b = Bf16::from_f32(f32::NAN);
+        assert!(b.is_nan());
+        // Signaling-style payloads must not become infinity.
+        let snan = f32::from_bits(0x7F80_0001);
+        assert!(Bf16::from_f32(snan).is_nan());
+        let neg_nan = f32::from_bits(0xFF80_0001);
+        assert!(Bf16::from_f32(neg_nan).is_nan());
+        assert!(Bf16::from_f32(neg_nan).is_sign_negative());
+    }
+
+    #[test]
+    fn negation_is_exact() {
+        for bits in [0u16, 0x3F80, 0x7F7F, 0x0080, 0x0001] {
+            let b = Bf16::from_bits(bits);
+            assert_eq!((-b).to_f32(), -b.to_f32());
+        }
+    }
+
+    #[test]
+    fn signed_zero() {
+        let nz = Bf16::from_f32(-0.0);
+        assert!(nz.is_sign_negative());
+        assert_eq!(nz.to_f32(), 0.0);
+        assert_eq!(nz, Bf16::ZERO); // -0 == +0
+    }
+
+    #[test]
+    fn arithmetic_rounds_per_op() {
+        // 256 + 1 = 257, which needs 9 mantissa bits; bf16 rounds to 256.
+        let a = Bf16::from_f32(256.0);
+        let b = Bf16::ONE;
+        assert_eq!((a + b).to_f32(), 256.0);
+        // but 256 + 2 = 258 rounds to 258? 258 = 2^8 * 1.0078125; mantissa
+        // needs 1 + 7 bits => representable boundary: step at 2^8 is 2.
+        assert_eq!((a + Bf16::from_f32(2.0)).to_f32(), 258.0);
+    }
+
+    #[test]
+    fn exp_matches_f32_rounded() {
+        for &x in &[-4.0f32, -2.0, -0.5, 0.0, 0.5, 1.0] {
+            let b = Bf16::from_f32(x);
+            assert_eq!(b.exp().to_f32(), Bf16::from_f32(b.to_f32().exp()).to_f32());
+        }
+    }
+
+    #[test]
+    fn sum_accumulates_in_f32() {
+        // 512 copies of 1.0: bf16-per-step accumulation would stall at 256,
+        // f32 accumulation gets exactly 512.
+        let s: Bf16 = std::iter::repeat_n(Bf16::ONE, 512).sum();
+        assert_eq!(s.to_f32(), 512.0);
+    }
+
+    #[test]
+    fn truncate_vs_round() {
+        // x = 1 + 2^-7 + 2^-8 is the midpoint between 1+2^-7 and 1+2^-6
+        // with an odd mantissa lsb: truncation keeps 1+2^-7, RNE rounds up.
+        let x = 1.0 + 2f32.powi(-7) + 2f32.powi(-8);
+        assert_eq!(Bf16::from_f32_truncate(x).to_f32(), 1.0 + 2f32.powi(-7));
+        assert_eq!(Bf16::from_f32(x).to_f32(), 1.0 + 2f32.powi(-6));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_identity_on_bf16_values(bits in 0u16..=0xFFFF) {
+            let b = Bf16::from_bits(bits);
+            if !b.is_nan() {
+                prop_assert_eq!(Bf16::from_f32(b.to_f32()).to_bits(), bits);
+            } else {
+                prop_assert!(Bf16::from_f32(b.to_f32()).is_nan());
+            }
+        }
+
+        #[test]
+        fn relative_error_bound(x in -1.0e30f32..1.0e30f32) {
+            // RNE conversion error is at most half a ulp = 2^-8 relative.
+            let b = Bf16::from_f32(x).to_f32();
+            let err = (b - x).abs();
+            prop_assert!(err <= x.abs() * 2f32.powi(-8) + f32::MIN_POSITIVE);
+        }
+
+        #[test]
+        fn conversion_is_monotone(a in -1.0e30f32..1.0e30f32, b in -1.0e30f32..1.0e30f32) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Bf16::from_f32(lo) <= Bf16::from_f32(hi));
+        }
+
+        #[test]
+        fn add_commutes(a in -1.0e18f32..1.0e18f32, b in -1.0e18f32..1.0e18f32) {
+            let (x, y) = (Bf16::from_f32(a), Bf16::from_f32(b));
+            prop_assert_eq!((x + y).to_bits(), (y + x).to_bits());
+        }
+
+        #[test]
+        fn mul_commutes(a in -1.0e18f32..1.0e18f32, b in -1.0e18f32..1.0e18f32) {
+            let (x, y) = (Bf16::from_f32(a), Bf16::from_f32(b));
+            prop_assert_eq!((x * y).to_bits(), (y * x).to_bits());
+        }
+
+        #[test]
+        fn abs_clears_sign(bits in 0u16..=0xFFFF) {
+            let b = Bf16::from_bits(bits);
+            prop_assert!(!b.abs().is_sign_negative());
+        }
+    }
+}

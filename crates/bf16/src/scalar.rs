@@ -1,0 +1,158 @@
+//! The [`Scalar`] abstraction over simulation precisions.
+//!
+//! Every numeric kernel in the workspace (acceptance ratios, neighbor sums,
+//! RNG output, tensor ops) is generic over `Scalar` so the same code runs
+//! the float32 and the bfloat16 experiment — exactly how the paper's single
+//! TensorFlow graph is re-instantiated at either dtype.
+
+use crate::Bf16;
+
+/// A simulation scalar: either `f32` or [`Bf16`].
+///
+/// Semantics contract:
+/// - `from_f32`/`to_f32` round / widen with the precision's native rules.
+/// - Arithmetic on the type rounds to storage precision after every
+///   operation (trivially true for `f32`; enforced by [`Bf16`]'s ops).
+/// - `mul_acc_f32` models the MXU: multiply at storage precision, accumulate
+///   in f32.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Default
+    + PartialOrd
+    + PartialEq
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + 'static
+{
+    /// Human-readable dtype name, matching XLA nomenclature.
+    const DTYPE: &'static str;
+    /// Size in bytes of the storage format (drives HBM traffic modeling).
+    const BYTES: usize;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Round an `f32` into this precision.
+    fn from_f32(x: f32) -> Self;
+    /// Widen to `f32` (exact for both precisions).
+    fn to_f32(self) -> f32;
+    /// `e^self`, evaluated through f32 and rounded to storage precision.
+    fn exp(self) -> Self;
+
+    /// MXU-style multiply-accumulate: `acc + self * rhs` where the product
+    /// inputs are at storage precision but the accumulation stays in f32.
+    #[inline]
+    fn mul_acc_f32(self, rhs: Self, acc: f32) -> f32 {
+        acc + self.to_f32() * rhs.to_f32()
+    }
+}
+
+impl Scalar for f32 {
+    const DTYPE: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn one() -> f32 {
+        1.0
+    }
+    #[inline]
+    fn from_f32(x: f32) -> f32 {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn exp(self) -> f32 {
+        f32::exp(self)
+    }
+}
+
+impl Scalar for Bf16 {
+    const DTYPE: &'static str = "bf16";
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn zero() -> Bf16 {
+        Bf16::ZERO
+    }
+    #[inline]
+    fn one() -> Bf16 {
+        Bf16::ONE
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        Bf16::to_f32(self)
+    }
+    #[inline]
+    fn exp(self) -> Bf16 {
+        Bf16::exp(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_axioms<S: Scalar>() {
+        assert_eq!(S::zero().to_f32(), 0.0);
+        assert_eq!(S::one().to_f32(), 1.0);
+        assert_eq!((S::one() + S::one()).to_f32(), 2.0);
+        assert_eq!((S::one() - S::one()).to_f32(), 0.0);
+        assert_eq!((-S::one()).to_f32(), -1.0);
+        assert_eq!((S::one() * S::from_f32(2.0)).to_f32(), 2.0);
+        assert_eq!(S::zero().exp().to_f32(), 1.0);
+        // spin values ±1 are exact at both precisions
+        for s in [-1.0f32, 1.0] {
+            assert_eq!(S::from_f32(s).to_f32(), s);
+        }
+        // neighbor sums −4..4 are exact at both precisions
+        for n in -4i32..=4 {
+            assert_eq!(S::from_f32(n as f32).to_f32(), n as f32);
+        }
+    }
+
+    #[test]
+    fn f32_axioms() {
+        generic_axioms::<f32>();
+    }
+
+    #[test]
+    fn bf16_axioms() {
+        generic_axioms::<Bf16>();
+    }
+
+    #[test]
+    fn mul_acc_keeps_f32_accumulator() {
+        // bf16 1.0 added 300 times through mul_acc stays exact because the
+        // accumulator is f32 (bf16 += would stall at 256).
+        let mut acc = 0.0f32;
+        for _ in 0..300 {
+            acc = Bf16::ONE.mul_acc_f32(Bf16::ONE, acc);
+        }
+        assert_eq!(acc, 300.0);
+    }
+
+    #[test]
+    fn dtype_metadata() {
+        assert_eq!(f32::DTYPE, "f32");
+        assert_eq!(Bf16::DTYPE, "bf16");
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(Bf16::BYTES, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positional subcommand plus `--key value` pairs and
+/// bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: Option<String>,
+    kv: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument parsing / validation error, printed with usage.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parse a token stream (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                // value or bare flag?
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().unwrap();
+                        if out.kv.insert(key.to_string(), v).is_some() {
+                            return Err(ArgError(format!("duplicate option --{key}")));
+                        }
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Bare flag presence.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Typed option with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
+        }
+    }
+
+    /// Parse `AxB` pairs like `--torus 2x2` or `--per-core 128x64`.
+    pub fn get_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let parts: Vec<&str> = v.split(['x', 'X', ',']).collect();
+                if parts.len() != 2 {
+                    return Err(ArgError(format!("expected AxB for --{key}, got '{v}'")));
+                }
+                let a = parts[0]
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --{key} '{v}'")))?;
+                let b = parts[1]
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --{key} '{v}'")))?;
+                Ok((a, b))
+            }
+        }
+    }
+
+    /// Comma-separated list of a parseable type.
+    pub fn get_list<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("invalid element '{s}' in --{key}")))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("simulate --size 64 --temp 2.1 --quiet");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get("size"), Some("64"));
+        assert_eq!(a.get_parse("size", 0usize).unwrap(), 64);
+        assert_eq!(a.get_parse("temp", 0.0f64).unwrap(), 2.1);
+        assert!(a.has_flag("quiet"));
+        assert!(!a.has_flag("loud"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("scan");
+        assert_eq!(a.get_or("algo", "compact"), "compact");
+        assert_eq!(a.get_parse("sweeps", 100usize).unwrap(), 100);
+    }
+
+    #[test]
+    fn pairs_and_lists() {
+        let a = parse("pod --torus 2x4 --sizes 16,32,64");
+        assert_eq!(a.get_pair("torus", (1, 1)).unwrap(), (2, 4));
+        assert_eq!(a.get_list("sizes", vec![0usize]).unwrap(), vec![16, 32, 64]);
+        assert_eq!(a.get_pair("per-core", (8, 8)).unwrap(), (8, 8));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Args::parse(["x".into(), "y".into()]).is_err());
+        let a = parse("simulate --size abc");
+        assert!(a.get_parse("size", 0usize).is_err());
+        let a = parse("pod --torus 2x2x2");
+        assert!(a.get_pair("torus", (1, 1)).is_err());
+        assert!(Args::parse(
+            "s --k 1 --k 2".split_whitespace().map(String::from)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use tpu_ising_baseline::{GpuStyleIsing, MultiSpinIsing};
+use tpu_ising_bf16::Bf16;
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
+use tpu_ising_core::{
+    cold_plane, onsager, random_plane, run_chain, ChainStats, Color, CompactIsing, ConvIsing,
+    NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
+};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
+use tpu_ising_device::energy::energy_nj_per_flip;
+use tpu_ising_device::mesh::Torus;
+use tpu_ising_device::params::TpuV3Params;
+use tpu_ising_device::roofline::roofline;
+
+fn temperature(args: &Args) -> Result<f64, ArgError> {
+    if let Some(t) = args.get("temp") {
+        t.parse::<f64>()
+            .map_err(|_| ArgError(format!("invalid --temp '{t}'")))
+    } else {
+        Ok(args.get_parse("t-over-tc", 0.95f64)? * T_CRITICAL)
+    }
+}
+
+fn print_stats(t: f64, l: usize, stats: &ChainStats, json: bool) {
+    let beta = 1.0 / t;
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "lattice": l,
+                "temperature": t,
+                "t_over_tc": t / T_CRITICAL,
+                "mean_abs_m": stats.mean_abs_m,
+                "err_abs_m": stats.err_abs_m,
+                "binder": stats.binder,
+                "mean_energy": stats.mean_energy,
+                "err_energy": stats.err_energy,
+                "susceptibility": stats.susceptibility(beta, l * l),
+                "specific_heat": stats.specific_heat(beta, l * l),
+                "onsager_m": onsager::magnetization(t),
+                "onsager_e": onsager::energy_per_site(t),
+            })
+        );
+    } else {
+        println!("L = {l}, T = {t:.4} (T/Tc = {:.4}), {} samples", t / T_CRITICAL, stats.samples);
+        println!("  ⟨|m|⟩ = {:.4} ± {:.4}   (Onsager: {:.4})", stats.mean_abs_m, stats.err_abs_m, onsager::magnetization(t));
+        println!("  U4    = {:.4}", stats.binder);
+        println!("  ⟨E⟩/N = {:.4} ± {:.4}   (Onsager: {:.4})", stats.mean_energy, stats.err_energy, onsager::energy_per_site(t));
+        println!("  χ     = {:.4}", stats.susceptibility(beta, l * l));
+        println!("  c     = {:.4}", stats.specific_heat(beta, l * l));
+    }
+}
+
+/// `simulate` — one chain, one algorithm, one precision.
+pub fn simulate(args: &Args) -> Result<(), ArgError> {
+    let l: usize = args.get_parse("size", 64usize)?;
+    let t = temperature(args)?;
+    let beta = 1.0 / t;
+    let burn: usize = args.get_parse("burn", 500usize)?;
+    let sweeps: usize = args.get_parse("sweeps", 2000usize)?;
+    let seed: u64 = args.get_parse("seed", 42u64)?;
+    let algo = args.get_or("algo", "compact");
+    let dtype = args.get_or("dtype", "f32");
+    let json = args.has_flag("json");
+    let cold = args.has_flag("cold") || t < T_CRITICAL;
+    let tile = (l / 4).clamp(2, 16);
+
+    macro_rules! run_generic {
+        ($S:ty) => {{
+            let init = if cold { cold_plane::<$S>(l, l) } else { random_plane::<$S>(seed, l, l) };
+            let stats = match algo {
+                "compact" => {
+                    let mut s = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
+                    run_chain(&mut s, burn, sweeps)
+                }
+                "naive" => {
+                    let mut s = NaiveIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
+                    run_chain(&mut s, burn, sweeps)
+                }
+                "conv" => {
+                    let mut s = ConvIsing::new(init, beta, Randomness::bulk(seed));
+                    run_chain(&mut s, burn, sweeps)
+                }
+                "wolff" => {
+                    let mut s = WolffIsing::new(init, beta, Randomness::bulk(seed));
+                    run_chain(&mut s, burn, sweeps)
+                }
+                other => return Err(ArgError(format!("unknown --algo '{other}' for this dtype"))),
+            };
+            print_stats(t, l, &stats, json);
+            Ok(())
+        }};
+    }
+
+    match (algo, dtype) {
+        ("gpu", "f32") => {
+            let init = if cold { cold_plane(l, l) } else { random_plane(seed, l, l) };
+            let mut s = GpuStyleIsing::new(init, beta, Randomness::bulk(seed));
+            let stats = run_chain(&mut s, burn, sweeps);
+            print_stats(t, l, &stats, json);
+            Ok(())
+        }
+        ("multispin", _) => {
+            let mut s = MultiSpinIsing::new(l, l, beta, seed);
+            for _ in 0..burn {
+                s.sweep();
+            }
+            let mut acc = 0.0;
+            for _ in 0..sweeps {
+                s.sweep();
+                let mags = s.magnetizations();
+                acc += mags.iter().map(|m| m.abs()).sum::<f64>() / (64.0 * (l * l) as f64);
+            }
+            println!(
+                "L = {l}, T = {t:.4}: 64 replicas, ⟨|m|⟩ = {:.4} (Onsager {:.4})",
+                acc / sweeps as f64,
+                onsager::magnetization(t)
+            );
+            Ok(())
+        }
+        (_, "f32") => run_generic!(f32),
+        (_, "bf16") => run_generic!(Bf16),
+        (_, other) => Err(ArgError(format!("unknown --dtype '{other}'"))),
+    }
+}
+
+/// `scan` — Binder scan over sizes and temperatures, Tc estimate.
+pub fn scan(args: &Args) -> Result<(), ArgError> {
+    let sizes: Vec<usize> = args.get_list("sizes", vec![16, 32])?;
+    let from: f64 = args.get_parse("from", 0.92f64)?;
+    let to: f64 = args.get_parse("to", 1.08f64)?;
+    let points: usize = args.get_parse("points", 9usize)?;
+    let burn: usize = args.get_parse("burn", 400usize)?;
+    let sweeps: usize = args.get_parse("sweeps", 1600usize)?;
+    let json = args.has_flag("json");
+    if points < 2 || from >= to {
+        return Err(ArgError("need --points ≥ 2 and --from < --to".into()));
+    }
+
+    let temps: Vec<f64> = (0..points)
+        .map(|i| (from + (to - from) * i as f64 / (points - 1) as f64) * T_CRITICAL)
+        .collect();
+    let mut curves = Vec::new();
+    for &l in &sizes {
+        let tile = (l / 4).clamp(2, 16);
+        let mut values = Vec::new();
+        for &t in &temps {
+            let init = if t < T_CRITICAL {
+                cold_plane::<f32>(l, l)
+            } else {
+                random_plane::<f32>(l as u64, l, l)
+            };
+            let mut sim = CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64 * 31));
+            let stats = run_chain(&mut sim, burn, sweeps);
+            values.push(stats.binder);
+        }
+        if !json {
+            println!("L = {l:>4}: U4 = {values:.4?}");
+        }
+        curves.push(SizeCurve { l, temps: temps.clone(), values });
+    }
+    let tc = binder_tc_estimate(&curves);
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "temps": temps,
+                "curves": curves.iter().map(|c| serde_json::json!({"l": c.l, "u4": c.values})).collect::<Vec<_>>(),
+                "tc_estimate": tc,
+                "tc_exact": T_CRITICAL,
+            })
+        );
+    } else {
+        match tc {
+            Some(tc) => println!(
+                "Binder crossing Tc ≈ {tc:.4}  (exact {:.4}, deviation {:+.2}%)",
+                T_CRITICAL,
+                (tc / T_CRITICAL - 1.0) * 100.0
+            ),
+            None => println!("no crossing found in the scan window"),
+        }
+    }
+    Ok(())
+}
+
+/// `pod` — distributed SPMD run.
+pub fn pod(args: &Args) -> Result<(), ArgError> {
+    let (nx, ny) = args.get_pair("torus", (2, 2))?;
+    let (h, w) = args.get_pair("per-core", (64, 64))?;
+    let t = temperature(args)?;
+    let sweeps: usize = args.get_parse("sweeps", 50usize)?;
+    let seed: u64 = args.get_parse("seed", 7u64)?;
+    let tile = (h.min(w) / 4).clamp(1, 16);
+    let cfg = PodConfig {
+        torus: Torus::new(nx, ny),
+        per_core_h: h,
+        per_core_w: w,
+        tile,
+        beta: 1.0 / t,
+        seed,
+        rng: if args.has_flag("site-keyed") { PodRng::SiteKeyed } else { PodRng::BulkSplit },
+    };
+    println!(
+        "pod {nx}x{ny} cores, per-core {h}x{w}, global {}x{}, T/Tc = {:.3}, {sweeps} sweeps",
+        cfg.global_h(),
+        cfg.global_w(),
+        t / T_CRITICAL
+    );
+    let t0 = std::time::Instant::now();
+    let result = run_pod::<f32>(&cfg, sweeps);
+    let dt = t0.elapsed().as_secs_f64();
+    let n = cfg.sites() as f64;
+    println!(
+        "done in {dt:.2} s ({:.2} Msites/s); final |m| = {:.4}",
+        n * sweeps as f64 / dt / 1e6,
+        result.magnetization_sums.last().unwrap().abs() / n
+    );
+    Ok(())
+}
+
+/// `model` — modeled TPU v3 performance of a configuration.
+pub fn model(args: &Args) -> Result<(), ArgError> {
+    let cores: usize = args.get_parse("cores", 2usize)?;
+    let (h, w) = args.get_pair("per-core", (896, 448))?;
+    let variant = match args.get_or("variant", "compact") {
+        "compact" => Variant::Compact,
+        "naive" => Variant::Naive,
+        "conv" => Variant::Conv,
+        other => return Err(ArgError(format!("unknown --variant '{other}'"))),
+    };
+    let dtype_bytes = match args.get_or("dtype", "bf16") {
+        "bf16" => 2,
+        "f32" => 4,
+        other => return Err(ArgError(format!("unknown --dtype '{other}'"))),
+    };
+    let p = TpuV3Params::v3();
+    let cfg = StepConfig {
+        per_core_h: h * 128,
+        per_core_w: w * 128,
+        dtype_bytes,
+        variant,
+        mode: if cores <= 1 {
+            ExecutionMode::SingleCore
+        } else {
+            ExecutionMode::Distributed { cores }
+        },
+    };
+    let bd = step_time(&p, &cfg);
+    let f = throughput_flips_per_ns(&p, &cfg);
+    let (mxu, vpu, fmt, cp) = bd.percentages();
+    let r = roofline(&p, &cfg);
+    println!("config: {cores} core(s), per-core [{h}x128, {w}x128], {variant:?}, {} B/spin", dtype_bytes);
+    println!("  step time    : {:.2} ms", bd.total() * 1e3);
+    println!("  throughput   : {f:.2} flips/ns  ({:.4} per core)", f / cores as f64);
+    println!("  energy       : {:.4} nJ/flip", energy_nj_per_flip(p.power_w * cores as f64, f));
+    println!("  breakdown    : MXU {mxu:.1}%  VPU {vpu:.1}%  fmt {fmt:.1}%  cp {cp:.3}%");
+    println!(
+        "  roofline     : {:.1}% of optimum, {:.1}% of peak, {}",
+        r.pct_of_roofline(),
+        r.pct_of_peak(),
+        if r.memory_bound { "memory bound" } else { "compute bound" }
+    );
+    Ok(())
+}
+
+/// `anneal` — simulated annealing on a random ±J spin glass.
+pub fn anneal(args: &Args) -> Result<(), ArgError> {
+    use tpu_ising_core::anneal::{anneal, greedy_quench, spin_glass_instance, Schedule};
+    let l: usize = args.get_parse("size", 24usize)?;
+    let budget: usize = args.get_parse("budget", 960usize)?;
+    let seed: u64 = args.get_parse("seed", 1u64)?;
+    let inst = spin_glass_instance(l, l, seed);
+    let schedule = Schedule::default_for(budget);
+    println!(
+        "±J spin glass, {l}x{l}, {} stages x {} sweeps ({} total), T {:.2} → {:.2}",
+        schedule.stages,
+        schedule.sweeps_per_stage,
+        schedule.stages * schedule.sweeps_per_stage,
+        schedule.t_start,
+        schedule.t_end
+    );
+    let greedy = greedy_quench::<f32>(inst.clone(), l, l, budget, seed);
+    let t0 = std::time::Instant::now();
+    let result = anneal::<f32>(inst, l, l, schedule, seed);
+    println!("annealed best energy : {:.1}  ({:.2} s)", result.best_energy, t0.elapsed().as_secs_f64());
+    println!("greedy quench energy : {greedy:.1}  (same sweep budget)");
+    println!(
+        "per-site             : annealed {:.4}, greedy {:.4}",
+        result.best_energy / (l * l) as f64,
+        greedy / (l * l) as f64
+    );
+    println!("\ncooling trace (energy after each stage):");
+    for (i, e) in result.stage_energies.iter().enumerate() {
+        println!("  stage {i:>2} (T = {:>5.2}): {e:>9.1}", schedule.temperature(i));
+    }
+    Ok(())
+}
+
+/// `temper` — parallel-tempering demo.
+pub fn temper(args: &Args) -> Result<(), ArgError> {
+    use tpu_ising_core::tempering::Tempering;
+    let l: usize = args.get_parse("size", 24usize)?;
+    let replicas: usize = args.get_parse("replicas", 6usize)?;
+    let rounds: u64 = args.get_parse("rounds", 200u64)?;
+    let tile = (l / 4).clamp(2, 16);
+    let mut t = Tempering::<f32>::new(l, tile, 0.6 * T_CRITICAL, 3.0 * T_CRITICAL, replicas, 11);
+    println!(
+        "parallel tempering: {l}x{l}, {replicas} replicas, T ∈ [{:.2}, {:.2}], {rounds} rounds",
+        0.6 * T_CRITICAL,
+        3.0 * T_CRITICAL
+    );
+    t.run(rounds);
+    println!("swap acceptance: {:.1}%", t.swap_acceptance() * 100.0);
+    println!("\nrung ladder after equilibration:");
+    let n = (l * l) as f64;
+    for i in 0..t.len() {
+        let r = t.replica(i);
+        println!(
+            "  rung {i}: T = {:>5.3}  |m| = {:.3}  E/N = {:+.3}",
+            1.0 / r.beta(),
+            tpu_ising_core::Sweeper::magnetization_sum(r).abs() / n,
+            tpu_ising_core::Sweeper::energy_sum(r) / n
+        );
+    }
+    Ok(())
+}
+
+/// `hlo` — dump the update-step graph.
+pub fn hlo(args: &Args) -> Result<(), ArgError> {
+    let (m, n) = args.get_pair("grid", (2, 2))?;
+    let tile: usize = args.get_parse("tile", 8usize)?;
+    let beta: f64 = args.get_parse("beta", 1.0 / T_CRITICAL)?;
+    let color = match args.get_or("color", "black") {
+        "black" => Color::Black,
+        "white" => Color::White,
+        other => return Err(ArgError(format!("unknown --color '{other}'"))),
+    };
+    let built = tpu_ising_core::hlo_frontend::build_compact_color_step(
+        m,
+        n,
+        tile,
+        beta,
+        color,
+        tpu_ising_hlo::Dtype::Bf16,
+    );
+    let (graph, roots) = if args.has_flag("optimize") {
+        let (g, r) = tpu_ising_hlo::passes::const_fold(&built.graph, &built.outputs);
+        let (g, r) = tpu_ising_hlo::passes::cse(&g, &r);
+        let (g, r) = tpu_ising_hlo::passes::algebraic_simplify(&g, &r);
+        tpu_ising_hlo::passes::dce(&g, &r)
+    } else {
+        (built.graph, built.outputs.to_vec())
+    };
+    tpu_ising_hlo::printer::verify(&graph).map_err(|e| ArgError(e.to_string()))?;
+    print!("{}", tpu_ising_hlo::printer::print_graph(&graph, &roots));
+    Ok(())
+}

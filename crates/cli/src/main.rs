@@ -1,0 +1,74 @@
+//! `tpu-ising` — command-line front end for the workspace.
+//!
+//! ```text
+//! tpu-ising simulate --size 64 --t-over-tc 0.95 --algo compact --dtype bf16
+//! tpu-ising scan     --sizes 16,32 --from 0.92 --to 1.08 --points 9
+//! tpu-ising pod      --torus 2x2 --per-core 64x64 --sweeps 50
+//! tpu-ising model    --cores 512 --per-core 896x448 --variant compact
+//! tpu-ising hlo      --grid 2x2 --tile 8 --color black
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn usage() -> &'static str {
+    "tpu-ising — checkerboard Ising Monte Carlo with the TPU mapping (SC'19 reproduction)
+
+USAGE:
+  tpu-ising <COMMAND> [OPTIONS]
+
+COMMANDS:
+  simulate   run one chain and print observables
+             --size N (64)  --t-over-tc X (0.95) | --temp T
+             --algo compact|naive|conv|gpu|wolff|multispin (compact)
+             --dtype f32|bf16 (f32)  --burn N (500)  --sweeps N (2000)
+             --seed S (42)  --cold  --json
+  scan       Binder-cumulant temperature scan + Tc estimate
+             --sizes A,B,.. (16,32)  --from X (0.92)  --to X (1.08)
+             --points N (9)  --burn N (400)  --sweeps N (1600)  --json
+  pod        distributed SPMD run on a thread-per-core mesh
+             --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
+             --sweeps N (50)  --seed S (7)  --site-keyed
+  model      modeled TPU v3 step time / throughput / roofline for a config
+             --cores N (2)  --per-core HxW, in 128-spin units (896x448)
+             --variant compact|naive|conv (compact)  --dtype f32|bf16 (bf16)
+  anneal     simulated annealing on a random ±J spin-glass instance
+             --size N (24)  --budget N (960 sweeps)  --seed S (1)
+  temper     parallel tempering ladder demo
+             --size N (24)  --replicas N (6)  --rounds N (200)
+  hlo        dump the compact update step as HLO-lite text
+             --grid MxN (2x2)  --tile T (8)  --color black|white (black)
+             --beta X (0.4407)  --optimize
+  help       print this text
+"
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("simulate") => commands::simulate(&args),
+        Some("scan") => commands::scan(&args),
+        Some("pod") => commands::pod(&args),
+        Some("model") => commands::model(&args),
+        Some("anneal") => commands::anneal(&args),
+        Some("temper") => commands::temper(&args),
+        Some("hlo") => commands::hlo(&args),
+        Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\nrun `tpu-ising help` for usage");
+        std::process::exit(2);
+    }
+}

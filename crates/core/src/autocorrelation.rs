@@ -1,0 +1,157 @@
+//! Autocorrelation analysis for Markov-chain time series.
+//!
+//! MCMC samples are serially correlated; the *integrated autocorrelation
+//! time* `τ_int` quantifies by how much: a chain of `N` samples carries
+//! only `N / (2·τ_int)` independent measurements. The paper's chains
+//! (10⁶ sweeps) are long enough to ignore this; our scaled-down CPU runs
+//! are not, so the sampler's binning errors are cross-checked against the
+//! direct `τ_int` estimate here. Near `Tc` the checkerboard dynamics show
+//! critical slowing down — `τ_int` grows with lattice size — which is also
+//! the motivation for the Wolff cross-check sampler ([`crate::wolff`]).
+
+/// Sample autocovariance at lag `k` (biased normalization `1/N`, the
+/// standard choice for spectral estimates).
+pub fn autocovariance(series: &[f64], k: usize) -> f64 {
+    let n = series.len();
+    assert!(k < n, "lag {k} out of range for {n} samples");
+    let mean = series.iter().sum::<f64>() / n as f64;
+    series[..n - k]
+        .iter()
+        .zip(series[k..].iter())
+        .map(|(a, b)| (a - mean) * (b - mean))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Normalized autocorrelation function at lag `k` (`ρ(0) = 1`).
+pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
+    let c0 = autocovariance(series, 0);
+    if c0 == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    autocovariance(series, k) / c0
+}
+
+/// Integrated autocorrelation time with the standard self-consistent
+/// window (Sokal): sum ρ(k) until `k ≥ c·τ_int(k)`, `c = 6`.
+///
+/// Returns `τ_int ≥ 0.5`; exactly `0.5` for white noise.
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 8 {
+        return 0.5;
+    }
+    let c0 = autocovariance(series, 0);
+    if c0 == 0.0 {
+        return 0.5;
+    }
+    let mut tau = 0.5;
+    for k in 1..n / 2 {
+        tau += autocovariance(series, k) / c0;
+        if (k as f64) >= 6.0 * tau {
+            break;
+        }
+    }
+    tau.max(0.5)
+}
+
+/// Effective number of independent samples: `N / (2·τ_int)`.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    series.len() as f64 / (2.0 * integrated_autocorrelation_time(series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_rng::PhiloxStream;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = PhiloxStream::from_seed(seed);
+        (0..n).map(|_| s.normal_f32() as f64).collect()
+    }
+
+    /// AR(1) process with coefficient φ: exact τ_int = (1+φ)/(2(1−φ)).
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut s = PhiloxStream::from_seed(seed);
+        let mut x = 0.0f64;
+        (0..n)
+            .map(|_| {
+                x = phi * x + s.normal_f32() as f64;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rho_zero_is_one() {
+        let v = white_noise(1000, 1);
+        assert!((autocorrelation(&v, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_has_tau_half() {
+        let v = white_noise(20_000, 2);
+        let tau = integrated_autocorrelation_time(&v);
+        assert!((tau - 0.5).abs() < 0.1, "τ = {tau}");
+        let ess = effective_sample_size(&v);
+        assert!((ess / 20_000.0 - 1.0).abs() < 0.2, "ESS = {ess}");
+    }
+
+    #[test]
+    fn ar1_matches_analytic_tau() {
+        for phi in [0.5f64, 0.8] {
+            let v = ar1(200_000, phi, 3);
+            let tau = integrated_autocorrelation_time(&v);
+            let exact = (1.0 + phi) / (2.0 * (1.0 - phi));
+            assert!(
+                (tau - exact).abs() / exact < 0.15,
+                "φ={phi}: τ = {tau} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_series_is_degenerate_but_safe() {
+        let v = vec![3.0; 100];
+        assert_eq!(integrated_autocorrelation_time(&v), 0.5);
+        assert!(autocorrelation(&v, 5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_rho1() {
+        let v: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&v, 1) < -0.9);
+        // anticorrelated chains have τ_int < 1/2 formally; clamped to 0.5
+        assert!(integrated_autocorrelation_time(&v) >= 0.5);
+    }
+
+    #[test]
+    fn ising_chain_near_tc_is_slower_than_far_from_tc() {
+        use crate::{cold_plane, random_plane, CompactIsing, Randomness, Sweeper, T_CRITICAL};
+        let run = |tt: f64, seed: u64| {
+            let t = tt * T_CRITICAL;
+            let init = if tt < 1.0 {
+                cold_plane::<f32>(24, 24)
+            } else {
+                random_plane::<f32>(seed, 24, 24)
+            };
+            let mut sim = CompactIsing::from_plane(&init, 4, 1.0 / t, Randomness::bulk(seed));
+            for _ in 0..300 {
+                sim.sweep();
+            }
+            let series: Vec<f64> = (0..3000)
+                .map(|_| {
+                    sim.sweep();
+                    sim.magnetization_sum().abs() / 576.0
+                })
+                .collect();
+            integrated_autocorrelation_time(&series)
+        };
+        let tau_tc = run(1.0, 11);
+        let tau_hot = run(1.6, 12);
+        assert!(
+            tau_tc > 2.0 * tau_hot,
+            "critical slowing down absent: τ(Tc) = {tau_tc}, τ(1.6Tc) = {tau_hot}"
+        );
+    }
+}

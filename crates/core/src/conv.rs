@@ -1,0 +1,212 @@
+//! The appendix variant: neighbor sums as a plus-kernel convolution.
+//!
+//! The paper's follow-up implementation (appendix §7.2) replaces the
+//! band-kernel batch matmuls with `tf.nn.conv2d`, packing more MXU work per
+//! memory load for an ~80 % speedup on TPU. Functionally the update is the
+//! same checkerboard Metropolis: here the convolution is
+//! [`Plane::neighbor_sum_periodic`] and the color selection is a parity
+//! predicate, so this doubles as the most direct readable implementation.
+
+use crate::lattice::Color;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::RandomUniform;
+use tpu_ising_tensor::Plane;
+
+/// Conv-based checkerboard sampler on a full plane.
+pub struct ConvIsing<S> {
+    plane: Plane<S>,
+    beta: f64,
+    rng: Randomness,
+    sweep_index: u64,
+    /// Global offset of the local window (distributed site-keying).
+    row0: usize,
+    col0: usize,
+}
+
+impl<S: Scalar + RandomUniform> ConvIsing<S> {
+    /// Wrap an initial configuration.
+    pub fn new(plane: Plane<S>, beta: f64, rng: Randomness) -> Self {
+        Self::new_at(plane, beta, rng, 0, 0)
+    }
+
+    /// Like [`new`](Self::new) with a global window offset (both even).
+    pub fn new_at(plane: Plane<S>, beta: f64, rng: Randomness, row0: usize, col0: usize) -> Self {
+        assert!(row0.is_multiple_of(2) && col0.is_multiple_of(2), "core offsets must be even");
+        ConvIsing { plane, beta, rng, sweep_index: 0, row0, col0 }
+    }
+
+    /// The configuration.
+    pub fn plane(&self) -> &Plane<S> {
+        &self.plane
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β.
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Update all sites of one color: convolve for neighbor sums, then a
+    /// masked Metropolis accept. The uniforms tensor is generated for the
+    /// whole plane (like the naive algorithm's `tf.random_uniform`) but
+    /// only `color` sites consume theirs.
+    pub fn update_color(&mut self, color: Color) {
+        let nn = self.plane.neighbor_sum_periodic();
+        let (h, w) = (self.plane.height(), self.plane.width());
+        // Uniforms for every site of this color, generated site-keyed or
+        // in plane layout order (bulk).
+        let mut probs = Plane::<S>::zeros(h, w);
+        match &mut self.rng {
+            Randomness::Bulk(stream) => {
+                // one uniform per updated (color) site, in raster order —
+                // the compact layout consumes per-quarter, so bulk streams
+                // are not cross-implementation comparable (documented).
+                for r in 0..h {
+                    for c in 0..w {
+                        if Color::of(self.row0 + r, self.col0 + c) == color {
+                            probs.set(r, c, stream.uniform());
+                        }
+                    }
+                }
+            }
+            Randomness::SiteKeyed(site) => {
+                let sweep = self.sweep_index;
+                let tag = color.tag();
+                let (row0, col0) = (self.row0, self.col0);
+                for r in 0..h {
+                    for c in 0..w {
+                        if Color::of(row0 + r, col0 + c) == color {
+                            probs.set(
+                                r,
+                                c,
+                                site.uniform(sweep, tag, (row0 + r) as u32, (col0 + c) as u32),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let m2b = S::from_f32((-2.0 * self.beta) as f32);
+        let parity_origin = (self.row0 + self.col0) % 2;
+        let color_parity = match color {
+            Color::Black => 0,
+            Color::White => 1,
+        };
+        // rows in parallel: each site of the target color flips iff
+        // u < exp(−2β·nn·σ)
+        let nn_data = nn.data();
+        let probs_data = probs.data();
+        let pd: Vec<S> = self
+            .plane
+            .data()
+            .par_iter()
+            .enumerate()
+            .map(|(idx, &s)| {
+                let (r, c) = (idx / w, idx % w);
+                if (r + c + parity_origin) % 2 != color_parity {
+                    return s;
+                }
+                let ratio = ((nn_data[idx] * s) * m2b).exp();
+                if probs_data[idx] < ratio {
+                    -s
+                } else {
+                    s
+                }
+            })
+            .collect();
+        self.plane = Plane::from_fn(h, w, |r, c| pd[r * w + c]);
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for ConvIsing<S> {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.plane.height() * self.plane.width()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.plane.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        crate::observables::energy_sum(&self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{cold_plane, random_plane};
+    use crate::reference::ReferenceIsing;
+
+    #[test]
+    fn matches_reference_exactly_with_site_keyed_rng() {
+        let beta = 0.44;
+        let init = random_plane::<f32>(21, 12, 12);
+        let mut refer = ReferenceIsing::new(init.clone(), beta, Randomness::site_keyed(55));
+        let mut conv = ConvIsing::new(init, beta, Randomness::site_keyed(55));
+        for step in 0..8 {
+            refer.sweep();
+            conv.sweep();
+            assert_eq!(conv.plane(), refer.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn matches_compact_exactly_with_site_keyed_rng() {
+        use crate::compact::CompactIsing;
+        let beta = 1.0 / crate::T_CRITICAL;
+        let init = random_plane::<f32>(8, 16, 16);
+        let mut conv = ConvIsing::new(init.clone(), beta, Randomness::site_keyed(314));
+        let mut comp = CompactIsing::from_plane(&init, 4, beta, Randomness::site_keyed(314));
+        for step in 0..8 {
+            conv.sweep();
+            comp.sweep();
+            assert_eq!(&comp.to_plane(), conv.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn frozen_cold_lattice() {
+        let mut c = ConvIsing::new(cold_plane::<f32>(8, 8), 100.0, Randomness::bulk(0));
+        for _ in 0..5 {
+            c.sweep();
+        }
+        assert_eq!(c.magnetization_sum(), 64.0);
+    }
+
+    #[test]
+    fn beta_zero_alternates() {
+        let mut c = ConvIsing::new(cold_plane::<f32>(6, 6), 0.0, Randomness::bulk(0));
+        c.sweep();
+        assert_eq!(c.magnetization_sum(), -36.0);
+        c.sweep();
+        assert_eq!(c.magnetization_sum(), 36.0);
+    }
+
+    #[test]
+    fn offset_window_updates_correct_parity() {
+        // With an offset of (2, 0) the local parity pattern is unchanged
+        // (offsets are even), so a black update touches (r+c) even sites.
+        let mut c = ConvIsing::new_at(cold_plane::<f32>(4, 4), 0.0, Randomness::bulk(0), 2, 0);
+        c.update_color(Color::Black);
+        for r in 0..4 {
+            for cc in 0..4 {
+                let expect = if (r + cc) % 2 == 0 { -1.0 } else { 1.0 };
+                assert_eq!(c.plane().get(r, cc), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Non-uniform couplings `J_ij` — the paper's conclusion sketches this as
+//! the interesting follow-up ("finding the optimal J_ij given material
+//! properties for the case where J is not uniform across all spin sites").
+//!
+//! The checkerboard decomposition survives arbitrary bond-dependent
+//! couplings: a site's energy still depends only on opposite-color
+//! neighbors, now weighted per bond, so both colors update in parallel
+//! with acceptance `min(1, exp(−2β·σᵢ·Σⱼ Jᵢⱼσⱼ))`.
+
+use crate::lattice::Color;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::RandomUniform;
+use tpu_ising_tensor::Plane;
+
+/// Per-bond couplings on the torus: `horizontal[r][c]` is the bond between
+/// `(r, c)` and `(r, c+1 mod W)`; `vertical[r][c]` between `(r, c)` and
+/// `(r+1 mod H, c)`.
+#[derive(Clone, Debug)]
+pub struct Couplings {
+    horizontal: Plane<f32>,
+    vertical: Plane<f32>,
+}
+
+impl Couplings {
+    /// Uniform ferromagnetic couplings `J` (the standard model at `J = 1`).
+    pub fn uniform(height: usize, width: usize, j: f32) -> Couplings {
+        Couplings {
+            horizontal: Plane::from_fn(height, width, |_, _| j),
+            vertical: Plane::from_fn(height, width, |_, _| j),
+        }
+    }
+
+    /// Build from per-bond functions.
+    pub fn from_fn(
+        height: usize,
+        width: usize,
+        mut horizontal: impl FnMut(usize, usize) -> f32,
+        mut vertical: impl FnMut(usize, usize) -> f32,
+    ) -> Couplings {
+        Couplings {
+            horizontal: Plane::from_fn(height, width, &mut horizontal),
+            vertical: Plane::from_fn(height, width, &mut vertical),
+        }
+    }
+
+    /// Bond to the right of `(r, c)`.
+    #[inline]
+    pub fn right(&self, r: usize, c: usize) -> f32 {
+        self.horizontal.get(r, c)
+    }
+
+    /// Bond below `(r, c)`.
+    #[inline]
+    pub fn down(&self, r: usize, c: usize) -> f32 {
+        self.vertical.get(r, c)
+    }
+}
+
+/// Checkerboard Metropolis with per-bond couplings and an optional
+/// per-site external field (the paper's `μ Σ σᵢ` term, generalized to
+/// site-dependent `hᵢ`):
+/// `H(σ) = −Σ_bonds Jᵢⱼ σᵢσⱼ − Σᵢ hᵢ σᵢ`.
+pub struct HeterogeneousIsing<S> {
+    plane: Plane<S>,
+    couplings: Couplings,
+    field: Option<Plane<f32>>,
+    beta: f64,
+    rng: Randomness,
+    sweep_index: u64,
+}
+
+impl<S: Scalar + RandomUniform> HeterogeneousIsing<S> {
+    /// Wrap an initial configuration with its coupling field (no external
+    /// magnetic field).
+    pub fn new(plane: Plane<S>, couplings: Couplings, beta: f64, rng: Randomness) -> Self {
+        assert_eq!(couplings.horizontal.height(), plane.height());
+        assert_eq!(couplings.horizontal.width(), plane.width());
+        HeterogeneousIsing { plane, couplings, field: None, beta, rng, sweep_index: 0 }
+    }
+
+    /// Add a per-site external field `hᵢ` (builder style).
+    pub fn with_field(mut self, field: Plane<f32>) -> Self {
+        assert_eq!(field.height(), self.plane.height());
+        assert_eq!(field.width(), self.plane.width());
+        self.field = Some(field);
+        self
+    }
+
+    /// Add a uniform external field `h` (builder style).
+    pub fn with_uniform_field(self, h: f32) -> Self {
+        let (height, width) = (self.plane.height(), self.plane.width());
+        self.with_field(Plane::from_fn(height, width, |_, _| h))
+    }
+
+    /// The configuration.
+    pub fn plane(&self) -> &Plane<S> {
+        &self.plane
+    }
+
+    /// The coupling field.
+    pub fn couplings(&self) -> &Couplings {
+        &self.couplings
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β (annealing schedules).
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Weighted neighbor field `Σⱼ Jᵢⱼ σⱼ` at `(r, c)`.
+    fn weighted_nn(&self, r: usize, c: usize) -> f32 {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let up = (r + h - 1) % h;
+        let down = (r + 1) % h;
+        let left = (c + w - 1) % w;
+        let right = (c + 1) % w;
+        self.couplings.right(r, c) * self.plane.get(r, right).to_f32()
+            + self.couplings.right(r, left) * self.plane.get(r, left).to_f32()
+            + self.couplings.down(r, c) * self.plane.get(down, c).to_f32()
+            + self.couplings.down(up, c) * self.plane.get(up, c).to_f32()
+    }
+
+    /// `H(σ) = −Σ_bonds Jᵢⱼ σᵢσⱼ − Σᵢ hᵢ σᵢ`.
+    pub fn energy(&self) -> f64 {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let mut acc = 0.0f64;
+        for r in 0..h {
+            for c in 0..w {
+                let s = self.plane.get(r, c).to_f32();
+                acc += (self.couplings.right(r, c) * s * self.plane.get(r, (c + 1) % w).to_f32())
+                    as f64;
+                acc += (self.couplings.down(r, c) * s * self.plane.get((r + 1) % h, c).to_f32())
+                    as f64;
+                if let Some(field) = &self.field {
+                    acc += (field.get(r, c) * s) as f64;
+                }
+            }
+        }
+        -acc
+    }
+
+    /// Update all sites of one color.
+    pub fn update_color(&mut self, color: Color) {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let parity = color.tag() as usize;
+        let m2b = (-2.0 * self.beta) as f32;
+        let sweep = self.sweep_index;
+        // uniforms per site of the color, raster order (bulk) or site-keyed
+        let mut probs = vec![S::zero(); h * w];
+        match &mut self.rng {
+            Randomness::Bulk(stream) => {
+                for r in 0..h {
+                    for c in 0..w {
+                        if (r + c) % 2 == parity {
+                            probs[r * w + c] = stream.uniform();
+                        }
+                    }
+                }
+            }
+            Randomness::SiteKeyed(site) => {
+                for r in 0..h {
+                    for c in 0..w {
+                        if (r + c) % 2 == parity {
+                            probs[r * w + c] =
+                                site.uniform(sweep, color.tag(), r as u32, c as u32);
+                        }
+                    }
+                }
+            }
+        }
+        let this = &*self;
+        let new: Vec<S> = (0..h * w)
+            .into_par_iter()
+            .map(|idx| {
+                let (r, c) = (idx / w, idx % w);
+                let s = this.plane.get(r, c);
+                if (r + c) % 2 != parity {
+                    return s;
+                }
+                // ΔE = 2σ(Σ Jσ + h) ⇒ acceptance exp(−2β·σ·(nn + h))
+                let mut local = this.weighted_nn(r, c);
+                if let Some(field) = &this.field {
+                    local += field.get(r, c);
+                }
+                let ratio = S::from_f32((local * s.to_f32() * m2b).exp());
+                if probs[idx] < ratio {
+                    -s
+                } else {
+                    s
+                }
+            })
+            .collect();
+        self.plane = Plane::from_fn(h, w, |r, c| new[r * w + c]);
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for HeterogeneousIsing<S> {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.plane.height() * self.plane.width()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.plane.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        self.energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{cold_plane, random_plane};
+    use crate::sampler::run_chain;
+
+    #[test]
+    fn uniform_couplings_reduce_to_standard_energy() {
+        let p = random_plane::<f32>(3, 8, 8);
+        let het = HeterogeneousIsing::new(
+            p.clone(),
+            Couplings::uniform(8, 8, 1.0),
+            0.4,
+            Randomness::bulk(1),
+        );
+        assert_eq!(het.energy(), crate::observables::energy_sum(&p));
+    }
+
+    #[test]
+    fn decoupled_lattice_flips_deterministically() {
+        // J = 0: every proposal is accepted (exp(0) = 1 > u), so a full
+        // sweep negates the entire lattice — |m| is conserved exactly and
+        // the sign alternates, no matter how large β is.
+        let init = random_plane::<f32>(2, 16, 16);
+        let m0 = init.sum_f64();
+        let mut het = HeterogeneousIsing::new(
+            init,
+            Couplings::uniform(16, 16, 0.0),
+            5.0,
+            Randomness::bulk(2),
+        );
+        het.sweep();
+        assert_eq!(het.magnetization_sum(), -m0);
+        het.sweep();
+        assert_eq!(het.magnetization_sum(), m0);
+        assert_eq!(het.energy(), 0.0);
+        let _ = run_chain(&mut het, 2, 4); // driver still works
+    }
+
+    #[test]
+    fn antiferromagnetic_couplings_order_in_staggered_pattern() {
+        // J = −1: the ground state is the checkerboard; staggered
+        // magnetization Σ (−1)^{r+c} σ saturates at low T while plain m
+        // stays ~0.
+        let mut het = HeterogeneousIsing::new(
+            random_plane::<f32>(5, 16, 16),
+            Couplings::uniform(16, 16, -1.0),
+            1.2,
+            Randomness::bulk(3),
+        );
+        for _ in 0..300 {
+            het.sweep();
+        }
+        let mut staggered = 0.0f64;
+        for r in 0..16 {
+            for c in 0..16 {
+                let sign = if (r + c) % 2 == 0 { 1.0 } else { -1.0 };
+                staggered += sign * het.plane().get(r, c) as f64;
+            }
+        }
+        let m = het.magnetization_sum().abs() / 256.0;
+        assert!(staggered.abs() / 256.0 > 0.9, "staggered m = {}", staggered / 256.0);
+        assert!(m < 0.2, "plain m = {m}");
+    }
+
+    #[test]
+    fn anisotropic_couplings_break_symmetry_consistently() {
+        // strong horizontal bonds, zero vertical bonds: rows order
+        // independently; total energy counts only horizontal bonds.
+        let het = HeterogeneousIsing::new(
+            cold_plane::<f32>(8, 8),
+            Couplings::from_fn(8, 8, |_, _| 2.0, |_, _| 0.0),
+            0.4,
+            Randomness::bulk(4),
+        );
+        // all-up state: horizontal bonds contribute −2·64, vertical 0
+        assert_eq!(het.energy(), -128.0);
+    }
+
+    #[test]
+    fn strong_field_polarizes_against_temperature() {
+        // At a temperature where J = 1 alone cannot order the lattice
+        // (T = 1.5·Tc), a strong uniform field forces magnetization along
+        // the field direction.
+        let t = 1.5 * crate::T_CRITICAL;
+        let mut free = HeterogeneousIsing::new(
+            random_plane::<f32>(3, 16, 16),
+            Couplings::uniform(16, 16, 1.0),
+            1.0 / t,
+            Randomness::bulk(4),
+        );
+        let mut driven = HeterogeneousIsing::new(
+            random_plane::<f32>(3, 16, 16),
+            Couplings::uniform(16, 16, 1.0),
+            1.0 / t,
+            Randomness::bulk(4),
+        )
+        .with_uniform_field(3.0);
+        for _ in 0..200 {
+            free.sweep();
+            driven.sweep();
+        }
+        let (mut m_free, mut m_driven) = (0.0, 0.0);
+        for _ in 0..100 {
+            free.sweep();
+            driven.sweep();
+            m_free += free.magnetization_sum() / 256.0;
+            m_driven += driven.magnetization_sum() / 256.0;
+        }
+        m_free /= 100.0;
+        m_driven /= 100.0;
+        assert!(m_free.abs() < 0.3, "free m = {m_free}");
+        assert!(m_driven > 0.9, "driven m = {m_driven}");
+    }
+
+    #[test]
+    fn field_energy_term() {
+        // all-up lattice in a uniform field h: H = −2N·J − N·h
+        let het = HeterogeneousIsing::new(
+            cold_plane::<f32>(4, 4),
+            Couplings::uniform(4, 4, 1.0),
+            0.4,
+            Randomness::bulk(0),
+        )
+        .with_uniform_field(0.5);
+        assert_eq!(het.energy(), -32.0 - 8.0);
+    }
+
+    #[test]
+    fn zero_field_matches_no_field_bitwise() {
+        let init = random_plane::<f32>(6, 8, 8);
+        let mk = || {
+            HeterogeneousIsing::new(
+                init.clone(),
+                Couplings::uniform(8, 8, 1.0),
+                0.6,
+                Randomness::site_keyed(12),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk().with_uniform_field(0.0);
+        for _ in 0..6 {
+            a.sweep();
+            b.sweep();
+        }
+        assert_eq!(a.plane(), b.plane());
+    }
+
+    #[test]
+    fn matches_homogeneous_implementation_bitwise_at_j1() {
+        use crate::conv::ConvIsing;
+        // With J ≡ 1 and the same site-keyed randomness, the heterogeneous
+        // updater must reproduce the standard one exactly.
+        let beta = 0.44;
+        let init = random_plane::<f32>(8, 12, 12);
+        let mut het = HeterogeneousIsing::new(
+            init.clone(),
+            Couplings::uniform(12, 12, 1.0),
+            beta,
+            Randomness::site_keyed(66),
+        );
+        let mut conv = ConvIsing::new(init, beta, Randomness::site_keyed(66));
+        for step in 0..8 {
+            het.sweep();
+            conv.sweep();
+            assert_eq!(het.plane(), conv.plane(), "diverged at sweep {step}");
+        }
+    }
+}

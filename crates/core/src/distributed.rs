@@ -1,0 +1,266 @@
+//! SPMD simulation over a modeled TPU Pod slice.
+//!
+//! One thread per TensorCore on a 2-D torus. Every core owns a window of
+//! the global lattice in compact form and runs the identical program
+//! (SIMD, paper §5.1): per half-sweep it exchanges four boundary halos with
+//! its mesh neighbors through `collective_permute` and updates its color.
+//! The paper's Fig. 5 pattern — shift right edges east-to-west and left
+//! edges west-to-east — generalizes here to the four quarter-lattice
+//! boundaries Algorithm 2 needs.
+//!
+//! With site-keyed randomness the distributed run is **bit-identical** to a
+//! single-core run on the same global lattice (the integration tests assert
+//! this); with split bulk streams it is a fast independent sampler.
+
+use crate::compact::{ColorHalos, CompactIsing};
+use crate::lattice::{random_plane_window, Color};
+use crate::prob::Randomness;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_device::mesh::{run_spmd, MeshHandle, Torus};
+use tpu_ising_rng::{PhiloxStream, RandomUniform};
+use tpu_ising_tensor::Plane;
+
+/// How per-core randomness is derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PodRng {
+    /// Site-keyed: uniforms are pure functions of global coordinates, so
+    /// the run reproduces the single-core trajectory exactly.
+    SiteKeyed,
+    /// Each core splits an independent Philox stream from the seed —
+    /// production mode, statistically independent across cores.
+    BulkSplit,
+}
+
+/// Configuration of a Pod run.
+#[derive(Clone, Copy, Debug)]
+pub struct PodConfig {
+    /// Core topology.
+    pub torus: Torus,
+    /// Per-core lattice height (must be divisible by `2·tile`).
+    pub per_core_h: usize,
+    /// Per-core lattice width (must be divisible by `2·tile`).
+    pub per_core_w: usize,
+    /// Quarter-grid tile size (128 on real TPU).
+    pub tile: usize,
+    /// Inverse temperature β.
+    pub beta: f64,
+    /// Master seed (initial lattice + update randomness).
+    pub seed: u64,
+    /// Randomness derivation mode.
+    pub rng: PodRng,
+}
+
+impl PodConfig {
+    /// Global lattice height.
+    pub fn global_h(&self) -> usize {
+        self.per_core_h * self.torus.nx
+    }
+
+    /// Global lattice width.
+    pub fn global_w(&self) -> usize {
+        self.per_core_w * self.torus.ny
+    }
+
+    /// Total sites.
+    pub fn sites(&self) -> usize {
+        self.global_h() * self.global_w()
+    }
+}
+
+/// Result of a Pod run.
+pub struct PodResult<S> {
+    /// Global `Σσ` after every sweep.
+    pub magnetization_sums: Vec<f64>,
+    /// The final global lattice, stitched from the core windows.
+    pub final_plane: Plane<S>,
+}
+
+/// Run `sweeps` full sweeps from the seed-determined hot start.
+pub fn run_pod<S: Scalar + RandomUniform>(cfg: &PodConfig, sweeps: usize) -> PodResult<S> {
+    let torus = cfg.torus;
+    let per_core: Vec<(Vec<f64>, Plane<S>)> =
+        run_spmd(torus, |mut h: MeshHandle<Vec<S>>| core_main::<S>(cfg, &mut h, sweeps));
+
+    // Stitch the global lattice and reduce magnetizations on the host.
+    let mut mags = vec![0.0f64; sweeps];
+    for (local_mags, _) in &per_core {
+        for (acc, &m) in mags.iter_mut().zip(local_mags.iter()) {
+            *acc += m;
+        }
+    }
+    let final_plane = Plane::from_fn(cfg.global_h(), cfg.global_w(), |r, c| {
+        let core = torus.id(r / cfg.per_core_h, c / cfg.per_core_w);
+        per_core[core].1.get(r % cfg.per_core_h, c % cfg.per_core_w)
+    });
+    PodResult { magnetization_sums: mags, final_plane }
+}
+
+/// The per-core SPMD program.
+fn core_main<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    handle: &mut MeshHandle<Vec<S>>,
+    sweeps: usize,
+) -> (Vec<f64>, Plane<S>) {
+    let (x, y) = handle.coords();
+    let row0 = x * cfg.per_core_h;
+    let col0 = y * cfg.per_core_w;
+    // Every core constructs its window of the same global lattice.
+    let window = random_plane_window::<S>(cfg.seed, cfg.per_core_h, cfg.per_core_w, row0, col0);
+    let rng = match cfg.rng {
+        PodRng::SiteKeyed => Randomness::site_keyed(cfg.seed),
+        PodRng::BulkSplit => {
+            Randomness::Bulk(PhiloxStream::from_seed(cfg.seed).split(handle.id() as u64 + 1))
+        }
+    };
+    let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0);
+
+    let mut mags = Vec::with_capacity(sweeps);
+    for _ in 0..sweeps {
+        for color in [Color::Black, Color::White] {
+            let halos = exchange_halos(&sim, handle, color);
+            sim.update_color(color, &halos);
+        }
+        sim.advance_sweep();
+        mags.push(crate::sampler::Sweeper::magnetization_sum(&sim));
+    }
+    (mags, sim.to_plane())
+}
+
+/// The four collective permutes of one half-sweep.
+fn exchange_halos<S: Scalar + RandomUniform>(
+    sim: &CompactIsing<S>,
+    handle: &mut MeshHandle<Vec<S>>,
+    color: Color,
+) -> ColorHalos<S> {
+    let [north_spec, south_spec, first_spec, second_spec] = sim.halo_exchange_spec(color);
+    let north = handle.shift(north_spec.0, north_spec.1);
+    let south = handle.shift(south_spec.0, south_spec.1);
+    let first_col = handle.shift(first_spec.0, first_spec.1);
+    let second_col = handle.shift(second_spec.0, second_spec.1);
+    ColorHalos { north, south, first_col, second_col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::random_plane;
+    use crate::sampler::Sweeper;
+
+    fn single_core_trajectory(cfg: &PodConfig, sweeps: usize) -> Plane<f32> {
+        let init = random_plane::<f32>(cfg.seed, cfg.global_h(), cfg.global_w());
+        let mut sim =
+            CompactIsing::from_plane(&init, cfg.tile, cfg.beta, Randomness::site_keyed(cfg.seed));
+        for _ in 0..sweeps {
+            sim.sweep();
+        }
+        sim.to_plane()
+    }
+
+    #[test]
+    fn distributed_matches_single_core_bitwise() {
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 1.0 / crate::T_CRITICAL,
+            seed: 4242,
+            rng: PodRng::SiteKeyed,
+        };
+        let sweeps = 6;
+        let pod = run_pod::<f32>(&cfg, sweeps);
+        let single = single_core_trajectory(&cfg, sweeps);
+        assert_eq!(pod.final_plane, single);
+    }
+
+    #[test]
+    fn topology_is_transparent() {
+        // The same global lattice split 1×4 vs 4×1 vs 2×2 gives the same
+        // trajectory under site-keyed randomness.
+        let mk = |nx: usize, ny: usize, h: usize, w: usize| PodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            tile: 2,
+            beta: 0.5,
+            seed: 99,
+            rng: PodRng::SiteKeyed,
+        };
+        let a = run_pod::<f32>(&mk(1, 4, 16, 4), 4);
+        let b = run_pod::<f32>(&mk(4, 1, 4, 16), 4);
+        let c = run_pod::<f32>(&mk(2, 2, 8, 8), 4);
+        assert_eq!(a.final_plane, b.final_plane);
+        assert_eq!(a.final_plane, c.final_plane);
+    }
+
+    #[test]
+    fn single_core_pod_equals_local_run() {
+        let cfg = PodConfig {
+            torus: Torus::new(1, 1),
+            per_core_h: 12,
+            per_core_w: 12,
+            tile: 2,
+            beta: 0.44,
+            seed: 7,
+            rng: PodRng::SiteKeyed,
+        };
+        let pod = run_pod::<f32>(&cfg, 5);
+        let single = single_core_trajectory(&cfg, 5);
+        assert_eq!(pod.final_plane, single);
+    }
+
+    #[test]
+    fn magnetization_sums_match_final_plane() {
+        let cfg = PodConfig {
+            torus: Torus::new(2, 1),
+            per_core_h: 8,
+            per_core_w: 16,
+            tile: 4,
+            beta: 0.6,
+            seed: 13,
+            rng: PodRng::SiteKeyed,
+        };
+        let pod = run_pod::<f32>(&cfg, 3);
+        assert_eq!(pod.magnetization_sums.len(), 3);
+        assert_eq!(*pod.magnetization_sums.last().unwrap(), pod.final_plane.sum_f64());
+    }
+
+    #[test]
+    fn bulk_split_mode_runs_and_stays_spin_valued() {
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.7,
+            seed: 21,
+            rng: PodRng::BulkSplit,
+        };
+        let pod = run_pod::<f32>(&cfg, 5);
+        assert!(pod.final_plane.data().iter().all(|&s| s == 1.0 || s == -1.0));
+        // low temperature from hot start: |m| should have grown
+        let m_last = pod.magnetization_sums.last().unwrap() / cfg.sites() as f64;
+        assert!(m_last.abs() <= 1.0);
+    }
+
+    #[test]
+    fn bf16_distributed_matches_bf16_single_core() {
+        use tpu_ising_bf16::Bf16;
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.55,
+            seed: 31,
+            rng: PodRng::SiteKeyed,
+        };
+        let pod = run_pod::<Bf16>(&cfg, 4);
+        let init = random_plane::<Bf16>(cfg.seed, 16, 16);
+        let mut sim = CompactIsing::from_plane(&init, 2, cfg.beta, Randomness::site_keyed(31));
+        for _ in 0..4 {
+            sim.sweep();
+        }
+        assert_eq!(pod.final_plane, sim.to_plane());
+    }
+}

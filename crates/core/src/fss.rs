@@ -1,0 +1,240 @@
+//! Finite-size scaling analysis (Binder 1981 — the paper's reference \[4\]).
+//!
+//! Computer simulations see finite lattices; finite-size scaling theory is
+//! what turns their size-dependent observables into statements about the
+//! infinite system. The paper leans on two of its consequences — the
+//! Binder-cumulant crossing locates `Tc`, size-independent quantities
+//! validate the simulation — and this module packages the machinery:
+//! crossing solvers, the exact 2-D exponents, and a data-collapse quality
+//! measure for `m·L^{β/ν}` vs `t·L^{1/ν}`.
+
+/// Exact 2-D Ising critical exponents (Onsager universality class).
+pub mod exponents {
+    /// Order-parameter exponent β = 1/8.
+    pub const BETA: f64 = 0.125;
+    /// Correlation-length exponent ν = 1.
+    pub const NU: f64 = 1.0;
+    /// Susceptibility exponent γ = 7/4.
+    pub const GAMMA: f64 = 1.75;
+}
+
+/// One measured curve: observable vs temperature at a fixed lattice size.
+#[derive(Clone, Debug)]
+pub struct SizeCurve {
+    /// Lattice linear size `L`.
+    pub l: usize,
+    /// Temperatures (ascending).
+    pub temps: Vec<f64>,
+    /// Observable values at each temperature.
+    pub values: Vec<f64>,
+}
+
+impl SizeCurve {
+    /// Linear interpolation of the curve at temperature `t` (clamped to
+    /// the measured range).
+    pub fn at(&self, t: f64) -> f64 {
+        let n = self.temps.len();
+        assert!(n >= 2, "need at least two points");
+        if t <= self.temps[0] {
+            return self.values[0];
+        }
+        if t >= self.temps[n - 1] {
+            return self.values[n - 1];
+        }
+        for i in 1..n {
+            if t <= self.temps[i] {
+                let f = (t - self.temps[i - 1]) / (self.temps[i] - self.temps[i - 1]);
+                return self.values[i - 1] + f * (self.values[i] - self.values[i - 1]);
+            }
+        }
+        unreachable!()
+    }
+}
+
+/// Find the crossing temperature of two curves (e.g. Binder cumulants of
+/// two sizes) by bisection on their interpolated difference. Returns
+/// `None` if the difference does not change sign in the overlapping range.
+pub fn crossing(a: &SizeCurve, b: &SizeCurve) -> Option<f64> {
+    let lo = a.temps[0].max(b.temps[0]);
+    let hi = a.temps[a.temps.len() - 1].min(b.temps[b.temps.len() - 1]);
+    if lo >= hi {
+        return None;
+    }
+    let d = |t: f64| a.at(t) - b.at(t);
+    // scan for a sign change, then bisect
+    let steps = 256;
+    let mut prev_t = lo;
+    let mut prev_d = d(lo);
+    for i in 1..=steps {
+        let t = lo + (hi - lo) * i as f64 / steps as f64;
+        let dt = d(t);
+        if prev_d == 0.0 {
+            return Some(prev_t);
+        }
+        if prev_d * dt < 0.0 {
+            // bisection
+            let (mut t0, mut t1) = (prev_t, t);
+            for _ in 0..60 {
+                let tm = 0.5 * (t0 + t1);
+                if d(t0) * d(tm) <= 0.0 {
+                    t1 = tm;
+                } else {
+                    t0 = tm;
+                }
+            }
+            return Some(0.5 * (t0 + t1));
+        }
+        prev_t = t;
+        prev_d = dt;
+    }
+    None
+}
+
+/// Estimate `Tc` from all pairwise Binder crossings of ≥2 size curves
+/// (mean of the pairwise estimates).
+pub fn binder_tc_estimate(curves: &[SizeCurve]) -> Option<f64> {
+    let mut xs = Vec::new();
+    for i in 0..curves.len() {
+        for j in i + 1..curves.len() {
+            if let Some(t) = crossing(&curves[i], &curves[j]) {
+                xs.push(t);
+            }
+        }
+    }
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Data-collapse quality: rescale each magnetization curve as
+/// `y = m·L^{β/ν}` vs `x = (T − Tc)/Tc · L^{1/ν}` and measure the spread
+/// between curves over their common x-range (smaller = better collapse).
+///
+/// With the exact `Tc` and exponents, curves from different `L` collapse
+/// onto one scaling function; with wrong exponents they fan out — so this
+/// doubles as a crude exponent estimator via minimization.
+pub fn collapse_spread(
+    curves: &[SizeCurve],
+    tc: f64,
+    beta_over_nu: f64,
+    one_over_nu: f64,
+) -> f64 {
+    assert!(curves.len() >= 2);
+    // rescale
+    let rescaled: Vec<(Vec<f64>, Vec<f64>)> = curves
+        .iter()
+        .map(|c| {
+            let l = c.l as f64;
+            let xs: Vec<f64> =
+                c.temps.iter().map(|&t| (t - tc) / tc * l.powf(one_over_nu)).collect();
+            let ys: Vec<f64> = c.values.iter().map(|&m| m * l.powf(beta_over_nu)).collect();
+            (xs, ys)
+        })
+        .collect();
+    // common x-window
+    let lo = rescaled.iter().map(|(xs, _)| xs[0]).fold(f64::MIN, f64::max);
+    let hi = rescaled
+        .iter()
+        .map(|(xs, _)| *xs.last().unwrap())
+        .fold(f64::MAX, f64::min);
+    if lo >= hi {
+        return f64::INFINITY;
+    }
+    let interp = |xs: &[f64], ys: &[f64], x: f64| -> f64 {
+        for i in 1..xs.len() {
+            if x <= xs[i] {
+                let f = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+                return ys[i - 1] + f * (ys[i] - ys[i - 1]);
+            }
+        }
+        *ys.last().unwrap()
+    };
+    // mean pairwise squared deviation over the window
+    let samples = 64;
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for s in 0..samples {
+        let x = lo + (hi - lo) * s as f64 / (samples - 1) as f64;
+        let ys: Vec<f64> = rescaled.iter().map(|(xs, ys)| interp(xs, ys, x)).collect();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        for y in &ys {
+            acc += (y - mean) * (y - mean);
+            count += 1;
+        }
+    }
+    (acc / count as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::T_CRITICAL;
+
+    fn synthetic_binder(l: usize) -> SizeCurve {
+        // model: U4 = 0.61 − tanh((T − Tc)/Tc · L) · 0.3 — all sizes cross
+        // exactly at Tc with slope growing in L.
+        let temps: Vec<f64> = (0..21).map(|i| T_CRITICAL * (0.9 + 0.01 * i as f64)).collect();
+        let values = temps
+            .iter()
+            .map(|&t| 0.61 - ((t - T_CRITICAL) / T_CRITICAL * l as f64).tanh() * 0.3)
+            .collect();
+        SizeCurve { l, temps, values }
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_nodes() {
+        let c = synthetic_binder(16);
+        for (t, v) in c.temps.iter().zip(c.values.iter()) {
+            assert!((c.at(*t) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crossing_of_synthetic_curves_is_tc() {
+        let a = synthetic_binder(8);
+        let b = synthetic_binder(32);
+        let tc = crossing(&a, &b).expect("curves must cross");
+        assert!((tc - T_CRITICAL).abs() < 1e-6, "tc = {tc}");
+    }
+
+    #[test]
+    fn tc_estimate_averages_pairwise_crossings() {
+        let curves = [synthetic_binder(8), synthetic_binder(16), synthetic_binder(32)];
+        let tc = binder_tc_estimate(&curves).unwrap();
+        assert!((tc - T_CRITICAL).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let a = SizeCurve { l: 8, temps: vec![1.0, 2.0], values: vec![0.1, 0.2] };
+        let b = SizeCurve { l: 16, temps: vec![1.0, 2.0], values: vec![0.4, 0.5] };
+        assert!(crossing(&a, &b).is_none());
+    }
+
+    #[test]
+    fn collapse_prefers_exact_exponents() {
+        // synthetic magnetization obeying the scaling form exactly:
+        // m = L^{−β/ν} · f((T−Tc)/Tc · L^{1/ν}) with f = exp(−x)
+        let mk = |l: usize| {
+            let temps: Vec<f64> =
+                (0..15).map(|i| T_CRITICAL * (0.96 + 0.005 * i as f64)).collect();
+            let values = temps
+                .iter()
+                .map(|&t| {
+                    let x = (t - T_CRITICAL) / T_CRITICAL * l as f64;
+                    (l as f64).powf(-exponents::BETA) * (-x).exp()
+                })
+                .collect();
+            SizeCurve { l, temps, values }
+        };
+        let curves = [mk(8), mk(16), mk(32)];
+        let good = collapse_spread(&curves, T_CRITICAL, exponents::BETA, 1.0);
+        let bad = collapse_spread(&curves, T_CRITICAL, 0.5, 1.0);
+        // `good` is bounded by the linear-interpolation error of the coarse
+        // synthetic grids, not exactly zero.
+        assert!(good < 5e-3, "exact exponents must collapse: {good}");
+        assert!(bad > 20.0 * good, "wrong exponents must not collapse: good {good}, bad {bad}");
+    }
+}

@@ -1,0 +1,325 @@
+//! The update step expressed as an HLO-lite graph.
+//!
+//! The paper's program is a TensorFlow graph compiled through XLA; this
+//! module builds the same computation as a [`Graph`] so the repository
+//! exercises that software path too: the graph is built once per color,
+//! optimized (DCE) and interpreted — and the equivalence test checks the
+//! interpreted step makes bit-identical flip decisions with the direct
+//! [`CompactIsing`](crate::compact::CompactIsing) implementation.
+
+use crate::lattice::Color;
+use tpu_ising_hlo::graph::{Dtype, Graph, Id, Shape};
+use tpu_ising_tensor::{bidiag_kernel, Axis, Side};
+
+/// The pieces of a built compact-update graph.
+pub struct CompactStepGraph {
+    /// The op graph.
+    pub graph: Graph,
+    /// Parameter ids, in order: σ̂00, σ̂01, σ̂10, σ̂11.
+    pub params: [Id; 4],
+    /// Output ids: the two updated compact sub-lattices of the color
+    /// (σ̂00, σ̂11 for black; σ̂01, σ̂10 for white).
+    pub outputs: [Id; 2],
+}
+
+/// Build the one-color compact update (Algorithm 2) as a graph over
+/// quarter grids `[m, n, t, t]`.
+///
+/// RNG op order matches [`CompactIsing::update_color`]'s bulk consumption
+/// (probs for the first compact sub-lattice, then the second), so feeding
+/// the interpreter the same Philox stream reproduces the direct
+/// implementation exactly.
+///
+/// [`CompactIsing::update_color`]: crate::compact::CompactIsing::update_color
+pub fn build_compact_color_step(
+    m: usize,
+    n: usize,
+    t: usize,
+    beta: f64,
+    color: Color,
+    dtype: Dtype,
+) -> CompactStepGraph {
+    let mut g = Graph::new();
+    let qshape = Shape::new([m, n, t, t], dtype);
+    let q00 = g.parameter(qshape);
+    let q01 = g.parameter(qshape);
+    let q10 = g.parameter(qshape);
+    let q11 = g.parameter(qshape);
+    let khat = g.constant_mat(&bidiag_kernel::<f32>(t), dtype);
+    let khat_t = g.constant_mat(&bidiag_kernel::<f32>(t).transpose(), dtype);
+
+    // The compensation edges: for a single-core torus the halo *is* the
+    // wrapped grid roll, so roll+edge expresses both tile-boundary and
+    // lattice-boundary compensation at once.
+    let comp_row = |g: &mut Graph, src: Id, d0: isize, from: Side, onto: Side, nn: Id| {
+        let rolled = g.roll_batch(src, d0, 0);
+        let e = g.edge(rolled, Axis::Row, from);
+        g.add_edge(nn, e, Axis::Row, onto)
+    };
+    let comp_col = |g: &mut Graph, src: Id, d1: isize, from: Side, onto: Side, nn: Id| {
+        let rolled = g.roll_batch(src, 0, d1);
+        let e = g.edge(rolled, Axis::Col, from);
+        g.add_edge(nn, e, Axis::Col, onto)
+    };
+
+    let (first, second, nn0, nn1) = match color {
+        Color::Black => {
+            // nn(σ̂00) = σ̂01·K̂ + K̂ᵀ·σ̂10, compensated north/west
+            let a = g.matmul_right(q01, khat);
+            let b = g.matmul_left(khat_t, q10);
+            let nn0 = g.add(a, b);
+            let nn0 = comp_row(&mut g, q10, 1, Side::Last, Side::First, nn0);
+            let nn0 = comp_col(&mut g, q01, 1, Side::Last, Side::First, nn0);
+            // nn(σ̂11) = K̂·σ̂01 + σ̂10·K̂ᵀ, compensated south/east
+            let a = g.matmul_left(khat, q01);
+            let b = g.matmul_right(q10, khat_t);
+            let nn1 = g.add(a, b);
+            let nn1 = comp_row(&mut g, q01, -1, Side::First, Side::Last, nn1);
+            let nn1 = comp_col(&mut g, q10, -1, Side::First, Side::Last, nn1);
+            (q00, q11, nn0, nn1)
+        }
+        Color::White => {
+            // nn(σ̂01) = σ̂00·K̂ᵀ + K̂ᵀ·σ̂11, compensated north/east
+            let a = g.matmul_right(q00, khat_t);
+            let b = g.matmul_left(khat_t, q11);
+            let nn0 = g.add(a, b);
+            let nn0 = comp_row(&mut g, q11, 1, Side::Last, Side::First, nn0);
+            let nn0 = comp_col(&mut g, q00, -1, Side::First, Side::Last, nn0);
+            // nn(σ̂10) = K̂·σ̂00 + σ̂11·K̂, compensated south/west
+            let a = g.matmul_left(khat, q00);
+            let b = g.matmul_right(q11, khat);
+            let nn1 = g.add(a, b);
+            let nn1 = comp_row(&mut g, q00, -1, Side::First, Side::Last, nn1);
+            let nn1 = comp_col(&mut g, q11, 1, Side::Last, Side::First, nn1);
+            (q01, q10, nn0, nn1)
+        }
+    };
+
+    // Acceptance, flips, and the update σ ← σ·(1 − 2·flip) for both
+    // compact sub-lattices; probs drawn in first-then-second order.
+    let flip = |g: &mut Graph, q: Id, nn: Id| {
+        let probs = g.rng_uniform(qshape);
+        let nns = g.mul(nn, q);
+        let scaled = g.mul_scalar(nns, -2.0 * beta);
+        let ratio = g.exp(scaled);
+        let flips = g.lt(probs, ratio);
+        let two_flips = g.add(flips, flips);
+        let delta = g.mul(two_flips, q);
+        g.sub(q, delta)
+    };
+    let out0 = flip(&mut g, first, nn0);
+    let out1 = flip(&mut g, second, nn1);
+
+    CompactStepGraph { graph: g, params: [q00, q01, q10, q11], outputs: [out0, out1] }
+}
+
+/// The pieces of a built conv-variant (appendix) update graph.
+pub struct ConvStepGraph {
+    /// The op graph.
+    pub graph: Graph,
+    /// The single lattice parameter `[m, n, t, t]`.
+    pub param: Id,
+    /// The updated lattice.
+    pub output: Id,
+}
+
+/// Build the appendix implementation's one-color update as a graph: a
+/// plus-kernel convolution for the neighbor sums and a parity mask for
+/// color selection (the conv analogue of Algorithm 1, which is what the
+/// whole-lattice layout requires). `t` must be even so intra-tile parity
+/// equals global parity.
+pub fn build_conv_color_step(
+    m: usize,
+    n: usize,
+    t: usize,
+    beta: f64,
+    color: Color,
+    dtype: Dtype,
+) -> ConvStepGraph {
+    assert!(t.is_multiple_of(2), "tile size must be even for a parity mask");
+    let mut g = Graph::new();
+    let shape = Shape::new([m, n, t, t], dtype);
+    let sigma = g.parameter(shape);
+    let probs = g.rng_uniform(shape);
+    let nn = g.conv_plus(sigma);
+    let nns = g.mul(nn, sigma);
+    let scaled = g.mul_scalar(nns, -2.0 * beta);
+    let ratio = g.exp(scaled);
+    let accept = g.lt(probs, ratio);
+    // parity mask: 1 where the site belongs to `color`
+    let want = match color {
+        Color::Black => 0,
+        Color::White => 1,
+    };
+    let mut mask_data = Vec::with_capacity(m * n * t * t);
+    for _b0 in 0..m {
+        for _b1 in 0..n {
+            for r in 0..t {
+                for c in 0..t {
+                    mask_data.push(if (r + c) % 2 == want { 1.0 } else { 0.0 });
+                }
+            }
+        }
+    }
+    let mask = g.constant(
+        tpu_ising_hlo::Literal { dims: [m, n, t, t], data: mask_data },
+        dtype,
+    );
+    let flips = g.mul(accept, mask);
+    let two_flips = g.add(flips, flips);
+    let delta = g.mul(two_flips, sigma);
+    let output = g.sub(sigma, delta);
+    ConvStepGraph { graph: g, param: sigma, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compact::CompactIsing;
+    use crate::lattice::random_plane;
+    use crate::prob::Randomness;
+    use tpu_ising_hlo::passes::dce;
+    use tpu_ising_rng::PhiloxStream;
+    use tpu_ising_tensor::{Plane, Tensor4};
+
+    fn quarters(plane: &Plane<f32>, t: usize) -> [Tensor4<f32>; 4] {
+        let parts = plane.deinterleave();
+        [
+            parts[0].to_tiles(t),
+            parts[1].to_tiles(t),
+            parts[2].to_tiles(t),
+            parts[3].to_tiles(t),
+        ]
+    }
+
+    #[test]
+    fn graph_step_matches_direct_implementation() {
+        let (h, w, t) = (16, 16, 4);
+        let beta = 1.0 / crate::T_CRITICAL;
+        let seed = 2718;
+        let init = random_plane::<f32>(5, h, w);
+
+        // Direct implementation, one black update with a bulk stream.
+        let mut direct = CompactIsing::from_plane(&init, t, beta, Randomness::bulk(seed));
+        let halos = direct.local_halos(Color::Black);
+        direct.update_color(Color::Black, &halos);
+
+        // Graph-built step fed the same stream.
+        let built = build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::Black, Dtype::F32);
+        let [p00, p01, p10, p11] = quarters(&init, t);
+        let mut stream = PhiloxStream::from_seed(seed);
+        let out = tpu_ising_hlo::evaluate(
+            &built.graph,
+            &[p00, p01, p10, p11],
+            &mut stream,
+            &built.outputs,
+        );
+
+        // Compare: the direct object's q00/q11 vs graph outputs.
+        let direct_plane = direct.to_plane();
+        let [d00, _, _, d11] = quarters(&direct_plane, t);
+        assert_eq!(out[0], d00, "σ̂00 after black update");
+        assert_eq!(out[1], d11, "σ̂11 after black update");
+    }
+
+    #[test]
+    fn white_graph_matches_direct_too() {
+        let (h, w, t) = (8, 8, 2);
+        let beta = 0.55;
+        let seed = 161;
+        let init = random_plane::<f32>(50, h, w);
+        let mut direct = CompactIsing::from_plane(&init, t, beta, Randomness::bulk(seed));
+        let halos = direct.local_halos(Color::White);
+        direct.update_color(Color::White, &halos);
+        let built = build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::White, Dtype::F32);
+        let [p00, p01, p10, p11] = quarters(&init, t);
+        let mut stream = PhiloxStream::from_seed(seed);
+        let out =
+            tpu_ising_hlo::evaluate(&built.graph, &[p00, p01, p10, p11], &mut stream, &built.outputs);
+        let direct_plane = direct.to_plane();
+        let [_, d01, d10, _] = quarters(&direct_plane, t);
+        assert_eq!(out[0], d01, "σ̂01 after white update");
+        assert_eq!(out[1], d10, "σ̂10 after white update");
+    }
+
+    #[test]
+    fn dce_keeps_the_step_intact() {
+        let built = build_compact_color_step(2, 2, 2, 0.4, Color::Black, Dtype::F32);
+        let (g2, roots) = dce(&built.graph, &built.outputs);
+        assert!(g2.len() <= built.graph.len());
+        let init = random_plane::<f32>(3, 8, 8);
+        let [p00, p01, p10, p11] = quarters(&init, 2);
+        let mut s1 = PhiloxStream::from_seed(1);
+        let mut s2 = PhiloxStream::from_seed(1);
+        let a = tpu_ising_hlo::evaluate(
+            &built.graph,
+            &[p00.clone(), p01.clone(), p10.clone(), p11.clone()],
+            &mut s1,
+            &built.outputs,
+        );
+        let b = tpu_ising_hlo::evaluate(&g2, &[p00, p01, p10, p11], &mut s2, &roots);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_graph_matches_naive_algorithm_bitwise() {
+        use crate::naive::NaiveIsing;
+        // Both the conv graph and the naive masked algorithm generate one
+        // full-lattice probs tensor in identical layout order and compute
+        // identical (exact-integer) neighbor sums, so with the same Philox
+        // stream they make the same flip decisions.
+        let (h, w, t) = (16, 16, 4);
+        let beta = 1.0 / crate::T_CRITICAL;
+        let seed = 555;
+        let init = random_plane::<f32>(9, h, w);
+        let mut naive =
+            NaiveIsing::from_plane(&init, t, beta, crate::prob::Randomness::bulk(seed));
+        naive.update_color(Color::Black);
+
+        let built = build_conv_color_step(h / t, w / t, t, beta, Color::Black, Dtype::F32);
+        let mut stream = PhiloxStream::from_seed(seed);
+        let out = tpu_ising_hlo::evaluate(
+            &built.graph,
+            &[init.to_tiles(t)],
+            &mut stream,
+            &[built.output],
+        );
+        assert_eq!(Plane::from_tiles(&out[0]), naive.to_plane());
+    }
+
+    #[test]
+    fn conv_graph_survives_optimization() {
+        let built = build_conv_color_step(2, 2, 4, 0.44, Color::White, Dtype::F32);
+        let (g2, roots) = tpu_ising_hlo::passes::optimize(&built.graph, &[built.output]);
+        tpu_ising_hlo::printer::verify(&g2).unwrap();
+        let init = random_plane::<f32>(4, 8, 8);
+        let mut s1 = PhiloxStream::from_seed(3);
+        let mut s2 = PhiloxStream::from_seed(3);
+        let a = tpu_ising_hlo::evaluate(&built.graph, &[init.to_tiles(4)], &mut s1, &[built.output]);
+        let b = tpu_ising_hlo::evaluate(&g2, &[init.to_tiles(4)], &mut s2, &roots);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_is_compact_sized() {
+        // The paper stresses the whole program is ~600 lines; our graph for
+        // one color update is a few dozen ops.
+        let built = build_compact_color_step(4, 4, 128, 0.44, Color::Black, Dtype::Bf16);
+        assert!(built.graph.len() < 50, "graph has {} ops", built.graph.len());
+    }
+
+    #[test]
+    fn cost_analysis_is_mxu_dominated() {
+        use tpu_ising_device::trace::SpanKind;
+        let built = build_compact_color_step(16, 16, 128, 0.44, Color::Black, Dtype::Bf16);
+        let trace = tpu_ising_hlo::cost::analyze(&built.graph, &built.outputs, 1);
+        let bd = trace.breakdown();
+        assert!(bd.mxu > 0.0);
+        assert!(bd.vpu > 0.0);
+        // matmuls: 4 over [16,16,128,128] at 128 MACs per output element
+        let expect_macs = 4.0 * (16 * 16 * 128 * 128) as f64 * 128.0;
+        let got = bd.mxu * tpu_ising_device::calib::MXU_SUSTAINED_MACS;
+        assert!((got - expect_macs).abs() / expect_macs < 1e-9, "macs {got}");
+        let _ = SpanKind::Mxu;
+    }
+}

@@ -1,0 +1,275 @@
+//! Three-dimensional Ising model — the paper's stated follow-up.
+//!
+//! §6: "The algorithm used in this work can be generalized for
+//! three-dimensional Ising model." The checkerboard decomposition carries
+//! over verbatim: color a site by the parity of `x + y + z`; all six
+//! nearest neighbors of a site have the opposite color, so each color
+//! updates in one data-parallel step. Unlike 2-D there is no closed-form
+//! solution; the critical temperature is known numerically to high
+//! precision, `Tc(3D) ≈ 4.5115` (e.g. Ferrenberg–Xu–Landau 2018, the
+//! reference the paper cites), and our tests check ordering on either
+//! side of it.
+
+use crate::lattice::Color;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::RandomUniform;
+
+/// Best numerical estimate of the 3-D critical temperature (J/k_B units).
+pub const T_CRITICAL_3D: f64 = 4.511_523;
+
+/// Checkerboard Metropolis sampler on a periodic cubic lattice.
+pub struct Ising3D<S> {
+    /// spins, index `((z * ny) + y) * nx + x`
+    spins: Vec<S>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    beta: f64,
+    rng: Randomness,
+    sweep_index: u64,
+}
+
+impl<S: Scalar + RandomUniform> Ising3D<S> {
+    /// A hot-start cubic lattice, spins i.i.d. from the seed.
+    pub fn hot(nx: usize, ny: usize, nz: usize, beta: f64, seed: u64, rng: Randomness) -> Self {
+        let site = tpu_ising_rng::SiteRng::new(seed ^ 0x3D15_1A77);
+        let mut spins = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let w = site.word(z as u64, 0, y as u32, x as u32);
+                    spins.push(if w & 1 == 0 { S::one() } else { -S::one() });
+                }
+            }
+        }
+        Ising3D { spins, nx, ny, nz, beta, rng, sweep_index: 0 }
+    }
+
+    /// A cold-start (all up) cubic lattice.
+    pub fn cold(nx: usize, ny: usize, nz: usize, beta: f64, rng: Randomness) -> Self {
+        Ising3D {
+            spins: vec![S::one(); nx * ny * nz],
+            nx,
+            ny,
+            nz,
+            beta,
+            rng,
+            sweep_index: 0,
+        }
+    }
+
+    /// Lattice dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β.
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Spin at `(x, y, z)`.
+    pub fn spin(&self, x: usize, y: usize, z: usize) -> S {
+        self.spins[(z * self.ny + y) * self.nx + x]
+    }
+
+    /// Sum of the six nearest neighbors (torus wrap).
+    fn neighbor_sum(&self, x: usize, y: usize, z: usize) -> f32 {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let at = |x: usize, y: usize, z: usize| self.spins[(z * ny + y) * nx + x].to_f32();
+        at((x + 1) % nx, y, z)
+            + at((x + nx - 1) % nx, y, z)
+            + at(x, (y + 1) % ny, z)
+            + at(x, (y + ny - 1) % ny, z)
+            + at(x, y, (z + 1) % nz)
+            + at(x, y, (z + nz - 1) % nz)
+    }
+
+    /// Update all sites of one color (parity of `x + y + z`), in parallel
+    /// over z-planes.
+    pub fn update_color(&mut self, color: Color) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let parity = color.tag() as usize;
+        let m2b = S::from_f32((-2.0 * self.beta) as f32);
+        let sweep = self.sweep_index;
+        // Uniforms: bulk mode splits an independent stream per (z, y) row
+        // so rows update in parallel; site-keyed mode keys on the folded
+        // (sweep, z) index plus (y, x).
+        let row_streams: Option<Vec<tpu_ising_rng::PhiloxStream>> = match &self.rng {
+            Randomness::Bulk(stream) => Some(
+                (0..nz * ny)
+                    .map(|row| {
+                        stream.split(
+                            (sweep * 2 + parity as u64) * (nz * ny) as u64 + row as u64,
+                        )
+                    })
+                    .collect(),
+            ),
+            Randomness::SiteKeyed(_) => None,
+        };
+        let site = match &self.rng {
+            Randomness::SiteKeyed(s) => Some(*s),
+            Randomness::Bulk(_) => None,
+        };
+        let snapshot = &self.spins;
+        let row_streams = &row_streams;
+        let new: Vec<S> = (0..nz * ny)
+            .into_par_iter()
+            .flat_map_iter(|row| {
+                let (z, y) = (row / ny, row % ny);
+                let mut stream = row_streams.as_ref().map(|v| v[row].clone());
+                let this = &*snapshot;
+                (0..nx)
+                    .map(move |x| {
+                        let idx = (z * ny + y) * nx + x;
+                        let s = this[idx];
+                        if (x + y + z) % 2 != parity {
+                            return s;
+                        }
+                        let at =
+                            |x: usize, y: usize, z: usize| this[(z * ny + y) * nx + x].to_f32();
+                        let nn = at((x + 1) % nx, y, z)
+                            + at((x + nx - 1) % nx, y, z)
+                            + at(x, (y + 1) % ny, z)
+                            + at(x, (y + ny - 1) % ny, z)
+                            + at(x, y, (z + 1) % nz)
+                            + at(x, y, (z + nz - 1) % nz);
+                        let ratio = ((S::from_f32(nn) * s) * m2b).exp();
+                        let u: S = match (&mut stream, &site) {
+                            (Some(st), _) => st.uniform(),
+                            (None, Some(sr)) => sr.uniform(
+                                sweep * nz as u64 + z as u64,
+                                color.tag(),
+                                y as u32,
+                                x as u32,
+                            ),
+                            _ => unreachable!(),
+                        };
+                        if u < ratio {
+                            -s
+                        } else {
+                            s
+                        }
+                    })
+                    .collect::<Vec<S>>()
+            })
+            .collect();
+        self.spins = new;
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for Ising3D<S> {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.spins.iter().map(|s| s.to_f32() as f64).sum()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    acc += (self.spin(x, y, z).to_f32() * self.neighbor_sum(x, y, z)) as f64;
+                }
+            }
+        }
+        -acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::run_chain;
+
+    #[test]
+    fn ground_state_energy() {
+        // 3 bonds per site in 3-D: H = −3N for the all-up cube.
+        let c = Ising3D::<f32>::cold(4, 4, 4, 1.0, Randomness::bulk(0));
+        assert_eq!(c.energy_sum(), -192.0);
+        assert_eq!(c.magnetization_sum(), 64.0);
+    }
+
+    #[test]
+    fn frozen_at_high_beta() {
+        let mut c = Ising3D::<f32>::cold(4, 4, 4, 10.0, Randomness::bulk(1));
+        for _ in 0..5 {
+            c.sweep();
+        }
+        assert_eq!(c.magnetization_sum(), 64.0);
+    }
+
+    #[test]
+    fn beta_zero_flips_everything() {
+        let mut c = Ising3D::<f32>::cold(4, 4, 4, 0.0, Randomness::bulk(2));
+        c.sweep();
+        assert_eq!(c.magnetization_sum(), -64.0);
+    }
+
+    #[test]
+    fn checkerboard_colors_partition_neighbors() {
+        // every neighbor of an (x+y+z)-even site is odd: the independence
+        // property the parallel update relies on.
+        for (x, y, z) in [(0usize, 0usize, 0usize), (1, 2, 3), (3, 3, 2)] {
+            let p = (x + y + z) % 2;
+            for (dx, dy, dz) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+                let q = (x + dx + (y + dy) + (z + dz)) % 2;
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn orders_below_tc_disorders_above() {
+        // T = 3.5 < Tc(3D) ≈ 4.51 < T = 6.0
+        let mut low =
+            Ising3D::<f32>::cold(8, 8, 8, 1.0 / 3.5, Randomness::bulk(3));
+        let stats = run_chain(&mut low, 100, 400);
+        assert!(stats.mean_abs_m > 0.75, "low-T ⟨|m|⟩ = {}", stats.mean_abs_m);
+
+        let mut high = Ising3D::<f32>::hot(8, 8, 8, 1.0 / 6.0, 9, Randomness::bulk(4));
+        let stats = run_chain(&mut high, 100, 400);
+        assert!(stats.mean_abs_m < 0.2, "high-T ⟨|m|⟩ = {}", stats.mean_abs_m);
+    }
+
+    #[test]
+    fn known_mean_field_direction() {
+        // magnetization at T = 4.0 (below Tc) exceeds that at T = 5.0
+        let m_at = |t: f64, seed: u64| {
+            let mut sim = Ising3D::<f32>::cold(8, 8, 8, 1.0 / t, Randomness::bulk(seed));
+            run_chain(&mut sim, 150, 400).mean_abs_m
+        };
+        let below = m_at(4.0, 5);
+        let above = m_at(5.0, 6);
+        assert!(below > above + 0.1, "m(4.0)={below} m(5.0)={above}");
+    }
+
+    #[test]
+    fn spins_stay_spins_both_precisions() {
+        let mut f = Ising3D::<f32>::hot(6, 6, 6, 0.22, 7, Randomness::bulk(7));
+        let mut b = Ising3D::<tpu_ising_bf16::Bf16>::hot(6, 6, 6, 0.22, 7, Randomness::bulk(7));
+        for _ in 0..5 {
+            f.sweep();
+            b.sweep();
+        }
+        assert!(f.spins.iter().all(|s| s.to_f32().abs() == 1.0));
+        assert!(b.spins.iter().all(|s| s.to_f32().abs() == 1.0));
+    }
+}

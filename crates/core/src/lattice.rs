@@ -1,0 +1,224 @@
+//! Lattice construction and checkerboard-geometry helpers.
+
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::SiteRng;
+use tpu_ising_tensor::{Plane, Side, Tensor4};
+
+/// The checkerboard color of a site: black ⇔ `(row + col)` even.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// Sites with even coordinate parity (σ̂00 and σ̂11 in compact form).
+    Black,
+    /// Sites with odd coordinate parity (σ̂01 and σ̂10).
+    White,
+}
+
+impl Color {
+    /// 0 for black, 1 for white — the tag fed to the site-keyed RNG.
+    pub fn tag(self) -> u8 {
+        match self {
+            Color::Black => 0,
+            Color::White => 1,
+        }
+    }
+
+    /// The color of global site `(row, col)`.
+    pub fn of(row: usize, col: usize) -> Color {
+        if (row + col).is_multiple_of(2) {
+            Color::Black
+        } else {
+            Color::White
+        }
+    }
+
+    /// The other color.
+    pub fn flip(self) -> Color {
+        match self {
+            Color::Black => Color::White,
+            Color::White => Color::Black,
+        }
+    }
+}
+
+/// Domain-separation constant mixed into the seed for lattice
+/// initialization, so init spins never reuse update uniforms.
+const INIT_SEED_TAG: u64 = 0x1A77_1CE0_0000_0001;
+
+/// A hot (infinite-temperature) lattice: each spin ±1 i.i.d., determined
+/// purely by `(seed, row, col)` — so distributed cores can construct their
+/// local windows of the *same* global lattice.
+pub fn random_plane<S: Scalar>(seed: u64, height: usize, width: usize) -> Plane<S> {
+    random_plane_window(seed, height, width, 0, 0)
+}
+
+/// The `(height × width)` window of the global random lattice starting at
+/// `(row0, col0)`.
+pub fn random_plane_window<S: Scalar>(
+    seed: u64,
+    height: usize,
+    width: usize,
+    row0: usize,
+    col0: usize,
+) -> Plane<S> {
+    let rng = SiteRng::new(seed ^ INIT_SEED_TAG);
+    Plane::from_fn(height, width, |r, c| {
+        let w = rng.word(0, 0, (row0 + r) as u32, (col0 + c) as u32);
+        if w & 1 == 0 {
+            S::one()
+        } else {
+            -S::one()
+        }
+    })
+}
+
+/// A cold (zero-temperature) lattice: all spins up.
+pub fn cold_plane<S: Scalar>(height: usize, width: usize) -> Plane<S> {
+    Plane::from_fn(height, width, |_, _| S::one())
+}
+
+/// The full boundary row/column of a tiled grid, as the flat vector a
+/// neighboring core receives: for `Axis::Row` the concatenation over
+/// `(b1, c)` of the first/last spatial row; for `Axis::Col` over `(b0, r)`.
+pub fn grid_boundary_row<S: Scalar>(t: &Tensor4<S>, side: Side) -> Vec<S> {
+    let [m, n, rr, cc] = t.shape();
+    let (b0, r) = match side {
+        Side::First => (0, 0),
+        Side::Last => (m - 1, rr - 1),
+    };
+    let mut out = Vec::with_capacity(n * cc);
+    for b1 in 0..n {
+        for c in 0..cc {
+            out.push(t.get(b0, b1, r, c));
+        }
+    }
+    out
+}
+
+/// The full boundary column of a tiled grid (see [`grid_boundary_row`]).
+pub fn grid_boundary_col<S: Scalar>(t: &Tensor4<S>, side: Side) -> Vec<S> {
+    let [m, n, rr, cc] = t.shape();
+    let (b1, c) = match side {
+        Side::First => (0, 0),
+        Side::Last => (n - 1, cc - 1),
+    };
+    let mut out = Vec::with_capacity(m * rr);
+    for b0 in 0..m {
+        for r in 0..rr {
+            out.push(t.get(b0, b1, r, c));
+        }
+    }
+    out
+}
+
+/// Overwrite the `b0 = 0` batch row of an edge tensor `[m, n, 1, c]` with a
+/// flat halo vector of length `n·c` (used to splice a neighbor core's
+/// boundary into the locally-rolled compensation edge).
+pub fn splice_halo_row<S: Scalar>(edge: &mut Tensor4<S>, at_first_batch: bool, halo: &[S]) {
+    let [m, n, one, cc] = edge.shape();
+    assert_eq!(one, 1, "row edge expected");
+    assert_eq!(halo.len(), n * cc, "halo row length mismatch");
+    let b0 = if at_first_batch { 0 } else { m - 1 };
+    for b1 in 0..n {
+        for c in 0..cc {
+            edge.set(b0, b1, 0, c, halo[b1 * cc + c]);
+        }
+    }
+}
+
+/// Overwrite the `b1 = 0` (or last) batch column of an edge tensor
+/// `[m, n, r, 1]` with a flat halo vector of length `m·r`.
+pub fn splice_halo_col<S: Scalar>(edge: &mut Tensor4<S>, at_first_batch: bool, halo: &[S]) {
+    let [m, n, rr, one] = edge.shape();
+    assert_eq!(one, 1, "col edge expected");
+    assert_eq!(halo.len(), m * rr, "halo col length mismatch");
+    let b1 = if at_first_batch { 0 } else { n - 1 };
+    for b0 in 0..m {
+        for r in 0..rr {
+            edge.set(b0, b1, r, 0, halo[b0 * rr + r]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_tensor::Axis;
+
+    #[test]
+    fn color_parity() {
+        assert_eq!(Color::of(0, 0), Color::Black);
+        assert_eq!(Color::of(0, 1), Color::White);
+        assert_eq!(Color::of(3, 5), Color::Black);
+        assert_eq!(Color::Black.flip(), Color::White);
+        assert_eq!(Color::Black.tag(), 0);
+        assert_eq!(Color::White.tag(), 1);
+    }
+
+    #[test]
+    fn random_plane_is_spins() {
+        let p = random_plane::<f32>(7, 16, 16);
+        assert!(p.data().iter().all(|&s| s == 1.0 || s == -1.0));
+        // roughly balanced
+        let m = p.sum_f64() / 256.0;
+        assert!(m.abs() < 0.3, "m = {m}");
+    }
+
+    #[test]
+    fn random_plane_windows_tile_the_global_lattice() {
+        let full = random_plane::<f32>(42, 8, 8);
+        let tl = random_plane_window::<f32>(42, 4, 4, 0, 0);
+        let br = random_plane_window::<f32>(42, 4, 4, 4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(tl.get(r, c), full.get(r, c));
+                assert_eq!(br.get(r, c), full.get(4 + r, 4 + c));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_plane::<f32>(1, 8, 8);
+        let b = random_plane::<f32>(2, 8, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cold_plane_is_magnetized() {
+        let p = cold_plane::<f32>(4, 4);
+        assert_eq!(p.sum_f64(), 16.0);
+    }
+
+    #[test]
+    fn grid_boundaries_match_plane_boundaries() {
+        let p = Plane::<f32>::from_fn(6, 8, |r, c| (r * 8 + c) as f32);
+        let t = p.to_tiles(2);
+        assert_eq!(grid_boundary_row(&t, Side::First), p.boundary(Axis::Row, Side::First));
+        assert_eq!(grid_boundary_row(&t, Side::Last), p.boundary(Axis::Row, Side::Last));
+        assert_eq!(grid_boundary_col(&t, Side::First), p.boundary(Axis::Col, Side::First));
+        assert_eq!(grid_boundary_col(&t, Side::Last), p.boundary(Axis::Col, Side::Last));
+    }
+
+    #[test]
+    fn splice_overwrites_only_target_batch() {
+        let mut e = Tensor4::<f32>::zeros([3, 2, 1, 4]);
+        let halo: Vec<f32> = (0..8).map(|i| i as f32 + 1.0).collect();
+        splice_halo_row(&mut e, true, &halo);
+        for b1 in 0..2 {
+            for c in 0..4 {
+                assert_eq!(e.get(0, b1, 0, c), (b1 * 4 + c) as f32 + 1.0);
+                assert_eq!(e.get(1, b1, 0, c), 0.0);
+                assert_eq!(e.get(2, b1, 0, c), 0.0);
+            }
+        }
+        let mut ec = Tensor4::<f32>::zeros([2, 3, 4, 1]);
+        let halo: Vec<f32> = (0..8).map(|i| i as f32 + 1.0).collect();
+        splice_halo_col(&mut ec, false, &halo);
+        for b0 in 0..2 {
+            for r in 0..4 {
+                assert_eq!(ec.get(b0, 2, r, 0), (b0 * 4 + r) as f32 + 1.0);
+                assert_eq!(ec.get(b0, 0, r, 0), 0.0);
+            }
+        }
+    }
+}

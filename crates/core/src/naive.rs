@@ -1,0 +1,202 @@
+//! **Algorithm 1**: the naive masked checkerboard update.
+//!
+//! The whole lattice lives as one `[m, n, t, t]` grid. Neighbor sums are
+//! computed for *every* site with two band-kernel matmuls per sub-lattice
+//! (`σ·K + K·σ`) plus boundary compensation (Algorithm 1 lines 3–6), a
+//! uniform is generated for every site, and a parity mask `M` throws away
+//! the half that belongs to the fixed color. This is the straightforward
+//! TPU mapping the paper presents first — correct, but with 2× the matmul
+//! work, 2× the RNG and extra mask arithmetic, which is why Algorithm 2
+//! exists (~3× faster in the paper's experiments).
+
+use crate::lattice::Color;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::RandomUniform;
+use tpu_ising_tensor::{band_kernel, Axis, Mat, Plane, Side, Tensor4};
+
+/// Algorithm 1 sampler over a tiled full lattice.
+pub struct NaiveIsing<S> {
+    grid: Tensor4<S>,
+    k: Mat<S>,
+    /// Parity mask: 1 where `(r + c)` even within a tile (tile size must be
+    /// even, so tile parity equals global parity).
+    mask_black: Tensor4<S>,
+    beta: f64,
+    rng: Randomness,
+    sweep_index: u64,
+}
+
+impl<S: Scalar + RandomUniform> NaiveIsing<S> {
+    /// Tile a full lattice into `[m, n, tile, tile]`. `tile` must be even
+    /// (so intra-tile parity equals global parity) and divide both plane
+    /// dimensions.
+    pub fn from_plane(plane: &Plane<S>, tile: usize, beta: f64, rng: Randomness) -> Self {
+        assert!(tile.is_multiple_of(2), "tile size must be even for a parity mask");
+        let grid = plane.to_tiles(tile);
+        let [m, n, _, _] = grid.shape();
+        let mask_black = Tensor4::from_fn([m, n, tile, tile], |_, _, r, c| {
+            if (r + c) % 2 == 0 {
+                S::one()
+            } else {
+                S::zero()
+            }
+        });
+        NaiveIsing {
+            grid,
+            k: band_kernel::<S>(tile),
+            mask_black,
+            beta,
+            rng,
+            sweep_index: 0,
+        }
+    }
+
+    /// Reassemble the full lattice.
+    pub fn to_plane(&self) -> Plane<S> {
+        Plane::from_tiles(&self.grid)
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β.
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Full-lattice neighbor sums: `σ·K + K·σ` per tile, then the four
+    /// boundary compensations of Algorithm 1 lines 3–6 (torus wrap via
+    /// grid rolls).
+    pub fn neighbor_sums(&self) -> Tensor4<S> {
+        let mut nn = self.grid.matmul_right(&self.k);
+        nn.add_assign(&self.grid.matmul_left(&self.k));
+        // northern boundary: needs the southern edge of the tile above
+        let e = self.grid.roll_batch(1, 0).edge(Axis::Row, Side::Last);
+        nn.add_edge_assign(Axis::Row, Side::First, &e);
+        // southern boundary
+        let e = self.grid.roll_batch(-1, 0).edge(Axis::Row, Side::First);
+        nn.add_edge_assign(Axis::Row, Side::Last, &e);
+        // western boundary
+        let e = self.grid.roll_batch(0, 1).edge(Axis::Col, Side::Last);
+        nn.add_edge_assign(Axis::Col, Side::First, &e);
+        // eastern boundary
+        let e = self.grid.roll_batch(0, -1).edge(Axis::Col, Side::First);
+        nn.add_edge_assign(Axis::Col, Side::Last, &e);
+        nn
+    }
+
+    /// Update all spins of one color (Algorithm 1).
+    pub fn update_color(&mut self, color: Color) {
+        let [m, n, t, _] = self.grid.shape();
+        // line 1: probs for ALL sites (the waste Algorithm 2 eliminates)
+        let mut probs = Tensor4::<S>::zeros([m, n, t, t]);
+        let sweep = self.sweep_index;
+        self.rng.fill(&mut probs, sweep, color, |b0, b1, r, c| {
+            ((b0 * t + r) as u32, (b1 * t + c) as u32)
+        });
+        // lines 2–6
+        let nn = self.neighbor_sums();
+        // line 7: acceptance = exp(−2β·nn·σ)
+        let m2b = S::from_f32((-2.0 * self.beta) as f32);
+        let ratio = nn.zip_map(&self.grid, move |nv, s| ((nv * s) * m2b).exp());
+        // lines 8–9: mask the fixed color
+        let accept = probs.zip_map(&ratio, |u, r| if u < r { S::one() } else { S::zero() });
+        let flips = match color {
+            Color::Black => accept.zip_map(&self.mask_black, |f, mk| f * mk),
+            Color::White => accept.zip_map(&self.mask_black, |f, mk| f * (S::one() - mk)),
+        };
+        // line 10: σ ← σ − 2·flips·σ
+        self.grid = self.grid.zip_map(&flips, |s, f| s * (S::one() - (f + f)));
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for NaiveIsing<S> {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.grid.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        crate::observables::energy_sum(&self.to_plane())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{cold_plane, random_plane};
+    use crate::reference::ReferenceIsing;
+
+    #[test]
+    fn neighbor_sums_match_bruteforce() {
+        for (h, w, tile) in [(8, 8, 2), (12, 16, 4), (16, 8, 8)] {
+            let plane = random_plane::<f32>(h as u64 * 31 + w as u64, h, w);
+            let nv = NaiveIsing::from_plane(&plane, tile, 0.4, Randomness::bulk(0));
+            let expect = plane.neighbor_sum_periodic().to_tiles(tile);
+            assert_eq!(nv.neighbor_sums(), expect, "{h}x{w}/{tile}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_exactly_with_site_keyed_rng() {
+        let beta = 0.5;
+        let init = random_plane::<f32>(44, 12, 12);
+        let mut refer = ReferenceIsing::new(init.clone(), beta, Randomness::site_keyed(77));
+        let mut naive = NaiveIsing::from_plane(&init, 2, beta, Randomness::site_keyed(77));
+        for step in 0..8 {
+            refer.sweep();
+            naive.sweep();
+            assert_eq!(&naive.to_plane(), refer.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn matches_compact_exactly_with_site_keyed_rng() {
+        use crate::compact::CompactIsing;
+        let beta = 1.0 / crate::T_CRITICAL;
+        let init = random_plane::<f32>(60, 16, 16);
+        let mut naive = NaiveIsing::from_plane(&init, 4, beta, Randomness::site_keyed(271));
+        let mut comp = CompactIsing::from_plane(&init, 4, beta, Randomness::site_keyed(271));
+        for step in 0..6 {
+            naive.sweep();
+            comp.sweep();
+            assert_eq!(naive.to_plane(), comp.to_plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn mask_alternates_updates() {
+        // β=0 from cold: black update flips only black sites.
+        let mut nv = NaiveIsing::from_plane(&cold_plane::<f32>(4, 4), 2, 0.0, Randomness::bulk(0));
+        nv.update_color(Color::Black);
+        let p = nv.to_plane();
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if (r + c) % 2 == 0 { -1.0 } else { 1.0 };
+                assert_eq!(p.get(r, c), expect, "({r},{c})");
+            }
+        }
+        nv.update_color(Color::White);
+        assert_eq!(nv.magnetization_sum(), -16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size must be even")]
+    fn odd_tile_panics() {
+        let p = random_plane::<f32>(1, 9, 9);
+        let _ = NaiveIsing::from_plane(&p, 3, 0.4, Randomness::bulk(0));
+    }
+}

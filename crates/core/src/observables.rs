@@ -1,0 +1,334 @@
+//! Observables, exact Onsager references, and measurement accumulation.
+
+use tpu_ising_bf16::Scalar;
+use tpu_ising_tensor::Plane;
+
+/// `Σ_⟨ij⟩ σᵢσⱼ`-based energy sum: returns `H(σ) = −Σ_bonds σᵢσⱼ`
+/// (J = 1, no field). Each site's neighbor sum counts each bond twice,
+/// hence the ½.
+pub fn energy_sum<S: Scalar>(plane: &Plane<S>) -> f64 {
+    let nn = plane.neighbor_sum_periodic();
+    let mut acc = 0.0f64;
+    for (s, n) in plane.data().iter().zip(nn.data().iter()) {
+        acc += (s.to_f32() * n.to_f32()) as f64;
+    }
+    -acc / 2.0
+}
+
+/// The Binder cumulant `U₄ = 1 − ⟨m⁴⟩ / (3⟨m²⟩²)`.
+///
+/// `U₄ → 2/3` deep in the ordered phase (m concentrates at ±m₀) and
+/// `U₄ → 0` deep in the disordered phase (m Gaussian); curves for
+/// different lattice sizes cross at `Tc` (paper Fig. 4).
+pub fn binder_cumulant(mean_m2: f64, mean_m4: f64) -> f64 {
+    if mean_m2 == 0.0 {
+        return 0.0;
+    }
+    1.0 - mean_m4 / (3.0 * mean_m2 * mean_m2)
+}
+
+/// Exact 2-D Ising results (Onsager / Yang), used as quantitative oracles.
+pub mod onsager {
+    use crate::T_CRITICAL;
+
+    /// Spontaneous magnetization `m(T) = (1 − sinh(2/T)⁻⁴)^{1/8}` for
+    /// `T < Tc`, 0 above (Yang 1952).
+    pub fn magnetization(t: f64) -> f64 {
+        if t >= T_CRITICAL {
+            return 0.0;
+        }
+        let s = (2.0 / t).sinh();
+        (1.0 - s.powi(-4)).powf(0.125)
+    }
+
+    /// Complete elliptic integral of the first kind `K(k)` via the
+    /// arithmetic–geometric mean (`K(k) = π / (2·AGM(1, √(1−k²)))`).
+    pub fn elliptic_k(k: f64) -> f64 {
+        assert!((0.0..1.0).contains(&k), "K(k) needs 0 ≤ k < 1");
+        let mut a = 1.0f64;
+        let mut b = (1.0 - k * k).sqrt();
+        for _ in 0..64 {
+            if (a - b).abs() < 1e-15 * a {
+                break;
+            }
+            let an = 0.5 * (a + b);
+            b = (a * b).sqrt();
+            a = an;
+        }
+        std::f64::consts::PI / (2.0 * a)
+    }
+
+    /// Exact internal energy per site,
+    /// `u(T) = −coth(2β)·[1 + (2/π)·(2·tanh²(2β) − 1)·K(k)]` with
+    /// `k = 2·sinh(2β)/cosh²(2β)` (Onsager 1944).
+    pub fn energy_per_site(t: f64) -> f64 {
+        let beta = 1.0 / t;
+        let x = 2.0 * beta;
+        let coth = 1.0 / x.tanh();
+        let k = 2.0 * x.sinh() / (x.cosh() * x.cosh());
+        // k → 1 exactly at Tc; clamp for the integrable log singularity.
+        let k = k.min(1.0 - 1e-12);
+        let kk = elliptic_k(k);
+        let two_tanh2_m1 = 2.0 * x.tanh() * x.tanh() - 1.0;
+        -coth * (1.0 + 2.0 / std::f64::consts::PI * two_tanh2_m1 * kk)
+    }
+}
+
+/// Streaming accumulator of per-sample magnetization and energy, with
+/// binning error estimates.
+///
+/// MCMC samples are autocorrelated, so the naive standard error is
+/// optimistic; binning groups consecutive samples and uses the variance of
+/// bin means (standard practice; Binder & Heermann).
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    m_abs: Vec<f64>,
+    m2: Vec<f64>,
+    m4: Vec<f64>,
+    e: Vec<f64>,
+    e2: Vec<f64>,
+}
+
+/// Summary statistics produced by [`Accumulator::finalize`].
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct Stats {
+    /// Number of samples.
+    pub samples: usize,
+    /// `⟨|m|⟩` per site.
+    pub mean_abs_m: f64,
+    /// Binning standard error of `⟨|m|⟩`.
+    pub err_abs_m: f64,
+    /// `⟨m²⟩` per site.
+    pub mean_m2: f64,
+    /// `⟨m⁴⟩` per site.
+    pub mean_m4: f64,
+    /// Binder cumulant `U₄`.
+    pub binder: f64,
+    /// `⟨E⟩` per site.
+    pub mean_energy: f64,
+    /// Binning standard error of `⟨E⟩`.
+    pub err_energy: f64,
+    /// Magnetization fluctuation per site, `⟨m²⟩ − ⟨|m|⟩²` (multiply by
+    /// `β·N` for the susceptibility χ — see [`Stats::susceptibility`]).
+    pub var_m: f64,
+    /// Energy fluctuation per site, `⟨e²⟩ − ⟨e⟩²` (multiply by `β²·N` for
+    /// the specific heat — see [`Stats::specific_heat`]).
+    pub var_e: f64,
+}
+
+impl Stats {
+    /// Magnetic susceptibility per site from fluctuation–dissipation:
+    /// `χ = β·N·(⟨m²⟩ − ⟨|m|⟩²)` (the `|m|`-based estimator standard for
+    /// finite lattices). Peaks near `Tc`, diverging as `L^{γ/ν}`.
+    pub fn susceptibility(&self, beta: f64, sites: usize) -> f64 {
+        beta * sites as f64 * self.var_m
+    }
+
+    /// Specific heat per site: `c = β²·N·(⟨e²⟩ − ⟨e⟩²)`.
+    pub fn specific_heat(&self, beta: f64, sites: usize) -> f64 {
+        beta * beta * sites as f64 * self.var_e
+    }
+}
+
+impl Accumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Accumulator {
+        Accumulator::default()
+    }
+
+    /// Record one sample: magnetization per site and energy per site.
+    pub fn push(&mut self, m_per_site: f64, e_per_site: f64) {
+        self.m_abs.push(m_per_site.abs());
+        self.m2.push(m_per_site * m_per_site);
+        self.m4.push(m_per_site.powi(4));
+        self.e.push(e_per_site);
+        self.e2.push(e_per_site * e_per_site);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.m_abs.len()
+    }
+
+    /// `true` if no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.m_abs.is_empty()
+    }
+
+    /// Compute summary statistics.
+    pub fn finalize(&self) -> Stats {
+        let n = self.m_abs.len().max(1) as f64;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+        let mean_abs_m = mean(&self.m_abs);
+        let mean_m2 = mean(&self.m2);
+        let mean_m4 = mean(&self.m4);
+        let mean_energy = mean(&self.e);
+        let mean_e2 = mean(&self.e2);
+        Stats {
+            samples: self.m_abs.len(),
+            mean_abs_m,
+            err_abs_m: binned_error(&self.m_abs),
+            mean_m2,
+            mean_m4,
+            binder: binder_cumulant(mean_m2, mean_m4),
+            mean_energy,
+            err_energy: binned_error(&self.e),
+            var_m: (mean_m2 - mean_abs_m * mean_abs_m).max(0.0),
+            var_e: (mean_e2 - mean_energy * mean_energy).max(0.0),
+        }
+    }
+}
+
+/// Standard error of the mean via binning (≤32 bins).
+pub fn binned_error(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 4 {
+        return f64::NAN;
+    }
+    let n_bins = 32.min(n / 2);
+    let bin_len = n / n_bins;
+    let used = n_bins * bin_len;
+    let bins: Vec<f64> = (0..n_bins)
+        .map(|b| samples[b * bin_len..(b + 1) * bin_len].iter().sum::<f64>() / bin_len as f64)
+        .collect();
+    let _ = used;
+    let mean = bins.iter().sum::<f64>() / n_bins as f64;
+    let var = bins.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / (n_bins - 1) as f64;
+    (var / n_bins as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::T_CRITICAL;
+
+    #[test]
+    fn energy_of_ground_state() {
+        // All-up lattice: every site has nn = 4, H = −2N (2 bonds/site).
+        let p = crate::lattice::cold_plane::<f32>(6, 6);
+        assert_eq!(energy_sum(&p), -72.0);
+    }
+
+    #[test]
+    fn energy_of_striped_state() {
+        // Alternating full rows: vertical bonds all −1, horizontal all +1
+        // ⇒ H = −(N − N) = 0.
+        let p = Plane::<f32>::from_fn(6, 6, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        assert_eq!(energy_sum(&p), 0.0);
+    }
+
+    #[test]
+    fn energy_of_checkerboard_state() {
+        // Perfect antiferromagnet: all bonds −1 ⇒ H = +2N.
+        let p = Plane::<f32>::from_fn(6, 6, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -1.0 });
+        assert_eq!(energy_sum(&p), 72.0);
+    }
+
+    #[test]
+    fn binder_limits() {
+        // ordered: m = ±1 always → ⟨m²⟩=1, ⟨m⁴⟩=1 → U₄ = 2/3
+        assert!((binder_cumulant(1.0, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        // disordered Gaussian: ⟨m⁴⟩ = 3⟨m²⟩² → U₄ = 0
+        assert!(binder_cumulant(0.1, 3.0 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onsager_magnetization_curve() {
+        assert_eq!(onsager::magnetization(T_CRITICAL), 0.0);
+        assert_eq!(onsager::magnetization(3.0), 0.0);
+        // T → 0: fully ordered
+        assert!((onsager::magnetization(0.5) - 1.0).abs() < 1e-6);
+        // known value at T = 2.0: s = sinh(2/T) = sinh(1), m = (1−s⁻⁴)^{1/8}
+        let s = 1.0f64.sinh();
+        let expect = (1.0 - s.powi(-4)).powf(0.125);
+        assert!((onsager::magnetization(2.0) - expect).abs() < 1e-12);
+        // monotone decreasing in T
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let t = 0.5 + (T_CRITICAL - 0.5) * i as f64 / 100.0;
+            let m = onsager::magnetization(t);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn elliptic_k_known_values() {
+        // K(0) = π/2
+        assert!((onsager::elliptic_k(0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // K(1/√2) ≈ 1.8540746773
+        assert!((onsager::elliptic_k(std::f64::consts::FRAC_1_SQRT_2) - 1.854_074_677_3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onsager_energy_limits_and_critical_value() {
+        // T → 0: u → −2 (ground state)
+        assert!((onsager::energy_per_site(0.1) + 2.0).abs() < 1e-6);
+        // T → ∞: u → 0
+        assert!(onsager::energy_per_site(1000.0).abs() < 0.01);
+        // at Tc: u = −√2 (known exact value)
+        let u = onsager::energy_per_site(T_CRITICAL);
+        assert!((u + std::f64::consts::SQRT_2).abs() < 1e-3, "u(Tc) = {u}");
+        // monotone increasing in T
+        let mut prev = -2.0;
+        for i in 1..60 {
+            let t = 0.2 + i as f64 * 0.1;
+            let u = onsager::energy_per_site(t);
+            assert!(u >= prev - 1e-9, "dip at T={t}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut acc = Accumulator::new();
+        // alternating ±0.5 magnetization, constant energy
+        for i in 0..100 {
+            let m = if i % 2 == 0 { 0.5 } else { -0.5 };
+            acc.push(m, -1.5);
+        }
+        let s = acc.finalize();
+        assert_eq!(s.samples, 100);
+        assert!((s.mean_abs_m - 0.5).abs() < 1e-12);
+        assert!((s.mean_m2 - 0.25).abs() < 1e-12);
+        assert!((s.mean_m4 - 0.0625).abs() < 1e-12);
+        assert!((s.binder - (1.0 - 0.0625 / (3.0 * 0.0625))).abs() < 1e-12);
+        assert!((s.mean_energy + 1.5).abs() < 1e-12);
+        assert!(s.err_energy < 1e-12); // constant series has zero error
+        // fluctuations: |m| constant ⇒ var_m = ⟨m²⟩ − ⟨|m|⟩² = 0; energy
+        // constant ⇒ var_e = 0
+        assert!(s.var_m.abs() < 1e-12);
+        assert!(s.var_e.abs() < 1e-12);
+        assert_eq!(s.susceptibility(0.5, 100), 0.0);
+        assert_eq!(s.specific_heat(0.5, 100), 0.0);
+    }
+
+    #[test]
+    fn susceptibility_tracks_fluctuations() {
+        let mut acc = Accumulator::new();
+        // half the samples at m=0, half at m=±1 → ⟨|m|⟩ = .5, ⟨m²⟩ = .5
+        for i in 0..400 {
+            let m = match i % 4 {
+                0 => 1.0,
+                1 => 0.0,
+                2 => -1.0,
+                _ => 0.0,
+            };
+            acc.push(m, -1.0 - (i % 2) as f64); // energy alternates −1, −2
+        }
+        let s = acc.finalize();
+        assert!((s.var_m - 0.25).abs() < 1e-12);
+        assert!((s.susceptibility(2.0, 10) - 2.0 * 10.0 * 0.25).abs() < 1e-12);
+        assert!((s.var_e - 0.25).abs() < 1e-12);
+        assert!((s.specific_heat(2.0, 10) - 4.0 * 10.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_error_scales_with_noise() {
+        // deterministic pseudo-noise
+        let noisy: Vec<f64> = (0..1024).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+        let flat = vec![5.0; 1024];
+        assert!(binned_error(&noisy) > binned_error(&flat));
+        assert!(binned_error(&[1.0, 2.0]).is_nan());
+    }
+}

@@ -1,0 +1,187 @@
+//! Acceptance-uniform sources for the updaters.
+
+use crate::lattice::Color;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::{PhiloxStream, RandomUniform, SiteRng};
+use tpu_ising_tensor::Tensor4;
+
+/// Where an updater's acceptance uniforms come from.
+///
+/// - `Bulk` mirrors production TPU code: one `tf.random_uniform` tensor per
+///   update, drawn from a sequential Philox stream in layout order. Fast,
+///   but the uniform a given *site* sees depends on the tensor layout.
+/// - `SiteKeyed` makes the uniform a pure function of
+///   `(seed, sweep, color, global row, global col)`. All four update
+///   implementations — and any distribution of the lattice over cores —
+///   then make bit-identical flip decisions, which the equivalence tests
+///   exploit. Slower (one Philox call per site).
+pub enum Randomness {
+    /// Sequential stream, layout-order fills.
+    Bulk(PhiloxStream),
+    /// Site-keyed pure-function field.
+    SiteKeyed(SiteRng),
+}
+
+/// Serializable snapshot of a [`Randomness`] source (checkpointing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RngState {
+    /// A bulk Philox stream: key words plus the 128-bit counter split in
+    /// two halves.
+    Bulk {
+        /// Low key word.
+        k0: u32,
+        /// High key word.
+        k1: u32,
+        /// Counter bits 0..64.
+        counter_lo: u64,
+        /// Counter bits 64..128.
+        counter_hi: u64,
+    },
+    /// A site-keyed field: its key words.
+    SiteKeyed {
+        /// Low key word.
+        k0: u32,
+        /// High key word.
+        k1: u32,
+    },
+}
+
+impl Randomness {
+    /// Convenience constructor for a bulk stream.
+    pub fn bulk(seed: u64) -> Randomness {
+        Randomness::Bulk(PhiloxStream::from_seed(seed))
+    }
+
+    /// Snapshot the generator state. For bulk streams the snapshot is
+    /// exact at any [`fill`](Self::fill) boundary (fills reset the output
+    /// buffer); see [`PhiloxStream::from_state`].
+    pub fn state(&self) -> RngState {
+        match self {
+            Randomness::Bulk(s) => RngState::Bulk {
+                k0: s.key().k0,
+                k1: s.key().k1,
+                counter_lo: s.counter() as u64,
+                counter_hi: (s.counter() >> 64) as u64,
+            },
+            Randomness::SiteKeyed(s) => RngState::SiteKeyed { k0: s.key().k0, k1: s.key().k1 },
+        }
+    }
+
+    /// Reconstruct a generator from a snapshot.
+    pub fn from_state(state: RngState) -> Randomness {
+        use tpu_ising_rng::Philox4x32Key;
+        match state {
+            RngState::Bulk { k0, k1, counter_lo, counter_hi } => Randomness::Bulk(
+                PhiloxStream::from_state(
+                    Philox4x32Key::new(k0, k1),
+                    (counter_hi as u128) << 64 | counter_lo as u128,
+                ),
+            ),
+            RngState::SiteKeyed { k0, k1 } => {
+                Randomness::SiteKeyed(SiteRng::from_key(Philox4x32Key::new(k0, k1)))
+            }
+        }
+    }
+
+    /// Convenience constructor for a site-keyed field.
+    pub fn site_keyed(seed: u64) -> Randomness {
+        Randomness::SiteKeyed(SiteRng::new(seed))
+    }
+
+    /// Fill a probs tensor. `global` maps tensor indices `(b0, b1, r, c)`
+    /// to the *global lattice coordinates* of the site that will consume
+    /// that uniform (only used by `SiteKeyed`).
+    pub fn fill<S: Scalar + RandomUniform>(
+        &mut self,
+        out: &mut Tensor4<S>,
+        sweep: u64,
+        color: Color,
+        global: impl Fn(usize, usize, usize, usize) -> (u32, u32),
+    ) {
+        match self {
+            Randomness::Bulk(stream) => {
+                stream.fill_uniform(out.data_mut());
+            }
+            Randomness::SiteKeyed(site) => {
+                let [_, n, rr, cc] = out.shape();
+                let tag = color.tag();
+                for (idx, v) in out.data_mut().iter_mut().enumerate() {
+                    let c = idx % cc;
+                    let r = (idx / cc) % rr;
+                    let b1 = (idx / (cc * rr)) % n;
+                    let b0 = idx / (cc * rr * n);
+                    let (gr, gc) = global(b0, b1, r, c);
+                    *v = site.uniform(sweep, tag, gr, gc);
+                }
+            }
+        }
+    }
+
+    /// The uniform for one site (used by the sequential reference and the
+    /// plane-based conv updater).
+    pub fn site<S: Scalar + RandomUniform>(
+        &mut self,
+        sweep: u64,
+        color: Color,
+        row: u32,
+        col: u32,
+    ) -> S {
+        match self {
+            Randomness::Bulk(stream) => stream.uniform(),
+            Randomness::SiteKeyed(site) => site.uniform(sweep, color.tag(), row, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_fill_matches_stream_order() {
+        let mut r = Randomness::bulk(5);
+        let mut t = Tensor4::<f32>::zeros([1, 1, 2, 4]);
+        r.fill(&mut t, 0, Color::Black, |_, _, _, _| (0, 0));
+        let mut s = PhiloxStream::from_seed(5);
+        let expect = tpu_ising_rng::uniform_vec::<f32>(&mut s, 8);
+        assert_eq!(t.data(), &expect[..]);
+    }
+
+    #[test]
+    fn site_keyed_fill_is_layout_independent() {
+        // The same global site must get the same uniform regardless of the
+        // tiling it is accessed through.
+        let mut a = Randomness::site_keyed(9);
+        let mut b = Randomness::site_keyed(9);
+        // 4×4 lattice as one 4×4 tile
+        let mut t1 = Tensor4::<f32>::zeros([1, 1, 4, 4]);
+        a.fill(&mut t1, 3, Color::White, |_, _, r, c| (r as u32, c as u32));
+        // same lattice as 2×2 grid of 2×2 tiles
+        let mut t2 = Tensor4::<f32>::zeros([2, 2, 2, 2]);
+        b.fill(&mut t2, 3, Color::White, |b0, b1, r, c| {
+            ((b0 * 2 + r) as u32, (b1 * 2 + c) as u32)
+        });
+        for gr in 0..4 {
+            for gc in 0..4 {
+                assert_eq!(
+                    t1.get(0, 0, gr, gc),
+                    t2.get(gr / 2, gc / 2, gr % 2, gc % 2),
+                    "site ({gr},{gc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn site_keyed_depends_on_sweep_and_color() {
+        let mut r = Randomness::site_keyed(1);
+        let a: f32 = r.site(0, Color::Black, 5, 5);
+        let b: f32 = r.site(1, Color::Black, 5, 5);
+        let c: f32 = r.site(0, Color::White, 5, 5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // and is reproducible
+        let a2: f32 = r.site(0, Color::Black, 5, 5);
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The correctness oracle: textbook sequential Metropolis–Hastings.
+//!
+//! One sweep visits sites in checkerboard order (all black, then all
+//! white) and applies the single-spin Metropolis acceptance
+//! `min(1, exp(−2β·σᵢ·nn(i)))` — the transition kernel whose stationarity
+//! the paper proves in its appendix. Run with site-keyed randomness it
+//! makes the *same* flip decisions as every parallel implementation in
+//! this crate; run with a bulk stream it is an independent sampler used
+//! for statistical cross-checks.
+
+use crate::lattice::Color;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::RandomUniform;
+use tpu_ising_tensor::Plane;
+
+/// Sequential checkerboard-ordered Metropolis sampler.
+pub struct ReferenceIsing<S> {
+    plane: Plane<S>,
+    beta: f64,
+    rng: Randomness,
+    sweep_index: u64,
+}
+
+impl<S: Scalar + RandomUniform> ReferenceIsing<S> {
+    /// Wrap an initial configuration.
+    pub fn new(plane: Plane<S>, beta: f64, rng: Randomness) -> Self {
+        ReferenceIsing { plane, beta, rng, sweep_index: 0 }
+    }
+
+    /// Immutable view of the configuration.
+    pub fn plane(&self) -> &Plane<S> {
+        &self.plane
+    }
+
+    /// Inverse temperature β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β (for annealing schedules).
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+    }
+
+    /// Update all sites of one color, one site at a time.
+    ///
+    /// Within one color the sites do not interact, so the visit order is
+    /// irrelevant — this is exactly why the parallel versions are valid.
+    pub fn update_color(&mut self, color: Color) {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        // Acceptance ratios computed with the same rounding pipeline the
+        // tensor implementations use: nn·σ exactly, then ×(−2β) and exp at
+        // storage precision.
+        let m2b = S::from_f32((-2.0 * self.beta) as f32);
+        for r in 0..h {
+            for c in 0..w {
+                if Color::of(r, c) != color {
+                    continue;
+                }
+                let nn = self.plane.get_wrap(r as isize - 1, c as isize).to_f32()
+                    + self.plane.get_wrap(r as isize + 1, c as isize).to_f32()
+                    + self.plane.get_wrap(r as isize, c as isize - 1).to_f32()
+                    + self.plane.get_wrap(r as isize, c as isize + 1).to_f32();
+                let s = self.plane.get(r, c);
+                let ratio = ((S::from_f32(nn) * s) * m2b).exp();
+                let u: S = self.rng.site(self.sweep_index, color, r as u32, c as u32);
+                if u < ratio {
+                    self.plane.set(r, c, -s);
+                }
+            }
+        }
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for ReferenceIsing<S> {
+    fn sweep(&mut self) {
+        self.update_color(Color::Black);
+        self.update_color(Color::White);
+        self.sweep_index += 1;
+    }
+
+    fn sites(&self) -> usize {
+        self.plane.height() * self.plane.width()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.plane.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        crate::observables::energy_sum(&self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{cold_plane, random_plane};
+
+    #[test]
+    fn zero_temperature_cold_lattice_is_frozen() {
+        // β → ∞: flips from the all-up state have nn·σ = 4 > 0 ⇒
+        // acceptance exp(−8β) ≈ 0.
+        let mut r = ReferenceIsing::new(cold_plane::<f32>(8, 8), 50.0, Randomness::bulk(3));
+        for _ in 0..10 {
+            r.sweep();
+        }
+        assert_eq!(r.magnetization_sum(), 64.0);
+    }
+
+    #[test]
+    fn infinite_temperature_randomizes() {
+        // β = 0: every proposal accepted (ratio = exp(0) = 1 > u).
+        let mut r = ReferenceIsing::new(cold_plane::<f32>(16, 16), 0.0, Randomness::bulk(4));
+        r.sweep();
+        // after one sweep every spin flipped once → all down
+        assert_eq!(r.magnetization_sum(), -256.0);
+        // after many sweeps with β=0 the state keeps alternating
+        r.sweep();
+        assert_eq!(r.magnetization_sum(), 256.0);
+    }
+
+    #[test]
+    fn low_temperature_orders_high_temperature_disorders() {
+        // cold start at low T stays magnetized; hot start at high T stays
+        // disordered.
+        let mut cold = ReferenceIsing::new(cold_plane::<f32>(16, 16), 1.0, Randomness::bulk(5));
+        for _ in 0..50 {
+            cold.sweep();
+        }
+        let m = cold.magnetization_sum() / 256.0;
+        assert!(m > 0.9, "low-T magnetization {m}");
+
+        let mut hot =
+            ReferenceIsing::new(random_plane::<f32>(6, 16, 16), 0.2, Randomness::bulk(6));
+        let mut acc = 0.0;
+        for _ in 0..50 {
+            hot.sweep();
+            acc += (hot.magnetization_sum() / 256.0).abs();
+        }
+        assert!(acc / 50.0 < 0.3, "high-T |m| {}", acc / 50.0);
+    }
+
+    #[test]
+    fn acceptance_table_is_metropolis() {
+        // Directly verify the acceptance ratio values for each neighbor sum.
+        let beta = 0.37f64;
+        for nn in [-4.0f32, -2.0, 0.0, 2.0, 4.0] {
+            for s in [-1.0f32, 1.0] {
+                let expect = (-2.0 * beta as f32 * nn * s).exp();
+                let got = ((nn * s) * (-2.0 * beta) as f32).exp();
+                assert!((got - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_preserve_spin_values() {
+        let mut r =
+            ReferenceIsing::new(random_plane::<f32>(9, 12, 12), 0.44, Randomness::bulk(7));
+        for _ in 0..5 {
+            r.sweep();
+        }
+        assert!(r.plane().data().iter().all(|&s| s == 1.0 || s == -1.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel tempering (replica exchange) over a temperature ladder.
+//!
+//! A standard companion to checkerboard sweeps for hard landscapes: `R`
+//! replicas run at temperatures `T₁ < T₂ < … < T_R` and adjacent pairs
+//! propose configuration swaps with the Metropolis probability
+//! `min(1, exp((βᵢ − βⱼ)(Eᵢ − Eⱼ)))`, which preserves the product
+//! distribution. Hot replicas tunnel over barriers; cold replicas inherit
+//! their discoveries — the same multi-chain structure the paper's Pod
+//! naturally provides (one replica per core slice is the obvious mapping).
+
+use crate::compact::CompactIsing;
+use crate::lattice::random_plane;
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::{PhiloxStream, RandomUniform};
+
+/// A parallel-tempering ensemble of compact-algorithm replicas.
+pub struct Tempering<S> {
+    replicas: Vec<CompactIsing<S>>,
+    betas: Vec<f64>,
+    swap_rng: PhiloxStream,
+    attempted: u64,
+    accepted: u64,
+}
+
+impl<S: Scalar + RandomUniform> Tempering<S> {
+    /// Build an ensemble on an `l × l` lattice with a geometric temperature
+    /// ladder from `t_min` to `t_max` (inclusive) and `replicas` rungs.
+    pub fn new(
+        l: usize,
+        tile: usize,
+        t_min: f64,
+        t_max: f64,
+        replicas: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(replicas >= 2, "tempering needs at least two rungs");
+        assert!(t_min < t_max);
+        let betas: Vec<f64> = (0..replicas)
+            .map(|i| {
+                let f = i as f64 / (replicas - 1) as f64;
+                1.0 / (t_min * (t_max / t_min).powf(f))
+            })
+            .collect();
+        let replicas = betas
+            .iter()
+            .enumerate()
+            .map(|(i, &beta)| {
+                CompactIsing::from_plane(
+                    &random_plane::<S>(seed.wrapping_add(i as u64), l, l),
+                    tile,
+                    beta,
+                    Randomness::bulk(seed ^ (0xEE77 + i as u64) << 8),
+                )
+            })
+            .collect();
+        Tempering {
+            replicas,
+            betas,
+            swap_rng: PhiloxStream::from_seed(seed ^ 0x5A4B_0000),
+            attempted: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// `true` if the ensemble is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The β ladder (ascending β = descending temperature? No — index 0 is
+    /// the *coldest* rung, matching `betas[0] = 1/t_min`).
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// The replica at rung `i` (0 = coldest).
+    pub fn replica(&self, i: usize) -> &CompactIsing<S> {
+        &self.replicas[i]
+    }
+
+    /// Fraction of proposed swaps accepted so far.
+    pub fn swap_acceptance(&self) -> f64 {
+        if self.attempted == 0 {
+            return 0.0;
+        }
+        self.accepted as f64 / self.attempted as f64
+    }
+
+    /// One tempering round: every replica sweeps, then adjacent pairs
+    /// propose swaps (even pairs on even rounds, odd pairs on odd, the
+    /// standard alternation).
+    pub fn round(&mut self, round_index: u64) {
+        for r in self.replicas.iter_mut() {
+            r.sweep();
+        }
+        let start = (round_index % 2) as usize;
+        let energies: Vec<f64> = self.replicas.iter().map(|r| r.energy_sum()).collect();
+        let mut i = start;
+        while i + 1 < self.replicas.len() {
+            let db = self.betas[i] - self.betas[i + 1];
+            let de = energies[i] - energies[i + 1];
+            let p = (db * de).exp().min(1.0);
+            self.attempted += 1;
+            if (self.swap_rng.uniform::<f32>() as f64) < p {
+                self.accepted += 1;
+                self.replicas.swap(i, i + 1);
+                // configurations swap rungs; each replica adopts the rung's β
+                let (a, b) = (self.betas[i], self.betas[i + 1]);
+                self.replicas[i].set_beta(a);
+                self.replicas[i + 1].set_beta(b);
+            }
+            i += 2;
+        }
+    }
+
+    /// Run `rounds` tempering rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for k in 0..rounds {
+            self.round(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::T_CRITICAL;
+
+    #[test]
+    fn ladder_is_geometric_and_ordered() {
+        let t = Tempering::<f32>::new(8, 2, 1.0, 4.0, 5, 1);
+        assert_eq!(t.len(), 5);
+        assert!((1.0 / t.betas()[0] - 1.0).abs() < 1e-12);
+        assert!((1.0 / t.betas()[4] - 4.0).abs() < 1e-12);
+        for w in t.betas().windows(2) {
+            assert!(w[0] > w[1], "β must descend along the ladder");
+        }
+    }
+
+    #[test]
+    fn swap_probability_formula() {
+        // Identical energies or identical β always swap: p = exp(0) = 1.
+        // A cold rung with LOWER energy than the hot rung swaps with
+        // p = exp(negative) < 1.
+        let db = 1.0 / 1.0 - 1.0 / 2.0; // β_cold − β_hot > 0
+        let de = -10.0; // cold already lower-energy
+        let p = (db * de).exp().min(1.0);
+        assert!(p < 1.0);
+        let p_eq = (db * 0.0).exp().min(1.0);
+        assert_eq!(p_eq, 1.0);
+    }
+
+    #[test]
+    fn replicas_adopt_the_rungs_beta_after_swaps() {
+        let mut t = Tempering::<f32>::new(8, 2, 1.5, 4.0, 4, 3);
+        t.run(20);
+        for (i, r) in (0..t.len()).map(|i| (i, t.replica(i))) {
+            assert!((r.beta() - t.betas()[i]).abs() < 1e-12, "rung {i}");
+        }
+    }
+
+    #[test]
+    fn swaps_do_happen_and_acceptance_is_sane() {
+        let mut t = Tempering::<f32>::new(16, 4, 0.7 * T_CRITICAL, 3.0 * T_CRITICAL, 6, 5);
+        t.run(60);
+        let acc = t.swap_acceptance();
+        assert!(acc > 0.05, "swap acceptance {acc} suspiciously low");
+        assert!(acc <= 1.0);
+    }
+
+    #[test]
+    fn coldest_rung_orders_hottest_stays_disordered() {
+        let mut t = Tempering::<f32>::new(16, 4, 0.6 * T_CRITICAL, 3.0 * T_CRITICAL, 5, 11);
+        t.run(150);
+        let n = 256.0;
+        let mut cold_m = 0.0;
+        let mut hot_m = 0.0;
+        for k in 0..60 {
+            t.round(150 + k);
+            cold_m += t.replica(0).magnetization_sum().abs() / n;
+            hot_m += t.replica(t.len() - 1).magnetization_sum().abs() / n;
+        }
+        cold_m /= 60.0;
+        hot_m /= 60.0;
+        assert!(cold_m > 0.85, "cold rung ⟨|m|⟩ = {cold_m}");
+        assert!(hot_m < 0.35, "hot rung ⟨|m|⟩ = {hot_m}");
+    }
+}

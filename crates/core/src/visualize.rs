@@ -1,0 +1,144 @@
+//! Terminal visualization of spin configurations.
+//!
+//! Domain structure is the most intuitive diagnostic for an Ising run —
+//! ordered lattices are single-color, critical lattices show fractal
+//! clusters, quenches show coarsening domains. [`ascii_render`] draws a
+//! downsampled block-character picture; [`domain_stats`] quantifies it.
+
+use tpu_ising_bf16::Scalar;
+use tpu_ising_tensor::Plane;
+
+/// Render a plane as block characters, downsampled to at most
+/// `max_cols × max_rows` cells (each cell averages its window: `█` for
+/// up-majority, `░` for down-majority, `▒` for mixed).
+pub fn ascii_render<S: Scalar>(plane: &Plane<S>, max_rows: usize, max_cols: usize) -> String {
+    let (h, w) = (plane.height(), plane.width());
+    let rows = h.min(max_rows.max(1));
+    let cols = w.min(max_cols.max(1));
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for rr in 0..rows {
+        for cc in 0..cols {
+            let r0 = rr * h / rows;
+            let r1 = ((rr + 1) * h / rows).max(r0 + 1);
+            let c0 = cc * w / cols;
+            let c1 = ((cc + 1) * w / cols).max(c0 + 1);
+            let mut acc = 0.0f64;
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    acc += plane.get(r, c).to_f32() as f64;
+                }
+            }
+            let mean = acc / ((r1 - r0) * (c1 - c0)) as f64;
+            out.push(if mean > 0.5 {
+                '█'
+            } else if mean < -0.5 {
+                '░'
+            } else {
+                '▒'
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Domain statistics: number of connected same-spin clusters (4-neighbor,
+/// torus) and the size of the largest one.
+pub fn domain_stats<S: Scalar>(plane: &Plane<S>) -> (usize, usize) {
+    let (h, w) = (plane.height(), plane.width());
+    let mut visited = vec![false; h * w];
+    let mut clusters = 0usize;
+    let mut largest = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..h * w {
+        if visited[start] {
+            continue;
+        }
+        clusters += 1;
+        let spin = plane.get(start / w, start % w).to_f32();
+        let mut size = 0usize;
+        visited[start] = true;
+        stack.push(start);
+        while let Some(idx) = stack.pop() {
+            size += 1;
+            let (r, c) = (idx / w, idx % w);
+            let neighbors = [
+                ((r + h - 1) % h) * w + c,
+                ((r + 1) % h) * w + c,
+                r * w + (c + w - 1) % w,
+                r * w + (c + 1) % w,
+            ];
+            for &n in &neighbors {
+                if !visited[n] && plane.get(n / w, n % w).to_f32() == spin {
+                    visited[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    (clusters, largest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plane_renders_solid() {
+        let p = crate::lattice::cold_plane::<f32>(8, 8);
+        let s = ascii_render(&p, 4, 4);
+        assert_eq!(s, "████\n████\n████\n████\n");
+    }
+
+    #[test]
+    fn down_plane_renders_light() {
+        let p = Plane::<f32>::from_fn(4, 4, |_, _| -1.0);
+        assert!(ascii_render(&p, 2, 2).chars().filter(|&c| c == '░').count() == 4);
+    }
+
+    #[test]
+    fn mixed_window_renders_half_tone() {
+        let p = Plane::<f32>::from_fn(2, 2, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -1.0 });
+        let s = ascii_render(&p, 1, 1);
+        assert_eq!(s, "▒\n");
+    }
+
+    #[test]
+    fn render_dimensions_are_bounded() {
+        let p = crate::lattice::random_plane::<f32>(1, 64, 128);
+        let s = ascii_render(&p, 10, 20);
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.lines().all(|l| l.chars().count() == 20));
+    }
+
+    #[test]
+    fn domain_stats_on_known_patterns() {
+        // uniform: one cluster of N
+        let p = crate::lattice::cold_plane::<f32>(6, 6);
+        assert_eq!(domain_stats(&p), (1, 36));
+        // perfect checkerboard: every site its own cluster
+        let p = Plane::<f32>::from_fn(4, 4, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -1.0 });
+        assert_eq!(domain_stats(&p), (16, 1));
+        // two half-planes (rows 0-2 up, 3-5 down): 2 clusters of 18
+        let p = Plane::<f32>::from_fn(6, 6, |r, _| if r < 3 { 1.0 } else { -1.0 });
+        assert_eq!(domain_stats(&p), (2, 18));
+    }
+
+    #[test]
+    fn coarsening_reduces_cluster_count() {
+        use crate::{CompactIsing, Randomness, Sweeper};
+        let init = crate::lattice::random_plane::<f32>(5, 32, 32);
+        let (clusters_before, _) = domain_stats(&init);
+        let mut sim = CompactIsing::from_plane(&init, 8, 0.9, Randomness::bulk(5));
+        for _ in 0..30 {
+            sim.sweep();
+        }
+        let (clusters_after, largest_after) = domain_stats(&sim.to_plane());
+        assert!(
+            clusters_after < clusters_before / 2,
+            "{clusters_before} → {clusters_after}"
+        );
+        assert!(largest_after > 512, "largest domain {largest_after}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Wolff cluster algorithm — an independent cross-check sampler.
+//!
+//! Near `Tc` single-spin-flip dynamics (everything the paper benchmarks)
+//! suffer critical slowing down: the autocorrelation time diverges with
+//! lattice size. The Wolff algorithm (Wolff 1989) flips whole stochastic
+//! clusters grown with bond probability `p = 1 − e^{−2β}`, which satisfies
+//! detailed balance with acceptance 1 and nearly eliminates the slowdown.
+//!
+//! It shares *no code path* with the checkerboard implementations — a
+//! different update family targeting the same Boltzmann distribution — so
+//! agreement of its observables with the checkerboard chains is a strong
+//! independent validation (used by the physics integration tests).
+
+use crate::prob::Randomness;
+use crate::sampler::Sweeper;
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::{PhiloxStream, RandomUniform};
+use tpu_ising_tensor::Plane;
+
+/// Wolff cluster sampler on a full plane.
+pub struct WolffIsing<S> {
+    plane: Plane<S>,
+    beta: f64,
+    p_add: f64,
+    rng: PhiloxStream,
+    /// scratch: visited marks (avoids reallocating per cluster)
+    visited: Vec<bool>,
+    stack: Vec<(usize, usize)>,
+    /// total spins flipped, for effective-sweep accounting
+    flipped: u64,
+}
+
+impl<S: Scalar + RandomUniform> WolffIsing<S> {
+    /// Wrap an initial configuration. `rng` must be the bulk variant —
+    /// cluster growth is inherently sequential, site-keying does not apply.
+    pub fn new(plane: Plane<S>, beta: f64, rng: Randomness) -> Self {
+        let stream = match rng {
+            Randomness::Bulk(s) => s,
+            Randomness::SiteKeyed(_) => {
+                panic!("Wolff clusters are sequential; use Randomness::bulk")
+            }
+        };
+        let n = plane.height() * plane.width();
+        WolffIsing {
+            plane,
+            beta,
+            p_add: 1.0 - (-2.0 * beta).exp(),
+            rng: stream,
+            visited: vec![false; n],
+            stack: Vec::new(),
+            flipped: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn plane(&self) -> &Plane<S> {
+        &self.plane
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Change β (updates the bond probability).
+    pub fn set_beta(&mut self, beta: f64) {
+        self.beta = beta;
+        self.p_add = 1.0 - (-2.0 * beta).exp();
+    }
+
+    /// Grow and flip one cluster from a random seed site. Returns the
+    /// cluster size.
+    pub fn cluster_step(&mut self) -> usize {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let r0 = (self.rng.next_u64() % h as u64) as usize;
+        let c0 = (self.rng.next_u64() % w as u64) as usize;
+        let seed_spin = self.plane.get(r0, c0);
+
+        self.visited.iter_mut().for_each(|v| *v = false);
+        self.stack.clear();
+        self.stack.push((r0, c0));
+        self.visited[r0 * w + c0] = true;
+        let mut size = 0usize;
+
+        while let Some((r, c)) = self.stack.pop() {
+            // flip as we pop (every stacked site is part of the cluster)
+            let s = self.plane.get(r, c);
+            self.plane.set(r, c, -s);
+            size += 1;
+            let neighbors = [
+                ((r + h - 1) % h, c),
+                ((r + 1) % h, c),
+                (r, (c + w - 1) % w),
+                (r, (c + 1) % w),
+            ];
+            for (nr, nc) in neighbors {
+                let idx = nr * w + nc;
+                if !self.visited[idx]
+                    && self.plane.get(nr, nc) == seed_spin
+                    && (self.rng.uniform::<f32>() as f64) < self.p_add
+                {
+                    self.visited[idx] = true;
+                    self.stack.push((nr, nc));
+                }
+            }
+        }
+        self.flipped += size as u64;
+        size
+    }
+}
+
+impl<S: Scalar + RandomUniform> Sweeper for WolffIsing<S> {
+    /// One "sweep" = enough cluster steps to flip (on average) a lattice's
+    /// worth of spins, so chain-driver sample counts stay comparable with
+    /// the checkerboard samplers.
+    fn sweep(&mut self) {
+        let n = (self.plane.height() * self.plane.width()) as u64;
+        let target = self.flipped + n;
+        while self.flipped < target {
+            self.cluster_step();
+        }
+    }
+
+    fn sites(&self) -> usize {
+        self.plane.height() * self.plane.width()
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        self.plane.sum_f64()
+    }
+
+    fn energy_sum(&self) -> f64 {
+        crate::observables::energy_sum(&self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::random_plane;
+    use crate::observables::onsager;
+    use crate::sampler::run_chain;
+    use crate::T_CRITICAL;
+
+    #[test]
+    fn bond_probability_formula() {
+        let w = WolffIsing::new(random_plane::<f32>(1, 8, 8), 0.5, Randomness::bulk(1));
+        assert!((w.p_add - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_zero_flips_single_sites() {
+        // p_add = 0: every cluster is exactly one site.
+        let mut w = WolffIsing::new(random_plane::<f32>(2, 8, 8), 0.0, Randomness::bulk(2));
+        for _ in 0..50 {
+            assert_eq!(w.cluster_step(), 1);
+        }
+    }
+
+    #[test]
+    fn large_beta_flips_whole_aligned_lattice() {
+        // from the all-up state at huge β, the cluster is the whole lattice
+        let mut w = WolffIsing::new(crate::lattice::cold_plane::<f32>(8, 8), 10.0, Randomness::bulk(3));
+        assert_eq!(w.cluster_step(), 64);
+        // the lattice is now all-down; flipping again restores it
+        assert_eq!(w.magnetization_sum(), -64.0);
+        assert_eq!(w.cluster_step(), 64);
+        assert_eq!(w.magnetization_sum(), 64.0);
+    }
+
+    #[test]
+    fn spins_stay_spins() {
+        let mut w = WolffIsing::new(random_plane::<f32>(4, 16, 16), 0.44, Randomness::bulk(4));
+        for _ in 0..10 {
+            w.sweep();
+        }
+        assert!(w.plane().data().iter().all(|&s| s == 1.0 || s == -1.0));
+    }
+
+    #[test]
+    fn agrees_with_onsager_below_tc() {
+        let t = 0.8 * T_CRITICAL;
+        let mut w = WolffIsing::new(
+            crate::lattice::cold_plane::<f32>(32, 32),
+            1.0 / t,
+            Randomness::bulk(5),
+        );
+        let stats = run_chain(&mut w, 100, 600);
+        let exact = onsager::magnetization(t);
+        assert!(
+            (stats.mean_abs_m - exact).abs() < 0.02,
+            "Wolff ⟨|m|⟩ = {} vs Onsager {exact}",
+            stats.mean_abs_m
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn site_keyed_randomness_is_rejected() {
+        let _ = WolffIsing::new(random_plane::<f32>(1, 4, 4), 0.4, Randomness::site_keyed(1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the core update invariants, over random
+//! lattice shapes, seeds and temperatures.
+
+use proptest::prelude::*;
+use tpu_ising_core::{
+    random_plane, Color, CompactIsing, ConvIsing, NaiveIsing, Randomness, Sweeper,
+};
+use tpu_ising_tensor::Plane;
+
+/// Strategy: (height, width, tile) with 2·tile | height, width.
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..4, 1usize..4, prop_oneof![Just(1usize), Just(2), Just(4)])
+        .prop_map(|(m, n, t)| (2 * t * m, 2 * t * n, t))
+}
+
+fn is_spin_plane(p: &Plane<f32>) -> bool {
+    p.data().iter().all(|&s| s == 1.0 || s == -1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compact_neighbor_sums_match_bruteforce_for_any_geometry(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+    ) {
+        let plane = random_plane::<f32>(seed, h, w);
+        let sim = CompactIsing::from_plane(&plane, tile, 0.4, Randomness::bulk(0));
+        let nn = plane.neighbor_sum_periodic();
+        let parts = nn.deinterleave();
+        let (nn0, nn1) = sim.neighbor_sums(Color::Black, &sim.local_halos(Color::Black));
+        prop_assert_eq!(&nn0, &parts[0].to_tiles(tile));
+        prop_assert_eq!(&nn1, &parts[3].to_tiles(tile));
+        let (nn0, nn1) = sim.neighbor_sums(Color::White, &sim.local_halos(Color::White));
+        prop_assert_eq!(&nn0, &parts[1].to_tiles(tile));
+        prop_assert_eq!(&nn1, &parts[2].to_tiles(tile));
+    }
+
+    #[test]
+    fn sweeps_preserve_spin_domain(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+        beta in 0.0f64..2.0,
+    ) {
+        let plane = random_plane::<f32>(seed, h, w);
+        let mut sim = CompactIsing::from_plane(&plane, tile, beta, Randomness::bulk(seed));
+        for _ in 0..3 {
+            sim.sweep();
+        }
+        prop_assert!(is_spin_plane(&sim.to_plane()));
+    }
+
+    #[test]
+    fn implementations_agree_for_any_geometry_and_temperature(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+        beta in 0.0f64..1.5,
+    ) {
+        let plane = random_plane::<f32>(seed, h, w);
+        let mut compact =
+            CompactIsing::from_plane(&plane, tile, beta, Randomness::site_keyed(seed));
+        let mut conv = ConvIsing::new(plane.clone(), beta, Randomness::site_keyed(seed));
+        for _ in 0..3 {
+            compact.sweep();
+            conv.sweep();
+        }
+        prop_assert_eq!(&compact.to_plane(), conv.plane());
+    }
+
+    #[test]
+    fn naive_agrees_when_tile_is_even(
+        m in 1usize..3,
+        n in 1usize..3,
+        seed in 0u64..1000,
+        beta in 0.0f64..1.5,
+    ) {
+        // naive needs an even tile for its parity mask
+        let (tile, h, w) = (2usize, 4 * m, 4 * n);
+        let plane = random_plane::<f32>(seed, h, w);
+        let mut naive = NaiveIsing::from_plane(&plane, tile, beta, Randomness::site_keyed(seed));
+        let mut conv = ConvIsing::new(plane, beta, Randomness::site_keyed(seed));
+        for _ in 0..3 {
+            naive.sweep();
+            conv.sweep();
+        }
+        prop_assert_eq!(&naive.to_plane(), conv.plane());
+    }
+
+    #[test]
+    fn black_update_touches_only_black_sites(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+    ) {
+        let plane = random_plane::<f32>(seed, h, w);
+        let mut sim = CompactIsing::from_plane(&plane, tile, 0.3, Randomness::bulk(seed));
+        let halos = sim.local_halos(Color::Black);
+        sim.update_color(Color::Black, &halos);
+        let after = sim.to_plane();
+        for r in 0..h {
+            for c in 0..w {
+                if (r + c) % 2 == 1 {
+                    prop_assert_eq!(after.get(r, c), plane.get(r, c), "white site ({}, {}) moved", r, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn magnetization_flips_sign_under_global_spin_flip(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+        beta in 0.1f64..1.0,
+    ) {
+        // Z2 symmetry: evolving −σ with the same uniforms mirrors σ (the
+        // acceptance depends on σ·nn which is Z2-invariant), so the
+        // magnetization trajectory negates exactly.
+        let plane = random_plane::<f32>(seed, h, w);
+        let flipped = Plane::from_fn(h, w, |r, c| -plane.get(r, c));
+        let mut a = CompactIsing::from_plane(&plane, tile, beta, Randomness::site_keyed(seed));
+        let mut b = CompactIsing::from_plane(&flipped, tile, beta, Randomness::site_keyed(seed));
+        for _ in 0..3 {
+            a.sweep();
+            b.sweep();
+        }
+        prop_assert!((a.magnetization_sum() + b.magnetization_sum()).abs() < 1e-9);
+        prop_assert!((a.energy_sum() - b.energy_sum()).abs() < 1e-9);
+    }
+}

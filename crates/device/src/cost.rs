@@ -1,0 +1,441 @@
+//! Op counting and step-time assembly — the engine behind Tables 1–7.
+//!
+//! The model follows the paper's own validation arithmetic (§5.2): count
+//! what one sweep does per spin, divide by calibrated sustained rates, add
+//! the collective-permute time for distributed runs.
+
+use crate::calib;
+use crate::params::TpuV3Params;
+use serde::Serialize;
+
+/// Which of the paper's three update programs is being modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Variant {
+    /// Algorithm 1: full-lattice matmuls with a parity mask.
+    Naive,
+    /// Algorithm 2: four deinterleaved compact sub-lattices (the paper's
+    /// main benchmark configuration).
+    Compact,
+    /// The appendix variant: nearest-neighbor sums via `tf.nn.conv2d`.
+    Conv,
+}
+
+/// Single-core or SPMD-distributed execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ExecutionMode {
+    /// One TensorCore, no halo exchange (Table 1's program).
+    SingleCore,
+    /// SPMD over `cores` TensorCores with collective-permute halo exchange
+    /// (Tables 2–4, 6, 7).
+    Distributed {
+        /// Number of participating TensorCores.
+        cores: usize,
+    },
+}
+
+/// One modeled configuration: the per-core lattice, precision, program
+/// variant and execution mode.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StepConfig {
+    /// Per-core lattice height in spins (e.g. `896 * 128`).
+    pub per_core_h: usize,
+    /// Per-core lattice width in spins.
+    pub per_core_w: usize,
+    /// Storage bytes per spin value: 2 for bf16, 4 for f32.
+    pub dtype_bytes: usize,
+    /// Update program.
+    pub variant: Variant,
+    /// Execution mode.
+    pub mode: ExecutionMode,
+}
+
+impl StepConfig {
+    /// Spins per core.
+    pub fn per_core_spins(&self) -> f64 {
+        self.per_core_h as f64 * self.per_core_w as f64
+    }
+
+    /// Total spins across all cores.
+    pub fn total_spins(&self) -> f64 {
+        self.per_core_spins() * self.cores() as f64
+    }
+
+    /// Participating cores (1 for single-core mode).
+    pub fn cores(&self) -> usize {
+        match self.mode {
+            ExecutionMode::SingleCore => 1,
+            ExecutionMode::Distributed { cores } => cores,
+        }
+    }
+}
+
+/// Per-core, per-sweep operation counts (one sweep = black + white update).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct OpCounts {
+    /// MXU multiply-accumulates.
+    pub macs: f64,
+    /// VPU element-operations (RNG weighted by
+    /// [`calib::RNG_OPS_PER_UNIFORM`], plus element-wise math).
+    pub vpu_elems: f64,
+    /// Bytes moved by data-formatting ops (reshape / slice / interleave).
+    pub fmt_bytes: f64,
+    /// Total HBM traffic in bytes (matmul + element-wise + formatting).
+    pub hbm_bytes: f64,
+    /// Halo bytes exchanged over the inter-chip network.
+    pub cp_bytes: f64,
+}
+
+/// Per-spin op intensities for each variant, at bf16 storage.
+fn per_spin(variant: Variant, mode: ExecutionMode, dtype_bytes: usize) -> (f64, f64, f64, f64) {
+    let b = dtype_bytes as f64;
+    // MACs per spin per sweep. Compact: 8 batched matmuls over quarter
+    // lattices, 128 MACs per produced element ⇒ 8·(1/4)·128 = 256.
+    // Naive: 4 full-lattice matmuls (σK + Kσ per color) ⇒ 4·128 = 512.
+    // Conv: XLA lowers the plus-kernel conv to patch dot-products packed
+    // onto the MXU ⇒ ~64 effective MACs/spin (see DESIGN.md).
+    let macs = match variant {
+        Variant::Naive => 512.0,
+        Variant::Compact => 256.0,
+        Variant::Conv => 64.0,
+    };
+    // f32 matmuls take multiple bf16 MXU passes.
+    let macs = if dtype_bytes == 4 { macs * calib::MXU_F32_PASSES } else { macs };
+    // VPU element-ops per spin: uniforms (weighted) + element-wise chain
+    // (multiply by σ and 2β, exp, compare, select-and-flip).
+    let vpu = match variant {
+        Variant::Naive => 2.0 * calib::RNG_OPS_PER_UNIFORM + 22.0,
+        Variant::Compact | Variant::Conv => calib::RNG_OPS_PER_UNIFORM + 9.0,
+    };
+    // Formatting passes over the lattice at storage width.
+    let fmt_passes = match (variant, mode) {
+        (Variant::Naive, _) => calib::fmt_passes::NAIVE,
+        (Variant::Compact, ExecutionMode::SingleCore) => calib::fmt_passes::COMPACT_SINGLE,
+        (Variant::Compact, ExecutionMode::Distributed { .. }) => {
+            calib::fmt_passes::COMPACT_DISTRIBUTED
+        }
+        (Variant::Conv, _) => calib::fmt_passes::CONV,
+    };
+    let fmt_bytes = fmt_passes * b;
+    // HBM traffic: matmul operand/result streaming + element-wise reads and
+    // writes + formatting.
+    let matmul_passes = match variant {
+        Variant::Naive => 8.0,
+        Variant::Compact => 4.0,
+        Variant::Conv => 2.0,
+    };
+    let vpu_passes = match variant {
+        Variant::Naive => 20.0,
+        Variant::Compact | Variant::Conv => 9.0,
+    };
+    let hbm_bytes = (matmul_passes + vpu_passes) * b + fmt_bytes;
+    (macs, vpu, fmt_bytes, hbm_bytes)
+}
+
+/// Count one sweep's per-core operations for a configuration.
+pub fn step_counts(cfg: &StepConfig) -> OpCounts {
+    let spins = cfg.per_core_spins();
+    let (macs, vpu, fmt_b, hbm_b) = per_spin(cfg.variant, cfg.mode, cfg.dtype_bytes);
+    let cp_bytes = match cfg.mode {
+        ExecutionMode::SingleCore => 0.0,
+        // One boundary row + one boundary column, both directions
+        // (paper §5.1: 896·128·2 B and 448·128·2 B per edge per direction).
+        ExecutionMode::Distributed { .. } => {
+            2.0 * (cfg.per_core_h + cfg.per_core_w) as f64 * cfg.dtype_bytes as f64
+        }
+    };
+    OpCounts {
+        macs: macs * spins,
+        vpu_elems: vpu * spins,
+        fmt_bytes: fmt_b * spins,
+        hbm_bytes: hbm_b * spins,
+        cp_bytes,
+    }
+}
+
+/// Modeled time of one sweep, split the way the paper's profiler reports it
+/// (Table 3). All times in seconds.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Breakdown {
+    /// Matrix-unit time (nearest-neighbor matmuls).
+    pub t_mxu: f64,
+    /// Vector-unit time (RNG + element-wise math).
+    pub t_vpu: f64,
+    /// Data-formatting time (reshape / slice / interleave).
+    pub t_fmt: f64,
+    /// Collective-permute time (halo exchange + synchronization).
+    pub t_cp: f64,
+}
+
+impl Breakdown {
+    /// Total step time in seconds.
+    pub fn total(&self) -> f64 {
+        self.t_mxu + self.t_vpu + self.t_fmt + self.t_cp
+    }
+
+    /// Percentage shares `(mxu, vpu, fmt, cp)` of the total.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        (
+            self.t_mxu / t * 100.0,
+            self.t_vpu / t * 100.0,
+            self.t_fmt / t * 100.0,
+            self.t_cp / t * 100.0,
+        )
+    }
+}
+
+/// The collective-permute time model in seconds (see [`calib`] for the
+/// fitted constants and their provenance).
+pub fn collective_permute_time(cores: usize, cp_bytes: f64) -> f64 {
+    if cores <= 1 {
+        return 0.0;
+    }
+    let p = cores as f64;
+    let ms = calib::CP_BASE_MS
+        + calib::CP_SQRT_MS * p.sqrt()
+        + calib::CP_LIN_MS * p
+        + cp_bytes / calib::CP_LINK_BW * 1e3;
+    ms * 1e-3
+}
+
+/// Assemble the modeled step time for a configuration.
+pub fn step_time(params: &TpuV3Params, cfg: &StepConfig) -> Breakdown {
+    let _ = params; // rates are calibrated constants; params feeds roofline/energy
+    let counts = step_counts(cfg);
+    let mut t_mxu = counts.macs / calib::MXU_SUSTAINED_MACS;
+    let mut t_vpu = counts.vpu_elems / calib::VPU_SUSTAINED_ELEMS;
+    let mut t_fmt = counts.fmt_bytes / calib::FMT_RATE_BYTES;
+    let t_cp = match cfg.mode {
+        ExecutionMode::SingleCore => {
+            // Small lattices under-fill the MXU/VPU pipelines; scale the
+            // whole compute by the measured single-core efficiency curve.
+            let eff = calib::single_core_efficiency(cfg.per_core_spins());
+            t_mxu /= eff;
+            t_vpu /= eff;
+            t_fmt /= eff;
+            0.0
+        }
+        ExecutionMode::Distributed { cores } => {
+            // The distributed compact graph loses MXU utilization below the
+            // calibrated per-core size threshold (Table 4's 44 % step).
+            if cfg.variant == Variant::Compact
+                && cfg.per_core_spins() < calib::DIST_SMALL_LATTICE_THRESHOLD_SPINS
+            {
+                let m = calib::DIST_SMALL_LATTICE_MULTIPLIER;
+                t_mxu *= m;
+                t_vpu *= m;
+                t_fmt *= m;
+            }
+            collective_permute_time(cores, counts.cp_bytes)
+        }
+    };
+    Breakdown { t_mxu, t_vpu, t_fmt, t_cp }
+}
+
+/// Whole-job throughput in spin flips per nanosecond: every spin is visited
+/// once per sweep, so throughput = total spins / step time.
+pub fn throughput_flips_per_ns(params: &TpuV3Params, cfg: &StepConfig) -> f64 {
+    cfg.total_spins() / (step_time(params, cfg).total() * 1e9)
+}
+
+/// The largest `k` such that a `(k·128)²` lattice fits in one core's HBM at
+/// the given precision, including the calibrated temporary-tensor overhead.
+///
+/// `k` steps in multiples of 16: the compact supergrid reorganizes the
+/// lattice into `[256, 256]` super-tiles whose quarters must land on (8,128)
+/// HBM tile boundaries, which quantizes realizable square lattice sides.
+/// With that granularity the model reproduces the paper's §4.2.1 maximum of
+/// `(656·128)²` at 96 % HBM utilization.
+pub fn max_square_lattice_k(params: &TpuV3Params, dtype_bytes: usize) -> usize {
+    let budget = params.hbm_capacity_bytes as f64;
+    let mut k = 16usize;
+    loop {
+        let side = ((k + 16) * 128) as f64;
+        let need = side * side * dtype_bytes as f64 * (1.0 + calib::HBM_TEMP_FACTOR);
+        if need > budget {
+            return k;
+        }
+        k += 16;
+    }
+}
+
+/// Fraction of HBM a `(k·128)²` lattice consumes at the given precision.
+pub fn hbm_utilization(params: &TpuV3Params, k: usize, dtype_bytes: usize) -> f64 {
+    let side = (k * 128) as f64;
+    side * side * dtype_bytes as f64 * (1.0 + calib::HBM_TEMP_FACTOR)
+        / params.hbm_capacity_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchor() -> StepConfig {
+        StepConfig {
+            per_core_h: 896 * 128,
+            per_core_w: 448 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores: 2 },
+        }
+    }
+
+    #[test]
+    fn anchor_step_time_matches_table2() {
+        let bd = step_time(&TpuV3Params::v3(), &anchor());
+        let ms = bd.total() * 1e3;
+        assert!((ms - 574.7).abs() < 6.0, "step {ms} ms");
+    }
+
+    #[test]
+    fn anchor_breakdown_matches_table3() {
+        let bd = step_time(&TpuV3Params::v3(), &anchor());
+        let (mxu, vpu, fmt, cp) = bd.percentages();
+        assert!((mxu - 59.6).abs() < 1.5, "mxu {mxu}");
+        assert!((vpu - 12.0).abs() < 1.0, "vpu {vpu}");
+        assert!((fmt - 28.1).abs() < 1.5, "fmt {fmt}");
+        assert!(cp < 0.2, "cp {cp}");
+    }
+
+    #[test]
+    fn weak_scaling_is_linear() {
+        // Table 2: same per-core lattice on 2..512 cores → flat step time,
+        // throughput ∝ cores.
+        let p = TpuV3Params::v3();
+        let mut base = 0.0;
+        for (i, &cores) in [2usize, 8, 32, 128, 512].iter().enumerate() {
+            let cfg = StepConfig { mode: ExecutionMode::Distributed { cores }, ..anchor() };
+            let t = step_time(&p, &cfg).total();
+            let f = throughput_flips_per_ns(&p, &cfg);
+            if i == 0 {
+                base = f / cores as f64;
+            }
+            assert!((t * 1e3 - 575.0).abs() < 8.0, "step {t}");
+            let per_core = f / cores as f64;
+            assert!((per_core - base).abs() / base < 0.01, "per-core {per_core}");
+        }
+    }
+
+    #[test]
+    fn single_core_table1_endpoints() {
+        // Table 1: (20·128)² → 8.19 flips/ns, (320·128)² → 12.91 flips/ns.
+        let p = TpuV3Params::v3();
+        let mk = |k: usize| StepConfig {
+            per_core_h: k * 128,
+            per_core_w: k * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::SingleCore,
+        };
+        let f20 = throughput_flips_per_ns(&p, &mk(20));
+        let f320 = throughput_flips_per_ns(&p, &mk(320));
+        assert!((f20 - 8.192).abs() < 0.15, "k=20: {f20}");
+        assert!((f320 - 12.9056).abs() < 0.15, "k=320: {f320}");
+    }
+
+    #[test]
+    fn utilization_regime_reproduces_table4() {
+        // [448·128, 224·128] per core at 128 cores → ~255 ms (not ~144 ms).
+        let p = TpuV3Params::v3();
+        let cfg = StepConfig {
+            per_core_h: 448 * 128,
+            per_core_w: 224 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores: 128 },
+        };
+        let ms = step_time(&p, &cfg).total() * 1e3;
+        assert!((ms - 255.0).abs() < 4.0, "step {ms}");
+    }
+
+    #[test]
+    fn conv_variant_matches_table6() {
+        // Loose-packed [224·128, 224·128] per core → ~41 ms at any scale.
+        let p = TpuV3Params::v3();
+        for cores in [8usize, 128, 2048] {
+            let cfg = StepConfig {
+                per_core_h: 224 * 128,
+                per_core_w: 224 * 128,
+                dtype_bytes: 2,
+                variant: Variant::Conv,
+                mode: ExecutionMode::Distributed { cores },
+            };
+            let ms = step_time(&p, &cfg).total() * 1e3;
+            assert!((40.0..44.5).contains(&ms), "{cores} cores: {ms} ms");
+        }
+    }
+
+    #[test]
+    fn strong_scaling_bends_past_1000_cores() {
+        // Table 7: fixed (128·1792)² lattice; past ~1000 cores the cp time
+        // becomes a significant share.
+        let p = TpuV3Params::v3();
+        let total = (1792 * 128) as usize;
+        let t_at = |nx: usize, ny: usize| {
+            let cfg = StepConfig {
+                per_core_h: total / nx,
+                per_core_w: total / ny,
+                dtype_bytes: 2,
+                variant: Variant::Conv,
+                mode: ExecutionMode::Distributed { cores: nx * ny },
+            };
+            step_time(&p, &cfg).total()
+        };
+        let t64 = t_at(8, 8);
+        let t2048 = t_at(32, 64);
+        // ideal speedup from 64→2048 cores is 32×; the knee keeps it well below
+        let speedup = t64 / t2048;
+        assert!(speedup > 10.0 && speedup < 26.0, "speedup {speedup}");
+        // cp share at 2048 cores is large
+        let cfg = StepConfig {
+            per_core_h: total / 32,
+            per_core_w: total / 64,
+            dtype_bytes: 2,
+            variant: Variant::Conv,
+            mode: ExecutionMode::Distributed { cores: 2048 },
+        };
+        let bd = step_time(&p, &cfg);
+        assert!(bd.t_cp / bd.total() > 0.3, "cp share {}", bd.t_cp / bd.total());
+    }
+
+    #[test]
+    fn f32_is_slower_than_bf16() {
+        let p = TpuV3Params::v3();
+        let b16 = throughput_flips_per_ns(&p, &anchor());
+        let f32cfg = StepConfig { dtype_bytes: 4, ..anchor() };
+        let f32t = throughput_flips_per_ns(&p, &f32cfg);
+        assert!(b16 / f32t > 1.8, "bf16 {b16} vs f32 {f32t}");
+    }
+
+    #[test]
+    fn naive_is_2x_to_3x_slower_than_compact() {
+        let p = TpuV3Params::v3();
+        let compact = step_time(&p, &anchor()).total();
+        let naive = step_time(&p, &StepConfig { variant: Variant::Naive, ..anchor() }).total();
+        let ratio = naive / compact;
+        assert!((2.0..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hbm_capacity_matches_paper() {
+        // Paper §4.2.1: max (656·128)² at bf16, consuming 96 % of HBM.
+        let p = TpuV3Params::v3();
+        let k = max_square_lattice_k(&p, 2);
+        assert_eq!(k, 656);
+        let util = hbm_utilization(&p, k, 2);
+        assert!((util - 0.96).abs() < 0.01, "util {util}");
+        // f32 halves the max side (×√2 area): k ≈ 656/√2 ≈ 464
+        let k32 = max_square_lattice_k(&p, 4);
+        assert!((460..=470).contains(&k32), "f32 k = {k32}");
+    }
+
+    #[test]
+    fn cp_time_is_core_count_bound_not_bandwidth_bound() {
+        // Table 4's observation: cp time moves with cores, barely with size.
+        let small = collective_permute_time(512, 86_016.0);
+        let large = collective_permute_time(512, 344_064.0);
+        let few = collective_permute_time(32, 344_064.0);
+        assert!(large - small < 0.0001, "size effect {}", large - small);
+        assert!(large - few > 0.0002, "core effect {}", large - few);
+    }
+}

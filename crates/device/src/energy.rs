@@ -1,0 +1,39 @@
+//! Energy-per-flip estimates (paper §4.2.1, Tables 1–2).
+//!
+//! The paper estimates an *upper bound* on energy per spin flip as
+//! `P / F` where `P` is the device's assumed average power draw and `F`
+//! the achieved throughput in flips/ns: 100 W per TPU v3 core, 250 W for a
+//! Tesla V100.
+
+/// Energy in nanojoules per flip: `total watts / (flips per nanosecond)`.
+///
+/// Watts ÷ (flips/ns) = J/s ÷ (flips/1e-9 s) = 1e-9 J/flip = nJ/flip.
+pub fn energy_nj_per_flip(total_power_w: f64, flips_per_ns: f64) -> f64 {
+    total_power_w / flips_per_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_first_row() {
+        // (20·128)²: 8.1920 flips/ns at 100 W → 12.2070 nJ/flip.
+        let e = energy_nj_per_flip(100.0, 8.1920);
+        assert!((e - 12.2070).abs() < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn table2_first_row() {
+        // 2 cores (200 W) at 22.8873 flips/ns → 8.7385 nJ/flip.
+        let e = energy_nj_per_flip(200.0, 22.8873);
+        assert!((e - 8.7385).abs() < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn v100_reference() {
+        // 250 W at 11.3704 flips/ns → 21.9869 nJ/flip (Table 1's V100 row).
+        let e = energy_nj_per_flip(250.0, 11.3704);
+        assert!((e - 21.9869).abs() < 1e-3, "{e}");
+    }
+}

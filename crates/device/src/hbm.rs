@@ -1,0 +1,232 @@
+//! HBM capacity accounting for one TensorCore.
+//!
+//! TPU v3 gives each core 16 GB of HBM, and arrays are *tiled*: the last
+//! two dimensions pad to multiples of (8, 128) (paper §2). This module
+//! tracks live allocations with that padding applied, so capacity
+//! questions — "what is the largest lattice a core can hold?" (§4.2.1) —
+//! are answered by the same arithmetic the benchmarks use.
+
+use std::collections::HashMap;
+
+/// The (sublane, lane) padding rule. Mirrors
+/// `tpu_ising_tensor::TPU_TILE`, restated here so the device crate stays
+/// dependency-light.
+const TILE: (usize, usize) = (8, 128);
+
+/// Failed allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested (after padding).
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HBM out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A per-core HBM allocator model.
+#[derive(Debug, Clone)]
+pub struct HbmModel {
+    capacity: u64,
+    live: HashMap<String, u64>,
+    used: u64,
+    peak: u64,
+}
+
+/// Physical (padded) bytes of a rank-4 tensor.
+pub fn padded_bytes(dims: [usize; 4], dtype_bytes: usize) -> u64 {
+    let pad = |d: usize, to: usize| if d == 0 { 0 } else { d.div_ceil(to) * to };
+    (dims[0] * dims[1] * pad(dims[2], TILE.0) * pad(dims[3], TILE.1) * dtype_bytes) as u64
+}
+
+impl HbmModel {
+    /// A model with the given capacity in bytes.
+    pub fn new(capacity: u64) -> HbmModel {
+        HbmModel { capacity, live: HashMap::new(), used: 0, peak: 0 }
+    }
+
+    /// A TPU v3 core's HBM (16 GB).
+    pub fn v3_core() -> HbmModel {
+        HbmModel::new(crate::params::TpuV3Params::v3().hbm_capacity_bytes)
+    }
+
+    /// Allocate a rank-4 tensor under `label`. Applies tile padding.
+    /// Fails without side effects if it does not fit.
+    pub fn allocate(
+        &mut self,
+        label: impl Into<String>,
+        dims: [usize; 4],
+        dtype_bytes: usize,
+    ) -> Result<u64, OutOfMemory> {
+        let bytes = padded_bytes(dims, dtype_bytes);
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(OutOfMemory { requested: bytes, available });
+        }
+        let label = label.into();
+        assert!(!self.live.contains_key(&label), "duplicate allocation label {label}");
+        self.live.insert(label, bytes);
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(bytes)
+    }
+
+    /// Allocate a raw byte count under `label` (scratch buffers whose
+    /// layout the compiler chooses; no tile padding applied).
+    pub fn allocate_raw(
+        &mut self,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> Result<u64, OutOfMemory> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(OutOfMemory { requested: bytes, available });
+        }
+        let label = label.into();
+        assert!(!self.live.contains_key(&label), "duplicate allocation label {label}");
+        self.live.insert(label, bytes);
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(bytes)
+    }
+
+    /// Free a previous allocation. Panics on unknown labels (a model bug).
+    pub fn free(&mut self, label: &str) {
+        let bytes = self.live.remove(label).unwrap_or_else(|| {
+            panic!("free of unknown allocation {label}");
+        });
+        self.used -= bytes;
+    }
+
+    /// Bytes currently live.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Live fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Allocate the working set of one compact-algorithm core: the four
+    /// compact sub-lattices plus the fused-temporary overhead the
+    /// calibration charges ([`crate::calib::HBM_TEMP_FACTOR`]).
+    ///
+    /// `h × w` is the per-core lattice. Returns total bytes or OOM.
+    pub fn allocate_compact_working_set(
+        &mut self,
+        h: usize,
+        w: usize,
+        dtype_bytes: usize,
+    ) -> Result<u64, OutOfMemory> {
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "compact form needs even dims");
+        let mut total = 0;
+        for (i, label) in ["s00", "s01", "s10", "s11"].iter().enumerate() {
+            // quarter lattices as [h/256, w/256, 128, 128]-style grids;
+            // model at [1, 1, h/2, w/2] — identical bytes when dims are
+            // 128-multiples, padding handles the rest.
+            match self.allocate(format!("lattice/{label}"), [1, 1, h / 2, w / 2], dtype_bytes) {
+                Ok(b) => total += b,
+                Err(e) => {
+                    // roll back the partial set
+                    for l in ["s00", "s01", "s10", "s11"].iter().take(i) {
+                        self.free(&format!("lattice/{l}"));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let temps = (total as f64 * crate::calib::HBM_TEMP_FACTOR) as u64;
+        match self.allocate_raw("scratch/fused-temporaries", temps.max(1)) {
+            Ok(b) => Ok(total + b),
+            Err(e) => {
+                for l in ["s00", "s01", "s10", "s11"] {
+                    self.free(&format!("lattice/{l}"));
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rules() {
+        // aligned shape: exact
+        assert_eq!(padded_bytes([2, 2, 128, 128], 2), 2 * 2 * 128 * 128 * 2);
+        // [1,1,4,64] pads to [1,1,8,128]
+        assert_eq!(padded_bytes([1, 1, 4, 64], 4), 8 * 128 * 4);
+    }
+
+    #[test]
+    fn allocate_free_cycle() {
+        let mut h = HbmModel::new(10_000_000);
+        let b = h.allocate("a", [1, 1, 8, 128], 4).unwrap();
+        assert_eq!(b, 4096);
+        assert_eq!(h.used(), 4096);
+        h.free("a");
+        assert_eq!(h.used(), 0);
+        assert_eq!(h.peak(), 4096);
+    }
+
+    #[test]
+    fn oom_is_side_effect_free() {
+        let mut h = HbmModel::new(1000);
+        let before = h.used();
+        let err = h.allocate("big", [1, 1, 8, 128], 4).unwrap_err();
+        assert_eq!(err.requested, 4096);
+        assert_eq!(err.available, 1000);
+        assert_eq!(h.used(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate allocation")]
+    fn duplicate_labels_panic() {
+        let mut h = HbmModel::new(1_000_000);
+        h.allocate("x", [1, 1, 8, 128], 2).unwrap();
+        let _ = h.allocate("x", [1, 1, 8, 128], 2);
+    }
+
+    #[test]
+    fn papers_max_lattice_fits_and_the_next_step_does_not() {
+        // (656·128)² bf16 fits at ~96 % utilization; (672·128)² does not.
+        let mut h = HbmModel::v3_core();
+        let side = 656 * 128;
+        h.allocate_compact_working_set(side, side, 2).unwrap();
+        assert!((h.utilization() - 0.96).abs() < 0.01, "{}", h.utilization());
+
+        let mut h = HbmModel::v3_core();
+        let side = 672 * 128;
+        let err = h.allocate_compact_working_set(side, side, 2);
+        assert!(err.is_err(), "(672·128)² must not fit");
+        assert_eq!(h.used(), 0, "failed bulk allocation must roll back");
+    }
+
+    #[test]
+    fn f32_halves_the_capacity() {
+        let mut h = HbmModel::v3_core();
+        let side = 656 * 128;
+        assert!(h.allocate_compact_working_set(side, side, 4).is_err());
+        let mut h = HbmModel::v3_core();
+        let side = 464 * 128;
+        assert!(h.allocate_compact_working_set(side, side, 4).is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! A performance and topology model of the TPU v3 + Pod substrate.
+//!
+//! The paper's evaluation (Tables 1–7, Figs. 8–9) was measured on hardware
+//! we do not have, so this crate provides the substitution: a *calibrated
+//! analytical model* of a TPU v3 TensorCore and of the Pod's 2-D toroidal
+//! inter-chip network, plus a *functional* SPMD runtime (real threads and
+//! channels) that executes the same collective-permute halo-exchange
+//! pattern the paper's distributed graph uses.
+//!
+//! The model is deliberately built the same way the paper validates its own
+//! measurements (§5.2): count the operations an update step performs — MACs
+//! on the MXU, element-ops on the VPU, bytes of data formatting, bytes over
+//! the interconnect — and divide by sustained rates. The sustained rates are
+//! calibrated once, in [`calib`], against the paper's published tables; all
+//! benchmark binaries then *derive* their rows from the model. No table
+//! hard-codes its own output.
+//!
+//! Modules:
+//! - [`params`] — physical device parameters (clock, MXU shape, HBM, power).
+//! - [`calib`]  — calibrated sustained-rate constants with their derivations.
+//! - [`cost`]   — op counting and step-time assembly (the heart of Tables 1–7).
+//! - [`mesh`]   — 2-D torus topology, `collective_permute` timing, and the
+//!   functional threaded SPMD runtime.
+//! - [`trace`]  — a tiny profiler: records modeled spans per op class and
+//!   aggregates the Table-3 style percentage breakdown.
+//! - [`roofline`] — roofline analysis (Table 5).
+//! - [`energy`] — energy-per-flip estimates (Tables 1–2).
+
+pub mod calib;
+pub mod cost;
+pub mod energy;
+pub mod hbm;
+pub mod mesh;
+pub mod params;
+pub mod pod;
+pub mod roofline;
+pub mod trace;
+
+pub use cost::{step_counts, step_time, Breakdown, ExecutionMode, OpCounts, StepConfig, Variant};
+pub use energy::energy_nj_per_flip;
+pub use mesh::{MeshHandle, Torus};
+pub use params::TpuV3Params;
+pub use roofline::RooflineReport;
+pub use trace::{SpanKind, Trace};

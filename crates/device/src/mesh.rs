@@ -1,0 +1,388 @@
+//! The TPU Pod's 2-D toroidal mesh: topology, timing, and a functional
+//! SPMD runtime.
+//!
+//! The timing side feeds the cost model ([`crate::cost`]); the functional
+//! side runs *real threads* — one per modeled TensorCore — exchanging halo
+//! tensors through channels with exactly the `collective_permute` semantics
+//! the paper's distributed graph uses: every core executes the same program
+//! and calls the collective with a globally identical source→destination
+//! list; the call blocks until the core has both sent and received.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+
+/// A 2-D torus of `nx × ny` cores, each identified by `id = x * ny + y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    /// Cores along the first axis.
+    pub nx: usize,
+    /// Cores along the second axis.
+    pub ny: usize,
+}
+
+/// The four mesh directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Toward decreasing x (wraps).
+    North,
+    /// Toward increasing x (wraps).
+    South,
+    /// Toward decreasing y (wraps).
+    West,
+    /// Toward increasing y (wraps).
+    East,
+}
+
+impl Torus {
+    /// Construct an `nx × ny` torus. Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Torus {
+        assert!(nx > 0 && ny > 0, "torus dimensions must be positive");
+        Torus { nx, ny }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Core id at coordinates `(x, y)`.
+    pub fn id(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny);
+        x * self.ny + y
+    }
+
+    /// Coordinates of a core id.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.cores());
+        (id / self.ny, id % self.ny)
+    }
+
+    /// The neighboring core in a direction, with torus wrap.
+    pub fn neighbor(&self, id: usize, dir: Dir) -> usize {
+        let (x, y) = self.coords(id);
+        match dir {
+            Dir::North => self.id((x + self.nx - 1) % self.nx, y),
+            Dir::South => self.id((x + 1) % self.nx, y),
+            Dir::West => self.id(x, (y + self.ny - 1) % self.ny),
+            Dir::East => self.id(x, (y + 1) % self.ny),
+        }
+    }
+
+    /// Minimal hop count between two cores on the torus.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ax.abs_diff(bx);
+        let dy = ay.abs_diff(by);
+        dx.min(self.nx - dx) + dy.min(self.ny - dy)
+    }
+
+    /// The torus diameter (maximal minimal-hop distance).
+    pub fn diameter(&self) -> usize {
+        self.nx / 2 + self.ny / 2
+    }
+
+    /// The globally identical source→destination list that shifts every
+    /// core's tensor one step in `dir` — the argument the paper passes to
+    /// `tpu_ops.collective_permute` (Fig. 5).
+    pub fn shift_pairs(&self, dir: Dir) -> Vec<(usize, usize)> {
+        (0..self.cores()).map(|src| (src, self.neighbor(src, dir))).collect()
+    }
+}
+
+/// A message on the mesh: (collective sequence number, source core, payload).
+type Packet<T> = (u64, usize, T);
+
+/// Per-core handle into the functional mesh: identifies the core and lets
+/// it participate in collectives.
+pub struct MeshHandle<T: Send> {
+    id: usize,
+    torus: Torus,
+    seq: u64,
+    senders: Vec<Sender<Packet<T>>>,
+    receiver: Receiver<Packet<T>>,
+    /// Out-of-order packets parked until their collective comes up.
+    stash: HashMap<(u64, usize), T>,
+}
+
+impl<T: Send> MeshHandle<T> {
+    /// This core's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// This core's torus coordinates.
+    pub fn coords(&self) -> (usize, usize) {
+        self.torus.coords(self.id)
+    }
+
+    /// The mesh topology.
+    pub fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    /// XLA `CollectivePermute`: permute `data` across cores according to a
+    /// globally identical `(source, destination)` pair list.
+    ///
+    /// Every core appearing as a source sends; every core appearing as a
+    /// destination receives; the call blocks until this core has done both.
+    /// Returns `Some(tensor)` if this core is a destination, `None` if not.
+    /// Each core must appear at most once as source and once as destination
+    /// (XLA's precondition).
+    pub fn collective_permute(&mut self, data: T, pairs: &[(usize, usize)]) -> Option<T> {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut expect_from = None;
+        let mut send_to = None;
+        for &(src, dst) in pairs {
+            if src == self.id {
+                assert!(send_to.is_none(), "core {} listed as source twice", self.id);
+                send_to = Some(dst);
+            }
+            if dst == self.id {
+                assert!(expect_from.is_none(), "core {} listed as destination twice", self.id);
+                expect_from = Some(src);
+            }
+        }
+        if let Some(dst) = send_to {
+            self.senders[dst].send((seq, self.id, data)).expect("mesh peer hung up");
+        }
+        let src = expect_from?;
+        // Drain until our packet arrives; park strays (they belong to
+        // collectives this core has not reached yet — lockstep programs
+        // guarantee they will be consumed in order).
+        if let Some(t) = self.stash.remove(&(seq, src)) {
+            return Some(t);
+        }
+        loop {
+            let (pseq, psrc, payload) = self.receiver.recv().expect("mesh peer hung up");
+            if pseq == seq && psrc == src {
+                return Some(payload);
+            }
+            self.stash.insert((pseq, psrc), payload);
+        }
+    }
+
+    /// Shift a tensor one mesh step in `dir`; every core sends and receives.
+    pub fn shift(&mut self, data: T, dir: Dir) -> T {
+        let pairs = self.torus.shift_pairs(dir);
+        self.collective_permute(data, &pairs)
+            .expect("full-shift permute always delivers")
+    }
+
+    /// XLA `AllToAll`: core `i` provides one chunk per core; afterwards
+    /// core `i` holds chunk `i` from every core (in core-id order).
+    ///
+    /// Implemented as `P − 1` rotation collective-permutes (the classic
+    /// ring schedule), which is exactly how a 2-D torus without all-to-all
+    /// hardware support executes it.
+    pub fn all_to_all(&mut self, chunks: Vec<T>) -> Vec<T>
+    where
+        T: Clone + Default,
+    {
+        let p = self.torus.cores();
+        assert_eq!(chunks.len(), p, "all_to_all needs one chunk per core");
+        let mut out: Vec<T> = vec![T::default(); p];
+        let mut chunks = chunks;
+        // own chunk stays
+        out[self.id] = std::mem::take(&mut chunks[self.id]);
+        for k in 1..p {
+            // rotation by k: every core sends the chunk destined for core
+            // (id + k) directly to it.
+            let pairs: Vec<(usize, usize)> =
+                (0..p).map(|src| (src, (src + k) % p)).collect();
+            let dst = (self.id + k) % p;
+            let src = (self.id + p - k) % p;
+            let received = self
+                .collective_permute(std::mem::take(&mut chunks[dst]), &pairs)
+                .expect("rotation permute always delivers");
+            out[src] = received;
+        }
+        out
+    }
+}
+
+/// Run one closure per core, SPMD-style, on real threads. Returns each
+/// core's result indexed by core id.
+///
+/// The closure receives a [`MeshHandle`] for collectives. Panics in any
+/// core propagate.
+pub fn run_spmd<T, R, F>(torus: Torus, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(MeshHandle<T>) -> R + Sync,
+{
+    let n = torus.cores();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded::<Packet<T>>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut handles: Vec<MeshHandle<T>> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, receiver)| MeshHandle {
+            id,
+            torus,
+            seq: 0,
+            senders: senders.clone(),
+            receiver,
+            stash: HashMap::new(),
+        })
+        .collect();
+    drop(senders);
+
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let joins: Vec<_> = handles
+            .drain(..)
+            .map(|h| scope.spawn(move |_| f(h)))
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("SPMD core panicked")).collect()
+    })
+    .expect("SPMD scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_ids_and_coords_roundtrip() {
+        let t = Torus::new(4, 8);
+        for id in 0..t.cores() {
+            let (x, y) = t.coords(id);
+            assert_eq!(t.id(x, y), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let t = Torus::new(3, 3);
+        assert_eq!(t.neighbor(t.id(0, 0), Dir::North), t.id(2, 0));
+        assert_eq!(t.neighbor(t.id(2, 0), Dir::South), t.id(0, 0));
+        assert_eq!(t.neighbor(t.id(0, 0), Dir::West), t.id(0, 2));
+        assert_eq!(t.neighbor(t.id(0, 2), Dir::East), t.id(0, 0));
+    }
+
+    #[test]
+    fn neighbor_relations_are_inverse() {
+        let t = Torus::new(4, 5);
+        for id in 0..t.cores() {
+            assert_eq!(t.neighbor(t.neighbor(id, Dir::North), Dir::South), id);
+            assert_eq!(t.neighbor(t.neighbor(id, Dir::East), Dir::West), id);
+        }
+    }
+
+    #[test]
+    fn hops_and_diameter() {
+        let t = Torus::new(4, 4);
+        assert_eq!(t.hops(t.id(0, 0), t.id(0, 0)), 0);
+        assert_eq!(t.hops(t.id(0, 0), t.id(0, 1)), 1);
+        assert_eq!(t.hops(t.id(0, 0), t.id(2, 2)), 4); // wrap both axes
+        assert_eq!(t.hops(t.id(0, 0), t.id(3, 0)), 1); // wrap
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn shift_pairs_cover_all_cores_once() {
+        let t = Torus::new(3, 4);
+        let pairs = t.shift_pairs(Dir::East);
+        let mut sources: Vec<_> = pairs.iter().map(|p| p.0).collect();
+        let mut dests: Vec<_> = pairs.iter().map(|p| p.1).collect();
+        sources.sort_unstable();
+        dests.sort_unstable();
+        assert_eq!(sources, (0..12).collect::<Vec<_>>());
+        assert_eq!(dests, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spmd_shift_moves_values_around_the_ring() {
+        // Each core contributes its id; after one eastward shift each core
+        // holds its western neighbor's id.
+        let t = Torus::new(2, 3);
+        let got: Vec<usize> = run_spmd(t, |mut h: MeshHandle<usize>| {
+            let id = h.id();
+            h.shift(id, Dir::East)
+        });
+        for (id, &g) in got.iter().enumerate() {
+            assert_eq!(g, t.neighbor(id, Dir::West), "core {id}");
+        }
+    }
+
+    #[test]
+    fn spmd_ring_pass_accumulates_full_sum() {
+        // Pass a partial sum all the way around a 1×4 ring.
+        let t = Torus::new(1, 4);
+        let sums: Vec<u64> = run_spmd(t, |mut h: MeshHandle<u64>| {
+            let mut acc = h.id() as u64;
+            let mut carry = h.id() as u64;
+            for _ in 0..3 {
+                carry = h.shift(carry, Dir::East);
+                acc += carry;
+            }
+            acc
+        });
+        assert!(sums.iter().all(|&s| s == 1 + 2 + 3));
+    }
+
+    #[test]
+    fn spmd_multiple_sequential_collectives_do_not_cross_talk() {
+        let t = Torus::new(2, 2);
+        let results: Vec<(usize, usize)> = run_spmd(t, |mut h: MeshHandle<usize>| {
+            let a = h.shift(h.id() * 10, Dir::South);
+            let b = h.shift(h.id() * 100, Dir::East);
+            (a, b)
+        });
+        for (id, r) in results.iter().enumerate() {
+            assert_eq!(r.0, t.neighbor(id, Dir::North) * 10);
+            assert_eq!(r.1, t.neighbor(id, Dir::West) * 100);
+        }
+    }
+
+    #[test]
+    fn partial_permute_returns_none_for_non_destinations() {
+        // Only core 0 → core 1 communicates; others pass through.
+        let t = Torus::new(1, 3);
+        let got: Vec<Option<u32>> = run_spmd(t, |mut h: MeshHandle<u32>| {
+            h.collective_permute(h.id() as u32 + 7, &[(0, 1)])
+        });
+        assert_eq!(got, vec![None, Some(7), None]);
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose() {
+        // core i sends chunk (i, j) to core j; afterwards core j holds
+        // (i, j) at position i — the distributed matrix transpose.
+        let t = Torus::new(2, 3);
+        let p = t.cores();
+        let results: Vec<Vec<(usize, usize)>> =
+            run_spmd(t, |mut h: MeshHandle<(usize, usize)>| {
+                let chunks: Vec<(usize, usize)> = (0..p).map(|j| (h.id(), j)).collect();
+                h.all_to_all(chunks)
+            });
+        for (j, row) in results.iter().enumerate() {
+            for (i, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, (i, j), "core {j}, slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_on_single_core_is_identity() {
+        let t = Torus::new(1, 1);
+        let got: Vec<Vec<u8>> =
+            run_spmd(t, |mut h: MeshHandle<u8>| h.all_to_all(vec![42]));
+        assert_eq!(got, vec![vec![42]]);
+    }
+
+    #[test]
+    fn single_core_torus_shifts_to_itself() {
+        let t = Torus::new(1, 1);
+        let got: Vec<u8> = run_spmd(t, |mut h: MeshHandle<u8>| h.shift(42, Dir::East));
+        assert_eq!(got, vec![42]);
+    }
+}

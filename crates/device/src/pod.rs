@@ -1,0 +1,123 @@
+//! TPU v3 Pod slices: the deployable configurations and their aggregate
+//! capabilities (paper §2: "smaller sections of a pod called slices").
+//!
+//! A full TPU v3 Pod is 1024 chips = 2048 TensorCores on a 32×32 chip
+//! torus; Cloud exposes power-of-two slices (v3-8 … v3-2048, the number
+//! counting cores). The paper's experiments use `n×n×2`-core slices (the
+//! ×2 being the two cores per chip) up to the full pod.
+
+use crate::mesh::Torus;
+use crate::params::TpuV3Params;
+
+/// One deployable slice of a TPU v3 pod.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PodSlice {
+    /// Chip grid (each chip has two cores).
+    pub chips_x: usize,
+    /// Chip grid second dimension.
+    pub chips_y: usize,
+}
+
+impl PodSlice {
+    /// The full 1024-chip / 2048-core pod.
+    pub fn full_pod() -> PodSlice {
+        PodSlice { chips_x: 32, chips_y: 32 }
+    }
+
+    /// The standard Cloud slice for a given core count. Supported:
+    /// 8, 32, 128, 512, 2048 (the v3-N products). Returns `None` for
+    /// non-catalog sizes.
+    pub fn v3(cores: usize) -> Option<PodSlice> {
+        match cores {
+            8 => Some(PodSlice { chips_x: 2, chips_y: 2 }),
+            32 => Some(PodSlice { chips_x: 4, chips_y: 4 }),
+            128 => Some(PodSlice { chips_x: 8, chips_y: 8 }),
+            512 => Some(PodSlice { chips_x: 16, chips_y: 16 }),
+            2048 => Some(PodSlice::full_pod()),
+            _ => None,
+        }
+    }
+
+    /// TensorCores in the slice.
+    pub fn cores(&self) -> usize {
+        2 * self.chips_x * self.chips_y
+    }
+
+    /// The *core-level* torus used for SPMD placement: cores are addressed
+    /// as an `(2·chips_x) × chips_y` grid (two cores of a chip sit at
+    /// adjacent coordinates, sharing the chip's mesh links).
+    pub fn core_torus(&self) -> Torus {
+        Torus::new(2 * self.chips_x, self.chips_y)
+    }
+
+    /// Aggregate HBM in bytes.
+    pub fn total_hbm(&self, params: &TpuV3Params) -> u64 {
+        params.hbm_capacity_bytes * self.cores() as u64
+    }
+
+    /// Aggregate peak FLOPS.
+    pub fn total_peak_flops(&self, params: &TpuV3Params) -> f64 {
+        params.peak_flops() * self.cores() as f64
+    }
+
+    /// Aggregate power estimate in watts (paper §4.2.1: 100 W per core).
+    pub fn total_power_w(&self, params: &TpuV3Params) -> f64 {
+        params.power_w * self.cores() as f64
+    }
+
+    /// The largest square lattice (side in spins, multiple of 16·128 per
+    /// the capacity quantization) this slice can hold with the compact
+    /// working set at the given precision, assuming the per-core share is
+    /// a `side/√cores` square — `None` if even the smallest lattice fails.
+    pub fn max_square_lattice_side(&self, params: &TpuV3Params, dtype_bytes: usize) -> usize {
+        let per_core_k = crate::cost::max_square_lattice_k(params, dtype_bytes);
+        // per-core window of (k·128)², tiled √cores × √cores when square;
+        // generally: total spins = cores · (k·128)².
+        let total_spins = self.cores() as f64 * ((per_core_k * 128) as f64).powi(2);
+        (total_spins.sqrt()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_core_counts() {
+        for n in [8usize, 32, 128, 512, 2048] {
+            let s = PodSlice::v3(n).unwrap();
+            assert_eq!(s.cores(), n);
+        }
+        assert!(PodSlice::v3(100).is_none());
+        assert_eq!(PodSlice::full_pod().cores(), 2048);
+    }
+
+    #[test]
+    fn core_torus_covers_all_cores() {
+        let s = PodSlice::v3(32).unwrap();
+        assert_eq!(s.core_torus().cores(), 32);
+    }
+
+    #[test]
+    fn full_pod_aggregates() {
+        let p = TpuV3Params::v3();
+        let pod = PodSlice::full_pod();
+        // "32 TB of HBM" (paper §1): 2048 × 16 GB = 32 TiB
+        assert_eq!(pod.total_hbm(&p), 2048 * 16 * (1u64 << 30));
+        // "100+ peta-FLOPS": 2048 × ~63 TFLOPS ≈ 129 PFLOPS
+        let pflops = pod.total_peak_flops(&p) / 1e15;
+        assert!(pflops > 100.0, "{pflops} PFLOPS");
+        assert_eq!(pod.total_power_w(&p), 204_800.0);
+    }
+
+    #[test]
+    fn slice_max_lattice_scales_with_cores() {
+        let p = TpuV3Params::v3();
+        let small = PodSlice::v3(8).unwrap().max_square_lattice_side(&p, 2);
+        let large = PodSlice::v3(512).unwrap().max_square_lattice_side(&p, 2);
+        // 64× the cores → 8× the side
+        assert_eq!(large / small, 8);
+        // a v3-8 already exceeds the largest single-core lattice
+        assert!(small > 656 * 128);
+    }
+}

@@ -1,0 +1,182 @@
+//! A tiny profiler modeled on the TPU trace viewer (paper §5.2, Fig. 6).
+//!
+//! The paper's Table 3 comes from aggregating profiler spans by hardware
+//! unit. [`Trace`] records modeled spans the same way: the HLO cost walker
+//! and the benchmark harness emit one span per op with its modeled duration
+//! and class, and [`Trace::breakdown`] aggregates the Table-3 percentages.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// The hardware-unit classes the TPU profiler groups ops into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum SpanKind {
+    /// Matrix-unit work (matmul, conv).
+    Mxu,
+    /// Vector-unit work (RNG, element-wise math).
+    Vpu,
+    /// Data formatting: reshape, slice, transpose, concat, pad, copy.
+    Format,
+    /// Inter-core collectives.
+    CollectivePermute,
+    /// Host-side / infeed work (not part of the step time).
+    Host,
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, Serialize)]
+pub struct Span {
+    /// Hardware-unit class.
+    pub kind: SpanKind,
+    /// Op label (e.g. `"matmul σ̂01·K̂"`).
+    pub label: String,
+    /// Modeled duration in seconds.
+    pub seconds: f64,
+}
+
+/// Thread-safe span recorder.
+#[derive(Default)]
+pub struct Trace {
+    spans: Mutex<Vec<Span>>,
+}
+
+/// Aggregated per-class totals, in seconds and percent.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TraceBreakdown {
+    /// MXU seconds.
+    pub mxu: f64,
+    /// VPU seconds.
+    pub vpu: f64,
+    /// Data-formatting seconds.
+    pub format: f64,
+    /// Collective-permute seconds.
+    pub collective_permute: f64,
+    /// Host seconds (excluded from percentages, as the profiler excludes
+    /// host work from device step time).
+    pub host: f64,
+}
+
+impl TraceBreakdown {
+    /// Device step time (host excluded).
+    pub fn step_seconds(&self) -> f64 {
+        self.mxu + self.vpu + self.format + self.collective_permute
+    }
+
+    /// Percentage shares `(mxu, vpu, format, cp)` of the device step.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.step_seconds();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.mxu / t * 100.0,
+            self.vpu / t * 100.0,
+            self.format / t * 100.0,
+            self.collective_permute / t * 100.0,
+        )
+    }
+}
+
+impl Trace {
+    /// A fresh, empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Record one span.
+    pub fn record(&self, kind: SpanKind, label: impl Into<String>, seconds: f64) {
+        self.spans.lock().push(Span { kind, label: label.into(), seconds });
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Snapshot of all spans.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Aggregate by hardware-unit class.
+    pub fn breakdown(&self) -> TraceBreakdown {
+        let mut b = TraceBreakdown::default();
+        for s in self.spans.lock().iter() {
+            match s.kind {
+                SpanKind::Mxu => b.mxu += s.seconds,
+                SpanKind::Vpu => b.vpu += s.seconds,
+                SpanKind::Format => b.format += s.seconds,
+                SpanKind::CollectivePermute => b.collective_permute += s.seconds,
+                SpanKind::Host => b.host += s.seconds,
+            }
+        }
+        b
+    }
+
+    /// Discard all spans.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_kind() {
+        let t = Trace::new();
+        t.record(SpanKind::Mxu, "mm1", 0.6);
+        t.record(SpanKind::Mxu, "mm2", 0.4);
+        t.record(SpanKind::Vpu, "rng", 0.5);
+        t.record(SpanKind::Format, "reshape", 0.5);
+        t.record(SpanKind::Host, "infeed", 10.0);
+        let b = t.breakdown();
+        assert_eq!(b.mxu, 1.0);
+        assert_eq!(b.vpu, 0.5);
+        assert_eq!(b.format, 0.5);
+        assert_eq!(b.host, 10.0);
+        assert_eq!(b.step_seconds(), 2.0); // host excluded
+        let (mxu, vpu, fmt, cp) = b.percentages();
+        assert_eq!(mxu, 50.0);
+        assert_eq!(vpu, 25.0);
+        assert_eq!(fmt, 25.0);
+        assert_eq!(cp, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.breakdown().percentages(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t = Trace::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        t.record(SpanKind::Vpu, "x", 0.001);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 800);
+        assert!((t.breakdown().vpu - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Trace::new();
+        t.record(SpanKind::Mxu, "a", 1.0);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! Op definitions, shapes, and the shape-inferring graph builder.
+
+use tpu_ising_tensor::{Axis, Mat, Side};
+
+/// Element type of a tensor in the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dtype {
+    /// 32-bit IEEE float.
+    F32,
+    /// bfloat16.
+    Bf16,
+}
+
+impl Dtype {
+    /// Storage bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::Bf16 => 2,
+        }
+    }
+}
+
+/// A rank-4 tensor shape plus element type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shape {
+    /// Dimensions `[b0, b1, r, c]`.
+    pub dims: [usize; 4],
+    /// Element type.
+    pub dtype: Dtype,
+}
+
+impl Shape {
+    /// Construct a shape.
+    pub fn new(dims: [usize; 4], dtype: Dtype) -> Shape {
+        Shape { dims, dtype }
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Storage bytes.
+    pub fn bytes(&self) -> usize {
+        self.elements() * self.dtype.bytes()
+    }
+}
+
+/// A handle to an op in a [`Graph`] (SSA value id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(pub usize);
+
+/// A constant tensor payload, stored at f32 and cast to the graph dtype at
+/// execution (exact for the ±1/0/1 band-kernel values we embed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Literal {
+    /// Dimensions `[b0, b1, r, c]`.
+    pub dims: [usize; 4],
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+/// The op vocabulary — the subset of HLO the Ising step exercises.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Graph input, fed at execution time.
+    Parameter {
+        /// Position in the argument list.
+        index: usize,
+    },
+    /// Embedded constant tensor (the band kernels).
+    Constant(Literal),
+    /// Element-wise addition.
+    Add(Id, Id),
+    /// Element-wise subtraction.
+    Sub(Id, Id),
+    /// Element-wise multiplication.
+    Mul(Id, Id),
+    /// Element-wise negation.
+    Neg(Id),
+    /// Element-wise exponential.
+    Exp(Id),
+    /// Element-wise `lhs < rhs`, producing 0.0/1.0 at the graph dtype.
+    Lt(Id, Id),
+    /// Multiply every element by a host scalar (e.g. `−2β`).
+    MulScalar(Id, f64),
+    /// `tf.random_uniform`: uniforms in `[0, 1)` at the graph dtype.
+    RngUniform,
+    /// Batched `A · K` where `K` is a `[1, 1, t, t2]` operand applied to
+    /// each sub-lattice of `A`.
+    MatmulRight(Id, Id),
+    /// Batched `K · A`.
+    MatmulLeft(Id, Id),
+    /// Slice the boundary plane of each sub-lattice.
+    Edge(Id, Axis, Side),
+    /// Add an edge tensor onto the boundary plane (Algorithm 1 lines 3–6).
+    AddEdge {
+        /// The tensor whose boundary is compensated.
+        input: Id,
+        /// The edge tensor (shape `[m, n, 1, c]` or `[m, n, r, 1]`).
+        edge: Id,
+        /// Boundary axis.
+        axis: Axis,
+        /// Boundary side.
+        side: Side,
+    },
+    /// Torus roll of the sub-lattice grid (batch dims) by `(d0, d1)`.
+    RollBatch(Id, isize, isize),
+    /// XLA `CollectivePermute` over a source→destination pair list. The
+    /// single-process interpreter treats it as identity (one core both
+    /// sends and receives its own grid); the cost walker charges the mesh
+    /// model.
+    CollectivePermute(Id, Vec<(usize, usize)>),
+    /// `tf.nn.conv2d` with the plus-shaped nearest-neighbor kernel over the
+    /// *whole tiled lattice* with torus wrap — the appendix
+    /// implementation's workhorse ("tf.nn.convol2D is used, instead of
+    /// batch multiplication").
+    ConvPlus(Id),
+}
+
+/// One node: an op plus its inferred output shape.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Inferred output shape.
+    pub shape: Shape,
+}
+
+/// An SSA op graph with shape inference at insertion time.
+///
+/// Ids index into insertion order, which is also a topological order
+/// (ops only reference earlier ids).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    n_params: usize,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of parameters added so far.
+    pub fn param_count(&self) -> usize {
+        self.n_params
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: Id) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The inferred shape of an id.
+    pub fn shape(&self, id: Id) -> Shape {
+        self.nodes[id.0].shape
+    }
+
+    /// All nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    fn push(&mut self, op: Op, shape: Shape) -> Id {
+        self.nodes.push(Node { op, shape });
+        Id(self.nodes.len() - 1)
+    }
+
+    fn expect_same(&self, a: Id, b: Id, what: &str) -> Shape {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(sa, sb, "{what}: operand shapes differ ({sa:?} vs {sb:?})");
+        sa
+    }
+
+    /// Add a parameter of the given shape.
+    pub fn parameter(&mut self, shape: Shape) -> Id {
+        let index = self.n_params;
+        self.n_params += 1;
+        self.push(Op::Parameter { index }, shape)
+    }
+
+    /// Embed a constant from a rank-2 matrix as a `[1, 1, r, c]` operand.
+    pub fn constant_mat(&mut self, m: &Mat<f32>, dtype: Dtype) -> Id {
+        let lit = Literal {
+            dims: [1, 1, m.rows(), m.cols()],
+            data: m.data().to_vec(),
+        };
+        let shape = Shape::new(lit.dims, dtype);
+        self.push(Op::Constant(lit), shape)
+    }
+
+    /// Embed an arbitrary constant literal.
+    pub fn constant(&mut self, lit: Literal, dtype: Dtype) -> Id {
+        let shape = Shape::new(lit.dims, dtype);
+        assert_eq!(lit.data.len(), shape.elements(), "literal length mismatch");
+        self.push(Op::Constant(lit), shape)
+    }
+
+    /// Element-wise `a + b`.
+    pub fn add(&mut self, a: Id, b: Id) -> Id {
+        let s = self.expect_same(a, b, "add");
+        self.push(Op::Add(a, b), s)
+    }
+
+    /// Element-wise `a - b`.
+    pub fn sub(&mut self, a: Id, b: Id) -> Id {
+        let s = self.expect_same(a, b, "sub");
+        self.push(Op::Sub(a, b), s)
+    }
+
+    /// Element-wise `a * b`.
+    pub fn mul(&mut self, a: Id, b: Id) -> Id {
+        let s = self.expect_same(a, b, "mul");
+        self.push(Op::Mul(a, b), s)
+    }
+
+    /// Element-wise `-a`.
+    pub fn neg(&mut self, a: Id) -> Id {
+        let s = self.shape(a);
+        self.push(Op::Neg(a), s)
+    }
+
+    /// Element-wise `exp(a)`.
+    pub fn exp(&mut self, a: Id) -> Id {
+        let s = self.shape(a);
+        self.push(Op::Exp(a), s)
+    }
+
+    /// Element-wise `a < b` as 0.0 / 1.0.
+    pub fn lt(&mut self, a: Id, b: Id) -> Id {
+        let s = self.expect_same(a, b, "lt");
+        self.push(Op::Lt(a, b), s)
+    }
+
+    /// `a * scalar`.
+    pub fn mul_scalar(&mut self, a: Id, scalar: f64) -> Id {
+        let s = self.shape(a);
+        self.push(Op::MulScalar(a, scalar), s)
+    }
+
+    /// A tensor of uniforms in `[0, 1)`.
+    pub fn rng_uniform(&mut self, shape: Shape) -> Id {
+        self.push(Op::RngUniform, shape)
+    }
+
+    /// Batched `a · k` (k is `[1, 1, t, t2]`, `t` must equal `a`'s last dim).
+    pub fn matmul_right(&mut self, a: Id, k: Id) -> Id {
+        let sa = self.shape(a);
+        let sk = self.shape(k);
+        assert_eq!(sa.dtype, sk.dtype, "matmul dtype mismatch");
+        assert_eq!(sk.dims[0], 1, "kernel must be [1,1,t,t2]");
+        assert_eq!(sk.dims[1], 1, "kernel must be [1,1,t,t2]");
+        assert_eq!(sa.dims[3], sk.dims[2], "matmul_right inner dimension");
+        let dims = [sa.dims[0], sa.dims[1], sa.dims[2], sk.dims[3]];
+        self.push(Op::MatmulRight(a, k), Shape::new(dims, sa.dtype))
+    }
+
+    /// Batched `k · a`.
+    pub fn matmul_left(&mut self, k: Id, a: Id) -> Id {
+        let sa = self.shape(a);
+        let sk = self.shape(k);
+        assert_eq!(sa.dtype, sk.dtype, "matmul dtype mismatch");
+        assert_eq!(sk.dims[0], 1, "kernel must be [1,1,t2,t]");
+        assert_eq!(sk.dims[1], 1, "kernel must be [1,1,t2,t]");
+        assert_eq!(sk.dims[3], sa.dims[2], "matmul_left inner dimension");
+        let dims = [sa.dims[0], sa.dims[1], sk.dims[2], sa.dims[3]];
+        self.push(Op::MatmulLeft(k, a), Shape::new(dims, sa.dtype))
+    }
+
+    /// Boundary-plane slice.
+    pub fn edge(&mut self, a: Id, axis: Axis, side: Side) -> Id {
+        let s = self.shape(a);
+        let dims = match axis {
+            Axis::Row => [s.dims[0], s.dims[1], 1, s.dims[3]],
+            Axis::Col => [s.dims[0], s.dims[1], s.dims[2], 1],
+        };
+        self.push(Op::Edge(a, axis, side), Shape::new(dims, s.dtype))
+    }
+
+    /// Boundary-plane compensation.
+    pub fn add_edge(&mut self, input: Id, edge: Id, axis: Axis, side: Side) -> Id {
+        let s = self.shape(input);
+        let se = self.shape(edge);
+        let expect = match axis {
+            Axis::Row => [s.dims[0], s.dims[1], 1, s.dims[3]],
+            Axis::Col => [s.dims[0], s.dims[1], s.dims[2], 1],
+        };
+        assert_eq!(se.dims, expect, "add_edge: edge shape mismatch");
+        assert_eq!(se.dtype, s.dtype, "add_edge dtype mismatch");
+        self.push(Op::AddEdge { input, edge, axis, side }, s)
+    }
+
+    /// Torus roll of the batch grid.
+    pub fn roll_batch(&mut self, a: Id, d0: isize, d1: isize) -> Id {
+        let s = self.shape(a);
+        self.push(Op::RollBatch(a, d0, d1), s)
+    }
+
+    /// Collective permute across cores.
+    pub fn collective_permute(&mut self, a: Id, pairs: Vec<(usize, usize)>) -> Id {
+        let s = self.shape(a);
+        self.push(Op::CollectivePermute(a, pairs), s)
+    }
+
+    /// Plus-kernel convolution over the whole tiled lattice (torus wrap).
+    /// Requires square tiles.
+    pub fn conv_plus(&mut self, a: Id) -> Id {
+        let s = self.shape(a);
+        assert_eq!(s.dims[2], s.dims[3], "conv_plus needs square tiles");
+        self.push(Op::ConvPlus(a), s)
+    }
+
+    /// The ids an op consumes.
+    pub fn operands(&self, id: Id) -> Vec<Id> {
+        match &self.node(id).op {
+            Op::Parameter { .. } | Op::Constant(_) | Op::RngUniform => vec![],
+            Op::Neg(a)
+            | Op::Exp(a)
+            | Op::MulScalar(a, _)
+            | Op::Edge(a, _, _)
+            | Op::RollBatch(a, _, _)
+            | Op::CollectivePermute(a, _)
+            | Op::ConvPlus(a) => vec![*a],
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Lt(a, b) => vec![*a, *b],
+            Op::MatmulRight(a, k) => vec![*a, *k],
+            Op::MatmulLeft(k, a) => vec![*k, *a],
+            Op::AddEdge { input, edge, .. } => vec![*input, *edge],
+        }
+    }
+
+    /// `true` if the op is element-wise (fusable).
+    pub fn is_elementwise(&self, id: Id) -> bool {
+        matches!(
+            self.node(id).op,
+            Op::Add(..)
+                | Op::Sub(..)
+                | Op::Mul(..)
+                | Op::Neg(..)
+                | Op::Exp(..)
+                | Op::Lt(..)
+                | Op::MulScalar(..)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_tensor::band_kernel;
+
+    fn lattice_shape() -> Shape {
+        Shape::new([2, 3, 8, 8], Dtype::F32)
+    }
+
+    #[test]
+    fn shapes_infer_through_elementwise() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let q = g.parameter(lattice_shape());
+        let s = g.add(p, q);
+        let e = g.exp(s);
+        assert_eq!(g.shape(e), lattice_shape());
+        assert_eq!(g.param_count(), 2);
+    }
+
+    #[test]
+    fn matmul_right_shape() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let k = g.constant_mat(&band_kernel::<f32>(8), Dtype::F32);
+        let o = g.matmul_right(p, k);
+        assert_eq!(g.shape(o).dims, [2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn matmul_left_shape_with_rect_kernel() {
+        let mut g = Graph::new();
+        let p = g.parameter(Shape::new([1, 1, 4, 6], Dtype::F32));
+        let k = g.constant(
+            Literal { dims: [1, 1, 5, 4], data: vec![0.0; 20] },
+            Dtype::F32,
+        );
+        let o = g.matmul_left(k, p);
+        assert_eq!(g.shape(o).dims, [1, 1, 5, 6]);
+    }
+
+    #[test]
+    fn edge_shapes() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let er = g.edge(p, Axis::Row, Side::First);
+        let ec = g.edge(p, Axis::Col, Side::Last);
+        assert_eq!(g.shape(er).dims, [2, 3, 1, 8]);
+        assert_eq!(g.shape(ec).dims, [2, 3, 8, 1]);
+    }
+
+    #[test]
+    fn add_edge_requires_matching_edge_shape() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let e = g.edge(p, Axis::Row, Side::First);
+        let o = g.add_edge(p, e, Axis::Row, Side::Last);
+        assert_eq!(g.shape(o), lattice_shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge shape mismatch")]
+    fn add_edge_axis_mismatch_panics() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let e = g.edge(p, Axis::Row, Side::First);
+        let _ = g.add_edge(p, e, Axis::Col, Side::First);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand shapes differ")]
+    fn mismatched_add_panics() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let q = g.parameter(Shape::new([2, 3, 8, 9], Dtype::F32));
+        let _ = g.add(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn mismatched_matmul_panics() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let k = g.constant(Literal { dims: [1, 1, 7, 7], data: vec![0.0; 49] }, Dtype::F32);
+        let _ = g.matmul_right(p, k);
+    }
+
+    #[test]
+    fn operands_enumeration() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let q = g.parameter(lattice_shape());
+        let s = g.add(p, q);
+        let n = g.neg(s);
+        assert_eq!(g.operands(p), vec![]);
+        assert_eq!(g.operands(s), vec![p, q]);
+        assert_eq!(g.operands(n), vec![s]);
+    }
+
+    #[test]
+    fn elementwise_classification() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let k = g.constant_mat(&band_kernel::<f32>(8), Dtype::F32);
+        let mm = g.matmul_right(p, k);
+        let e = g.exp(mm);
+        assert!(!g.is_elementwise(p));
+        assert!(!g.is_elementwise(mm));
+        assert!(g.is_elementwise(e));
+    }
+
+    #[test]
+    fn ids_are_topologically_ordered() {
+        let mut g = Graph::new();
+        let p = g.parameter(lattice_shape());
+        let e = g.exp(p);
+        let n = g.neg(e);
+        for id in [p, e, n] {
+            for op in g.operands(id) {
+                assert!(op < id);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Graph interpreter over [`Tensor4`] values.
+
+use crate::graph::{Graph, Id, Op};
+use tpu_ising_bf16::Scalar;
+use tpu_ising_rng::{PhiloxStream, RandomUniform};
+use tpu_ising_tensor::Tensor4;
+
+/// Execute `graph`, feeding `params` (in parameter-index order) and drawing
+/// RNG from `stream`, and return the values of `outputs`.
+///
+/// The whole graph executes at precision `S` — the graph's `Dtype`
+/// annotations drive the cost model, while the interpreter's arithmetic
+/// precision is picked by the caller's type parameter (the paper's "same
+/// graph, either dtype" workflow). `CollectivePermute` is evaluated as
+/// identity: the single-process interpreter models one core, which in a
+/// full-shift permute both sends and receives its own grid.
+pub fn evaluate<S: Scalar + RandomUniform>(
+    graph: &Graph,
+    params: &[Tensor4<S>],
+    stream: &mut PhiloxStream,
+    outputs: &[Id],
+) -> Vec<Tensor4<S>> {
+    let mut values: Vec<Option<Tensor4<S>>> = vec![None; graph.len()];
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        let node = graph.node(id);
+        let get = |i: Id, values: &Vec<Option<Tensor4<S>>>| -> Tensor4<S> {
+            values[i.0].clone().expect("topological order violated")
+        };
+        let v: Tensor4<S> = match &node.op {
+            Op::Parameter { index } => {
+                let p = params
+                    .get(*index)
+                    .unwrap_or_else(|| panic!("missing parameter {index}"));
+                assert_eq!(
+                    p.shape(),
+                    node.shape.dims,
+                    "parameter {index} shape mismatch"
+                );
+                p.clone()
+            }
+            Op::Constant(lit) => {
+                let data: Vec<S> = lit.data.iter().map(|&x| S::from_f32(x)).collect();
+                Tensor4::from_vec(lit.dims, data)
+            }
+            Op::Add(a, b) => get(*a, &values).zip_map(&get(*b, &values), |x, y| x + y),
+            Op::Sub(a, b) => get(*a, &values).zip_map(&get(*b, &values), |x, y| x - y),
+            Op::Mul(a, b) => get(*a, &values).zip_map(&get(*b, &values), |x, y| x * y),
+            Op::Neg(a) => get(*a, &values).map(|x| -x),
+            Op::Exp(a) => get(*a, &values).map(|x| x.exp()),
+            Op::Lt(a, b) => get(*a, &values).zip_map(&get(*b, &values), |x, y| {
+                if x < y {
+                    S::one()
+                } else {
+                    S::zero()
+                }
+            }),
+            Op::MulScalar(a, s) => {
+                let s = S::from_f32(*s as f32);
+                get(*a, &values).map(|x| x * s)
+            }
+            Op::RngUniform => {
+                let n = node.shape.elements();
+                let mut data = vec![S::zero(); n];
+                stream.fill_uniform(&mut data);
+                Tensor4::from_vec(node.shape.dims, data)
+            }
+            Op::MatmulRight(a, k) => {
+                let kt = get(*k, &values);
+                let [_, _, r, c] = kt.shape();
+                let km = tpu_ising_tensor::Mat::from_vec(r, c, kt.data().to_vec());
+                get(*a, &values).matmul_right(&km)
+            }
+            Op::MatmulLeft(k, a) => {
+                let kt = get(*k, &values);
+                let [_, _, r, c] = kt.shape();
+                let km = tpu_ising_tensor::Mat::from_vec(r, c, kt.data().to_vec());
+                get(*a, &values).matmul_left(&km)
+            }
+            Op::Edge(a, axis, side) => get(*a, &values).edge(*axis, *side),
+            Op::AddEdge { input, edge, axis, side } => {
+                let mut t = get(*input, &values);
+                t.add_edge_assign(*axis, *side, &get(*edge, &values));
+                t
+            }
+            Op::RollBatch(a, d0, d1) => get(*a, &values).roll_batch(*d0, *d1),
+            Op::CollectivePermute(a, _) => get(*a, &values),
+            Op::ConvPlus(a) => {
+                // whole-lattice plus-kernel conv with torus wrap: stitch the
+                // tiles into the logical plane, convolve, re-tile.
+                let t = get(*a, &values);
+                let tile = t.shape()[2];
+                let plane = tpu_ising_tensor::Plane::from_tiles(&t);
+                plane.neighbor_sum_periodic().to_tiles(tile)
+            }
+        };
+        assert_eq!(v.shape(), node.shape.dims, "op {idx} produced wrong shape");
+        values[idx] = Some(v);
+    }
+    outputs
+        .iter()
+        .map(|o| values[o.0].clone().expect("output not computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Dtype, Shape};
+    use tpu_ising_bf16::Bf16;
+    use tpu_ising_tensor::{band_kernel, Axis, Side};
+
+    fn shape() -> Shape {
+        Shape::new([1, 2, 4, 4], Dtype::F32)
+    }
+
+    fn input() -> Tensor4<f32> {
+        Tensor4::from_fn([1, 2, 4, 4], |b0, b1, r, c| {
+            ((b0 * 7 + b1 * 5 + r * 3 + c) % 11) as f32 - 5.0
+        })
+    }
+
+    #[test]
+    fn elementwise_pipeline() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let n = g.neg(p);
+        let s = g.mul_scalar(n, 0.5);
+        let e = g.exp(s);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = evaluate(&g, &[input()], &mut rng, &[e]);
+        let expect = input().map(|x| (-x * 0.5).exp());
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn matmul_matches_tensor_op() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let k = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let right = g.matmul_right(p, k);
+        let left = g.matmul_left(k, p);
+        let sum = g.add(right, left);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = evaluate(&g, &[input()], &mut rng, &[sum]);
+        let kk = band_kernel::<f32>(4);
+        let mut expect = input().matmul_right(&kk);
+        expect.add_assign(&input().matmul_left(&kk));
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn edge_and_roll_ops() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let rolled = g.roll_batch(p, 0, 1);
+        let e = g.edge(rolled, Axis::Col, Side::Last);
+        let comp = g.add_edge(p, e, Axis::Col, Side::First);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = evaluate(&g, &[input()], &mut rng, &[comp]);
+        let mut expect = input();
+        let rolled = input().roll_batch(0, 1);
+        let edge = rolled.edge(Axis::Col, Side::Last);
+        expect.add_edge_assign(Axis::Col, Side::First, &edge);
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn rng_uniform_matches_stream_order() {
+        let mut g = Graph::new();
+        let r = g.rng_uniform(shape());
+        let mut rng = PhiloxStream::from_seed(99);
+        let out = evaluate::<f32>(&g, &[], &mut rng, &[r]);
+        let mut rng2 = PhiloxStream::from_seed(99);
+        let expect = tpu_ising_rng::uniform_vec::<f32>(&mut rng2, 32);
+        assert_eq!(out[0].data(), &expect[..]);
+    }
+
+    #[test]
+    fn lt_produces_indicator() {
+        let mut g = Graph::new();
+        let a = g.parameter(shape());
+        let b = g.parameter(shape());
+        let lt = g.lt(a, b);
+        let mut rng = PhiloxStream::from_seed(0);
+        let x = input();
+        let y = input().map(|v| v + 1.0);
+        let out = evaluate(&g, &[x.clone(), y], &mut rng, &[lt]);
+        assert!(out[0].data().iter().all(|&v| v == 1.0));
+        let out2 = evaluate(&g, &[x.clone(), x], &mut rng, &[lt]);
+        assert!(out2[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn collective_permute_is_identity_single_process() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let cp = g.collective_permute(p, vec![(0, 0)]);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = evaluate(&g, &[input()], &mut rng, &[cp]);
+        assert_eq!(out[0], input());
+    }
+
+    #[test]
+    fn bf16_execution_rounds() {
+        let mut g = Graph::new();
+        let p = g.parameter(Shape::new([1, 1, 1, 4], Dtype::Bf16));
+        let s = g.mul_scalar(p, 1.0);
+        let mut rng = PhiloxStream::from_seed(0);
+        let x = Tensor4::<Bf16>::from_fn([1, 1, 1, 4], |_, _, _, c| Bf16::from_f32(c as f32));
+        let out = evaluate(&g, std::slice::from_ref(&x), &mut rng, &[s]);
+        assert_eq!(out[0], x);
+    }
+
+    #[test]
+    fn multiple_outputs() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let n = g.neg(p);
+        let e = g.exp(p);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = evaluate(&g, &[input()], &mut rng, &[n, e, p]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], input());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_parameter_shape_panics() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let mut rng = PhiloxStream::from_seed(0);
+        let bad = Tensor4::<f32>::zeros([1, 1, 4, 4]);
+        let _ = evaluate(&g, &[bad], &mut rng, &[p]);
+    }
+}

@@ -1,0 +1,34 @@
+//! HLO-lite: a miniature of the XLA High Level Optimizer IR.
+//!
+//! The paper's program is not hand-written TPU code — it is a TensorFlow
+//! graph that XLA compiles (graph → HLO → passes → device code, §2 Fig. 2).
+//! This crate reproduces that software shape at small scale:
+//!
+//! - [`Graph`]: an SSA op graph with shape inference at construction,
+//!   covering exactly the op vocabulary the Ising step needs (batched
+//!   matmul with a fixed kernel, edge slice/compensate, roll, element-wise
+//!   math, RNG, collective-permute).
+//! - [`passes`]: dead-code elimination, constant folding, and element-wise
+//!   fusion analysis — the cost model uses fusion groups to discount HBM
+//!   round-trips for fused producers/consumers, mirroring why the real
+//!   XLA's fused element-wise chains don't pay per-op memory traffic.
+//! - [`interp`]: an interpreter executing the graph on [`Tensor4`] values
+//!   at either precision, drawing RNG from a Philox stream.
+//! - [`cost`]: a per-op walker that converts the graph into modeled device
+//!   time spans ([`tpu_ising_device::Trace`]) — the profiler view of
+//!   Table 3 built from the program itself.
+//!
+//! `tpu-ising-core` builds the checkerboard update step as one of these
+//! graphs and the equivalence tests check the interpreted graph makes
+//! bit-identical flip decisions with the direct implementation.
+
+pub mod cost;
+pub mod graph;
+pub mod interp;
+pub mod passes;
+pub mod printer;
+
+pub use graph::{Dtype, Graph, Id, Literal, Op, Shape};
+pub use interp::evaluate;
+
+pub use tpu_ising_tensor::{Axis, Side, Tensor4};

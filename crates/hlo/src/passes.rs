@@ -1,0 +1,534 @@
+//! Graph passes: DCE, constant folding, and element-wise fusion analysis.
+//!
+//! These are miniature versions of the XLA pipeline stages the paper's
+//! program passes through between graph construction and TPU execution
+//! (§2). They matter here for two reasons: the cost model uses fusion
+//! groups to avoid charging HBM round-trips inside fused element-wise
+//! chains, and the equivalence tests check that optimized graphs still
+//! compute the same function.
+
+use crate::graph::{Graph, Id, Literal, Op};
+use std::collections::{BTreeSet, HashMap};
+
+/// Dead-code elimination: rebuild the graph keeping only ops reachable
+/// from `roots`. Returns the new graph and the remapping of old root ids.
+pub fn dce(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
+    // Mark.
+    let mut live = BTreeSet::new();
+    let mut stack: Vec<Id> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if live.insert(id) {
+            stack.extend(graph.operands(id));
+        }
+    }
+    // Parameters always survive: removing one would renumber the caller's
+    // argument list.
+    for idx in 0..graph.len() {
+        if matches!(graph.node(Id(idx)).op, Op::Parameter { .. }) {
+            live.insert(Id(idx));
+        }
+    }
+    // Sweep, preserving topological order.
+    let mut out = Graph::new();
+    let mut remap: HashMap<Id, Id> = HashMap::new();
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        if !live.contains(&id) {
+            continue;
+        }
+        let new_id = rebuild_op(&mut out, graph, id, &remap);
+        remap.insert(id, new_id);
+    }
+    let new_roots = roots.iter().map(|r| remap[r]).collect();
+    (out, new_roots)
+}
+
+fn rebuild_op(out: &mut Graph, graph: &Graph, id: Id, remap: &HashMap<Id, Id>) -> Id {
+    let node = graph.node(id);
+    let m = |i: &Id| remap[i];
+    match &node.op {
+        Op::Parameter { .. } => out.parameter(node.shape),
+        Op::Constant(lit) => out.constant(lit.clone(), node.shape.dtype),
+        Op::Add(a, b) => out.add(m(a), m(b)),
+        Op::Sub(a, b) => out.sub(m(a), m(b)),
+        Op::Mul(a, b) => out.mul(m(a), m(b)),
+        Op::Neg(a) => out.neg(m(a)),
+        Op::Exp(a) => out.exp(m(a)),
+        Op::Lt(a, b) => out.lt(m(a), m(b)),
+        Op::MulScalar(a, s) => out.mul_scalar(m(a), *s),
+        Op::RngUniform => out.rng_uniform(node.shape),
+        Op::MatmulRight(a, k) => out.matmul_right(m(a), m(k)),
+        Op::MatmulLeft(k, a) => out.matmul_left(m(k), m(a)),
+        Op::Edge(a, axis, side) => out.edge(m(a), *axis, *side),
+        Op::AddEdge { input, edge, axis, side } => out.add_edge(m(input), m(edge), *axis, *side),
+        Op::RollBatch(a, d0, d1) => out.roll_batch(m(a), *d0, *d1),
+        Op::CollectivePermute(a, pairs) => out.collective_permute(m(a), pairs.clone()),
+        Op::ConvPlus(a) => out.conv_plus(m(a)),
+    }
+}
+
+/// Constant folding: evaluate element-wise ops and negation whose operands
+/// are all constants, replacing them with literals. Returns the rewritten
+/// graph and the remapped root ids.
+pub fn const_fold(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
+    let mut out = Graph::new();
+    let mut remap: HashMap<Id, Id> = HashMap::new();
+    // Track which new ids are constants (and their payloads).
+    let mut consts: HashMap<Id, Literal> = HashMap::new();
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        let node = graph.node(id);
+        let operand_lits: Option<Vec<&Literal>> = graph
+            .operands(id)
+            .iter()
+            .map(|o| consts.get(&remap[o]))
+            .collect();
+        let folded: Option<Literal> = match (&node.op, operand_lits) {
+            (Op::Add(..), Some(l)) => Some(zip_lit(l[0], l[1], |a, b| a + b)),
+            (Op::Sub(..), Some(l)) => Some(zip_lit(l[0], l[1], |a, b| a - b)),
+            (Op::Mul(..), Some(l)) => Some(zip_lit(l[0], l[1], |a, b| a * b)),
+            (Op::Neg(..), Some(l)) => Some(map_lit(l[0], |a| -a)),
+            (Op::Exp(..), Some(l)) => Some(map_lit(l[0], f32::exp)),
+            (Op::MulScalar(_, s), Some(l)) => {
+                let s = *s as f32;
+                Some(map_lit(l[0], |a| a * s))
+            }
+            _ => None,
+        };
+        let new_id = if let Some(lit) = folded {
+            let nid = out.constant(lit.clone(), node.shape.dtype);
+            consts.insert(nid, lit);
+            nid
+        } else {
+            let nid = rebuild_op(&mut out, graph, id, &remap);
+            if let Op::Constant(lit) = &node.op {
+                consts.insert(nid, lit.clone());
+            }
+            nid
+        };
+        remap.insert(id, new_id);
+    }
+    let new_roots = roots.iter().map(|r| remap[r]).collect();
+    (out, new_roots)
+}
+
+fn zip_lit(a: &Literal, b: &Literal, f: impl Fn(f32, f32) -> f32) -> Literal {
+    assert_eq!(a.dims, b.dims);
+    Literal {
+        dims: a.dims,
+        data: a.data.iter().zip(b.data.iter()).map(|(&x, &y)| f(x, y)).collect(),
+    }
+}
+
+fn map_lit(a: &Literal, f: impl Fn(f32) -> f32) -> Literal {
+    Literal { dims: a.dims, data: a.data.iter().map(|&x| f(x)).collect() }
+}
+
+/// Element-wise fusion analysis: partition element-wise ops into maximal
+/// chains where a producer's *only* consumer is the next op in the chain.
+///
+/// Fused chains execute as one VPU loop: intermediate results stay in
+/// registers and pay no HBM traffic. The cost walker charges HBM for a
+/// group's external inputs and final output only. Returns groups in
+/// topological order; non-element-wise ops appear as singleton groups.
+pub fn fusion_groups(graph: &Graph, roots: &[Id]) -> Vec<Vec<Id>> {
+    // Count consumers of each id (roots count as external consumers).
+    let mut uses = vec![0usize; graph.len()];
+    for idx in 0..graph.len() {
+        for op in graph.operands(Id(idx)) {
+            uses[op.0] += 1;
+        }
+    }
+    for r in roots {
+        uses[r.0] += 1;
+    }
+    // Greedy chain building: op joins its single elementwise consumer.
+    let mut group_of: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut groups: Vec<Vec<Id>> = Vec::new();
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        // Try to join the group of a single elementwise producer that has
+        // exactly one use (us).
+        let mut joined = None;
+        if graph.is_elementwise(id) {
+            for op in graph.operands(id) {
+                if graph.is_elementwise(op) && uses[op.0] == 1 {
+                    joined = group_of[op.0];
+                    break;
+                }
+            }
+        }
+        match joined {
+            Some(gi) => {
+                groups[gi].push(id);
+                group_of[idx] = Some(gi);
+            }
+            None => {
+                groups.push(vec![id]);
+                group_of[idx] = Some(groups.len() - 1);
+            }
+        }
+    }
+    groups
+}
+
+/// Common-subexpression elimination: identical ops with identical
+/// (remapped) operands collapse to one. `RngUniform` is stateful and never
+/// merged — two draws are two different tensors.
+pub fn cse(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
+    let mut out = Graph::new();
+    let mut remap: HashMap<Id, Id> = HashMap::new();
+    let mut seen: HashMap<String, Id> = HashMap::new();
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        let node = graph.node(id);
+        let can_merge = !matches!(node.op, Op::RngUniform);
+        // structural key: op debug form with operands rewritten to new ids
+        let key = if can_merge {
+            let mut key = format!("{:?}|{:?}", std::mem::discriminant(&node.op), node.shape);
+            match &node.op {
+                Op::Parameter { index } => key.push_str(&format!("p{index}")),
+                Op::Constant(lit) => {
+                    key.push_str(&format!("lit{:?}{:?}", lit.dims, lit.data));
+                }
+                Op::MulScalar(_, s) => key.push_str(&format!("s{s}")),
+                Op::Edge(_, axis, side) => key.push_str(&format!("{axis:?}{side:?}")),
+                Op::AddEdge { axis, side, .. } => key.push_str(&format!("{axis:?}{side:?}")),
+                Op::RollBatch(_, d0, d1) => key.push_str(&format!("r{d0},{d1}")),
+                Op::CollectivePermute(_, pairs) => key.push_str(&format!("{pairs:?}")),
+                _ => {}
+            }
+            for op in graph.operands(id) {
+                key.push_str(&format!(",%{}", remap[&op].0));
+            }
+            Some(key)
+        } else {
+            None
+        };
+        if let Some(k) = &key {
+            if let Some(&existing) = seen.get(k) {
+                remap.insert(id, existing);
+                continue;
+            }
+        }
+        let new_id = rebuild_op(&mut out, graph, id, &remap);
+        remap.insert(id, new_id);
+        if let Some(k) = key {
+            seen.insert(k, new_id);
+        }
+    }
+    let new_roots = roots.iter().map(|r| remap[r]).collect();
+    (out, new_roots)
+}
+
+/// Algebraic simplification: local identities rewritten to cheaper forms.
+///
+/// Implemented rules (XLA's `AlgebraicSimplifier` implements hundreds;
+/// these are the ones our graphs actually produce):
+/// - `neg(neg(x)) → x`
+/// - `mul_scalar(x, 1) → x`
+/// - `mul_scalar(mul_scalar(x, a), b) → mul_scalar(x, a·b)`
+/// - `add(x, 0-const) → x` (either side)
+/// - `sub(x, 0-const) → x`
+pub fn algebraic_simplify(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
+    let mut out = Graph::new();
+    let mut remap: HashMap<Id, Id> = HashMap::new();
+    // track which new ids are known all-zero constants
+    let mut zero_consts: std::collections::HashSet<Id> = Default::default();
+    for idx in 0..graph.len() {
+        let id = Id(idx);
+        let node = graph.node(id);
+        let alias: Option<Id> = match &node.op {
+            Op::Neg(a) => {
+                if let Op::Neg(inner) = &graph.node(*a).op {
+                    Some(remap[inner])
+                } else {
+                    None
+                }
+            }
+            Op::MulScalar(a, s) if *s == 1.0 => Some(remap[a]),
+            Op::Add(a, b) => {
+                if zero_consts.contains(&remap[b]) {
+                    Some(remap[a])
+                } else if zero_consts.contains(&remap[a]) {
+                    Some(remap[b])
+                } else {
+                    None
+                }
+            }
+            Op::Sub(a, b) if zero_consts.contains(&remap[b]) => Some(remap[a]),
+            _ => None,
+        };
+        if let Some(alias) = alias {
+            remap.insert(id, alias);
+            continue;
+        }
+        // fold mul_scalar chains
+        if let Op::MulScalar(a, s_outer) = &node.op {
+            if let Op::MulScalar(inner, s_inner) = &graph.node(*a).op {
+                let new_id = out.mul_scalar(remap[inner], s_inner * s_outer);
+                remap.insert(id, new_id);
+                continue;
+            }
+        }
+        let new_id = rebuild_op(&mut out, graph, id, &remap);
+        if let Op::Constant(lit) = &node.op {
+            if lit.data.iter().all(|&x| x == 0.0) {
+                zero_consts.insert(new_id);
+            }
+        }
+        remap.insert(id, new_id);
+    }
+    let new_roots = roots.iter().map(|r| remap[r]).collect();
+    (out, new_roots)
+}
+
+/// The standard optimization pipeline, in XLA's order: fold constants,
+/// simplify algebra, merge duplicates, sweep dead code. Idempotent.
+pub fn optimize(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
+    let (g, r) = const_fold(graph, roots);
+    let (g, r) = algebraic_simplify(&g, &r);
+    let (g, r) = cse(&g, &r);
+    dce(&g, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Dtype, Shape};
+    use tpu_ising_rng::PhiloxStream;
+    use tpu_ising_tensor::{band_kernel, Tensor4};
+
+    fn shape() -> Shape {
+        Shape::new([1, 1, 4, 4], Dtype::F32)
+    }
+
+    fn input() -> Tensor4<f32> {
+        Tensor4::from_fn([1, 1, 4, 4], |_, _, r, c| (r * 4 + c) as f32 - 7.5)
+    }
+
+    #[test]
+    fn dce_removes_dead_ops() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let live = g.exp(p);
+        let _dead1 = g.neg(p);
+        let dead2 = g.neg(live);
+        let _dead3 = g.exp(dead2);
+        let (g2, roots) = dce(&g, &[live]);
+        assert_eq!(g2.len(), 2); // parameter + exp
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = crate::evaluate(&g2, &[input()], &mut rng, &roots);
+        assert_eq!(out[0], input().map(f32::exp));
+    }
+
+    #[test]
+    fn dce_keeps_all_parameters() {
+        let mut g = Graph::new();
+        let _unused = g.parameter(shape());
+        let p = g.parameter(shape());
+        let e = g.exp(p);
+        let (g2, _) = dce(&g, &[e]);
+        assert_eq!(g2.param_count(), 2);
+    }
+
+    #[test]
+    fn dce_preserves_semantics_on_diamond() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let a = g.neg(p);
+        let b = g.exp(p);
+        let c = g.add(a, b);
+        let _dead = g.mul(a, b);
+        let (g2, roots) = dce(&g, &[c]);
+        let mut rng = PhiloxStream::from_seed(0);
+        let out = crate::evaluate(&g2, &[input()], &mut rng, &roots);
+        let expect = input().map(|x| -x + x.exp());
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn const_fold_evaluates_constant_subgraphs() {
+        let mut g = Graph::new();
+        let k = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let nk = g.neg(k);
+        let s = g.mul_scalar(nk, 2.0);
+        let p = g.parameter(Shape::new([1, 1, 4, 4], Dtype::F32));
+        let out_id = g.matmul_right(p, s);
+        let (g2, roots) = const_fold(&g, &[out_id]);
+        // neg and mul_scalar disappear into one folded literal
+        let folded_consts = g2
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Constant(_)))
+            .count();
+        assert!(folded_consts >= 1);
+        let n_elementwise = (0..g2.len()).filter(|&i| g2.is_elementwise(Id(i))).count();
+        assert_eq!(n_elementwise, 0, "all elementwise ops folded away");
+        // semantics preserved
+        let mut rng = PhiloxStream::from_seed(0);
+        let got = crate::evaluate(&g2, &[input()], &mut rng, &roots);
+        let mut rng2 = PhiloxStream::from_seed(0);
+        let expect = crate::evaluate(&g, &[input()], &mut rng2, &[out_id]);
+        assert_eq!(got[0], expect[0]);
+    }
+
+    #[test]
+    fn fusion_groups_chain_single_use_elementwise() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let a = g.neg(p); // chain start
+        let b = g.mul_scalar(a, 2.0); // fuses with a
+        let c = g.exp(b); // fuses with b
+        let groups = fusion_groups(&g, &[c]);
+        // parameter singleton + one fused chain {a, b, c}
+        assert_eq!(groups.len(), 2);
+        let chain = groups.iter().find(|gr| gr.len() == 3).expect("fused chain");
+        assert_eq!(chain, &vec![a, b, c]);
+    }
+
+    #[test]
+    fn fusion_breaks_at_multi_use() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let a = g.neg(p);
+        let b = g.exp(a); // a has 2 uses → no fusion into b or c
+        let c = g.mul_scalar(a, 3.0);
+        let d = g.add(b, c);
+        let groups = fusion_groups(&g, &[d]);
+        // a cannot fuse with b (a multi-use); b/c single-use fuse into d?
+        // d consumes b and c; d joins the first single-use elementwise
+        // producer's group (b's).
+        let ga = groups.iter().find(|gr| gr.contains(&a)).unwrap();
+        assert_eq!(ga.len(), 1);
+        assert!(groups.iter().any(|gr| gr.contains(&d) && gr.len() >= 2));
+    }
+
+    #[test]
+    fn cse_merges_identical_subtrees() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let k1 = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let k2 = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32); // duplicate
+        let a = g.matmul_right(p, k1);
+        let b = g.matmul_right(p, k2); // identical after const merge
+        let s = g.add(a, b);
+        let (g2, roots) = cse(&g, &[s]);
+        // one constant, one matmul survive
+        let consts = g2.nodes().iter().filter(|n| matches!(n.op, Op::Constant(_))).count();
+        let matmuls =
+            g2.nodes().iter().filter(|n| matches!(n.op, Op::MatmulRight(..))).count();
+        assert_eq!(consts, 1);
+        assert_eq!(matmuls, 1);
+        // semantics preserved: add(a, a) == 2a
+        let mut rng = PhiloxStream::from_seed(0);
+        let got = crate::evaluate(&g2, &[input()], &mut rng, &roots);
+        let kk = band_kernel::<f32>(4);
+        let mm = input().matmul_right(&kk);
+        let mut expect = mm.clone();
+        expect.add_assign(&mm);
+        assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    fn cse_never_merges_rng() {
+        let mut g = Graph::new();
+        let r1 = g.rng_uniform(shape());
+        let r2 = g.rng_uniform(shape());
+        let s = g.add(r1, r2);
+        let (g2, _) = cse(&g, &[s]);
+        let rngs = g2.nodes().iter().filter(|n| matches!(n.op, Op::RngUniform)).count();
+        assert_eq!(rngs, 2, "independent draws must stay independent");
+    }
+
+    #[test]
+    fn algebraic_simplify_rules() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let nn = g.neg(p);
+        let nnn = g.neg(nn); // → p
+        let m1 = g.mul_scalar(nnn, 1.0); // → p
+        let m2 = g.mul_scalar(m1, 3.0);
+        let m3 = g.mul_scalar(m2, 2.0); // → mul_scalar(p, 6)
+        let zero = g.constant(
+            Literal { dims: [1, 1, 4, 4], data: vec![0.0; 16] },
+            Dtype::F32,
+        );
+        let added = g.add(m3, zero); // → m3
+        let subbed = g.sub(added, zero); // → m3
+        let (g2, roots) = algebraic_simplify(&g, &[subbed]);
+        // after DCE the graph should be parameter + one mul_scalar (+ the
+        // zero constant which DCE can drop)
+        let (g3, roots) = dce(&g2, &roots);
+        let muls: Vec<f64> = g3
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.op {
+                Op::MulScalar(_, s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(muls, vec![6.0], "chain folded to ×6: {g3:?}");
+        assert_eq!(
+            g3.nodes().iter().filter(|n| matches!(n.op, Op::Neg(_))).count(),
+            0,
+            "double negation eliminated"
+        );
+        // semantics
+        let mut rng = PhiloxStream::from_seed(0);
+        let got = crate::evaluate(&g3, &[input()], &mut rng, &roots);
+        assert_eq!(got[0], input().map(|x| x * 6.0));
+    }
+
+    #[test]
+    fn simplify_preserves_zero_addition_semantics_on_nonzero_consts() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let ones = g.constant(
+            Literal { dims: [1, 1, 4, 4], data: vec![1.0; 16] },
+            Dtype::F32,
+        );
+        let added = g.add(p, ones); // must NOT be simplified away
+        let (g2, roots) = algebraic_simplify(&g, &[added]);
+        let mut rng = PhiloxStream::from_seed(0);
+        let got = crate::evaluate(&g2, &[input()], &mut rng, &roots);
+        assert_eq!(got[0], input().map(|x| x + 1.0));
+    }
+
+    #[test]
+    fn optimize_pipeline_is_idempotent_and_semantics_preserving() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let k = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let k2 = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let a = g.matmul_right(p, k);
+        let b = g.matmul_right(p, k2);
+        let s = g.add(a, b);
+        let n = g.neg(s);
+        let nn = g.neg(n);
+        let out = g.mul_scalar(nn, 1.0);
+        let _dead = g.exp(out);
+        let roots = [out];
+        let (g1, r1) = optimize(&g, &roots);
+        let (g2, r2) = optimize(&g1, &r1);
+        assert_eq!(g1.len(), g2.len(), "optimize must be idempotent");
+        assert!(g1.len() < g.len());
+        let mut s1 = PhiloxStream::from_seed(0);
+        let mut s2 = PhiloxStream::from_seed(0);
+        let before = crate::evaluate(&g, &[input()], &mut s1, &roots);
+        let after = crate::evaluate(&g2, &[input()], &mut s2, &r2);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fusion_never_crosses_matmul() {
+        let mut g = Graph::new();
+        let p = g.parameter(shape());
+        let k = g.constant_mat(&band_kernel::<f32>(4), Dtype::F32);
+        let mm = g.matmul_right(p, k);
+        let e = g.exp(mm);
+        let groups = fusion_groups(&g, &[e]);
+        let gmm = groups.iter().find(|gr| gr.contains(&mm)).unwrap();
+        assert_eq!(gmm.len(), 1, "matmul stays a singleton group");
+    }
+}

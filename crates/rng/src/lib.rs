@@ -1,0 +1,341 @@
+//! Counter-based random number generation for massively parallel MCMC.
+//!
+//! The paper's TensorFlow implementation draws its acceptance uniforms from
+//! `tf.random_uniform`, which on TPU is backed by the **Philox4x32-10**
+//! counter-based generator (Salmon et al., "Parallel random numbers: as easy
+//! as 1, 2, 3", SC 2011). Counter-based generators are the natural fit for
+//! SPMD hardware: the stream is a pure function `(key, counter) → 4×u32`,
+//! so every core / sub-lattice / color phase can own a disjoint, reproducible
+//! slice of the stream without any shared state or locking.
+//!
+//! This crate implements Philox4x32-10 from scratch (no external RNG crates
+//! are used for simulation randomness) and layers three facilities on top:
+//!
+//! - [`PhiloxStream`]: a sequential stream with 128-bit counter, constant-
+//!   time [`PhiloxStream::skip`] (jump-ahead), used by single-threaded code.
+//! - [`PhiloxStream::split`]: derive a statistically independent stream for
+//!   a child task (core id, sub-lattice id, …) — the SPMD runtime gives each
+//!   TensorCore its own split, mirroring how TF seeds per-replica RNG ops.
+//! - [`SiteRng`]: a *site-keyed* generator where the uniform consumed by
+//!   lattice site `(row, col)` at sweep `s` for color `c` is a pure function
+//!   of `(seed, s, c, row, col)`. Two different algorithms (naive Algorithm 1,
+//!   compact Algorithm 2, the conv variant, or a distributed run) driven by
+//!   the same `SiteRng` make *bit-identical flip decisions*, which is what
+//!   the cross-implementation equivalence tests rely on.
+
+mod philox;
+mod site;
+mod uniform;
+
+pub use philox::{philox4x32_10, Philox4x32Key};
+pub use site::SiteRng;
+pub use uniform::RandomUniform;
+
+use tpu_ising_bf16::Scalar;
+
+/// Multiplier constants from the Philox paper.
+pub(crate) const PHILOX_M0: u32 = 0xD251_1F53;
+pub(crate) const PHILOX_M1: u32 = 0xCD9E_8D57;
+/// Weyl key-schedule increments (golden ratio and sqrt(3)-1 fractions).
+pub(crate) const PHILOX_W0: u32 = 0x9E37_79B9;
+pub(crate) const PHILOX_W1: u32 = 0xBB67_AE85;
+
+/// A sequential Philox4x32-10 stream: a key plus a 128-bit block counter.
+///
+/// Each [`next_block`](Self::next_block) call consumes one counter value and
+/// yields four `u32`s. The generator has period 2^130 per key and 2^64
+/// distinct keys reachable via [`split`](Self::split).
+#[derive(Clone, Debug)]
+pub struct PhiloxStream {
+    key: Philox4x32Key,
+    counter: u128,
+    /// Buffered outputs not yet consumed by `next_u32`.
+    buf: [u32; 4],
+    buf_pos: usize,
+}
+
+impl PhiloxStream {
+    /// Create a stream from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        PhiloxStream {
+            key: Philox4x32Key::from_seed(seed),
+            counter: 0,
+            buf: [0; 4],
+            buf_pos: 4,
+        }
+    }
+
+    /// Create a stream with an explicit key (for tests / KAT vectors).
+    pub fn from_key(key: Philox4x32Key) -> Self {
+        PhiloxStream { key, counter: 0, buf: [0; 4], buf_pos: 4 }
+    }
+
+    /// Reconstruct a stream from checkpointed `(key, counter)` state.
+    ///
+    /// Any partially-consumed output buffer is discarded, so restoring is
+    /// exact for consumers that draw via [`fill_uniform`](Self::fill_uniform)
+    /// (which resets the buffer anyway) and conservative — never repeats
+    /// outputs — for buffered `next_u32` consumers.
+    pub fn from_state(key: Philox4x32Key, counter: u128) -> Self {
+        PhiloxStream { key, counter, buf: [0; 4], buf_pos: 4 }
+    }
+
+    /// Derive an independent child stream.
+    ///
+    /// The child's key mixes the parent key with `stream_id` through one
+    /// Philox evaluation, so children of different ids — and children vs the
+    /// parent — have unrelated keys. The parent stream is unaffected.
+    pub fn split(&self, stream_id: u64) -> PhiloxStream {
+        let ctr = [
+            stream_id as u32,
+            (stream_id >> 32) as u32,
+            0x5EED_5EED, // domain-separation tag for "split"
+            0x0000_0001,
+        ];
+        let out = philox4x32_10(ctr, self.key);
+        PhiloxStream {
+            key: Philox4x32Key::new(out[0], out[1]),
+            counter: 0,
+            buf: [0; 4],
+            buf_pos: 4,
+        }
+    }
+
+    /// The next 4-word block; advances the counter by one.
+    #[inline]
+    pub fn next_block(&mut self) -> [u32; 4] {
+        let ctr = [
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            (self.counter >> 64) as u32,
+            (self.counter >> 96) as u32,
+        ];
+        self.counter = self.counter.wrapping_add(1);
+        philox4x32_10(ctr, self.key)
+    }
+
+    /// The next single `u32`, served from an internal 4-word buffer.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.buf_pos == 4 {
+            self.buf = self.next_block();
+            self.buf_pos = 0;
+        }
+        let v = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        v
+    }
+
+    /// The next `u64` (two buffered words).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// A uniform in `[0, 1)` at precision `S`.
+    #[inline]
+    pub fn uniform<S: RandomUniform>(&mut self) -> S {
+        S::uniform_from_u32(self.next_u32())
+    }
+
+    /// Fill `out` with uniforms in `[0, 1)` at precision `S`.
+    ///
+    /// This is the Rust analogue of `tf.random_uniform(shape)`: one bulk op
+    /// producing a tensor's worth of uniforms from consecutive counters.
+    pub fn fill_uniform<S: RandomUniform>(&mut self, out: &mut [S]) {
+        // Whole blocks first (discarding any partially-consumed buffer keeps
+        // the fill reproducible regardless of prior next_u32 calls).
+        self.buf_pos = 4;
+        let mut chunks = out.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            let block = self.next_block();
+            for (o, &b) in chunk.iter_mut().zip(block.iter()) {
+                *o = S::uniform_from_u32(b);
+            }
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let block = self.next_block();
+            for (o, &b) in rem.iter_mut().zip(block.iter()) {
+                *o = S::uniform_from_u32(b);
+            }
+        }
+    }
+
+    /// Jump the stream forward by `n_blocks` counter values in O(1).
+    pub fn skip(&mut self, n_blocks: u128) {
+        self.counter = self.counter.wrapping_add(n_blocks);
+        self.buf_pos = 4;
+    }
+
+    /// Current 128-bit block counter (for checkpointing).
+    pub fn counter(&self) -> u128 {
+        self.counter
+    }
+
+    /// The stream's key (for checkpointing).
+    pub fn key(&self) -> Philox4x32Key {
+        self.key
+    }
+
+    /// A standard-normal sample via Box–Muller (used by diagnostics only;
+    /// the Ising update itself needs only uniforms).
+    pub fn normal_f32(&mut self) -> f32 {
+        loop {
+            let u1: f32 = self.uniform::<f32>();
+            let u2: f32 = self.uniform::<f32>();
+            if u1 > 0.0 {
+                return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+/// Convenience: fill a freshly allocated `Vec` with uniforms.
+pub fn uniform_vec<S: RandomUniform + Scalar>(stream: &mut PhiloxStream, n: usize) -> Vec<S> {
+    let mut v = vec![S::zero(); n];
+    stream.fill_uniform(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tpu_ising_bf16::Bf16;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = PhiloxStream::from_seed(42);
+        let mut b = PhiloxStream::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = PhiloxStream::from_seed(1);
+        let mut b = PhiloxStream::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same <= 1, "streams from different seeds nearly collide");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let parent = PhiloxStream::from_seed(7);
+        let mut c0 = parent.split(0);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(0); // same id → same stream
+        let a: Vec<u32> = (0..16).map(|_| c0.next_u32()).collect();
+        let b: Vec<u32> = (0..16).map(|_| c1.next_u32()).collect();
+        let c: Vec<u32> = (0..16).map(|_| c2.next_u32()).collect();
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn split_does_not_mutate_parent() {
+        let mut p = PhiloxStream::from_seed(3);
+        let before = p.clone().next_u32();
+        let _ = p.split(99);
+        assert_eq!(p.next_u32(), before);
+    }
+
+    #[test]
+    fn skip_matches_sequential_consumption() {
+        let mut a = PhiloxStream::from_seed(5);
+        let mut b = PhiloxStream::from_seed(5);
+        for _ in 0..10 {
+            a.next_block();
+        }
+        b.skip(10);
+        assert_eq!(a.next_block(), b.next_block());
+    }
+
+    #[test]
+    fn fill_uniform_matches_block_order() {
+        let mut a = PhiloxStream::from_seed(9);
+        let mut b = PhiloxStream::from_seed(9);
+        let mut out = [0.0f32; 8];
+        a.fill_uniform(&mut out);
+        let blk0 = b.next_block();
+        let blk1 = b.next_block();
+        let expect: Vec<f32> = blk0
+            .iter()
+            .chain(blk1.iter())
+            .map(|&u| f32::uniform_from_u32(u))
+            .collect();
+        assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds_f32() {
+        let mut s = PhiloxStream::from_seed(1234);
+        let n = 200_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let u: f32 = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u as f64;
+        }
+        let mean = sum / n as f64;
+        // std error of the mean ≈ 1/sqrt(12 n) ≈ 6.5e-4; allow 5σ.
+        assert!((mean - 0.5).abs() < 3.3e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds_bf16() {
+        let mut s = PhiloxStream::from_seed(4321);
+        let n = 200_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let u: Bf16 = s.uniform();
+            let f = u.to_f32();
+            assert!((0.0..1.0).contains(&f));
+            sum += f as f64;
+        }
+        let mean = sum / n as f64;
+        // bf16 uniforms are multiples of 2^-8 in [0,1): mean (2^8-1)/2^9 ≈ 0.498.
+        assert!((mean - 0.498).abs() < 4.0e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_has_unit_variance() {
+        let mut s = PhiloxStream::from_seed(77);
+        let n = 100_000;
+        let (mut m, mut v) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = s.normal_f32() as f64;
+            m += x;
+            v += x * x;
+        }
+        m /= n as f64;
+        v = v / n as f64 - m * m;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    proptest! {
+        #[test]
+        fn counter_values_never_repeat_within_window(seed in any::<u64>(), start in 0u64..1_000_000) {
+            let mut s = PhiloxStream::from_seed(seed);
+            s.skip(start as u128);
+            let a = s.next_block();
+            let b = s.next_block();
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn skip_composes(seed in any::<u64>(), a in 0u64..10_000, b in 0u64..10_000) {
+            let mut x = PhiloxStream::from_seed(seed);
+            let mut y = PhiloxStream::from_seed(seed);
+            x.skip(a as u128);
+            x.skip(b as u128);
+            y.skip(a as u128 + b as u128);
+            prop_assert_eq!(x.next_block(), y.next_block());
+        }
+    }
+}

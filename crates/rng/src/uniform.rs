@@ -1,0 +1,109 @@
+//! Mapping raw `u32`s to uniforms in `[0, 1)` at each precision.
+
+use tpu_ising_bf16::{Bf16, Scalar};
+
+/// A scalar that can be sampled uniformly on `[0, 1)` from one random `u32`.
+///
+/// The mapping uses exactly as many random mantissa bits as the format can
+/// hold, so the result is an *unbiased, exactly representable* uniform:
+/// converting an f32 uniform to bf16 by rounding would push mass onto 1.0
+/// (values ≥ 1 − 2⁻⁹ round up), which is both out of range and a subtle
+/// acceptance-test bias; generating natively at 8 bits avoids that. This is
+/// also what XLA's `RngUniform` does for each dtype.
+pub trait RandomUniform: Scalar {
+    /// Map a full-entropy `u32` to a uniform sample in `[0, 1)`.
+    fn uniform_from_u32(u: u32) -> Self;
+}
+
+impl RandomUniform for f32 {
+    #[inline]
+    fn uniform_from_u32(u: u32) -> f32 {
+        // 24 high bits → multiples of 2^-24 in [0,1). Using the high bits
+        // matters: Philox's words are uniform, but taking high bits is the
+        // convention shared with the TF implementation.
+        (u >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl RandomUniform for Bf16 {
+    #[inline]
+    fn uniform_from_u32(u: u32) -> Bf16 {
+        // Cast a 24-bit f32 uniform down to bf16 by *truncation* (round
+        // toward zero). Two properties matter for Metropolis acceptance:
+        //
+        // 1. The result stays < 1 (round-to-nearest would push values
+        //    ≥ 1 − 2⁻⁹ up to exactly 1.0, which is outside [0,1) and would
+        //    never accept a ratio-1 proposal).
+        // 2. Resolution is *floating point*: near 0 the grid is far finer
+        //    than 2⁻⁸, so small acceptance probabilities like
+        //    e^{−8β} ≈ 0.02 are compared at ~2⁻¹³ granularity. A
+        //    fixed-point 8-bit grid here measurably biases the ordered
+        //    phase (≈2 % extra flips at T = 0.8·Tc) — this matches how
+        //    XLA converts wider uniforms to bf16 rather than sampling a
+        //    fixed-point grid.
+        Bf16::from_f32_truncate(f32::uniform_from_u32(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_extremes() {
+        assert_eq!(f32::uniform_from_u32(0), 0.0);
+        let max = f32::uniform_from_u32(u32::MAX);
+        assert!(max < 1.0);
+        assert!(max > 0.9999);
+    }
+
+    #[test]
+    fn bf16_extremes_stay_in_unit_interval() {
+        assert_eq!(Bf16::uniform_from_u32(0).to_f32(), 0.0);
+        let max = Bf16::uniform_from_u32(u32::MAX).to_f32();
+        assert!(max < 1.0, "truncation must keep uniforms below 1, got {max}");
+        assert!(max > 0.99);
+    }
+
+    #[test]
+    fn bf16_truncates_the_f32_uniform() {
+        for u in [0u32, 1 << 24, 0x7FFF_FFFF, 0xDEAD_BEEF, u32::MAX] {
+            let f = f32::uniform_from_u32(u);
+            let b = Bf16::uniform_from_u32(u).to_f32();
+            assert!(b <= f, "truncation never rounds up: {b} vs {f}");
+            assert!(f - b <= f * 2f32.powi(-7) + f32::MIN_POSITIVE, "within one ulp");
+        }
+    }
+
+    #[test]
+    fn bf16_keeps_fine_resolution_near_zero() {
+        // The acceptance threshold e^{−8β} at β ≈ 0.49 is ~0.0199; the
+        // empirical P(u < p) at bf16 must track p to ~1 %, which a
+        // fixed-point 8-bit grid cannot do (it would give 6/256 ≈ 0.0234).
+        let p = 0.0199f32;
+        let pb = Bf16::from_f32(p);
+        let trials = 2_000_000u32;
+        let mut hits = 0u64;
+        let mut stream = crate::PhiloxStream::from_seed(99);
+        for _ in 0..trials {
+            let u: Bf16 = stream.uniform();
+            if u < pb {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            (rate - p as f64).abs() / (p as f64) < 0.02,
+            "P(u < {p}) = {rate}, bias too large"
+        );
+    }
+
+    #[test]
+    fn f32_uses_high_bits() {
+        // low 8 bits must not affect the output
+        assert_eq!(
+            f32::uniform_from_u32(0xABCD_EF00),
+            f32::uniform_from_u32(0xABCD_EFFF)
+        );
+    }
+}

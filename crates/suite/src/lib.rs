@@ -1,0 +1,11 @@
+//! Umbrella crate: hosts the workspace-root `examples/` binaries and the
+//! cross-crate integration tests in `tests/`. It re-exports the public
+//! surface of the workspace so examples read like downstream user code.
+
+pub use tpu_ising_baseline as baseline;
+pub use tpu_ising_bf16 as bf16;
+pub use tpu_ising_core as ising;
+pub use tpu_ising_device as device;
+pub use tpu_ising_hlo as hlo;
+pub use tpu_ising_rng as rng;
+pub use tpu_ising_tensor as tensor;

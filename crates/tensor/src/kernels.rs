@@ -1,0 +1,117 @@
+//! The fixed band kernels from the paper's Section 3.2.
+
+use crate::Mat;
+use tpu_ising_bf16::Scalar;
+
+/// The tridiagonal-without-diagonal kernel `K` of Algorithm 1:
+/// ones on the sub- and super-diagonals.
+///
+/// For a sub-lattice `σ`, `σ·K` sums each site's left+right neighbors and
+/// `K·σ` sums its up+down neighbors (interior sites; boundaries need halo
+/// compensation).
+pub fn band_kernel<S: Scalar>(t: usize) -> Mat<S> {
+    Mat::from_fn(t, t, |r, c| {
+        if r + 1 == c || c + 1 == r {
+            S::one()
+        } else {
+            S::zero()
+        }
+    })
+}
+
+/// The upper-bidiagonal kernel `K̂` of Algorithm 2:
+/// ones on the main and super-diagonals.
+///
+/// Acting on the four deinterleaved compact sub-lattices, `K̂` and `K̂ᵀ`
+/// produce the nearest-neighbor sums without ever touching the fixed-color
+/// spins (the factor-3 win over the masked Algorithm 1).
+pub fn bidiag_kernel<S: Scalar>(t: usize) -> Mat<S> {
+    Mat::from_fn(t, t, |r, c| {
+        if r == c || r + 1 == c {
+            S::one()
+        } else {
+            S::zero()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_kernel_structure() {
+        let k = band_kernel::<f32>(5);
+        for r in 0..5 {
+            for c in 0..5 {
+                let expect = if usize::abs_diff(r, c) == 1 { 1.0 } else { 0.0 };
+                assert_eq!(k.get(r, c), expect, "K[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn band_kernel_is_symmetric() {
+        let k = band_kernel::<f32>(8);
+        assert_eq!(k.transpose(), k);
+    }
+
+    #[test]
+    fn band_kernel_right_product_sums_horizontal_neighbors() {
+        // row vector v·K: out[j] = v[j-1] + v[j+1]
+        let t = 6;
+        let v = Mat::from_vec(1, t, (0..t).map(|i| (i * i) as f32).collect());
+        let out = v.matmul(&band_kernel::<f32>(t));
+        for j in 0..t {
+            let mut expect = 0.0;
+            if j > 0 {
+                expect += v.get(0, j - 1);
+            }
+            if j + 1 < t {
+                expect += v.get(0, j + 1);
+            }
+            assert_eq!(out.get(0, j), expect, "col {j}");
+        }
+    }
+
+    #[test]
+    fn bidiag_kernel_structure() {
+        let k = bidiag_kernel::<f32>(5);
+        for r in 0..5 {
+            for c in 0..5 {
+                let expect = if r == c || r + 1 == c { 1.0 } else { 0.0 };
+                assert_eq!(k.get(r, c), expect, "K̂[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bidiag_right_product_shifts_and_adds() {
+        // v·K̂: out[j] = v[j] + v[j-1]  (self + left neighbor)
+        let t = 6;
+        let v = Mat::from_vec(1, t, (1..=t).map(|i| i as f32).collect());
+        let out = v.matmul(&bidiag_kernel::<f32>(t));
+        for j in 0..t {
+            let mut expect = v.get(0, j);
+            if j > 0 {
+                expect += v.get(0, j - 1);
+            }
+            assert_eq!(out.get(0, j), expect, "col {j}");
+        }
+    }
+
+    #[test]
+    fn bidiag_transpose_product_shifts_other_way() {
+        // v·K̂ᵀ: out[j] = v[j] + v[j+1]  (self + right neighbor)
+        let t = 6;
+        let v = Mat::from_vec(1, t, (1..=t).map(|i| i as f32).collect());
+        let out = v.matmul(&bidiag_kernel::<f32>(t).transpose());
+        for j in 0..t {
+            let mut expect = v.get(0, j);
+            if j + 1 < t {
+                expect += v.get(0, j + 1);
+            }
+            assert_eq!(out.get(0, j), expect, "col {j}");
+        }
+    }
+}

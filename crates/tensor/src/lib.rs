@@ -1,0 +1,33 @@
+//! A small tensor library shaped like the slice of XLA the paper uses.
+//!
+//! The paper represents the spin lattice as a grid of 128×128 sub-lattices —
+//! a rank-4 tensor `[m, n, 128, 128]` — because TPU HBM tiles arrays in
+//! (8, 128) blocks and the MXU multiplies 128×128 operands. Everything the
+//! update step needs is a handful of ops:
+//!
+//! - batched matrix multiplication of each sub-lattice with a fixed band
+//!   kernel (`σ·K`, `K·σ`, and the `K̂`/`K̂ᵀ` variants of Algorithm 2),
+//! - slicing boundary rows/columns and adding halos from neighboring
+//!   sub-lattices (with torus wrap-around),
+//! - element-wise `exp`, multiply, compare-and-select,
+//! - reductions for observables.
+//!
+//! [`Tensor4`] implements exactly those, generic over the [`Scalar`]
+//! precision, with MXU-faithful arithmetic: matmul inputs at storage
+//! precision, accumulation in f32 (`Scalar::mul_acc_f32`). Batches run in
+//! parallel with rayon. [`Plane`] is the rank-2 view used by the conv-based
+//! variant from the paper's appendix and by reference implementations.
+
+mod kernels;
+mod mat;
+mod plane;
+mod tensor4;
+mod tiling;
+
+pub use kernels::{band_kernel, bidiag_kernel};
+pub use mat::Mat;
+pub use plane::Plane;
+pub use tensor4::{Axis, Side, Tensor4};
+pub use tiling::{padded_dim, padded_shape, tile_waste_ratio, TPU_TILE};
+
+pub use tpu_ising_bf16::{Bf16, Scalar};

@@ -1,0 +1,170 @@
+//! Dense 2-D matrices, used for the fixed band kernels `K` and `K̂`.
+
+use tpu_ising_bf16::Scalar;
+
+/// A dense row-major matrix at precision `S`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Mat<S> {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Mat<S> {
+        Mat { rows, cols, data: vec![S::zero(); rows * cols] }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Mat<S> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Mat<S> {
+        assert_eq!(data.len(), rows * cols, "Mat::from_vec length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> S {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[S] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat<S> {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Dense matmul `self · rhs` with MXU semantics (f32 accumulation).
+    ///
+    /// Used by tests and by the HLO interpreter for non-batched products;
+    /// the hot path is [`crate::Tensor4`]'s batched version.
+    pub fn matmul(&self, rhs: &Mat<S>) -> Mat<S> {
+        assert_eq!(self.cols, rhs.rows, "matmul inner-dimension mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc = self.get(i, k).mul_acc_f32(rhs.get(k, j), acc);
+                }
+                out.set(i, j, S::from_f32(acc));
+            }
+        }
+        out
+    }
+
+    /// Convert element-wise to another precision.
+    pub fn cast<T: Scalar>(&self) -> Mat<T> {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| T::from_f32(v.to_f32())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_bf16::Bf16;
+
+    #[test]
+    fn identity_matmul() {
+        let id = Mat::<f32>::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let a = Mat::<f32>::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(id.matmul(&a), a);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Mat::from_vec(2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0f32, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::<f32>::from_fn(3, 5, |r, c| (r * 7 + c * 3) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let a = Mat::<f32>::zeros(3, 5);
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (5, 3));
+    }
+
+    #[test]
+    fn bf16_matmul_accumulates_in_f32() {
+        // A row of 300 ones dotted with a column of ones: bf16 accumulation
+        // would saturate at 256, f32 accumulation is exact (then rounds the
+        // final 300 to bf16 300 exactly — 300 = 256 + 44? 300 needs 9 bits:
+        // 100101100b; bf16 stores 8 significand bits, so 300 rounds to 300?
+        // 300 = 1.171875 × 2^8; mantissa 0.171875·128 = 22 exactly → exact.)
+        let a = Mat::<Bf16>::from_fn(1, 300, |_, _| Bf16::ONE);
+        let b = Mat::<Bf16>::from_fn(300, 1, |_, _| Bf16::ONE);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0).to_f32(), 300.0);
+    }
+
+    #[test]
+    fn cast_roundtrip_on_spin_values() {
+        let a = Mat::<f32>::from_fn(4, 4, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -1.0 });
+        let b: Mat<Bf16> = a.cast();
+        let c: Mat<f32> = b.cast();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn mismatched_matmul_panics() {
+        let a = Mat::<f32>::zeros(2, 3);
+        let b = Mat::<f32>::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,274 @@
+//! Rank-2 full-lattice planes and the tiled-grid ↔ plane conversions.
+
+use crate::{Axis, Side, Tensor4};
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+
+/// A dense 2-D plane (`height × width`) with torus topology helpers.
+///
+/// The paper's supergrid `[m, n, t, t]` is a *layout* of a logical
+/// `(m·t) × (n·t)` plane; `Plane` is that logical view. Reference
+/// implementations and the conv-based variant (paper appendix) operate
+/// here, and [`Plane::to_tiles`] / [`Plane::from_tiles`] prove the layouts
+/// agree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plane<S> {
+    height: usize,
+    width: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Plane<S> {
+    /// A plane of zeros.
+    pub fn zeros(height: usize, width: usize) -> Plane<S> {
+        Plane { height, width, data: vec![S::zero(); height * width] }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(height: usize, width: usize, mut f: impl FnMut(usize, usize) -> S) -> Plane<S> {
+        let mut data = Vec::with_capacity(height * width);
+        for r in 0..height {
+            for c in 0..width {
+                data.push(f(r, c));
+            }
+        }
+        Plane { height, width, data }
+    }
+
+    /// Plane height (rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Plane width (columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raw data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> S {
+        debug_assert!(r < self.height && c < self.width);
+        self.data[r * self.width + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        debug_assert!(r < self.height && c < self.width);
+        self.data[r * self.width + c] = v;
+    }
+
+    /// Element access with torus wrap-around on both coordinates.
+    #[inline]
+    pub fn get_wrap(&self, r: isize, c: isize) -> S {
+        let rr = r.rem_euclid(self.height as isize) as usize;
+        let cc = c.rem_euclid(self.width as isize) as usize;
+        self.get(rr, cc)
+    }
+
+    /// Sum of the four nearest neighbors of every site, with periodic
+    /// boundary — the "plus"-kernel convolution `tf.nn.conv2d` computes in
+    /// the paper's appendix implementation. Parallel over rows.
+    pub fn neighbor_sum_periodic(&self) -> Plane<S> {
+        let (h, w) = (self.height, self.width);
+        let mut out = Plane::zeros(h, w);
+        out.data
+            .par_chunks_mut(w)
+            .enumerate()
+            .for_each(|(r, row)| {
+                let up = if r == 0 { h - 1 } else { r - 1 };
+                let down = if r + 1 == h { 0 } else { r + 1 };
+                for (c, out) in row.iter_mut().enumerate() {
+                    let left = if c == 0 { w - 1 } else { c - 1 };
+                    let right = if c + 1 == w { 0 } else { c + 1 };
+                    // f32 accumulation, rounded once — MXU/conv contract.
+                    let acc = self.get(up, c).to_f32()
+                        + self.get(down, c).to_f32()
+                        + self.get(r, left).to_f32()
+                        + self.get(r, right).to_f32();
+                    *out = S::from_f32(acc);
+                }
+            });
+        out
+    }
+
+    /// Reorganize into an `[m, n, t, t]` grid of tiles. Panics unless both
+    /// dimensions are divisible by `t`.
+    pub fn to_tiles(&self, t: usize) -> Tensor4<S> {
+        assert!(
+            self.height.is_multiple_of(t) && self.width.is_multiple_of(t),
+            "plane {}×{} not divisible into {t}×{t} tiles",
+            self.height,
+            self.width
+        );
+        let (m, n) = (self.height / t, self.width / t);
+        Tensor4::from_fn([m, n, t, t], |b0, b1, r, c| self.get(b0 * t + r, b1 * t + c))
+    }
+
+    /// Inverse of [`to_tiles`](Self::to_tiles).
+    pub fn from_tiles(tiles: &Tensor4<S>) -> Plane<S> {
+        let [m, n, t, t2] = tiles.shape();
+        assert_eq!(t, t2, "tiles must be square");
+        Plane::from_fn(m * t, n * t, |r, c| tiles.get(r / t, c / t, r % t, c % t))
+    }
+
+    /// Deinterleave into the four compact sub-planes of Algorithm 2:
+    /// `(σ̂00, σ̂01, σ̂10, σ̂11)` where `σ̂ab = σ[a::2, b::2]`.
+    /// Panics unless both dimensions are even.
+    pub fn deinterleave(&self) -> [Plane<S>; 4] {
+        assert!(
+            self.height.is_multiple_of(2) && self.width.is_multiple_of(2),
+            "deinterleave needs even dimensions"
+        );
+        let (h2, w2) = (self.height / 2, self.width / 2);
+        let mk = |a: usize, b: usize| {
+            Plane::from_fn(h2, w2, |r, c| self.get(2 * r + a, 2 * c + b))
+        };
+        [mk(0, 0), mk(0, 1), mk(1, 0), mk(1, 1)]
+    }
+
+    /// Inverse of [`deinterleave`](Self::deinterleave).
+    pub fn interleave(parts: &[Plane<S>; 4]) -> Plane<S> {
+        let (h2, w2) = (parts[0].height, parts[0].width);
+        for p in parts.iter() {
+            assert_eq!((p.height, p.width), (h2, w2), "compact planes must agree");
+        }
+        Plane::from_fn(2 * h2, 2 * w2, |r, c| parts[(r % 2) * 2 + (c % 2)].get(r / 2, c / 2))
+    }
+
+    /// One full boundary row/column of the plane (used as the halo another
+    /// core receives in the distributed runner).
+    pub fn boundary(&self, axis: Axis, side: Side) -> Vec<S> {
+        match axis {
+            Axis::Row => {
+                let r = match side {
+                    Side::First => 0,
+                    Side::Last => self.height - 1,
+                };
+                (0..self.width).map(|c| self.get(r, c)).collect()
+            }
+            Axis::Col => {
+                let c = match side {
+                    Side::First => 0,
+                    Side::Last => self.width - 1,
+                };
+                (0..self.height).map(|r| self.get(r, c)).collect()
+            }
+        }
+    }
+
+    /// Sum of all elements in f64.
+    pub fn sum_f64(&self) -> f64 {
+        self.data.par_iter().map(|v| v.to_f32() as f64).sum()
+    }
+
+    /// Convert element-wise to another precision.
+    pub fn cast<T: Scalar>(&self) -> Plane<T> {
+        Plane {
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().map(|v| T::from_f32(v.to_f32())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(h: usize, w: usize) -> Plane<f32> {
+        Plane::from_fn(h, w, |r, c| (r * w + c) as f32)
+    }
+
+    #[test]
+    fn wrap_indexing() {
+        let p = seq(3, 4);
+        assert_eq!(p.get_wrap(-1, 0), p.get(2, 0));
+        assert_eq!(p.get_wrap(3, 1), p.get(0, 1));
+        assert_eq!(p.get_wrap(0, -1), p.get(0, 3));
+        assert_eq!(p.get_wrap(0, 4), p.get(0, 0));
+        assert_eq!(p.get_wrap(-4, -5), p.get(2, 3));
+    }
+
+    #[test]
+    fn neighbor_sum_matches_bruteforce() {
+        let p = Plane::from_fn(5, 7, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let nn = p.neighbor_sum_periodic();
+        for r in 0..5 {
+            for c in 0..7 {
+                let e = p.get_wrap(r as isize - 1, c as isize)
+                    + p.get_wrap(r as isize + 1, c as isize)
+                    + p.get_wrap(r as isize, c as isize - 1)
+                    + p.get_wrap(r as isize, c as isize + 1);
+                assert_eq!(nn.get(r, c), e, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_sum_on_uniform_plane_is_four() {
+        let p = Plane::from_fn(8, 8, |_, _| 1.0f32);
+        let nn = p.neighbor_sum_periodic();
+        assert!(nn.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn tiles_roundtrip() {
+        let p = seq(6, 8);
+        let t = p.to_tiles(2);
+        assert_eq!(t.shape(), [3, 4, 2, 2]);
+        assert_eq!(Plane::from_tiles(&t), p);
+    }
+
+    #[test]
+    fn tile_contents_are_blocks() {
+        let p = seq(4, 4);
+        let t = p.to_tiles(2);
+        // tile (1,1) holds rows 2..4, cols 2..4
+        assert_eq!(t.get(1, 1, 0, 0), p.get(2, 2));
+        assert_eq!(t.get(1, 1, 1, 1), p.get(3, 3));
+    }
+
+    #[test]
+    fn deinterleave_roundtrip() {
+        let p = seq(6, 10);
+        let parts = p.deinterleave();
+        assert_eq!(parts[0].height(), 3);
+        assert_eq!(parts[0].width(), 5);
+        assert_eq!(Plane::interleave(&parts), p);
+    }
+
+    #[test]
+    fn deinterleave_parity_contents() {
+        let p = seq(4, 4);
+        let [s00, s01, s10, s11] = p.deinterleave();
+        assert_eq!(s00.get(0, 0), p.get(0, 0));
+        assert_eq!(s01.get(0, 0), p.get(0, 1));
+        assert_eq!(s10.get(0, 0), p.get(1, 0));
+        assert_eq!(s11.get(1, 1), p.get(3, 3));
+    }
+
+    #[test]
+    fn boundary_extraction() {
+        let p = seq(3, 4);
+        assert_eq!(p.boundary(Axis::Row, Side::First), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(p.boundary(Axis::Row, Side::Last), vec![8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(p.boundary(Axis::Col, Side::First), vec![0.0, 4.0, 8.0]);
+        assert_eq!(p.boundary(Axis::Col, Side::Last), vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_tiling_panics() {
+        let _ = seq(5, 4).to_tiles(2);
+    }
+}

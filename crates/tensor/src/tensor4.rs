@@ -1,0 +1,492 @@
+//! Rank-4 tensors `[m, n, r, c]`: an `m × n` grid of `r × c` sub-lattices.
+
+use crate::Mat;
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+
+/// Spatial axis within a sub-lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// The third tensor dimension (sub-lattice rows).
+    Row,
+    /// The fourth tensor dimension (sub-lattice columns).
+    Col,
+}
+
+/// Which side of an axis an edge lives on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Index 0 (north for `Axis::Row`, west for `Axis::Col`).
+    First,
+    /// Index `len-1` (south / east).
+    Last,
+}
+
+/// A dense rank-4 tensor at precision `S`, laid out row-major as
+/// `[batch0, batch1, row, col]` — the shape the paper uses for the
+/// checkerboard supergrid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor4<S> {
+    shape: [usize; 4],
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Tensor4<S> {
+    /// A tensor of zeros.
+    pub fn zeros(shape: [usize; 4]) -> Tensor4<S> {
+        Tensor4 { shape, data: vec![S::zero(); shape.iter().product()] }
+    }
+
+    /// Build from a function of `(b0, b1, r, c)`.
+    pub fn from_fn(
+        shape: [usize; 4],
+        mut f: impl FnMut(usize, usize, usize, usize) -> S,
+    ) -> Tensor4<S> {
+        let mut data = Vec::with_capacity(shape.iter().product());
+        for b0 in 0..shape[0] {
+            for b1 in 0..shape[1] {
+                for r in 0..shape[2] {
+                    for c in 0..shape[3] {
+                        data.push(f(b0, b1, r, c));
+                    }
+                }
+            }
+        }
+        Tensor4 { shape, data }
+    }
+
+    /// Build from a row-major data vector. Panics on length mismatch.
+    pub fn from_vec(shape: [usize; 4], data: Vec<S>) -> Tensor4<S> {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "Tensor4::from_vec length mismatch"
+        );
+        Tensor4 { shape, data }
+    }
+
+    /// The shape `[m, n, r, c]`.
+    #[inline]
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn idx(&self, b0: usize, b1: usize, r: usize, c: usize) -> usize {
+        debug_assert!(
+            b0 < self.shape[0] && b1 < self.shape[1] && r < self.shape[2] && c < self.shape[3]
+        );
+        ((b0 * self.shape[1] + b1) * self.shape[2] + r) * self.shape[3] + c
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, b0: usize, b1: usize, r: usize, c: usize) -> S {
+        self.data[self.idx(b0, b1, r, c)]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, b0: usize, b1: usize, r: usize, c: usize, v: S) {
+        let i = self.idx(b0, b1, r, c);
+        self.data[i] = v;
+    }
+
+    /// One sub-lattice as a contiguous row-major slice.
+    #[inline]
+    pub fn batch(&self, b0: usize, b1: usize) -> &[S] {
+        let stride = self.shape[2] * self.shape[3];
+        let start = (b0 * self.shape[1] + b1) * stride;
+        &self.data[start..start + stride]
+    }
+
+    /// Batched matmul: for every sub-lattice `A`, compute `A · k`.
+    ///
+    /// `k` must be `[c, c2]`. Inputs multiply at storage precision and
+    /// accumulate in f32 — the MXU contract.
+    pub fn matmul_right(&self, k: &Mat<S>) -> Tensor4<S> {
+        let [m, n, r, c] = self.shape;
+        assert_eq!(k.rows(), c, "matmul_right inner-dimension mismatch");
+        let c2 = k.cols();
+        let mut out = Tensor4::zeros([m, n, r, c2]);
+        let in_stride = r * c;
+        let out_stride = r * c2;
+        out.data
+            .par_chunks_mut(out_stride)
+            .zip(self.data.par_chunks(in_stride))
+            .for_each(|(ob, ib)| {
+                for i in 0..r {
+                    for j in 0..c2 {
+                        let mut acc = 0.0f32;
+                        for kk in 0..c {
+                            acc = ib[i * c + kk].mul_acc_f32(k.get(kk, j), acc);
+                        }
+                        ob[i * c2 + j] = S::from_f32(acc);
+                    }
+                }
+            });
+        out
+    }
+
+    /// Batched matmul: for every sub-lattice `A`, compute `k · A`.
+    ///
+    /// `k` must be `[r2, r]`.
+    pub fn matmul_left(&self, k: &Mat<S>) -> Tensor4<S> {
+        let [m, n, r, c] = self.shape;
+        assert_eq!(k.cols(), r, "matmul_left inner-dimension mismatch");
+        let r2 = k.rows();
+        let mut out = Tensor4::zeros([m, n, r2, c]);
+        let in_stride = r * c;
+        let out_stride = r2 * c;
+        out.data
+            .par_chunks_mut(out_stride)
+            .zip(self.data.par_chunks(in_stride))
+            .for_each(|(ob, ib)| {
+                for i in 0..r2 {
+                    for j in 0..c {
+                        let mut acc = 0.0f32;
+                        for kk in 0..r {
+                            acc = k.get(i, kk).mul_acc_f32(ib[kk * c + j], acc);
+                        }
+                        ob[i * c + j] = S::from_f32(acc);
+                    }
+                }
+            });
+        out
+    }
+
+    /// Element-wise map into a new tensor (parallel).
+    pub fn map<T: Scalar>(&self, f: impl Fn(S) -> T + Sync) -> Tensor4<T> {
+        Tensor4 {
+            shape: self.shape,
+            data: self.data.par_iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise map in place (parallel).
+    pub fn map_inplace(&mut self, f: impl Fn(S) -> S + Sync) {
+        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Element-wise combination of two same-shaped tensors (parallel).
+    pub fn zip_map<T: Scalar, U: Scalar>(
+        &self,
+        other: &Tensor4<T>,
+        f: impl Fn(S, T) -> U + Sync,
+    ) -> Tensor4<U> {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor4 {
+            shape: self.shape,
+            data: self
+                .data
+                .par_iter()
+                .zip(other.data.par_iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise add-assign (parallel).
+    pub fn add_assign(&mut self, other: &Tensor4<S>) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        self.data
+            .par_iter_mut()
+            .zip(other.data.par_iter())
+            .for_each(|(a, &b)| *a = *a + b);
+    }
+
+    /// Sum of all elements, accumulated in f64 (observable-grade precision).
+    pub fn sum_f64(&self) -> f64 {
+        self.data.par_iter().map(|v| v.to_f32() as f64).sum()
+    }
+
+    /// The boundary plane of each sub-lattice on `(axis, side)`.
+    ///
+    /// Shape `[m, n, 1, c]` for `Axis::Row` or `[m, n, r, 1]` for
+    /// `Axis::Col` — the tensors the paper slices out to compensate
+    /// sub-lattice boundaries (Algorithm 1 lines 3–6).
+    pub fn edge(&self, axis: Axis, side: Side) -> Tensor4<S> {
+        let [m, n, r, c] = self.shape;
+        match axis {
+            Axis::Row => {
+                let row = match side {
+                    Side::First => 0,
+                    Side::Last => r - 1,
+                };
+                Tensor4::from_fn([m, n, 1, c], |b0, b1, _, j| self.get(b0, b1, row, j))
+            }
+            Axis::Col => {
+                let col = match side {
+                    Side::First => 0,
+                    Side::Last => c - 1,
+                };
+                Tensor4::from_fn([m, n, r, 1], |b0, b1, i, _| self.get(b0, b1, i, col))
+            }
+        }
+    }
+
+    /// Add `other` (an edge tensor from [`edge`](Self::edge)) onto the
+    /// boundary plane at `(axis, side)`.
+    pub fn add_edge_assign(&mut self, axis: Axis, side: Side, other: &Tensor4<S>) {
+        let [m, n, r, c] = self.shape;
+        match axis {
+            Axis::Row => {
+                assert_eq!(other.shape, [m, n, 1, c], "edge shape mismatch");
+                let row = match side {
+                    Side::First => 0,
+                    Side::Last => r - 1,
+                };
+                for b0 in 0..m {
+                    for b1 in 0..n {
+                        for j in 0..c {
+                            let v = self.get(b0, b1, row, j) + other.get(b0, b1, 0, j);
+                            self.set(b0, b1, row, j, v);
+                        }
+                    }
+                }
+            }
+            Axis::Col => {
+                assert_eq!(other.shape, [m, n, r, 1], "edge shape mismatch");
+                let col = match side {
+                    Side::First => 0,
+                    Side::Last => c - 1,
+                };
+                for b0 in 0..m {
+                    for b1 in 0..n {
+                        for i in 0..r {
+                            let v = self.get(b0, b1, i, col) + other.get(b0, b1, i, 0);
+                            self.set(b0, b1, i, col, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Roll the *grid of sub-lattices* by `(d0, d1)` with torus wrap:
+    /// `out[b0, b1] = self[(b0 - d0) mod m, (b1 - d1) mod n]`.
+    ///
+    /// This is the single-core analogue of fetching a neighboring core's
+    /// sub-lattice: `roll_batch(1, 0)` puts each sub-lattice's northern
+    /// neighbor at its own grid position.
+    pub fn roll_batch(&self, d0: isize, d1: isize) -> Tensor4<S> {
+        let [m, n, r, c] = self.shape;
+        let md = |i: usize, d: isize, len: usize| -> usize {
+            (((i as isize - d).rem_euclid(len as isize)) as usize).min(len - 1)
+        };
+        Tensor4::from_fn([m, n, r, c], |b0, b1, i, j| {
+            self.get(md(b0, d0, m), md(b1, d1, n), i, j)
+        })
+    }
+
+    /// Convert element-wise to another precision.
+    pub fn cast<T: Scalar>(&self) -> Tensor4<T> {
+        self.map(|v| T::from_f32(v.to_f32()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band_kernel;
+
+    fn seq(shape: [usize; 4]) -> Tensor4<f32> {
+        let mut k = 0.0;
+        Tensor4::from_fn(shape, |_, _, _, _| {
+            k += 1.0;
+            k
+        })
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = seq([2, 3, 4, 5]);
+        assert_eq!(t.get(0, 0, 0, 0), 1.0);
+        assert_eq!(t.get(0, 0, 0, 4), 5.0);
+        assert_eq!(t.get(0, 0, 1, 0), 6.0);
+        assert_eq!(t.get(0, 1, 0, 0), 21.0);
+        assert_eq!(t.get(1, 0, 0, 0), 61.0);
+    }
+
+    #[test]
+    fn batch_slice_matches_gets() {
+        let t = seq([2, 2, 3, 3]);
+        let b = t.batch(1, 0);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(b[r * 3 + c], t.get(1, 0, r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_right_matches_per_batch_mat() {
+        let t = seq([2, 2, 4, 4]);
+        let k = band_kernel::<f32>(4);
+        let out = t.matmul_right(&k);
+        for b0 in 0..2 {
+            for b1 in 0..2 {
+                let a = Mat::from_vec(4, 4, t.batch(b0, b1).to_vec());
+                let expect = a.matmul(&k);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        assert_eq!(out.get(b0, b1, r, c), expect.get(r, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_left_matches_per_batch_mat() {
+        let t = seq([2, 2, 4, 4]);
+        let k = band_kernel::<f32>(4);
+        let out = t.matmul_left(&k);
+        for b0 in 0..2 {
+            for b1 in 0..2 {
+                let a = Mat::from_vec(4, 4, t.batch(b0, b1).to_vec());
+                let expect = k.matmul(&a);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        assert_eq!(out.get(b0, b1, r, c), expect.get(r, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_with_rectangular_kernel() {
+        let t = seq([1, 1, 3, 4]);
+        let k = Mat::<f32>::from_fn(4, 2, |r, c| (r + c) as f32);
+        let out = t.matmul_right(&k);
+        assert_eq!(out.shape(), [1, 1, 3, 2]);
+        let a = Mat::from_vec(3, 4, t.batch(0, 0).to_vec());
+        let e = a.matmul(&k);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_eq!(out.get(0, 0, r, c), e.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_pick_boundary_planes() {
+        let t = seq([2, 2, 3, 4]);
+        let north = t.edge(Axis::Row, Side::First);
+        let south = t.edge(Axis::Row, Side::Last);
+        let west = t.edge(Axis::Col, Side::First);
+        let east = t.edge(Axis::Col, Side::Last);
+        assert_eq!(north.shape(), [2, 2, 1, 4]);
+        assert_eq!(west.shape(), [2, 2, 3, 1]);
+        for b0 in 0..2 {
+            for b1 in 0..2 {
+                for j in 0..4 {
+                    assert_eq!(north.get(b0, b1, 0, j), t.get(b0, b1, 0, j));
+                    assert_eq!(south.get(b0, b1, 0, j), t.get(b0, b1, 2, j));
+                }
+                for i in 0..3 {
+                    assert_eq!(west.get(b0, b1, i, 0), t.get(b0, b1, i, 0));
+                    assert_eq!(east.get(b0, b1, i, 0), t.get(b0, b1, i, 3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_assign_touches_only_boundary() {
+        let mut t = Tensor4::<f32>::zeros([1, 1, 3, 3]);
+        let e = Tensor4::from_fn([1, 1, 1, 3], |_, _, _, j| (j + 1) as f32);
+        t.add_edge_assign(Axis::Row, Side::First, &e);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == 0 { (c + 1) as f32 } else { 0.0 };
+                assert_eq!(t.get(0, 0, r, c), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn roll_batch_wraps_torus() {
+        let t = Tensor4::<f32>::from_fn([3, 2, 1, 1], |b0, b1, _, _| (b0 * 2 + b1) as f32);
+        let r = t.roll_batch(1, 0);
+        // out[0] = in[-1 mod 3] = in[2]
+        assert_eq!(r.get(0, 0, 0, 0), t.get(2, 0, 0, 0));
+        assert_eq!(r.get(1, 1, 0, 0), t.get(0, 1, 0, 0));
+        let r2 = t.roll_batch(0, -1);
+        // out[b1=0] = in[(0+1) mod 2] = in[1]
+        assert_eq!(r2.get(0, 0, 0, 0), t.get(0, 1, 0, 0));
+    }
+
+    #[test]
+    fn roll_batch_identity_and_full_cycle() {
+        let t = seq([3, 4, 2, 2]);
+        assert_eq!(t.roll_batch(0, 0), t);
+        assert_eq!(t.roll_batch(3, 0), t);
+        assert_eq!(t.roll_batch(0, 4), t);
+        assert_eq!(t.roll_batch(-3, 4), t);
+    }
+
+    #[test]
+    fn zip_map_and_sum() {
+        let a = seq([1, 1, 2, 2]); // 1 2 3 4
+        let b = a.map(|v| v * 10.0);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert_eq!(c.sum_f64(), (1.0 + 2.0 + 3.0 + 4.0) * 11.0);
+    }
+
+    #[test]
+    fn add_assign_elementwise() {
+        let a = seq([1, 2, 2, 2]);
+        let mut b = a.clone();
+        b.add_assign(&a);
+        assert_eq!(b.sum_f64(), 2.0 * a.sum_f64());
+    }
+
+    #[test]
+    fn cast_preserves_spins() {
+        use tpu_ising_bf16::Bf16;
+        let a = Tensor4::<f32>::from_fn([2, 2, 4, 4], |b0, b1, r, c| {
+            if (b0 + b1 + r + c) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let b: Tensor4<Bf16> = a.cast();
+        let c: Tensor4<f32> = b.cast();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_shape_mismatch_panics() {
+        let a = Tensor4::<f32>::zeros([1, 1, 2, 2]);
+        let b = Tensor4::<f32>::zeros([1, 1, 2, 3]);
+        let _ = a.zip_map(&b, |x, _| x);
+    }
+}

@@ -1,0 +1,80 @@
+//! TPU HBM tiling rules (performance guide, paper Section 2).
+//!
+//! Arrays on TPU are tiled in two dimensions: the second-to-last dimension
+//! pads to a multiple of 8 and the last to a multiple of 128. Shapes that
+//! ignore this waste HBM and data-formatting time — the paper calls this
+//! out as "programs that operate on array sizes undividable by 8 will have
+//! sub-optimal performance". The device cost model uses these helpers to
+//! charge a layout penalty for unaligned shapes.
+
+/// The (sublane, lane) tile of TPU v3 HBM layout.
+pub const TPU_TILE: (usize, usize) = (8, 128);
+
+/// Round `dim` up to a multiple of `to`.
+#[inline]
+pub fn padded_dim(dim: usize, to: usize) -> usize {
+    if dim == 0 {
+        return 0;
+    }
+    dim.div_ceil(to) * to
+}
+
+/// The physical (padded) shape a logical rank-4 shape occupies in HBM.
+pub fn padded_shape(shape: [usize; 4]) -> [usize; 4] {
+    [
+        shape[0],
+        shape[1],
+        padded_dim(shape[2], TPU_TILE.0),
+        padded_dim(shape[3], TPU_TILE.1),
+    ]
+}
+
+/// Fraction of HBM bytes wasted by tile padding: `physical/logical − 1`.
+/// Zero for well-chosen shapes like the paper's `128·k` lattices.
+pub fn tile_waste_ratio(shape: [usize; 4]) -> f64 {
+    let logical: usize = shape.iter().product();
+    if logical == 0 {
+        return 0.0;
+    }
+    let physical: usize = padded_shape(shape).iter().product();
+    physical as f64 / logical as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_up() {
+        assert_eq!(padded_dim(1, 8), 8);
+        assert_eq!(padded_dim(8, 8), 8);
+        assert_eq!(padded_dim(9, 8), 16);
+        assert_eq!(padded_dim(127, 128), 128);
+        assert_eq!(padded_dim(128, 128), 128);
+        assert_eq!(padded_dim(129, 128), 256);
+        assert_eq!(padded_dim(0, 128), 0);
+    }
+
+    #[test]
+    fn aligned_shapes_waste_nothing() {
+        assert_eq!(tile_waste_ratio([4, 4, 128, 128]), 0.0);
+        assert_eq!(tile_waste_ratio([1, 1, 8, 128]), 0.0);
+        // the paper's per-core shape: [m, n, 896·… ] dims are 128-multiples
+        assert_eq!(tile_waste_ratio([7, 3, 896, 384]), 0.0);
+    }
+
+    #[test]
+    fn misaligned_shapes_charge_padding() {
+        // [1,1,4,64] pads to [1,1,8,128]: 4x the storage.
+        assert_eq!(tile_waste_ratio([1, 1, 4, 64]), 3.0);
+        // [1,1,12,130] pads to [1,1,16,256]
+        let w = tile_waste_ratio([1, 1, 12, 130]);
+        let expect = (16.0 * 256.0) / (12.0 * 130.0) - 1.0;
+        assert!((w - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padded_shape_touches_only_last_two_dims() {
+        assert_eq!(padded_shape([3, 5, 9, 200]), [3, 5, 16, 256]);
+    }
+}

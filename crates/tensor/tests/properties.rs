@@ -1,0 +1,126 @@
+//! Property-based tests of the tensor algebra invariants the Ising
+//! kernels rely on.
+
+use proptest::prelude::*;
+use tpu_ising_tensor::{band_kernel, bidiag_kernel, Axis, Bf16, Mat, Plane, Side, Tensor4};
+
+/// Strategy: a small random rank-4 tensor with integer-valued entries
+/// (exact at every precision).
+fn tensor_strategy() -> impl Strategy<Value = Tensor4<f32>> {
+    (1usize..4, 1usize..4, 1usize..6, 1usize..6).prop_flat_map(|(m, n, r, c)| {
+        proptest::collection::vec(-8i32..=8, m * n * r * c).prop_map(move |vals| {
+            Tensor4::from_vec([m, n, r, c], vals.into_iter().map(|v| v as f32).collect())
+        })
+    })
+}
+
+/// Strategy: a random square plane with even side (checkerboard-valid).
+fn plane_strategy() -> impl Strategy<Value = Plane<f32>> {
+    (1usize..5, 1usize..5).prop_flat_map(|(h2, w2)| {
+        let (h, w) = (2 * h2, 2 * w2);
+        proptest::collection::vec(prop_oneof![Just(-1.0f32), Just(1.0f32)], h * w)
+            .prop_map(move |vals| Plane::from_fn(h, w, |r, c| vals[r * w + c]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_right_is_linear(t in tensor_strategy()) {
+        // (A + A)·K == A·K + A·K
+        let c = t.shape()[3];
+        let k = band_kernel::<f32>(c);
+        let mut doubled = t.clone();
+        doubled.add_assign(&t);
+        let lhs = doubled.matmul_right(&k);
+        let mut rhs = t.matmul_right(&k);
+        let once = rhs.clone();
+        rhs.add_assign(&once);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(t in tensor_strategy()) {
+        let c = t.shape()[3];
+        let r = t.shape()[2];
+        let idc = Mat::<f32>::from_fn(c, c, |i, j| if i == j { 1.0 } else { 0.0 });
+        let idr = Mat::<f32>::from_fn(r, r, |i, j| if i == j { 1.0 } else { 0.0 });
+        prop_assert_eq!(t.matmul_right(&idc), t.clone());
+        prop_assert_eq!(t.matmul_left(&idr), t.clone());
+    }
+
+    #[test]
+    fn roll_composition_and_inverse(t in tensor_strategy(), d0 in -3isize..=3, d1 in -3isize..=3) {
+        // rolling there and back is the identity
+        prop_assert_eq!(t.roll_batch(d0, d1).roll_batch(-d0, -d1), t.clone());
+        // composition = sum of shifts
+        prop_assert_eq!(
+            t.roll_batch(d0, 0).roll_batch(0, d1),
+            t.roll_batch(d0, d1)
+        );
+    }
+
+    #[test]
+    fn roll_by_period_is_identity(t in tensor_strategy()) {
+        let [m, n, _, _] = t.shape();
+        prop_assert_eq!(t.roll_batch(m as isize, 0), t.clone());
+        prop_assert_eq!(t.roll_batch(0, -(n as isize)), t.clone());
+    }
+
+    #[test]
+    fn edge_of_add_edge_adds_exactly_once(t in tensor_strategy()) {
+        // adding an edge then reading it back gives original edge + added
+        let e = t.edge(Axis::Row, Side::First);
+        let mut t2 = t.clone();
+        t2.add_edge_assign(Axis::Row, Side::First, &e);
+        let read_back = t2.edge(Axis::Row, Side::First);
+        let expect = e.zip_map(&e, |a, b| a + b);
+        prop_assert_eq!(read_back, expect);
+        // the rest of the tensor is untouched
+        if t.shape()[2] > 1 {
+            prop_assert_eq!(t2.edge(Axis::Row, Side::Last), t.edge(Axis::Row, Side::Last));
+        }
+    }
+
+    #[test]
+    fn sum_is_invariant_under_rolls(t in tensor_strategy(), d0 in -2isize..=2, d1 in -2isize..=2) {
+        prop_assert!((t.sum_f64() - t.roll_batch(d0, d1).sum_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiles_roundtrip_any_divisor(p in plane_strategy()) {
+        // tile by 2 always divides our even-sided planes
+        let t = p.to_tiles(2);
+        prop_assert_eq!(Plane::from_tiles(&t), p);
+    }
+
+    #[test]
+    fn deinterleave_partitions_all_sites(p in plane_strategy()) {
+        let parts = p.deinterleave();
+        let total: f64 = parts.iter().map(|q| q.sum_f64()).sum();
+        prop_assert!((total - p.sum_f64()).abs() < 1e-9);
+        prop_assert_eq!(Plane::interleave(&parts), p);
+    }
+
+    #[test]
+    fn neighbor_sum_total_is_four_times_magnetization(p in plane_strategy()) {
+        // Σᵢ nn(i) counts every spin exactly 4 times (each spin is the
+        // neighbor of its 4 neighbors).
+        let nn = p.neighbor_sum_periodic();
+        prop_assert!((nn.sum_f64() - 4.0 * p.sum_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bf16_matmul_on_spin_values_is_exact(p in plane_strategy()) {
+        // Band-kernel neighbor sums of ±1 spins are small integers — exact
+        // in bf16 — so bf16 and f32 matmuls agree bit-for-bit on them.
+        let t32 = p.to_tiles(2);
+        let tb: Tensor4<Bf16> = t32.cast();
+        let k32 = band_kernel::<f32>(2);
+        let kb = bidiag_kernel::<Bf16>(2);
+        let k32b = bidiag_kernel::<f32>(2);
+        let f = t32.matmul_right(&k32b);
+        let b = tb.matmul_right(&kb);
+        prop_assert_eq!(b.cast::<f32>(), f);
+        let _ = k32;
+    }
+}

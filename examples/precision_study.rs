@@ -1,0 +1,56 @@
+//! bfloat16 vs float32 — a miniature of the paper's precision study.
+//!
+//! The TPU's matrix unit natively multiplies in bfloat16; the paper's
+//! claim is that running the whole Monte Carlo update at bf16 leaves the
+//! physics intact. This example runs the same chains at both precisions
+//! and prints the observables side by side, plus where the two precisions
+//! actually differ (the acceptance-ratio grid).
+//!
+//! ```bash
+//! cargo run --release --example precision_study
+//! ```
+
+use tpu_ising_bf16::Bf16;
+use tpu_ising_core::{
+    cold_plane, onsager, run_chain, CompactIsing, Randomness, Scalar, T_CRITICAL,
+};
+
+fn chain<S: Scalar + tpu_ising_rng::RandomUniform>(l: usize, t: f64, seed: u64) -> (f64, f64) {
+    let mut sim =
+        CompactIsing::from_plane(&cold_plane::<S>(l, l), 16, 1.0 / t, Randomness::bulk(seed));
+    let stats = run_chain(&mut sim, 400, 1600);
+    (stats.mean_abs_m, stats.binder)
+}
+
+fn main() {
+    // First: where do the precisions differ *mechanically*? The acceptance
+    // ratios exp(−2β·σ·nn) land on a coarser grid at bf16.
+    let beta = 1.0 / T_CRITICAL;
+    println!("acceptance ratios at Tc (σ·nn > 0 branch):");
+    println!("{:>6}  {:>12}  {:>12}  {:>10}", "σ·nn", "f32", "bf16", "rel err");
+    for snn in [2.0f32, 4.0] {
+        let f = (snn * (-2.0 * beta) as f32).exp();
+        let b = ((Bf16::from_f32(snn) * Bf16::from_f32((-2.0 * beta) as f32)).exp()).to_f32();
+        println!("{snn:>6}  {f:>12.6}  {b:>12.6}  {:>10.2e}", (f - b).abs() / f);
+    }
+
+    // Then: does it matter? Same protocol, both precisions.
+    let l = 64;
+    println!("\nL = {l}, 400 burn-in + 1600 measured sweeps per point:");
+    println!(
+        "{:>6}  {:>9} {:>9}  {:>9} {:>9}  {:>9}",
+        "T/Tc", "m f32", "m bf16", "U4 f32", "U4 bf16", "Onsager"
+    );
+    for tt in [0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.3] {
+        let t = tt * T_CRITICAL;
+        let (mf, uf) = chain::<f32>(l, t, 7);
+        let (mb, ub) = chain::<Bf16>(l, t, 7);
+        println!(
+            "{tt:>6.2}  {mf:>9.4} {mb:>9.4}  {uf:>9.4} {ub:>9.4}  {:>9.4}",
+            onsager::magnetization(t)
+        );
+    }
+    println!("\nthe paper's verdict: \"using bfloat16 has negligible impact on Ising");
+    println!("model simulation\" — and it halves the memory, doubling the maximum");
+    println!("lattice a TPU core can hold ((656·128)² instead of (464·128)²).");
+}

@@ -1,0 +1,136 @@
+//! Cross-implementation equivalence: every update implementation in the
+//! workspace — sequential reference, naive Algorithm 1, compact
+//! Algorithm 2, conv variant, GPU-style baseline, the HLO-graph-built
+//! step, and the distributed SPMD pod — makes **bit-identical** flip
+//! decisions when driven by site-keyed randomness.
+
+use tpu_ising_baseline::GpuStyleIsing;
+use tpu_ising_bf16::Bf16;
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::{
+    random_plane, CompactIsing, ConvIsing, NaiveIsing, Randomness, ReferenceIsing, Sweeper,
+    T_CRITICAL,
+};
+use tpu_ising_device::mesh::Torus;
+
+const SEED: u64 = 31337;
+const L: usize = 16;
+
+fn reference_after(sweeps: usize, beta: f64) -> tpu_ising_tensor::Plane<f32> {
+    let init = random_plane::<f32>(SEED, L, L);
+    let mut r = ReferenceIsing::new(init, beta, Randomness::site_keyed(SEED));
+    for _ in 0..sweeps {
+        r.sweep();
+    }
+    r.plane().clone()
+}
+
+#[test]
+fn all_implementations_agree_bitwise_at_tc() {
+    let beta = 1.0 / T_CRITICAL;
+    let sweeps = 10;
+    let expect = reference_after(sweeps, beta);
+    let init = random_plane::<f32>(SEED, L, L);
+
+    let mut naive = NaiveIsing::from_plane(&init, 4, beta, Randomness::site_keyed(SEED));
+    let mut compact = CompactIsing::from_plane(&init, 4, beta, Randomness::site_keyed(SEED));
+    let mut conv = ConvIsing::new(init.clone(), beta, Randomness::site_keyed(SEED));
+    let mut gpu = GpuStyleIsing::new(init.clone(), beta, Randomness::site_keyed(SEED));
+    for _ in 0..sweeps {
+        naive.sweep();
+        compact.sweep();
+        conv.sweep();
+        gpu.sweep();
+    }
+    assert_eq!(naive.to_plane(), expect, "naive != reference");
+    assert_eq!(compact.to_plane(), expect, "compact != reference");
+    assert_eq!(conv.plane(), &expect, "conv != reference");
+    assert_eq!(gpu.plane(), &expect, "gpu-style != reference");
+}
+
+#[test]
+fn distributed_pod_agrees_bitwise_with_reference() {
+    let beta = 0.45;
+    let sweeps = 8;
+    let cfg = PodConfig {
+        torus: Torus::new(2, 2),
+        per_core_h: L / 2,
+        per_core_w: L / 2,
+        tile: 2,
+        beta,
+        seed: SEED,
+        rng: PodRng::SiteKeyed,
+    };
+    let pod = run_pod::<f32>(&cfg, sweeps);
+    assert_eq!(pod.final_plane, reference_after(sweeps, beta));
+}
+
+#[test]
+fn bf16_implementations_agree_with_each_other() {
+    // At bf16 the acceptance grid is coarser than f32, so bf16 chains
+    // diverge from f32 chains — but all bf16 implementations must still
+    // agree bitwise among themselves.
+    let beta = 0.5;
+    let init = random_plane::<Bf16>(SEED, L, L);
+    let mut compact = CompactIsing::from_plane(&init, 4, beta, Randomness::site_keyed(SEED));
+    let mut conv = ConvIsing::new(init.clone(), beta, Randomness::site_keyed(SEED));
+    let mut refer = ReferenceIsing::new(init, beta, Randomness::site_keyed(SEED));
+    for _ in 0..8 {
+        compact.sweep();
+        conv.sweep();
+        refer.sweep();
+    }
+    assert_eq!(&compact.to_plane(), refer.plane());
+    assert_eq!(conv.plane(), refer.plane());
+}
+
+#[test]
+fn trajectories_depend_on_every_seed_component() {
+    let beta = 0.45;
+    let base = reference_after(5, beta);
+    // different RNG seed, same init
+    let init = random_plane::<f32>(SEED, L, L);
+    let mut other = ReferenceIsing::new(init, beta, Randomness::site_keyed(SEED + 1));
+    for _ in 0..5 {
+        other.sweep();
+    }
+    assert_ne!(other.plane(), &base, "seed change must change the trajectory");
+}
+
+#[test]
+fn multispin_replica_statistics_match_scalar_sampler() {
+    // 64 bit-packed replicas vs a scalar chain at the same temperature:
+    // ⟨|m|⟩ agreement within a loose statistical tolerance.
+    let beta = 0.55; // ordered side, fast equilibration
+    let l = 16;
+    let mut ms = tpu_ising_baseline::MultiSpinIsing::new(l, l, beta, 3);
+    for _ in 0..400 {
+        ms.sweep();
+    }
+    let mut acc = 0.0;
+    let reps = 40;
+    for _ in 0..reps {
+        for _ in 0..5 {
+            ms.sweep();
+        }
+        let mags = ms.magnetizations();
+        acc += mags.iter().map(|m| m.abs()).sum::<f64>() / (64.0 * (l * l) as f64);
+    }
+    let multispin_m = acc / reps as f64;
+
+    let init = random_plane::<f32>(77, l, l);
+    let mut scalar = GpuStyleIsing::new(init, beta, Randomness::bulk(12));
+    for _ in 0..400 {
+        scalar.sweep();
+    }
+    let mut acc = 0.0;
+    for _ in 0..200 {
+        scalar.sweep();
+        acc += scalar.magnetization_sum().abs() / (l * l) as f64;
+    }
+    let scalar_m = acc / 200.0;
+    assert!(
+        (multispin_m - scalar_m).abs() < 0.05,
+        "multispin ⟨|m|⟩ = {multispin_m} vs scalar {scalar_m}"
+    );
+}

@@ -1,0 +1,143 @@
+//! Exact-distribution stationarity test.
+//!
+//! The paper proves (appendix) that the two-color checkerboard kernel has
+//! the Boltzmann distribution as its stationary law. On a 4×4 torus the
+//! state space (2¹⁶ = 65 536 configurations) is small enough to enumerate
+//! exactly, so we can test the *distribution itself*, not just moments:
+//! the empirical histograms of magnetization and energy from a long
+//! checkerboard chain must match the exact Boltzmann marginals.
+
+use tpu_ising_core::{random_plane, CompactIsing, Randomness, ReferenceIsing, Sweeper};
+use tpu_ising_tensor::Plane;
+
+const L: usize = 4;
+const N: usize = L * L;
+const BETA: f64 = 0.3;
+
+/// Exact Boltzmann marginals of (M, E) on the 4×4 torus by enumeration.
+fn exact_marginals() -> (std::collections::BTreeMap<i32, f64>, std::collections::BTreeMap<i32, f64>) {
+    let mut pm = std::collections::BTreeMap::new();
+    let mut pe = std::collections::BTreeMap::new();
+    let mut z = 0.0f64;
+    for state in 0u32..(1 << N) {
+        let spin = |r: usize, c: usize| -> i32 {
+            if (state >> (r * L + c)) & 1 == 1 {
+                1
+            } else {
+                -1
+            }
+        };
+        let mut m = 0i32;
+        let mut e = 0i32; // −Σ bonds; count each bond once (right + down)
+        for r in 0..L {
+            for c in 0..L {
+                let s = spin(r, c);
+                m += s;
+                e -= s * spin(r, (c + 1) % L);
+                e -= s * spin((r + 1) % L, c);
+            }
+        }
+        let w = (-BETA * e as f64).exp();
+        z += w;
+        *pm.entry(m).or_insert(0.0) += w;
+        *pe.entry(e).or_insert(0.0) += w;
+    }
+    for v in pm.values_mut() {
+        *v /= z;
+    }
+    for v in pe.values_mut() {
+        *v /= z;
+    }
+    (pm, pe)
+}
+
+fn total_variation(
+    empirical: &std::collections::BTreeMap<i32, f64>,
+    exact: &std::collections::BTreeMap<i32, f64>,
+) -> f64 {
+    let keys: std::collections::BTreeSet<i32> =
+        empirical.keys().chain(exact.keys()).copied().collect();
+    0.5 * keys
+        .iter()
+        .map(|k| {
+            (empirical.get(k).copied().unwrap_or(0.0) - exact.get(k).copied().unwrap_or(0.0)).abs()
+        })
+        .sum::<f64>()
+}
+
+fn histogram_from_chain(mut step: impl FnMut() -> (f64, f64), samples: usize) -> (
+    std::collections::BTreeMap<i32, f64>,
+    std::collections::BTreeMap<i32, f64>,
+) {
+    let mut hm = std::collections::BTreeMap::new();
+    let mut he = std::collections::BTreeMap::new();
+    for _ in 0..samples {
+        let (m, e) = step();
+        *hm.entry(m.round() as i32).or_insert(0.0) += 1.0;
+        *he.entry(e.round() as i32).or_insert(0.0) += 1.0;
+    }
+    for v in hm.values_mut() {
+        *v /= samples as f64;
+    }
+    for v in he.values_mut() {
+        *v /= samples as f64;
+    }
+    (hm, he)
+}
+
+#[test]
+fn checkerboard_chain_samples_the_boltzmann_distribution() {
+    let (pm, pe) = exact_marginals();
+    let init: Plane<f32> = random_plane(1, L, L);
+    let mut sim = CompactIsing::from_plane(&init, 2, BETA, Randomness::bulk(77));
+    for _ in 0..1000 {
+        sim.sweep(); // burn-in
+    }
+    let samples = 60_000;
+    let (hm, he) = histogram_from_chain(
+        || {
+            sim.sweep();
+            (sim.magnetization_sum(), sim.energy_sum())
+        },
+        samples,
+    );
+    let tv_m = total_variation(&hm, &pm);
+    let tv_e = total_variation(&he, &pe);
+    assert!(tv_m < 0.02, "TV(M) = {tv_m}");
+    assert!(tv_e < 0.02, "TV(E) = {tv_e}");
+}
+
+#[test]
+fn reference_chain_agrees_with_the_same_exact_marginals() {
+    // The sequential oracle passes the identical test — if both pass, the
+    // parallel kernel and the textbook kernel target the same law.
+    let (pm, pe) = exact_marginals();
+    let init: Plane<f32> = random_plane(2, L, L);
+    let mut sim = ReferenceIsing::new(init, BETA, Randomness::bulk(78));
+    for _ in 0..1000 {
+        sim.sweep();
+    }
+    let (hm, he) = histogram_from_chain(
+        || {
+            sim.sweep();
+            (sim.magnetization_sum(), sim.energy_sum())
+        },
+        60_000,
+    );
+    assert!(total_variation(&hm, &pm) < 0.02);
+    assert!(total_variation(&he, &pe) < 0.02);
+}
+
+#[test]
+fn exact_marginals_are_sane() {
+    let (pm, pe) = exact_marginals();
+    // symmetry: P(M) = P(−M)
+    for (&m, &p) in &pm {
+        assert!((p - pm[&(-m)]).abs() < 1e-12, "P(M={m}) asymmetric");
+    }
+    // probabilities sum to 1
+    assert!((pm.values().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!((pe.values().sum::<f64>() - 1.0).abs() < 1e-9);
+    // ground states E = −2N exist with the right weight sign
+    assert!(pe.contains_key(&(-(2 * N as i32))));
+}

@@ -1,0 +1,80 @@
+//! Golden-output tests for the HLO printer: the compact update step's text
+//! dump is part of the debugging surface, so its shape is pinned here
+//! (op mix and structure, not exact ids — passes may renumber).
+
+use tpu_ising_core::hlo_frontend::{build_compact_color_step, build_conv_color_step};
+use tpu_ising_core::Color;
+use tpu_ising_hlo::printer::{print_graph, verify};
+use tpu_ising_hlo::{Dtype, Op};
+
+#[test]
+fn compact_step_dump_structure() {
+    let built = build_compact_color_step(2, 2, 4, 0.44, Color::Black, Dtype::Bf16);
+    verify(&built.graph).unwrap();
+    let text = print_graph(&built.graph, &built.outputs);
+
+    // header and parameters
+    assert!(text.starts_with("HloModule ising_step, entry_parameters=4\n"));
+    for i in 0..4 {
+        assert!(text.contains(&format!("parameter({i})")), "missing parameter {i}");
+    }
+    // op mix of Algorithm 2, one color: 4 dots, 2 rng draws, 2 exps,
+    // 4 boundary compensations, 2 roots
+    let count = |needle: &str| text.matches(needle).count();
+    assert_eq!(count(" dot("), 4, "{text}");
+    assert_eq!(count("rng-uniform"), 2);
+    assert_eq!(count("exponential"), 2);
+    assert_eq!(count("dynamic-update-add"), 4);
+    assert_eq!(count("// ROOT"), 2);
+    // the kernels are embedded constants with the right fingerprint:
+    // bidiagonal 4×4 has 7 ones
+    assert_eq!(count("constant(/*elements=16 sum=7*/)"), 2);
+    // every tensor in this graph is bf16
+    assert_eq!(count(" f32["), 0);
+    assert!(count(" bf16[") > 10);
+}
+
+#[test]
+fn conv_step_dump_structure() {
+    let built = build_conv_color_step(2, 2, 4, 0.44, Color::White, Dtype::F32);
+    verify(&built.graph).unwrap();
+    let text = print_graph(&built.graph, &[built.output]);
+    assert!(text.contains("convolution"));
+    assert!(text.contains("kernel=plus3x3, padding=torus"));
+    // conv variant: single lattice parameter, one rng, one conv
+    assert!(text.starts_with("HloModule ising_step, entry_parameters=1\n"));
+    assert_eq!(text.matches("rng-uniform").count(), 1);
+    assert_eq!(text.matches("convolution").count(), 1);
+    // the parity mask constant: half the 64 elements are ones
+    assert!(text.contains("constant(/*elements=64 sum=32*/)"));
+}
+
+#[test]
+fn optimized_dump_is_smaller_but_verifies() {
+    let built = build_compact_color_step(2, 2, 4, 0.44, Color::White, Dtype::F32);
+    let (optimized, roots) = tpu_ising_hlo::passes::optimize(&built.graph, &built.outputs);
+    verify(&optimized).unwrap();
+    assert!(optimized.len() <= built.graph.len());
+    let text = print_graph(&optimized, &roots);
+    assert_eq!(text.matches("// ROOT").count(), 2);
+    // CSE must not merge the two independent rng draws
+    assert_eq!(text.matches("rng-uniform").count(), 2);
+}
+
+#[test]
+fn dump_round_trips_the_op_count() {
+    let built = build_compact_color_step(3, 2, 2, 0.5, Color::Black, Dtype::F32);
+    let text = print_graph(&built.graph, &built.outputs);
+    // one line per op plus the header
+    assert_eq!(text.lines().count(), built.graph.len() + 1);
+    // no op kind is unprintable (no "{:?}" debug fallbacks leak)
+    assert!(!text.contains("Op::"));
+    // spot-check that ids referenced exist
+    let n_ops = built.graph.len();
+    for idx in 0..n_ops {
+        let node = built.graph.node(tpu_ising_hlo::Id(idx));
+        if let Op::Parameter { .. } = node.op {
+            continue;
+        }
+    }
+}

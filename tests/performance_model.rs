@@ -1,0 +1,196 @@
+//! The calibrated device model must reproduce every performance table of
+//! the paper within tight tolerances. These tests walk the same rows the
+//! benchmark binaries print, so a calibration regression fails CI rather
+//! than silently skewing EXPERIMENTS.md.
+
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
+use tpu_ising_device::energy::energy_nj_per_flip;
+use tpu_ising_device::params::TpuV3Params;
+use tpu_ising_device::roofline::roofline;
+
+fn pct(a: f64, b: f64) -> f64 {
+    ((a / b) - 1.0).abs() * 100.0
+}
+
+#[test]
+fn table1_single_core_rows_within_1pct() {
+    let p = TpuV3Params::v3();
+    for (k, paper_f) in [
+        (20usize, 8.1920),
+        (40, 9.3623),
+        (80, 12.3362),
+        (160, 12.8266),
+        (320, 12.9056),
+        (640, 12.8783),
+    ] {
+        let cfg = StepConfig {
+            per_core_h: k * 128,
+            per_core_w: k * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::SingleCore,
+        };
+        let f = throughput_flips_per_ns(&p, &cfg);
+        assert!(pct(f, paper_f) < 1.0, "k={k}: {f} vs {paper_f}");
+        let e = energy_nj_per_flip(p.power_w, f);
+        assert!(pct(e, 100.0 / paper_f) < 1.0, "k={k} energy");
+    }
+}
+
+#[test]
+fn table2_weak_scaling_rows_within_1pct() {
+    let p = TpuV3Params::v3();
+    for (cores, paper_ms, paper_f) in [
+        (2usize, 574.7, 22.8873),
+        (8, 574.9, 91.5174),
+        (32, 575.0, 366.0059),
+        (128, 575.2, 1463.5146),
+        (512, 575.3, 5853.0408),
+    ] {
+        let cfg = StepConfig {
+            per_core_h: 896 * 128,
+            per_core_w: 448 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let bd = step_time(&p, &cfg);
+        let f = throughput_flips_per_ns(&p, &cfg);
+        assert!(pct(bd.total() * 1e3, paper_ms) < 1.0, "{cores} cores step");
+        assert!(pct(f, paper_f) < 1.0, "{cores} cores throughput");
+    }
+}
+
+#[test]
+fn table3_breakdown_within_one_point() {
+    let p = TpuV3Params::v3();
+    let cfg = StepConfig {
+        per_core_h: 896 * 128,
+        per_core_w: 448 * 128,
+        dtype_bytes: 2,
+        variant: Variant::Compact,
+        mode: ExecutionMode::Distributed { cores: 512 },
+    };
+    let (mxu, vpu, fmt, cp) = step_time(&p, &cfg).percentages();
+    assert!((mxu - 59.4).abs() < 1.0, "mxu {mxu}");
+    assert!((vpu - 12.0).abs() < 1.0, "vpu {vpu}");
+    assert!((fmt - 28.1).abs() < 1.0, "fmt {fmt}");
+    assert!(cp < 0.3, "cp {cp}");
+}
+
+#[test]
+fn table4_cells_within_tolerance() {
+    let p = TpuV3Params::v3();
+    for (h, w, cores, paper_step, paper_cp) in [
+        (896usize, 448usize, 32usize, 575.0, 0.37),
+        (896, 448, 512, 575.3, 0.65),
+        (448, 224, 128, 255.11, 0.41),
+        (224, 112, 32, 64.61, 0.18),
+        (224, 112, 512, 64.92, 0.58),
+    ] {
+        let cfg = StepConfig {
+            per_core_h: h * 128,
+            per_core_w: w * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let bd = step_time(&p, &cfg);
+        assert!(pct(bd.total() * 1e3, paper_step) < 2.0, "[{h},{w}]x{cores} step");
+        // cp times are sub-millisecond measurements; 50 % relative or
+        // 0.15 ms absolute, whichever is looser.
+        let cp_ms = bd.t_cp * 1e3;
+        assert!(
+            (cp_ms - paper_cp).abs() < (0.15f64).max(paper_cp * 0.5),
+            "[{h},{w}]x{cores} cp {cp_ms} vs {paper_cp}"
+        );
+    }
+}
+
+#[test]
+fn table5_roofline_rows() {
+    let p = TpuV3Params::v3();
+    for (cores, paper_roof, paper_peak) in [(2usize, 76.68, 9.31), (512, 76.43, 9.26)] {
+        let cfg = StepConfig {
+            per_core_h: 896 * 128,
+            per_core_w: 448 * 128,
+            dtype_bytes: 2,
+            variant: Variant::Compact,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let r = roofline(&p, &cfg);
+        assert!((r.pct_of_roofline() - paper_roof).abs() < 1.5, "{cores} roofline");
+        assert!((r.pct_of_peak() - paper_peak).abs() < 0.5, "{cores} peak");
+        assert!(r.memory_bound);
+    }
+}
+
+#[test]
+fn table6_conv_weak_scaling_sampled_rows_within_4pct() {
+    let p = TpuV3Params::v3();
+    for (h, w, cores, paper_f) in [
+        (224usize, 224usize, 4usize, 80.64),
+        (224, 224, 2025, 40456.29),
+        (448, 448, 256, 5120.83),
+        (896, 448, 8, 158.57),
+        (896, 448, 2048, 40403.46),
+    ] {
+        let cfg = StepConfig {
+            per_core_h: h * 128,
+            per_core_w: w * 128,
+            dtype_bytes: 2,
+            variant: Variant::Conv,
+            mode: ExecutionMode::Distributed { cores },
+        };
+        let f = throughput_flips_per_ns(&p, &cfg);
+        assert!(pct(f, paper_f) < 4.0, "[{h},{w}]x{cores}: {f} vs {paper_f}");
+    }
+}
+
+#[test]
+fn table7_strong_scaling_within_10pct_and_knee_present() {
+    let p = TpuV3Params::v3();
+    let total = 1792 * 128;
+    for ((tx, ty), paper_f) in [
+        ((2usize, 4usize), 159.37),
+        ((8, 8), 1272.94),
+        ((16, 32), 8585.73),
+        ((32, 64), 18396.28),
+    ] {
+        let cfg = StepConfig {
+            per_core_h: total / tx,
+            per_core_w: total / ty,
+            dtype_bytes: 2,
+            variant: Variant::Conv,
+            mode: ExecutionMode::Distributed { cores: tx * ty },
+        };
+        let f = throughput_flips_per_ns(&p, &cfg);
+        assert!(pct(f, paper_f) < 10.0, "[{tx},{ty}]: {f} vs {paper_f}");
+    }
+}
+
+#[test]
+fn headline_claims_hold_in_the_model() {
+    // 60 % over the best published GPU benchmark, ~10 % over V100.
+    let p = TpuV3Params::v3();
+    let cfg = StepConfig {
+        per_core_h: 320 * 128,
+        per_core_w: 320 * 128,
+        dtype_bytes: 2,
+        variant: Variant::Compact,
+        mode: ExecutionMode::SingleCore,
+    };
+    let tpu = throughput_flips_per_ns(&p, &cfg);
+    assert!(tpu / tpu_ising_baseline::published::GPU_PREIS_2009_FLIPS_PER_NS > 1.6);
+    let v100_gain = tpu / tpu_ising_baseline::published::V100_FLIPS_PER_NS;
+    assert!((1.05..1.20).contains(&v100_gain), "{v100_gain}");
+    // TPU is also the more energy-efficient device in the model.
+    let tpu_energy = energy_nj_per_flip(p.power_w, tpu);
+    let v100_energy = energy_nj_per_flip(
+        tpu_ising_baseline::published::V100_POWER_W,
+        tpu_ising_baseline::published::V100_FLIPS_PER_NS,
+    );
+    assert!(tpu_energy < v100_energy / 2.0);
+}

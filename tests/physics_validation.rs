@@ -1,0 +1,150 @@
+//! Quantitative physics validation against exact 2-D Ising results.
+//!
+//! These are the integration-level versions of the paper's Fig. 4
+//! correctness claims: magnetization against Onsager/Yang's exact curve,
+//! internal energy against Onsager's exact solution, disorder above Tc,
+//! Binder-cumulant limits, and f32/bf16 statistical agreement.
+
+use tpu_ising_bf16::Bf16;
+use tpu_ising_core::{
+    cold_plane, onsager, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL,
+};
+
+#[test]
+fn magnetization_matches_onsager_below_tc() {
+    // T = 0.8·Tc on a 48² lattice: finite-size corrections are tiny this
+    // far below Tc.
+    let t = 0.8 * T_CRITICAL;
+    let mut sim =
+        CompactIsing::from_plane(&cold_plane::<f32>(48, 48), 8, 1.0 / t, Randomness::bulk(3));
+    let stats = run_chain(&mut sim, 300, 1500);
+    let exact = onsager::magnetization(t);
+    assert!(
+        (stats.mean_abs_m - exact).abs() < 0.01,
+        "⟨|m|⟩ = {} vs exact {exact}",
+        stats.mean_abs_m
+    );
+    // deep in the ordered phase the Binder cumulant sits at 2/3
+    assert!((stats.binder - 2.0 / 3.0).abs() < 0.01, "U4 = {}", stats.binder);
+}
+
+#[test]
+fn energy_matches_onsager_on_both_sides_of_tc() {
+    for (tt, tol) in [(0.7, 0.01), (1.4, 0.02)] {
+        let t = tt * T_CRITICAL;
+        let init = if tt < 1.0 {
+            cold_plane::<f32>(48, 48)
+        } else {
+            random_plane::<f32>(9, 48, 48)
+        };
+        let mut sim = CompactIsing::from_plane(&init, 8, 1.0 / t, Randomness::bulk(4));
+        let stats = run_chain(&mut sim, 300, 1200);
+        let exact = onsager::energy_per_site(t);
+        assert!(
+            (stats.mean_energy - exact).abs() < tol + 3.0 * stats.err_energy,
+            "T/Tc={tt}: ⟨E⟩/N = {} vs exact {exact} (err {})",
+            stats.mean_energy,
+            stats.err_energy
+        );
+    }
+}
+
+#[test]
+fn disorder_above_tc() {
+    let t = 1.5 * T_CRITICAL;
+    let mut sim = CompactIsing::from_plane(
+        &random_plane::<f32>(17, 64, 64),
+        8,
+        1.0 / t,
+        Randomness::bulk(5),
+    );
+    let stats = run_chain(&mut sim, 200, 800);
+    // |m| ~ O(1/L) in the disordered phase
+    assert!(stats.mean_abs_m < 0.1, "⟨|m|⟩ = {}", stats.mean_abs_m);
+    // U4 near 0 for Gaussian m
+    assert!(stats.binder.abs() < 0.25, "U4 = {}", stats.binder);
+}
+
+#[test]
+fn bf16_reproduces_f32_statistics() {
+    // The paper's central precision claim, as a statistical test: same
+    // protocol at both precisions, means must agree within combined error.
+    for tt in [0.85, 1.2] {
+        let t = tt * T_CRITICAL;
+        let init_f = if tt < 1.0 { cold_plane::<f32>(32, 32) } else { random_plane(21, 32, 32) };
+        let init_b =
+            if tt < 1.0 { cold_plane::<Bf16>(32, 32) } else { random_plane(21, 32, 32) };
+        let mut f = CompactIsing::from_plane(&init_f, 8, 1.0 / t, Randomness::bulk(31));
+        let mut b = CompactIsing::from_plane(&init_b, 8, 1.0 / t, Randomness::bulk(31));
+        let sf = run_chain(&mut f, 300, 1500);
+        let sb = run_chain(&mut b, 300, 1500);
+        let tol = 0.02 + 3.0 * (sf.err_abs_m + sb.err_abs_m);
+        assert!(
+            (sf.mean_abs_m - sb.mean_abs_m).abs() < tol,
+            "T/Tc={tt}: f32 {} vs bf16 {} (tol {tol})",
+            sf.mean_abs_m,
+            sb.mean_abs_m
+        );
+    }
+}
+
+#[test]
+fn wolff_and_checkerboard_agree_on_observables() {
+    // Two unrelated update families targeting the same distribution: the
+    // cluster sampler and the paper's checkerboard sampler must agree on
+    // ⟨|m|⟩ within combined error bars — at Tc, where single-flip dynamics
+    // are slowest and disagreement would show first.
+    use tpu_ising_core::WolffIsing;
+    let t = 0.95 * T_CRITICAL;
+    let l = 24;
+    let mut wolff =
+        WolffIsing::new(cold_plane::<f32>(l, l), 1.0 / t, Randomness::bulk(41));
+    let sw = run_chain(&mut wolff, 200, 1200);
+    let mut checker =
+        CompactIsing::from_plane(&cold_plane::<f32>(l, l), 4, 1.0 / t, Randomness::bulk(42));
+    let sc = run_chain(&mut checker, 400, 3000);
+    let tol = 0.02 + 3.0 * (sw.err_abs_m + sc.err_abs_m);
+    assert!(
+        (sw.mean_abs_m - sc.mean_abs_m).abs() < tol,
+        "Wolff {} vs checkerboard {} (tol {tol})",
+        sw.mean_abs_m,
+        sc.mean_abs_m
+    );
+}
+
+#[test]
+fn susceptibility_peaks_near_tc() {
+    // χ(T) must be larger near Tc than deep in either phase.
+    let chi = |tt: f64, seed: u64| {
+        let t = tt * T_CRITICAL;
+        let l = 24;
+        let init = if tt < 1.0 { cold_plane::<f32>(l, l) } else { random_plane(seed, l, l) };
+        let mut sim = CompactIsing::from_plane(&init, 4, 1.0 / t, Randomness::bulk(seed));
+        let stats = run_chain(&mut sim, 400, 2500);
+        stats.susceptibility(1.0 / t, l * l)
+    };
+    let cold_side = chi(0.7, 1);
+    let critical = chi(1.0, 2);
+    let hot_side = chi(1.6, 3);
+    assert!(
+        critical > 4.0 * cold_side && critical > 4.0 * hot_side,
+        "χ: cold {cold_side:.3}, critical {critical:.3}, hot {hot_side:.3}"
+    );
+}
+
+#[test]
+fn binder_curves_cross_near_tc() {
+    // Coarse two-size Binder comparison: below Tc the bigger lattice has
+    // the bigger U4; above Tc the ordering flips. (The crossing is Tc.)
+    let u4 = |l: usize, tt: f64| {
+        let t = tt * T_CRITICAL;
+        let init = if tt < 1.0 { cold_plane::<f32>(l, l) } else { random_plane(5, l, l) };
+        let tile = (l / 4).clamp(2, 8);
+        let mut sim = CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64));
+        run_chain(&mut sim, 400, 2000).binder
+    };
+    let below = (u4(16, 0.92), u4(32, 0.92));
+    let above = (u4(16, 1.12), u4(32, 1.12));
+    assert!(below.1 > below.0 - 0.01, "below Tc: {below:?}");
+    assert!(above.1 < above.0 + 0.01, "above Tc: {above:?}");
+}

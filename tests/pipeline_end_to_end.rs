@@ -1,0 +1,126 @@
+//! End-to-end software-stack test: the update step built as an HLO-lite
+//! graph, pushed through the optimization passes, interpreted over
+//! multiple sweeps, must evolve the lattice exactly like the direct
+//! implementation — the Rust analogue of "the TF graph computes what the
+//! paper's algorithm says".
+
+use tpu_ising_core::hlo_frontend::build_compact_color_step;
+use tpu_ising_core::{random_plane, Color, CompactIsing, Randomness, Sweeper};
+use tpu_ising_hlo::graph::Dtype;
+use tpu_ising_hlo::passes::{const_fold, dce, fusion_groups};
+use tpu_ising_rng::PhiloxStream;
+use tpu_ising_tensor::{Plane, Tensor4};
+
+const L: usize = 16;
+const TILE: usize = 4;
+const BETA: f64 = 0.44;
+const SEED: u64 = 909;
+
+fn quarters(plane: &Plane<f32>) -> [Tensor4<f32>; 4] {
+    let parts = plane.deinterleave();
+    [
+        parts[0].to_tiles(TILE),
+        parts[1].to_tiles(TILE),
+        parts[2].to_tiles(TILE),
+        parts[3].to_tiles(TILE),
+    ]
+}
+
+#[test]
+fn graph_executed_chain_matches_direct_chain_over_many_sweeps() {
+    let m = L / (2 * TILE);
+    let init = random_plane::<f32>(3, L, L);
+
+    // direct chain
+    let mut direct = CompactIsing::from_plane(&init, TILE, BETA, Randomness::bulk(SEED));
+
+    // graph chain: one graph per color, interpreted sweep after sweep with
+    // the same Philox stream the direct chain consumes.
+    let black = build_compact_color_step(m, m, TILE, BETA, Color::Black, Dtype::F32);
+    let white = build_compact_color_step(m, m, TILE, BETA, Color::White, Dtype::F32);
+    let mut stream = PhiloxStream::from_seed(SEED);
+    let [mut q00, mut q01, mut q10, mut q11] = quarters(&init);
+
+    for sweep in 0..6 {
+        let out = tpu_ising_hlo::evaluate(
+            &black.graph,
+            &[q00.clone(), q01.clone(), q10.clone(), q11.clone()],
+            &mut stream,
+            &black.outputs,
+        );
+        q00 = out[0].clone();
+        q11 = out[1].clone();
+        let out = tpu_ising_hlo::evaluate(
+            &white.graph,
+            &[q00.clone(), q01.clone(), q10.clone(), q11.clone()],
+            &mut stream,
+            &white.outputs,
+        );
+        q01 = out[0].clone();
+        q10 = out[1].clone();
+
+        direct.sweep();
+        let [d00, d01, d10, d11] = quarters(&direct.to_plane());
+        assert_eq!(q00, d00, "σ̂00 sweep {sweep}");
+        assert_eq!(q01, d01, "σ̂01 sweep {sweep}");
+        assert_eq!(q10, d10, "σ̂10 sweep {sweep}");
+        assert_eq!(q11, d11, "σ̂11 sweep {sweep}");
+    }
+}
+
+#[test]
+fn optimized_graph_computes_the_same_step() {
+    let m = L / (2 * TILE);
+    let built = build_compact_color_step(m, m, TILE, BETA, Color::Black, Dtype::F32);
+    // const-fold then DCE, as the XLA pipeline would
+    let (folded, roots) = const_fold(&built.graph, &built.outputs);
+    let (optimized, roots) = dce(&folded, &roots);
+    assert!(optimized.len() <= built.graph.len());
+
+    let init = random_plane::<f32>(8, L, L);
+    let [q00, q01, q10, q11] = quarters(&init);
+    let mut s1 = PhiloxStream::from_seed(5);
+    let mut s2 = PhiloxStream::from_seed(5);
+    let a = tpu_ising_hlo::evaluate(
+        &built.graph,
+        &[q00.clone(), q01.clone(), q10.clone(), q11.clone()],
+        &mut s1,
+        &built.outputs,
+    );
+    let b = tpu_ising_hlo::evaluate(&optimized, &[q00, q01, q10, q11], &mut s2, &roots);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fusion_analysis_finds_the_acceptance_chain() {
+    let built = build_compact_color_step(2, 2, TILE, BETA, Color::Black, Dtype::F32);
+    let groups = fusion_groups(&built.graph, &built.outputs);
+    // the acceptance pipeline mul → mul_scalar → exp must fuse
+    let max_len = groups.iter().map(Vec::len).max().unwrap();
+    assert!(max_len >= 3, "largest fusion group has {max_len} ops");
+}
+
+#[test]
+fn cost_walker_and_device_model_agree_on_mxu_time() {
+    // The graph's matmul MAC count equals the analytic model's count for
+    // the same shape: 8 batched matmuls · t MACs per site per sweep. One
+    // color update is half of that.
+    use tpu_ising_device::{calib, cost as dcost};
+    let (m, n, t) = (8usize, 4usize, 128usize);
+    let built = build_compact_color_step(m, n, t, BETA, Color::Black, Dtype::Bf16);
+    let trace = tpu_ising_hlo::cost::analyze(&built.graph, &built.outputs, 1);
+    let mxu_graph = trace.breakdown().mxu;
+
+    let cfg = dcost::StepConfig {
+        per_core_h: 2 * m * t,
+        per_core_w: 2 * n * t,
+        dtype_bytes: 2,
+        variant: dcost::Variant::Compact,
+        mode: dcost::ExecutionMode::SingleCore,
+    };
+    let macs_model = dcost::step_counts(&cfg).macs;
+    let mxu_model_half = macs_model / calib::MXU_SUSTAINED_MACS / 2.0;
+    // single-core model applies an efficiency scaling to t_mxu; compare raw
+    let rel = (mxu_graph - mxu_model_half).abs() / mxu_model_half;
+    assert!(rel < 1e-9, "graph {mxu_graph} vs model/2 {mxu_model_half}");
+}
