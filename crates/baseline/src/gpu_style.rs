@@ -91,7 +91,9 @@ impl GpuStyleIsing {
         let row_streams: Option<Vec<PhiloxStream>> = match &self.rng {
             GpuRng::RowSplit { root } => Some(
                 (0..h)
-                    .map(|r| root.split(sweep * 2 * h as u64 + color.tag() as u64 * h as u64 + r as u64))
+                    .map(|r| {
+                        root.split(sweep * 2 * h as u64 + color.tag() as u64 * h as u64 + r as u64)
+                    })
                     .collect(),
             ),
             GpuRng::SiteKeyed(_) => None,
@@ -114,14 +116,13 @@ impl GpuStyleIsing {
                     }
                     let left = if c == 0 { w - 1 } else { c - 1 };
                     let right = if c + 1 == w { 0 } else { c + 1 };
-                    let nn = src.get(up, c) + src.get(down, c) + src.get(r, left) + src.get(r, right);
+                    let nn =
+                        src.get(up, c) + src.get(down, c) + src.get(r, left) + src.get(r, right);
                     // σ·nn ∈ {−4,−2,0,2,4} → table index
                     let k = ((s * nn) as i32 + 4) / 2;
                     let u: f32 = match (&mut stream, &site_rng) {
                         (Some(st), _) => st.uniform(),
-                        (None, Some(site)) => {
-                            site.uniform(sweep, color.tag(), r as u32, c as u32)
-                        }
+                        (None, Some(site)) => site.uniform(sweep, color.tag(), r as u32, c as u32),
                         _ => unreachable!(),
                     };
                     row.push(if u < accept[k as usize] { -s } else { s });

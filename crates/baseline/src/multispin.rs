@@ -198,8 +198,8 @@ impl MultiSpinIsing {
                     let c1 = s0a & s0b;
                     let s1 = c0a ^ c0b ^ c1; // twos bit
                     let c2 = (c0a & c0b) | (c1 & (c0a ^ c0b)); // fours bit
-                    // aligned==4 ⇒ σ·nn = 4; aligned==3 ⇒ σ·nn = 2;
-                    // aligned ≤ 2 ⇒ σ·nn ≤ 0 ⇒ always accept.
+                                                               // aligned==4 ⇒ σ·nn = 4; aligned==3 ⇒ σ·nn = 2;
+                                                               // aligned ≤ 2 ⇒ σ·nn ≤ 0 ⇒ always accept.
                     let exactly4 = c2;
                     let exactly3 = s1 & s0;
                     // per-site color index for the pre-drawn masks: count

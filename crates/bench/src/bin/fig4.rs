@@ -10,11 +10,11 @@
 //! - `U₄(T)` curves of different lattice sizes cross at `Tc`;
 //! - the bf16 and f32 curves coincide within error bars.
 
-use tpu_ising_bench::{print_table, quick_mode, write_csv, write_json};
-use tpu_ising_core::{
-    onsager, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL,
-};
+use tpu_ising_bench::{init_progress, print_table, quick_mode, write_csv, write_json};
 use tpu_ising_bf16::Bf16;
+use tpu_ising_core::{
+    onsager, random_plane, run_chain_labeled, CompactIsing, Randomness, T_CRITICAL,
+};
 
 #[derive(serde::Serialize)]
 struct Point {
@@ -47,8 +47,14 @@ fn run_size<S: tpu_ising_core::Scalar + tpu_ising_rng::RandomUniform>(
         } else {
             random_plane::<S>(1234 + l as u64, l, l)
         };
-        let mut sim = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(l as u64 * 7 + (tt * 1000.0) as u64));
-        let stats = run_chain(&mut sim, burn, samples);
+        let mut sim = CompactIsing::from_plane(
+            &init,
+            tile,
+            beta,
+            Randomness::bulk(l as u64 * 7 + (tt * 1000.0) as u64),
+        );
+        let label = format!("fig4 L={l} {} T/Tc={tt:.3}", S::DTYPE);
+        let stats = run_chain_labeled(&mut sim, burn, samples, &label);
         points.push(Point {
             dtype: S::DTYPE.to_string(),
             lattice: l,
@@ -64,6 +70,7 @@ fn run_size<S: tpu_ising_core::Scalar + tpu_ising_rng::RandomUniform>(
 }
 
 fn main() {
+    init_progress(); // --progress: heartbeat lines on stderr
     let quick = quick_mode();
     let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
     let temps: Vec<f64> = if quick {

@@ -7,9 +7,10 @@
 //! identical site-keyed randomness — they must agree bit-for-bit, which is
 //! a stronger statement than curve overlap.
 
-use tpu_ising_bench::{print_table, quick_mode, write_json};
+use tpu_ising_bench::{init_progress, print_table, quick_mode, write_json};
 use tpu_ising_core::{
-    onsager, random_plane, run_chain, CompactIsing, ConvIsing, Randomness, Sweeper, T_CRITICAL,
+    onsager, random_plane, run_chain_labeled, CompactIsing, ConvIsing, Randomness, Sweeper,
+    T_CRITICAL,
 };
 
 #[derive(serde::Serialize)]
@@ -23,6 +24,7 @@ struct Point {
 }
 
 fn main() {
+    init_progress(); // --progress: heartbeat lines on stderr
     let quick = quick_mode();
     let sizes: &[usize] = if quick { &[32] } else { &[32, 64] };
     let temps: Vec<f64> = if quick {
@@ -53,8 +55,13 @@ fn main() {
             } else {
                 random_plane::<f32>(4321 + l as u64, l, l)
             };
-            let mut sim = ConvIsing::new(init, 1.0 / t, Randomness::bulk(l as u64 * 13 + (tt * 100.0) as u64));
-            let stats = run_chain(&mut sim, burn, samples);
+            let mut sim = ConvIsing::new(
+                init,
+                1.0 / t,
+                Randomness::bulk(l as u64 * 13 + (tt * 100.0) as u64),
+            );
+            let label = format!("fig7 L={l} T/Tc={tt:.3}");
+            let stats = run_chain_labeled(&mut sim, burn, samples, &label);
             points.push(Point {
                 lattice: l,
                 t_over_tc: tt,

@@ -57,9 +57,24 @@ fn main() {
     }
     // conv pods, three densities (Table 6 shapes)
     for &(label, h, w, topos) in &[
-        ("TPU v3 pod (conv, loose)", 224usize, 224usize, &[(2usize, 2usize), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..]),
-        ("TPU v3 pod (conv, dense)", 448, 448, &[(2, 2), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..]),
-        ("TPU v3 pod (conv, superdense)", 896, 448, &[(2, 4), (4, 8), (8, 16), (16, 32), (32, 64)][..]),
+        (
+            "TPU v3 pod (conv, loose)",
+            224usize,
+            224usize,
+            &[(2usize, 2usize), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..],
+        ),
+        (
+            "TPU v3 pod (conv, dense)",
+            448,
+            448,
+            &[(2, 2), (4, 4), (8, 8), (16, 16), (32, 32), (45, 45)][..],
+        ),
+        (
+            "TPU v3 pod (conv, superdense)",
+            896,
+            448,
+            &[(2, 4), (4, 8), (8, 16), (16, 32), (32, 64)][..],
+        ),
     ] {
         for &(tx, ty) in topos {
             let cfg = StepConfig {
@@ -79,9 +94,17 @@ fn main() {
     }
     // published references the paper prints
     for (series, side, f) in [
-        ("GPU GT200 (Preis 2009)", 10_000u64, tpu_ising_baseline::published::GPU_PREIS_2009_FLIPS_PER_NS),
+        (
+            "GPU GT200 (Preis 2009)",
+            10_000u64,
+            tpu_ising_baseline::published::GPU_PREIS_2009_FLIPS_PER_NS,
+        ),
         ("Tesla V100 (paper's port)", 81_920, tpu_ising_baseline::published::V100_FLIPS_PER_NS),
-        ("64 GPUs + MPI (Block 2010)", 800_000, tpu_ising_baseline::published::MULTI_GPU_64_FLIPS_PER_NS),
+        (
+            "64 GPUs + MPI (Block 2010)",
+            800_000,
+            tpu_ising_baseline::published::MULTI_GPU_64_FLIPS_PER_NS,
+        ),
         ("FPGA (Ortega-Zamorano 2016)", 1_024, tpu_ising_baseline::published::FPGA_FLIPS_PER_NS),
     ] {
         pts.push(Point {

@@ -5,7 +5,9 @@
 //! departure past ~1000 cores is the communication knee.
 
 use tpu_ising_bench::{print_table, write_json};
-use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
 use tpu_ising_device::params::TpuV3Params;
 
 const TOPOLOGIES: [(usize, usize); 9] =
@@ -35,11 +37,8 @@ fn main() {
         };
         let f = throughput_flips_per_ns(&p, &cfg);
         let bd = step_time(&p, &cfg);
-        let ideal = if let Some(first) = pts.first() {
-            first.flips_per_ns / 8.0 * cores as f64
-        } else {
-            f
-        };
+        let ideal =
+            if let Some(first) = pts.first() { first.flips_per_ns / 8.0 * cores as f64 } else { f };
         pts.push(Point {
             cores,
             flips_per_ns: f,

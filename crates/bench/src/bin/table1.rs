@@ -108,7 +108,12 @@ fn main() {
     // implementation sweeps and report its wall-clock throughput.
     let side = 512;
     let plane = random_plane::<tpu_ising_bf16::Bf16>(1, side, side);
-    let mut sim = CompactIsing::from_plane(&plane, 128, 1.0 / tpu_ising_core::T_CRITICAL, Randomness::bulk(2));
+    let mut sim = CompactIsing::from_plane(
+        &plane,
+        128,
+        1.0 / tpu_ising_core::T_CRITICAL,
+        Randomness::bulk(2),
+    );
     let sweeps = 4;
     let t0 = std::time::Instant::now();
     for _ in 0..sweeps {

@@ -8,7 +8,9 @@
 
 use tpu_ising_bench::{ms, pct_dev, print_table, write_csv, write_json};
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
-use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
 use tpu_ising_device::energy::energy_nj_per_flip;
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_device::params::TpuV3Params;

@@ -11,13 +11,8 @@ use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
 
 /// Paper rows: (cores, % roofline, % peak).
-const PAPER: [(usize, f64, f64); 5] = [
-    (2, 76.68, 9.31),
-    (8, 76.65, 9.30),
-    (32, 76.51, 9.28),
-    (128, 76.52, 9.27),
-    (512, 76.43, 9.26),
-];
+const PAPER: [(usize, f64, f64); 5] =
+    [(2, 76.68, 9.31), (8, 76.65, 9.30), (32, 76.51, 9.28), (128, 76.52, 9.27), (512, 76.43, 9.26)];
 
 #[derive(serde::Serialize)]
 struct Row {

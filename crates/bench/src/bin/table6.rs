@@ -7,7 +7,9 @@
 //! cores.
 
 use tpu_ising_bench::{ms, pct_dev, print_table, write_json};
-use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
 use tpu_ising_device::params::TpuV3Params;
 
 /// (density label, per-core h, per-core w, rows: (topology, paper ms, paper flips/ns)).

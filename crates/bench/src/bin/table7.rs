@@ -5,7 +5,9 @@
 //! collective-permute overhead becomes a significant share of the step.
 
 use tpu_ising_bench::{pct_dev, print_table, write_json};
-use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
 use tpu_ising_device::params::TpuV3Params;
 
 /// Paper rows: (topology, per-core dims /128, step ms, flips/ns).

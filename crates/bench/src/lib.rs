@@ -10,10 +10,43 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// True when quick mode is requested (smaller lattices / fewer sweeps for
-/// the physics figures). Enabled by `--quick` or `ISING_BENCH_QUICK=1`.
+/// the physics figures).
+///
+/// **Precedence** (single source of truth — every bench binary goes
+/// through here):
+///
+/// 1. A `--quick` flag anywhere on the command line turns quick mode ON.
+///    This includes positions after a bare `--` separator, so both
+///    `cargo run --bin fig4 -- --quick` (cargo eats the `--`) and
+///    harnesses that forward a verbatim `-- --quick` tail work.
+/// 2. Otherwise `ISING_BENCH_QUICK=1` turns it ON.
+/// 3. Otherwise quick mode is OFF.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-        || std::env::var("ISING_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    quick_mode_from(std::env::args().skip(1), std::env::var("ISING_BENCH_QUICK").ok())
+}
+
+/// Testable core of [`quick_mode`]: `args` are the command-line arguments
+/// (program name excluded), `env` the value of `ISING_BENCH_QUICK` if set.
+pub fn quick_mode_from<I>(args: I, env: Option<String>) -> bool
+where
+    I: IntoIterator<Item = String>,
+{
+    // scan every argument, including those after a bare `--` separator
+    if args.into_iter().any(|a| a == "--quick") {
+        return true;
+    }
+    env.as_deref() == Some("1")
+}
+
+/// Enable progress heartbeats when `--progress` is on the command line
+/// (anywhere, like [`quick_mode`]'s flag). Returns whether it was enabled.
+/// Heartbeat lines go to stderr, so tables on stdout stay clean.
+pub fn init_progress() -> bool {
+    let on = std::env::args().skip(1).any(|a| a == "--progress");
+    if on {
+        tpu_ising_obs::enable_progress(std::time::Duration::from_secs(2));
+    }
+    on
 }
 
 /// Pretty-print an aligned table to stdout.
@@ -96,6 +129,28 @@ pub fn ms(seconds: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn quick_flag_anywhere_wins() {
+        assert!(quick_mode_from(strings(&["--quick"]), None));
+        assert!(quick_mode_from(strings(&["--bench", "--", "--quick"]), None));
+        assert!(quick_mode_from(strings(&["--", "x", "--quick", "y"]), None));
+        assert!(!quick_mode_from(strings(&["--", "notquick"]), None));
+    }
+
+    #[test]
+    fn quick_env_is_fallback() {
+        assert!(quick_mode_from(strings(&[]), Some("1".into())));
+        assert!(!quick_mode_from(strings(&[]), Some("0".into())));
+        assert!(!quick_mode_from(strings(&[]), Some("".into())));
+        assert!(!quick_mode_from(strings(&[]), None));
+        // flag still wins regardless of env
+        assert!(quick_mode_from(strings(&["--quick"]), Some("0".into())));
+    }
 
     #[test]
     fn pct_dev_formats() {

@@ -67,9 +67,7 @@ impl Args {
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
         }
     }
 
@@ -156,9 +154,6 @@ mod tests {
         assert!(a.get_parse("size", 0usize).is_err());
         let a = parse("pod --torus 2x2x2");
         assert!(a.get_pair("torus", (1, 1)).is_err());
-        assert!(Args::parse(
-            "s --k 1 --k 2".split_whitespace().map(String::from)
-        )
-        .is_err());
+        assert!(Args::parse("s --k 1 --k 2".split_whitespace().map(String::from)).is_err());
     }
 }

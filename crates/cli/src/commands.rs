@@ -6,8 +6,8 @@ use tpu_ising_bf16::Bf16;
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
 use tpu_ising_core::{
-    cold_plane, onsager, random_plane, run_chain, ChainStats, Color, CompactIsing, ConvIsing,
-    NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
+    cold_plane, onsager, random_plane, run_chain_labeled, ChainStats, Color, CompactIsing,
+    ConvIsing, NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
 };
 use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
@@ -16,11 +16,43 @@ use tpu_ising_device::energy::energy_nj_per_flip;
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
+use tpu_ising_obs as obs;
+
+/// Wire the shared observability flags: `--progress` (heartbeats on
+/// stderr), `--metrics` (counter/gauge summary after the run) and, where a
+/// command supports it, `--trace-out <path>` implies metrics too.
+fn init_observability(args: &Args, trace_implies_metrics: bool) -> bool {
+    if args.has_flag("progress") {
+        obs::enable_progress(std::time::Duration::from_secs(2));
+    }
+    let want_metrics =
+        args.has_flag("metrics") || (trace_implies_metrics && args.get("trace-out").is_some());
+    if want_metrics {
+        obs::metrics().reset();
+        obs::enable_metrics();
+    }
+    want_metrics
+}
+
+/// Print the flat metrics summary to stdout.
+fn print_metrics() {
+    print!("\nmetrics:\n{}", obs::metrics().snapshot().render());
+}
+
+/// Derive the acceptance-ratio gauge from the flip counters, if present.
+fn finalize_rate_gauges() {
+    let m = obs::metrics();
+    let snap = m.snapshot();
+    let proposals = snap.counter("flip_proposals_total");
+    if proposals > 0 {
+        m.gauge("acceptance_ratio")
+            .set(snap.counter("flips_accepted_total") as f64 / proposals as f64);
+    }
+}
 
 fn temperature(args: &Args) -> Result<f64, ArgError> {
     if let Some(t) = args.get("temp") {
-        t.parse::<f64>()
-            .map_err(|_| ArgError(format!("invalid --temp '{t}'")))
+        t.parse::<f64>().map_err(|_| ArgError(format!("invalid --temp '{t}'")))
     } else {
         Ok(args.get_parse("t-over-tc", 0.95f64)? * T_CRITICAL)
     }
@@ -48,9 +80,19 @@ fn print_stats(t: f64, l: usize, stats: &ChainStats, json: bool) {
         );
     } else {
         println!("L = {l}, T = {t:.4} (T/Tc = {:.4}), {} samples", t / T_CRITICAL, stats.samples);
-        println!("  ⟨|m|⟩ = {:.4} ± {:.4}   (Onsager: {:.4})", stats.mean_abs_m, stats.err_abs_m, onsager::magnetization(t));
+        println!(
+            "  ⟨|m|⟩ = {:.4} ± {:.4}   (Onsager: {:.4})",
+            stats.mean_abs_m,
+            stats.err_abs_m,
+            onsager::magnetization(t)
+        );
         println!("  U4    = {:.4}", stats.binder);
-        println!("  ⟨E⟩/N = {:.4} ± {:.4}   (Onsager: {:.4})", stats.mean_energy, stats.err_energy, onsager::energy_per_site(t));
+        println!(
+            "  ⟨E⟩/N = {:.4} ± {:.4}   (Onsager: {:.4})",
+            stats.mean_energy,
+            stats.err_energy,
+            onsager::energy_per_site(t)
+        );
         println!("  χ     = {:.4}", stats.susceptibility(beta, l * l));
         println!("  c     = {:.4}", stats.specific_heat(beta, l * l));
     }
@@ -69,6 +111,8 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     let json = args.has_flag("json");
     let cold = args.has_flag("cold") || t < T_CRITICAL;
     let tile = (l / 4).clamp(2, 16);
+    let want_metrics = init_observability(args, false);
+    let label = format!("simulate {algo} L={l}");
 
     macro_rules! run_generic {
         ($S:ty) => {{
@@ -76,23 +120,27 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
             let stats = match algo {
                 "compact" => {
                     let mut s = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
-                    run_chain(&mut s, burn, sweeps)
+                    run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "naive" => {
                     let mut s = NaiveIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
-                    run_chain(&mut s, burn, sweeps)
+                    run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "conv" => {
                     let mut s = ConvIsing::new(init, beta, Randomness::bulk(seed));
-                    run_chain(&mut s, burn, sweeps)
+                    run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "wolff" => {
                     let mut s = WolffIsing::new(init, beta, Randomness::bulk(seed));
-                    run_chain(&mut s, burn, sweeps)
+                    run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 other => return Err(ArgError(format!("unknown --algo '{other}' for this dtype"))),
             };
             print_stats(t, l, &stats, json);
+            if want_metrics {
+                finalize_rate_gauges();
+                print_metrics();
+            }
             Ok(())
         }};
     }
@@ -101,8 +149,12 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
         ("gpu", "f32") => {
             let init = if cold { cold_plane(l, l) } else { random_plane(seed, l, l) };
             let mut s = GpuStyleIsing::new(init, beta, Randomness::bulk(seed));
-            let stats = run_chain(&mut s, burn, sweeps);
+            let stats = run_chain_labeled(&mut s, burn, sweeps, &label);
             print_stats(t, l, &stats, json);
+            if want_metrics {
+                finalize_rate_gauges();
+                print_metrics();
+            }
             Ok(())
         }
         ("multispin", _) => {
@@ -142,6 +194,7 @@ pub fn scan(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("need --points ≥ 2 and --from < --to".into()));
     }
 
+    init_observability(args, false);
     let temps: Vec<f64> = (0..points)
         .map(|i| (from + (to - from) * i as f64 / (points - 1) as f64) * T_CRITICAL)
         .collect();
@@ -155,8 +208,10 @@ pub fn scan(args: &Args) -> Result<(), ArgError> {
             } else {
                 random_plane::<f32>(l as u64, l, l)
             };
-            let mut sim = CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64 * 31));
-            let stats = run_chain(&mut sim, burn, sweeps);
+            let mut sim =
+                CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64 * 31));
+            let label = format!("scan L={l} T/Tc={:.3}", t / T_CRITICAL);
+            let stats = run_chain_labeled(&mut sim, burn, sweeps, &label);
             values.push(stats.binder);
         }
         if !json {
@@ -196,6 +251,12 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     let sweeps: usize = args.get_parse("sweeps", 50usize)?;
     let seed: u64 = args.get_parse("seed", 7u64)?;
     let tile = (h.min(w) / 4).clamp(1, 16);
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let want_metrics = init_observability(args, true);
+    if trace_out.is_some() {
+        obs::reset();
+        obs::enable_tracing();
+    }
     let cfg = PodConfig {
         torus: Torus::new(nx, ny),
         per_core_h: h,
@@ -214,12 +275,68 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     let t0 = std::time::Instant::now();
     let result = run_pod::<f32>(&cfg, sweeps);
     let dt = t0.elapsed().as_secs_f64();
+    obs::disable();
     let n = cfg.sites() as f64;
     println!(
         "done in {dt:.2} s ({:.2} Msites/s); final |m| = {:.4}",
         n * sweeps as f64 / dt / 1e6,
         result.magnetization_sums.last().unwrap().abs() / n
     );
+
+    if want_metrics {
+        let m = obs::metrics();
+        m.gauge("sweeps_per_s").set(sweeps as f64 / dt);
+        m.gauge("spin_flips_per_s").set(m.snapshot().counter("flips_accepted_total") as f64 / dt);
+        finalize_rate_gauges();
+        print_metrics();
+    }
+
+    if let Some(path) = trace_out {
+        let snap = obs::snapshot();
+
+        // Per-core communication fraction, measured from the real SPMD
+        // threads (the §5.2 observation: cp is a tiny share of the step).
+        println!("\nper-core measured breakdown (kinded spans only):");
+        for (name, b) in snap.per_track_breakdown() {
+            let (mxu, vpu, fmt, cp) = b.percentages();
+            println!(
+                "  {name:<16} MXU {mxu:5.1}%  VPU {vpu:5.1}%  fmt {fmt:5.1}%  cp {cp:6.3}%  (comm fraction {:.3})",
+                b.comm_fraction()
+            );
+        }
+
+        // Aggregate measured view next to the modeled Table-3 view for the
+        // same per-core geometry, sharing one TraceBreakdown shape.
+        let measured = snap.breakdown();
+        let modeled = step_time(
+            &TpuV3Params::v3(),
+            &StepConfig {
+                per_core_h: h,
+                per_core_w: w,
+                dtype_bytes: 4,
+                variant: Variant::Compact,
+                mode: if nx * ny <= 1 {
+                    ExecutionMode::SingleCore
+                } else {
+                    ExecutionMode::Distributed { cores: nx * ny }
+                },
+            },
+        );
+        let (mm, mv, mf, mc) = measured.percentages();
+        let (dm, dv, df, dc) = modeled.percentages();
+        println!("\nbreakdown, measured CPU threads vs modeled TPU v3 (same geometry):");
+        println!("  measured  MXU {mm:5.1}%  VPU {mv:5.1}%  fmt {mf:5.1}%  cp {mc:6.3}%");
+        println!("  modeled   MXU {dm:5.1}%  VPU {dv:5.1}%  fmt {df:5.1}%  cp {dc:6.3}%");
+
+        let json = obs::chrome_trace_json(&snap, "tpu-ising pod");
+        std::fs::write(&path, json)
+            .map_err(|e| ArgError(format!("cannot write --trace-out {path}: {e}")))?;
+        println!(
+            "\n[chrome trace written to {path}: {} spans on {} core tracks — open in chrome://tracing or https://ui.perfetto.dev]",
+            snap.spans.len(),
+            snap.tracks.len()
+        );
+    }
     Ok(())
 }
 
@@ -254,7 +371,10 @@ pub fn model(args: &Args) -> Result<(), ArgError> {
     let f = throughput_flips_per_ns(&p, &cfg);
     let (mxu, vpu, fmt, cp) = bd.percentages();
     let r = roofline(&p, &cfg);
-    println!("config: {cores} core(s), per-core [{h}x128, {w}x128], {variant:?}, {} B/spin", dtype_bytes);
+    println!(
+        "config: {cores} core(s), per-core [{h}x128, {w}x128], {variant:?}, {} B/spin",
+        dtype_bytes
+    );
     println!("  step time    : {:.2} ms", bd.total() * 1e3);
     println!("  throughput   : {f:.2} flips/ns  ({:.4} per core)", f / cores as f64);
     println!("  energy       : {:.4} nJ/flip", energy_nj_per_flip(p.power_w * cores as f64, f));
@@ -287,7 +407,11 @@ pub fn anneal(args: &Args) -> Result<(), ArgError> {
     let greedy = greedy_quench::<f32>(inst.clone(), l, l, budget, seed);
     let t0 = std::time::Instant::now();
     let result = anneal::<f32>(inst, l, l, schedule, seed);
-    println!("annealed best energy : {:.1}  ({:.2} s)", result.best_energy, t0.elapsed().as_secs_f64());
+    println!(
+        "annealed best energy : {:.1}  ({:.2} s)",
+        result.best_energy,
+        t0.elapsed().as_secs_f64()
+    );
     println!("greedy quench energy : {greedy:.1}  (same sweep budget)");
     println!(
         "per-site             : annealed {:.4}, greedy {:.4}",

@@ -24,13 +24,17 @@ COMMANDS:
              --size N (64)  --t-over-tc X (0.95) | --temp T
              --algo compact|naive|conv|gpu|wolff|multispin (compact)
              --dtype f32|bf16 (f32)  --burn N (500)  --sweeps N (2000)
-             --seed S (42)  --cold  --json
+             --seed S (42)  --cold  --json  --metrics  --progress
   scan       Binder-cumulant temperature scan + Tc estimate
              --sizes A,B,.. (16,32)  --from X (0.92)  --to X (1.08)
              --points N (9)  --burn N (400)  --sweeps N (1600)  --json
+             --progress
   pod        distributed SPMD run on a thread-per-core mesh
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
-             --sweeps N (50)  --seed S (7)  --site-keyed
+             --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
+             --trace-out PATH   write a Chrome trace (one track per core,
+                                open in chrome://tracing or Perfetto) and
+                                print measured vs modeled breakdowns
   model      modeled TPU v3 step time / throughput / roofline for a config
              --cores N (2)  --per-core HxW, in 128-spin units (896x448)
              --variant compact|naive|conv (compact)  --dtype f32|bf16 (bf16)

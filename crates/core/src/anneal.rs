@@ -243,12 +243,8 @@ mod tests {
             2,
         );
         // recompute the energy of the reported best plane
-        let check = HeterogeneousIsing::new(
-            result.best_plane.clone(),
-            inst,
-            1.0,
-            Randomness::bulk(0),
-        );
+        let check =
+            HeterogeneousIsing::new(result.best_plane.clone(), inst, 1.0, Randomness::bulk(0));
         assert_eq!(check.energy(), result.best_energy);
     }
 }

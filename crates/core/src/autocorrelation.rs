@@ -103,10 +103,7 @@ mod tests {
             let v = ar1(200_000, phi, 3);
             let tau = integrated_autocorrelation_time(&v);
             let exact = (1.0 + phi) / (2.0 * (1.0 - phi));
-            assert!(
-                (tau - exact).abs() / exact < 0.15,
-                "φ={phi}: τ = {tau} vs exact {exact}"
-            );
+            assert!((tau - exact).abs() / exact < 0.15, "φ={phi}: τ = {tau} vs exact {exact}");
         }
     }
 

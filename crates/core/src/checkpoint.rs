@@ -99,9 +99,8 @@ pub fn restore<S: Scalar + RandomUniform>(
     if ckpt.spins.iter().any(|&s| s != 1.0 && s != -1.0) {
         return Err(RestoreError("corrupt spin values (not ±1)".into()));
     }
-    let plane = Plane::from_fn(ckpt.height, ckpt.width, |r, c| {
-        S::from_f32(ckpt.spins[r * ckpt.width + c])
-    });
+    let plane =
+        Plane::from_fn(ckpt.height, ckpt.width, |r, c| S::from_f32(ckpt.spins[r * ckpt.width + c]));
     let rng = Randomness::from_state(ckpt.rng);
     let mut sim =
         CompactIsing::from_plane_at(&plane, ckpt.tile, ckpt.beta, rng, ckpt.row0, ckpt.col0);

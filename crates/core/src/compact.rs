@@ -20,11 +20,14 @@
 //! generated uniform, every matmul output and every flip lands on a spin
 //! of the color being updated — the paper measures it ~3× faster.
 
-use crate::lattice::{grid_boundary_col, grid_boundary_row, splice_halo_col, splice_halo_row, Color};
+use crate::lattice::{
+    grid_boundary_col, grid_boundary_row, splice_halo_col, splice_halo_row, Color,
+};
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::Dir;
+use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
 use tpu_ising_tensor::{bidiag_kernel, Axis, Mat, Plane, Side, Tensor4};
 
@@ -197,6 +200,8 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
     /// (σ̂00 and σ̂11 for black; σ̂01 and σ̂10 for white), fully compensated
     /// with tile and lattice boundaries.
     pub fn neighbor_sums(&self, color: Color, halos: &ColorHalos<S>) -> (Tensor4<S>, Tensor4<S>) {
+        // The bidiagonal-kernel matmuls are the MXU work of the step.
+        let _span = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
         match color {
             Color::Black => {
                 // nn(σ̂00) = σ̂01·K̂ + K̂ᵀ·σ̂10
@@ -256,24 +261,33 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
     /// Fill the acceptance-uniform tensor for the compact sub-lattice with
     /// intra-cell offset `(a, b)` (σ̂ab).
     fn probs(&mut self, color: Color, a: usize, b: usize) -> Tensor4<S> {
+        // Uniform generation maps to the VPU on real hardware.
+        let _span = obs::span!("rng_uniforms", obs::SpanKind::Vpu);
         let [m, n, t, _] = self.q00.shape();
         let mut probs = Tensor4::zeros([m, n, t, t]);
         let (row0, col0, sweep) = (self.row0, self.col0, self.sweep_index);
         self.rng.fill(&mut probs, sweep, color, |b0, b1, r, c| {
-            (
-                (row0 + 2 * (b0 * t + r) + a) as u32,
-                (col0 + 2 * (b1 * t + c) + b) as u32,
-            )
+            ((row0 + 2 * (b0 * t + r) + a) as u32, (col0 + 2 * (b1 * t + c) + b) as u32)
         });
+        if obs::is_metrics() {
+            obs::metrics().counter("rng_draws_total").inc(probs.len() as u64);
+        }
         probs
     }
 
     /// Metropolis-accept flips for one compact sub-lattice given its
     /// neighbor sums and uniforms: `σ ← σ·(1 − 2·[u < exp(−2β·nn·σ)])`.
     fn apply_flips(beta: f64, q: &mut Tensor4<S>, nn: &Tensor4<S>, probs: &Tensor4<S>) {
+        // Elementwise exp/compare/select — VPU work on real hardware.
+        let _span = obs::span!("metropolis_flips", obs::SpanKind::Vpu);
         let m2b = S::from_f32((-2.0 * beta) as f32);
         let ratio = nn.zip_map(q, move |n, s| ((n * s) * m2b).exp());
         let flips = probs.zip_map(&ratio, |u, r| if u < r { S::one() } else { S::zero() });
+        if obs::is_metrics() {
+            let m = obs::metrics();
+            m.counter("flip_proposals_total").inc(flips.len() as u64);
+            m.counter("flips_accepted_total").inc(flips.sum_f64() as u64);
+        }
         *q = q.zip_map(&flips, |s, f| s * (S::one() - (f + f)));
     }
 
@@ -306,10 +320,16 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
 
 impl<S: Scalar + RandomUniform> Sweeper for CompactIsing<S> {
     fn sweep(&mut self) {
-        let halos = self.local_halos(Color::Black);
-        self.update_color(Color::Black, &halos);
-        let halos = self.local_halos(Color::White);
-        self.update_color(Color::White, &halos);
+        {
+            let _g = obs::span!("compact_halfsweep");
+            let halos = self.local_halos(Color::Black);
+            self.update_color(Color::Black, &halos);
+        }
+        {
+            let _g = obs::span!("compact_halfsweep");
+            let halos = self.local_halos(Color::White);
+            self.update_color(Color::White, &halos);
+        }
         self.sweep_index += 1;
     }
 
@@ -425,12 +445,8 @@ mod tests {
 
     #[test]
     fn spins_stay_spins() {
-        let mut c = CompactIsing::from_plane(
-            &random_plane::<f32>(3, 16, 16),
-            4,
-            0.44,
-            Randomness::bulk(2),
-        );
+        let mut c =
+            CompactIsing::from_plane(&random_plane::<f32>(3, 16, 16), 4, 0.44, Randomness::bulk(2));
         for _ in 0..10 {
             c.sweep();
         }
@@ -466,12 +482,8 @@ mod tests {
 
     #[test]
     fn sites_counts_full_lattice() {
-        let c = CompactIsing::from_plane(
-            &random_plane::<f32>(4, 12, 8),
-            2,
-            0.4,
-            Randomness::bulk(0),
-        );
+        let c =
+            CompactIsing::from_plane(&random_plane::<f32>(4, 12, 8), 2, 0.4, Randomness::bulk(0));
         assert_eq!(c.sites(), 96);
     }
 

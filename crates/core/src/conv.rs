@@ -12,6 +12,7 @@ use crate::prob::Randomness;
 use crate::sampler::Sweeper;
 use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
+use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
 use tpu_ising_tensor::Plane;
 
@@ -127,8 +128,14 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
 
 impl<S: Scalar + RandomUniform> Sweeper for ConvIsing<S> {
     fn sweep(&mut self) {
-        self.update_color(Color::Black);
-        self.update_color(Color::White);
+        {
+            let _g = obs::span!("conv_halfsweep");
+            self.update_color(Color::Black);
+        }
+        {
+            let _g = obs::span!("conv_halfsweep");
+            self.update_color(Color::White);
+        }
         self.sweep_index += 1;
     }
 

@@ -169,8 +169,7 @@ impl<S: Scalar + RandomUniform> HeterogeneousIsing<S> {
                 for r in 0..h {
                     for c in 0..w {
                         if (r + c) % 2 == parity {
-                            probs[r * w + c] =
-                                site.uniform(sweep, color.tag(), r as u32, c as u32);
+                            probs[r * w + c] = site.uniform(sweep, color.tag(), r as u32, c as u32);
                         }
                     }
                 }

@@ -17,6 +17,7 @@ use crate::lattice::{random_plane_window, Color};
 use crate::prob::Randomness;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::{run_spmd, MeshHandle, Torus};
+use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
 use tpu_ising_tensor::Plane;
 
@@ -102,6 +103,11 @@ fn core_main<S: Scalar + RandomUniform>(
     sweeps: usize,
 ) -> (Vec<f64>, Plane<S>) {
     let (x, y) = handle.coords();
+    if obs::is_tracing() {
+        // One timeline track per modeled TensorCore (the trace-viewer rows
+        // of paper Fig. 6).
+        obs::register_track(format!("core-{} ({x},{y})", handle.id()));
+    }
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
     // Every core constructs its window of the same global lattice.
@@ -117,7 +123,13 @@ fn core_main<S: Scalar + RandomUniform>(
     let mut mags = Vec::with_capacity(sweeps);
     for _ in 0..sweeps {
         for color in [Color::Black, Color::White] {
-            let halos = exchange_halos(&sim, handle, color);
+            // Wrapper spans (kind-less): the kinded leaves inside them
+            // (collective_permute, neighbor_sums, …) carry the breakdown.
+            let halos = {
+                let _g = obs::span!("halo_exchange");
+                exchange_halos(&sim, handle, color)
+            };
+            let _g = obs::span!("update_color");
             sim.update_color(color, &halos);
         }
         sim.advance_sweep();
@@ -133,6 +145,11 @@ fn exchange_halos<S: Scalar + RandomUniform>(
     color: Color,
 ) -> ColorHalos<S> {
     let [north_spec, south_spec, first_spec, second_spec] = sim.halo_exchange_spec(color);
+    if obs::is_metrics() {
+        let lens =
+            north_spec.0.len() + south_spec.0.len() + first_spec.0.len() + second_spec.0.len();
+        obs::metrics().counter("halo_bytes_total").inc((lens * std::mem::size_of::<S>()) as u64);
+    }
     let north = handle.shift(north_spec.0, north_spec.1);
     let south = handle.shift(south_spec.0, south_spec.1);
     let first_col = handle.shift(first_spec.0, first_spec.1);

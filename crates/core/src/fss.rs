@@ -115,12 +115,7 @@ pub fn binder_tc_estimate(curves: &[SizeCurve]) -> Option<f64> {
 /// With the exact `Tc` and exponents, curves from different `L` collapse
 /// onto one scaling function; with wrong exponents they fan out — so this
 /// doubles as a crude exponent estimator via minimization.
-pub fn collapse_spread(
-    curves: &[SizeCurve],
-    tc: f64,
-    beta_over_nu: f64,
-    one_over_nu: f64,
-) -> f64 {
+pub fn collapse_spread(curves: &[SizeCurve], tc: f64, beta_over_nu: f64, one_over_nu: f64) -> f64 {
     assert!(curves.len() >= 2);
     // rescale
     let rescaled: Vec<(Vec<f64>, Vec<f64>)> = curves
@@ -135,10 +130,7 @@ pub fn collapse_spread(
         .collect();
     // common x-window
     let lo = rescaled.iter().map(|(xs, _)| xs[0]).fold(f64::MIN, f64::max);
-    let hi = rescaled
-        .iter()
-        .map(|(xs, _)| *xs.last().unwrap())
-        .fold(f64::MAX, f64::min);
+    let hi = rescaled.iter().map(|(xs, _)| *xs.last().unwrap()).fold(f64::MAX, f64::min);
     if lo >= hi {
         return f64::INFINITY;
     }
@@ -218,8 +210,7 @@ mod tests {
         // synthetic magnetization obeying the scaling form exactly:
         // m = L^{−β/ν} · f((T−Tc)/Tc · L^{1/ν}) with f = exp(−x)
         let mk = |l: usize| {
-            let temps: Vec<f64> =
-                (0..15).map(|i| T_CRITICAL * (0.96 + 0.005 * i as f64)).collect();
+            let temps: Vec<f64> = (0..15).map(|i| T_CRITICAL * (0.96 + 0.005 * i as f64)).collect();
             let values = temps
                 .iter()
                 .map(|&t| {

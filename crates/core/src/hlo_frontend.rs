@@ -161,10 +161,7 @@ pub fn build_conv_color_step(
             }
         }
     }
-    let mask = g.constant(
-        tpu_ising_hlo::Literal { dims: [m, n, t, t], data: mask_data },
-        dtype,
-    );
+    let mask = g.constant(tpu_ising_hlo::Literal { dims: [m, n, t, t], data: mask_data }, dtype);
     let flips = g.mul(accept, mask);
     let two_flips = g.add(flips, flips);
     let delta = g.mul(two_flips, sigma);
@@ -184,12 +181,7 @@ mod tests {
 
     fn quarters(plane: &Plane<f32>, t: usize) -> [Tensor4<f32>; 4] {
         let parts = plane.deinterleave();
-        [
-            parts[0].to_tiles(t),
-            parts[1].to_tiles(t),
-            parts[2].to_tiles(t),
-            parts[3].to_tiles(t),
-        ]
+        [parts[0].to_tiles(t), parts[1].to_tiles(t), parts[2].to_tiles(t), parts[3].to_tiles(t)]
     }
 
     #[test]
@@ -205,7 +197,8 @@ mod tests {
         direct.update_color(Color::Black, &halos);
 
         // Graph-built step fed the same stream.
-        let built = build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::Black, Dtype::F32);
+        let built =
+            build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::Black, Dtype::F32);
         let [p00, p01, p10, p11] = quarters(&init, t);
         let mut stream = PhiloxStream::from_seed(seed);
         let out = tpu_ising_hlo::evaluate(
@@ -231,11 +224,16 @@ mod tests {
         let mut direct = CompactIsing::from_plane(&init, t, beta, Randomness::bulk(seed));
         let halos = direct.local_halos(Color::White);
         direct.update_color(Color::White, &halos);
-        let built = build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::White, Dtype::F32);
+        let built =
+            build_compact_color_step(h / (2 * t), w / (2 * t), t, beta, Color::White, Dtype::F32);
         let [p00, p01, p10, p11] = quarters(&init, t);
         let mut stream = PhiloxStream::from_seed(seed);
-        let out =
-            tpu_ising_hlo::evaluate(&built.graph, &[p00, p01, p10, p11], &mut stream, &built.outputs);
+        let out = tpu_ising_hlo::evaluate(
+            &built.graph,
+            &[p00, p01, p10, p11],
+            &mut stream,
+            &built.outputs,
+        );
         let direct_plane = direct.to_plane();
         let [_, d01, d10, _] = quarters(&direct_plane, t);
         assert_eq!(out[0], d01, "σ̂01 after white update");
@@ -272,8 +270,7 @@ mod tests {
         let beta = 1.0 / crate::T_CRITICAL;
         let seed = 555;
         let init = random_plane::<f32>(9, h, w);
-        let mut naive =
-            NaiveIsing::from_plane(&init, t, beta, crate::prob::Randomness::bulk(seed));
+        let mut naive = NaiveIsing::from_plane(&init, t, beta, crate::prob::Randomness::bulk(seed));
         naive.update_color(Color::Black);
 
         let built = build_conv_color_step(h / t, w / t, t, beta, Color::Black, Dtype::F32);
@@ -295,7 +292,8 @@ mod tests {
         let init = random_plane::<f32>(4, 8, 8);
         let mut s1 = PhiloxStream::from_seed(3);
         let mut s2 = PhiloxStream::from_seed(3);
-        let a = tpu_ising_hlo::evaluate(&built.graph, &[init.to_tiles(4)], &mut s1, &[built.output]);
+        let a =
+            tpu_ising_hlo::evaluate(&built.graph, &[init.to_tiles(4)], &mut s1, &[built.output]);
         let b = tpu_ising_hlo::evaluate(&g2, &[init.to_tiles(4)], &mut s2, &roots);
         assert_eq!(a, b);
     }

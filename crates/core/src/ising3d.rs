@@ -50,15 +50,7 @@ impl<S: Scalar + RandomUniform> Ising3D<S> {
 
     /// A cold-start (all up) cubic lattice.
     pub fn cold(nx: usize, ny: usize, nz: usize, beta: f64, rng: Randomness) -> Self {
-        Ising3D {
-            spins: vec![S::one(); nx * ny * nz],
-            nx,
-            ny,
-            nz,
-            beta,
-            rng,
-            sweep_index: 0,
-        }
+        Ising3D { spins: vec![S::one(); nx * ny * nz], nx, ny, nz, beta, rng, sweep_index: 0 }
     }
 
     /// Lattice dimensions `(nx, ny, nz)`.
@@ -107,9 +99,7 @@ impl<S: Scalar + RandomUniform> Ising3D<S> {
             Randomness::Bulk(stream) => Some(
                 (0..nz * ny)
                     .map(|row| {
-                        stream.split(
-                            (sweep * 2 + parity as u64) * (nz * ny) as u64 + row as u64,
-                        )
+                        stream.split((sweep * 2 + parity as u64) * (nz * ny) as u64 + row as u64)
                     })
                     .collect(),
             ),
@@ -239,8 +229,7 @@ mod tests {
     #[test]
     fn orders_below_tc_disorders_above() {
         // T = 3.5 < Tc(3D) ≈ 4.51 < T = 6.0
-        let mut low =
-            Ising3D::<f32>::cold(8, 8, 8, 1.0 / 3.5, Randomness::bulk(3));
+        let mut low = Ising3D::<f32>::cold(8, 8, 8, 1.0 / 3.5, Randomness::bulk(3));
         let stats = run_chain(&mut low, 100, 400);
         assert!(stats.mean_abs_m > 0.75, "low-T ⟨|m|⟩ = {}", stats.mean_abs_m);
 

@@ -61,7 +61,7 @@ pub use naive::NaiveIsing;
 pub use observables::onsager;
 pub use prob::Randomness;
 pub use reference::ReferenceIsing;
-pub use sampler::{run_chain, ChainStats, Sweeper};
+pub use sampler::{run_chain, run_chain_labeled, ChainStats, Sweeper};
 pub use wolff::WolffIsing;
 
 pub use tpu_ising_bf16::{Bf16, Scalar};

@@ -13,6 +13,7 @@ use crate::lattice::Color;
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
 use tpu_ising_bf16::Scalar;
+use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
 use tpu_ising_tensor::{band_kernel, Axis, Mat, Plane, Side, Tensor4};
 
@@ -43,14 +44,7 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
                 S::zero()
             }
         });
-        NaiveIsing {
-            grid,
-            k: band_kernel::<S>(tile),
-            mask_black,
-            beta,
-            rng,
-            sweep_index: 0,
-        }
+        NaiveIsing { grid, k: band_kernel::<S>(tile), mask_black, beta, rng, sweep_index: 0 }
     }
 
     /// Reassemble the full lattice.
@@ -116,8 +110,14 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
 
 impl<S: Scalar + RandomUniform> Sweeper for NaiveIsing<S> {
     fn sweep(&mut self) {
-        self.update_color(Color::Black);
-        self.update_color(Color::White);
+        {
+            let _g = obs::span!("naive_halfsweep");
+            self.update_color(Color::Black);
+        }
+        {
+            let _g = obs::span!("naive_halfsweep");
+            self.update_color(Color::White);
+        }
         self.sweep_index += 1;
     }
 

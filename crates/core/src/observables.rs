@@ -257,7 +257,9 @@ mod tests {
         // K(0) = π/2
         assert!((onsager::elliptic_k(0.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         // K(1/√2) ≈ 1.8540746773
-        assert!((onsager::elliptic_k(std::f64::consts::FRAC_1_SQRT_2) - 1.854_074_677_3).abs() < 1e-9);
+        assert!(
+            (onsager::elliptic_k(std::f64::consts::FRAC_1_SQRT_2) - 1.854_074_677_3).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -295,8 +297,8 @@ mod tests {
         assert!((s.binder - (1.0 - 0.0625 / (3.0 * 0.0625))).abs() < 1e-12);
         assert!((s.mean_energy + 1.5).abs() < 1e-12);
         assert!(s.err_energy < 1e-12); // constant series has zero error
-        // fluctuations: |m| constant ⇒ var_m = ⟨m²⟩ − ⟨|m|⟩² = 0; energy
-        // constant ⇒ var_e = 0
+                                       // fluctuations: |m| constant ⇒ var_m = ⟨m²⟩ − ⟨|m|⟩² = 0; energy
+                                       // constant ⇒ var_e = 0
         assert!(s.var_m.abs() < 1e-12);
         assert!(s.var_e.abs() < 1e-12);
         assert_eq!(s.susceptibility(0.5, 100), 0.0);
@@ -326,7 +328,8 @@ mod tests {
     #[test]
     fn binned_error_scales_with_noise() {
         // deterministic pseudo-noise
-        let noisy: Vec<f64> = (0..1024).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+        let noisy: Vec<f64> =
+            (0..1024).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
         let flat = vec![5.0; 1024];
         assert!(binned_error(&noisy) > binned_error(&flat));
         assert!(binned_error(&[1.0, 2.0]).is_nan());

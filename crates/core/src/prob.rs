@@ -71,12 +71,12 @@ impl Randomness {
     pub fn from_state(state: RngState) -> Randomness {
         use tpu_ising_rng::Philox4x32Key;
         match state {
-            RngState::Bulk { k0, k1, counter_lo, counter_hi } => Randomness::Bulk(
-                PhiloxStream::from_state(
+            RngState::Bulk { k0, k1, counter_lo, counter_hi } => {
+                Randomness::Bulk(PhiloxStream::from_state(
                     Philox4x32Key::new(k0, k1),
                     (counter_hi as u128) << 64 | counter_lo as u128,
-                ),
-            ),
+                ))
+            }
             RngState::SiteKeyed { k0, k1 } => {
                 Randomness::SiteKeyed(SiteRng::from_key(Philox4x32Key::new(k0, k1)))
             }
@@ -158,9 +158,7 @@ mod tests {
         a.fill(&mut t1, 3, Color::White, |_, _, r, c| (r as u32, c as u32));
         // same lattice as 2×2 grid of 2×2 tiles
         let mut t2 = Tensor4::<f32>::zeros([2, 2, 2, 2]);
-        b.fill(&mut t2, 3, Color::White, |b0, b1, r, c| {
-            ((b0 * 2 + r) as u32, (b1 * 2 + c) as u32)
-        });
+        b.fill(&mut t2, 3, Color::White, |b0, b1, r, c| ((b0 * 2 + r) as u32, (b1 * 2 + c) as u32));
         for gr in 0..4 {
             for gc in 0..4 {
                 assert_eq!(

@@ -133,8 +133,7 @@ mod tests {
         let m = cold.magnetization_sum() / 256.0;
         assert!(m > 0.9, "low-T magnetization {m}");
 
-        let mut hot =
-            ReferenceIsing::new(random_plane::<f32>(6, 16, 16), 0.2, Randomness::bulk(6));
+        let mut hot = ReferenceIsing::new(random_plane::<f32>(6, 16, 16), 0.2, Randomness::bulk(6));
         let mut acc = 0.0;
         for _ in 0..50 {
             hot.sweep();
@@ -158,8 +157,7 @@ mod tests {
 
     #[test]
     fn sweeps_preserve_spin_values() {
-        let mut r =
-            ReferenceIsing::new(random_plane::<f32>(9, 12, 12), 0.44, Randomness::bulk(7));
+        let mut r = ReferenceIsing::new(random_plane::<f32>(9, 12, 12), 0.44, Randomness::bulk(7));
         for _ in 0..5 {
             r.sweep();
         }

@@ -1,6 +1,7 @@
 //! The Markov-chain driver: burn-in, sampling, summary statistics.
 
 use crate::observables::{Accumulator, Stats};
+use tpu_ising_obs as obs;
 
 /// Anything that can advance the Markov chain by one full sweep
 /// (black update + white update) and report extensive observables.
@@ -23,14 +24,39 @@ pub type ChainStats = Stats;
 /// ("a Markov Chain of 1,000,000 samples ... the first 100,000 discarded
 /// for burn-in").
 pub fn run_chain<W: Sweeper>(sweeper: &mut W, burn_in: usize, samples: usize) -> ChainStats {
+    run_chain_labeled(sweeper, burn_in, samples, "chain")
+}
+
+/// [`run_chain`] with a label used for progress heartbeats (e.g.
+/// `"fig4 L=64 T=2.27"`). Emits one heartbeat tick per sweep and counts
+/// sweeps into the `sweeps_total` metric when metrics are enabled.
+pub fn run_chain_labeled<W: Sweeper>(
+    sweeper: &mut W,
+    burn_in: usize,
+    samples: usize,
+    label: &str,
+) -> ChainStats {
     let n = sweeper.sites() as f64;
-    for _ in 0..burn_in {
-        sweeper.sweep();
+    let mut hb = obs::Heartbeat::new(label, (burn_in + samples) as u64);
+    {
+        let _g = obs::span!("burn_in");
+        for _ in 0..burn_in {
+            sweeper.sweep();
+            hb.tick();
+        }
     }
     let mut acc = Accumulator::new();
-    for _ in 0..samples {
-        sweeper.sweep();
-        acc.push(sweeper.magnetization_sum() / n, sweeper.energy_sum() / n);
+    {
+        let _g = obs::span!("measure");
+        for _ in 0..samples {
+            sweeper.sweep();
+            acc.push(sweeper.magnetization_sum() / n, sweeper.energy_sum() / n);
+            hb.tick();
+        }
+    }
+    hb.finish();
+    if obs::is_metrics() {
+        obs::metrics().counter("sweeps_total").inc((burn_in + samples) as u64);
     }
     acc.finalize()
 }

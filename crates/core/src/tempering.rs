@@ -27,14 +27,7 @@ pub struct Tempering<S> {
 impl<S: Scalar + RandomUniform> Tempering<S> {
     /// Build an ensemble on an `l × l` lattice with a geometric temperature
     /// ladder from `t_min` to `t_max` (inclusive) and `replicas` rungs.
-    pub fn new(
-        l: usize,
-        tile: usize,
-        t_min: f64,
-        t_max: f64,
-        replicas: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(l: usize, tile: usize, t_min: f64, t_max: f64, replicas: usize, seed: u64) -> Self {
         assert!(replicas >= 2, "tempering needs at least two rungs");
         assert!(t_min < t_max);
         let betas: Vec<f64> = (0..replicas)

@@ -135,10 +135,7 @@ mod tests {
             sim.sweep();
         }
         let (clusters_after, largest_after) = domain_stats(&sim.to_plane());
-        assert!(
-            clusters_after < clusters_before / 2,
-            "{clusters_before} → {clusters_after}"
-        );
+        assert!(clusters_after < clusters_before / 2, "{clusters_before} → {clusters_after}");
         assert!(largest_after > 512, "largest domain {largest_after}");
     }
 }

@@ -87,12 +87,8 @@ impl<S: Scalar + RandomUniform> WolffIsing<S> {
             let s = self.plane.get(r, c);
             self.plane.set(r, c, -s);
             size += 1;
-            let neighbors = [
-                ((r + h - 1) % h, c),
-                ((r + 1) % h, c),
-                (r, (c + w - 1) % w),
-                (r, (c + 1) % w),
-            ];
+            let neighbors =
+                [((r + h - 1) % h, c), ((r + 1) % h, c), (r, (c + w - 1) % w), (r, (c + 1) % w)];
             for (nr, nc) in neighbors {
                 let idx = nr * w + nc;
                 if !self.visited[idx]
@@ -160,7 +156,8 @@ mod tests {
     #[test]
     fn large_beta_flips_whole_aligned_lattice() {
         // from the all-up state at huge β, the cluster is the whole lattice
-        let mut w = WolffIsing::new(crate::lattice::cold_plane::<f32>(8, 8), 10.0, Randomness::bulk(3));
+        let mut w =
+            WolffIsing::new(crate::lattice::cold_plane::<f32>(8, 8), 10.0, Randomness::bulk(3));
         assert_eq!(w.cluster_step(), 64);
         // the lattice is now all-down; flipping again restores it
         assert_eq!(w.magnetization_sum(), -64.0);

@@ -10,6 +10,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use tpu_ising_obs as obs;
 
 /// A 2-D torus of `nx × ny` cores, each identified by `id = x * ny + y`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +131,10 @@ impl<T: Send> MeshHandle<T> {
     /// Each core must appear at most once as source and once as destination
     /// (XLA's precondition).
     pub fn collective_permute(&mut self, data: T, pairs: &[(usize, usize)]) -> Option<T> {
+        let _span = obs::span!("collective_permute", obs::SpanKind::CollectivePermute);
+        if obs::is_metrics() {
+            obs::metrics().counter("collectives_total").inc(1);
+        }
         let seq = self.seq;
         self.seq += 1;
         let mut expect_from = None;
@@ -166,8 +171,7 @@ impl<T: Send> MeshHandle<T> {
     /// Shift a tensor one mesh step in `dir`; every core sends and receives.
     pub fn shift(&mut self, data: T, dir: Dir) -> T {
         let pairs = self.torus.shift_pairs(dir);
-        self.collective_permute(data, &pairs)
-            .expect("full-shift permute always delivers")
+        self.collective_permute(data, &pairs).expect("full-shift permute always delivers")
     }
 
     /// XLA `AllToAll`: core `i` provides one chunk per core; afterwards
@@ -189,8 +193,7 @@ impl<T: Send> MeshHandle<T> {
         for k in 1..p {
             // rotation by k: every core sends the chunk destined for core
             // (id + k) directly to it.
-            let pairs: Vec<(usize, usize)> =
-                (0..p).map(|src| (src, (src + k) % p)).collect();
+            let pairs: Vec<(usize, usize)> = (0..p).map(|src| (src, (src + k) % p)).collect();
             let dst = (self.id + k) % p;
             let src = (self.id + p - k) % p;
             let received = self
@@ -237,10 +240,7 @@ where
 
     let f = &f;
     crossbeam::thread::scope(|scope| {
-        let joins: Vec<_> = handles
-            .drain(..)
-            .map(|h| scope.spawn(move |_| f(h)))
-            .collect();
+        let joins: Vec<_> = handles.drain(..).map(|h| scope.spawn(move |_| f(h))).collect();
         joins.into_iter().map(|j| j.join().expect("SPMD core panicked")).collect()
     })
     .expect("SPMD scope panicked")
@@ -359,11 +359,10 @@ mod tests {
         // (i, j) at position i — the distributed matrix transpose.
         let t = Torus::new(2, 3);
         let p = t.cores();
-        let results: Vec<Vec<(usize, usize)>> =
-            run_spmd(t, |mut h: MeshHandle<(usize, usize)>| {
-                let chunks: Vec<(usize, usize)> = (0..p).map(|j| (h.id(), j)).collect();
-                h.all_to_all(chunks)
-            });
+        let results: Vec<Vec<(usize, usize)>> = run_spmd(t, |mut h: MeshHandle<(usize, usize)>| {
+            let chunks: Vec<(usize, usize)> = (0..p).map(|j| (h.id(), j)).collect();
+            h.all_to_all(chunks)
+        });
         for (j, row) in results.iter().enumerate() {
             for (i, &cell) in row.iter().enumerate() {
                 assert_eq!(cell, (i, j), "core {j}, slot {i}");
@@ -374,8 +373,7 @@ mod tests {
     #[test]
     fn all_to_all_on_single_core_is_identity() {
         let t = Torus::new(1, 1);
-        let got: Vec<Vec<u8>> =
-            run_spmd(t, |mut h: MeshHandle<u8>| h.all_to_all(vec![42]));
+        let got: Vec<Vec<u8>> = run_spmd(t, |mut h: MeshHandle<u8>| h.all_to_all(vec![42]));
         assert_eq!(got, vec![vec![42]]);
     }
 

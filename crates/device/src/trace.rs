@@ -8,20 +8,10 @@
 use parking_lot::Mutex;
 use serde::Serialize;
 
-/// The hardware-unit classes the TPU profiler groups ops into.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
-pub enum SpanKind {
-    /// Matrix-unit work (matmul, conv).
-    Mxu,
-    /// Vector-unit work (RNG, element-wise math).
-    Vpu,
-    /// Data formatting: reshape, slice, transpose, concat, pad, copy.
-    Format,
-    /// Inter-core collectives.
-    CollectivePermute,
-    /// Host-side / infeed work (not part of the step time).
-    Host,
-}
+// The span taxonomy and breakdown shape are shared with the *measured*
+// observability layer (`tpu-ising-obs`), so modeled and measured Table-3
+// views aggregate into the same types.
+pub use tpu_ising_obs::{SpanKind, TraceBreakdown};
 
 /// One recorded span.
 #[derive(Clone, Debug, Serialize)]
@@ -38,43 +28,6 @@ pub struct Span {
 #[derive(Default)]
 pub struct Trace {
     spans: Mutex<Vec<Span>>,
-}
-
-/// Aggregated per-class totals, in seconds and percent.
-#[derive(Clone, Debug, Default, Serialize)]
-pub struct TraceBreakdown {
-    /// MXU seconds.
-    pub mxu: f64,
-    /// VPU seconds.
-    pub vpu: f64,
-    /// Data-formatting seconds.
-    pub format: f64,
-    /// Collective-permute seconds.
-    pub collective_permute: f64,
-    /// Host seconds (excluded from percentages, as the profiler excludes
-    /// host work from device step time).
-    pub host: f64,
-}
-
-impl TraceBreakdown {
-    /// Device step time (host excluded).
-    pub fn step_seconds(&self) -> f64 {
-        self.mxu + self.vpu + self.format + self.collective_permute
-    }
-
-    /// Percentage shares `(mxu, vpu, format, cp)` of the device step.
-    pub fn percentages(&self) -> (f64, f64, f64, f64) {
-        let t = self.step_seconds();
-        if t == 0.0 {
-            return (0.0, 0.0, 0.0, 0.0);
-        }
-        (
-            self.mxu / t * 100.0,
-            self.vpu / t * 100.0,
-            self.format / t * 100.0,
-            self.collective_permute / t * 100.0,
-        )
-    }
 }
 
 impl Trace {
@@ -107,13 +60,7 @@ impl Trace {
     pub fn breakdown(&self) -> TraceBreakdown {
         let mut b = TraceBreakdown::default();
         for s in self.spans.lock().iter() {
-            match s.kind {
-                SpanKind::Mxu => b.mxu += s.seconds,
-                SpanKind::Vpu => b.vpu += s.seconds,
-                SpanKind::Format => b.format += s.seconds,
-                SpanKind::CollectivePermute => b.collective_permute += s.seconds,
-                SpanKind::Host => b.host += s.seconds,
-            }
+            b.add(s.kind, s.seconds);
         }
         b
     }

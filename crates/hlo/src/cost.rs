@@ -37,9 +37,7 @@ pub fn analyze(graph: &Graph, roots: &[Id], cores: usize) -> Trace {
             // be inputs + final output only.
             let elems: f64 = group
                 .iter()
-                .map(|id| {
-                    graph.shape(*id).elements() as f64 * ew_weight(&graph.node(*id).op)
-                })
+                .map(|id| graph.shape(*id).elements() as f64 * ew_weight(&graph.node(*id).op))
                 .sum();
             let label = if group.len() > 1 {
                 format!("fusion[{}ops]@{}", group.len(), head.0)
@@ -97,11 +95,8 @@ pub fn analyze(graph: &Graph, roots: &[Id], cores: usize) -> Trace {
             Op::Edge(..) | Op::AddEdge { .. } | Op::RollBatch(..) => {
                 // Data formatting: bytes read + written.
                 let out_bytes = node.shape.bytes() as f64;
-                let in_bytes: f64 = graph
-                    .operands(head)
-                    .iter()
-                    .map(|o| graph.shape(*o).bytes() as f64)
-                    .sum();
+                let in_bytes: f64 =
+                    graph.operands(head).iter().map(|o| graph.shape(*o).bytes() as f64).sum();
                 trace.record(
                     SpanKind::Format,
                     format!("format@{}", head.0),
@@ -186,8 +181,8 @@ mod tests {
         let r = g.rng_uniform(big_shape());
         let t = analyze(&g, &[r], 1);
         let bd = t.breakdown();
-        let expect = big_shape().elements() as f64 * calib::RNG_OPS_PER_UNIFORM
-            / calib::VPU_SUSTAINED_ELEMS;
+        let expect =
+            big_shape().elements() as f64 * calib::RNG_OPS_PER_UNIFORM / calib::VPU_SUSTAINED_ELEMS;
         assert!((bd.vpu - expect).abs() / expect < 1e-9);
     }
 

@@ -194,10 +194,7 @@ impl Graph {
 
     /// Embed a constant from a rank-2 matrix as a `[1, 1, r, c]` operand.
     pub fn constant_mat(&mut self, m: &Mat<f32>, dtype: Dtype) -> Id {
-        let lit = Literal {
-            dims: [1, 1, m.rows(), m.cols()],
-            data: m.data().to_vec(),
-        };
+        let lit = Literal { dims: [1, 1, m.rows(), m.cols()], data: m.data().to_vec() };
         let shape = Shape::new(lit.dims, dtype);
         self.push(Op::Constant(lit), shape)
     }
@@ -389,10 +386,7 @@ mod tests {
     fn matmul_left_shape_with_rect_kernel() {
         let mut g = Graph::new();
         let p = g.parameter(Shape::new([1, 1, 4, 6], Dtype::F32));
-        let k = g.constant(
-            Literal { dims: [1, 1, 5, 4], data: vec![0.0; 20] },
-            Dtype::F32,
-        );
+        let k = g.constant(Literal { dims: [1, 1, 5, 4], data: vec![0.0; 20] }, Dtype::F32);
         let o = g.matmul_left(k, p);
         assert_eq!(g.shape(o).dims, [1, 1, 5, 6]);
     }

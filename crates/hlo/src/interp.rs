@@ -29,14 +29,8 @@ pub fn evaluate<S: Scalar + RandomUniform>(
         };
         let v: Tensor4<S> = match &node.op {
             Op::Parameter { index } => {
-                let p = params
-                    .get(*index)
-                    .unwrap_or_else(|| panic!("missing parameter {index}"));
-                assert_eq!(
-                    p.shape(),
-                    node.shape.dims,
-                    "parameter {index} shape mismatch"
-                );
+                let p = params.get(*index).unwrap_or_else(|| panic!("missing parameter {index}"));
+                assert_eq!(p.shape(), node.shape.dims, "parameter {index} shape mismatch");
                 p.clone()
             }
             Op::Constant(lit) => {
@@ -97,10 +91,7 @@ pub fn evaluate<S: Scalar + RandomUniform>(
         assert_eq!(v.shape(), node.shape.dims, "op {idx} produced wrong shape");
         values[idx] = Some(v);
     }
-    outputs
-        .iter()
-        .map(|o| values[o.0].clone().expect("output not computed"))
-        .collect()
+    outputs.iter().map(|o| values[o.0].clone().expect("output not computed")).collect()
 }
 
 #[cfg(test)]

@@ -78,11 +78,8 @@ pub fn const_fold(graph: &Graph, roots: &[Id]) -> (Graph, Vec<Id>) {
     for idx in 0..graph.len() {
         let id = Id(idx);
         let node = graph.node(id);
-        let operand_lits: Option<Vec<&Literal>> = graph
-            .operands(id)
-            .iter()
-            .map(|o| consts.get(&remap[o]))
-            .collect();
+        let operand_lits: Option<Vec<&Literal>> =
+            graph.operands(id).iter().map(|o| consts.get(&remap[o])).collect();
         let folded: Option<Literal> = match (&node.op, operand_lits) {
             (Op::Add(..), Some(l)) => Some(zip_lit(l[0], l[1], |a, b| a + b)),
             (Op::Sub(..), Some(l)) => Some(zip_lit(l[0], l[1], |a, b| a - b)),
@@ -357,11 +354,7 @@ mod tests {
         let out_id = g.matmul_right(p, s);
         let (g2, roots) = const_fold(&g, &[out_id]);
         // neg and mul_scalar disappear into one folded literal
-        let folded_consts = g2
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, Op::Constant(_)))
-            .count();
+        let folded_consts = g2.nodes().iter().filter(|n| matches!(n.op, Op::Constant(_))).count();
         assert!(folded_consts >= 1);
         let n_elementwise = (0..g2.len()).filter(|&i| g2.is_elementwise(Id(i))).count();
         assert_eq!(n_elementwise, 0, "all elementwise ops folded away");
@@ -416,8 +409,7 @@ mod tests {
         let (g2, roots) = cse(&g, &[s]);
         // one constant, one matmul survive
         let consts = g2.nodes().iter().filter(|n| matches!(n.op, Op::Constant(_))).count();
-        let matmuls =
-            g2.nodes().iter().filter(|n| matches!(n.op, Op::MatmulRight(..))).count();
+        let matmuls = g2.nodes().iter().filter(|n| matches!(n.op, Op::MatmulRight(..))).count();
         assert_eq!(consts, 1);
         assert_eq!(matmuls, 1);
         // semantics preserved: add(a, a) == 2a
@@ -450,10 +442,7 @@ mod tests {
         let m1 = g.mul_scalar(nnn, 1.0); // → p
         let m2 = g.mul_scalar(m1, 3.0);
         let m3 = g.mul_scalar(m2, 2.0); // → mul_scalar(p, 6)
-        let zero = g.constant(
-            Literal { dims: [1, 1, 4, 4], data: vec![0.0; 16] },
-            Dtype::F32,
-        );
+        let zero = g.constant(Literal { dims: [1, 1, 4, 4], data: vec![0.0; 16] }, Dtype::F32);
         let added = g.add(m3, zero); // → m3
         let subbed = g.sub(added, zero); // → m3
         let (g2, roots) = algebraic_simplify(&g, &[subbed]);
@@ -484,10 +473,7 @@ mod tests {
     fn simplify_preserves_zero_addition_semantics_on_nonzero_consts() {
         let mut g = Graph::new();
         let p = g.parameter(shape());
-        let ones = g.constant(
-            Literal { dims: [1, 1, 4, 4], data: vec![1.0; 16] },
-            Dtype::F32,
-        );
+        let ones = g.constant(Literal { dims: [1, 1, 4, 4], data: vec![1.0; 16] }, Dtype::F32);
         let added = g.add(p, ones); // must NOT be simplified away
         let (g2, roots) = algebraic_simplify(&g, &[added]);
         let mut rng = PhiloxStream::from_seed(0);

@@ -64,8 +64,7 @@ pub fn print_op(graph: &Graph, id: Id) -> String {
         Op::RollBatch(a, d0, d1) => format!("roll(%{}), batch_shifts=[{d0},{d1}]", a.0),
         Op::ConvPlus(a) => format!("convolution(%{}), kernel=plus3x3, padding=torus", a.0),
         Op::CollectivePermute(a, pairs) => {
-            let pairs: Vec<String> =
-                pairs.iter().map(|(s, d)| format!("{{{s},{d}}}")).collect();
+            let pairs: Vec<String> = pairs.iter().map(|(s, d)| format!("{{{s},{d}}}")).collect();
             format!("collective-permute(%{}), source_target_pairs={{{}}}", a.0, pairs.join(","))
         }
     };
@@ -75,10 +74,7 @@ pub fn print_op(graph: &Graph, id: Id) -> String {
 /// Render the whole graph, one op per line, with root annotations.
 pub fn print_graph(graph: &Graph, roots: &[Id]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "HloModule ising_step, entry_parameters={}\n",
-        graph.param_count()
-    ));
+    out.push_str(&format!("HloModule ising_step, entry_parameters={}\n", graph.param_count()));
     for idx in 0..graph.len() {
         let id = Id(idx);
         out.push_str("  ");
@@ -121,18 +117,18 @@ pub fn verify(graph: &Graph) -> Result<(), VerifyError> {
         }
         match &node.op {
             Op::Parameter { index } => param_indices.push(*index),
-            Op::Constant(lit)
-                if lit.data.len() != node.shape.elements() => {
-                    return Err(VerifyError(format!(
-                        "constant %{idx} payload {} != shape elements {}",
-                        lit.data.len(),
-                        node.shape.elements()
-                    )));
-                }
+            Op::Constant(lit) if lit.data.len() != node.shape.elements() => {
+                return Err(VerifyError(format!(
+                    "constant %{idx} payload {} != shape elements {}",
+                    lit.data.len(),
+                    node.shape.elements()
+                )));
+            }
             Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Lt(a, b)
-                if (graph.shape(*a) != graph.shape(*b) || graph.shape(*a) != node.shape) => {
-                    return Err(VerifyError(format!("elementwise op %{idx} shape mismatch")));
-                }
+                if (graph.shape(*a) != graph.shape(*b) || graph.shape(*a) != node.shape) =>
+            {
+                return Err(VerifyError(format!("elementwise op %{idx} shape mismatch")));
+            }
             Op::MatmulRight(a, k) => {
                 let (sa, sk) = (graph.shape(*a), graph.shape(*k));
                 if sa.dims[3] != sk.dims[2]

@@ -1,0 +1,176 @@
+//! Progress heartbeats for long chains: sweeps done / rate / ETA on
+//! stderr, throttled to a global interval.
+//!
+//! Off by default; enable with [`enable_progress`] (the bench binaries
+//! and the CLI wire this to `--progress`). A disabled [`Heartbeat`] only
+//! counts ticks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static PROGRESS_EVERY_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Print progress lines at most every `every` (0 disables).
+pub fn enable_progress(every: Duration) {
+    PROGRESS_EVERY_MS.store(every.as_millis() as u64, Ordering::Relaxed);
+}
+
+/// Turn progress lines off.
+pub fn disable_progress() {
+    PROGRESS_EVERY_MS.store(0, Ordering::Relaxed);
+}
+
+/// The configured interval, if progress is enabled.
+pub fn progress_interval() -> Option<Duration> {
+    match PROGRESS_EVERY_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
+}
+
+/// Format a second count as a compact human ETA (`"43s"`, `"2m 05s"`,
+/// `"1h 13m"`).
+pub fn fmt_eta(seconds: f64) -> String {
+    if !seconds.is_finite() || seconds < 0.0 {
+        return "?".to_string();
+    }
+    let s = seconds.round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m {:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h {:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+/// Tracks progress through a known number of sweeps and prints a
+/// throttled heartbeat line to stderr.
+pub struct Heartbeat {
+    label: String,
+    total: u64,
+    done: u64,
+    started: Instant,
+    last_print: Instant,
+    every: Option<Duration>,
+}
+
+impl Heartbeat {
+    /// Start tracking `total` sweeps under `label`. Captures the global
+    /// progress interval at construction.
+    pub fn new(label: impl Into<String>, total: u64) -> Heartbeat {
+        let now = Instant::now();
+        Heartbeat {
+            label: label.into(),
+            total,
+            done: 0,
+            started: now,
+            last_print: now,
+            every: progress_interval(),
+        }
+    }
+
+    /// Sweeps completed so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// One line describing the current state (what [`tick`](Self::tick)
+    /// prints).
+    pub fn status_line(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = self.done as f64 / elapsed;
+        let eta = if rate > 0.0 && self.total >= self.done {
+            fmt_eta((self.total - self.done) as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        let pct = if self.total > 0 { self.done as f64 / self.total as f64 * 100.0 } else { 100.0 };
+        format!(
+            "[{}] {}/{} sweeps ({pct:.1}%) · {rate:.0} sweeps/s · ETA {eta}",
+            self.label, self.done, self.total
+        )
+    }
+
+    /// Count one completed sweep; prints when the interval elapsed.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.done += 1;
+        let Some(every) = self.every else { return };
+        if self.last_print.elapsed() >= every {
+            self.last_print = Instant::now();
+            eprintln!("{}", self.status_line());
+        }
+    }
+
+    /// Print a final summary line (only when progress is enabled).
+    pub fn finish(&self) {
+        if self.every.is_some() {
+            let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "[{}] done: {} sweeps in {} ({:.0} sweeps/s)",
+                self.label,
+                self.done,
+                fmt_eta(elapsed),
+                self.done as f64 / elapsed
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The progress interval is a process-wide global; serialize the tests
+    // that touch it.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn eta_formats() {
+        assert_eq!(fmt_eta(0.4), "0s");
+        assert_eq!(fmt_eta(43.0), "43s");
+        assert_eq!(fmt_eta(125.0), "2m 05s");
+        assert_eq!(fmt_eta(3661.0), "1h 01m");
+        assert_eq!(fmt_eta(f64::NAN), "?");
+        assert_eq!(fmt_eta(-1.0), "?");
+    }
+
+    #[test]
+    fn disabled_heartbeat_only_counts() {
+        let _x = exclusive();
+        disable_progress();
+        let mut hb = Heartbeat::new("test", 10);
+        for _ in 0..10 {
+            hb.tick();
+        }
+        assert_eq!(hb.done(), 10);
+        let line = hb.status_line();
+        assert!(line.contains("[test] 10/10 sweeps (100.0%)"), "{line}");
+    }
+
+    #[test]
+    fn status_line_midway() {
+        let _x = exclusive();
+        disable_progress();
+        let mut hb = Heartbeat::new("fig4 L=64", 200);
+        for _ in 0..50 {
+            hb.tick();
+        }
+        let line = hb.status_line();
+        assert!(line.contains("50/200 sweeps (25.0%)"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn interval_globals_roundtrip() {
+        let _x = exclusive();
+        enable_progress(Duration::from_secs(2));
+        assert_eq!(progress_interval(), Some(Duration::from_secs(2)));
+        disable_progress();
+        assert_eq!(progress_interval(), None);
+    }
+}

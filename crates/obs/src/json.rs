@@ -1,0 +1,66 @@
+//! Tiny hand-rolled JSON emission helpers.
+//!
+//! The exporters write JSON by hand instead of going through serde so the
+//! output byte stream is fully deterministic (golden-testable) and the
+//! crate stays near dependency-free.
+
+/// Escape a string for embedding inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/∞; they become 0).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Format microseconds with fixed three-decimal (nanosecond) precision —
+/// the resolution Chrome's trace viewer displays.
+pub fn micros(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("σ̂01·K̂"), "σ̂01·K̂");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(micros(12.3456), "12.346");
+        assert_eq!(micros(f64::NAN), "0.000");
+    }
+}

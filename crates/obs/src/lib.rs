@@ -1,0 +1,150 @@
+//! Runtime observability for the workspace: **measured** span timelines,
+//! a global metrics registry, Chrome trace-event export, and progress
+//! heartbeats.
+//!
+//! The paper's performance story (Table 3's hardware-unit breakdown, the
+//! Fig. 6 trace-viewer timeline, the <0.15 % communication claim of §5.2)
+//! comes from the TPU profiler. [`tpu-ising-device`]'s `Trace` *models*
+//! those numbers from the cost walker; this crate *measures* them: every
+//! hot path records wall-clock spans tagged with the same [`SpanKind`]
+//! taxonomy, so modeled and measured breakdowns print side by side.
+//!
+//! Design rules:
+//!
+//! - **Off by default, near-zero cost when off.** [`span!`] is a relaxed
+//!   atomic load when tracing is disabled; metric hot-path extras (flip
+//!   counting, RNG-draw counting) are gated on [`is_metrics`].
+//! - **One track per thread.** SPMD core threads call [`register_track`]
+//!   so the exported timeline has one named row per modeled TensorCore —
+//!   the measured analogue of the paper's per-core trace viewer.
+//! - **No double counting.** Aggregation into a [`TraceBreakdown`] only
+//!   sums spans that carry a [`SpanKind`]; wrapper spans (e.g. the
+//!   `halo_exchange` span around the four mesh collectives) are recorded
+//!   kind-less so the timeline shows the nesting but the breakdown counts
+//!   each wall-clock interval once.
+//! - **Bounded memory.** The recorder stops at a configurable span
+//!   capacity and reports how many spans were dropped rather than
+//!   truncating silently.
+
+pub mod chrome;
+pub mod heartbeat;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::chrome_trace_json;
+pub use heartbeat::{disable_progress, enable_progress, progress_interval, Heartbeat};
+pub use metrics::{metrics, Counter, Gauge, HistogramSummary, Metrics, MetricsSnapshot};
+pub use span::{
+    disable, enable, enable_metrics, enable_tracing, is_metrics, is_tracing, register_track, reset,
+    set_span_capacity, snapshot, SpanEvent, SpanGuard, TraceSnapshot,
+};
+
+/// The hardware-unit classes the TPU profiler groups ops into — shared by
+/// the *modeled* spans of `tpu-ising-device`'s cost walker and the
+/// *measured* spans this crate records, so both aggregate into the same
+/// [`TraceBreakdown`] (the Table-3 shape).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum SpanKind {
+    /// Matrix-unit work (matmul, conv).
+    Mxu,
+    /// Vector-unit work (RNG, element-wise math).
+    Vpu,
+    /// Data formatting: reshape, slice, transpose, concat, pad, copy.
+    Format,
+    /// Inter-core collectives.
+    CollectivePermute,
+    /// Host-side / infeed work (not part of the step time).
+    Host,
+}
+
+/// Aggregated per-class totals, in seconds and percent — the shape of the
+/// paper's Table 3. Produced both by the modeled `Trace::breakdown` in
+/// `tpu-ising-device` and by [`TraceSnapshot::breakdown`] over measured
+/// spans.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct TraceBreakdown {
+    /// MXU seconds.
+    pub mxu: f64,
+    /// VPU seconds.
+    pub vpu: f64,
+    /// Data-formatting seconds.
+    pub format: f64,
+    /// Collective-permute seconds.
+    pub collective_permute: f64,
+    /// Host seconds (excluded from percentages, as the profiler excludes
+    /// host work from device step time).
+    pub host: f64,
+}
+
+impl TraceBreakdown {
+    /// Device step time (host excluded).
+    pub fn step_seconds(&self) -> f64 {
+        self.mxu + self.vpu + self.format + self.collective_permute
+    }
+
+    /// Percentage shares `(mxu, vpu, format, cp)` of the device step.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.step_seconds();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.mxu / t * 100.0,
+            self.vpu / t * 100.0,
+            self.format / t * 100.0,
+            self.collective_permute / t * 100.0,
+        )
+    }
+
+    /// Add `seconds` to the accumulator of `kind`.
+    pub fn add(&mut self, kind: SpanKind, seconds: f64) {
+        match kind {
+            SpanKind::Mxu => self.mxu += seconds,
+            SpanKind::Vpu => self.vpu += seconds,
+            SpanKind::Format => self.format += seconds,
+            SpanKind::CollectivePermute => self.collective_permute += seconds,
+            SpanKind::Host => self.host += seconds,
+        }
+    }
+
+    /// The communication fraction `cp / step` in `[0, 1]` — the measured
+    /// analogue of the paper's §5.2 "<0.15 % of the total time" claim.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.step_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.collective_permute / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_adds_and_percentages() {
+        let mut b = TraceBreakdown::default();
+        b.add(SpanKind::Mxu, 0.6);
+        b.add(SpanKind::Vpu, 0.2);
+        b.add(SpanKind::Format, 0.1);
+        b.add(SpanKind::CollectivePermute, 0.1);
+        b.add(SpanKind::Host, 5.0);
+        assert!((b.step_seconds() - 1.0).abs() < 1e-12);
+        let (mxu, vpu, fmt, cp) = b.percentages();
+        assert!((mxu - 60.0).abs() < 1e-9);
+        assert!((vpu - 20.0).abs() < 1e-9);
+        assert!((fmt - 10.0).abs() < 1e-9);
+        assert!((cp - 10.0).abs() < 1e-9);
+        assert!((b.comm_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = TraceBreakdown::default();
+        assert_eq!(b.percentages(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(b.comm_fraction(), 0.0);
+    }
+}

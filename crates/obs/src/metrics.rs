@@ -1,0 +1,373 @@
+//! A global metrics registry: named counters, gauges and histograms with
+//! a deterministic JSON/text snapshot.
+//!
+//! Handles are cheap `Arc` clones; hot paths fetch a handle once and
+//! `inc`/`observe` lock-free (counters, gauges) or under a short mutex
+//! (histograms).
+
+use crate::json::{escape, num};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Samples kept per histogram for percentile estimation; beyond it only
+/// count/sum/min/max keep updating (the snapshot reports the truncation).
+const HISTOGRAM_SAMPLE_CAP: usize = 65_536;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct HistInner {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+/// A histogram of `f64` observations with percentile estimation.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<Mutex<HistInner>>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let mut h = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if h.count == 0 {
+            h.min = v;
+            h.max = v;
+        } else {
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        h.count += 1;
+        h.sum += v;
+        if h.samples.len() < HISTOGRAM_SAMPLE_CAP {
+            h.samples.push(v);
+        }
+    }
+
+    /// Summarize for reporting.
+    pub fn summary(&self) -> HistogramSummary {
+        let h = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sorted = h.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        HistogramSummary {
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0.0 } else { h.min },
+            max: if h.count == 0 { 0.0 } else { h.max },
+            mean: if h.count == 0 { 0.0 } else { h.sum / h.count as f64 },
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            truncated: h.count > h.samples.len() as u64,
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank on the retained samples).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// `true` when percentiles only cover the first
+    /// [`HISTOGRAM_SAMPLE_CAP`] samples.
+    pub truncated: bool,
+}
+
+/// The registry: named metric families, created on first touch.
+#[derive(Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The global registry.
+pub fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::default)
+}
+
+impl Metrics {
+    /// Fetch (or create) a counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Fetch (or create) a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Fetch (or create) a histogram handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Drop every registered metric. Handles taken before the reset keep
+    /// working but detach from future snapshots.
+    pub fn reset(&self) {
+        self.counters.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.gauges.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.histograms.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// A deterministic (name-sorted) snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Point-in-time values of every registered metric, name-sorted.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Hand-rolled, deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), num(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"truncated\":{}}}",
+                escape(name),
+                h.count,
+                num(h.sum),
+                num(h.min),
+                num(h.max),
+                num(h.mean),
+                num(h.p50),
+                num(h.p90),
+                num(h.p99),
+                h.truncated
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Aligned plain-text rendering for a stdout/stderr summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let w = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<w$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let w = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<w$}  {v:.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let w = self.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<w$}  n={} mean={:.4} p50={:.4} p90={:.4} p99={:.4} \
+                     min={:.4} max={:.4}{}\n",
+                    h.count,
+                    h.mean,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.min,
+                    h.max,
+                    if h.truncated { " (percentiles truncated)" } else { "" }
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let m = Metrics::default();
+        let c = m.counter("sweeps_total");
+        c.inc(3);
+        m.counter("sweeps_total").inc(2); // same family
+        let g = m.gauge("acceptance_ratio");
+        g.set(0.25);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("sweeps_total"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges, vec![("acceptance_ratio".to_string(), 0.25)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let m = Metrics::default();
+        let h = m.histogram("sweep_us");
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        // nearest-rank on 100 samples: index round(99*q)
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert!(!s.truncated);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let m = Metrics::default();
+        let h = m.histogram("empty");
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.min, s.max), (0, 0.0, 0.0, 0.0));
+        let h1 = m.histogram("single");
+        h1.observe(7.5);
+        let s1 = h1.summary();
+        assert_eq!((s1.p50, s1.p90, s1.p99), (7.5, 7.5, 7.5));
+        assert_eq!(s1.mean, 7.5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_is_deterministic() {
+        let m = Metrics::default();
+        m.counter("zeta").inc(1);
+        m.counter("alpha").inc(2);
+        m.gauge("mid").set(1.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},\"gauges\":{\"mid\":1.5},\
+             \"histograms\":{}}"
+        );
+        assert!(snap.render().contains("alpha"));
+    }
+
+    #[test]
+    fn reset_clears_families() {
+        let m = Metrics::default();
+        m.counter("a").inc(1);
+        m.reset();
+        assert!(m.snapshot().counters.is_empty());
+    }
+}

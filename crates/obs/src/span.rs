@@ -1,0 +1,368 @@
+//! The span recorder: wall-clock timed scopes with thread-local nesting,
+//! one timeline track per registered thread.
+
+use crate::{SpanKind, TraceBreakdown};
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default recorder capacity; past it spans are counted as dropped.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static TRACK: Cell<Option<u32>> = const { Cell::new(None) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// One completed, measured span.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Timeline track (index into [`TraceSnapshot::tracks`]).
+    pub track: u32,
+    /// Span label, e.g. `"compact_halfsweep"`.
+    pub name: Cow<'static, str>,
+    /// Hardware-unit class for breakdown aggregation; `None` for wrapper
+    /// spans that only shape the timeline.
+    pub kind: Option<SpanKind>,
+    /// Start, microseconds since the recorder epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Nesting depth within the track at record time (0 = top level).
+    pub depth: u16,
+}
+
+struct Inner {
+    epoch: Instant,
+    spans: Vec<SpanEvent>,
+    tracks: Vec<String>,
+    dropped: u64,
+    capacity: usize,
+}
+
+fn recorder() -> &'static Mutex<Inner> {
+    static RECORDER: OnceLock<Mutex<Inner>> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        Mutex::new(Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            tracks: Vec::new(),
+            dropped: 0,
+            capacity: DEFAULT_CAPACITY,
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Inner> {
+    recorder().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Enable span recording (re-arms the epoch if the recorder is empty).
+pub fn enable_tracing() {
+    drop(lock()); // make sure the epoch exists before the first span
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Enable metric hot-path extras (flip counting, RNG-draw counting).
+pub fn enable_metrics() {
+    METRICS.store(true, Ordering::Relaxed);
+}
+
+/// Enable both tracing and metrics.
+pub fn enable() {
+    enable_tracing();
+    enable_metrics();
+}
+
+/// Disable both tracing and metrics (recorded spans are kept).
+pub fn disable() {
+    TRACING.store(false, Ordering::Relaxed);
+    METRICS.store(false, Ordering::Relaxed);
+}
+
+/// Is span recording on? (One relaxed load — the whole cost of a
+/// [`span!`](crate::span!) call site when tracing is off.)
+#[inline]
+pub fn is_tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Are metric hot-path extras on?
+#[inline]
+pub fn is_metrics() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Discard all recorded spans and tracks and re-arm the epoch. Threads
+/// that registered tracks before the reset keep recording onto fresh
+/// auto-registered tracks unless they re-register.
+pub fn reset() {
+    let mut inner = lock();
+    inner.spans.clear();
+    inner.tracks.clear();
+    inner.dropped = 0;
+    inner.epoch = Instant::now();
+    drop(inner);
+    TRACK.with(|t| t.set(None));
+}
+
+/// Cap the number of retained spans; further spans count as dropped.
+pub fn set_span_capacity(capacity: usize) {
+    lock().capacity = capacity;
+}
+
+/// Name this thread's timeline track (e.g. `"core-3 (1,1)"`). Subsequent
+/// spans from this thread land on the new track. Returns the track id.
+pub fn register_track(name: impl Into<String>) -> u32 {
+    let mut inner = lock();
+    let id = inner.tracks.len() as u32;
+    inner.tracks.push(name.into());
+    drop(inner);
+    TRACK.with(|t| t.set(Some(id)));
+    id
+}
+
+fn current_track(inner: &mut Inner) -> u32 {
+    TRACK.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{}", inner.tracks.len()));
+            let id = inner.tracks.len() as u32;
+            inner.tracks.push(name);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    kind: Option<SpanKind>,
+    start: Instant,
+    depth: u16,
+}
+
+/// RAII guard recording one span from construction to drop. Bind it
+/// (`let _g = span!(..)`) or the span closes immediately.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Start a span; a no-op (and no allocation) when tracing is off.
+    pub fn begin(name: impl Into<Cow<'static, str>>, kind: Option<SpanKind>) -> SpanGuard {
+        if !is_tracing() {
+            return SpanGuard(None);
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        });
+        SpanGuard(Some(ActiveSpan { name: name.into(), kind, start: Instant::now(), depth }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let dur = s.start.elapsed();
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let mut inner = lock();
+            let track = current_track(&mut inner);
+            if inner.spans.len() >= inner.capacity {
+                inner.dropped += 1;
+                return;
+            }
+            let start_us = s.start.saturating_duration_since(inner.epoch).as_secs_f64() * 1e6;
+            inner.spans.push(SpanEvent {
+                track,
+                name: s.name,
+                kind: s.kind,
+                start_us,
+                dur_us: dur.as_secs_f64() * 1e6,
+                depth: s.depth,
+            });
+        }
+    }
+}
+
+/// Start a measured span for the enclosing scope.
+///
+/// ```
+/// use tpu_ising_obs as obs;
+/// obs::enable_tracing();
+/// {
+///     let _g = obs::span!("compact_halfsweep");
+///     let _inner = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
+/// }
+/// assert!(obs::snapshot().spans.len() >= 2);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::begin($name, ::core::option::Option::None)
+    };
+    ($name:expr, $kind:expr) => {
+        $crate::SpanGuard::begin($name, ::core::option::Option::Some($kind))
+    };
+}
+
+/// An owned snapshot of the recorder: spans, track names, drop count.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// All recorded spans, in record-completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Track names; `SpanEvent::track` indexes this.
+    pub tracks: Vec<String>,
+    /// Spans discarded after the capacity was reached.
+    pub dropped: u64,
+}
+
+/// Snapshot the global recorder (spans are cloned, not drained).
+pub fn snapshot() -> TraceSnapshot {
+    let inner = lock();
+    TraceSnapshot {
+        spans: inner.spans.clone(),
+        tracks: inner.tracks.clone(),
+        dropped: inner.dropped,
+    }
+}
+
+impl TraceSnapshot {
+    /// Aggregate *kinded* spans into the Table-3 breakdown. Wrapper spans
+    /// (`kind == None`) are skipped, so nested timelines count each
+    /// wall-clock interval once.
+    pub fn breakdown(&self) -> TraceBreakdown {
+        let mut b = TraceBreakdown::default();
+        for s in &self.spans {
+            if let Some(k) = s.kind {
+                b.add(k, s.dur_us * 1e-6);
+            }
+        }
+        b
+    }
+
+    /// Per-track breakdowns, `(track name, breakdown)`, in track order —
+    /// one entry per SPMD core for a pod run.
+    pub fn per_track_breakdown(&self) -> Vec<(String, TraceBreakdown)> {
+        let mut out: Vec<(String, TraceBreakdown)> =
+            self.tracks.iter().map(|n| (n.clone(), TraceBreakdown::default())).collect();
+        for s in &self.spans {
+            if let (Some(k), Some(entry)) = (s.kind, out.get_mut(s.track as usize)) {
+                entry.1.add(k, s.dur_us * 1e-6);
+            }
+        }
+        out
+    }
+
+    /// Total seconds a named span accounts for (all tracks).
+    pub fn seconds_of(&self, name: &str) -> f64 {
+        self.spans.iter().filter(|s| s.name == name).map(|s| s.dur_us * 1e-6).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is global; tests that touch it serialize on this lock
+    // and reset before use.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _x = exclusive();
+        disable();
+        reset();
+        {
+            let _g = crate::span!("quiet");
+        }
+        assert!(snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_kind() {
+        let _x = exclusive();
+        reset();
+        enable_tracing();
+        register_track("test-track");
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner", SpanKind::Mxu);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.tracks, vec!["test-track".to_string()]);
+        // inner drops first
+        assert_eq!(snap.spans.len(), 2);
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.kind, Some(SpanKind::Mxu));
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert!(outer.kind.is_none());
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(inner.dur_us >= 2_000.0, "slept 2 ms, got {} µs", inner.dur_us);
+        // breakdown counts only the kinded span
+        let b = snap.breakdown();
+        assert!(b.mxu > 0.0);
+        assert_eq!(b.vpu + b.format + b.collective_permute + b.host, 0.0);
+        reset();
+    }
+
+    #[test]
+    fn capacity_caps_and_counts_drops() {
+        let _x = exclusive();
+        reset();
+        set_span_capacity(3);
+        enable_tracing();
+        for _ in 0..5 {
+            let _g = crate::span!("s");
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        set_span_capacity(super::DEFAULT_CAPACITY);
+        reset();
+    }
+
+    #[test]
+    fn threads_get_own_tracks() {
+        let _x = exclusive();
+        reset();
+        enable_tracing();
+        std::thread::scope(|s| {
+            for i in 0..3 {
+                s.spawn(move || {
+                    register_track(format!("core-{i}"));
+                    let _g = crate::span!("work", SpanKind::Vpu);
+                });
+            }
+        });
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.tracks.len(), 3);
+        assert_eq!(snap.spans.len(), 3);
+        let mut tracks: Vec<u32> = snap.spans.iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        assert_eq!(tracks, vec![0, 1, 2]);
+        for (_, b) in snap.per_track_breakdown() {
+            assert!(b.vpu > 0.0);
+        }
+        reset();
+    }
+}

@@ -57,12 +57,7 @@ pub struct PhiloxStream {
 impl PhiloxStream {
     /// Create a stream from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        PhiloxStream {
-            key: Philox4x32Key::from_seed(seed),
-            counter: 0,
-            buf: [0; 4],
-            buf_pos: 4,
-        }
+        PhiloxStream { key: Philox4x32Key::from_seed(seed), counter: 0, buf: [0; 4], buf_pos: 4 }
     }
 
     /// Create a stream with an explicit key (for tests / KAT vectors).
@@ -263,11 +258,8 @@ mod tests {
         a.fill_uniform(&mut out);
         let blk0 = b.next_block();
         let blk1 = b.next_block();
-        let expect: Vec<f32> = blk0
-            .iter()
-            .chain(blk1.iter())
-            .map(|&u| f32::uniform_from_u32(u))
-            .collect();
+        let expect: Vec<f32> =
+            blk0.iter().chain(blk1.iter()).map(|&u| f32::uniform_from_u32(u)).collect();
         assert_eq!(out.to_vec(), expect);
     }
 

@@ -31,10 +31,7 @@ impl Philox4x32Key {
     /// The Weyl-sequence key schedule bump applied between rounds.
     #[inline]
     fn bump(self) -> Self {
-        Philox4x32Key {
-            k0: self.k0.wrapping_add(PHILOX_W0),
-            k1: self.k1.wrapping_add(PHILOX_W1),
-        }
+        Philox4x32Key { k0: self.k0.wrapping_add(PHILOX_W0), k1: self.k1.wrapping_add(PHILOX_W1) }
     }
 }
 
@@ -81,10 +78,7 @@ mod tests {
         );
         // counter = all-ones, key = all-ones
         assert_eq!(
-            philox4x32_10(
-                [0xffff_ffff; 4],
-                Philox4x32Key::new(0xffff_ffff, 0xffff_ffff)
-            ),
+            philox4x32_10([0xffff_ffff; 4], Philox4x32Key::new(0xffff_ffff, 0xffff_ffff)),
             [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]
         );
         // counter/key = digits of pi (the Random123 "pi" vector)
@@ -114,11 +108,7 @@ mod tests {
         let key = Philox4x32Key::from_seed(12345);
         let base = philox4x32_10([1, 2, 3, 4], key);
         let flipped = philox4x32_10([1 ^ 1, 2, 3, 4], key);
-        let diff: u32 = base
-            .iter()
-            .zip(flipped.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let diff: u32 = base.iter().zip(flipped.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert!((40..=88).contains(&diff), "avalanche bits = {diff}");
     }
 

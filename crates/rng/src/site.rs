@@ -44,12 +44,8 @@ impl SiteRng {
     /// offsets and reproduce the single-core stream exactly.
     #[inline]
     pub fn word(&self, sweep: u64, color: u8, row: u32, col: u32) -> u32 {
-        let ctr = [
-            row,
-            col,
-            sweep as u32,
-            ((sweep >> 32) as u32 & 0x7FFF_FFFF) | ((color as u32) << 31),
-        ];
+        let ctr =
+            [row, col, sweep as u32, ((sweep >> 32) as u32 & 0x7FFF_FFFF) | ((color as u32) << 31)];
         philox4x32_10(ctr, self.key)[0]
     }
 

@@ -92,18 +92,12 @@ mod tests {
             }
         }
         let rate = hits as f64 / trials as f64;
-        assert!(
-            (rate - p as f64).abs() / (p as f64) < 0.02,
-            "P(u < {p}) = {rate}, bias too large"
-        );
+        assert!((rate - p as f64).abs() / (p as f64) < 0.02, "P(u < {p}) = {rate}, bias too large");
     }
 
     #[test]
     fn f32_uses_high_bits() {
         // low 8 bits must not affect the output
-        assert_eq!(
-            f32::uniform_from_u32(0xABCD_EF00),
-            f32::uniform_from_u32(0xABCD_EFFF)
-        );
+        assert_eq!(f32::uniform_from_u32(0xABCD_EF00), f32::uniform_from_u32(0xABCD_EFFF));
     }
 }

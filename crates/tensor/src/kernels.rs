@@ -10,13 +10,7 @@ use tpu_ising_bf16::Scalar;
 /// `K·σ` sums its up+down neighbors (interior sites; boundaries need halo
 /// compensation).
 pub fn band_kernel<S: Scalar>(t: usize) -> Mat<S> {
-    Mat::from_fn(t, t, |r, c| {
-        if r + 1 == c || c + 1 == r {
-            S::one()
-        } else {
-            S::zero()
-        }
-    })
+    Mat::from_fn(t, t, |r, c| if r + 1 == c || c + 1 == r { S::one() } else { S::zero() })
 }
 
 /// The upper-bidiagonal kernel `K̂` of Algorithm 2:
@@ -26,13 +20,7 @@ pub fn band_kernel<S: Scalar>(t: usize) -> Mat<S> {
 /// produce the nearest-neighbor sums without ever touching the fixed-color
 /// spins (the factor-3 win over the masked Algorithm 1).
 pub fn bidiag_kernel<S: Scalar>(t: usize) -> Mat<S> {
-    Mat::from_fn(t, t, |r, c| {
-        if r == c || r + 1 == c {
-            S::one()
-        } else {
-            S::zero()
-        }
-    })
+    Mat::from_fn(t, t, |r, c| if r == c || r + 1 == c { S::one() } else { S::zero() })
 }
 
 #[cfg(test)]

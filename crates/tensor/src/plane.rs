@@ -81,23 +81,20 @@ impl<S: Scalar> Plane<S> {
     pub fn neighbor_sum_periodic(&self) -> Plane<S> {
         let (h, w) = (self.height, self.width);
         let mut out = Plane::zeros(h, w);
-        out.data
-            .par_chunks_mut(w)
-            .enumerate()
-            .for_each(|(r, row)| {
-                let up = if r == 0 { h - 1 } else { r - 1 };
-                let down = if r + 1 == h { 0 } else { r + 1 };
-                for (c, out) in row.iter_mut().enumerate() {
-                    let left = if c == 0 { w - 1 } else { c - 1 };
-                    let right = if c + 1 == w { 0 } else { c + 1 };
-                    // f32 accumulation, rounded once — MXU/conv contract.
-                    let acc = self.get(up, c).to_f32()
-                        + self.get(down, c).to_f32()
-                        + self.get(r, left).to_f32()
-                        + self.get(r, right).to_f32();
-                    *out = S::from_f32(acc);
-                }
-            });
+        out.data.par_chunks_mut(w).enumerate().for_each(|(r, row)| {
+            let up = if r == 0 { h - 1 } else { r - 1 };
+            let down = if r + 1 == h { 0 } else { r + 1 };
+            for (c, out) in row.iter_mut().enumerate() {
+                let left = if c == 0 { w - 1 } else { c - 1 };
+                let right = if c + 1 == w { 0 } else { c + 1 };
+                // f32 accumulation, rounded once — MXU/conv contract.
+                let acc = self.get(up, c).to_f32()
+                    + self.get(down, c).to_f32()
+                    + self.get(r, left).to_f32()
+                    + self.get(r, right).to_f32();
+                *out = S::from_f32(acc);
+            }
+        });
         out
     }
 
@@ -130,9 +127,7 @@ impl<S: Scalar> Plane<S> {
             "deinterleave needs even dimensions"
         );
         let (h2, w2) = (self.height / 2, self.width / 2);
-        let mk = |a: usize, b: usize| {
-            Plane::from_fn(h2, w2, |r, c| self.get(2 * r + a, 2 * c + b))
-        };
+        let mk = |a: usize, b: usize| Plane::from_fn(h2, w2, |r, c| self.get(2 * r + a, 2 * c + b));
         [mk(0, 0), mk(0, 1), mk(1, 0), mk(1, 1)]
     }
 

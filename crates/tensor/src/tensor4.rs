@@ -135,10 +135,8 @@ impl<S: Scalar> Tensor4<S> {
         let mut out = Tensor4::zeros([m, n, r, c2]);
         let in_stride = r * c;
         let out_stride = r * c2;
-        out.data
-            .par_chunks_mut(out_stride)
-            .zip(self.data.par_chunks(in_stride))
-            .for_each(|(ob, ib)| {
+        out.data.par_chunks_mut(out_stride).zip(self.data.par_chunks(in_stride)).for_each(
+            |(ob, ib)| {
                 for i in 0..r {
                     for j in 0..c2 {
                         let mut acc = 0.0f32;
@@ -148,7 +146,8 @@ impl<S: Scalar> Tensor4<S> {
                         ob[i * c2 + j] = S::from_f32(acc);
                     }
                 }
-            });
+            },
+        );
         out
     }
 
@@ -162,10 +161,8 @@ impl<S: Scalar> Tensor4<S> {
         let mut out = Tensor4::zeros([m, n, r2, c]);
         let in_stride = r * c;
         let out_stride = r2 * c;
-        out.data
-            .par_chunks_mut(out_stride)
-            .zip(self.data.par_chunks(in_stride))
-            .for_each(|(ob, ib)| {
+        out.data.par_chunks_mut(out_stride).zip(self.data.par_chunks(in_stride)).for_each(
+            |(ob, ib)| {
                 for i in 0..r2 {
                     for j in 0..c {
                         let mut acc = 0.0f32;
@@ -175,16 +172,14 @@ impl<S: Scalar> Tensor4<S> {
                         ob[i * c + j] = S::from_f32(acc);
                     }
                 }
-            });
+            },
+        );
         out
     }
 
     /// Element-wise map into a new tensor (parallel).
     pub fn map<T: Scalar>(&self, f: impl Fn(S) -> T + Sync) -> Tensor4<T> {
-        Tensor4 {
-            shape: self.shape,
-            data: self.data.par_iter().map(|&v| f(v)).collect(),
-        }
+        Tensor4 { shape: self.shape, data: self.data.par_iter().map(|&v| f(v)).collect() }
     }
 
     /// Element-wise map in place (parallel).
@@ -201,22 +196,14 @@ impl<S: Scalar> Tensor4<S> {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         Tensor4 {
             shape: self.shape,
-            data: self
-                .data
-                .par_iter()
-                .zip(other.data.par_iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.par_iter().zip(other.data.par_iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
     /// Element-wise add-assign (parallel).
     pub fn add_assign(&mut self, other: &Tensor4<S>) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        self.data
-            .par_iter_mut()
-            .zip(other.data.par_iter())
-            .for_each(|(a, &b)| *a = *a + b);
+        self.data.par_iter_mut().zip(other.data.par_iter()).for_each(|(a, &b)| *a = *a + b);
     }
 
     /// Sum of all elements, accumulated in f64 (observable-grade precision).
@@ -298,9 +285,7 @@ impl<S: Scalar> Tensor4<S> {
         let md = |i: usize, d: isize, len: usize| -> usize {
             (((i as isize - d).rem_euclid(len as isize)) as usize).min(len - 1)
         };
-        Tensor4::from_fn([m, n, r, c], |b0, b1, i, j| {
-            self.get(md(b0, d0, m), md(b1, d1, n), i, j)
-        })
+        Tensor4::from_fn([m, n, r, c], |b0, b1, i, j| self.get(md(b0, d0, m), md(b1, d1, n), i, j))
     }
 
     /// Convert element-wise to another precision.

@@ -21,12 +21,7 @@ pub fn padded_dim(dim: usize, to: usize) -> usize {
 
 /// The physical (padded) shape a logical rank-4 shape occupies in HBM.
 pub fn padded_shape(shape: [usize; 4]) -> [usize; 4] {
-    [
-        shape[0],
-        shape[1],
-        padded_dim(shape[2], TPU_TILE.0),
-        padded_dim(shape[3], TPU_TILE.1),
-    ]
+    [shape[0], shape[1], padded_dim(shape[2], TPU_TILE.0), padded_dim(shape[3], TPU_TILE.1)]
 }
 
 /// Fraction of HBM bytes wasted by tile padding: `physical/logical − 1`.

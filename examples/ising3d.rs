@@ -35,8 +35,5 @@ fn main() {
 
     // β = 0 sanity: the 3-D ground-state energy is −3 per site (3 bonds).
     let ground = Ising3D::<f32>::cold(6, 6, 6, 1.0, Randomness::bulk(1));
-    println!(
-        "\nground-state energy per site: {} (exact −3)",
-        ground.energy_sum() / 216.0
-    );
+    println!("\nground-state energy per site: {} (exact −3)", ground.energy_sum() / 216.0);
 }

@@ -13,17 +13,14 @@
 //! cargo run --release --example materials_design
 //! ```
 
-use tpu_ising_core::{
-    cold_plane, Couplings, HeterogeneousIsing, Randomness, Sweeper, T_CRITICAL,
-};
+use tpu_ising_core::{cold_plane, Couplings, HeterogeneousIsing, Randomness, Sweeper, T_CRITICAL};
 
 const L: usize = 48;
 
 /// Couplings: J_core inside the centered L/2 × L/2 square, J_matrix outside.
 fn two_phase(j_core: f32, j_matrix: f32) -> Couplings {
-    let inside = |r: usize, c: usize| {
-        (L / 4..3 * L / 4).contains(&r) && (L / 4..3 * L / 4).contains(&c)
-    };
+    let inside =
+        |r: usize, c: usize| (L / 4..3 * L / 4).contains(&r) && (L / 4..3 * L / 4).contains(&c);
     Couplings::from_fn(
         L,
         L,

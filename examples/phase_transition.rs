@@ -10,17 +10,12 @@
 //! cargo run --release --example phase_transition
 //! ```
 
-use tpu_ising_core::{
-    cold_plane, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL,
-};
+use tpu_ising_core::{cold_plane, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL};
 
 fn binder_at(l: usize, t: f64, seed: u64) -> f64 {
     let beta = 1.0 / t;
-    let init = if t < T_CRITICAL {
-        cold_plane::<f32>(l, l)
-    } else {
-        random_plane::<f32>(seed, l, l)
-    };
+    let init =
+        if t < T_CRITICAL { cold_plane::<f32>(l, l) } else { random_plane::<f32>(seed, l, l) };
     let tile = (l / 4).clamp(2, 16);
     let mut sim = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
     run_chain(&mut sim, 400, 1600).binder

@@ -9,7 +9,9 @@
 
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::T_CRITICAL;
-use tpu_ising_device::cost::{step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant};
+use tpu_ising_device::cost::{
+    step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
+};
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_device::params::TpuV3Params;
 
@@ -54,7 +56,13 @@ fn main() {
     println!("\nmodeled on TPU v3 (paper's substrate):");
     let p = TpuV3Params::v3();
     for (label, h, w, cores, variant) in [
-        ("4 cores, per-core [896,448]x128, compact", 896 * 128, 448 * 128, 4usize, Variant::Compact),
+        (
+            "4 cores, per-core [896,448]x128, compact",
+            896 * 128,
+            448 * 128,
+            4usize,
+            Variant::Compact,
+        ),
         ("512 cores, per-core [896,448]x128, compact", 896 * 128, 448 * 128, 512, Variant::Compact),
         ("2048 cores, per-core [896,448]x128, conv", 896 * 128, 448 * 128, 2048, Variant::Conv),
     ] {

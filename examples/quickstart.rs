@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tpu_ising_core::{
-    cold_plane, onsager, run_chain, CompactIsing, Randomness, T_CRITICAL,
-};
+use tpu_ising_core::{cold_plane, onsager, run_chain, CompactIsing, Randomness, T_CRITICAL};
 
 fn main() {
     // A 64×64 lattice at T = 0.9·Tc, stored as a grid of 16×16 tiles the
@@ -18,7 +16,8 @@ fn main() {
     let beta = 1.0 / t;
     println!("2-D Ising model, L = {l}, T = 0.9·Tc = {t:.4} (β = {beta:.4})");
 
-    let mut sim = CompactIsing::from_plane(&cold_plane::<f32>(l, l), 16, beta, Randomness::bulk(42));
+    let mut sim =
+        CompactIsing::from_plane(&cold_plane::<f32>(l, l), 16, beta, Randomness::bulk(42));
 
     // Burn in 500 sweeps, then measure over 2000 — the miniature of the
     // paper's 10⁵ + 9·10⁵ protocol.
@@ -27,7 +26,11 @@ fn main() {
     println!("⟨|m|⟩  = {:.4} ± {:.4}", stats.mean_abs_m, stats.err_abs_m);
     println!("U4     = {:.4}", stats.binder);
     println!("⟨E⟩/N  = {:.4} ± {:.4}", stats.mean_energy, stats.err_energy);
-    println!("Onsager: m = {:.4},  u = {:.4}", onsager::magnetization(t), onsager::energy_per_site(t));
+    println!(
+        "Onsager: m = {:.4},  u = {:.4}",
+        onsager::magnetization(t),
+        onsager::energy_per_site(t)
+    );
 
     let dev = (stats.mean_abs_m - onsager::magnetization(t)).abs();
     println!(

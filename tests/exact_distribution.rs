@@ -15,7 +15,8 @@ const N: usize = L * L;
 const BETA: f64 = 0.3;
 
 /// Exact Boltzmann marginals of (M, E) on the 4×4 torus by enumeration.
-fn exact_marginals() -> (std::collections::BTreeMap<i32, f64>, std::collections::BTreeMap<i32, f64>) {
+fn exact_marginals() -> (std::collections::BTreeMap<i32, f64>, std::collections::BTreeMap<i32, f64>)
+{
     let mut pm = std::collections::BTreeMap::new();
     let mut pe = std::collections::BTreeMap::new();
     let mut z = 0.0f64;
@@ -65,10 +66,10 @@ fn total_variation(
         .sum::<f64>()
 }
 
-fn histogram_from_chain(mut step: impl FnMut() -> (f64, f64), samples: usize) -> (
-    std::collections::BTreeMap<i32, f64>,
-    std::collections::BTreeMap<i32, f64>,
-) {
+fn histogram_from_chain(
+    mut step: impl FnMut() -> (f64, f64),
+    samples: usize,
+) -> (std::collections::BTreeMap<i32, f64>, std::collections::BTreeMap<i32, f64>) {
     let mut hm = std::collections::BTreeMap::new();
     let mut he = std::collections::BTreeMap::new();
     for _ in 0..samples {

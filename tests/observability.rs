@@ -1,0 +1,186 @@
+//! Integration tests for the measured observability layer (`tpu-ising-obs`):
+//! the Chrome trace exporter's exact output is pinned against a golden
+//! file, histogram percentiles and the shared `TraceBreakdown` aggregation
+//! are checked, and a real SPMD pod run must report a per-core measured
+//! communication fraction.
+
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_device::mesh::Torus;
+use tpu_ising_device::trace::Trace;
+use tpu_ising_obs as obs;
+
+/// A handcrafted snapshot with fixed timings — the exporter's output for
+/// it must never drift (Perfetto and chrome://tracing both parse it).
+fn sample_snapshot() -> obs::TraceSnapshot {
+    obs::TraceSnapshot {
+        tracks: vec!["core-0 (0,0)".to_string(), "core-1 (0,1)".to_string()],
+        spans: vec![
+            obs::SpanEvent {
+                track: 0,
+                name: "halo_exchange".into(),
+                kind: None,
+                start_us: 0.0,
+                dur_us: 120.5,
+                depth: 0,
+            },
+            obs::SpanEvent {
+                track: 0,
+                name: "collective_permute".into(),
+                kind: Some(obs::SpanKind::CollectivePermute),
+                start_us: 1.25,
+                dur_us: 100.0,
+                depth: 1,
+            },
+            obs::SpanEvent {
+                track: 1,
+                name: "neighbor_sums".into(),
+                kind: Some(obs::SpanKind::Mxu),
+                start_us: 130.0,
+                dur_us: 512.75,
+                depth: 0,
+            },
+            obs::SpanEvent {
+                track: 1,
+                name: "rng_uniforms".into(),
+                kind: Some(obs::SpanKind::Vpu),
+                start_us: 650.0,
+                dur_us: 64.125,
+                depth: 0,
+            },
+        ],
+        dropped: 2,
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/chrome_trace.json")
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let json = obs::chrome_trace_json(&sample_snapshot(), "tpu-ising test");
+    let path = golden_path();
+    if std::env::var_os("ISING_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &json).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        json, golden,
+        "chrome trace output drifted from tests/golden/chrome_trace.json \
+         (rerun with ISING_BLESS_GOLDEN=1 to re-bless an intended change)"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_trace_event_json() {
+    let json = obs::chrome_trace_json(&sample_snapshot(), "tpu-ising test");
+    // structural fingerprints Perfetto relies on
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    assert!(json.contains("\"process_name\""));
+    assert_eq!(json.matches("\"thread_name\"").count(), 2);
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+    assert!(json.contains("\"dropped_spans\":\"2\""));
+    // balanced braces/brackets (cheap well-formedness check, no serde_json
+    // dependency: the exporter is hand-rolled precisely so its output does
+    // not depend on a serializer)
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn histogram_percentiles_are_nearest_rank() {
+    let m = obs::Metrics::default();
+    let h = m.histogram("sweep_seconds");
+    for v in 1..=100 {
+        h.observe(v as f64);
+    }
+    let s = h.summary();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 100.0);
+    assert!((s.mean - 50.5).abs() < 1e-12);
+    assert_eq!(s.p50, 51.0);
+    assert_eq!(s.p90, 90.0);
+    assert_eq!(s.p99, 99.0);
+    assert!(!s.truncated);
+}
+
+#[test]
+fn modeled_and_measured_views_share_the_breakdown_type() {
+    // The modeled recorder aggregates into the same TraceBreakdown the
+    // measured snapshot uses — one taxonomy for both Table-3 views.
+    let t = Trace::new();
+    t.record(obs::SpanKind::Mxu, "matmul", 0.6);
+    t.record(obs::SpanKind::Vpu, "rng", 0.2);
+    t.record(obs::SpanKind::Format, "reshape", 0.1);
+    t.record(obs::SpanKind::CollectivePermute, "halo", 0.1);
+    t.record(obs::SpanKind::Host, "infeed", 5.0);
+    let b: obs::TraceBreakdown = t.breakdown();
+    assert_eq!(b.step_seconds(), 1.0); // host excluded
+    let (mxu, vpu, fmt, cp) = b.percentages();
+    assert_eq!((mxu, vpu, fmt, cp), (60.0, 20.0, 10.0, 10.0));
+    assert!((b.comm_fraction() - 0.1).abs() < 1e-12);
+}
+
+#[test]
+fn pod_run_reports_measured_communication_fraction() {
+    // The recorder is process-global; this is the only test in this binary
+    // that touches it, but gate anyway so future additions stay safe.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    obs::reset();
+    obs::metrics().reset();
+    obs::enable();
+    let cfg = PodConfig {
+        torus: Torus::new(2, 2),
+        per_core_h: 16,
+        per_core_w: 16,
+        tile: 2,
+        beta: 0.5,
+        seed: 11,
+        rng: PodRng::SiteKeyed,
+    };
+    let sweeps = 3;
+    let _ = run_pod::<f32>(&cfg, sweeps);
+    obs::disable();
+
+    let snap = obs::snapshot();
+    assert_eq!(snap.dropped, 0);
+    // one timeline track per SPMD core, named with id and coordinates
+    assert_eq!(snap.tracks.len(), 4);
+    for id in 0..4 {
+        assert!(
+            snap.tracks.iter().any(|t| t.starts_with(&format!("core-{id} "))),
+            "missing track for core {id}: {:?}",
+            snap.tracks
+        );
+    }
+    // every core measured both communication and compute
+    for (name, b) in snap.per_track_breakdown() {
+        assert!(b.collective_permute > 0.0, "{name}: no cp time");
+        assert!(b.mxu > 0.0, "{name}: no MXU time");
+        let f = b.comm_fraction();
+        assert!(f > 0.0 && f < 1.0, "{name}: comm fraction {f} out of (0,1)");
+    }
+    let f = snap.breakdown().comm_fraction();
+    assert!(f > 0.0 && f < 1.0, "aggregate comm fraction {f}");
+    // wrapper spans exist but are kind-less (no double counting)
+    assert!(snap.spans.iter().any(|s| s.name == "halo_exchange" && s.kind.is_none()));
+    assert!(snap.spans.iter().any(|s| s.name == "collective_permute"));
+
+    // metrics side: halo traffic is deterministic for this geometry —
+    // per color update each core ships two quarter-rows (n·t) and two
+    // quarter-columns (m·t) of f32
+    let m = obs::metrics().snapshot();
+    let quarter = 16 / 2; // per-core quarter side
+    let per_color_elems = 4 * quarter; // 2 rows + 2 cols
+    let expected = (4 * sweeps * 2 * per_color_elems * std::mem::size_of::<f32>()) as u64;
+    assert_eq!(m.counter("halo_bytes_total"), expected);
+    assert_eq!(m.counter("collectives_total"), 4 * sweeps as u64 * 2 * 4);
+    assert!(m.counter("rng_draws_total") > 0);
+    assert!(m.counter("flip_proposals_total") >= m.counter("flips_accepted_total"));
+}

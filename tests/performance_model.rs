@@ -153,12 +153,9 @@ fn table6_conv_weak_scaling_sampled_rows_within_4pct() {
 fn table7_strong_scaling_within_10pct_and_knee_present() {
     let p = TpuV3Params::v3();
     let total = 1792 * 128;
-    for ((tx, ty), paper_f) in [
-        ((2usize, 4usize), 159.37),
-        ((8, 8), 1272.94),
-        ((16, 32), 8585.73),
-        ((32, 64), 18396.28),
-    ] {
+    for ((tx, ty), paper_f) in
+        [((2usize, 4usize), 159.37), ((8, 8), 1272.94), ((16, 32), 8585.73), ((32, 64), 18396.28)]
+    {
         let cfg = StepConfig {
             per_core_h: total / tx,
             per_core_w: total / ty,

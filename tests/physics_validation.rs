@@ -32,11 +32,8 @@ fn magnetization_matches_onsager_below_tc() {
 fn energy_matches_onsager_on_both_sides_of_tc() {
     for (tt, tol) in [(0.7, 0.01), (1.4, 0.02)] {
         let t = tt * T_CRITICAL;
-        let init = if tt < 1.0 {
-            cold_plane::<f32>(48, 48)
-        } else {
-            random_plane::<f32>(9, 48, 48)
-        };
+        let init =
+            if tt < 1.0 { cold_plane::<f32>(48, 48) } else { random_plane::<f32>(9, 48, 48) };
         let mut sim = CompactIsing::from_plane(&init, 8, 1.0 / t, Randomness::bulk(4));
         let stats = run_chain(&mut sim, 300, 1200);
         let exact = onsager::energy_per_site(t);
@@ -52,12 +49,8 @@ fn energy_matches_onsager_on_both_sides_of_tc() {
 #[test]
 fn disorder_above_tc() {
     let t = 1.5 * T_CRITICAL;
-    let mut sim = CompactIsing::from_plane(
-        &random_plane::<f32>(17, 64, 64),
-        8,
-        1.0 / t,
-        Randomness::bulk(5),
-    );
+    let mut sim =
+        CompactIsing::from_plane(&random_plane::<f32>(17, 64, 64), 8, 1.0 / t, Randomness::bulk(5));
     let stats = run_chain(&mut sim, 200, 800);
     // |m| ~ O(1/L) in the disordered phase
     assert!(stats.mean_abs_m < 0.1, "⟨|m|⟩ = {}", stats.mean_abs_m);
@@ -72,8 +65,7 @@ fn bf16_reproduces_f32_statistics() {
     for tt in [0.85, 1.2] {
         let t = tt * T_CRITICAL;
         let init_f = if tt < 1.0 { cold_plane::<f32>(32, 32) } else { random_plane(21, 32, 32) };
-        let init_b =
-            if tt < 1.0 { cold_plane::<Bf16>(32, 32) } else { random_plane(21, 32, 32) };
+        let init_b = if tt < 1.0 { cold_plane::<Bf16>(32, 32) } else { random_plane(21, 32, 32) };
         let mut f = CompactIsing::from_plane(&init_f, 8, 1.0 / t, Randomness::bulk(31));
         let mut b = CompactIsing::from_plane(&init_b, 8, 1.0 / t, Randomness::bulk(31));
         let sf = run_chain(&mut f, 300, 1500);
@@ -97,8 +89,7 @@ fn wolff_and_checkerboard_agree_on_observables() {
     use tpu_ising_core::WolffIsing;
     let t = 0.95 * T_CRITICAL;
     let l = 24;
-    let mut wolff =
-        WolffIsing::new(cold_plane::<f32>(l, l), 1.0 / t, Randomness::bulk(41));
+    let mut wolff = WolffIsing::new(cold_plane::<f32>(l, l), 1.0 / t, Randomness::bulk(41));
     let sw = run_chain(&mut wolff, 200, 1200);
     let mut checker =
         CompactIsing::from_plane(&cold_plane::<f32>(l, l), 4, 1.0 / t, Randomness::bulk(42));
