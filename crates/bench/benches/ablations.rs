@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
-use tpu_ising_core::{random_plane, CompactIsing, Randomness, Sweeper};
+use tpu_ising_core::{random_plane, CompactIsing, KernelBackend, Randomness, Sweeper};
 use tpu_ising_device::mesh::Torus;
 
 const L: usize = 128;
@@ -63,6 +63,7 @@ fn bench_pod_topologies(c: &mut Criterion) {
                 beta: BETA,
                 seed: 5,
                 rng: PodRng::BulkSplit,
+                backend: KernelBackend::Band,
             };
             b.iter(|| run_pod::<f32>(&cfg, 2));
         });

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tpu_ising_baseline::{GpuStyleIsing, MultiSpinIsing};
 use tpu_ising_core::{random_plane, CompactIsing, ConvIsing, NaiveIsing, Randomness, Sweeper};
 use tpu_ising_rng::PhiloxStream;
-use tpu_ising_tensor::{band_kernel, Tensor4};
+use tpu_ising_tensor::{band_kernel, BandKernel, KernelBackend, Tensor4};
 
 const L: usize = 256;
 const BETA: f64 = 0.4406868; // 1/Tc
@@ -18,6 +18,11 @@ fn bench_sweeps(c: &mut Criterion) {
     let init = random_plane::<f32>(1, L, L);
     g.bench_function(BenchmarkId::new("compact_f32", L), |b| {
         let mut sim = CompactIsing::from_plane(&init, 32, BETA, Randomness::bulk(2));
+        b.iter(|| sim.sweep());
+    });
+    g.bench_function(BenchmarkId::new("compact_f32_dense", L), |b| {
+        let mut sim = CompactIsing::from_plane(&init, 32, BETA, Randomness::bulk(2))
+            .with_backend(KernelBackend::Dense);
         b.iter(|| sim.sweep());
     });
     g.bench_function(BenchmarkId::new("compact_bf16", L), |b| {
@@ -80,6 +85,14 @@ fn bench_matmul(c: &mut Criterion) {
     });
     g.bench_function("batched_matmul_left_8x8x64x64", |b| {
         b.iter(|| t.matmul_left(&k));
+    });
+    // band-structured equivalents: same logical product, O(t²) work
+    let mut out = Tensor4::<f32>::zeros(shape);
+    g.bench_function("band_mul_right_8x8x64x64", |b| {
+        b.iter(|| t.band_mul_right_into(BandKernel::Tridiag, &mut out));
+    });
+    g.bench_function("band_mul_left_8x8x64x64", |b| {
+        b.iter(|| t.band_mul_left_into(BandKernel::Tridiag, &mut out));
     });
     g.finish();
 }

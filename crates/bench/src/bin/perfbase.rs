@@ -1,0 +1,217 @@
+//! Kernel-backend performance baseline: dense reference matmuls vs the
+//! band-structured fused update, single core and a 2×2 pod.
+//!
+//! For each tile size the same 256×256 lattice is swept with both
+//! [`KernelBackend`]s and we report µs/sweep, spin-flip throughput in
+//! flips/ns (every site is proposed once per sweep), and the steady-state
+//! heap traffic per sweep as seen by the counting allocator — the band
+//! path must hold that at zero. Writes `results/BENCH_compact.json`.
+//!
+//! `--quick` (or `ISING_BENCH_QUICK=1`) shrinks tiles and sweep counts.
+
+use std::time::Instant;
+
+use tpu_ising_bench::{print_table, quick_mode, results_dir};
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::{random_plane, CompactIsing, KernelBackend, Randomness, Sweeper};
+use tpu_ising_device::mesh::Torus;
+use tpu_ising_obs as obs;
+
+// Heap traffic is an acceptance criterion here, so this binary measures
+// its own allocations rather than trusting the sweeper's gauge.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
+const BETA: f64 = 0.6;
+const L: usize = 256;
+
+struct Row {
+    mode: &'static str,
+    tile: usize,
+    lattice: String,
+    backend: &'static str,
+    sweeps: usize,
+    us_per_sweep: f64,
+    flips_per_ns: f64,
+    steady_alloc_bytes_per_sweep: u64,
+}
+
+struct Speedup {
+    mode: &'static str,
+    tile: usize,
+    band_over_dense: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"tile\": {}, \"lattice\": \"{}\", \"backend\": \"{}\", \
+             \"sweeps\": {}, \"us_per_sweep\": {:.2}, \"flips_per_ns\": {:.5}, \
+             \"steady_alloc_bytes_per_sweep\": {}}}",
+            self.mode,
+            self.tile,
+            self.lattice,
+            self.backend,
+            self.sweeps,
+            self.us_per_sweep,
+            self.flips_per_ns,
+            self.steady_alloc_bytes_per_sweep
+        )
+    }
+}
+
+/// Time `sweeps` sweeps of `f`, returning (elapsed seconds, minimum heap
+/// delta over any single sweep). The minimum is the steady state: warmup
+/// already ran, so any sweep that allocates nothing reports 0 even if a
+/// rare sweep grows a buffer.
+fn time_sweeps(sweeps: usize, mut f: impl FnMut()) -> (f64, u64) {
+    let mut min_alloc = u64::MAX;
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        let a0 = obs::alloc::allocated_bytes();
+        f();
+        min_alloc = min_alloc.min(obs::alloc::allocated_bytes() - a0);
+    }
+    (t0.elapsed().as_secs_f64(), min_alloc)
+}
+
+fn single_core(tile: usize, backend: KernelBackend, sweeps: usize) -> Row {
+    let init = random_plane::<f32>(7, L, L);
+    let mut sim =
+        CompactIsing::from_plane(&init, tile, BETA, Randomness::bulk(42)).with_backend(backend);
+    for _ in 0..3 {
+        sim.sweep(); // warmup: first sweeps may grow halo buffers
+    }
+    let sites = sim.sites();
+    let (secs, min_alloc) = time_sweeps(sweeps, || sim.sweep());
+    Row {
+        mode: "single_core",
+        tile,
+        lattice: format!("{L}x{L}"),
+        backend: backend.name(),
+        sweeps,
+        us_per_sweep: secs * 1e6 / sweeps as f64,
+        flips_per_ns: (sites * sweeps) as f64 / (secs * 1e9),
+        steady_alloc_bytes_per_sweep: min_alloc,
+    }
+}
+
+fn pod(tile: usize, backend: KernelBackend, sweeps: usize) -> Row {
+    let cfg = PodConfig {
+        torus: Torus::new(2, 2),
+        per_core_h: 2 * tile,
+        per_core_w: 2 * tile,
+        tile,
+        beta: BETA,
+        seed: 99,
+        rng: PodRng::BulkSplit,
+        backend,
+    };
+    let sites = 4 * cfg.per_core_h * cfg.per_core_w;
+    let _ = run_pod::<f32>(&cfg, 2); // warmup run (mesh setup, buffer growth)
+    let t0 = Instant::now();
+    let _ = run_pod::<f32>(&cfg, sweeps);
+    let secs = t0.elapsed().as_secs_f64();
+    Row {
+        mode: "pod_2x2",
+        tile,
+        lattice: format!("{}x{}", 4 * tile, 4 * tile),
+        backend: backend.name(),
+        sweeps,
+        us_per_sweep: secs * 1e6 / sweeps as f64,
+        flips_per_ns: (sites * sweeps) as f64 / (secs * 1e9),
+        // run_pod rebuilds the mesh each call, so per-sweep steady heap
+        // traffic is not observable from outside; the single-core rows
+        // are the zero-allocation check.
+        steady_alloc_bytes_per_sweep: 0,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let tiles: &[usize] = if quick { &[8, 16] } else { &[32, 64, 128] };
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &t in tiles {
+        // The dense path is O(t³) per tile; keep its sweep budget small at
+        // large tiles so the baseline finishes in minutes, not hours.
+        let dense_sweeps = if quick {
+            6
+        } else if t >= 128 {
+            10
+        } else {
+            20
+        };
+        let band_sweeps = if quick { 20 } else { 60 };
+
+        let d = single_core(t, KernelBackend::Dense, dense_sweeps);
+        let b = single_core(t, KernelBackend::Band, band_sweeps);
+        speedups.push(Speedup {
+            mode: "single_core",
+            tile: t,
+            band_over_dense: b.flips_per_ns / d.flips_per_ns,
+        });
+        rows.push(d);
+        rows.push(b);
+
+        let d = pod(t, KernelBackend::Dense, dense_sweeps.min(6));
+        let b = pod(t, KernelBackend::Band, band_sweeps.min(20));
+        speedups.push(Speedup {
+            mode: "pod_2x2",
+            tile: t,
+            band_over_dense: b.flips_per_ns / d.flips_per_ns,
+        });
+        rows.push(d);
+        rows.push(b);
+    }
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.tile.to_string(),
+                r.lattice.clone(),
+                r.backend.to_string(),
+                r.sweeps.to_string(),
+                format!("{:.1}", r.us_per_sweep),
+                format!("{:.4}", r.flips_per_ns),
+                r.steady_alloc_bytes_per_sweep.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Kernel backend baseline (compact sweeper)",
+        &["mode", "tile", "lattice", "backend", "sweeps", "us/sweep", "flips/ns", "alloc B/sweep"],
+        &printable,
+    );
+
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|s| vec![s.mode.to_string(), s.tile.to_string(), format!("{:.2}x", s.band_over_dense)])
+        .collect();
+    print_table("Band speedup over dense", &["mode", "tile", "band/dense"], &speedup_rows);
+
+    // JSON is assembled by hand, like the Chrome-trace exporter: the
+    // committed baseline must not depend on which serializer is linked.
+    let mut json = format!("{{\n  \"quick\": {quick},\n  \"beta\": {BETA},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    {}{}\n", r.to_json(), sep));
+    }
+    json.push_str("  ],\n  \"speedup\": [\n");
+    for (i, s) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"tile\": {}, \"band_over_dense\": {:.2}}}{}\n",
+            s.mode, s.tile, s.band_over_dense, sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join("BENCH_compact.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\n[results written to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -106,6 +106,7 @@ fn main() {
         beta: 1.0 / tpu_ising_core::T_CRITICAL,
         seed: 7,
         rng: PodRng::BulkSplit,
+        backend: tpu_ising_core::KernelBackend::Band,
     };
     let sweeps = 4;
     let t0 = std::time::Instant::now();

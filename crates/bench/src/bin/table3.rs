@@ -9,12 +9,16 @@
 use tpu_ising_bench::{print_table, write_json};
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::hlo_frontend::build_compact_color_step;
-use tpu_ising_core::Color;
+use tpu_ising_core::{Color, KernelBackend};
 use tpu_ising_device::cost::{step_time, ExecutionMode, StepConfig, Variant};
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_hlo::graph::Dtype;
 use tpu_ising_obs as obs;
+
+/// Measure heap traffic so the per-sweep allocation figure is real.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
 
 /// Paper rows: (cores, mxu %, vpu %, fmt %, cp %).
 const PAPER: [(usize, f64, f64, f64, f64); 5] = [
@@ -97,8 +101,12 @@ fn main() {
         beta: 1.0 / tpu_ising_core::T_CRITICAL,
         seed: 7,
         rng: PodRng::BulkSplit,
+        backend: KernelBackend::Band,
     };
-    let _ = run_pod::<f32>(&cfg, 10);
+    let sweeps = 10;
+    let alloc0 = obs::alloc::allocated_bytes();
+    let _ = run_pod::<f32>(&cfg, sweeps);
+    let alloc_per_sweep = (obs::alloc::allocated_bytes() - alloc0) / sweeps as u64;
     obs::disable();
     let snap = obs::snapshot();
     let mb = snap.breakdown();
@@ -110,6 +118,14 @@ fn main() {
         mb.comm_fraction() * 100.0,
         snap.spans.len(),
         snap.tracks.len()
+    );
+    let msnap = obs::metrics().snapshot();
+    println!(
+        "  kernel_flops {}  rng_draws {}  alloc_bytes/sweep {} ({} backend; includes mesh-runtime buffers)",
+        msnap.counter("kernel_flops"),
+        msnap.counter("rng_draws_total"),
+        alloc_per_sweep,
+        cfg.backend.name(),
     );
 
     write_json("table3", &json);

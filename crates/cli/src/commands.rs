@@ -7,7 +7,7 @@ use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
 use tpu_ising_core::{
     cold_plane, onsager, random_plane, run_chain_labeled, ChainStats, Color, CompactIsing,
-    ConvIsing, NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
+    ConvIsing, KernelBackend, NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
 };
 use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
@@ -48,6 +48,12 @@ fn finalize_rate_gauges() {
         m.gauge("acceptance_ratio")
             .set(snap.counter("flips_accepted_total") as f64 / proposals as f64);
     }
+}
+
+/// Parse `--backend dense|band` (default: band, the fast fused path).
+fn backend(args: &Args) -> Result<KernelBackend, ArgError> {
+    let s = args.get_or("backend", "band");
+    s.parse().map_err(|_| ArgError(format!("unknown --backend '{s}' (expected dense|band)")))
 }
 
 fn temperature(args: &Args) -> Result<f64, ArgError> {
@@ -111,6 +117,7 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     let json = args.has_flag("json");
     let cold = args.has_flag("cold") || t < T_CRITICAL;
     let tile = (l / 4).clamp(2, 16);
+    let be = backend(args)?;
     let want_metrics = init_observability(args, false);
     let label = format!("simulate {algo} L={l}");
 
@@ -119,15 +126,17 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
             let init = if cold { cold_plane::<$S>(l, l) } else { random_plane::<$S>(seed, l, l) };
             let stats = match algo {
                 "compact" => {
-                    let mut s = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
+                    let mut s = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed))
+                        .with_backend(be);
                     run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "naive" => {
-                    let mut s = NaiveIsing::from_plane(&init, tile, beta, Randomness::bulk(seed));
+                    let mut s = NaiveIsing::from_plane(&init, tile, beta, Randomness::bulk(seed))
+                        .with_backend(be);
                     run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "conv" => {
-                    let mut s = ConvIsing::new(init, beta, Randomness::bulk(seed));
+                    let mut s = ConvIsing::new(init, beta, Randomness::bulk(seed)).with_backend(be);
                     run_chain_labeled(&mut s, burn, sweeps, &label)
                 }
                 "wolff" => {
@@ -194,6 +203,7 @@ pub fn scan(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("need --points ≥ 2 and --from < --to".into()));
     }
 
+    let be = backend(args)?;
     init_observability(args, false);
     let temps: Vec<f64> = (0..points)
         .map(|i| (from + (to - from) * i as f64 / (points - 1) as f64) * T_CRITICAL)
@@ -209,7 +219,8 @@ pub fn scan(args: &Args) -> Result<(), ArgError> {
                 random_plane::<f32>(l as u64, l, l)
             };
             let mut sim =
-                CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64 * 31));
+                CompactIsing::from_plane(&init, tile, 1.0 / t, Randomness::bulk(l as u64 * 31))
+                    .with_backend(be);
             let label = format!("scan L={l} T/Tc={:.3}", t / T_CRITICAL);
             let stats = run_chain_labeled(&mut sim, burn, sweeps, &label);
             values.push(stats.binder);
@@ -265,6 +276,7 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         beta: 1.0 / t,
         seed,
         rng: if args.has_flag("site-keyed") { PodRng::SiteKeyed } else { PodRng::BulkSplit },
+        backend: backend(args)?,
     };
     println!(
         "pod {nx}x{ny} cores, per-core {h}x{w}, global {}x{}, T/Tc = {:.3}, {sweeps} sweeps",

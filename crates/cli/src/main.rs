@@ -13,6 +13,12 @@ mod commands;
 
 use args::Args;
 
+/// Count heap traffic so `--metrics` can report `alloc_bytes_per_sweep`
+/// (the band backend's zero-allocation steady state is measured, not
+/// assumed).
+#[global_allocator]
+static ALLOC: tpu_ising_obs::alloc::CountingAllocator = tpu_ising_obs::alloc::CountingAllocator;
+
 fn usage() -> &'static str {
     "tpu-ising — checkerboard Ising Monte Carlo with the TPU mapping (SC'19 reproduction)
 
@@ -24,14 +30,18 @@ COMMANDS:
              --size N (64)  --t-over-tc X (0.95) | --temp T
              --algo compact|naive|conv|gpu|wolff|multispin (compact)
              --dtype f32|bf16 (f32)  --burn N (500)  --sweeps N (2000)
+             --backend dense|band (band)   neighbor-sum kernels: dense
+                                reference matmuls or the fused band path
+                                (bit-identical, ~zero-alloc steady state)
              --seed S (42)  --cold  --json  --metrics  --progress
   scan       Binder-cumulant temperature scan + Tc estimate
              --sizes A,B,.. (16,32)  --from X (0.92)  --to X (1.08)
              --points N (9)  --burn N (400)  --sweeps N (1600)  --json
-             --progress
+             --backend dense|band (band)  --progress
   pod        distributed SPMD run on a thread-per-core mesh
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
              --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
+             --backend dense|band (band)
              --trace-out PATH   write a Chrome trace (one track per core,
                                 open in chrome://tracing or Perfetto) and
                                 print measured vs modeled breakdowns

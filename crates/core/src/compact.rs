@@ -21,15 +21,17 @@
 //! of the color being updated — the paper measures it ~3× faster.
 
 use crate::lattice::{
-    grid_boundary_col, grid_boundary_row, splice_halo_col, splice_halo_row, Color,
+    grid_boundary_col, grid_boundary_col_into, grid_boundary_row, grid_boundary_row_into,
+    splice_halo_col, splice_halo_row, Color,
 };
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
+use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::Dir;
 use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
-use tpu_ising_tensor::{bidiag_kernel, Axis, Mat, Plane, Side, Tensor4};
+use tpu_ising_tensor::{bidiag_kernel, Axis, BandKernel, KernelBackend, Mat, Plane, Side, Tensor4};
 
 /// The four lattice-boundary halo vectors one color update needs.
 ///
@@ -54,6 +56,49 @@ pub struct ColorHalos<S> {
     pub second_col: Vec<S>,
 }
 
+impl<S> Default for ColorHalos<S> {
+    fn default() -> Self {
+        ColorHalos {
+            north: Vec::new(),
+            south: Vec::new(),
+            first_col: Vec::new(),
+            second_col: Vec::new(),
+        }
+    }
+}
+
+/// Preallocated per-color scratch: neighbor sums, the acceptance-uniform
+/// buffer, the two boundary-compensation edges and the local halo vectors.
+/// Sized once at construction so a band-backend half-sweep touches the
+/// heap not at all.
+struct Workspace<S> {
+    nn0: Tensor4<S>,
+    nn1: Tensor4<S>,
+    probs: Tensor4<S>,
+    edge_row: Tensor4<S>,
+    edge_col: Tensor4<S>,
+    halos: ColorHalos<S>,
+}
+
+impl<S: Scalar> Workspace<S> {
+    fn new(shape: [usize; 4]) -> Self {
+        let [m, n, t, _] = shape;
+        Workspace {
+            nn0: Tensor4::zeros(shape),
+            nn1: Tensor4::zeros(shape),
+            probs: Tensor4::zeros(shape),
+            edge_row: Tensor4::zeros([m, n, 1, t]),
+            edge_col: Tensor4::zeros([m, n, t, 1]),
+            halos: ColorHalos {
+                north: Vec::with_capacity(n * t),
+                south: Vec::with_capacity(n * t),
+                first_col: Vec::with_capacity(m * t),
+                second_col: Vec::with_capacity(m * t),
+            },
+        }
+    }
+}
+
 /// Algorithm 2 sampler over the four compact sub-lattices.
 pub struct CompactIsing<S> {
     /// σ̂00, σ̂01, σ̂10, σ̂11 — each `[m, n, t, t]`.
@@ -70,6 +115,8 @@ pub struct CompactIsing<S> {
     /// only in distributed runs; must be even so local parity = global.
     row0: usize,
     col0: usize,
+    backend: KernelBackend,
+    ws: Workspace<S>,
 }
 
 impl<S: Scalar + RandomUniform> CompactIsing<S> {
@@ -93,8 +140,10 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
     ) -> Self {
         assert!(row0.is_multiple_of(2) && col0.is_multiple_of(2), "core offsets must be even");
         let [p00, p01, p10, p11] = plane.deinterleave();
+        let q00 = p00.to_tiles(tile);
+        let ws = Workspace::new(q00.shape());
         CompactIsing {
-            q00: p00.to_tiles(tile),
+            q00,
             q01: p01.to_tiles(tile),
             q10: p10.to_tiles(tile),
             q11: p11.to_tiles(tile),
@@ -105,7 +154,26 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
             sweep_index: 0,
             row0,
             col0,
+            backend: KernelBackend::default(),
+            ws,
         }
+    }
+
+    /// Select the neighbor-sum compute path (builder style). The default
+    /// is [`KernelBackend::Band`]; both backends are bit-identical.
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active kernel backend.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Switch the kernel backend in place.
+    pub fn set_backend(&mut self, backend: KernelBackend) {
+        self.backend = backend;
     }
 
     /// Reassemble the full local lattice.
@@ -156,19 +224,28 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
     /// This core's own wrapped-boundary halos — correct for a single-core
     /// (torus) run.
     pub fn local_halos(&self, color: Color) -> ColorHalos<S> {
+        let mut out = ColorHalos::default();
+        self.fill_local_halos(color, &mut out);
+        out
+    }
+
+    /// [`local_halos`](Self::local_halos) into reused vectors: each is
+    /// cleared and refilled, so the sweep loop's halo buffers stop
+    /// allocating once their capacity is established.
+    fn fill_local_halos(&self, color: Color, out: &mut ColorHalos<S>) {
         match color {
-            Color::Black => ColorHalos {
-                north: grid_boundary_row(&self.q10, Side::Last),
-                south: grid_boundary_row(&self.q01, Side::First),
-                first_col: grid_boundary_col(&self.q01, Side::Last),
-                second_col: grid_boundary_col(&self.q10, Side::First),
-            },
-            Color::White => ColorHalos {
-                north: grid_boundary_row(&self.q11, Side::Last),
-                south: grid_boundary_row(&self.q00, Side::First),
-                first_col: grid_boundary_col(&self.q00, Side::First),
-                second_col: grid_boundary_col(&self.q11, Side::Last),
-            },
+            Color::Black => {
+                grid_boundary_row_into(&self.q10, Side::Last, &mut out.north);
+                grid_boundary_row_into(&self.q01, Side::First, &mut out.south);
+                grid_boundary_col_into(&self.q01, Side::Last, &mut out.first_col);
+                grid_boundary_col_into(&self.q10, Side::First, &mut out.second_col);
+            }
+            Color::White => {
+                grid_boundary_row_into(&self.q11, Side::Last, &mut out.north);
+                grid_boundary_row_into(&self.q00, Side::First, &mut out.south);
+                grid_boundary_col_into(&self.q00, Side::First, &mut out.first_col);
+                grid_boundary_col_into(&self.q11, Side::Last, &mut out.second_col);
+            }
         }
     }
 
@@ -258,55 +335,112 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
         }
     }
 
-    /// Fill the acceptance-uniform tensor for the compact sub-lattice with
-    /// intra-cell offset `(a, b)` (σ̂ab).
-    fn probs(&mut self, color: Color, a: usize, b: usize) -> Tensor4<S> {
+    /// Fill the workspace acceptance-uniform tensor for the compact
+    /// sub-lattice with intra-cell offset `(a, b)` (σ̂ab). Reuses the one
+    /// buffer: `Randomness::fill` overwrites every element, and the bulk
+    /// stream draws in the same order the old allocate-per-sublattice code
+    /// did (first sub-lattice fully, then the second).
+    fn fill_probs(&mut self, color: Color, a: usize, b: usize) {
         // Uniform generation maps to the VPU on real hardware.
         let _span = obs::span!("rng_uniforms", obs::SpanKind::Vpu);
-        let [m, n, t, _] = self.q00.shape();
-        let mut probs = Tensor4::zeros([m, n, t, t]);
+        let [_, _, t, _] = self.q00.shape();
         let (row0, col0, sweep) = (self.row0, self.col0, self.sweep_index);
-        self.rng.fill(&mut probs, sweep, color, |b0, b1, r, c| {
+        self.rng.fill(&mut self.ws.probs, sweep, color, |b0, b1, r, c| {
             ((row0 + 2 * (b0 * t + r) + a) as u32, (col0 + 2 * (b1 * t + c) + b) as u32)
         });
         if obs::is_metrics() {
-            obs::metrics().counter("rng_draws_total").inc(probs.len() as u64);
+            obs::metrics().counter("rng_draws_total").inc(self.ws.probs.len() as u64);
         }
-        probs
     }
 
     /// Metropolis-accept flips for one compact sub-lattice given its
-    /// neighbor sums and uniforms: `σ ← σ·(1 − 2·[u < exp(−2β·nn·σ)])`.
+    /// neighbor sums and uniforms, in place: a site flips iff
+    /// `u < exp(−2β·nn·σ)` — bitwise the old `σ·(1 − 2·flip)` select,
+    /// since `σ·(−1) = −σ` exactly at both precisions.
     fn apply_flips(beta: f64, q: &mut Tensor4<S>, nn: &Tensor4<S>, probs: &Tensor4<S>) {
         // Elementwise exp/compare/select — VPU work on real hardware.
         let _span = obs::span!("metropolis_flips", obs::SpanKind::Vpu);
+        assert_eq!(q.shape(), nn.shape(), "apply_flips shape mismatch");
+        assert_eq!(q.shape(), probs.shape(), "apply_flips shape mismatch");
         let m2b = S::from_f32((-2.0 * beta) as f32);
-        let ratio = nn.zip_map(q, move |n, s| ((n * s) * m2b).exp());
-        let flips = probs.zip_map(&ratio, |u, r| if u < r { S::one() } else { S::zero() });
+        let proposals = q.len() as u64;
+        let accepted: u64 = q
+            .data_mut()
+            .par_iter_mut()
+            .zip(nn.data().par_iter())
+            .zip(probs.data().par_iter())
+            .map(|((s, &nv), &u)| {
+                let ratio = ((nv * *s) * m2b).exp();
+                if u < ratio {
+                    *s = -*s;
+                    1u64
+                } else {
+                    0
+                }
+            })
+            .sum();
         if obs::is_metrics() {
             let m = obs::metrics();
-            m.counter("flip_proposals_total").inc(flips.len() as u64);
-            m.counter("flips_accepted_total").inc(flips.sum_f64() as u64);
+            m.counter("flip_proposals_total").inc(proposals);
+            m.counter("flips_accepted_total").inc(accepted);
         }
-        *q = q.zip_map(&flips, |s, f| s * (S::one() - (f + f)));
     }
 
     /// Update all spins of one color (half a sweep), using the supplied
     /// lattice-boundary halos.
+    ///
+    /// With [`KernelBackend::Band`] this is one fused pass over
+    /// preallocated workspace buffers — band neighbor-sum accumulate,
+    /// boundary/halo compensation, uniform generation, acceptance and flip
+    /// — with zero heap allocations in steady state. With
+    /// [`KernelBackend::Dense`] the neighbor sums go through the reference
+    /// [`neighbor_sums`](Self::neighbor_sums) matmuls; flip decisions are
+    /// bit-identical either way.
     pub fn update_color(&mut self, color: Color, halos: &ColorHalos<S>) {
-        let (nn0, nn1) = self.neighbor_sums(color, halos);
+        let [m, n, t, _] = self.q00.shape();
+        match self.backend {
+            KernelBackend::Dense => {
+                let (nn0, nn1) = self.neighbor_sums(color, halos);
+                self.ws.nn0 = nn0;
+                self.ws.nn1 = nn1;
+                if obs::is_metrics() {
+                    // 4 dense t×t matmuls at 2·t³ flops per tile
+                    obs::metrics().counter("kernel_flops").inc((8 * m * n * t * t * t) as u64);
+                }
+            }
+            KernelBackend::Band => {
+                let _span = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
+                let ws = &mut self.ws;
+                band_neighbor_sums(
+                    color,
+                    &self.q00,
+                    &self.q01,
+                    &self.q10,
+                    &self.q11,
+                    halos,
+                    &mut ws.nn0,
+                    &mut ws.nn1,
+                    &mut ws.edge_row,
+                    &mut ws.edge_col,
+                );
+                if obs::is_metrics() {
+                    // 4 band products at ~2·t² adds per tile
+                    obs::metrics().counter("kernel_flops").inc((8 * m * n * t * t) as u64);
+                }
+            }
+        }
         match color {
             Color::Black => {
-                let p0 = self.probs(color, 0, 0);
-                let p1 = self.probs(color, 1, 1);
-                Self::apply_flips(self.beta, &mut self.q00, &nn0, &p0);
-                Self::apply_flips(self.beta, &mut self.q11, &nn1, &p1);
+                self.fill_probs(color, 0, 0);
+                Self::apply_flips(self.beta, &mut self.q00, &self.ws.nn0, &self.ws.probs);
+                self.fill_probs(color, 1, 1);
+                Self::apply_flips(self.beta, &mut self.q11, &self.ws.nn1, &self.ws.probs);
             }
             Color::White => {
-                let p0 = self.probs(color, 0, 1);
-                let p1 = self.probs(color, 1, 0);
-                Self::apply_flips(self.beta, &mut self.q01, &nn0, &p0);
-                Self::apply_flips(self.beta, &mut self.q10, &nn1, &p1);
+                self.fill_probs(color, 0, 1);
+                Self::apply_flips(self.beta, &mut self.q01, &self.ws.nn0, &self.ws.probs);
+                self.fill_probs(color, 1, 0);
+                Self::apply_flips(self.beta, &mut self.q10, &self.ws.nn1, &self.ws.probs);
             }
         }
     }
@@ -318,19 +452,88 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
     }
 }
 
+/// Band-path neighbor sums for `color`, written into `nn0`/`nn1` without
+/// allocating: the four O(t²) band products plus the tile/lattice boundary
+/// compensations, reusing the workspace edge tensors. Mirrors
+/// [`CompactIsing::neighbor_sums`] term by term (same product order, same
+/// rounding points), so the two paths are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn band_neighbor_sums<S: Scalar>(
+    color: Color,
+    q00: &Tensor4<S>,
+    q01: &Tensor4<S>,
+    q10: &Tensor4<S>,
+    q11: &Tensor4<S>,
+    halos: &ColorHalos<S>,
+    nn0: &mut Tensor4<S>,
+    nn1: &mut Tensor4<S>,
+    edge_row: &mut Tensor4<S>,
+    edge_col: &mut Tensor4<S>,
+) {
+    match color {
+        Color::Black => {
+            // nn(σ̂00) = σ̂01·K̂ + K̂ᵀ·σ̂10
+            q01.band_mul_right_into(BandKernel::Bidiag, nn0);
+            q10.band_mul_left_acc(BandKernel::BidiagT, nn0);
+            q10.rolled_edge_into(1, 0, Axis::Row, Side::Last, edge_row);
+            splice_halo_row(edge_row, true, &halos.north);
+            nn0.add_edge_assign(Axis::Row, Side::First, edge_row);
+            q01.rolled_edge_into(0, 1, Axis::Col, Side::Last, edge_col);
+            splice_halo_col(edge_col, true, &halos.first_col);
+            nn0.add_edge_assign(Axis::Col, Side::First, edge_col);
+
+            // nn(σ̂11) = K̂·σ̂01 + σ̂10·K̂ᵀ
+            q01.band_mul_left_into(BandKernel::Bidiag, nn1);
+            q10.band_mul_right_acc(BandKernel::BidiagT, nn1);
+            q01.rolled_edge_into(-1, 0, Axis::Row, Side::First, edge_row);
+            splice_halo_row(edge_row, false, &halos.south);
+            nn1.add_edge_assign(Axis::Row, Side::Last, edge_row);
+            q10.rolled_edge_into(0, -1, Axis::Col, Side::First, edge_col);
+            splice_halo_col(edge_col, false, &halos.second_col);
+            nn1.add_edge_assign(Axis::Col, Side::Last, edge_col);
+        }
+        Color::White => {
+            // nn(σ̂01) = σ̂00·K̂ᵀ + K̂ᵀ·σ̂11
+            q00.band_mul_right_into(BandKernel::BidiagT, nn0);
+            q11.band_mul_left_acc(BandKernel::BidiagT, nn0);
+            q11.rolled_edge_into(1, 0, Axis::Row, Side::Last, edge_row);
+            splice_halo_row(edge_row, true, &halos.north);
+            nn0.add_edge_assign(Axis::Row, Side::First, edge_row);
+            q00.rolled_edge_into(0, -1, Axis::Col, Side::First, edge_col);
+            splice_halo_col(edge_col, false, &halos.first_col);
+            nn0.add_edge_assign(Axis::Col, Side::Last, edge_col);
+
+            // nn(σ̂10) = K̂·σ̂00 + σ̂11·K̂
+            q00.band_mul_left_into(BandKernel::Bidiag, nn1);
+            q11.band_mul_right_acc(BandKernel::Bidiag, nn1);
+            q00.rolled_edge_into(-1, 0, Axis::Row, Side::First, edge_row);
+            splice_halo_row(edge_row, false, &halos.south);
+            nn1.add_edge_assign(Axis::Row, Side::Last, edge_row);
+            q11.rolled_edge_into(0, 1, Axis::Col, Side::Last, edge_col);
+            splice_halo_col(edge_col, true, &halos.second_col);
+            nn1.add_edge_assign(Axis::Col, Side::First, edge_col);
+        }
+    }
+}
+
 impl<S: Scalar + RandomUniform> Sweeper for CompactIsing<S> {
     fn sweep(&mut self) {
-        {
+        let track = obs::is_metrics();
+        let alloc0 = if track { obs::alloc::allocated_bytes() } else { 0 };
+        for color in [Color::Black, Color::White] {
             let _g = obs::span!("compact_halfsweep");
-            let halos = self.local_halos(Color::Black);
-            self.update_color(Color::Black, &halos);
-        }
-        {
-            let _g = obs::span!("compact_halfsweep");
-            let halos = self.local_halos(Color::White);
-            self.update_color(Color::White, &halos);
+            // take/restore the halo buffers so the borrow of `self` can be
+            // split without cloning; `Vec::new` placeholders don't allocate
+            let mut halos = std::mem::take(&mut self.ws.halos);
+            self.fill_local_halos(color, &mut halos);
+            self.update_color(color, &halos);
+            self.ws.halos = halos;
         }
         self.sweep_index += 1;
+        if track {
+            let delta = obs::alloc::allocated_bytes() - alloc0;
+            obs::metrics().gauge("alloc_bytes_per_sweep").set(delta as f64);
+        }
     }
 
     fn sites(&self) -> usize {
@@ -492,5 +695,68 @@ mod tests {
     fn odd_offsets_panic() {
         let p = random_plane::<f32>(1, 8, 8);
         let _ = CompactIsing::from_plane_at(&p, 2, 0.4, Randomness::bulk(0), 1, 0);
+    }
+
+    #[test]
+    fn band_neighbor_sums_bit_identical_to_dense() {
+        // Odd and even tile counts, rectangular grids.
+        for (h, w, tile) in [(8, 8, 2), (12, 20, 2), (16, 24, 4), (24, 8, 4)] {
+            let plane = random_plane::<f32>(h as u64 * 7 + w as u64, h, w);
+            let mut c = CompactIsing::from_plane(&plane, tile, 0.4, Randomness::bulk(0));
+            for color in [Color::Black, Color::White] {
+                let halos = c.local_halos(color);
+                let (d0, d1) = c.neighbor_sums(color, &halos);
+                let ws = &mut c.ws;
+                band_neighbor_sums(
+                    color,
+                    &c.q00,
+                    &c.q01,
+                    &c.q10,
+                    &c.q11,
+                    &halos,
+                    &mut ws.nn0,
+                    &mut ws.nn1,
+                    &mut ws.edge_row,
+                    &mut ws.edge_col,
+                );
+                assert_eq!(c.ws.nn0, d0, "{color:?} nn0 {h}x{w}/{tile}");
+                assert_eq!(c.ws.nn1, d1, "{color:?} nn1 {h}x{w}/{tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense_f32() {
+        use tpu_ising_tensor::KernelBackend;
+        let beta = 1.0 / crate::T_CRITICAL;
+        for (h, w, tile) in [(16, 16, 4), (12, 20, 2)] {
+            let init = random_plane::<f32>(91, h, w);
+            let mut dense = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(3))
+                .with_backend(KernelBackend::Dense);
+            let mut band = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(3))
+                .with_backend(KernelBackend::Band);
+            for step in 0..8 {
+                dense.sweep();
+                band.sweep();
+                assert_eq!(dense.to_plane(), band.to_plane(), "diverged at sweep {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense_bf16() {
+        use tpu_ising_bf16::Bf16;
+        use tpu_ising_tensor::KernelBackend;
+        let beta = 0.6;
+        let init = random_plane::<Bf16>(17, 16, 24);
+        let mut dense = CompactIsing::from_plane(&init, 4, beta, Randomness::bulk(5))
+            .with_backend(KernelBackend::Dense);
+        let mut band = CompactIsing::from_plane(&init, 4, beta, Randomness::bulk(5))
+            .with_backend(KernelBackend::Band);
+        for step in 0..8 {
+            dense.sweep();
+            band.sweep();
+            assert_eq!(dense.to_plane(), band.to_plane(), "diverged at sweep {step}");
+        }
     }
 }

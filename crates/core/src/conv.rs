@@ -6,6 +6,11 @@
 //! same checkerboard Metropolis: here the convolution is
 //! [`Plane::neighbor_sum_periodic`] and the color selection is a parity
 //! predicate, so this doubles as the most direct readable implementation.
+//!
+//! The [`KernelBackend`] selects between the legacy allocating update
+//! (`Dense`, kept as the readable reference) and a fused pass (`Band`) that
+//! convolves into a preallocated workspace and flips in place — zero heap
+//! allocations in steady state, bit-identical to the reference.
 
 use crate::lattice::Color;
 use crate::prob::Randomness;
@@ -14,7 +19,16 @@ use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
-use tpu_ising_tensor::Plane;
+use tpu_ising_tensor::{KernelBackend, Plane};
+
+/// Preallocated per-update buffers for the fused (band) path.
+struct ConvWorkspace<S> {
+    /// Neighbor sums for the whole plane.
+    nn: Plane<S>,
+    /// Uniforms; only the updated color's entries are (re)written each
+    /// half-sweep, and only those entries are ever read.
+    probs: Plane<S>,
+}
 
 /// Conv-based checkerboard sampler on a full plane.
 pub struct ConvIsing<S> {
@@ -25,6 +39,8 @@ pub struct ConvIsing<S> {
     /// Global offset of the local window (distributed site-keying).
     row0: usize,
     col0: usize,
+    backend: KernelBackend,
+    ws: ConvWorkspace<S>,
 }
 
 impl<S: Scalar + RandomUniform> ConvIsing<S> {
@@ -36,7 +52,31 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
     /// Like [`new`](Self::new) with a global window offset (both even).
     pub fn new_at(plane: Plane<S>, beta: f64, rng: Randomness, row0: usize, col0: usize) -> Self {
         assert!(row0.is_multiple_of(2) && col0.is_multiple_of(2), "core offsets must be even");
-        ConvIsing { plane, beta, rng, sweep_index: 0, row0, col0 }
+        let ws = ConvWorkspace {
+            nn: Plane::zeros(plane.height(), plane.width()),
+            probs: Plane::zeros(plane.height(), plane.width()),
+        };
+        ConvIsing {
+            plane,
+            beta,
+            rng,
+            sweep_index: 0,
+            row0,
+            col0,
+            backend: KernelBackend::default(),
+            ws,
+        }
+    }
+
+    /// Select the update backend (builder style).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// The configuration.
@@ -54,16 +94,13 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
         self.beta = beta;
     }
 
-    /// Update all sites of one color: convolve for neighbor sums, then a
-    /// masked Metropolis accept. The uniforms tensor is generated for the
-    /// whole plane (like the naive algorithm's `tf.random_uniform`) but
-    /// only `color` sites consume theirs.
-    pub fn update_color(&mut self, color: Color) {
-        let nn = self.plane.neighbor_sum_periodic();
+    /// Draw one uniform per `color` site into `probs`, site-keyed or in
+    /// raster order (bulk). Off-color entries are left untouched — they are
+    /// never read by the acceptance step.
+    fn fill_probs_into(&mut self, color: Color) {
         let (h, w) = (self.plane.height(), self.plane.width());
-        // Uniforms for every site of this color, generated site-keyed or
-        // in plane layout order (bulk).
-        let mut probs = Plane::<S>::zeros(h, w);
+        let (row0, col0) = (self.row0, self.col0);
+        let probs = &mut self.ws.probs;
         match &mut self.rng {
             Randomness::Bulk(stream) => {
                 // one uniform per updated (color) site, in raster order —
@@ -71,7 +108,7 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
                 // are not cross-implementation comparable (documented).
                 for r in 0..h {
                     for c in 0..w {
-                        if Color::of(self.row0 + r, self.col0 + c) == color {
+                        if Color::of(row0 + r, col0 + c) == color {
                             probs.set(r, c, stream.uniform());
                         }
                     }
@@ -80,7 +117,6 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
             Randomness::SiteKeyed(site) => {
                 let sweep = self.sweep_index;
                 let tag = color.tag();
-                let (row0, col0) = (self.row0, self.col0);
                 for r in 0..h {
                     for c in 0..w {
                         if Color::of(row0 + r, col0 + c) == color {
@@ -91,6 +127,43 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
                             );
                         }
                     }
+                }
+            }
+        }
+        if obs::is_metrics() {
+            obs::metrics().counter("rng_draws_total").inc((h * w / 2) as u64);
+        }
+    }
+
+    /// Update all sites of one color: convolve for neighbor sums, then a
+    /// masked Metropolis accept.
+    pub fn update_color(&mut self, color: Color) {
+        match self.backend {
+            KernelBackend::Dense => self.update_color_dense(color),
+            KernelBackend::Band => self.update_color_band(color),
+        }
+    }
+
+    /// The legacy reference update: allocates the neighbor-sum plane, a
+    /// zeroed uniforms plane, and a fresh output plane every call.
+    fn update_color_dense(&mut self, color: Color) {
+        let nn = self.plane.neighbor_sum_periodic();
+        let (h, w) = (self.plane.height(), self.plane.width());
+        if obs::is_metrics() {
+            // plus-kernel stencil: 4 adds per site
+            obs::metrics().counter("kernel_flops").inc((4 * h * w) as u64);
+        }
+        // Uniforms for every site of this color, generated site-keyed or
+        // in plane layout order (bulk). The workspace buffer is used for
+        // the draws (identical stream order), then copied into the zeroed
+        // plane the reference formulation reads.
+        self.fill_probs_into(color);
+        let mut probs = Plane::<S>::zeros(h, w);
+        let (row0, col0) = (self.row0, self.col0);
+        for r in 0..h {
+            for c in 0..w {
+                if Color::of(row0 + r, col0 + c) == color {
+                    probs.set(r, c, self.ws.probs.get(r, c));
                 }
             }
         }
@@ -124,10 +197,59 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
             .collect();
         self.plane = Plane::from_fn(h, w, |r, c| pd[r * w + c]);
     }
+
+    /// The fused update: convolve into the workspace, draw uniforms into
+    /// the workspace, flip in place. No heap allocations in steady state,
+    /// bit-identical to [`update_color_dense`](Self::update_color_dense).
+    fn update_color_band(&mut self, color: Color) {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        {
+            let _span = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
+            self.plane.neighbor_sum_periodic_into(&mut self.ws.nn);
+        }
+        if obs::is_metrics() {
+            obs::metrics().counter("kernel_flops").inc((4 * h * w) as u64);
+        }
+        self.fill_probs_into(color);
+        let m2b = S::from_f32((-2.0 * self.beta) as f32);
+        let parity_origin = (self.row0 + self.col0) % 2;
+        let color_parity = match color {
+            Color::Black => 0,
+            Color::White => 1,
+        };
+        let nn_data = self.ws.nn.data();
+        let probs_data = self.ws.probs.data();
+        let accepted: u64 = self
+            .plane
+            .data_mut()
+            .par_iter_mut()
+            .enumerate()
+            .map(|(idx, s)| {
+                let (r, c) = (idx / w, idx % w);
+                if (r + c + parity_origin) % 2 != color_parity {
+                    return 0u64;
+                }
+                let ratio = ((nn_data[idx] * *s) * m2b).exp();
+                if probs_data[idx] < ratio {
+                    *s = -*s;
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        if obs::is_metrics() {
+            let metrics = obs::metrics();
+            metrics.counter("flip_proposals_total").inc((h * w / 2) as u64);
+            metrics.counter("flips_accepted_total").inc(accepted);
+        }
+    }
 }
 
 impl<S: Scalar + RandomUniform> Sweeper for ConvIsing<S> {
     fn sweep(&mut self) {
+        let track = obs::is_metrics();
+        let alloc0 = if track { obs::alloc::allocated_bytes() } else { 0 };
         {
             let _g = obs::span!("conv_halfsweep");
             self.update_color(Color::Black);
@@ -137,6 +259,10 @@ impl<S: Scalar + RandomUniform> Sweeper for ConvIsing<S> {
             self.update_color(Color::White);
         }
         self.sweep_index += 1;
+        if track {
+            let delta = obs::alloc::allocated_bytes() - alloc0;
+            obs::metrics().gauge("alloc_bytes_per_sweep").set(delta as f64);
+        }
     }
 
     fn sites(&self) -> usize {
@@ -182,6 +308,36 @@ mod tests {
             conv.sweep();
             comp.sweep();
             assert_eq!(&comp.to_plane(), conv.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense() {
+        let beta = 1.0 / crate::T_CRITICAL;
+        let init = random_plane::<f32>(33, 14, 18);
+        let mut dense = ConvIsing::new(init.clone(), beta, Randomness::bulk(7))
+            .with_backend(KernelBackend::Dense);
+        let mut band =
+            ConvIsing::new(init, beta, Randomness::bulk(7)).with_backend(KernelBackend::Band);
+        for step in 0..8 {
+            dense.sweep();
+            band.sweep();
+            assert_eq!(dense.plane(), band.plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense_bf16() {
+        use tpu_ising_bf16::Bf16;
+        let init = random_plane::<Bf16>(35, 12, 16);
+        let mut dense = ConvIsing::new(init.clone(), 0.6, Randomness::site_keyed(99))
+            .with_backend(KernelBackend::Dense);
+        let mut band =
+            ConvIsing::new(init, 0.6, Randomness::site_keyed(99)).with_backend(KernelBackend::Band);
+        for step in 0..8 {
+            dense.sweep();
+            band.sweep();
+            assert_eq!(dense.plane(), band.plane(), "diverged at sweep {step}");
         }
     }
 

@@ -19,7 +19,7 @@ use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::{run_spmd, MeshHandle, Torus};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
-use tpu_ising_tensor::Plane;
+use tpu_ising_tensor::{KernelBackend, Plane};
 
 /// How per-core randomness is derived.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +49,9 @@ pub struct PodConfig {
     pub seed: u64,
     /// Randomness derivation mode.
     pub rng: PodRng,
+    /// Neighbor-sum kernel backend for every core (dense reference matmuls
+    /// or the band-structured fused path — bit-identical trajectories).
+    pub backend: KernelBackend,
 }
 
 impl PodConfig {
@@ -118,7 +121,8 @@ fn core_main<S: Scalar + RandomUniform>(
             Randomness::Bulk(PhiloxStream::from_seed(cfg.seed).split(handle.id() as u64 + 1))
         }
     };
-    let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0);
+    let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
+        .with_backend(cfg.backend);
 
     let mut mags = Vec::with_capacity(sweeps);
     for _ in 0..sweeps {
@@ -166,7 +170,8 @@ mod tests {
     fn single_core_trajectory(cfg: &PodConfig, sweeps: usize) -> Plane<f32> {
         let init = random_plane::<f32>(cfg.seed, cfg.global_h(), cfg.global_w());
         let mut sim =
-            CompactIsing::from_plane(&init, cfg.tile, cfg.beta, Randomness::site_keyed(cfg.seed));
+            CompactIsing::from_plane(&init, cfg.tile, cfg.beta, Randomness::site_keyed(cfg.seed))
+                .with_backend(cfg.backend);
         for _ in 0..sweeps {
             sim.sweep();
         }
@@ -183,6 +188,7 @@ mod tests {
             beta: 1.0 / crate::T_CRITICAL,
             seed: 4242,
             rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
         };
         let sweeps = 6;
         let pod = run_pod::<f32>(&cfg, sweeps);
@@ -202,6 +208,7 @@ mod tests {
             beta: 0.5,
             seed: 99,
             rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
         };
         let a = run_pod::<f32>(&mk(1, 4, 16, 4), 4);
         let b = run_pod::<f32>(&mk(4, 1, 4, 16), 4);
@@ -220,6 +227,7 @@ mod tests {
             beta: 0.44,
             seed: 7,
             rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Dense,
         };
         let pod = run_pod::<f32>(&cfg, 5);
         let single = single_core_trajectory(&cfg, 5);
@@ -236,6 +244,7 @@ mod tests {
             beta: 0.6,
             seed: 13,
             rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
         };
         let pod = run_pod::<f32>(&cfg, 3);
         assert_eq!(pod.magnetization_sums.len(), 3);
@@ -252,12 +261,31 @@ mod tests {
             beta: 0.7,
             seed: 21,
             rng: PodRng::BulkSplit,
+            backend: KernelBackend::Band,
         };
         let pod = run_pod::<f32>(&cfg, 5);
         assert!(pod.final_plane.data().iter().all(|&s| s == 1.0 || s == -1.0));
         // low temperature from hot start: |m| should have grown
         let m_last = pod.magnetization_sums.last().unwrap() / cfg.sites() as f64;
         assert!(m_last.abs() <= 1.0);
+    }
+
+    #[test]
+    fn pod_backends_are_bit_identical() {
+        let mk = |backend| PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.5,
+            seed: 1717,
+            rng: PodRng::BulkSplit,
+            backend,
+        };
+        let dense = run_pod::<f32>(&mk(KernelBackend::Dense), 5);
+        let band = run_pod::<f32>(&mk(KernelBackend::Band), 5);
+        assert_eq!(dense.final_plane, band.final_plane);
+        assert_eq!(dense.magnetization_sums, band.magnetization_sums);
     }
 
     #[test]
@@ -271,6 +299,7 @@ mod tests {
             beta: 0.55,
             seed: 31,
             rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
         };
         let pod = run_pod::<Bf16>(&cfg, 4);
         let init = random_plane::<Bf16>(cfg.seed, 16, 16);

@@ -80,34 +80,50 @@ pub fn cold_plane<S: Scalar>(height: usize, width: usize) -> Plane<S> {
 /// neighboring core receives: for `Axis::Row` the concatenation over
 /// `(b1, c)` of the first/last spatial row; for `Axis::Col` over `(b0, r)`.
 pub fn grid_boundary_row<S: Scalar>(t: &Tensor4<S>, side: Side) -> Vec<S> {
+    let mut out = Vec::new();
+    grid_boundary_row_into(t, side, &mut out);
+    out
+}
+
+/// [`grid_boundary_row`] into a reused vector: cleared and refilled, so a
+/// caller that keeps the vector around allocates nothing in steady state.
+pub fn grid_boundary_row_into<S: Scalar>(t: &Tensor4<S>, side: Side, out: &mut Vec<S>) {
     let [m, n, rr, cc] = t.shape();
     let (b0, r) = match side {
         Side::First => (0, 0),
         Side::Last => (m - 1, rr - 1),
     };
-    let mut out = Vec::with_capacity(n * cc);
+    out.clear();
+    out.reserve(n * cc);
     for b1 in 0..n {
         for c in 0..cc {
             out.push(t.get(b0, b1, r, c));
         }
     }
-    out
 }
 
 /// The full boundary column of a tiled grid (see [`grid_boundary_row`]).
 pub fn grid_boundary_col<S: Scalar>(t: &Tensor4<S>, side: Side) -> Vec<S> {
+    let mut out = Vec::new();
+    grid_boundary_col_into(t, side, &mut out);
+    out
+}
+
+/// [`grid_boundary_col`] into a reused vector (see
+/// [`grid_boundary_row_into`]).
+pub fn grid_boundary_col_into<S: Scalar>(t: &Tensor4<S>, side: Side, out: &mut Vec<S>) {
     let [m, n, rr, cc] = t.shape();
     let (b1, c) = match side {
         Side::First => (0, 0),
         Side::Last => (n - 1, cc - 1),
     };
-    let mut out = Vec::with_capacity(m * rr);
+    out.clear();
+    out.reserve(m * rr);
     for b0 in 0..m {
         for r in 0..rr {
             out.push(t.get(b0, b1, r, c));
         }
     }
-    out
 }
 
 /// Overwrite the `b0 = 0` batch row of an edge tensor `[m, n, 1, c]` with a

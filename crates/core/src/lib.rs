@@ -66,7 +66,7 @@ pub use wolff::WolffIsing;
 
 pub use tpu_ising_bf16::{Bf16, Scalar};
 pub use tpu_ising_rng::{PhiloxStream, SiteRng};
-pub use tpu_ising_tensor::{Plane, Tensor4};
+pub use tpu_ising_tensor::{BandKernel, KernelBackend, Plane, Tensor4};
 
 /// The exact critical temperature of the 2-D square-lattice Ising model,
 /// `Tc = 2 / ln(1 + √2)` (Onsager 1944), in units of `J/k_B`.

@@ -8,14 +8,46 @@
 //! TPU mapping the paper presents first — correct, but with 2× the matmul
 //! work, 2× the RNG and extra mask arithmetic, which is why Algorithm 2
 //! exists (~3× faster in the paper's experiments).
+//!
+//! Like [`CompactIsing`](crate::compact::CompactIsing), the sampler carries
+//! a [`KernelBackend`]: `Dense` keeps the reference `σ·K + K·σ` matmuls,
+//! `Band` walks the tridiagonal kernel's two nonzero diagonals directly and
+//! fuses acceptance + mask + flip into one in-place pass over preallocated
+//! workspace buffers (zero heap allocations in steady state). Both backends
+//! are bit-identical.
 
 use crate::lattice::Color;
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
+use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
-use tpu_ising_tensor::{band_kernel, Axis, Mat, Plane, Side, Tensor4};
+use tpu_ising_tensor::{band_kernel, Axis, BandKernel, KernelBackend, Mat, Plane, Side, Tensor4};
+
+/// Preallocated per-update buffers so a half-sweep allocates nothing.
+struct NaiveWorkspace<S> {
+    /// Full-grid neighbor sums.
+    nn: Tensor4<S>,
+    /// One uniform per site (Algorithm 1 draws for every site).
+    probs: Tensor4<S>,
+    /// `[m, n, 1, t]` scratch for row-boundary compensation edges.
+    edge_row: Tensor4<S>,
+    /// `[m, n, t, 1]` scratch for column-boundary compensation edges.
+    edge_col: Tensor4<S>,
+}
+
+impl<S: Scalar> NaiveWorkspace<S> {
+    fn new(shape: [usize; 4]) -> Self {
+        let [m, n, t, _] = shape;
+        NaiveWorkspace {
+            nn: Tensor4::zeros(shape),
+            probs: Tensor4::zeros(shape),
+            edge_row: Tensor4::zeros([m, n, 1, t]),
+            edge_col: Tensor4::zeros([m, n, t, 1]),
+        }
+    }
+}
 
 /// Algorithm 1 sampler over a tiled full lattice.
 pub struct NaiveIsing<S> {
@@ -27,6 +59,8 @@ pub struct NaiveIsing<S> {
     beta: f64,
     rng: Randomness,
     sweep_index: u64,
+    backend: KernelBackend,
+    ws: NaiveWorkspace<S>,
 }
 
 impl<S: Scalar + RandomUniform> NaiveIsing<S> {
@@ -44,7 +78,28 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
                 S::zero()
             }
         });
-        NaiveIsing { grid, k: band_kernel::<S>(tile), mask_black, beta, rng, sweep_index: 0 }
+        let ws = NaiveWorkspace::new(grid.shape());
+        NaiveIsing {
+            grid,
+            k: band_kernel::<S>(tile),
+            mask_black,
+            beta,
+            rng,
+            sweep_index: 0,
+            backend: KernelBackend::default(),
+            ws,
+        }
+    }
+
+    /// Select the neighbor-sum kernel backend (builder style).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active kernel backend.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
     }
 
     /// Reassemble the full lattice.
@@ -64,7 +119,8 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
 
     /// Full-lattice neighbor sums: `σ·K + K·σ` per tile, then the four
     /// boundary compensations of Algorithm 1 lines 3–6 (torus wrap via
-    /// grid rolls).
+    /// grid rolls). This is the dense reference path; the band backend
+    /// produces bit-identical sums without the allocations.
     pub fn neighbor_sums(&self) -> Tensor4<S> {
         let mut nn = self.grid.matmul_right(&self.k);
         nn.add_assign(&self.grid.matmul_left(&self.k));
@@ -87,29 +143,100 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
     pub fn update_color(&mut self, color: Color) {
         let [m, n, t, _] = self.grid.shape();
         // line 1: probs for ALL sites (the waste Algorithm 2 eliminates)
-        let mut probs = Tensor4::<S>::zeros([m, n, t, t]);
         let sweep = self.sweep_index;
-        self.rng.fill(&mut probs, sweep, color, |b0, b1, r, c| {
+        self.rng.fill(&mut self.ws.probs, sweep, color, |b0, b1, r, c| {
             ((b0 * t + r) as u32, (b1 * t + c) as u32)
         });
+        if obs::is_metrics() {
+            obs::metrics().counter("rng_draws_total").inc(self.ws.probs.len() as u64);
+        }
         // lines 2–6
-        let nn = self.neighbor_sums();
-        // line 7: acceptance = exp(−2β·nn·σ)
+        match self.backend {
+            KernelBackend::Dense => {
+                self.ws.nn = self.neighbor_sums();
+                if obs::is_metrics() {
+                    // 2 dense t×t matmuls at 2·t³ flops per tile
+                    obs::metrics().counter("kernel_flops").inc((4 * m * n * t * t * t) as u64);
+                }
+            }
+            KernelBackend::Band => {
+                let _span = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
+                let ws = &mut self.ws;
+                band_neighbor_sums(&self.grid, &mut ws.nn, &mut ws.edge_row, &mut ws.edge_col);
+                if obs::is_metrics() {
+                    // 2 band products at ~2·t² adds per tile
+                    obs::metrics().counter("kernel_flops").inc((4 * m * n * t * t) as u64);
+                }
+            }
+        }
+        // lines 7–10 fused in place: acceptance = exp(−2β·nn·σ), parity
+        // mask, flip. Off-color sites are left untouched, which equals the
+        // reference `σ·(1 − 2·f·M)` with `f·M = 0` bit for bit; accepted
+        // flips negate, which equals `σ·(1 − 2)` exactly.
         let m2b = S::from_f32((-2.0 * self.beta) as f32);
-        let ratio = nn.zip_map(&self.grid, move |nv, s| ((nv * s) * m2b).exp());
-        // lines 8–9: mask the fixed color
-        let accept = probs.zip_map(&ratio, |u, r| if u < r { S::one() } else { S::zero() });
-        let flips = match color {
-            Color::Black => accept.zip_map(&self.mask_black, |f, mk| f * mk),
-            Color::White => accept.zip_map(&self.mask_black, |f, mk| f * (S::one() - mk)),
+        let on = match color {
+            Color::Black => S::one(),
+            Color::White => S::zero(),
         };
-        // line 10: σ ← σ − 2·flips·σ
-        self.grid = self.grid.zip_map(&flips, |s, f| s * (S::one() - (f + f)));
+        let accepted: u64 = self
+            .grid
+            .data_mut()
+            .par_iter_mut()
+            .zip(self.ws.nn.data().par_iter())
+            .zip(self.ws.probs.data().par_iter())
+            .zip(self.mask_black.data().par_iter())
+            .map(|(((s, &nv), &u), &mk)| {
+                if mk != on {
+                    return 0u64;
+                }
+                let ratio = ((nv * *s) * m2b).exp();
+                if u < ratio {
+                    *s = -*s;
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        if obs::is_metrics() {
+            let metrics = obs::metrics();
+            metrics.counter("flip_proposals_total").inc((self.grid.len() / 2) as u64);
+            metrics.counter("flips_accepted_total").inc(accepted);
+        }
     }
+}
+
+/// Band-backend neighbor sums: walk the tridiagonal kernel's two nonzero
+/// diagonals instead of dense matmuls, writing into caller-provided
+/// buffers. Accumulation order matches [`NaiveIsing::neighbor_sums`]
+/// exactly (right product, then left, then the four boundary edges), so
+/// the result is bit-identical at every precision.
+fn band_neighbor_sums<S: Scalar>(
+    grid: &Tensor4<S>,
+    nn: &mut Tensor4<S>,
+    edge_row: &mut Tensor4<S>,
+    edge_col: &mut Tensor4<S>,
+) {
+    grid.band_mul_right_into(BandKernel::Tridiag, nn);
+    grid.band_mul_left_acc(BandKernel::Tridiag, nn);
+    // northern boundary: needs the southern edge of the tile above
+    grid.rolled_edge_into(1, 0, Axis::Row, Side::Last, edge_row);
+    nn.add_edge_assign(Axis::Row, Side::First, edge_row);
+    // southern boundary
+    grid.rolled_edge_into(-1, 0, Axis::Row, Side::First, edge_row);
+    nn.add_edge_assign(Axis::Row, Side::Last, edge_row);
+    // western boundary
+    grid.rolled_edge_into(0, 1, Axis::Col, Side::Last, edge_col);
+    nn.add_edge_assign(Axis::Col, Side::First, edge_col);
+    // eastern boundary
+    grid.rolled_edge_into(0, -1, Axis::Col, Side::First, edge_col);
+    nn.add_edge_assign(Axis::Col, Side::Last, edge_col);
 }
 
 impl<S: Scalar + RandomUniform> Sweeper for NaiveIsing<S> {
     fn sweep(&mut self) {
+        let track = obs::is_metrics();
+        let alloc0 = if track { obs::alloc::allocated_bytes() } else { 0 };
         {
             let _g = obs::span!("naive_halfsweep");
             self.update_color(Color::Black);
@@ -119,6 +246,10 @@ impl<S: Scalar + RandomUniform> Sweeper for NaiveIsing<S> {
             self.update_color(Color::White);
         }
         self.sweep_index += 1;
+        if track {
+            let delta = obs::alloc::allocated_bytes() - alloc0;
+            obs::metrics().gauge("alloc_bytes_per_sweep").set(delta as f64);
+        }
     }
 
     fn sites(&self) -> usize {
@@ -147,6 +278,48 @@ mod tests {
             let nv = NaiveIsing::from_plane(&plane, tile, 0.4, Randomness::bulk(0));
             let expect = plane.neighbor_sum_periodic().to_tiles(tile);
             assert_eq!(nv.neighbor_sums(), expect, "{h}x{w}/{tile}");
+        }
+    }
+
+    #[test]
+    fn band_neighbor_sums_bit_identical_to_dense() {
+        for (h, w, tile) in [(8, 8, 2), (12, 20, 2), (16, 24, 4), (24, 8, 8)] {
+            let plane = random_plane::<f32>(h as u64 * 13 + w as u64, h, w);
+            let mut nv = NaiveIsing::from_plane(&plane, tile, 0.4, Randomness::bulk(0));
+            let dense = nv.neighbor_sums();
+            let ws = &mut nv.ws;
+            band_neighbor_sums(&nv.grid, &mut ws.nn, &mut ws.edge_row, &mut ws.edge_col);
+            assert_eq!(nv.ws.nn, dense, "{h}x{w}/{tile}");
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense() {
+        let beta = 1.0 / crate::T_CRITICAL;
+        let init = random_plane::<f32>(23, 16, 24);
+        let mut dense = NaiveIsing::from_plane(&init, 4, beta, Randomness::bulk(9))
+            .with_backend(KernelBackend::Dense);
+        let mut band = NaiveIsing::from_plane(&init, 4, beta, Randomness::bulk(9))
+            .with_backend(KernelBackend::Band);
+        for step in 0..8 {
+            dense.sweep();
+            band.sweep();
+            assert_eq!(dense.to_plane(), band.to_plane(), "diverged at sweep {step}");
+        }
+    }
+
+    #[test]
+    fn band_backend_trajectory_bit_identical_to_dense_bf16() {
+        use tpu_ising_bf16::Bf16;
+        let init = random_plane::<Bf16>(29, 12, 20);
+        let mut dense = NaiveIsing::from_plane(&init, 2, 0.6, Randomness::bulk(11))
+            .with_backend(KernelBackend::Dense);
+        let mut band = NaiveIsing::from_plane(&init, 2, 0.6, Randomness::bulk(11))
+            .with_backend(KernelBackend::Band);
+        for step in 0..8 {
+            dense.sweep();
+            band.sweep();
+            assert_eq!(dense.to_plane(), band.to_plane(), "diverged at sweep {step}");
         }
     }
 

@@ -1,0 +1,70 @@
+//! A byte-counting global allocator for allocation-budget instrumentation.
+//!
+//! The fused band-backend sweep claims *zero heap allocations in steady
+//! state*; this module makes that claim measurable rather than aspirational.
+//! A binary opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tpu_ising_obs::alloc::CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! after which [`allocated_bytes`] returns the cumulative bytes handed out
+//! by the allocator (allocations and the growth portion of reallocations;
+//! frees are *not* subtracted — the counter measures allocation traffic,
+//! not live bytes). Sweepers sample it around a sweep to report the
+//! `alloc_bytes_per_sweep` gauge, and `perfbase` uses the per-sweep delta
+//! directly. Without the opt-in the counter simply stays zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative bytes allocated since process start (0 unless a binary
+/// installed [`CountingAllocator`] as its global allocator).
+#[inline]
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Whether a [`CountingAllocator`] is actually counting. Any Rust process
+/// allocates during startup, so a zero counter after `main` begins means
+/// the allocator was never installed.
+#[inline]
+pub fn is_counting() -> bool {
+    allocated_bytes() > 0
+}
+
+/// The system allocator wrapped with a relaxed atomic byte counter.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && new_size > layout.size() {
+            ALLOCATED.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        p
+    }
+}

@@ -26,6 +26,7 @@
 //!   capacity and reports how many spans were dropped rather than
 //!   truncating silently.
 
+pub mod alloc;
 pub mod chrome;
 pub mod heartbeat;
 pub mod json;

@@ -1,0 +1,294 @@
+//! Band-specialized products for the fixed kernels `K` and `K̂`.
+//!
+//! The paper multiplies sub-lattices by dense 128×128 kernels because the
+//! MXU makes those free; on a CPU the dense triple loop is O(t³) per tile
+//! even though `K` is tridiagonal (sub/super diagonal) and `K̂` is upper
+//! bidiagonal (main + super diagonal). The [`BandKernel`] products below
+//! walk only the nonzero diagonals — O(t²) per tile — and write into
+//! caller-provided buffers so the hot loop allocates nothing.
+//!
+//! **Bit-equality contract.** Each output element accumulates its (at most
+//! two) contributions in f32 in ascending source-index order and rounds
+//! once with `Scalar::from_f32` — exactly what [`Tensor4::matmul_right`] /
+//! [`Tensor4::matmul_left`] produce for these kernels, because the skipped
+//! kernel entries are exact zeros and adding `±0·x` to a non-negative-zero
+//! f32 accumulator never changes its bits. The `_acc` variants round the
+//! product first and then add at storage precision, mirroring
+//! `matmul → add_assign`. The equality tests in `tests/properties.rs` and
+//! the sweeper tests in `tpu-ising-core` pin this for f32 and bf16.
+
+use crate::{band_kernel, bidiag_kernel, Mat, Tensor4};
+use rayon::prelude::*;
+use tpu_ising_bf16::Scalar;
+
+/// Which neighbor-sum compute path a sweeper uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Dense batched matmuls — the reference implementation, shaped like
+    /// what the TPU MXU actually executes.
+    Dense,
+    /// Band-structured O(t²) kernels with a fused, zero-allocation update
+    /// — the fast path on CPU. Bit-identical to `Dense`.
+    #[default]
+    Band,
+}
+
+impl KernelBackend {
+    /// The CLI/bench spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Dense => "dense",
+            KernelBackend::Band => "band",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(KernelBackend::Dense),
+            "band" => Ok(KernelBackend::Band),
+            other => Err(format!("unknown kernel backend '{other}' (use 'dense' or 'band')")),
+        }
+    }
+}
+
+/// The band structure of one of the paper's fixed kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BandKernel {
+    /// `K̂` — ones on the main and super-diagonals ([`bidiag_kernel`]).
+    Bidiag,
+    /// `K̂ᵀ` — ones on the main and sub-diagonals.
+    BidiagT,
+    /// `K` — ones on the sub- and super-diagonals ([`band_kernel`]).
+    Tridiag,
+}
+
+impl BandKernel {
+    /// Materialize the dense `t × t` kernel (reference path and tests).
+    pub fn to_mat<S: Scalar>(self, t: usize) -> Mat<S> {
+        match self {
+            BandKernel::Bidiag => bidiag_kernel(t),
+            BandKernel::BidiagT => bidiag_kernel::<S>(t).transpose(),
+            BandKernel::Tridiag => band_kernel(t),
+        }
+    }
+
+    /// Source-index offsets of the two nonzero diagonals, in ascending
+    /// order (the dense matmul's accumulation order over `kk`).
+    ///
+    /// For a right product `A·M` the entry `out[i, j]` sums
+    /// `A[i, j + d]` over these offsets `d` (in range); for a left product
+    /// `M·A` it sums `A[i + d, j]`.
+    #[inline]
+    fn offsets(self) -> (isize, isize) {
+        match self {
+            BandKernel::Bidiag => (-1, 0),
+            BandKernel::BidiagT => (0, 1),
+            BandKernel::Tridiag => (-1, 1),
+        }
+    }
+
+    /// Offsets for a *left* product `M·A` (rows of `M` instead of columns),
+    /// which flips the structure: `(M·A)[i, j] = Σ_d A[i + d, j]` over the
+    /// transposed kernel's offsets.
+    #[inline]
+    fn offsets_left(self) -> (isize, isize) {
+        match self {
+            // K̂ rows have ones at (i, i) and (i, i+1)
+            BandKernel::Bidiag => (0, 1),
+            // K̂ᵀ rows have ones at (i, i−1) and (i, i)
+            BandKernel::BidiagT => (-1, 0),
+            BandKernel::Tridiag => (-1, 1),
+        }
+    }
+}
+
+impl<S: Scalar> Tensor4<S> {
+    /// `out = self · M` for a square band kernel `M` of side `c`, walking
+    /// only the nonzero diagonals (O(t²) per tile). Bit-identical to
+    /// [`matmul_right`](Self::matmul_right) with the dense kernel.
+    pub fn band_mul_right_into(&self, kernel: BandKernel, out: &mut Tensor4<S>) {
+        self.band_right(kernel, out, false);
+    }
+
+    /// `out = out + self · M` with the product rounded to storage precision
+    /// before the add — bit-identical to `add_assign(matmul_right(..))`.
+    pub fn band_mul_right_acc(&self, kernel: BandKernel, out: &mut Tensor4<S>) {
+        self.band_right(kernel, out, true);
+    }
+
+    /// `out = M · self` for a square band kernel `M` of side `r`.
+    /// Bit-identical to [`matmul_left`](Self::matmul_left).
+    pub fn band_mul_left_into(&self, kernel: BandKernel, out: &mut Tensor4<S>) {
+        self.band_left(kernel, out, false);
+    }
+
+    /// `out = out + M · self`, product rounded before the add —
+    /// bit-identical to `add_assign(matmul_left(..))`.
+    pub fn band_mul_left_acc(&self, kernel: BandKernel, out: &mut Tensor4<S>) {
+        self.band_left(kernel, out, true);
+    }
+
+    fn band_right(&self, kernel: BandKernel, out: &mut Tensor4<S>, acc: bool) {
+        let [m, n, r, c] = self.shape();
+        assert_eq!(
+            out.shape(),
+            [m, n, r, c],
+            "band_mul_right shape mismatch: input is [{m}, {n}, {r}, {c}], output is {:?}",
+            out.shape()
+        );
+        let (d0, d1) = kernel.offsets();
+        out.data_mut().par_chunks_mut(c).zip(self.data().par_chunks(c)).for_each(|(orow, arow)| {
+            for (j, o) in orow.iter_mut().enumerate() {
+                // f32 accumulation over the in-range diagonals, in
+                // ascending source order — the dense matmul's order.
+                let mut a = 0.0f32;
+                let j0 = j as isize + d0;
+                if (0..c as isize).contains(&j0) {
+                    a += arow[j0 as usize].to_f32();
+                }
+                let j1 = j as isize + d1;
+                if (0..c as isize).contains(&j1) {
+                    a += arow[j1 as usize].to_f32();
+                }
+                let v = S::from_f32(a);
+                *o = if acc { *o + v } else { v };
+            }
+        });
+    }
+
+    fn band_left(&self, kernel: BandKernel, out: &mut Tensor4<S>, acc: bool) {
+        let [m, n, r, c] = self.shape();
+        assert_eq!(
+            out.shape(),
+            [m, n, r, c],
+            "band_mul_left shape mismatch: input is [{m}, {n}, {r}, {c}], output is {:?}",
+            out.shape()
+        );
+        let (d0, d1) = kernel.offsets_left();
+        let data = self.data();
+        out.data_mut().par_chunks_mut(c).enumerate().for_each(|(g, orow)| {
+            let (tile, i) = (g / r, g % r);
+            let base = tile * r * c;
+            let row = |ri: isize| -> Option<&[S]> {
+                (0..r as isize).contains(&ri).then(|| {
+                    let start = base + ri as usize * c;
+                    &data[start..start + c]
+                })
+            };
+            let (r0, r1) = (row(i as isize + d0), row(i as isize + d1));
+            for (j, o) in orow.iter_mut().enumerate() {
+                let mut a = 0.0f32;
+                if let Some(src) = r0 {
+                    a += src[j].to_f32();
+                }
+                if let Some(src) = r1 {
+                    a += src[j].to_f32();
+                }
+                let v = S::from_f32(a);
+                *o = if acc { *o + v } else { v };
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_ising_bf16::Bf16;
+
+    const KINDS: [BandKernel; 3] = [BandKernel::Bidiag, BandKernel::BidiagT, BandKernel::Tridiag];
+
+    fn spins(shape: [usize; 4]) -> Tensor4<f32> {
+        let mut k = 0u32;
+        Tensor4::from_fn(shape, |_, _, _, _| {
+            k = k.wrapping_mul(1664525).wrapping_add(1013904223);
+            if k & 4 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    #[test]
+    fn band_right_matches_dense_matmul() {
+        for shape in [[1, 1, 5, 5], [2, 3, 4, 4], [3, 1, 7, 7]] {
+            let a = spins(shape);
+            let t = shape[3];
+            for kind in KINDS {
+                let dense = a.matmul_right(&kind.to_mat::<f32>(t));
+                let mut out = Tensor4::zeros(shape);
+                a.band_mul_right_into(kind, &mut out);
+                assert_eq!(out, dense, "{kind:?} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_left_matches_dense_matmul() {
+        for shape in [[1, 1, 5, 5], [2, 3, 4, 4], [3, 1, 7, 7]] {
+            let a = spins(shape);
+            let t = shape[2];
+            for kind in KINDS {
+                let dense = a.matmul_left(&kind.to_mat::<f32>(t));
+                let mut out = Tensor4::zeros(shape);
+                a.band_mul_left_into(kind, &mut out);
+                assert_eq!(out, dense, "{kind:?} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn acc_variants_match_matmul_plus_add_assign() {
+        let shape = [2, 2, 6, 6];
+        let a = spins(shape);
+        let b = spins(shape).map(|v| v * 2.0);
+        for kind in KINDS {
+            let mut dense = b.clone();
+            dense.add_assign(&a.matmul_right(&kind.to_mat::<f32>(6)));
+            let mut band = b.clone();
+            a.band_mul_right_acc(kind, &mut band);
+            assert_eq!(band, dense, "right acc {kind:?}");
+
+            let mut dense = b.clone();
+            dense.add_assign(&a.matmul_left(&kind.to_mat::<f32>(6)));
+            let mut band = b.clone();
+            a.band_mul_left_acc(kind, &mut band);
+            assert_eq!(band, dense, "left acc {kind:?}");
+        }
+    }
+
+    #[test]
+    fn bf16_band_products_match_dense() {
+        let a: Tensor4<Bf16> = spins([2, 2, 5, 5]).cast();
+        for kind in KINDS {
+            let mut out = Tensor4::zeros([2, 2, 5, 5]);
+            a.band_mul_right_into(kind, &mut out);
+            assert_eq!(out, a.matmul_right(&kind.to_mat::<Bf16>(5)), "right {kind:?}");
+            let mut out = Tensor4::zeros([2, 2, 5, 5]);
+            a.band_mul_left_into(kind, &mut out);
+            assert_eq!(out, a.matmul_left(&kind.to_mat::<Bf16>(5)), "left {kind:?}");
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_names_roundtrip() {
+        for b in [KernelBackend::Dense, KernelBackend::Band] {
+            assert_eq!(b.name().parse::<KernelBackend>(), Ok(b));
+        }
+        assert!("mxu".parse::<KernelBackend>().is_err());
+        assert_eq!(KernelBackend::default(), KernelBackend::Band);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn band_right_shape_mismatch_panics() {
+        let a = Tensor4::<f32>::zeros([1, 1, 4, 4]);
+        let mut out = Tensor4::<f32>::zeros([1, 1, 4, 5]);
+        a.band_mul_right_into(BandKernel::Bidiag, &mut out);
+    }
+}

@@ -18,12 +18,14 @@
 //! parallel with rayon. [`Plane`] is the rank-2 view used by the conv-based
 //! variant from the paper's appendix and by reference implementations.
 
+mod band;
 mod kernels;
 mod mat;
 mod plane;
 mod tensor4;
 mod tiling;
 
+pub use band::{BandKernel, KernelBackend};
 pub use kernels::{band_kernel, bidiag_kernel};
 pub use mat::Mat;
 pub use plane::Plane;

@@ -81,7 +81,11 @@ impl<S: Scalar> Mat<S> {
     /// Used by tests and by the HLO interpreter for non-batched products;
     /// the hot path is [`crate::Tensor4`]'s batched version.
     pub fn matmul(&self, rhs: &Mat<S>) -> Mat<S> {
-        assert_eq!(self.cols, rhs.rows, "matmul inner-dimension mismatch");
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul inner-dimension mismatch: lhs is {}×{}, rhs is {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Mat::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for j in 0..rhs.cols {

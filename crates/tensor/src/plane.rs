@@ -53,6 +53,12 @@ impl<S: Scalar> Plane<S> {
         &self.data
     }
 
+    /// Mutable raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
     /// Element access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> S {
@@ -79,8 +85,16 @@ impl<S: Scalar> Plane<S> {
     /// boundary — the "plus"-kernel convolution `tf.nn.conv2d` computes in
     /// the paper's appendix implementation. Parallel over rows.
     pub fn neighbor_sum_periodic(&self) -> Plane<S> {
+        let mut out = Plane::zeros(self.height, self.width);
+        self.neighbor_sum_periodic_into(&mut out);
+        out
+    }
+
+    /// [`neighbor_sum_periodic`](Self::neighbor_sum_periodic) into a
+    /// caller-provided plane (zero allocations in steady state).
+    pub fn neighbor_sum_periodic_into(&self, out: &mut Plane<S>) {
         let (h, w) = (self.height, self.width);
-        let mut out = Plane::zeros(h, w);
+        assert_eq!((out.height, out.width), (h, w), "neighbor_sum_periodic_into shape mismatch");
         out.data.par_chunks_mut(w).enumerate().for_each(|(r, row)| {
             let up = if r == 0 { h - 1 } else { r - 1 };
             let down = if r + 1 == h { 0 } else { r + 1 };
@@ -95,7 +109,6 @@ impl<S: Scalar> Plane<S> {
                 *out = S::from_f32(acc);
             }
         });
-        out
     }
 
     /// Reorganize into an `[m, n, t, t]` grid of tiles. Panics unless both

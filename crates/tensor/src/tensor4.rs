@@ -130,7 +130,13 @@ impl<S: Scalar> Tensor4<S> {
     /// accumulate in f32 — the MXU contract.
     pub fn matmul_right(&self, k: &Mat<S>) -> Tensor4<S> {
         let [m, n, r, c] = self.shape;
-        assert_eq!(k.rows(), c, "matmul_right inner-dimension mismatch");
+        assert_eq!(
+            k.rows(),
+            c,
+            "matmul_right inner-dimension mismatch: tiles are {r}×{c}, kernel is {}×{}",
+            k.rows(),
+            k.cols()
+        );
         let c2 = k.cols();
         let mut out = Tensor4::zeros([m, n, r, c2]);
         let in_stride = r * c;
@@ -156,7 +162,13 @@ impl<S: Scalar> Tensor4<S> {
     /// `k` must be `[r2, r]`.
     pub fn matmul_left(&self, k: &Mat<S>) -> Tensor4<S> {
         let [m, n, r, c] = self.shape;
-        assert_eq!(k.cols(), r, "matmul_left inner-dimension mismatch");
+        assert_eq!(
+            k.cols(),
+            r,
+            "matmul_left inner-dimension mismatch: kernel is {}×{}, tiles are {r}×{c}",
+            k.rows(),
+            k.cols()
+        );
         let r2 = k.rows();
         let mut out = Tensor4::zeros([m, n, r2, c]);
         let in_stride = r * c;
@@ -267,6 +279,57 @@ impl<S: Scalar> Tensor4<S> {
                         for i in 0..r {
                             let v = self.get(b0, b1, i, col) + other.get(b0, b1, i, 0);
                             self.set(b0, b1, i, col, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write the `(axis, side)` edge of `self.roll_batch(d0, d1)` into a
+    /// caller-provided edge tensor, without materializing the rolled
+    /// tensor — the zero-allocation form of the boundary-compensation
+    /// slices (`roll_batch(..).edge(..)`) the sweepers take every
+    /// half-sweep.
+    pub fn rolled_edge_into(
+        &self,
+        d0: isize,
+        d1: isize,
+        axis: Axis,
+        side: Side,
+        out: &mut Tensor4<S>,
+    ) {
+        let [m, n, r, c] = self.shape;
+        let md = |i: usize, d: isize, len: usize| -> usize {
+            (((i as isize - d).rem_euclid(len as isize)) as usize).min(len - 1)
+        };
+        match axis {
+            Axis::Row => {
+                assert_eq!(out.shape, [m, n, 1, c], "rolled_edge_into: row edge shape mismatch");
+                let row = match side {
+                    Side::First => 0,
+                    Side::Last => r - 1,
+                };
+                for b0 in 0..m {
+                    for b1 in 0..n {
+                        let (s0, s1) = (md(b0, d0, m), md(b1, d1, n));
+                        for j in 0..c {
+                            out.set(b0, b1, 0, j, self.get(s0, s1, row, j));
+                        }
+                    }
+                }
+            }
+            Axis::Col => {
+                assert_eq!(out.shape, [m, n, r, 1], "rolled_edge_into: col edge shape mismatch");
+                let col = match side {
+                    Side::First => 0,
+                    Side::Last => c - 1,
+                };
+                for b0 in 0..m {
+                    for b1 in 0..n {
+                        let (s0, s1) = (md(b0, d0, m), md(b1, d1, n));
+                        for i in 0..r {
+                            out.set(b0, b1, i, 0, self.get(s0, s1, i, col));
                         }
                     }
                 }

@@ -2,7 +2,11 @@
 //! kernels rely on.
 
 use proptest::prelude::*;
-use tpu_ising_tensor::{band_kernel, bidiag_kernel, Axis, Bf16, Mat, Plane, Side, Tensor4};
+use tpu_ising_tensor::{
+    band_kernel, bidiag_kernel, Axis, BandKernel, Bf16, Mat, Plane, Side, Tensor4,
+};
+
+const BAND_KINDS: [BandKernel; 3] = [BandKernel::Bidiag, BandKernel::BidiagT, BandKernel::Tridiag];
 
 /// Strategy: a small random rank-4 tensor with integer-valued entries
 /// (exact at every precision).
@@ -122,5 +126,48 @@ proptest! {
         let b = tb.matmul_right(&kb);
         prop_assert_eq!(b.cast::<f32>(), f);
         let _ = k32;
+    }
+
+    #[test]
+    fn band_products_bit_equal_dense_f32(t in tensor_strategy()) {
+        // every band kind, right and left, plain and accumulating — all
+        // must reproduce the dense matmul bit-for-bit
+        let [_, _, r, c] = t.shape();
+        for kind in BAND_KINDS {
+            let mut out = Tensor4::zeros(t.shape());
+            t.band_mul_right_into(kind, &mut out);
+            prop_assert_eq!(&out, &t.matmul_right(&kind.to_mat::<f32>(c)));
+
+            let mut out = Tensor4::zeros(t.shape());
+            t.band_mul_left_into(kind, &mut out);
+            prop_assert_eq!(&out, &t.matmul_left(&kind.to_mat::<f32>(r)));
+
+            let mut acc = t.clone();
+            t.band_mul_right_acc(kind, &mut acc);
+            let mut dense = t.clone();
+            dense.add_assign(&t.matmul_right(&kind.to_mat::<f32>(c)));
+            prop_assert_eq!(&acc, &dense);
+
+            let mut acc = t.clone();
+            t.band_mul_left_acc(kind, &mut acc);
+            let mut dense = t.clone();
+            dense.add_assign(&t.matmul_left(&kind.to_mat::<f32>(r)));
+            prop_assert_eq!(&acc, &dense);
+        }
+    }
+
+    #[test]
+    fn band_products_bit_equal_dense_bf16(t in tensor_strategy()) {
+        let tb: Tensor4<Bf16> = t.cast();
+        let [_, _, r, c] = tb.shape();
+        for kind in BAND_KINDS {
+            let mut out = Tensor4::zeros(tb.shape());
+            tb.band_mul_right_into(kind, &mut out);
+            prop_assert_eq!(&out, &tb.matmul_right(&kind.to_mat::<Bf16>(c)));
+
+            let mut out = Tensor4::zeros(tb.shape());
+            tb.band_mul_left_into(kind, &mut out);
+            prop_assert_eq!(&out, &tb.matmul_left(&kind.to_mat::<Bf16>(r)));
+        }
     }
 }

@@ -25,6 +25,7 @@ fn main() {
         beta: 1.0 / (0.95 * T_CRITICAL),
         seed: 2024,
         rng: PodRng::BulkSplit,
+        backend: tpu_ising_core::KernelBackend::Band,
     };
     let sweeps = 60;
     println!(

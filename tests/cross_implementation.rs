@@ -60,6 +60,7 @@ fn distributed_pod_agrees_bitwise_with_reference() {
         beta,
         seed: SEED,
         rng: PodRng::SiteKeyed,
+        backend: tpu_ising_core::KernelBackend::Band,
     };
     let pod = run_pod::<f32>(&cfg, sweeps);
     assert_eq!(pod.final_plane, reference_after(sweeps, beta));

@@ -143,6 +143,7 @@ fn pod_run_reports_measured_communication_fraction() {
         beta: 0.5,
         seed: 11,
         rng: PodRng::SiteKeyed,
+        backend: tpu_ising_core::KernelBackend::Band,
     };
     let sweeps = 3;
     let _ = run_pod::<f32>(&cfg, sweeps);
