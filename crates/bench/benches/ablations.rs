@@ -65,7 +65,7 @@ fn bench_pod_topologies(c: &mut Criterion) {
                 rng: PodRng::BulkSplit,
                 backend: KernelBackend::Band,
             };
-            b.iter(|| run_pod::<f32>(&cfg, 2));
+            b.iter(|| run_pod::<f32>(&cfg, 2).expect("pod run failed"));
         });
     }
     g.finish();

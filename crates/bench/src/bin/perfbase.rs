@@ -108,9 +108,9 @@ fn pod(tile: usize, backend: KernelBackend, sweeps: usize) -> Row {
         backend,
     };
     let sites = 4 * cfg.per_core_h * cfg.per_core_w;
-    let _ = run_pod::<f32>(&cfg, 2); // warmup run (mesh setup, buffer growth)
+    let _ = run_pod::<f32>(&cfg, 2).expect("pod run failed"); // warmup run (mesh setup, buffer growth)
     let t0 = Instant::now();
-    let _ = run_pod::<f32>(&cfg, sweeps);
+    let _ = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     let secs = t0.elapsed().as_secs_f64();
     Row {
         mode: "pod_2x2",

@@ -110,7 +110,7 @@ fn main() {
     };
     let sweeps = 4;
     let t0 = std::time::Instant::now();
-    let pod = run_pod::<f32>(&cfg, sweeps);
+    let pod = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     let dt = t0.elapsed().as_secs_f64();
     println!(
         "functional check: 2x2-core pod, per-core 128x128: {:.4} flips/ns on CPU threads, final |m| = {:.3}",

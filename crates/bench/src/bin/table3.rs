@@ -105,7 +105,7 @@ fn main() {
     };
     let sweeps = 10;
     let alloc0 = obs::alloc::allocated_bytes();
-    let _ = run_pod::<f32>(&cfg, sweeps);
+    let _ = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     let alloc_per_sweep = (obs::alloc::allocated_bytes() - alloc0) / sweeps as u64;
     obs::disable();
     let snap = obs::snapshot();

@@ -71,6 +71,17 @@ impl Args {
         }
     }
 
+    /// Typed option, `None` when absent.
+    pub fn get_opt_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
+        }
+    }
+
     /// Parse `AxB` pairs like `--torus 2x2` or `--per-core 128x64`.
     pub fn get_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), ArgError> {
         match self.get(key) {
@@ -137,6 +148,14 @@ mod tests {
         let a = parse("scan");
         assert_eq!(a.get_or("algo", "compact"), "compact");
         assert_eq!(a.get_parse("sweeps", 100usize).unwrap(), 100);
+    }
+
+    #[test]
+    fn optional_typed_options() {
+        let a = parse("pod --kill-core 3");
+        assert_eq!(a.get_opt_parse::<usize>("kill-core").unwrap(), Some(3));
+        assert_eq!(a.get_opt_parse::<usize>("kill-at").unwrap(), None);
+        assert!(parse("pod --kill-core x").get_opt_parse::<usize>("kill-core").is_err());
     }
 
     #[test]

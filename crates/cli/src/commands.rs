@@ -3,7 +3,9 @@
 use crate::args::{ArgError, Args};
 use tpu_ising_baseline::{GpuStyleIsing, MultiSpinIsing};
 use tpu_ising_bf16::Bf16;
-use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::distributed::{
+    run_pod_resilient, PodCheckpoint, PodConfig, PodRng, ResilienceOpts,
+};
 use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
 use tpu_ising_core::{
     cold_plane, onsager, random_plane, run_chain_labeled, ChainStats, Color, CompactIsing,
@@ -13,6 +15,7 @@ use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
 };
 use tpu_ising_device::energy::energy_nj_per_flip;
+use tpu_ising_device::mesh::FaultPlan;
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
@@ -263,6 +266,29 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     let seed: u64 = args.get_parse("seed", 7u64)?;
     let tile = (h.min(w) / 4).clamp(1, 16);
     let trace_out = args.get("trace-out").map(str::to_string);
+    // Fault-tolerance knobs.
+    let checkpoint_every: usize = args.get_parse("checkpoint-every", 0usize)?;
+    let checkpoint_out = args.get("checkpoint-out").map(str::to_string);
+    let max_restarts: usize = args.get_parse("max-restarts", 3usize)?;
+    let recv_timeout_ms: u64 = args.get_parse("recv-timeout-ms", 30_000u64)?;
+    let kill_core: Option<usize> = args.get_opt_parse("kill-core")?;
+    let kill_at: Option<u64> = args.get_opt_parse("kill-at")?;
+    let resume_ckpt: Option<PodCheckpoint> = match args.get("resume") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read --resume {path}: {e}")))?;
+            Some(PodCheckpoint::from_json(&json).map_err(|e| ArgError(e.to_string()))?)
+        }
+        None => None,
+    };
+    let mut faults = FaultPlan::new();
+    match (kill_core, kill_at) {
+        (Some(core), Some(at)) => faults = faults.kill(core, at),
+        (None, None) => {}
+        _ => {
+            return Err(ArgError("--kill-core and --kill-at must be given together".into()));
+        }
+    }
     let want_metrics = init_observability(args, true);
     if trace_out.is_some() {
         obs::reset();
@@ -284,16 +310,46 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         cfg.global_w(),
         t / T_CRITICAL
     );
+    if let Some(ck) = &resume_ckpt {
+        println!(
+            "resuming from sweep {} (snapshot taken on a {}x{} torus, {} rng)",
+            ck.sweep_index, ck.nx, ck.ny, ck.rng_mode
+        );
+    }
+    let opts = ResilienceOpts {
+        // 0 means "final snapshot only": the driver always lands one at
+        // the end, so resume/--checkpoint-out still work.
+        checkpoint_every: if checkpoint_every > 0 { checkpoint_every } else { sweeps.max(1) },
+        max_restarts,
+        recv_timeout: std::time::Duration::from_millis(recv_timeout_ms),
+        faults,
+    };
     let t0 = std::time::Instant::now();
-    let result = run_pod::<f32>(&cfg, sweeps);
+    let run = run_pod_resilient::<f32>(&cfg, sweeps, &opts, resume_ckpt)
+        .map_err(|e| ArgError(e.to_string()))?;
     let dt = t0.elapsed().as_secs_f64();
     obs::disable();
+    let result = &run.result;
     let n = cfg.sites() as f64;
     println!(
         "done in {dt:.2} s ({:.2} Msites/s); final |m| = {:.4}",
         n * sweeps as f64 / dt / 1e6,
         result.magnetization_sums.last().unwrap().abs() / n
     );
+    if !run.faults_seen.is_empty() {
+        println!("survived {} fault(s) with {} restart(s):", run.faults_seen.len(), run.restarts);
+        for f in &run.faults_seen {
+            println!("  {f}");
+        }
+    }
+    if let Some(path) = &checkpoint_out {
+        std::fs::write(path, run.final_checkpoint.to_json())
+            .map_err(|e| ArgError(format!("cannot write --checkpoint-out {path}: {e}")))?;
+        println!(
+            "[pod checkpoint at sweep {} written to {path}]",
+            run.final_checkpoint.sweep_index
+        );
+    }
 
     if want_metrics {
         let m = obs::metrics();

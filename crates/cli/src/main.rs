@@ -42,6 +42,9 @@ COMMANDS:
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
              --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
              --backend dense|band (band)
+             --checkpoint-every N (off)  --checkpoint-out FILE  --resume FILE
+             --max-restarts N (3)  --recv-timeout-ms MS (30000)
+             --kill-core N --kill-at K (inject a fault for testing)
              --trace-out PATH   write a Chrome trace (one track per core,
                                 open in chrome://tracing or Perfetto) and
                                 print measured vs modeled breakdowns

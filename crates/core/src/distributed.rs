@@ -1,4 +1,5 @@
-//! SPMD simulation over a modeled TPU Pod slice.
+//! SPMD simulation over a modeled TPU Pod slice, survivable at
+//! production-chain length.
 //!
 //! One thread per TensorCore on a 2-D torus. Every core owns a window of
 //! the global lattice in compact form and runs the identical program
@@ -11,12 +12,36 @@
 //! With site-keyed randomness the distributed run is **bit-identical** to a
 //! single-core run on the same global lattice (the integration tests assert
 //! this); with split bulk streams it is a fast independent sampler.
+//!
+//! At the paper's scale (10⁶–8·10⁶ sweeps on up to 2048 cores, §6) core
+//! failure is routine, so the pod layer is built to survive it:
+//!
+//! - Mesh failures surface as [`PodError::Mesh`] from [`run_pod`] instead
+//!   of panicking the process.
+//! - [`PodCheckpoint`] bundles per-core [`Checkpoint`]s with the torus
+//!   geometry, RNG mode and backend; cores write snapshots into a shared
+//!   [`CheckpointStore`] every `checkpoint_every` sweeps, so a crashed run
+//!   leaves its latest *complete* snapshot behind.
+//! - [`run_pod_resilient`] retries from the latest complete snapshot with
+//!   a bounded restart budget. Under site-keyed RNG a killed-and-resumed
+//!   run reproduces the uninterrupted trajectory bit-exactly.
+//! - Because every per-core [`Checkpoint`] records its global `row0`/`col0`
+//!   window, a pod snapshot is just a sharded global lattice: it can be
+//!   restored onto a **different torus shape** (re-sharding is a re-slice)
+//!   under site-keyed RNG, whose uniforms depend only on global
+//!   coordinates.
 
+use crate::checkpoint::{checkpoint, Checkpoint};
 use crate::compact::{ColorHalos, CompactIsing};
 use crate::lattice::{random_plane_window, Color};
-use crate::prob::Randomness;
+use crate::prob::{Randomness, RngState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::str::FromStr;
+use std::sync::Mutex;
+use std::time::Duration;
 use tpu_ising_bf16::Scalar;
-use tpu_ising_device::mesh::{run_spmd, MeshHandle, Torus};
+use tpu_ising_device::mesh::{run_spmd_cfg, FaultPlan, MeshConfig, MeshError, MeshHandle, Torus};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
 use tpu_ising_tensor::{KernelBackend, Plane};
@@ -30,6 +55,28 @@ pub enum PodRng {
     /// Each core splits an independent Philox stream from the seed —
     /// production mode, statistically independent across cores.
     BulkSplit,
+}
+
+impl PodRng {
+    /// The checkpoint/CLI spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            PodRng::SiteKeyed => "site-keyed",
+            PodRng::BulkSplit => "bulk-split",
+        }
+    }
+}
+
+impl FromStr for PodRng {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "site-keyed" => Ok(PodRng::SiteKeyed),
+            "bulk-split" => Ok(PodRng::BulkSplit),
+            other => Err(format!("unknown rng mode '{other}' (use 'site-keyed' or 'bulk-split')")),
+        }
+    }
 }
 
 /// Configuration of a Pod run.
@@ -72,31 +119,367 @@ impl PodConfig {
 }
 
 /// Result of a Pod run.
+#[derive(Debug)]
 pub struct PodResult<S> {
-    /// Global `Σσ` after every sweep.
+    /// Global `Σσ` after every sweep (including history carried over a
+    /// resume, so the vector always spans sweep 1 to the final sweep).
     pub magnetization_sums: Vec<f64>,
     /// The final global lattice, stitched from the core windows.
     pub final_plane: Plane<S>,
 }
 
-/// Run `sweeps` full sweeps from the seed-determined hot start.
-pub fn run_pod<S: Scalar + RandomUniform>(cfg: &PodConfig, sweeps: usize) -> PodResult<S> {
-    let torus = cfg.torus;
-    let per_core: Vec<(Vec<f64>, Plane<S>)> =
-        run_spmd(torus, |mut h: MeshHandle<Vec<S>>| core_main::<S>(cfg, &mut h, sweeps));
+/// A failure at the pod level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PodError {
+    /// A collective failed on the mesh (dead peer, timeout, injected kill,
+    /// panicked core).
+    Mesh(MeshError),
+    /// A checkpoint could not be resumed onto the requested configuration.
+    Resume(String),
+    /// [`run_pod_resilient`] spent its restart budget without finishing.
+    RestartsExhausted {
+        /// Restarts attempted (equals the configured maximum).
+        restarts: usize,
+        /// The mesh error that killed the final attempt.
+        last: MeshError,
+    },
+}
 
-    // Stitch the global lattice and reduce magnetizations on the host.
-    let mut mags = vec![0.0f64; sweeps];
-    for (local_mags, _) in &per_core {
-        for (acc, &m) in mags.iter_mut().zip(local_mags.iter()) {
-            *acc += m;
+impl std::fmt::Display for PodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodError::Mesh(e) => write!(f, "pod mesh failure: {e}"),
+            PodError::Resume(msg) => write!(f, "pod resume failed: {msg}"),
+            PodError::RestartsExhausted { restarts, last } => {
+                write!(f, "pod gave up after {restarts} restart(s); last failure: {last}")
+            }
         }
     }
+}
+
+impl std::error::Error for PodError {}
+
+impl From<MeshError> for PodError {
+    fn from(e: MeshError) -> PodError {
+        PodError::Mesh(e)
+    }
+}
+
+/// Current pod-checkpoint format version.
+pub const POD_CHECKPOINT_VERSION: u32 = 1;
+
+/// A resumable snapshot of a whole pod run: one [`Checkpoint`] per core
+/// plus the geometry and derivation modes needed to validate a resume.
+///
+/// Because each core checkpoint carries its global window (`row0`/`col0`),
+/// the snapshot is simply a sharded global lattice; under site-keyed RNG it
+/// can be restored onto any torus shape covering the same global lattice.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PodCheckpoint {
+    /// Format tag for forward compatibility.
+    pub version: u32,
+    /// Torus extent along the first axis when the snapshot was taken.
+    pub nx: usize,
+    /// Torus extent along the second axis.
+    pub ny: usize,
+    /// Per-core lattice height at snapshot time.
+    pub per_core_h: usize,
+    /// Per-core lattice width at snapshot time.
+    pub per_core_w: usize,
+    /// Quarter-grid tile size.
+    pub tile: usize,
+    /// Inverse temperature β.
+    pub beta: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// RNG derivation mode name ("site-keyed" or "bulk-split").
+    pub rng_mode: String,
+    /// Storage dtype name ("f32" or "bf16").
+    pub dtype: String,
+    /// Kernel backend name at snapshot time (informational: backends are
+    /// bit-identical, so a resume may use either).
+    pub backend: String,
+    /// Sweeps completed at snapshot time.
+    pub sweep_index: u64,
+    /// Global `Σσ` after every sweep from 1 to `sweep_index` — carried in
+    /// the snapshot so a resumed run returns the full-history vector.
+    pub magnetization_sums: Vec<f64>,
+    /// Per-core snapshots, indexed by core id on the `nx × ny` torus.
+    pub cores: Vec<Checkpoint>,
+}
+
+impl PodCheckpoint {
+    /// Global lattice height.
+    pub fn global_h(&self) -> usize {
+        self.nx * self.per_core_h
+    }
+
+    /// Global lattice width.
+    pub fn global_w(&self) -> usize {
+        self.ny * self.per_core_w
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("pod checkpoint serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<PodCheckpoint, PodError> {
+        serde_json::from_str(s).map_err(|e| PodError::Resume(format!("bad JSON: {e}")))
+    }
+}
+
+/// Shared landing pad for in-flight per-core snapshots.
+///
+/// Cores record their [`Checkpoint`] (plus local magnetization history)
+/// here as the run progresses; because the store outlives a failed
+/// [`run_spmd_cfg`] call, the driver can read back the latest sweep for
+/// which **every** core checked in — the newest globally consistent state —
+/// after a crash. Rows older than the latest complete one are pruned, so
+/// memory stays bounded at two rows per run.
+pub struct CheckpointStore {
+    cores: usize,
+    rows: Mutex<BTreeMap<u64, Vec<Option<(Checkpoint, Vec<f64>)>>>>,
+}
+
+impl CheckpointStore {
+    /// A store for an `cores`-core run.
+    pub fn new(cores: usize) -> CheckpointStore {
+        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Record one core's snapshot at a sweep boundary. `mags` is the
+    /// core's local `Σσ` history for the sweeps it has run this attempt.
+    fn record(&self, sweep: u64, core: usize, ckpt: Checkpoint, mags: Vec<f64>) {
+        // A panicked peer may have poisoned the lock; snapshots must keep
+        // flowing regardless — that is the whole point of the store.
+        let mut rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let row = rows.entry(sweep).or_insert_with(|| vec![None; self.cores]);
+        row[core] = Some((ckpt, mags));
+        if row.iter().all(Option::is_some) {
+            rows.retain(|&s, _| s >= sweep);
+            if obs::is_metrics() {
+                obs::metrics().counter("pod_checkpoints_total").inc(1);
+            }
+        }
+    }
+
+    /// The newest sweep at which every core checked in, with the per-core
+    /// snapshots in core-id order.
+    fn latest_complete(&self) -> Option<(u64, Vec<(Checkpoint, Vec<f64>)>)> {
+        let rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        rows.iter()
+            .rev()
+            .find(|(_, row)| row.iter().all(Option::is_some))
+            .map(|(&s, row)| (s, row.iter().map(|o| o.clone().expect("row is complete")).collect()))
+    }
+}
+
+/// Options for a single (non-retrying) pod run.
+pub struct PodRunOpts<'a> {
+    /// Take a pod snapshot every this many sweeps (and always at the end).
+    pub checkpoint_every: Option<usize>,
+    /// Continue from this snapshot instead of the seed-determined start.
+    pub resume: Option<&'a PodCheckpoint>,
+    /// Mesh runtime knobs: recv timeout, fault plan, attempt number.
+    pub mesh: MeshConfig,
+    /// Where cores land their snapshots (required if `checkpoint_every`
+    /// is set).
+    pub store: Option<&'a CheckpointStore>,
+}
+
+impl Default for PodRunOpts<'_> {
+    fn default() -> Self {
+        PodRunOpts {
+            checkpoint_every: None,
+            resume: None,
+            mesh: MeshConfig::default(),
+            store: None,
+        }
+    }
+}
+
+/// Host-side data precomputed from a [`PodCheckpoint`] for the new torus.
+struct ResumeData {
+    start_sweep: u64,
+    history: Vec<f64>,
+    /// Per-core windows of the stitched global lattice, new-torus layout.
+    planes: Vec<Plane<f32>>,
+    /// Per-core RNG states, new-torus layout.
+    rngs: Vec<RngState>,
+}
+
+/// Run `sweeps` full sweeps from the seed-determined hot start.
+pub fn run_pod<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+) -> Result<PodResult<S>, PodError> {
+    run_pod_with_opts(cfg, sweeps, &PodRunOpts::default())
+}
+
+/// [`run_pod`] with checkpointing, resume, and mesh-fault knobs.
+///
+/// `sweeps` is the *total* chain length: resuming a snapshot taken at
+/// sweep `k` runs `sweeps − k` more sweeps and returns the full-history
+/// magnetization vector.
+pub fn run_pod_with_opts<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &PodRunOpts<'_>,
+) -> Result<PodResult<S>, PodError> {
+    let torus = cfg.torus;
+    let resume = match opts.resume {
+        Some(ck) => Some(prepare_resume::<S>(ck, cfg)?),
+        None => None,
+    };
+    let start_sweep = resume.as_ref().map_or(0, |r| r.start_sweep);
+    if start_sweep > sweeps as u64 {
+        return Err(PodError::Resume(format!(
+            "checkpoint is at sweep {start_sweep}, past the requested total of {sweeps}"
+        )));
+    }
+    let resume_ref = resume.as_ref();
+    let per_core: Vec<(Vec<f64>, Plane<S>)> =
+        run_spmd_cfg(torus, opts.mesh.clone(), |mut h: MeshHandle<Vec<S>>| {
+            core_main::<S>(cfg, &mut h, sweeps, resume_ref, opts.checkpoint_every, opts.store)
+        })?;
+
+    // Stitch the global lattice and reduce magnetizations on the host.
+    let mut mags = resume.map_or_else(Vec::new, |r| r.history);
+    mags.extend(reduce_mags(per_core.iter().map(|p| &p.0)));
     let final_plane = Plane::from_fn(cfg.global_h(), cfg.global_w(), |r, c| {
         let core = torus.id(r / cfg.per_core_h, c / cfg.per_core_w);
         per_core[core].1.get(r % cfg.per_core_h, c % cfg.per_core_w)
     });
-    PodResult { magnetization_sums: mags, final_plane }
+    Ok(PodResult { magnetization_sums: mags, final_plane })
+}
+
+/// Element-wise sum of the per-core magnetization histories.
+fn reduce_mags<'a, I: IntoIterator<Item = &'a Vec<f64>>>(per_core: I) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::new();
+    for mags in per_core {
+        if out.is_empty() {
+            out = vec![0.0; mags.len()];
+        }
+        for (acc, &m) in out.iter_mut().zip(mags.iter()) {
+            *acc += m;
+        }
+    }
+    out
+}
+
+/// Validate a snapshot against the (possibly reshaped) target config and
+/// pre-slice the per-core windows and RNG states for the new torus.
+fn prepare_resume<S: Scalar>(ck: &PodCheckpoint, cfg: &PodConfig) -> Result<ResumeData, PodError> {
+    let err = |msg: String| Err(PodError::Resume(msg));
+    if ck.version != POD_CHECKPOINT_VERSION {
+        return err(format!("unsupported pod checkpoint version {}", ck.version));
+    }
+    if ck.dtype != S::DTYPE {
+        return err(format!("checkpoint is {} but resume requested {}", ck.dtype, S::DTYPE));
+    }
+    if ck.cores.len() != ck.nx * ck.ny {
+        return err(format!(
+            "checkpoint claims a {}×{} torus but carries {} cores",
+            ck.nx,
+            ck.ny,
+            ck.cores.len()
+        ));
+    }
+    let (gh, gw) = (ck.global_h(), ck.global_w());
+    if gh != cfg.global_h() || gw != cfg.global_w() {
+        return err(format!(
+            "checkpoint covers a {gh}×{gw} global lattice but the target config is {}×{}",
+            cfg.global_h(),
+            cfg.global_w()
+        ));
+    }
+    if ck.tile != cfg.tile {
+        return err(format!("tile mismatch: checkpoint {} vs config {}", ck.tile, cfg.tile));
+    }
+    if ck.beta != cfg.beta {
+        return err(format!("beta mismatch: checkpoint {} vs config {}", ck.beta, cfg.beta));
+    }
+    if ck.seed != cfg.seed {
+        return err(format!("seed mismatch: checkpoint {} vs config {}", ck.seed, cfg.seed));
+    }
+    let mode: PodRng = ck.rng_mode.parse().map_err(PodError::Resume)?;
+    if mode != cfg.rng {
+        return err(format!(
+            "rng mode mismatch: checkpoint {} vs config {}",
+            ck.rng_mode,
+            cfg.rng.name()
+        ));
+    }
+    if ck.magnetization_sums.len() as u64 != ck.sweep_index {
+        return err(format!(
+            "history length {} does not match sweep index {}",
+            ck.magnetization_sums.len(),
+            ck.sweep_index
+        ));
+    }
+    let ck_torus = Torus::new(ck.nx, ck.ny);
+    for (id, c) in ck.cores.iter().enumerate() {
+        let (x, y) = ck_torus.coords(id);
+        if c.height != ck.per_core_h
+            || c.width != ck.per_core_w
+            || c.row0 != x * ck.per_core_h
+            || c.col0 != y * ck.per_core_w
+        {
+            return err(format!("core {id} window does not match the checkpoint geometry"));
+        }
+        if c.sweep_index != ck.sweep_index {
+            return err(format!(
+                "core {id} is at sweep {} but the pod snapshot claims {}",
+                c.sweep_index, ck.sweep_index
+            ));
+        }
+        if c.spins.len() != c.height * c.width || c.spins.iter().any(|&s| s != 1.0 && s != -1.0) {
+            return err(format!("core {id} carries a corrupt spin payload"));
+        }
+    }
+    // Stitch the sharded global lattice, then re-slice it for the target
+    // torus — this is what makes reshape a pure host-side operation.
+    let global = Plane::from_fn(gh, gw, |r, c| {
+        let core = ck_torus.id(r / ck.per_core_h, c / ck.per_core_w);
+        ck.cores[core].spins[(r % ck.per_core_h) * ck.per_core_w + (c % ck.per_core_w)]
+    });
+    let rngs: Vec<RngState> = match cfg.rng {
+        // Site-keyed uniforms depend only on (seed, sweep, global coords):
+        // the stream is stateless, so any torus shape continues exactly.
+        PodRng::SiteKeyed => vec![Randomness::site_keyed(cfg.seed).state(); cfg.torus.cores()],
+        // Bulk streams are per-core state; they only continue exactly on
+        // the torus that produced them.
+        PodRng::BulkSplit => {
+            if ck.nx != cfg.torus.nx
+                || ck.ny != cfg.torus.ny
+                || ck.per_core_h != cfg.per_core_h
+                || ck.per_core_w != cfg.per_core_w
+            {
+                return err(format!(
+                    "bulk-split snapshots carry per-core stream state and only resume on the \
+                     torus that wrote them ({}×{}); requested {}×{} — use site-keyed rng to \
+                     reshape",
+                    ck.nx, ck.ny, cfg.torus.nx, cfg.torus.ny
+                ));
+            }
+            ck.cores.iter().map(|c| c.rng).collect()
+        }
+    };
+    let planes = (0..cfg.torus.cores())
+        .map(|id| {
+            let (x, y) = cfg.torus.coords(id);
+            let (r0, c0) = (x * cfg.per_core_h, y * cfg.per_core_w);
+            Plane::from_fn(cfg.per_core_h, cfg.per_core_w, |r, c| global.get(r0 + r, c0 + c))
+        })
+        .collect();
+    Ok(ResumeData {
+        start_sweep: ck.sweep_index,
+        history: ck.magnetization_sums.clone(),
+        planes,
+        rngs,
+    })
 }
 
 /// The per-core SPMD program.
@@ -104,42 +487,80 @@ fn core_main<S: Scalar + RandomUniform>(
     cfg: &PodConfig,
     handle: &mut MeshHandle<Vec<S>>,
     sweeps: usize,
-) -> (Vec<f64>, Plane<S>) {
+    resume: Option<&ResumeData>,
+    checkpoint_every: Option<usize>,
+    store: Option<&CheckpointStore>,
+) -> Result<(Vec<f64>, Plane<S>), MeshError> {
+    let id = handle.id();
     let (x, y) = handle.coords();
     if obs::is_tracing() {
         // One timeline track per modeled TensorCore (the trace-viewer rows
         // of paper Fig. 6).
-        obs::register_track(format!("core-{} ({x},{y})", handle.id()));
+        obs::register_track(format!("core-{id} ({x},{y})"));
     }
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
-    // Every core constructs its window of the same global lattice.
-    let window = random_plane_window::<S>(cfg.seed, cfg.per_core_h, cfg.per_core_w, row0, col0);
-    let rng = match cfg.rng {
-        PodRng::SiteKeyed => Randomness::site_keyed(cfg.seed),
-        PodRng::BulkSplit => {
-            Randomness::Bulk(PhiloxStream::from_seed(cfg.seed).split(handle.id() as u64 + 1))
+    let mut sim = match resume {
+        None => {
+            // Every core constructs its window of the same global lattice.
+            let window =
+                random_plane_window::<S>(cfg.seed, cfg.per_core_h, cfg.per_core_w, row0, col0);
+            let rng = match cfg.rng {
+                PodRng::SiteKeyed => Randomness::site_keyed(cfg.seed),
+                PodRng::BulkSplit => {
+                    Randomness::Bulk(PhiloxStream::from_seed(cfg.seed).split(id as u64 + 1))
+                }
+            };
+            CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
+                .with_backend(cfg.backend)
+        }
+        Some(r) => {
+            // Spins are ±1 — exact at every precision — so the f32 window
+            // sliced on the host converts losslessly.
+            let src = &r.planes[id];
+            let window = Plane::from_fn(cfg.per_core_h, cfg.per_core_w, |rr, cc| {
+                S::from_f32(src.get(rr, cc))
+            });
+            let rng = Randomness::from_state(r.rngs[id]);
+            let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
+                .with_backend(cfg.backend);
+            sim.set_sweep_index(r.start_sweep);
+            sim
         }
     };
-    let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
-        .with_backend(cfg.backend);
 
-    let mut mags = Vec::with_capacity(sweeps);
-    for _ in 0..sweeps {
+    let start = sim.sweep_index();
+    let total = sweeps as u64;
+    let mut mags = Vec::with_capacity((total - start) as usize);
+    for s in (start + 1)..=total {
         for color in [Color::Black, Color::White] {
             // Wrapper spans (kind-less): the kinded leaves inside them
             // (collective_permute, neighbor_sums, …) carry the breakdown.
             let halos = {
                 let _g = obs::span!("halo_exchange");
-                exchange_halos(&sim, handle, color)
+                exchange_halos(&sim, handle, color)?
             };
             let _g = obs::span!("update_color");
             sim.update_color(color, &halos);
         }
         sim.advance_sweep();
         mags.push(crate::sampler::Sweeper::magnetization_sum(&sim));
+        if let (Some(every), Some(store)) = (checkpoint_every, store) {
+            if s % every as u64 == 0 || s == total {
+                store.record(s, id, checkpoint(&sim), mags.clone());
+            }
+        }
     }
-    (mags, sim.to_plane())
+    if start == total {
+        // Zero sweeps to run (e.g. resuming a finished chain): still land a
+        // snapshot so the driver always has a final checkpoint.
+        if let Some(store) = store {
+            if checkpoint_every.is_some() {
+                store.record(total, id, checkpoint(&sim), mags.clone());
+            }
+        }
+    }
+    Ok((mags, sim.to_plane()))
 }
 
 /// The four collective permutes of one half-sweep.
@@ -147,18 +568,155 @@ fn exchange_halos<S: Scalar + RandomUniform>(
     sim: &CompactIsing<S>,
     handle: &mut MeshHandle<Vec<S>>,
     color: Color,
-) -> ColorHalos<S> {
+) -> Result<ColorHalos<S>, MeshError> {
     let [north_spec, south_spec, first_spec, second_spec] = sim.halo_exchange_spec(color);
     if obs::is_metrics() {
         let lens =
             north_spec.0.len() + south_spec.0.len() + first_spec.0.len() + second_spec.0.len();
         obs::metrics().counter("halo_bytes_total").inc((lens * std::mem::size_of::<S>()) as u64);
     }
-    let north = handle.shift(north_spec.0, north_spec.1);
-    let south = handle.shift(south_spec.0, south_spec.1);
-    let first_col = handle.shift(first_spec.0, first_spec.1);
-    let second_col = handle.shift(second_spec.0, second_spec.1);
-    ColorHalos { north, south, first_col, second_col }
+    let north = handle.shift(north_spec.0, north_spec.1)?;
+    let south = handle.shift(south_spec.0, south_spec.1)?;
+    let first_col = handle.shift(first_spec.0, first_spec.1)?;
+    let second_col = handle.shift(second_spec.0, second_spec.1)?;
+    Ok(ColorHalos { north, south, first_col, second_col })
+}
+
+/// Assemble a [`PodCheckpoint`] from a complete store row, appending the
+/// row's magnetization history to the base snapshot's.
+fn assemble_checkpoint(
+    cfg: &PodConfig,
+    base: Option<&PodCheckpoint>,
+    sweep: u64,
+    rows: Vec<(Checkpoint, Vec<f64>)>,
+) -> PodCheckpoint {
+    let mut mags: Vec<f64> = base.map(|b| b.magnetization_sums.clone()).unwrap_or_default();
+    mags.extend(reduce_mags(rows.iter().map(|r| &r.1)));
+    let dtype = rows[0].0.dtype.clone();
+    PodCheckpoint {
+        version: POD_CHECKPOINT_VERSION,
+        nx: cfg.torus.nx,
+        ny: cfg.torus.ny,
+        per_core_h: cfg.per_core_h,
+        per_core_w: cfg.per_core_w,
+        tile: cfg.tile,
+        beta: cfg.beta,
+        seed: cfg.seed,
+        rng_mode: cfg.rng.name().to_string(),
+        dtype,
+        backend: cfg.backend.name().to_string(),
+        sweep_index: sweep,
+        magnetization_sums: mags,
+        cores: rows.into_iter().map(|r| r.0).collect(),
+    }
+}
+
+/// Knobs for [`run_pod_resilient`].
+#[derive(Clone, Debug)]
+pub struct ResilienceOpts {
+    /// Pod-snapshot cadence in sweeps (a final snapshot is always taken).
+    pub checkpoint_every: usize,
+    /// Restart budget: how many times a crashed attempt may be retried
+    /// from the latest complete snapshot.
+    pub max_restarts: usize,
+    /// Mesh recv timeout bounding how long a dead peer stalls the run.
+    pub recv_timeout: Duration,
+    /// Deterministic fault schedule (testing; empty in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for ResilienceOpts {
+    fn default() -> ResilienceOpts {
+        ResilienceOpts {
+            checkpoint_every: 64,
+            max_restarts: 3,
+            recv_timeout: Duration::from_secs(30),
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// Outcome of a resilient run.
+#[derive(Debug)]
+pub struct ResilientPodRun<S> {
+    /// The completed run, bit-identical (under site-keyed RNG) to an
+    /// uninterrupted one.
+    pub result: PodResult<S>,
+    /// Restarts actually taken.
+    pub restarts: usize,
+    /// Every mesh failure observed, in order.
+    pub faults_seen: Vec<MeshError>,
+    /// The final pod snapshot (at `sweeps`), ready to persist.
+    pub final_checkpoint: PodCheckpoint,
+}
+
+/// Drive a pod run to completion through failures: on a mesh error, resume
+/// from the latest complete snapshot in the store (or the `resume`
+/// argument, or from scratch) and retry, at most `max_restarts` times.
+///
+/// Each retry bumps the mesh `attempt` counter, so [`FaultPlan`] entries
+/// fire only on the attempt they were scheduled for — a transient fault is
+/// not replayed against the recovered run. Faults and recoveries are
+/// counted in the `obs` metrics registry (`pod_faults_total`,
+/// `pod_restarts_total`).
+pub fn run_pod_resilient<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+) -> Result<ResilientPodRun<S>, PodError> {
+    assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
+    let mut latest = resume;
+    let mut faults_seen: Vec<MeshError> = Vec::new();
+    let mut restarts = 0usize;
+    loop {
+        let _attempt_span = obs::span!("pod_attempt");
+        let store = CheckpointStore::new(cfg.torus.cores());
+        let run_opts = PodRunOpts {
+            checkpoint_every: Some(opts.checkpoint_every),
+            resume: latest.as_ref(),
+            mesh: MeshConfig {
+                recv_timeout: opts.recv_timeout,
+                faults: opts.faults.clone(),
+                attempt: restarts,
+            },
+            store: Some(&store),
+        };
+        match run_pod_with_opts::<S>(cfg, sweeps, &run_opts) {
+            Ok(result) => {
+                let final_checkpoint = store
+                    .latest_complete()
+                    .map(|(s, rows)| assemble_checkpoint(cfg, latest.as_ref(), s, rows))
+                    .or(latest)
+                    .ok_or_else(|| {
+                        PodError::Resume("completed run produced no checkpoint".into())
+                    })?;
+                return Ok(ResilientPodRun { result, restarts, faults_seen, final_checkpoint });
+            }
+            Err(PodError::Mesh(e)) => {
+                if obs::is_metrics() {
+                    obs::metrics().counter("pod_faults_total").inc(1);
+                }
+                faults_seen.push(e.clone());
+                if restarts >= opts.max_restarts {
+                    return Err(PodError::RestartsExhausted { restarts, last: e });
+                }
+                restarts += 1;
+                if obs::is_metrics() {
+                    obs::metrics().counter("pod_restarts_total").inc(1);
+                }
+                // Adopt the newest globally consistent snapshot the crashed
+                // attempt left behind; otherwise retry from the previous
+                // resume point (or from scratch).
+                if let Some((s, rows)) = store.latest_complete() {
+                    latest = Some(assemble_checkpoint(cfg, latest.as_ref(), s, rows));
+                }
+            }
+            // Resume-validation errors are configuration bugs, not
+            // transient faults: retrying cannot fix them.
+            Err(other) => return Err(other),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +724,12 @@ mod tests {
     use super::*;
     use crate::lattice::random_plane;
     use crate::sampler::Sweeper;
+
+    /// The offline dev container stubs `serde_json` out; JSON assertions
+    /// only run where real serde is available (CI, workstations).
+    fn serde_is_real() -> bool {
+        serde_json::to_string(&7u32).map(|s| s == "7").unwrap_or(false)
+    }
 
     fn single_core_trajectory(cfg: &PodConfig, sweeps: usize) -> Plane<f32> {
         let init = random_plane::<f32>(cfg.seed, cfg.global_h(), cfg.global_w());
@@ -176,6 +740,28 @@ mod tests {
             sim.sweep();
         }
         sim.to_plane()
+    }
+
+    fn site_keyed_cfg(nx: usize, ny: usize, h: usize, w: usize, seed: u64) -> PodConfig {
+        PodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            tile: 2,
+            beta: 0.5,
+            seed,
+            rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
+        }
+    }
+
+    fn fast_resilience(every: usize, faults: FaultPlan) -> ResilienceOpts {
+        ResilienceOpts {
+            checkpoint_every: every,
+            max_restarts: 3,
+            recv_timeout: Duration::from_millis(300),
+            faults,
+        }
     }
 
     #[test]
@@ -191,7 +777,7 @@ mod tests {
             backend: KernelBackend::Band,
         };
         let sweeps = 6;
-        let pod = run_pod::<f32>(&cfg, sweeps);
+        let pod = run_pod::<f32>(&cfg, sweeps).unwrap();
         let single = single_core_trajectory(&cfg, sweeps);
         assert_eq!(pod.final_plane, single);
     }
@@ -200,19 +786,9 @@ mod tests {
     fn topology_is_transparent() {
         // The same global lattice split 1×4 vs 4×1 vs 2×2 gives the same
         // trajectory under site-keyed randomness.
-        let mk = |nx: usize, ny: usize, h: usize, w: usize| PodConfig {
-            torus: Torus::new(nx, ny),
-            per_core_h: h,
-            per_core_w: w,
-            tile: 2,
-            beta: 0.5,
-            seed: 99,
-            rng: PodRng::SiteKeyed,
-            backend: KernelBackend::Band,
-        };
-        let a = run_pod::<f32>(&mk(1, 4, 16, 4), 4);
-        let b = run_pod::<f32>(&mk(4, 1, 4, 16), 4);
-        let c = run_pod::<f32>(&mk(2, 2, 8, 8), 4);
+        let a = run_pod::<f32>(&site_keyed_cfg(1, 4, 16, 4, 99), 4).unwrap();
+        let b = run_pod::<f32>(&site_keyed_cfg(4, 1, 4, 16, 99), 4).unwrap();
+        let c = run_pod::<f32>(&site_keyed_cfg(2, 2, 8, 8, 99), 4).unwrap();
         assert_eq!(a.final_plane, b.final_plane);
         assert_eq!(a.final_plane, c.final_plane);
     }
@@ -229,7 +805,7 @@ mod tests {
             rng: PodRng::SiteKeyed,
             backend: KernelBackend::Dense,
         };
-        let pod = run_pod::<f32>(&cfg, 5);
+        let pod = run_pod::<f32>(&cfg, 5).unwrap();
         let single = single_core_trajectory(&cfg, 5);
         assert_eq!(pod.final_plane, single);
     }
@@ -246,7 +822,7 @@ mod tests {
             rng: PodRng::SiteKeyed,
             backend: KernelBackend::Band,
         };
-        let pod = run_pod::<f32>(&cfg, 3);
+        let pod = run_pod::<f32>(&cfg, 3).unwrap();
         assert_eq!(pod.magnetization_sums.len(), 3);
         assert_eq!(*pod.magnetization_sums.last().unwrap(), pod.final_plane.sum_f64());
     }
@@ -263,7 +839,7 @@ mod tests {
             rng: PodRng::BulkSplit,
             backend: KernelBackend::Band,
         };
-        let pod = run_pod::<f32>(&cfg, 5);
+        let pod = run_pod::<f32>(&cfg, 5).unwrap();
         assert!(pod.final_plane.data().iter().all(|&s| s == 1.0 || s == -1.0));
         // low temperature from hot start: |m| should have grown
         let m_last = pod.magnetization_sums.last().unwrap() / cfg.sites() as f64;
@@ -282,8 +858,8 @@ mod tests {
             rng: PodRng::BulkSplit,
             backend,
         };
-        let dense = run_pod::<f32>(&mk(KernelBackend::Dense), 5);
-        let band = run_pod::<f32>(&mk(KernelBackend::Band), 5);
+        let dense = run_pod::<f32>(&mk(KernelBackend::Dense), 5).unwrap();
+        let band = run_pod::<f32>(&mk(KernelBackend::Band), 5).unwrap();
         assert_eq!(dense.final_plane, band.final_plane);
         assert_eq!(dense.magnetization_sums, band.magnetization_sums);
     }
@@ -301,12 +877,218 @@ mod tests {
             rng: PodRng::SiteKeyed,
             backend: KernelBackend::Band,
         };
-        let pod = run_pod::<Bf16>(&cfg, 4);
+        let pod = run_pod::<Bf16>(&cfg, 4).unwrap();
         let init = random_plane::<Bf16>(cfg.seed, 16, 16);
         let mut sim = CompactIsing::from_plane(&init, 2, cfg.beta, Randomness::site_keyed(31));
         for _ in 0..4 {
             sim.sweep();
         }
         assert_eq!(pod.final_plane, sim.to_plane());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn killed_core_resumes_bit_exact() {
+        // The headline invariant: kill a core mid-run; the resilient driver
+        // resumes from the latest complete pod snapshot; the final plane is
+        // bit-identical to the uninterrupted single-core trajectory.
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 4242);
+        let sweeps = 6;
+        // 8 collectives per sweep (4 shifts × 2 colors): seq 30 is inside
+        // sweep 4, after the sweep-2 snapshot and before the sweep-4 one.
+        let faults = FaultPlan::new().kill(3, 30);
+        let run = run_pod_resilient::<f32>(&cfg, sweeps, &fast_resilience(2, faults), None)
+            .expect("resilient run must survive one kill");
+        assert_eq!(run.restarts, 1);
+        assert_eq!(run.faults_seen, vec![MeshError::InjectedKill { core: 3, seq: 30 }]);
+        assert_eq!(run.result.final_plane, single_core_trajectory(&cfg, sweeps));
+        // the history spans the whole chain despite the crash
+        assert_eq!(run.result.magnetization_sums.len(), sweeps);
+        assert_eq!(
+            *run.result.magnetization_sums.last().unwrap(),
+            run.result.final_plane.sum_f64()
+        );
+        // and the final snapshot resumes to the same state
+        assert_eq!(run.final_checkpoint.sweep_index, sweeps as u64);
+    }
+
+    #[test]
+    fn resilient_run_matches_unfaulted_run() {
+        // With and without a mid-run kill, the resilient driver produces
+        // the same snapshot-able end state.
+        let cfg = site_keyed_cfg(1, 4, 16, 4, 77);
+        let clean = run_pod_resilient::<f32>(&cfg, 5, &fast_resilience(2, FaultPlan::new()), None)
+            .expect("clean run");
+        let faulted = run_pod_resilient::<f32>(
+            &cfg,
+            5,
+            &fast_resilience(2, FaultPlan::new().kill(1, 20)),
+            None,
+        )
+        .expect("faulted run");
+        assert_eq!(clean.restarts, 0);
+        assert_eq!(faulted.restarts, 1);
+        assert_eq!(clean.result.final_plane, faulted.result.final_plane);
+        assert_eq!(clean.result.magnetization_sums, faulted.result.magnetization_sums);
+    }
+
+    #[test]
+    fn checkpoint_reshapes_onto_different_torus() {
+        // Snapshot a 2×2 pod, restore onto a 1×4 torus, and the trajectory
+        // continues exactly (site-keyed rng is a pure function of global
+        // coordinates, so the sharding is invisible to it).
+        let cfg_2x2 = site_keyed_cfg(2, 2, 8, 8, 4242);
+        let cfg_1x4 = site_keyed_cfg(1, 4, 16, 4, 4242);
+        let half =
+            run_pod_resilient::<f32>(&cfg_2x2, 4, &fast_resilience(2, FaultPlan::new()), None)
+                .expect("first half");
+        let ckpt = half.final_checkpoint;
+        assert_eq!((ckpt.nx, ckpt.ny), (2, 2));
+        // through JSON, like a real resume from disk
+        let ckpt =
+            if serde_is_real() { PodCheckpoint::from_json(&ckpt.to_json()).unwrap() } else { ckpt };
+        let rest = run_pod_resilient::<f32>(
+            &cfg_1x4,
+            8,
+            &fast_resilience(2, FaultPlan::new()),
+            Some(ckpt),
+        )
+        .expect("second half on reshaped torus");
+        assert_eq!(rest.result.final_plane, single_core_trajectory(&cfg_2x2, 8));
+        assert_eq!(rest.result.magnetization_sums.len(), 8);
+    }
+
+    #[test]
+    fn bulk_split_reshape_is_rejected() {
+        let mk = |nx, ny, h, w| PodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            tile: 2,
+            beta: 0.5,
+            seed: 5,
+            rng: PodRng::BulkSplit,
+            backend: KernelBackend::Band,
+        };
+        let half = run_pod_resilient::<f32>(
+            &mk(2, 2, 8, 8),
+            4,
+            &fast_resilience(2, FaultPlan::new()),
+            None,
+        )
+        .expect("bulk run");
+        let err = run_pod_resilient::<f32>(
+            &mk(1, 4, 16, 4),
+            8,
+            &fast_resilience(2, FaultPlan::new()),
+            Some(half.final_checkpoint),
+        )
+        .expect_err("bulk-split reshape must be rejected");
+        match err {
+            PodError::Resume(msg) => assert!(msg.contains("bulk-split")),
+            other => panic!("expected PodError::Resume, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_split_same_torus_resumes_exactly() {
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.6,
+            seed: 321,
+            rng: PodRng::BulkSplit,
+            backend: KernelBackend::Band,
+        };
+        let uninterrupted = run_pod::<f32>(&cfg, 7).unwrap();
+        let half = run_pod_resilient::<f32>(&cfg, 3, &fast_resilience(3, FaultPlan::new()), None)
+            .expect("first half");
+        let rest = run_pod_resilient::<f32>(
+            &cfg,
+            7,
+            &fast_resilience(3, FaultPlan::new()),
+            Some(half.final_checkpoint),
+        )
+        .expect("second half");
+        assert_eq!(rest.result.final_plane, uninterrupted.final_plane);
+        assert_eq!(rest.result.magnetization_sums, uninterrupted.magnetization_sums);
+    }
+
+    #[test]
+    fn restart_budget_is_bounded() {
+        // Kill core 0 at the very first collective on every attempt: the
+        // driver must give up after max_restarts and say why.
+        let cfg = site_keyed_cfg(1, 2, 8, 8, 11);
+        let faults = (0..=1).fold(FaultPlan::new(), |p, a| p.kill_on_attempt(0, 0, a));
+        let opts = ResilienceOpts { max_restarts: 1, ..fast_resilience(2, faults) };
+        let err = run_pod_resilient::<f32>(&cfg, 4, &opts, None).expect_err("must exhaust budget");
+        match err {
+            PodError::RestartsExhausted { restarts: 1, last } => {
+                assert_eq!(last, MeshError::InjectedKill { core: 0, seq: 0 });
+            }
+            other => panic!("expected RestartsExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pod_checkpoint_json_roundtrip() {
+        if !serde_is_real() {
+            return;
+        }
+        let cfg = site_keyed_cfg(2, 1, 4, 8, 9);
+        let run = run_pod_resilient::<f32>(&cfg, 3, &fast_resilience(2, FaultPlan::new()), None)
+            .expect("run");
+        let ck = run.final_checkpoint;
+        let back = PodCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(back.sweep_index, ck.sweep_index);
+        assert_eq!(back.magnetization_sums, ck.magnetization_sums);
+        assert_eq!(back.cores.len(), 2);
+        assert_eq!(back.rng_mode, "site-keyed");
+        assert_eq!(back.dtype, "f32");
+    }
+
+    #[test]
+    fn mismatched_resume_configs_are_rejected() {
+        let cfg = site_keyed_cfg(1, 2, 8, 8, 50);
+        let run = run_pod_resilient::<f32>(&cfg, 2, &fast_resilience(2, FaultPlan::new()), None)
+            .expect("run");
+        let ck = run.final_checkpoint;
+        let reject = |mutate: &dyn Fn(&mut PodConfig)| {
+            let mut bad = cfg;
+            mutate(&mut bad);
+            let err = run_pod_with_opts::<f32>(
+                &bad,
+                4,
+                &PodRunOpts { resume: Some(&ck), ..PodRunOpts::default() },
+            )
+            .expect_err("mismatch must be rejected");
+            assert!(matches!(err, PodError::Resume(_)), "got {err:?}");
+        };
+        reject(&|c| c.seed = 51);
+        reject(&|c| c.beta = 0.9);
+        reject(&|c| c.tile = 4);
+        reject(&|c| c.per_core_w = 4); // shrinks the global lattice
+        reject(&|c| c.rng = PodRng::BulkSplit);
+        // dtype mismatch
+        let err = run_pod_with_opts::<tpu_ising_bf16::Bf16>(
+            &cfg,
+            4,
+            &PodRunOpts { resume: Some(&ck), ..PodRunOpts::default() },
+        )
+        .expect_err("dtype mismatch must be rejected");
+        assert!(matches!(err, PodError::Resume(_)));
+        // resuming past the end is an error, not an underflow
+        let err = run_pod_with_opts::<f32>(
+            &cfg,
+            1,
+            &PodRunOpts { resume: Some(&ck), ..PodRunOpts::default() },
+        )
+        .expect_err("past-the-end resume must be rejected");
+        assert!(matches!(err, PodError::Resume(_)));
     }
 }

@@ -55,6 +55,10 @@ pub use checkpoint::Checkpoint;
 pub use compact::{ColorHalos, CompactIsing};
 pub use conv::ConvIsing;
 pub use coupling::{Couplings, HeterogeneousIsing};
+pub use distributed::{
+    run_pod, run_pod_resilient, run_pod_with_opts, CheckpointStore, PodCheckpoint, PodConfig,
+    PodError, PodResult, PodRng, PodRunOpts, ResilienceOpts, ResilientPodRun,
+};
 pub use ising3d::{Ising3D, T_CRITICAL_3D};
 pub use lattice::{cold_plane, random_plane, Color};
 pub use naive::NaiveIsing;

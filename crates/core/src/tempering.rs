@@ -29,7 +29,15 @@ impl<S: Scalar + RandomUniform> Tempering<S> {
     /// ladder from `t_min` to `t_max` (inclusive) and `replicas` rungs.
     pub fn new(l: usize, tile: usize, t_min: f64, t_max: f64, replicas: usize, seed: u64) -> Self {
         assert!(replicas >= 2, "tempering needs at least two rungs");
-        assert!(t_min < t_max);
+        assert!(
+            t_min.is_finite() && t_min > 0.0,
+            "tempering t_min must be a positive finite temperature, got {t_min}; \
+             the geometric ladder (t_max/t_min)^f is undefined at or below zero"
+        );
+        assert!(
+            t_max.is_finite() && t_min < t_max,
+            "tempering needs finite t_min < t_max, got [{t_min}, {t_max}]"
+        );
         let betas: Vec<f64> = (0..replicas)
             .map(|i| {
                 let f = i as f64 / (replicas - 1) as f64;
@@ -125,6 +133,30 @@ impl<S: Scalar + RandomUniform> Tempering<S> {
 mod tests {
     use super::*;
     use crate::T_CRITICAL;
+
+    #[test]
+    #[should_panic(expected = "positive finite temperature")]
+    fn zero_t_min_is_rejected() {
+        let _ = Tempering::<f32>::new(8, 2, 0.0, 4.0, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite temperature")]
+    fn negative_t_min_is_rejected() {
+        let _ = Tempering::<f32>::new(8, 2, -1.0, 4.0, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite t_min < t_max")]
+    fn infinite_t_max_is_rejected() {
+        let _ = Tempering::<f32>::new(8, 2, 1.0, f64::INFINITY, 3, 1);
+    }
+
+    #[test]
+    fn ladder_betas_are_always_finite() {
+        let t = Tempering::<f32>::new(8, 2, 0.25, 16.0, 7, 3);
+        assert!(t.betas().iter().all(|b| b.is_finite() && *b > 0.0));
+    }
 
     #[test]
     fn ladder_is_geometric_and_ordered() {

@@ -2,6 +2,7 @@
 //! lattice shapes, seeds and temperatures.
 
 use proptest::prelude::*;
+use tpu_ising_core::checkpoint::{checkpoint, from_json, restore, to_json};
 use tpu_ising_core::{
     random_plane, Color, CompactIsing, ConvIsing, KernelBackend, NaiveIsing, Randomness, Sweeper,
 };
@@ -11,6 +12,18 @@ use tpu_ising_tensor::Plane;
 fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..4, 1usize..4, prop_oneof![Just(1usize), Just(2), Just(4)])
         .prop_map(|(m, n, t)| (2 * t * m, 2 * t * n, t))
+}
+
+fn backend() -> impl Strategy<Value = KernelBackend> {
+    prop_oneof![Just(KernelBackend::Dense), Just(KernelBackend::Band)]
+}
+
+fn rng_for(site_keyed: bool, seed: u64) -> Randomness {
+    if site_keyed {
+        Randomness::site_keyed(seed)
+    } else {
+        Randomness::bulk(seed)
+    }
 }
 
 fn is_spin_plane(p: &Plane<f32>) -> bool {
@@ -162,6 +175,34 @@ proptest! {
             band.sweep();
         }
         prop_assert_eq!(&dense.to_plane(), &band.to_plane());
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrip_preserves_trajectory(
+        (h, w, tile) in geometry(),
+        seed in 0u64..1000,
+        beta in 0.1f64..1.5,
+        backend in backend(),
+        site_keyed in any::<bool>(),
+    ) {
+        // A checkpoint serialized to JSON, parsed back and restored must
+        // continue the exact trajectory of the uninterrupted chain — for
+        // any geometry, tile, kernel backend and RNG mode.
+        let plane = random_plane::<f32>(seed, h, w);
+        let mut live = CompactIsing::from_plane(&plane, tile, beta, rng_for(site_keyed, seed))
+            .with_backend(backend);
+        for _ in 0..3 {
+            live.sweep();
+        }
+        let snap = from_json(&to_json(&checkpoint(&live))).expect("json roundtrip");
+        let mut resumed = restore::<f32>(&snap).expect("restore");
+        prop_assert_eq!(resumed.backend(), backend);
+        for _ in 0..3 {
+            live.sweep();
+            resumed.sweep();
+        }
+        prop_assert_eq!(&live.to_plane(), &resumed.to_plane());
+        prop_assert_eq!(live.sweep_index(), resumed.sweep_index());
     }
 
     #[test]

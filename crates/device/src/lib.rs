@@ -38,7 +38,9 @@ pub mod trace;
 
 pub use cost::{step_counts, step_time, Breakdown, ExecutionMode, OpCounts, StepConfig, Variant};
 pub use energy::energy_nj_per_flip;
-pub use mesh::{MeshHandle, Torus};
+pub use mesh::{
+    run_spmd, run_spmd_cfg, Fault, FaultKind, FaultPlan, MeshConfig, MeshError, MeshHandle, Torus,
+};
 pub use params::TpuV3Params;
 pub use roofline::RooflineReport;
 pub use trace::{SpanKind, Trace};

@@ -7,9 +7,20 @@
 //! the paper's distributed graph uses: every core executes the same program
 //! and calls the collective with a globally identical source→destination
 //! list; the call blocks until the core has both sent and received.
+//!
+//! At the paper's production scale (10⁶–8·10⁶ sweeps on up to 2048 cores,
+//! §6) core death and preemption are routine, so every failure mode on the
+//! collective paths surfaces as a typed [`MeshError`] instead of a panic or
+//! a hang: a vanished peer is a [`MeshError::PeerGone`] or, bounded by the
+//! configurable [`MeshConfig::recv_timeout`], a [`MeshError::RecvTimeout`].
+//! A deterministic [`FaultPlan`] (kill core N at collective K, drop or
+//! delay a packet) makes those paths testable in CI without real flaky
+//! hardware.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tpu_ising_obs as obs;
 
 /// A 2-D torus of `nx × ny` cores, each identified by `id = x * ny + y`.
@@ -91,6 +102,235 @@ impl Torus {
     }
 }
 
+/// A failure on the functional mesh, carried out of [`run_spmd`] instead
+/// of panicking the pod.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeshError {
+    /// A peer's endpoint vanished: its receiver was dropped (it exited
+    /// early) or every sender to this core is gone.
+    PeerGone {
+        /// The core reporting the failure.
+        core: usize,
+        /// The peer it was exchanging with.
+        peer: usize,
+        /// The collective sequence number at failure.
+        seq: u64,
+    },
+    /// No packet arrived within [`MeshConfig::recv_timeout`] — the
+    /// bounded-wait surface of a dead or wedged peer.
+    RecvTimeout {
+        /// The core reporting the failure.
+        core: usize,
+        /// The peer whose packet never came.
+        peer: usize,
+        /// The collective sequence number at failure.
+        seq: u64,
+        /// How long the core waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A [`FaultPlan`] killed this core at this collective.
+    InjectedKill {
+        /// The killed core.
+        core: usize,
+        /// The collective sequence number at which it died.
+        seq: u64,
+    },
+    /// A core's closure panicked; the panic is contained and reported.
+    CorePanicked {
+        /// The panicked core.
+        core: usize,
+    },
+    /// An invariant of the collective protocol was violated.
+    Protocol {
+        /// The core reporting the violation.
+        core: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::PeerGone { core, peer, seq } => {
+                write!(f, "core {core}: peer {peer} hung up at collective {seq}")
+            }
+            MeshError::RecvTimeout { core, peer, seq, waited_ms } => write!(
+                f,
+                "core {core}: no packet from peer {peer} at collective {seq} after {waited_ms} ms"
+            ),
+            MeshError::InjectedKill { core, seq } => {
+                write!(f, "core {core}: killed by fault plan at collective {seq}")
+            }
+            MeshError::CorePanicked { core } => write!(f, "core {core} panicked"),
+            MeshError::Protocol { core, msg } => write!(f, "core {core}: protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl MeshError {
+    /// How close this error is to a root cause. A dead core produces a
+    /// cascade: its own `InjectedKill`/`CorePanicked` (rank 0), its peers'
+    /// `PeerGone` sends into the dropped receiver (rank 2), and timeouts
+    /// ripple outward from there (rank 3). [`run_spmd_cfg`] reports the
+    /// lowest-ranked error so the caller sees the cause, not a symptom.
+    fn rank(&self) -> u8 {
+        match self {
+            MeshError::InjectedKill { .. } | MeshError::CorePanicked { .. } => 0,
+            MeshError::Protocol { .. } => 1,
+            MeshError::PeerGone { .. } => 2,
+            MeshError::RecvTimeout { .. } => 3,
+        }
+    }
+}
+
+/// What a deterministic fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The core aborts its SPMD program with [`MeshError::InjectedKill`]
+    /// *before* sending — exactly like a preempted TensorCore.
+    Kill,
+    /// The core's send to `to` is silently dropped (a lost packet); the
+    /// receiver surfaces it as a [`MeshError::RecvTimeout`].
+    DropPacket {
+        /// Destination core of the dropped packet.
+        to: usize,
+    },
+    /// The core sleeps before sending — a slow link. Collectives still
+    /// deliver (the runtime stashes out-of-order packets), so a delay
+    /// alone must not change any result.
+    Delay {
+        /// Sleep duration in microseconds.
+        micros: u64,
+    },
+}
+
+/// One deterministic fault: fires on `core` when its collective counter
+/// reaches `at_collective`, but only on run `attempt` (so a retry after a
+/// restart is not re-hit by the same transient fault).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The core the fault fires on (the sender, for packet faults).
+    pub core: usize,
+    /// The collective sequence number it fires at.
+    pub at_collective: u64,
+    /// The run attempt it fires on (see [`MeshConfig::attempt`]).
+    pub attempt: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection schedule, evaluated by every
+/// [`MeshHandle`] against its own collective counter. Deterministic by
+/// construction: the same plan on the same program always fires at the
+/// same point of the trajectory, which is what makes failure handling
+/// testable in CI.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// `true` if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Kill `core` when its collective counter reaches `at_collective`
+    /// (on attempt 0).
+    pub fn kill(self, core: usize, at_collective: u64) -> FaultPlan {
+        self.kill_on_attempt(core, at_collective, 0)
+    }
+
+    /// Kill `core` at `at_collective`, but only on run `attempt`.
+    pub fn kill_on_attempt(mut self, core: usize, at_collective: u64, attempt: usize) -> FaultPlan {
+        self.faults.push(Fault { core, at_collective, attempt, kind: FaultKind::Kill });
+        self
+    }
+
+    /// Drop the packet `from` sends to `to` at collective `at_collective`
+    /// (on attempt 0).
+    pub fn drop_packet(mut self, from: usize, to: usize, at_collective: u64) -> FaultPlan {
+        self.faults.push(Fault {
+            core: from,
+            at_collective,
+            attempt: 0,
+            kind: FaultKind::DropPacket { to },
+        });
+        self
+    }
+
+    /// Delay `core`'s send at collective `at_collective` by `delay`
+    /// (on attempt 0).
+    pub fn delay(mut self, core: usize, at_collective: u64, delay: Duration) -> FaultPlan {
+        self.faults.push(Fault {
+            core,
+            at_collective,
+            attempt: 0,
+            kind: FaultKind::Delay { micros: delay.as_micros() as u64 },
+        });
+        self
+    }
+
+    fn kill_fires(&self, core: usize, seq: u64, attempt: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.kind == FaultKind::Kill
+                && f.core == core
+                && f.at_collective == seq
+                && f.attempt == attempt
+        })
+    }
+
+    fn drop_fires(&self, core: usize, to: usize, seq: u64, attempt: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.core == core
+                && f.at_collective == seq
+                && f.attempt == attempt
+                && f.kind == FaultKind::DropPacket { to }
+        })
+    }
+
+    fn delay_for(&self, core: usize, seq: u64, attempt: usize) -> Option<Duration> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::Delay { micros }
+                if f.core == core && f.at_collective == seq && f.attempt == attempt =>
+            {
+                Some(Duration::from_micros(micros))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Runtime configuration of the functional mesh.
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    /// How long a core waits for a packet before reporting
+    /// [`MeshError::RecvTimeout`]. Bounds the damage of a dead peer: the
+    /// pod surfaces an error instead of hanging forever.
+    pub recv_timeout: Duration,
+    /// Deterministic fault schedule (empty by default).
+    pub faults: FaultPlan,
+    /// Which run attempt this is; only [`Fault`]s with a matching
+    /// `attempt` fire. Restart drivers bump this per retry so transient
+    /// faults are not replayed against the recovered run.
+    pub attempt: usize,
+}
+
+impl Default for MeshConfig {
+    fn default() -> MeshConfig {
+        MeshConfig { recv_timeout: Duration::from_secs(30), faults: FaultPlan::new(), attempt: 0 }
+    }
+}
+
 /// A message on the mesh: (collective sequence number, source core, payload).
 type Packet<T> = (u64, usize, T);
 
@@ -104,6 +344,7 @@ pub struct MeshHandle<T: Send> {
     receiver: Receiver<Packet<T>>,
     /// Out-of-order packets parked until their collective comes up.
     stash: HashMap<(u64, usize), T>,
+    config: Arc<MeshConfig>,
 }
 
 impl<T: Send> MeshHandle<T> {
@@ -122,56 +363,121 @@ impl<T: Send> MeshHandle<T> {
         self.torus
     }
 
+    /// The collective sequence number the next collective will use.
+    pub fn next_collective(&self) -> u64 {
+        self.seq
+    }
+
     /// XLA `CollectivePermute`: permute `data` across cores according to a
     /// globally identical `(source, destination)` pair list.
     ///
     /// Every core appearing as a source sends; every core appearing as a
-    /// destination receives; the call blocks until this core has done both.
-    /// Returns `Some(tensor)` if this core is a destination, `None` if not.
-    /// Each core must appear at most once as source and once as destination
-    /// (XLA's precondition).
-    pub fn collective_permute(&mut self, data: T, pairs: &[(usize, usize)]) -> Option<T> {
+    /// destination receives; the call blocks until this core has done both
+    /// (bounded by [`MeshConfig::recv_timeout`]). Returns `Ok(Some(tensor))`
+    /// if this core is a destination, `Ok(None)` if not, and a typed
+    /// [`MeshError`] if a peer died, a packet never arrived, or the
+    /// fault plan killed this core. Each core must appear at most once as
+    /// source and once as destination (XLA's precondition).
+    pub fn collective_permute(
+        &mut self,
+        data: T,
+        pairs: &[(usize, usize)],
+    ) -> Result<Option<T>, MeshError> {
         let _span = obs::span!("collective_permute", obs::SpanKind::CollectivePermute);
         if obs::is_metrics() {
             obs::metrics().counter("collectives_total").inc(1);
         }
         let seq = self.seq;
         self.seq += 1;
+        let attempt = self.config.attempt;
+        if self.config.faults.kill_fires(self.id, seq, attempt) {
+            if obs::is_metrics() {
+                obs::metrics().counter("mesh_faults_injected_total").inc(1);
+            }
+            return Err(MeshError::InjectedKill { core: self.id, seq });
+        }
         let mut expect_from = None;
         let mut send_to = None;
         for &(src, dst) in pairs {
             if src == self.id {
-                assert!(send_to.is_none(), "core {} listed as source twice", self.id);
+                if send_to.is_some() {
+                    return Err(MeshError::Protocol {
+                        core: self.id,
+                        msg: format!("core {} listed as source twice", self.id),
+                    });
+                }
                 send_to = Some(dst);
             }
             if dst == self.id {
-                assert!(expect_from.is_none(), "core {} listed as destination twice", self.id);
+                if expect_from.is_some() {
+                    return Err(MeshError::Protocol {
+                        core: self.id,
+                        msg: format!("core {} listed as destination twice", self.id),
+                    });
+                }
                 expect_from = Some(src);
             }
         }
-        if let Some(dst) = send_to {
-            self.senders[dst].send((seq, self.id, data)).expect("mesh peer hung up");
+        if let Some(delay) = self.config.faults.delay_for(self.id, seq, attempt) {
+            std::thread::sleep(delay);
         }
-        let src = expect_from?;
+        if let Some(dst) = send_to {
+            if self.config.faults.drop_fires(self.id, dst, seq, attempt) {
+                if obs::is_metrics() {
+                    obs::metrics().counter("mesh_faults_injected_total").inc(1);
+                }
+            } else {
+                self.senders[dst].send((seq, self.id, data)).map_err(|_| MeshError::PeerGone {
+                    core: self.id,
+                    peer: dst,
+                    seq,
+                })?;
+            }
+        }
+        let Some(src) = expect_from else {
+            return Ok(None);
+        };
         // Drain until our packet arrives; park strays (they belong to
         // collectives this core has not reached yet — lockstep programs
         // guarantee they will be consumed in order).
         if let Some(t) = self.stash.remove(&(seq, src)) {
-            return Some(t);
+            return Ok(Some(t));
         }
+        let deadline = Instant::now() + self.config.recv_timeout;
         loop {
-            let (pseq, psrc, payload) = self.receiver.recv().expect("mesh peer hung up");
-            if pseq == seq && psrc == src {
-                return Some(payload);
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.receiver.recv_timeout(remaining) {
+                Ok((pseq, psrc, payload)) => {
+                    if pseq == seq && psrc == src {
+                        return Ok(Some(payload));
+                    }
+                    self.stash.insert((pseq, psrc), payload);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(MeshError::RecvTimeout {
+                        core: self.id,
+                        peer: src,
+                        seq,
+                        waited_ms: self.config.recv_timeout.as_millis() as u64,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MeshError::PeerGone { core: self.id, peer: src, seq });
+                }
             }
-            self.stash.insert((pseq, psrc), payload);
         }
     }
 
     /// Shift a tensor one mesh step in `dir`; every core sends and receives.
-    pub fn shift(&mut self, data: T, dir: Dir) -> T {
+    pub fn shift(&mut self, data: T, dir: Dir) -> Result<T, MeshError> {
         let pairs = self.torus.shift_pairs(dir);
-        self.collective_permute(data, &pairs).expect("full-shift permute always delivers")
+        match self.collective_permute(data, &pairs)? {
+            Some(t) => Ok(t),
+            None => Err(MeshError::Protocol {
+                core: self.id,
+                msg: "full-shift permute delivered nothing".into(),
+            }),
+        }
     }
 
     /// XLA `AllToAll`: core `i` provides one chunk per core; afterwards
@@ -180,12 +486,17 @@ impl<T: Send> MeshHandle<T> {
     /// Implemented as `P − 1` rotation collective-permutes (the classic
     /// ring schedule), which is exactly how a 2-D torus without all-to-all
     /// hardware support executes it.
-    pub fn all_to_all(&mut self, chunks: Vec<T>) -> Vec<T>
+    pub fn all_to_all(&mut self, chunks: Vec<T>) -> Result<Vec<T>, MeshError>
     where
         T: Clone + Default,
     {
         let p = self.torus.cores();
-        assert_eq!(chunks.len(), p, "all_to_all needs one chunk per core");
+        if chunks.len() != p {
+            return Err(MeshError::Protocol {
+                core: self.id,
+                msg: format!("all_to_all needs one chunk per core ({} != {p})", chunks.len()),
+            });
+        }
         let mut out: Vec<T> = vec![T::default(); p];
         let mut chunks = chunks;
         // own chunk stays
@@ -196,31 +507,53 @@ impl<T: Send> MeshHandle<T> {
             let pairs: Vec<(usize, usize)> = (0..p).map(|src| (src, (src + k) % p)).collect();
             let dst = (self.id + k) % p;
             let src = (self.id + p - k) % p;
-            let received = self
-                .collective_permute(std::mem::take(&mut chunks[dst]), &pairs)
-                .expect("rotation permute always delivers");
-            out[src] = received;
+            match self.collective_permute(std::mem::take(&mut chunks[dst]), &pairs)? {
+                Some(received) => out[src] = received,
+                None => {
+                    return Err(MeshError::Protocol {
+                        core: self.id,
+                        msg: "rotation permute delivered nothing".into(),
+                    });
+                }
+            }
         }
-        out
+        Ok(out)
     }
 }
 
-/// Run one closure per core, SPMD-style, on real threads. Returns each
-/// core's result indexed by core id.
-///
-/// The closure receives a [`MeshHandle`] for collectives. Panics in any
-/// core propagate.
-pub fn run_spmd<T, R, F>(torus: Torus, f: F) -> Vec<R>
+/// Run one closure per core, SPMD-style, on real threads, with the default
+/// [`MeshConfig`]. Returns each core's result indexed by core id, or the
+/// root-cause [`MeshError`] if any core failed.
+pub fn run_spmd<T, R, F>(torus: Torus, f: F) -> Result<Vec<R>, MeshError>
 where
     T: Send,
     R: Send,
-    F: Fn(MeshHandle<T>) -> R + Sync,
+    F: Fn(MeshHandle<T>) -> Result<R, MeshError> + Sync,
+{
+    run_spmd_cfg(torus, MeshConfig::default(), f)
+}
+
+/// [`run_spmd`] with an explicit [`MeshConfig`] (recv timeout, fault plan,
+/// attempt number).
+///
+/// The closure receives a [`MeshHandle`] for collectives and returns a
+/// `Result`; collective failures propagate with `?`. A panicking core is
+/// contained and reported as [`MeshError::CorePanicked`] — it never tears
+/// down the pod process. When several cores fail (one dies, its neighbors
+/// time out waiting for halos), the *root cause* is returned: a non-timeout
+/// error is preferred over the knock-on timeouts it produces.
+pub fn run_spmd_cfg<T, R, F>(torus: Torus, config: MeshConfig, f: F) -> Result<Vec<R>, MeshError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(MeshHandle<T>) -> Result<R, MeshError> + Sync,
 {
     let n = torus.cores();
+    let config = Arc::new(config);
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (s, r) = unbounded::<Packet<T>>();
+        let (s, r) = channel::<Packet<T>>();
         senders.push(s);
         receivers.push(r);
     }
@@ -234,21 +567,57 @@ where
             senders: senders.clone(),
             receiver,
             stash: HashMap::new(),
+            config: config.clone(),
         })
         .collect();
     drop(senders);
 
     let f = &f;
-    crossbeam::thread::scope(|scope| {
-        let joins: Vec<_> = handles.drain(..).map(|h| scope.spawn(move |_| f(h))).collect();
-        joins.into_iter().map(|j| j.join().expect("SPMD core panicked")).collect()
-    })
-    .expect("SPMD scope panicked")
+    let per_core: Vec<Result<R, MeshError>> = std::thread::scope(|scope| {
+        let joins: Vec<_> = handles.drain(..).map(|h| scope.spawn(move || f(h))).collect();
+        joins
+            .into_iter()
+            .enumerate()
+            .map(|(core, j)| j.join().unwrap_or(Err(MeshError::CorePanicked { core })))
+            .collect()
+    });
+
+    let mut results = Vec::with_capacity(n);
+    let mut first_err: Option<MeshError> = None;
+    for r in per_core {
+        match r {
+            Ok(v) => results.push(v),
+            Err(e) => {
+                let replace = match &first_err {
+                    None => true,
+                    Some(prev) => e.rank() < prev.rank(),
+                };
+                if replace {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        None => Ok(results),
+        Some(e) => {
+            if obs::is_metrics() {
+                obs::metrics().counter("mesh_faults_total").inc(1);
+            }
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A short timeout so fault tests fail fast instead of waiting the
+    /// 30 s production default.
+    fn fast(faults: FaultPlan) -> MeshConfig {
+        MeshConfig { recv_timeout: Duration::from_millis(300), faults, attempt: 0 }
+    }
 
     #[test]
     fn topology_ids_and_coords_roundtrip() {
@@ -307,7 +676,8 @@ mod tests {
         let got: Vec<usize> = run_spmd(t, |mut h: MeshHandle<usize>| {
             let id = h.id();
             h.shift(id, Dir::East)
-        });
+        })
+        .unwrap();
         for (id, &g) in got.iter().enumerate() {
             assert_eq!(g, t.neighbor(id, Dir::West), "core {id}");
         }
@@ -321,11 +691,12 @@ mod tests {
             let mut acc = h.id() as u64;
             let mut carry = h.id() as u64;
             for _ in 0..3 {
-                carry = h.shift(carry, Dir::East);
+                carry = h.shift(carry, Dir::East)?;
                 acc += carry;
             }
-            acc
-        });
+            Ok(acc)
+        })
+        .unwrap();
         assert!(sums.iter().all(|&s| s == 1 + 2 + 3));
     }
 
@@ -333,10 +704,11 @@ mod tests {
     fn spmd_multiple_sequential_collectives_do_not_cross_talk() {
         let t = Torus::new(2, 2);
         let results: Vec<(usize, usize)> = run_spmd(t, |mut h: MeshHandle<usize>| {
-            let a = h.shift(h.id() * 10, Dir::South);
-            let b = h.shift(h.id() * 100, Dir::East);
-            (a, b)
-        });
+            let a = h.shift(h.id() * 10, Dir::South)?;
+            let b = h.shift(h.id() * 100, Dir::East)?;
+            Ok((a, b))
+        })
+        .unwrap();
         for (id, r) in results.iter().enumerate() {
             assert_eq!(r.0, t.neighbor(id, Dir::North) * 10);
             assert_eq!(r.1, t.neighbor(id, Dir::West) * 100);
@@ -349,7 +721,8 @@ mod tests {
         let t = Torus::new(1, 3);
         let got: Vec<Option<u32>> = run_spmd(t, |mut h: MeshHandle<u32>| {
             h.collective_permute(h.id() as u32 + 7, &[(0, 1)])
-        });
+        })
+        .unwrap();
         assert_eq!(got, vec![None, Some(7), None]);
     }
 
@@ -362,7 +735,8 @@ mod tests {
         let results: Vec<Vec<(usize, usize)>> = run_spmd(t, |mut h: MeshHandle<(usize, usize)>| {
             let chunks: Vec<(usize, usize)> = (0..p).map(|j| (h.id(), j)).collect();
             h.all_to_all(chunks)
-        });
+        })
+        .unwrap();
         for (j, row) in results.iter().enumerate() {
             for (i, &cell) in row.iter().enumerate() {
                 assert_eq!(cell, (i, j), "core {j}, slot {i}");
@@ -373,14 +747,118 @@ mod tests {
     #[test]
     fn all_to_all_on_single_core_is_identity() {
         let t = Torus::new(1, 1);
-        let got: Vec<Vec<u8>> = run_spmd(t, |mut h: MeshHandle<u8>| h.all_to_all(vec![42]));
+        let got: Vec<Vec<u8>> =
+            run_spmd(t, |mut h: MeshHandle<u8>| h.all_to_all(vec![42])).unwrap();
         assert_eq!(got, vec![vec![42]]);
     }
 
     #[test]
     fn single_core_torus_shifts_to_itself() {
         let t = Torus::new(1, 1);
-        let got: Vec<u8> = run_spmd(t, |mut h: MeshHandle<u8>| h.shift(42, Dir::East));
+        let got: Vec<u8> = run_spmd(t, |mut h: MeshHandle<u8>| h.shift(42, Dir::East)).unwrap();
         assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn injected_kill_surfaces_as_typed_error() {
+        // Kill core 3 at its third collective; the pod reports the kill
+        // (the root cause), not the timeouts the other cores see.
+        let t = Torus::new(2, 2);
+        let err = run_spmd_cfg(t, fast(FaultPlan::new().kill(3, 2)), |mut h: MeshHandle<u32>| {
+            let mut v = h.id() as u32;
+            for _ in 0..5 {
+                v = h.shift(v, Dir::East)?;
+            }
+            Ok(v)
+        })
+        .unwrap_err();
+        assert_eq!(err, MeshError::InjectedKill { core: 3, seq: 2 });
+    }
+
+    #[test]
+    fn dead_peer_times_out_instead_of_hanging() {
+        // Core 0 exits before the collective; core 1 waits for its packet
+        // and must get a bounded RecvTimeout, not a hang.
+        let t = Torus::new(1, 3);
+        let err = run_spmd_cfg(t, fast(FaultPlan::new()), |mut h: MeshHandle<u32>| {
+            if h.id() == 0 {
+                return Ok(0);
+            }
+            h.collective_permute(7, &[(0, 1)]).map(|v| v.unwrap_or(0))
+        })
+        .unwrap_err();
+        match err {
+            MeshError::RecvTimeout { core: 1, peer: 0, seq: 0, waited_ms } => {
+                assert!(waited_ms >= 300);
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_packet_times_out_receiver_only() {
+        let t = Torus::new(1, 2);
+        let err = run_spmd_cfg(
+            t,
+            fast(FaultPlan::new().drop_packet(0, 1, 0)),
+            |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, MeshError::RecvTimeout { core: 1, peer: 0, .. }),
+            "expected core 1 to time out on the dropped packet, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn delayed_packet_changes_nothing() {
+        let t = Torus::new(1, 3);
+        let plan = FaultPlan::new().delay(1, 0, Duration::from_millis(40));
+        let got: Vec<usize> =
+            run_spmd_cfg(t, fast(plan), |mut h: MeshHandle<usize>| h.shift(h.id(), Dir::East))
+                .unwrap();
+        for (id, &g) in got.iter().enumerate() {
+            assert_eq!(g, t.neighbor(id, Dir::West), "core {id}");
+        }
+    }
+
+    #[test]
+    fn panicking_core_is_contained() {
+        let t = Torus::new(1, 2);
+        let err = run_spmd_cfg(t, fast(FaultPlan::new()), |mut h: MeshHandle<u32>| {
+            if h.id() == 1 {
+                panic!("simulated bug in core 1");
+            }
+            h.shift(0, Dir::East)
+        })
+        .unwrap_err();
+        assert_eq!(err, MeshError::CorePanicked { core: 1 });
+    }
+
+    #[test]
+    fn faults_gate_on_attempt() {
+        // A fault scheduled for attempt 1 must not fire on attempt 0, and
+        // vice versa.
+        let t = Torus::new(1, 2);
+        let plan = FaultPlan::new().kill_on_attempt(0, 0, 1);
+        let run = |attempt: usize| {
+            let cfg = MeshConfig {
+                recv_timeout: Duration::from_millis(300),
+                faults: plan.clone(),
+                attempt,
+            };
+            run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
+        };
+        assert!(run(0).is_ok());
+        assert_eq!(run(1).unwrap_err(), MeshError::InjectedKill { core: 0, seq: 0 });
+    }
+
+    #[test]
+    fn mesh_error_display_is_informative() {
+        let e = MeshError::RecvTimeout { core: 2, peer: 5, seq: 17, waited_ms: 250 };
+        let s = e.to_string();
+        assert!(s.contains("core 2") && s.contains("peer 5") && s.contains("250"));
+        let k = MeshError::InjectedKill { core: 1, seq: 3 }.to_string();
+        assert!(k.contains("fault plan"));
     }
 }

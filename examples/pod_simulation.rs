@@ -38,7 +38,7 @@ fn main() {
         cfg.global_w()
     );
     let t0 = std::time::Instant::now();
-    let pod = run_pod::<f32>(&cfg, sweeps);
+    let pod = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     let dt = t0.elapsed().as_secs_f64();
     let n = cfg.sites() as f64;
     println!(

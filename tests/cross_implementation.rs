@@ -62,7 +62,7 @@ fn distributed_pod_agrees_bitwise_with_reference() {
         rng: PodRng::SiteKeyed,
         backend: tpu_ising_core::KernelBackend::Band,
     };
-    let pod = run_pod::<f32>(&cfg, sweeps);
+    let pod = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     assert_eq!(pod.final_plane, reference_after(sweeps, beta));
 }
 

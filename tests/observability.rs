@@ -146,7 +146,7 @@ fn pod_run_reports_measured_communication_fraction() {
         backend: tpu_ising_core::KernelBackend::Band,
     };
     let sweeps = 3;
-    let _ = run_pod::<f32>(&cfg, sweeps);
+    let _ = run_pod::<f32>(&cfg, sweeps).expect("pod run failed");
     obs::disable();
 
     let snap = obs::snapshot();
