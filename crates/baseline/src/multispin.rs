@@ -19,14 +19,16 @@
 //! spins packed in a word), the bit-sliced masks here give every replica
 //! an independent acceptance draw, so each replica is an *exact*
 //! Metropolis chain.
+//!
+//! The mask machinery (`expand`, `bernoulli_mask`, `BERNOULLI_BITS`) lives
+//! in [`tpu_ising_rng::bitsliced`], shared with the production multi-spin
+//! engine in `tpu-ising-core`; this module remains the minimal reference
+//! form (sequential pre-drawn masks, allocating color updates).
 
 use rayon::prelude::*;
 use tpu_ising_core::Color;
+use tpu_ising_rng::bitsliced::{bernoulli_mask, expand, BERNOULLI_BITS};
 use tpu_ising_rng::PhiloxStream;
-
-/// Resolution (random bit-planes) of the Bernoulli masks: 24 bits, the
-/// entropy of an f32 uniform.
-const BERNOULLI_BITS: u32 = 24;
 
 /// 64 replicas of a periodic Ising lattice, one bit per replica.
 pub struct MultiSpinIsing {
@@ -40,47 +42,6 @@ pub struct MultiSpinIsing {
     /// probabilities: `p4 = e^{−8β}` (σ·nn = 4) and `p2 = e^{−4β}`.
     p4_bits: [bool; BERNOULLI_BITS as usize],
     p2_bits: [bool; BERNOULLI_BITS as usize],
-}
-
-/// MSB-first binary expansion of `p ∈ [0, 1]`.
-fn expand(p: f64) -> [bool; BERNOULLI_BITS as usize] {
-    let mut bits = [false; BERNOULLI_BITS as usize];
-    let mut x = p;
-    for b in bits.iter_mut() {
-        x *= 2.0;
-        if x >= 1.0 {
-            *b = true;
-            x -= 1.0;
-        }
-    }
-    bits
-}
-
-/// Build a word whose bits are independently 1 with probability `p`
-/// (given by its expansion), consuming one random word per bit-plane.
-///
-/// Bit lane semantics: compare a uniform `U` (bit-planes `u_k`, MSB first)
-/// against `p`: the lane accepts iff `U < p`, decided at the first
-/// bit-plane where they differ.
-fn bernoulli_mask(bits: &[bool], rng: &mut PhiloxStream) -> u64 {
-    let mut accept: u64 = 0;
-    let mut undecided: u64 = !0;
-    for &pb in bits {
-        let u = rng.next_u64();
-        if pb {
-            // p-bit 1: lanes with u-bit 0 accept; u-bit 1 stays undecided
-            accept |= undecided & !u;
-            undecided &= u;
-        } else {
-            // p-bit 0: lanes with u-bit 1 reject; u-bit 0 stays undecided
-            undecided &= !u;
-        }
-        if undecided == 0 {
-            break;
-        }
-    }
-    // exactly-equal lanes (prob 2^-24) reject: U < p is strict
-    accept
 }
 
 impl MultiSpinIsing {
@@ -231,45 +192,9 @@ impl MultiSpinIsing {
 mod tests {
     use super::*;
 
-    #[test]
-    fn expansion_roundtrips() {
-        for p in [0.0, 0.5, 0.25, 0.75, 0.123456, 0.9999] {
-            let bits = expand(p);
-            let mut x = 0.0;
-            for (i, &b) in bits.iter().enumerate() {
-                if b {
-                    x += 2f64.powi(-(i as i32 + 1));
-                }
-            }
-            assert!((x - p).abs() < 2f64.powi(-(BERNOULLI_BITS as i32)), "p={p} got {x}");
-        }
-    }
-
-    #[test]
-    fn bernoulli_mask_density_matches_p() {
-        let mut rng = PhiloxStream::from_seed(7);
-        for &p in &[0.1f64, 0.5, 0.9] {
-            let bits = expand(p);
-            let mut ones = 0u64;
-            let trials = 4000;
-            for _ in 0..trials {
-                ones += bernoulli_mask(&bits, &mut rng).count_ones() as u64;
-            }
-            let density = ones as f64 / (64.0 * trials as f64);
-            // σ ≈ sqrt(p(1-p)/(64·4000)) ≈ 1e-3; allow 5σ
-            assert!((density - p).abs() < 5e-3, "p={p} density={density}");
-        }
-    }
-
-    #[test]
-    fn bernoulli_extremes() {
-        let mut rng = PhiloxStream::from_seed(3);
-        assert_eq!(bernoulli_mask(&expand(0.0), &mut rng), 0);
-        // p = 1 − 2^-24: essentially all-accept
-        let almost_one = expand(1.0 - 2f64.powi(-24));
-        let m = bernoulli_mask(&almost_one, &mut rng);
-        assert!(m.count_ones() >= 60);
-    }
+    // Tests of `expand` / `bernoulli_mask` themselves live with the shared
+    // implementation in `tpu_ising_rng::bitsliced`; here we only cover the
+    // packed sweeper built on top of them.
 
     #[test]
     fn frozen_at_low_temperature_from_cold() {

@@ -7,13 +7,24 @@
 //! heap traffic per sweep as seen by the counting allocator — the band
 //! path must hold that at zero. Writes `results/BENCH_compact.json`.
 //!
+//! The second half benchmarks the bit-packed multi-spin engine (64
+//! replicas per `u64` word) against the scalar backends measured in the
+//! same process, and writes `results/BENCH_multispin.json` with run
+//! provenance (timestamp, CPU model, commit). `--gate-multispin` turns
+//! the committed acceptance ratio into an exit code: single-core
+//! multispin must deliver ≥ 10× the best same-run band flips/ns with a
+//! zero-allocation steady state.
+//!
 //! `--quick` (or `ISING_BENCH_QUICK=1`) shrinks tiles and sweep counts.
 
 use std::time::Instant;
 
-use tpu_ising_bench::{print_table, quick_mode, results_dir};
+use tpu_ising_bench::{print_table, quick_mode, results_dir, run_metadata};
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
-use tpu_ising_core::{random_plane, CompactIsing, KernelBackend, Randomness, Sweeper};
+use tpu_ising_core::{
+    random_plane, run_multispin_pod, CompactIsing, KernelBackend, MultiSpinIsing,
+    MultiSpinPodConfig, Randomness, Sweeper, REPLICAS,
+};
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_obs as obs;
 
@@ -127,8 +138,57 @@ fn pod(tile: usize, backend: KernelBackend, sweeps: usize) -> Row {
     }
 }
 
+/// One multi-spin engine measurement. `flips_per_ns` is the aggregate
+/// across all 64 replicas — every sweep proposes `REPLICAS · sites`
+/// replica-spins.
+fn multispin_single(sweeps: usize) -> Row {
+    let mut sim = MultiSpinIsing::new(L, L, BETA, 42);
+    for _ in 0..3 {
+        sim.sweep(); // warmup: touch every page, settle the branch mix
+    }
+    let flips = sim.flips_per_sweep() * sweeps as u64;
+    let (secs, min_alloc) = time_sweeps(sweeps, || sim.sweep());
+    Row {
+        mode: "single_core",
+        tile: 0,
+        lattice: format!("{L}x{L}"),
+        backend: "multispin",
+        sweeps,
+        us_per_sweep: secs * 1e6 / sweeps as f64,
+        flips_per_ns: flips as f64 / (secs * 1e9),
+        steady_alloc_bytes_per_sweep: min_alloc,
+    }
+}
+
+fn multispin_pod(sweeps: usize) -> Row {
+    let cfg = MultiSpinPodConfig {
+        torus: Torus::new(2, 2),
+        per_core_h: L / 2,
+        per_core_w: L / 2,
+        beta: BETA,
+        seed: 99,
+    };
+    let _ = run_multispin_pod(&cfg, 2).expect("multispin pod warmup failed");
+    let t0 = Instant::now();
+    let _ = run_multispin_pod(&cfg, sweeps).expect("multispin pod run failed");
+    let secs = t0.elapsed().as_secs_f64();
+    Row {
+        mode: "pod_2x2",
+        tile: 0,
+        lattice: format!("{}x{}", cfg.global_h(), cfg.global_w()),
+        backend: "multispin",
+        sweeps,
+        us_per_sweep: secs * 1e6 / sweeps as f64,
+        flips_per_ns: (cfg.flips_per_sweep() * sweeps as u64) as f64 / (secs * 1e9),
+        // like `pod`: the mesh is rebuilt per call, so steady per-sweep
+        // heap traffic is only observable on the single-core row.
+        steady_alloc_bytes_per_sweep: 0,
+    }
+}
+
 fn main() {
     let quick = quick_mode();
+    let gate = std::env::args().skip(1).any(|a| a == "--gate-multispin");
     let tiles: &[usize] = if quick { &[8, 16] } else { &[32, 64, 128] };
 
     let mut rows = Vec::new();
@@ -213,5 +273,93 @@ fn main() {
     match std::fs::write(&path, &json) {
         Ok(()) => println!("\n[results written to {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    // ---- multi-spin engine, measured against the rows above in-process ----
+
+    let ms_rows =
+        [multispin_single(if quick { 20 } else { 200 }), multispin_pod(if quick { 6 } else { 40 })];
+    let printable: Vec<Vec<String>> = ms_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.lattice.clone(),
+                REPLICAS.to_string(),
+                r.sweeps.to_string(),
+                format!("{:.1}", r.us_per_sweep),
+                format!("{:.4}", r.flips_per_ns),
+                r.steady_alloc_bytes_per_sweep.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Multi-spin engine (64 replicas per u64 word, aggregate flips/ns)",
+        &["mode", "lattice", "replicas", "sweeps", "us/sweep", "flips/ns", "alloc B/sweep"],
+        &printable,
+    );
+
+    // Same-run comparators: the best single-core scalar figure per backend.
+    let best = |name: &str| {
+        rows.iter()
+            .filter(|r| r.mode == "single_core" && r.backend == name)
+            .map(|r| r.flips_per_ns)
+            .fold(0.0f64, f64::max)
+    };
+    let (best_band, best_dense) = (best("band"), best("dense"));
+    let ms_single = &ms_rows[0];
+    let over_band = ms_single.flips_per_ns / best_band;
+    let over_dense = ms_single.flips_per_ns / best_dense;
+    println!(
+        "\nmultispin single-core: {:.3} flips/ns = {over_band:.1}x best band, \
+         {over_dense:.0}x best dense (same run)",
+        ms_single.flips_per_ns
+    );
+
+    let md = run_metadata();
+    let mut json = format!(
+        "{{\n  {},\n  \"quick\": {quick},\n  \"beta\": {BETA},\n  \"replicas\": {REPLICAS},\n  \
+         \"rows\": [\n",
+        md.to_json_fields()
+    );
+    for (i, r) in ms_rows.iter().enumerate() {
+        let sep = if i + 1 < ms_rows.len() { "," } else { "" };
+        json.push_str(&format!("    {}{}\n", r.to_json(), sep));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"same_run_comparators\": {{\"best_band_single_core\": {best_band:.5}, \
+         \"best_dense_single_core\": {best_dense:.5}}},\n  \
+         \"speedup\": {{\"multispin_over_band\": {over_band:.2}, \
+         \"multispin_over_dense\": {over_dense:.2}}}\n}}\n"
+    ));
+    let path = results_dir().join("BENCH_multispin.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[results written to {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    if gate {
+        let mut failures = Vec::new();
+        if over_band < 10.0 {
+            failures.push(format!(
+                "multispin {:.3} flips/ns is only {over_band:.1}x the best same-run band figure \
+                 {best_band:.4} (need >= 10x)",
+                ms_single.flips_per_ns
+            ));
+        }
+        if ms_single.steady_alloc_bytes_per_sweep != 0 {
+            failures.push(format!(
+                "multispin steady state allocates {} B/sweep (need 0)",
+                ms_single.steady_alloc_bytes_per_sweep
+            ));
+        }
+        if failures.is_empty() {
+            println!("[gate-multispin] PASS: {over_band:.1}x band, 0 B/sweep");
+        } else {
+            for f in &failures {
+                eprintln!("[gate-multispin] FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -116,6 +116,106 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Provenance block stamped into committed benchmark artifacts so a
+/// checked-in JSON answers "measured where, when, at which commit?".
+#[derive(Clone, Debug)]
+pub struct RunMetadata {
+    /// ISO-8601 UTC timestamp. Taken from a `--timestamp <iso>` argument
+    /// when given (reproducible builds pass one in), else derived from the
+    /// system clock.
+    pub timestamp: String,
+    /// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
+    pub cpu_model: String,
+    /// Git commit hash: `GIT_COMMIT` env, else `git rev-parse HEAD`,
+    /// else `"unknown"`.
+    pub commit: String,
+}
+
+impl RunMetadata {
+    /// The three fields as a hand-assembled JSON fragment (no trailing
+    /// comma), for binaries that build their JSON without a serializer.
+    pub fn to_json_fields(&self) -> String {
+        format!(
+            "\"timestamp\": \"{}\", \"cpu_model\": \"{}\", \"commit\": \"{}\"",
+            json_escape(&self.timestamp),
+            json_escape(&self.cpu_model),
+            json_escape(&self.commit)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Collect run provenance. See [`RunMetadata`] for the per-field sources.
+pub fn run_metadata() -> RunMetadata {
+    RunMetadata {
+        timestamp: timestamp_arg(std::env::args().skip(1)).unwrap_or_else(system_utc_iso8601),
+        cpu_model: cpu_model().unwrap_or_else(|| "unknown".to_string()),
+        commit: commit_hash().unwrap_or_else(|| "unknown".to_string()),
+    }
+}
+
+/// Extract the value of a `--timestamp <iso>` argument pair, if present.
+pub fn timestamp_arg<I>(args: I) -> Option<String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--timestamp" {
+            return it.next();
+        }
+    }
+    None
+}
+
+fn cpu_model() -> Option<String> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    text.lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|m| m.trim().to_string())
+}
+
+fn commit_hash() -> Option<String> {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        if !c.is_empty() {
+            return Some(c);
+        }
+    }
+    let out = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!hash.is_empty()).then_some(hash)
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ` from the system clock
+/// (civil-from-days; no date crate in the tree).
+fn system_utc_iso8601() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (h, m, s) = ((secs / 3600) % 24, (secs / 60) % 60, secs % 60);
+    // Howard Hinnant's civil_from_days, shifted so the era starts 0000-03-01.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
 /// Relative deviation helper for "paper vs model" columns.
 pub fn pct_dev(model: f64, paper: f64) -> String {
     format!("{:+.1}%", (model / paper - 1.0) * 100.0)
@@ -150,6 +250,46 @@ mod tests {
         assert!(!quick_mode_from(strings(&[]), None));
         // flag still wins regardless of env
         assert!(quick_mode_from(strings(&["--quick"]), Some("0".into())));
+    }
+
+    #[test]
+    fn timestamp_argument_is_extracted() {
+        assert_eq!(
+            timestamp_arg(strings(&["--timestamp", "2026-01-02T03:04:05Z"])),
+            Some("2026-01-02T03:04:05Z".to_string())
+        );
+        assert_eq!(
+            timestamp_arg(strings(&["--quick", "--timestamp", "t", "x"])),
+            Some("t".to_string())
+        );
+        assert_eq!(timestamp_arg(strings(&["--timestamp"])), None);
+        assert_eq!(timestamp_arg(strings(&["--quick"])), None);
+    }
+
+    #[test]
+    fn system_clock_renders_as_iso8601() {
+        let ts = system_utc_iso8601();
+        // e.g. 2026-08-07T04:13:52Z — shape check, not a clock check
+        assert_eq!(ts.len(), 20, "{ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert!(ts.ends_with('Z'));
+        let year: i32 = ts[..4].parse().unwrap();
+        assert!((2020..2200).contains(&year), "{ts}");
+    }
+
+    #[test]
+    fn metadata_json_fields_are_escaped() {
+        let md = RunMetadata {
+            timestamp: "t".into(),
+            cpu_model: "Weird \"CPU\" \\ name".into(),
+            commit: "abc".into(),
+        };
+        assert_eq!(
+            md.to_json_fields(),
+            "\"timestamp\": \"t\", \"cpu_model\": \"Weird \\\"CPU\\\" \\\\ name\", \
+             \"commit\": \"abc\""
+        );
     }
 
     #[test]

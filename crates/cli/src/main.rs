@@ -29,6 +29,8 @@ COMMANDS:
   simulate   run one chain and print observables
              --size N (64)  --t-over-tc X (0.95) | --temp T
              --algo compact|naive|conv|gpu|wolff|multispin (compact)
+                                multispin = packed engine, 64 replicas/word,
+                                per-replica ⟨|m|⟩ ± stderr + pooled Binder
              --dtype f32|bf16 (f32)  --burn N (500)  --sweeps N (2000)
              --backend dense|band (band)   neighbor-sum kernels: dense
                                 reference matmuls or the fused band path
@@ -42,6 +44,9 @@ COMMANDS:
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
              --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
              --backend dense|band (band)
+             --algo compact|multispin (compact)   multispin = 64 replicas
+                                per word, packed u64 halo exchange (32×
+                                fewer halo bytes), always site-keyed
              --checkpoint-every N (off)  --checkpoint-out FILE  --resume FILE
              --max-restarts N (3)  --recv-timeout-ms MS (30000)
              --kill-core N --kill-at K (inject a fault for testing)

@@ -19,6 +19,9 @@
 //!   convolution.
 //! - [`distributed`]: the SPMD Pod run — one thread per modeled TensorCore
 //!   on a 2-D torus, halos exchanged with `collective_permute` semantics.
+//! - [`multispin`]: the bit-packed fast path — 64 independent replicas per
+//!   `u64` word, bitwise full-adder neighbor counts, bit-sliced Bernoulli
+//!   acceptance masks, packed halo exchange on the same mesh collectives.
 //! - [`hlo_frontend`]: the update step built as an HLO-lite graph, the way
 //!   the paper's TensorFlow program reaches the TPU.
 //! - [`observables`] / [`sampler`]: magnetization, energy, Binder cumulant,
@@ -42,6 +45,7 @@ pub mod fss;
 pub mod hlo_frontend;
 pub mod ising3d;
 pub mod lattice;
+pub mod multispin;
 pub mod naive;
 pub mod observables;
 pub mod prob;
@@ -61,6 +65,12 @@ pub use distributed::{
 };
 pub use ising3d::{Ising3D, T_CRITICAL_3D};
 pub use lattice::{cold_plane, random_plane, Color};
+pub use multispin::{
+    run_multispin_pod, run_multispin_pod_resilient, run_multispin_pod_with_opts,
+    MultiSpinCheckpoint, MultiSpinIsing, MultiSpinPodCheckpoint, MultiSpinPodConfig,
+    MultiSpinPodResult, MultiSpinPodRunOpts, MultiSpinStore, PackedHalos, ResilientMultiSpinRun,
+    REPLICAS,
+};
 pub use naive::NaiveIsing;
 pub use observables::onsager;
 pub use prob::Randomness;

@@ -1,0 +1,59 @@
+use tpu_ising_rng::{
+    philox4x32_10, philox4x32_10_planes16, philox4x32_10_x8, Philox4x32Key, PHILOX_BATCH,
+};
+fn main() {
+    let key = Philox4x32Key::from_seed(42);
+    let n: u32 = 20_000_000;
+    // serial-dependent chain
+    let t0 = std::time::Instant::now();
+    let mut acc = [0u32; 4];
+    for i in 0..n {
+        acc = philox4x32_10([acc[0] ^ i, acc[1], acc[2], acc[3]], key);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!("serial: {:.1} cycles/call (acc {acc:?})", dt * 2.1e9 / n as f64);
+    // independent calls
+    let t0 = std::time::Instant::now();
+    let mut sum = 0u64;
+    for i in 0..n {
+        let o = philox4x32_10([i, 0, 0, 0], key);
+        sum ^= ((o[1] as u64) << 32) | o[0] as u64;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!("indep:  {:.1} cycles/call (sum {sum})", dt * 2.1e9 / n as f64);
+    // 8-wide batch
+    let nb = n / PHILOX_BATCH as u32;
+    let t0 = std::time::Instant::now();
+    let mut sum = 0u64;
+    for i in 0..nb {
+        let mut ctrs = [[0u32; 4]; PHILOX_BATCH];
+        for (b, c) in ctrs.iter_mut().enumerate() {
+            *c = [i, 0, 0, (b as u32) << 24];
+        }
+        let outs = philox4x32_10_x8(&ctrs, key);
+        for o in &outs {
+            sum ^= ((o[1] as u64) << 32) | o[0] as u64;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "x8:     {:.1} cycles/call = {:.1} cycles/batch (sum {sum})",
+        dt * 2.1e9 / (nb as f64 * PHILOX_BATCH as f64),
+        dt * 2.1e9 / nb as f64
+    );
+    // plane-oriented batch
+    let t0 = std::time::Instant::now();
+    let mut sum = 0u64;
+    for i in 0..nb {
+        let planes = philox4x32_10_planes16([i, 1, 2, 3], 0, key);
+        for p in &planes {
+            sum ^= p;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "planes16: {:.1} cycles/call-equiv = {:.1} cycles/batch (sum {sum})",
+        dt * 2.1e9 / (nb as f64 * PHILOX_BATCH as f64),
+        dt * 2.1e9 / nb as f64
+    );
+}

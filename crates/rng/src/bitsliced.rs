@@ -1,0 +1,522 @@
+//! Bit-sliced Bernoulli masks for multi-spin coding.
+//!
+//! Multi-spin coding packs 64 independent replicas into one `u64` and
+//! advances all of them with bitwise arithmetic, so it needs a *vector* of
+//! 64 independent Bernoulli(p) draws per packed site — as a single word.
+//! The bit-sliced construction compares a uniform `U` against `p` one
+//! binary digit at a time, across all 64 lanes simultaneously: plane `i`
+//! of the uniforms (one random word) is compared against bit `i` of `p`'s
+//! binary expansion, and a lane is decided at the first plane where they
+//! differ. Expected cost is ~2 planes per *lane*, but the loop runs until
+//! the last undecided lane resolves (≈ log₂64 + 2 planes per word) — still
+//! far below one random word per replica-spin.
+//!
+//! This module is the single shared implementation used by both the
+//! `baseline` toy sweeper and the production engine in `core`; the mask
+//! builders are generic over the plane source so sequential streams
+//! ([`crate::PhiloxStream`]) and counter-addressed site-keyed generators
+//! plug in equally.
+
+use crate::PhiloxStream;
+
+/// Resolution (random bit-planes) of the Bernoulli masks: 24 bits, the
+/// entropy of an f32-derived uniform.
+pub const BERNOULLI_BITS: u32 = 24;
+
+/// MSB-first binary expansion of `p ∈ [0, 1]`, **rounded to nearest** at
+/// [`BERNOULLI_BITS`] bits.
+///
+/// The realized acceptance probability is `round(p·2²⁴)/2²⁴`, within
+/// `2⁻²⁵` of `p` — truncating instead (as the first implementation did)
+/// biases every acceptance *down* by up to `2⁻²⁴`. Probabilities that
+/// round up to exactly 1 saturate at `1 − 2⁻²⁴` (24 bits cannot express
+/// 1.0); only `p > 1 − 2⁻²⁵` is affected.
+pub fn expand(p: f64) -> [bool; BERNOULLI_BITS as usize] {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let scale = (1u64 << BERNOULLI_BITS) as f64;
+    let q = ((p * scale).round() as u64).min((1 << BERNOULLI_BITS) - 1) as u32;
+    let mut bits = [false; BERNOULLI_BITS as usize];
+    for (i, b) in bits.iter_mut().enumerate() {
+        *b = (q >> (BERNOULLI_BITS as usize - 1 - i)) & 1 == 1;
+    }
+    bits
+}
+
+/// Build a word whose 64 bits are independently 1 with probability `p`
+/// (given by its [`expand`]-ed bits), drawing one random plane per
+/// consumed bit-plane from `next_plane`.
+///
+/// Lane semantics: compare a uniform `U` (bit-planes MSB first) against
+/// `p`; the lane accepts iff `U < p`, decided at the first plane where
+/// they differ. Exactly-equal lanes (probability `2⁻²⁴`) reject — the
+/// comparison is strict, matching `u < p` on f32 uniforms.
+pub fn bernoulli_mask_with(bits: &[bool], mut next_plane: impl FnMut() -> u64) -> u64 {
+    let mut accept: u64 = 0;
+    let mut undecided: u64 = !0;
+    for &pb in bits {
+        let u = next_plane();
+        if pb {
+            // p-bit 1: lanes with u-bit 0 accept; u-bit 1 stays undecided
+            accept |= undecided & !u;
+            undecided &= u;
+        } else {
+            // p-bit 0: lanes with u-bit 1 reject; u-bit 0 stays undecided
+            undecided &= !u;
+        }
+        if undecided == 0 {
+            break;
+        }
+    }
+    accept
+}
+
+/// [`bernoulli_mask_with`] drawing planes from a sequential Philox stream.
+pub fn bernoulli_mask(bits: &[bool], rng: &mut PhiloxStream) -> u64 {
+    bernoulli_mask_with(bits, || rng.next_u64())
+}
+
+/// Build **two** Bernoulli masks (probabilities `hi` ≥ `lo`, same length
+/// expansions) from **one shared sequence of uniform planes**, stopping as
+/// soon as every lane *someone needs* is decided.
+///
+/// `need_hi` / `need_lo` flag the lanes whose `hi` / `lo` bit the caller
+/// will actually consume; bits outside a mask's need set are unspecified.
+/// Sharing the planes halves the RNG cost of a two-threshold Metropolis
+/// update and is statistically exact **provided each lane consumes at most
+/// one of the two masks**, with the choice made independently of the
+/// uniforms (in the Ising update the neighborhood decides which threshold
+/// applies, so the condition holds). For any single lane the returned bit
+/// is exactly `[U < p]` for its consumed threshold.
+pub fn bernoulli_masks_dual(
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    need_hi: u64,
+    need_lo: u64,
+    mut next_plane: impl FnMut() -> u64,
+) -> (u64, u64) {
+    debug_assert_eq!(hi_bits.len(), lo_bits.len());
+    let mut b = DualMaskBuilder::new();
+    while b.planes_used() < hi_bits.len() && b.undecided(need_hi, need_lo) {
+        b.feed(hi_bits, lo_bits, &[next_plane()]);
+    }
+    b.masks()
+}
+
+/// Incremental dual-threshold mask construction: the state of the
+/// [`bernoulli_masks_dual`] comparison, exposed so callers that *batch*
+/// their uniform planes (e.g. interleaved counter-based Philox blocks,
+/// whose independent 10-round chains pipeline ~2× better than serial
+/// draws) can feed several planes in one straight-line, branch-free pass
+/// and poll for completion between batches rather than per plane.
+///
+/// Plane `i` fed (in order, across all `feed` calls) is compared against
+/// bit `i` of the two expansions; the accept/undecided lane semantics are
+/// exactly those of [`bernoulli_mask_with`], per threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct DualMaskBuilder {
+    acc_hi: u64,
+    und_hi: u64,
+    acc_lo: u64,
+    und_lo: u64,
+    planes_used: usize,
+}
+
+impl DualMaskBuilder {
+    /// Fresh state: nothing accepted, every lane of both masks undecided.
+    #[allow(clippy::new_without_default)]
+    #[inline]
+    pub fn new() -> Self {
+        DualMaskBuilder { acc_hi: 0, und_hi: !0, acc_lo: 0, und_lo: !0, planes_used: 0 }
+    }
+
+    /// Planes consumed so far (= the expansion bit the next plane meets).
+    #[inline]
+    pub fn planes_used(&self) -> usize {
+        self.planes_used
+    }
+
+    /// True while some lane a caller cares about is still undecided in the
+    /// mask it will consume.
+    #[inline]
+    pub fn undecided(&self, need_hi: u64, need_lo: u64) -> bool {
+        (self.und_hi & need_hi) | (self.und_lo & need_lo) != 0
+    }
+
+    /// Compare a batch of uniform planes against the next expansion bits.
+    /// Branch-free: the per-plane p-bit select is a mask blend, so the
+    /// whole batch schedules as one straight line of bitwise ops.
+    #[inline]
+    pub fn feed(&mut self, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64]) {
+        debug_assert!(self.planes_used + planes.len() <= hi_bits.len());
+        debug_assert_eq!(hi_bits.len(), lo_bits.len());
+        let hi = hi_bits[self.planes_used..].iter();
+        let lo = lo_bits[self.planes_used..].iter();
+        for ((&u, &hb), &lb) in planes.iter().zip(hi).zip(lo) {
+            // mh = all-ones iff the hi p-bit is 1; then und &= u (keep
+            // ties), else und &= !u (reject) — blended without branching.
+            let mh = (hb as u64).wrapping_neg();
+            let ml = (lb as u64).wrapping_neg();
+            self.acc_hi |= self.und_hi & !u & mh;
+            self.und_hi &= u ^ !mh;
+            self.acc_lo |= self.und_lo & !u & ml;
+            self.und_lo &= u ^ !ml;
+        }
+        self.planes_used += planes.len();
+    }
+
+    /// Compare eight planes at once by folding the lane-wise comparison
+    /// as a balanced tree instead of a serial scan. Per plane the
+    /// comparison state is `(lt, eq)` — "already decided less" and "still
+    /// tied" — and two segments combine associatively as
+    /// `(ltA | eqA·ltB, eqA·eqB)`, so eight planes reduce in depth 3
+    /// rather than a chain of eight dependent updates. Bit-identical to
+    /// [`Self::feed`] on the same planes; worth ~2× on the sweep hot path
+    /// where the mask build is latency-bound.
+    #[inline]
+    pub fn feed_tree8(&mut self, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+        debug_assert!(self.planes_used + 8 <= hi_bits.len());
+        debug_assert_eq!(hi_bits.len(), lo_bits.len());
+        // On x86_64 the hi and lo thresholds ride in the two 64-bit lanes
+        // of one xmm register, so one tree decides both thresholds — the
+        // combine count halves against running the scalar tree twice.
+        // SSE2 is part of the x86_64 baseline, no dispatch needed.
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
+        unsafe {
+            use std::arch::x86_64::*;
+            #[inline(always)]
+            unsafe fn combine(a: (__m128i, __m128i), b: (__m128i, __m128i)) -> (__m128i, __m128i) {
+                (_mm_or_si128(a.0, _mm_and_si128(a.1, b.0)), _mm_and_si128(a.1, b.1))
+            }
+            let off = self.planes_used;
+            let ones = _mm_set1_epi64x(-1);
+            let mut leaf = [(ones, ones); 8];
+            for (i, l) in leaf.iter_mut().enumerate() {
+                let u = _mm_set1_epi64x(planes[i] as i64);
+                // per lane: m = all-ones iff that threshold's p-bit is 1;
+                // below p only where the p-bit is 1 and the u-bit is 0,
+                // tied where they match: (lt, eq) = (!u & m, u ^ !m)
+                let m = _mm_set_epi64x(-(hi_bits[off + i] as i64), -(lo_bits[off + i] as i64));
+                *l = (_mm_andnot_si128(u, m), _mm_xor_si128(u, _mm_xor_si128(m, ones)));
+            }
+            let (lt, eq) = combine(
+                combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
+                combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
+            );
+            let und = _mm_set_epi64x(self.und_hi as i64, self.und_lo as i64);
+            let acc = _mm_set_epi64x(self.acc_hi as i64, self.acc_lo as i64);
+            let acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+            let und = _mm_and_si128(und, eq);
+            self.acc_lo = _mm_cvtsi128_si64(acc) as u64;
+            self.acc_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)) as u64;
+            self.und_lo = _mm_cvtsi128_si64(und) as u64;
+            self.und_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(und, und)) as u64;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            #[inline(always)]
+            fn combine(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+                (a.0 | (a.1 & b.0), a.1 & b.1)
+            }
+            #[inline(always)]
+            fn tree8(bits: &[bool], off: usize, planes: &[u64; 8]) -> (u64, u64) {
+                let mut leaf = [(0u64, 0u64); 8];
+                for (i, l) in leaf.iter_mut().enumerate() {
+                    let u = planes[i];
+                    // m = all-ones iff p-bit is 1: below p only possible
+                    // where the p-bit is 1 and the u-bit is 0; tied where
+                    // they match.
+                    let m = (bits[off + i] as u64).wrapping_neg();
+                    *l = (!u & m, u ^ !m);
+                }
+                combine(
+                    combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
+                    combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
+                )
+            }
+            let (lt_h, eq_h) = tree8(hi_bits, self.planes_used, planes);
+            let (lt_l, eq_l) = tree8(lo_bits, self.planes_used, planes);
+            self.acc_hi |= self.und_hi & lt_h;
+            self.und_hi &= eq_h;
+            self.acc_lo |= self.und_lo & lt_l;
+            self.und_lo &= eq_l;
+        }
+        self.planes_used += 8;
+    }
+
+    /// One vectorized RNG batch worth of planes — sixteen — folded as two
+    /// [`Self::feed_tree8`] trees with the second skipped when the first
+    /// already decided every lane in `need_hi`/`need_lo`. Semantically
+    /// exactly
+    /// `feed_tree8(..planes[..8]); if undecided { feed_tree8(..planes[8..]) }`,
+    /// but on x86_64 the comparison state stays in one xmm register across
+    /// both trees and the short-circuit test instead of being packed and
+    /// unpacked per call — this is the hot path of the multi-spin sweep,
+    /// where a word is decided by the first tree ~75 % of the time.
+    #[inline]
+    pub fn feed_tree16(
+        &mut self,
+        hi_bits: &[bool],
+        lo_bits: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
+        debug_assert!(self.planes_used + 16 <= hi_bits.len());
+        debug_assert_eq!(hi_bits.len(), lo_bits.len());
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
+        unsafe {
+            use std::arch::x86_64::*;
+            #[inline(always)]
+            unsafe fn combine(a: (__m128i, __m128i), b: (__m128i, __m128i)) -> (__m128i, __m128i) {
+                (_mm_or_si128(a.0, _mm_and_si128(a.1, b.0)), _mm_and_si128(a.1, b.1))
+            }
+            #[inline(always)]
+            unsafe fn tree8(
+                hi_bits: &[bool],
+                lo_bits: &[bool],
+                off: usize,
+                planes: &[u64],
+            ) -> (__m128i, __m128i) {
+                let ones = _mm_set1_epi64x(-1);
+                let mut leaf = [(ones, ones); 8];
+                for (i, l) in leaf.iter_mut().enumerate() {
+                    let u = _mm_set1_epi64x(planes[i] as i64);
+                    let m = _mm_set_epi64x(-(hi_bits[off + i] as i64), -(lo_bits[off + i] as i64));
+                    *l = (_mm_andnot_si128(u, m), _mm_xor_si128(u, _mm_xor_si128(m, ones)));
+                }
+                combine(
+                    combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
+                    combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
+                )
+            }
+            let off = self.planes_used;
+            let (lt, eq) = tree8(hi_bits, lo_bits, off, &planes[..8]);
+            let mut und = _mm_set_epi64x(self.und_hi as i64, self.und_lo as i64);
+            let mut acc = _mm_set_epi64x(self.acc_hi as i64, self.acc_lo as i64);
+            acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+            und = _mm_and_si128(und, eq);
+            let need = _mm_set_epi64x(need_hi as i64, need_lo as i64);
+            let live = _mm_and_si128(und, need);
+            // SSE2 all-zero test: every byte compares equal to zero
+            let decided = _mm_movemask_epi8(_mm_cmpeq_epi8(live, _mm_setzero_si128())) == 0xFFFF;
+            if decided {
+                self.planes_used = off + 8;
+            } else {
+                let (lt, eq) = tree8(hi_bits, lo_bits, off + 8, &planes[8..]);
+                acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+                und = _mm_and_si128(und, eq);
+                self.planes_used = off + 16;
+            }
+            self.acc_lo = _mm_cvtsi128_si64(acc) as u64;
+            self.acc_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)) as u64;
+            self.und_lo = _mm_cvtsi128_si64(und) as u64;
+            self.und_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(und, und)) as u64;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.feed_tree8(hi_bits, lo_bits, planes[..8].try_into().expect("8 planes"));
+            if self.undecided(need_hi, need_lo) {
+                self.feed_tree8(hi_bits, lo_bits, planes[8..].try_into().expect("8 planes"));
+            }
+        }
+    }
+
+    /// The accept masks accumulated so far `(hi, lo)`; final once
+    /// [`Self::undecided`] is false for the caller's need sets (undecided
+    /// lanes read as reject, matching the strict `U < p` comparison).
+    #[inline]
+    pub fn masks(&self) -> (u64, u64) {
+        (self.acc_hi, self.acc_lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstruct the probability an expansion encodes.
+    fn value_of(bits: &[bool]) -> f64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| if b { 2f64.powi(-(i as i32 + 1)) } else { 0.0 })
+            .sum()
+    }
+
+    #[test]
+    fn expansion_roundtrips_within_half_ulp() {
+        for p in [0.0, 0.5, 0.25, 0.75, 0.123456, 0.9999] {
+            let x = value_of(&expand(p));
+            assert!((x - p).abs() <= 2f64.powi(-(BERNOULLI_BITS as i32 + 1)), "p={p} got {x}");
+        }
+    }
+
+    #[test]
+    fn expansion_rounds_to_nearest_on_known_betas() {
+        // The acceptance probabilities the Ising sweep actually uses. A
+        // truncating expansion is below p·2²⁴ whenever the fraction is
+        // nonzero; round-to-nearest must land on the nearest grid point.
+        for beta in [0.2f64, 0.4, 0.44, 0.4406868, 0.6, 1.0] {
+            for p in [(-8.0 * beta).exp(), (-4.0 * beta).exp()] {
+                let q = (p * 2f64.powi(24)).round();
+                let got = value_of(&expand(p)) * 2f64.powi(24);
+                assert_eq!(got, q, "β-derived p={p} encoded {got}, want {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_bias_regression() {
+        // p chosen so the 24-bit fraction is > 1/2: truncation loses a full
+        // 2⁻²⁴ here, rounding must go up.
+        let p = (1000.0 + 0.75) / 2f64.powi(24);
+        let got = value_of(&expand(p)) * 2f64.powi(24);
+        assert_eq!(got, 1001.0, "expansion must round up, not truncate");
+    }
+
+    #[test]
+    fn expansion_saturates_near_one() {
+        let bits = expand(1.0);
+        assert!(bits.iter().all(|&b| b), "p=1 must saturate to all-ones");
+    }
+
+    #[test]
+    fn mask_density_matches_p() {
+        let mut rng = PhiloxStream::from_seed(7);
+        for &p in &[0.1f64, 0.5, 0.9] {
+            let bits = expand(p);
+            let mut ones = 0u64;
+            let trials = 4000;
+            for _ in 0..trials {
+                ones += bernoulli_mask(&bits, &mut rng).count_ones() as u64;
+            }
+            let density = ones as f64 / (64.0 * trials as f64);
+            // σ ≈ sqrt(p(1-p)/(64·4000)) ≈ 1e-3; allow 5σ
+            assert!((density - p).abs() < 5e-3, "p={p} density={density}");
+        }
+    }
+
+    #[test]
+    fn mask_extremes() {
+        let mut rng = PhiloxStream::from_seed(3);
+        assert_eq!(bernoulli_mask(&expand(0.0), &mut rng), 0);
+        let m = bernoulli_mask(&expand(1.0 - 2f64.powi(-24)), &mut rng);
+        assert!(m.count_ones() >= 60);
+    }
+
+    #[test]
+    fn dual_masks_match_single_threshold_builders() {
+        // With identical thresholds and full need sets, the dual builder
+        // consumes the same planes and must reproduce the single builder.
+        let bits = expand(0.37);
+        let mut seq = PhiloxStream::from_seed(11);
+        let single = bernoulli_mask(&bits, &mut seq);
+        let mut seq = PhiloxStream::from_seed(11);
+        let (hi, lo) = bernoulli_masks_dual(&bits, &bits, !0, !0, || seq.next_u64());
+        assert_eq!(hi, lo);
+        assert_eq!(hi, single);
+    }
+
+    #[test]
+    fn dual_masks_are_nested() {
+        // U < p_lo ⇒ U < p_hi, so on fully-decided lanes lo ⊆ hi.
+        let hi = expand(0.8);
+        let lo = expand(0.15);
+        let mut seq = PhiloxStream::from_seed(23);
+        for _ in 0..2000 {
+            let (mhi, mlo) = bernoulli_masks_dual(&hi, &lo, !0, !0, || seq.next_u64());
+            assert_eq!(mlo & !mhi, 0, "lo mask must be a subset of hi mask");
+        }
+    }
+
+    #[test]
+    fn dual_masks_have_correct_densities() {
+        let hi = expand(0.6);
+        let lo = expand(0.05);
+        let mut seq = PhiloxStream::from_seed(5);
+        let trials = 4000;
+        let (mut ones_hi, mut ones_lo) = (0u64, 0u64);
+        for _ in 0..trials {
+            let (mhi, mlo) = bernoulli_masks_dual(&hi, &lo, !0, !0, || seq.next_u64());
+            ones_hi += mhi.count_ones() as u64;
+            ones_lo += mlo.count_ones() as u64;
+        }
+        let n = 64.0 * trials as f64;
+        assert!((ones_hi as f64 / n - 0.6).abs() < 5e-3);
+        assert!((ones_lo as f64 / n - 0.05).abs() < 3e-3);
+    }
+
+    #[test]
+    fn tree_feed_is_bit_identical_to_serial_feed() {
+        // feed_tree8 must be an evaluation-order optimization only: same
+        // accept masks and same undecided state as plane-by-plane feeds.
+        let hi = expand(0.37);
+        let lo = expand(0.004);
+        let mut seq = PhiloxStream::from_seed(99);
+        for _ in 0..500 {
+            let mut planes = [0u64; 16];
+            for p in planes.iter_mut() {
+                *p = seq.next_u64();
+            }
+            let mut serial = DualMaskBuilder::new();
+            serial.feed(&hi, &lo, &planes);
+            let mut tree = DualMaskBuilder::new();
+            tree.feed_tree8(&hi, &lo, planes[..8].try_into().unwrap());
+            tree.feed_tree8(&hi, &lo, planes[8..].try_into().unwrap());
+            assert_eq!(serial.masks(), tree.masks());
+            assert_eq!(serial.undecided(!0, !0), tree.undecided(!0, !0));
+            assert_eq!(serial.planes_used(), tree.planes_used());
+        }
+    }
+
+    #[test]
+    fn tree16_matches_conditional_tree8_pair() {
+        // feed_tree16 = first tree, then the second only if a needed lane
+        // is still undecided — including the consumed-plane count, which
+        // determines which expansion bits any later refill planes meet.
+        let hi = expand(0.37);
+        let lo = expand(0.004);
+        let mut seq = PhiloxStream::from_seed(1234);
+        for trial in 0..500 {
+            let mut planes = [0u64; 16];
+            for p in planes.iter_mut() {
+                *p = seq.next_u64();
+            }
+            // vary the need sets: full, sparse, disjoint, empty
+            let (need_hi, need_lo) = match trial % 4 {
+                0 => (!0u64, !0u64),
+                1 => (seq.next_u64(), seq.next_u64()),
+                2 => (seq.next_u64(), 0),
+                _ => (0, 0),
+            };
+            let mut reference = DualMaskBuilder::new();
+            reference.feed_tree8(&hi, &lo, planes[..8].try_into().unwrap());
+            if reference.undecided(need_hi, need_lo) {
+                reference.feed_tree8(&hi, &lo, planes[8..].try_into().unwrap());
+            }
+            let mut fused = DualMaskBuilder::new();
+            fused.feed_tree16(&hi, &lo, &planes, need_hi, need_lo);
+            assert_eq!(reference.masks(), fused.masks());
+            assert_eq!(reference.planes_used(), fused.planes_used());
+            assert_eq!(reference.undecided(need_hi, need_lo), fused.undecided(need_hi, need_lo));
+        }
+    }
+
+    #[test]
+    fn dual_need_masks_stop_early_but_agree_on_needed_lanes() {
+        // Restricting the need sets must not change the bits inside them.
+        let hi = expand(0.4);
+        let lo = expand(0.02);
+        for seed in 0..50u64 {
+            let need_hi = 0xFFFF_0000_FFFF_0000u64;
+            let need_lo = !need_hi;
+            let mut a = PhiloxStream::from_seed(seed);
+            let (fh, fl) = bernoulli_masks_dual(&hi, &lo, !0, !0, || a.next_u64());
+            let mut b = PhiloxStream::from_seed(seed);
+            let (nh, nl) = bernoulli_masks_dual(&hi, &lo, need_hi, need_lo, || b.next_u64());
+            assert_eq!(fh & need_hi, nh & need_hi);
+            assert_eq!(fl & need_lo, nl & need_lo);
+        }
+    }
+}

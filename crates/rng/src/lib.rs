@@ -22,12 +22,23 @@
 //!   compact Algorithm 2, the conv variant, or a distributed run) driven by
 //!   the same `SiteRng` make *bit-identical flip decisions*, which is what
 //!   the cross-implementation equivalence tests rely on.
+//! - [`bitsliced`]: bit-sliced Bernoulli masks — 64 independent
+//!   Bernoulli(p) draws packed in one `u64`, the acceptance machinery of
+//!   the multi-spin sweepers in `baseline` and `core`.
 
+pub mod bitsliced;
 mod philox;
 mod site;
 mod uniform;
 
-pub use philox::{philox4x32_10, Philox4x32Key};
+pub use bitsliced::{
+    bernoulli_mask, bernoulli_mask_with, bernoulli_masks_dual, expand, DualMaskBuilder,
+    BERNOULLI_BITS,
+};
+pub use philox::{
+    philox4x32_10, philox4x32_10_planes16, philox4x32_10_planes8_x2, philox4x32_10_x8,
+    Philox4x32Key, PHILOX_BATCH,
+};
 pub use site::SiteRng;
 pub use uniform::RandomUniform;
 

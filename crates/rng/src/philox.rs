@@ -62,9 +62,555 @@ pub fn philox4x32_10(mut ctr: [u32; 4], mut key: Philox4x32Key) -> [u32; 4] {
     round(ctr, key)
 }
 
+/// Lanes evaluated together by [`philox4x32_10_x8`].
+pub const PHILOX_BATCH: usize = 8;
+
+/// The eight-counter Philox body in structure-of-arrays form. One scalar
+/// call is a serial chain of 20 dependent 32×32→64 multiplies (~48 cycles
+/// measured); eight independent counters walked in lockstep expose the
+/// widening-multiply idiom the auto-vectorizer maps onto `vpmuludq`, so
+/// the batch costs a small multiple of one call rather than eight.
+#[inline(always)]
+fn philox_x8_body(ctrs: &[[u32; 4]; PHILOX_BATCH], key: Philox4x32Key) -> [[u32; 4]; PHILOX_BATCH] {
+    let mut c0 = [0u32; PHILOX_BATCH];
+    let mut c1 = [0u32; PHILOX_BATCH];
+    let mut c2 = [0u32; PHILOX_BATCH];
+    let mut c3 = [0u32; PHILOX_BATCH];
+    for i in 0..PHILOX_BATCH {
+        c0[i] = ctrs[i][0];
+        c1[i] = ctrs[i][1];
+        c2[i] = ctrs[i][2];
+        c3[i] = ctrs[i][3];
+    }
+    let (mut k0, mut k1) = (key.k0, key.k1);
+    for r in 0..10 {
+        for i in 0..PHILOX_BATCH {
+            let p0 = (PHILOX_M0 as u64) * (c0[i] as u64);
+            let p1 = (PHILOX_M1 as u64) * (c2[i] as u64);
+            let n0 = ((p1 >> 32) as u32) ^ c1[i] ^ k0;
+            let n2 = ((p0 >> 32) as u32) ^ c3[i] ^ k1;
+            c0[i] = n0;
+            c1[i] = p1 as u32;
+            c2[i] = n2;
+            c3[i] = p0 as u32;
+        }
+        if r < 9 {
+            k0 = k0.wrapping_add(PHILOX_W0);
+            k1 = k1.wrapping_add(PHILOX_W1);
+        }
+    }
+    let mut out = [[0u32; 4]; PHILOX_BATCH];
+    for i in 0..PHILOX_BATCH {
+        out[i] = [c0[i], c1[i], c2[i], c3[i]];
+    }
+    out
+}
+
+/// Hand-vectorized AVX2 batch: the four counter words live as 8-lane
+/// `ymm` registers and every round does the two widening multiplies with
+/// `vpmuludq` on even/odd dword lanes, reassembling hi/lo vectors with
+/// qword shifts and blends. Bit-identical to the scalar bijection.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn philox_x8_avx2(
+    ctrs: &[[u32; 4]; PHILOX_BATCH],
+    key: Philox4x32Key,
+) -> [[u32; 4]; PHILOX_BATCH] {
+    use std::arch::x86_64::*;
+    // SAFETY: callers guarantee AVX2; all loads/stores go through
+    // properly-sized stack arrays.
+    unsafe {
+        let mut a = [[0u32; PHILOX_BATCH]; 4];
+        for (i, c) in ctrs.iter().enumerate() {
+            for w in 0..4 {
+                a[w][i] = c[w];
+            }
+        }
+        let mut c0 = _mm256_loadu_si256(a[0].as_ptr().cast());
+        let mut c1 = _mm256_loadu_si256(a[1].as_ptr().cast());
+        let mut c2 = _mm256_loadu_si256(a[2].as_ptr().cast());
+        let mut c3 = _mm256_loadu_si256(a[3].as_ptr().cast());
+        let m0 = _mm256_set1_epi32(PHILOX_M0 as i32);
+        let m1 = _mm256_set1_epi32(PHILOX_M1 as i32);
+        let w0 = _mm256_set1_epi32(PHILOX_W0 as i32);
+        let w1 = _mm256_set1_epi32(PHILOX_W1 as i32);
+        let mut k0 = _mm256_set1_epi32(key.k0 as i32);
+        let mut k1 = _mm256_set1_epi32(key.k1 as i32);
+        for r in 0..10 {
+            // vpmuludq multiplies the even dword lanes; shifting the odd
+            // lanes down covers the other four counters.
+            let p0e = _mm256_mul_epu32(c0, m0);
+            let p0o = _mm256_mul_epu32(_mm256_srli_epi64(c0, 32), m0);
+            let p1e = _mm256_mul_epu32(c2, m1);
+            let p1o = _mm256_mul_epu32(_mm256_srli_epi64(c2, 32), m1);
+            // Lane-ordered lo/hi dword vectors of each 64-bit product:
+            // even positions come from the even-lane products, odd
+            // positions from the odd-lane products.
+            let lo0 = _mm256_blend_epi32(p0e, _mm256_slli_epi64(p0o, 32), 0b1010_1010);
+            let hi0 = _mm256_blend_epi32(_mm256_srli_epi64(p0e, 32), p0o, 0b1010_1010);
+            let lo1 = _mm256_blend_epi32(p1e, _mm256_slli_epi64(p1o, 32), 0b1010_1010);
+            let hi1 = _mm256_blend_epi32(_mm256_srli_epi64(p1e, 32), p1o, 0b1010_1010);
+            c0 = _mm256_xor_si256(_mm256_xor_si256(hi1, c1), k0);
+            c1 = lo1;
+            c2 = _mm256_xor_si256(_mm256_xor_si256(hi0, c3), k1);
+            c3 = lo0;
+            if r < 9 {
+                k0 = _mm256_add_epi32(k0, w0);
+                k1 = _mm256_add_epi32(k1, w1);
+            }
+        }
+        _mm256_storeu_si256(a[0].as_mut_ptr().cast(), c0);
+        _mm256_storeu_si256(a[1].as_mut_ptr().cast(), c1);
+        _mm256_storeu_si256(a[2].as_mut_ptr().cast(), c2);
+        _mm256_storeu_si256(a[3].as_mut_ptr().cast(), c3);
+        let mut out = [[0u32; 4]; PHILOX_BATCH];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = [a[0][i], a[1][i], a[2][i], a[3][i]];
+        }
+        out
+    }
+}
+
+/// One-time cached SIMD tier detection: 1 = AVX-512 (F+VL at 256-bit
+/// width, so no heavy-512 frequency license), 2 = AVX2, 3 = scalar.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn simd_tier() -> u8 {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static TIER: AtomicU8 = AtomicU8::new(0);
+    match TIER.load(Ordering::Relaxed) {
+        0 => {
+            let t = if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                1
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                2
+            } else {
+                3
+            };
+            TIER.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// True when at least AVX2 is available (AVX-512 implies it).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn has_avx2() -> bool {
+    simd_tier() <= 2
+}
+
+/// Eight [`philox4x32_10`] evaluations at once, bit-identical to calling
+/// the scalar bijection on each counter. Runtime-dispatches to an AVX2
+/// compilation of the batch body on x86-64 (one-time detection), falling
+/// back to the portable structure-of-arrays form everywhere else.
+pub fn philox4x32_10_x8(
+    ctrs: &[[u32; 4]; PHILOX_BATCH],
+    key: Philox4x32Key,
+) -> [[u32; 4]; PHILOX_BATCH] {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: AVX2 support was just verified.
+        return unsafe { philox_x8_avx2(ctrs, key) };
+    }
+    philox_x8_body(ctrs, key)
+}
+
+/// The ten Philox rounds on eight counters held as four 8-lane `ymm`
+/// registers (`c[w]` = word `w` of every lane). Every round does the two
+/// widening multiplies with `vpmuludq` on even/odd dword lanes and
+/// reassembles lane-ordered hi/lo vectors with qword shifts and blends.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn philox_rounds_avx2(
+    c: [std::arch::x86_64::__m256i; 4],
+    key: Philox4x32Key,
+) -> [std::arch::x86_64::__m256i; 4] {
+    use std::arch::x86_64::*;
+    {
+        let [mut c0, mut c1, mut c2, mut c3] = c;
+        let m0 = _mm256_set1_epi32(PHILOX_M0 as i32);
+        let m1 = _mm256_set1_epi32(PHILOX_M1 as i32);
+        let w0 = _mm256_set1_epi32(PHILOX_W0 as i32);
+        let w1 = _mm256_set1_epi32(PHILOX_W1 as i32);
+        let mut k0 = _mm256_set1_epi32(key.k0 as i32);
+        let mut k1 = _mm256_set1_epi32(key.k1 as i32);
+        for r in 0..10 {
+            // vpmuludq multiplies the even dword lanes; shifting the odd
+            // lanes down covers the other four counters.
+            let p0e = _mm256_mul_epu32(c0, m0);
+            let p0o = _mm256_mul_epu32(_mm256_srli_epi64(c0, 32), m0);
+            let p1e = _mm256_mul_epu32(c2, m1);
+            let p1o = _mm256_mul_epu32(_mm256_srli_epi64(c2, 32), m1);
+            // Lane-ordered lo/hi dword vectors of each 64-bit product:
+            // even positions come from the even-lane products, odd
+            // positions from the odd-lane products.
+            let lo0 = _mm256_blend_epi32(p0e, _mm256_slli_epi64(p0o, 32), 0b1010_1010);
+            let hi0 = _mm256_blend_epi32(_mm256_srli_epi64(p0e, 32), p0o, 0b1010_1010);
+            let lo1 = _mm256_blend_epi32(p1e, _mm256_slli_epi64(p1o, 32), 0b1010_1010);
+            let hi1 = _mm256_blend_epi32(_mm256_srli_epi64(p1e, 32), p1o, 0b1010_1010);
+            c0 = _mm256_xor_si256(_mm256_xor_si256(hi1, c1), k0);
+            c1 = lo1;
+            c2 = _mm256_xor_si256(_mm256_xor_si256(hi0, c3), k1);
+            c3 = lo0;
+            if r < 9 {
+                k0 = _mm256_add_epi32(k0, w0);
+                k1 = _mm256_add_epi32(k1, w1);
+            }
+        }
+        [c0, c1, c2, c3]
+    }
+}
+
+/// Interleave the four output registers of [`philox_rounds_avx2`] into the
+/// per-lane planes `(out1‖out0, out3‖out2)`, stored as four qword arrays.
+///
+/// `vpunpckl/hdq` put lane `b`'s planes at register `(b >> 1) & 1` (even
+/// planes) / `2 + ((b >> 1) & 1)` (odd planes), qword
+/// `(b & 1) | ((b >> 2) << 1)` — see the callers for the index math.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn philox_lanes_to_planes_avx2(c: [std::arch::x86_64::__m256i; 4]) -> [[u64; 4]; 4] {
+    use std::arch::x86_64::*;
+    // SAFETY: stores go through sized stack arrays; callers guarantee AVX2.
+    unsafe {
+        let e01 = _mm256_unpacklo_epi32(c[0], c[1]); // even planes, lanes 0,1 | 4,5
+        let h01 = _mm256_unpackhi_epi32(c[0], c[1]); // even planes, lanes 2,3 | 6,7
+        let e23 = _mm256_unpacklo_epi32(c[2], c[3]); // odd planes, lanes 0,1 | 4,5
+        let h23 = _mm256_unpackhi_epi32(c[2], c[3]); // odd planes, lanes 2,3 | 6,7
+        let mut a = [[0u64; 4]; 4];
+        _mm256_storeu_si256(a[0].as_mut_ptr().cast(), e01);
+        _mm256_storeu_si256(a[1].as_mut_ptr().cast(), h01);
+        _mm256_storeu_si256(a[2].as_mut_ptr().cast(), e23);
+        _mm256_storeu_si256(a[3].as_mut_ptr().cast(), h23);
+        a
+    }
+}
+
+/// The ten rounds again at AVX-512VL 256-bit width: `vpermt2d` builds each
+/// lane-ordered hi/lo vector in one shuffle (instead of shift + blend) and
+/// `vpternlogd` fuses the three-way XOR, cutting the round from ~16 to
+/// ~12 ops. Still 256-bit registers only — no 512-bit frequency license.
+///
+/// # Safety
+/// The caller must have verified AVX512F + AVX512VL support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn philox_rounds_avx512(
+    c: [std::arch::x86_64::__m256i; 4],
+    key: Philox4x32Key,
+) -> [std::arch::x86_64::__m256i; 4] {
+    use std::arch::x86_64::*;
+    {
+        let [mut c0, mut c1, mut c2, mut c3] = c;
+        let m0 = _mm256_set1_epi32(PHILOX_M0 as i32);
+        let m1 = _mm256_set1_epi32(PHILOX_M1 as i32);
+        let w0 = _mm256_set1_epi32(PHILOX_W0 as i32);
+        let w1 = _mm256_set1_epi32(PHILOX_W1 as i32);
+        let mut k0 = _mm256_set1_epi32(key.k0 as i32);
+        let mut k1 = _mm256_set1_epi32(key.k1 as i32);
+        // Even-lane products hold lanes 0,2,4,6 as (lo, hi) dword pairs,
+        // odd-lane products lanes 1,3,5,7; these indices gather the lo
+        // (resp. hi) dwords of all eight lanes in lane order.
+        let idx_lo = _mm256_setr_epi32(0, 8, 2, 10, 4, 12, 6, 14);
+        let idx_hi = _mm256_setr_epi32(1, 9, 3, 11, 5, 13, 7, 15);
+        for r in 0..10 {
+            let p0e = _mm256_mul_epu32(c0, m0);
+            let p0o = _mm256_mul_epu32(_mm256_srli_epi64(c0, 32), m0);
+            let p1e = _mm256_mul_epu32(c2, m1);
+            let p1o = _mm256_mul_epu32(_mm256_srli_epi64(c2, 32), m1);
+            let lo0 = _mm256_permutex2var_epi32(p0e, idx_lo, p0o);
+            let hi0 = _mm256_permutex2var_epi32(p0e, idx_hi, p0o);
+            let lo1 = _mm256_permutex2var_epi32(p1e, idx_lo, p1o);
+            let hi1 = _mm256_permutex2var_epi32(p1e, idx_hi, p1o);
+            // 0x96 = three-input XOR truth table.
+            c0 = _mm256_ternarylogic_epi32(hi1, c1, k0, 0x96);
+            c1 = lo1;
+            c2 = _mm256_ternarylogic_epi32(hi0, c3, k1, 0x96);
+            c3 = lo0;
+            if r < 9 {
+                k0 = _mm256_add_epi32(k0, w0);
+                k1 = _mm256_add_epi32(k1, w1);
+            }
+        }
+        [c0, c1, c2, c3]
+    }
+}
+
+/// AVX2 compilation of [`philox4x32_10_planes16`]: the eight counters are
+/// synthesized in-register (they differ only in the block byte of word 3)
+/// and the sixteen output planes are assembled straight from the four
+/// lane registers — no array-of-structs marshalling on either edge, which
+/// is where a generic batch call loses its SIMD win.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn philox_planes16_avx2(ctr: [u32; 4], block0: u32, key: Philox4x32Key) -> [u64; 16] {
+    use std::arch::x86_64::*;
+    // SAFETY: callers guarantee AVX2.
+    unsafe {
+        let blocks = _mm256_setr_epi32(
+            ((block0) << 24) as i32,
+            ((block0 + 1) << 24) as i32,
+            ((block0 + 2) << 24) as i32,
+            ((block0 + 3) << 24) as i32,
+            ((block0 + 4) << 24) as i32,
+            ((block0 + 5) << 24) as i32,
+            ((block0 + 6) << 24) as i32,
+            ((block0 + 7) << 24) as i32,
+        );
+        let c = philox_rounds_avx2(
+            [
+                _mm256_set1_epi32(ctr[0] as i32),
+                _mm256_set1_epi32(ctr[1] as i32),
+                _mm256_set1_epi32(ctr[2] as i32),
+                _mm256_or_si256(_mm256_set1_epi32(ctr[3] as i32), blocks),
+            ],
+            key,
+        );
+        let a = philox_lanes_to_planes_avx2(c);
+        let mut planes = [0u64; 16];
+        for b in 0..PHILOX_BATCH {
+            let reg = (b >> 1) & 1;
+            let q = (b & 1) | ((b >> 2) << 1);
+            planes[2 * b] = a[reg][q];
+            planes[2 * b + 1] = a[2 + reg][q];
+        }
+        planes
+    }
+}
+
+/// [`philox_planes16_avx2`] with the AVX-512VL round body.
+///
+/// # Safety
+/// The caller must have verified AVX512F + AVX512VL support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn philox_planes16_avx512(ctr: [u32; 4], block0: u32, key: Philox4x32Key) -> [u64; 16] {
+    use std::arch::x86_64::*;
+    // SAFETY: AVX512VL implies AVX2; dispatch verified support.
+    unsafe {
+        let blocks = _mm256_setr_epi32(
+            ((block0) << 24) as i32,
+            ((block0 + 1) << 24) as i32,
+            ((block0 + 2) << 24) as i32,
+            ((block0 + 3) << 24) as i32,
+            ((block0 + 4) << 24) as i32,
+            ((block0 + 5) << 24) as i32,
+            ((block0 + 6) << 24) as i32,
+            ((block0 + 7) << 24) as i32,
+        );
+        let c = philox_rounds_avx512(
+            [
+                _mm256_set1_epi32(ctr[0] as i32),
+                _mm256_set1_epi32(ctr[1] as i32),
+                _mm256_set1_epi32(ctr[2] as i32),
+                _mm256_or_si256(_mm256_set1_epi32(ctr[3] as i32), blocks),
+            ],
+            key,
+        );
+        let a = philox_lanes_to_planes_avx2(c);
+        let mut planes = [0u64; 16];
+        for b in 0..PHILOX_BATCH {
+            let reg = (b >> 1) & 1;
+            let q = (b & 1) | ((b >> 2) << 1);
+            planes[2 * b] = a[reg][q];
+            planes[2 * b + 1] = a[2 + reg][q];
+        }
+        planes
+    }
+}
+
+/// AVX2 compilation of [`philox4x32_10_planes8_x2`]: lanes 0–3 carry site
+/// A's four blocks, lanes 4–7 site B's, so one 8-lane batch yields the
+/// first eight planes of two sites at once.
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn philox_planes8_x2_avx2(
+    ctr_a: [u32; 4],
+    ctr_b: [u32; 4],
+    block0: u32,
+    key: Philox4x32Key,
+) -> ([u64; 8], [u64; 8]) {
+    use std::arch::x86_64::*;
+    // SAFETY: callers guarantee AVX2.
+    unsafe {
+        let pair = |a: u32, b: u32| {
+            _mm256_setr_epi32(
+                a as i32, a as i32, a as i32, a as i32, b as i32, b as i32, b as i32, b as i32,
+            )
+        };
+        let blocks = _mm256_setr_epi32(
+            ((block0) << 24) as i32,
+            ((block0 + 1) << 24) as i32,
+            ((block0 + 2) << 24) as i32,
+            ((block0 + 3) << 24) as i32,
+            ((block0) << 24) as i32,
+            ((block0 + 1) << 24) as i32,
+            ((block0 + 2) << 24) as i32,
+            ((block0 + 3) << 24) as i32,
+        );
+        let c = philox_rounds_avx2(
+            [
+                pair(ctr_a[0], ctr_b[0]),
+                pair(ctr_a[1], ctr_b[1]),
+                pair(ctr_a[2], ctr_b[2]),
+                _mm256_or_si256(pair(ctr_a[3], ctr_b[3]), blocks),
+            ],
+            key,
+        );
+        let a = philox_lanes_to_planes_avx2(c);
+        let (mut pa, mut pb) = ([0u64; 8], [0u64; 8]);
+        for b in 0..4 {
+            // site A = lanes 0..4 (qwords 0,1 of each unpack register),
+            // site B = lanes 4..8 (qwords 2,3).
+            let reg = b >> 1;
+            pa[2 * b] = a[reg][b & 1];
+            pa[2 * b + 1] = a[2 + reg][b & 1];
+            pb[2 * b] = a[reg][(b & 1) | 2];
+            pb[2 * b + 1] = a[2 + reg][(b & 1) | 2];
+        }
+        (pa, pb)
+    }
+}
+
+/// Sixteen Philox bit-planes for one site: lane `b` of the batch runs the
+/// bijection on `ctr` with `(block0 + b) << 24` OR-ed into word 3, and its
+/// four outputs become planes `2b` (`out1‖out0`) and `2b+1` (`out3‖out2`).
+/// Bit-identical to scalar [`philox4x32_10`] calls with the same counter
+/// addressing — batching is a pure evaluation-order optimization.
+///
+/// `block0 + 7` must fit the block byte (bits 24..31 of word 3 clear of
+/// the OR-ed range), which holds for the sweep engines' 13-block budget.
+pub fn philox4x32_10_planes16(ctr: [u32; 4], block0: u32, key: Philox4x32Key) -> [u64; 16] {
+    #[cfg(target_arch = "x86_64")]
+    match simd_tier() {
+        // SAFETY: the matching tier was just verified.
+        1 => return unsafe { philox_planes16_avx512(ctr, block0, key) },
+        2 => return unsafe { philox_planes16_avx2(ctr, block0, key) },
+        _ => {}
+    }
+    let mut planes = [0u64; 16];
+    for b in 0..PHILOX_BATCH as u32 {
+        let o = philox4x32_10([ctr[0], ctr[1], ctr[2], ctr[3] | ((block0 + b) << 24)], key);
+        planes[2 * b as usize] = ((o[1] as u64) << 32) | o[0] as u64;
+        planes[2 * b as usize + 1] = ((o[3] as u64) << 32) | o[2] as u64;
+    }
+    planes
+}
+
+/// The first eight planes (blocks `block0..block0+4`) of **two** site
+/// counters from a single 8-lane batch — two sweep sites usually resolve
+/// within eight planes each, so pairing them halves the per-site cost of
+/// the batched bijection. Plane addressing is identical to
+/// [`philox4x32_10_planes16`]; batching is bit-transparent.
+pub fn philox4x32_10_planes8_x2(
+    ctr_a: [u32; 4],
+    ctr_b: [u32; 4],
+    block0: u32,
+    key: Philox4x32Key,
+) -> ([u64; 8], [u64; 8]) {
+    #[cfg(target_arch = "x86_64")]
+    if has_avx2() {
+        // SAFETY: AVX2 support was just verified.
+        return unsafe { philox_planes8_x2_avx2(ctr_a, ctr_b, block0, key) };
+    }
+    let mut out = [[0u64; 8]; 2];
+    for (ctr, planes) in [ctr_a, ctr_b].iter().zip(out.iter_mut()) {
+        for b in 0..4u32 {
+            let o = philox4x32_10([ctr[0], ctr[1], ctr[2], ctr[3] | ((block0 + b) << 24)], key);
+            planes[2 * b as usize] = ((o[1] as u64) << 32) | o[0] as u64;
+            planes[2 * b as usize + 1] = ((o[3] as u64) << 32) | o[2] as u64;
+        }
+    }
+    (out[0], out[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_matches_scalar_bijection() {
+        // The x8 batch (and its AVX2 compilation, when dispatched) must be
+        // bit-identical to eight scalar calls on arbitrary counters/keys.
+        for seed in [0u64, 1, 0xDEAD_BEEF_0BAD_F00D, u64::MAX] {
+            let key = Philox4x32Key::from_seed(seed);
+            let mut ctrs = [[0u32; 4]; PHILOX_BATCH];
+            for (i, c) in ctrs.iter_mut().enumerate() {
+                let i = i as u32;
+                *c = [
+                    i.wrapping_mul(0x9E37_79B9),
+                    seed as u32 ^ i,
+                    (seed >> 32) as u32,
+                    0x0700_0000 | (i << 24),
+                ];
+            }
+            let batch = philox4x32_10_x8(&ctrs, key);
+            for (c, got) in ctrs.iter().zip(batch.iter()) {
+                assert_eq!(*got, philox4x32_10(*c, key));
+            }
+        }
+    }
+
+    #[test]
+    fn planes16_matches_scalar_addressing() {
+        // The plane batch must agree bit-for-bit with scalar calls using
+        // the same block-byte counter addressing, for several base
+        // counters (including the color bit set) and block offsets.
+        for seed in [7u64, 0xFEED_FACE_CAFE_BEEF] {
+            let key = Philox4x32Key::from_seed(seed);
+            for &(ctr, block0) in &[
+                ([3u32, 9, 1234, 0], 0u32),
+                ([0, 0, 0xFFFF_FFFF, 0x8012_3456 & 0x80FF_FFFF], 4),
+                ([65535, 1, 2, 0x00AB_CDEF], 5),
+            ] {
+                let planes = philox4x32_10_planes16(ctr, block0, key);
+                for b in 0..PHILOX_BATCH as u32 {
+                    let o =
+                        philox4x32_10([ctr[0], ctr[1], ctr[2], ctr[3] | ((block0 + b) << 24)], key);
+                    assert_eq!(planes[2 * b as usize], ((o[1] as u64) << 32) | o[0] as u64);
+                    assert_eq!(planes[2 * b as usize + 1], ((o[3] as u64) << 32) | o[2] as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_planes_match_the_single_site_batch() {
+        // The two-site batch must reproduce the single-site plane
+        // addressing exactly for both counters, at several block offsets.
+        let key = Philox4x32Key::from_seed(0x0DDB_A11_CAFE);
+        let ctr_a = [12u32, 34, 0xDEAD_BEEF, 0x8000_0123 & 0x80FF_FFFF];
+        let ctr_b = [12u32, 36, 0xDEAD_BEEF, 0x8000_0123 & 0x80FF_FFFF];
+        for block0 in [0u32, 4, 8] {
+            let (pa, pb) = philox4x32_10_planes8_x2(ctr_a, ctr_b, block0, key);
+            let full_a = philox4x32_10_planes16(ctr_a, block0, key);
+            let full_b = philox4x32_10_planes16(ctr_b, block0, key);
+            assert_eq!(pa, full_a[..8], "site A planes, block0={block0}");
+            assert_eq!(pb, full_b[..8], "site B planes, block0={block0}");
+        }
+    }
 
     /// Known-answer vectors from the Random123 distribution
     /// (`kat_vectors`, `philox4x32 10` rows). These pin our implementation

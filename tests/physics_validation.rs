@@ -7,7 +7,8 @@
 
 use tpu_ising_bf16::Bf16;
 use tpu_ising_core::{
-    cold_plane, onsager, random_plane, run_chain, CompactIsing, Randomness, T_CRITICAL,
+    cold_plane, onsager, random_plane, run_chain, CompactIsing, MultiSpinIsing, Randomness,
+    REPLICAS, T_CRITICAL,
 };
 
 #[test]
@@ -100,6 +101,58 @@ fn wolff_and_checkerboard_agree_on_observables() {
         "Wolff {} vs checkerboard {} (tol {tol})",
         sw.mean_abs_m,
         sc.mean_abs_m
+    );
+}
+
+#[test]
+fn multispin_replica0_matches_the_scalar_chain_near_tc() {
+    // The bit-packed engine's replica 0 against the scalar compact chain
+    // at β = 0.44 — a hair above Tc (β_c ≈ 0.4407), where single-flip
+    // dynamics are slowest and any packed-update bias would show first.
+    // Same agreement discipline as the Wolff/checkerboard cross-check:
+    // means must coincide within 0.02 + 3σ of the combined chain errors.
+    let beta = 0.44;
+    let l = 32;
+    let mut scalar =
+        CompactIsing::from_plane(&random_plane::<f32>(11, l, l), 4, beta, Randomness::bulk(51));
+    let ss = run_chain(&mut scalar, 400, 3000);
+
+    let mut sim = MultiSpinIsing::new(l, l, beta, 13);
+    for _ in 0..400 {
+        sim.sweep(); // burn-in
+    }
+    let samples = 3000;
+    let n = (l * l) as f64;
+    let mut means = [0.0f64; REPLICAS];
+    for _ in 0..samples {
+        sim.sweep();
+        for (acc, m) in means.iter_mut().zip(sim.replica_magnetizations()) {
+            *acc += (m / n).abs();
+        }
+    }
+    for acc in &mut means {
+        *acc /= samples as f64;
+    }
+    // The 64 replicas are iid chains, so their spread estimates the
+    // statistical error of any single chain's mean — including replica 0's.
+    let grand = means.iter().sum::<f64>() / REPLICAS as f64;
+    let var = means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / (REPLICAS - 1) as f64;
+    let err_one_chain = var.sqrt();
+
+    let tol = 0.02 + 3.0 * (err_one_chain + ss.err_abs_m);
+    assert!(
+        (means[0] - ss.mean_abs_m).abs() < tol,
+        "replica 0 ⟨|m|⟩ = {:.4} vs scalar {:.4} (tol {tol:.4})",
+        means[0],
+        ss.mean_abs_m
+    );
+    // Pooling all 64 chains shrinks the multispin error by √64 — the
+    // sharper version of the same statement.
+    let tol_pooled = 0.02 + 3.0 * (err_one_chain / (REPLICAS as f64).sqrt() + ss.err_abs_m);
+    assert!(
+        (grand - ss.mean_abs_m).abs() < tol_pooled,
+        "64-chain ⟨|m|⟩ = {grand:.4} vs scalar {:.4} (tol {tol_pooled:.4})",
+        ss.mean_abs_m
     );
 }
 
