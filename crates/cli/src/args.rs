@@ -71,6 +71,22 @@ impl Args {
         }
     }
 
+    /// Typed option with default, rejecting values below `min` with a
+    /// message that names the option and the floor. Used for knobs where a
+    /// too-small value silently disables a safety net (`--keep-generations
+    /// 0` would discard every checkpoint; `--checkpoint-every 0` would
+    /// snapshot nothing).
+    pub fn get_parse_min<T>(&self, key: &str, default: T, min: T) -> Result<T, ArgError>
+    where
+        T: std::str::FromStr + PartialOrd + std::fmt::Display,
+    {
+        let v = self.get_parse(key, default)?;
+        if v < min {
+            return Err(ArgError(format!("--{key} must be at least {min}, got {v}")));
+        }
+        Ok(v)
+    }
+
     /// Typed option, `None` when absent.
     pub fn get_opt_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
         match self.get(key) {
@@ -164,6 +180,18 @@ mod tests {
         assert_eq!(a.get_pair("torus", (1, 1)).unwrap(), (2, 4));
         assert_eq!(a.get_list("sizes", vec![0usize]).unwrap(), vec![16, 32, 64]);
         assert_eq!(a.get_pair("per-core", (8, 8)).unwrap(), (8, 8));
+    }
+
+    #[test]
+    fn minimum_bounds_are_enforced() {
+        let a = parse("pod --checkpoint-every 0 --keep-generations 0");
+        let err = a.get_parse_min("checkpoint-every", 1usize, 1).unwrap_err();
+        assert!(err.0.contains("checkpoint-every") && err.0.contains("at least 1"));
+        assert!(a.get_parse_min("keep-generations", 3usize, 1).is_err());
+        let ok = parse("pod --checkpoint-every 4");
+        assert_eq!(ok.get_parse_min("checkpoint-every", 1usize, 1).unwrap(), 4);
+        // defaults are not validated away
+        assert_eq!(ok.get_parse_min("keep-generations", 3usize, 1).unwrap(), 3);
     }
 
     #[test]

@@ -3,14 +3,17 @@
 use crate::args::{ArgError, Args};
 use tpu_ising_baseline::GpuStyleIsing;
 use tpu_ising_bf16::Bf16;
+use tpu_ising_core::chaos::{run_chaos_multispin, run_chaos_pod, ChaosPlan};
 use tpu_ising_core::distributed::{
-    run_pod_resilient, PodCheckpoint, PodConfig, PodRng, ResilienceOpts,
+    run_pod_resilient, run_pod_vaulted, PodCheckpoint, PodConfig, PodRng, ResilienceOpts,
+    POD_VAULT_KIND,
 };
 use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
 use tpu_ising_core::multispin::{
-    run_multispin_pod_resilient, MultiSpinIsing, MultiSpinPodCheckpoint, MultiSpinPodConfig,
-    REPLICAS,
+    run_multispin_pod_resilient, run_multispin_pod_vaulted, MultiSpinIsing, MultiSpinPodCheckpoint,
+    MultiSpinPodConfig, MULTISPIN_VAULT_KIND, REPLICAS,
 };
+use tpu_ising_core::vault::{encode_envelope, load_file, FileLoad, Vault, VaultError};
 use tpu_ising_core::{
     cold_plane, onsager, random_plane, run_chain_labeled, ChainStats, Color, CompactIsing,
     ConvIsing, KernelBackend, NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
@@ -19,8 +22,7 @@ use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
 };
 use tpu_ising_device::energy::energy_nj_per_flip;
-use tpu_ising_device::mesh::FaultPlan;
-use tpu_ising_device::mesh::Torus;
+use tpu_ising_device::mesh::{FaultPlan, RetryPolicy, Torus};
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
 use tpu_ising_obs as obs;
@@ -55,6 +57,117 @@ fn finalize_rate_gauges() {
         m.gauge("acceptance_ratio")
             .set(snap.counter("flips_accepted_total") as f64 / proposals as f64);
     }
+}
+
+/// The durable vault colocated with a checkpoint file: generations live in
+/// the file's directory under a stem derived from its name
+/// (`out/pod.ckpt.json` → `out/pod-ckpt-<sweep>.json`, keep-N pruned).
+fn vault_at(path: &str, keep: usize) -> Result<Vault, ArgError> {
+    let p = std::path::Path::new(path);
+    let dir = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| ArgError(format!("checkpoint path '{path}' has no file name")))?;
+    let mut stem = name;
+    for suffix in [".json", ".ckpt"] {
+        if let Some(s) = stem.strip_suffix(suffix) {
+            stem = s;
+        }
+    }
+    if stem.is_empty() {
+        stem = "pod";
+    }
+    Vault::new(dir, stem, keep).map_err(|e| ArgError(e.to_string()))
+}
+
+/// Load a `--resume` file with the full durability ladder: a verified
+/// vault envelope or a pre-vault raw JSON snapshot parses directly; a
+/// corrupt file is quarantined as `<file>.corrupt` and the newest valid
+/// sibling vault generation is used instead, with a message naming both.
+fn load_resume_with<T>(
+    path: &str,
+    kind: &str,
+    keep: usize,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<T, ArgError> {
+    let direct: Result<T, String> = match load_file(std::path::Path::new(path), kind) {
+        Ok(FileLoad::Envelope(_, payload)) => parse(&payload),
+        Ok(FileLoad::Legacy(payload)) => parse(&payload),
+        Err(VaultError::Corrupt { msg, .. }) => Err(msg),
+        Err(e) => return Err(ArgError(format!("cannot read --resume {path}: {e}"))),
+    };
+    let why = match direct {
+        Ok(t) => return Ok(t),
+        Err(why) => why,
+    };
+    let vault = vault_at(path, keep)?;
+    let quarantined = vault.quarantine(std::path::Path::new(path));
+    match vault.load_latest(kind) {
+        Ok(loaded) => match parse(&loaded.payload) {
+            Ok(t) => {
+                println!(
+                    "warning: --resume {path} failed verification ({why}); quarantined as {} \
+                     and resuming from generation {} (sweep {})",
+                    quarantined.display(),
+                    loaded.path.display(),
+                    loaded.sweep
+                );
+                Ok(t)
+            }
+            Err(e) => Err(ArgError(format!(
+                "--resume {path} is corrupt ({why}); quarantined as {}; the newest valid \
+                 generation {} then failed to parse: {e}",
+                quarantined.display(),
+                loaded.path.display()
+            ))),
+        },
+        Err(e) => Err(ArgError(format!(
+            "--resume {path} is corrupt ({why}); quarantined as {}; no valid older \
+             generation found: {e}",
+            quarantined.display()
+        ))),
+    }
+}
+
+/// Write the user-named checkpoint file as a verified vault envelope, so a
+/// later `--resume` of the exact path gets CRC protection too.
+fn write_enveloped(path: &str, kind: &str, sweep: u64, json: &str) -> Result<(), ArgError> {
+    std::fs::write(path, encode_envelope(kind, sweep, json))
+        .map_err(|e| ArgError(format!("cannot write --checkpoint-out {path}: {e}")))
+}
+
+/// The shared fault-tolerance knobs of `pod` (both algos): snapshot
+/// cadence, restart budget, recv timeout, tier-1 retry policy, and the
+/// deterministic kill switch used by CI drills.
+fn resilience_from_args(args: &Args, sweeps: usize) -> Result<ResilienceOpts, ArgError> {
+    let kill_core: Option<usize> = args.get_opt_parse("kill-core")?;
+    let kill_at: Option<u64> = args.get_opt_parse("kill-at")?;
+    let mut faults = FaultPlan::new();
+    match (kill_core, kill_at) {
+        (Some(core), Some(at)) => faults = faults.kill(core, at),
+        (None, None) => {}
+        _ => {
+            return Err(ArgError("--kill-core and --kill-at must be given together".into()));
+        }
+    }
+    Ok(ResilienceOpts {
+        // Omitting --checkpoint-every means "final snapshot only"; an
+        // explicit 0 is rejected (it would snapshot nothing at all).
+        checkpoint_every: args.get_parse_min("checkpoint-every", sweeps.max(1), 1)?,
+        max_restarts: args.get_parse("max-restarts", 3usize)?,
+        recv_timeout: std::time::Duration::from_millis(
+            args.get_parse("recv-timeout-ms", 30_000u64)?,
+        ),
+        faults,
+        retry: RetryPolicy {
+            max_retries: args.get_parse("collective-retries", 2u32)?,
+            backoff: std::time::Duration::from_millis(args.get_parse("retry-backoff-ms", 50u64)?),
+        },
+    })
 }
 
 /// Parse `--backend dense|band` (default: band, the fast fused path).
@@ -312,28 +425,15 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     let tile = (h.min(w) / 4).clamp(1, 16);
     let trace_out = args.get("trace-out").map(str::to_string);
     // Fault-tolerance knobs.
-    let checkpoint_every: usize = args.get_parse("checkpoint-every", 0usize)?;
+    let opts = resilience_from_args(args, sweeps)?;
     let checkpoint_out = args.get("checkpoint-out").map(str::to_string);
-    let max_restarts: usize = args.get_parse("max-restarts", 3usize)?;
-    let recv_timeout_ms: u64 = args.get_parse("recv-timeout-ms", 30_000u64)?;
-    let kill_core: Option<usize> = args.get_opt_parse("kill-core")?;
-    let kill_at: Option<u64> = args.get_opt_parse("kill-at")?;
+    let keep: usize = args.get_parse_min("keep-generations", 3usize, 1)?;
     let resume_ckpt: Option<PodCheckpoint> = match args.get("resume") {
-        Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| ArgError(format!("cannot read --resume {path}: {e}")))?;
-            Some(PodCheckpoint::from_json(&json).map_err(|e| ArgError(e.to_string()))?)
-        }
+        Some(path) => Some(load_resume_with(path, POD_VAULT_KIND, keep, |json| {
+            PodCheckpoint::from_json(json).map_err(|e| e.to_string())
+        })?),
         None => None,
     };
-    let mut faults = FaultPlan::new();
-    match (kill_core, kill_at) {
-        (Some(core), Some(at)) => faults = faults.kill(core, at),
-        (None, None) => {}
-        _ => {
-            return Err(ArgError("--kill-core and --kill-at must be given together".into()));
-        }
-    }
     let want_metrics = init_observability(args, true);
     if trace_out.is_some() {
         obs::reset();
@@ -361,17 +461,16 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
             ck.sweep_index, ck.nx, ck.ny, ck.rng_mode
         );
     }
-    let opts = ResilienceOpts {
-        // 0 means "final snapshot only": the driver always lands one at
-        // the end, so resume/--checkpoint-out still work.
-        checkpoint_every: if checkpoint_every > 0 { checkpoint_every } else { sweeps.max(1) },
-        max_restarts,
-        recv_timeout: std::time::Duration::from_millis(recv_timeout_ms),
-        faults,
+    let vault = match &checkpoint_out {
+        Some(path) => Some(vault_at(path, keep)?),
+        None => None,
     };
     let t0 = std::time::Instant::now();
-    let run = run_pod_resilient::<f32>(&cfg, sweeps, &opts, resume_ckpt)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let run = match &vault {
+        Some(v) => run_pod_vaulted::<f32>(&cfg, sweeps, &opts, resume_ckpt, v),
+        None => run_pod_resilient::<f32>(&cfg, sweeps, &opts, resume_ckpt),
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     let dt = t0.elapsed().as_secs_f64();
     obs::disable();
     let result = &run.result;
@@ -379,7 +478,7 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     println!(
         "done in {dt:.2} s ({:.2} Msites/s); final |m| = {:.4}",
         n * sweeps as f64 / dt / 1e6,
-        result.magnetization_sums.last().unwrap().abs() / n
+        result.magnetization_sums.last().map(|m| m.abs() / n).unwrap_or(0.0)
     );
     if !run.faults_seen.is_empty() {
         println!("survived {} fault(s) with {} restart(s):", run.faults_seen.len(), run.restarts);
@@ -388,12 +487,10 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         }
     }
     if let Some(path) = &checkpoint_out {
-        std::fs::write(path, run.final_checkpoint.to_json())
-            .map_err(|e| ArgError(format!("cannot write --checkpoint-out {path}: {e}")))?;
-        println!(
-            "[pod checkpoint at sweep {} written to {path}]",
-            run.final_checkpoint.sweep_index
-        );
+        let ckpt = &run.final_checkpoint;
+        let json = ckpt.to_json().map_err(|e| ArgError(e.to_string()))?;
+        write_enveloped(path, POD_VAULT_KIND, ckpt.sweep_index, &json)?;
+        println!("[pod checkpoint at sweep {} written to {path}]", ckpt.sweep_index);
     }
 
     if want_metrics {
@@ -462,28 +559,15 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
     let t = temperature(args)?;
     let sweeps: usize = args.get_parse("sweeps", 50usize)?;
     let seed: u64 = args.get_parse("seed", 7u64)?;
-    let checkpoint_every: usize = args.get_parse("checkpoint-every", 0usize)?;
+    let opts = resilience_from_args(args, sweeps)?;
     let checkpoint_out = args.get("checkpoint-out").map(str::to_string);
-    let max_restarts: usize = args.get_parse("max-restarts", 3usize)?;
-    let recv_timeout_ms: u64 = args.get_parse("recv-timeout-ms", 30_000u64)?;
-    let kill_core: Option<usize> = args.get_opt_parse("kill-core")?;
-    let kill_at: Option<u64> = args.get_opt_parse("kill-at")?;
+    let keep: usize = args.get_parse_min("keep-generations", 3usize, 1)?;
     let resume_ckpt: Option<MultiSpinPodCheckpoint> = match args.get("resume") {
-        Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| ArgError(format!("cannot read --resume {path}: {e}")))?;
-            Some(MultiSpinPodCheckpoint::from_json(&json).map_err(|e| ArgError(e.to_string()))?)
-        }
+        Some(path) => Some(load_resume_with(path, MULTISPIN_VAULT_KIND, keep, |json| {
+            MultiSpinPodCheckpoint::from_json(json).map_err(|e| e.to_string())
+        })?),
         None => None,
     };
-    let mut faults = FaultPlan::new();
-    match (kill_core, kill_at) {
-        (Some(core), Some(at)) => faults = faults.kill(core, at),
-        (None, None) => {}
-        _ => {
-            return Err(ArgError("--kill-core and --kill-at must be given together".into()));
-        }
-    }
     let want_metrics = init_observability(args, false);
     let cfg = MultiSpinPodConfig {
         torus: Torus::new(nx, ny),
@@ -504,21 +588,25 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
             ck.sweep_index, ck.nx, ck.ny
         );
     }
-    let opts = ResilienceOpts {
-        checkpoint_every: if checkpoint_every > 0 { checkpoint_every } else { sweeps.max(1) },
-        max_restarts,
-        recv_timeout: std::time::Duration::from_millis(recv_timeout_ms),
-        faults,
+    let vault = match &checkpoint_out {
+        Some(path) => Some(vault_at(path, keep)?),
+        None => None,
     };
     let t0 = std::time::Instant::now();
-    let run = run_multispin_pod_resilient(&cfg, sweeps, &opts, resume_ckpt)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let run = match &vault {
+        Some(v) => run_multispin_pod_vaulted(&cfg, sweeps, &opts, resume_ckpt, v),
+        None => run_multispin_pod_resilient(&cfg, sweeps, &opts, resume_ckpt),
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     let dt = t0.elapsed().as_secs_f64();
     obs::disable();
     let result = &run.result;
     let n = cfg.sites() as f64;
-    let last = result.replica_magnetizations.last().expect("at least one sweep");
-    let mean_abs = last.iter().map(|m| m.abs() / n).sum::<f64>() / REPLICAS as f64;
+    let mean_abs = result
+        .replica_magnetizations
+        .last()
+        .map(|last| last.iter().map(|m| m.abs() / n).sum::<f64>() / REPLICAS as f64)
+        .unwrap_or(0.0);
     println!(
         "done in {dt:.2} s ({:.3} flips/ns aggregate); final ⟨|m|⟩ over 64 replicas = {mean_abs:.4}",
         cfg.flips_per_sweep() as f64 * sweeps as f64 / dt / 1e9
@@ -530,12 +618,10 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
         }
     }
     if let Some(path) = &checkpoint_out {
-        std::fs::write(path, run.final_checkpoint.to_json())
-            .map_err(|e| ArgError(format!("cannot write --checkpoint-out {path}: {e}")))?;
-        println!(
-            "[multispin pod checkpoint at sweep {} written to {path}]",
-            run.final_checkpoint.sweep_index
-        );
+        let ckpt = &run.final_checkpoint;
+        let json = ckpt.to_json().map_err(|e| ArgError(e.to_string()))?;
+        write_enveloped(path, MULTISPIN_VAULT_KIND, ckpt.sweep_index, &json)?;
+        println!("[multispin pod checkpoint at sweep {} written to {path}]", ckpt.sweep_index);
     }
     if want_metrics {
         let m = obs::metrics();
@@ -543,6 +629,81 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
         m.gauge("spin_flips_per_s").set(m.snapshot().counter("flips_accepted_total") as f64 / dt);
         finalize_rate_gauges();
         print_metrics();
+    }
+    Ok(())
+}
+
+/// `chaos` — the deterministic chaos drill: run a seeded schedule of
+/// kills, packet drops, delays and checkpoint-file corruptions against a
+/// vault-backed pod, then verify the surviving run is bit-exact with an
+/// uninterrupted reference. Exits non-zero if determinism is broken.
+pub fn chaos(args: &Args) -> Result<(), ArgError> {
+    let algo = args.get_or("algo", "compact");
+    if algo != "compact" && algo != "multispin" {
+        return Err(ArgError(format!("unknown --algo '{algo}' (expected compact or multispin)")));
+    }
+    let (nx, ny) = args.get_pair("torus", (2, 2))?;
+    let (h, w) = args.get_pair("per-core", (16, 16))?;
+    let t = temperature(args)?;
+    let sweeps: usize = args.get_parse("sweeps", 8usize)?;
+    let seed: u64 = args.get_parse("seed", 7u64)?;
+    let chaos_seed: u64 = args.get_parse("chaos-seed", 1u64)?;
+    let sessions: usize = args.get_parse_min("sessions", 3usize, 1)?;
+    let checkpoint_every: usize = args.get_parse_min("checkpoint-every", 2usize, 1)?;
+    let keep: usize = args.get_parse_min("keep-generations", 3usize, 1)?;
+    let vault_dir = args.get_or("vault-dir", "chaos-vault").to_string();
+    let cores = nx * ny;
+    // Both pod engines issue ~8 collectives per sweep per core; spread the
+    // injected faults across the whole run so some land late.
+    let span = (sweeps as u64).saturating_mul(8).max(1);
+    let plan = ChaosPlan::generate(chaos_seed, sessions, cores, span);
+    println!(
+        "chaos drill: {algo} pod {nx}x{ny}, per-core {h}x{w}, {sweeps} sweeps, \
+         {sessions} crash session(s), chaos seed {chaos_seed}, vault in {vault_dir}/"
+    );
+    let report = if algo == "multispin" {
+        let cfg = MultiSpinPodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            beta: 1.0 / t,
+            seed,
+        };
+        run_chaos_multispin(
+            &cfg,
+            sweeps,
+            checkpoint_every,
+            &plan,
+            std::path::Path::new(&vault_dir),
+            keep,
+        )
+    } else {
+        let tile = (h.min(w) / 4).clamp(1, 16);
+        let cfg = PodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            tile,
+            beta: 1.0 / t,
+            seed,
+            rng: PodRng::SiteKeyed,
+            backend: backend(args)?,
+        };
+        run_chaos_pod(&cfg, sweeps, checkpoint_every, &plan, std::path::Path::new(&vault_dir), keep)
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "sessions run      : {} ({} crashed, {} corruption(s) injected)",
+        report.sessions, report.crashes, report.corruptions
+    );
+    println!("quarantined       : {} corrupt generation(s)", report.quarantined);
+    println!("from scratch      : {} resume(s) found no valid generation", report.from_scratch);
+    println!("final sweep       : {}", report.final_sweep);
+    println!("bit-exact resume  : {}", if report.bit_exact { "yes" } else { "NO" });
+    if !report.bit_exact {
+        return Err(ArgError(
+            "chaos run diverged from the uninterrupted reference (determinism broken)".into(),
+        ));
     }
     Ok(())
 }

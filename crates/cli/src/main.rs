@@ -47,12 +47,26 @@ COMMANDS:
              --algo compact|multispin (compact)   multispin = 64 replicas
                                 per word, packed u64 halo exchange (32×
                                 fewer halo bytes), always site-keyed
-             --checkpoint-every N (off)  --checkpoint-out FILE  --resume FILE
+             --checkpoint-every N (final only; must be >= 1 if given)
+             --checkpoint-out FILE   also keeps a durable vault of CRC-
+                                checked generations next to FILE
+             --keep-generations N (3)  vault generations retained
+             --resume FILE      corrupt files are quarantined and the
+                                newest valid vault generation is used
              --max-restarts N (3)  --recv-timeout-ms MS (30000)
+             --collective-retries N (2)  --retry-backoff-ms MS (50)
+                                transient collective timeouts are retried
+                                in place before a pod restart
              --kill-core N --kill-at K (inject a fault for testing)
              --trace-out PATH   write a Chrome trace (one track per core,
                                 open in chrome://tracing or Perfetto) and
                                 print measured vs modeled breakdowns
+  chaos      seeded chaos drill: crash/corrupt/resume loop, verifies the
+             surviving run is bit-exact with an uninterrupted reference
+             --algo compact|multispin (compact)  --torus AxB (2x2)
+             --per-core HxW (16x16)  --sweeps N (8)  --seed S (7)
+             --chaos-seed S (1)  --sessions N (3)  --checkpoint-every N (2)
+             --vault-dir DIR (chaos-vault)  --keep-generations N (3)
   model      modeled TPU v3 step time / throughput / roofline for a config
              --cores N (2)  --per-core HxW, in 128-spin units (896x448)
              --variant compact|naive|conv (compact)  --dtype f32|bf16 (bf16)
@@ -79,6 +93,7 @@ fn main() {
         Some("simulate") => commands::simulate(&args),
         Some("scan") => commands::scan(&args),
         Some("pod") => commands::pod(&args),
+        Some("chaos") => commands::chaos(&args),
         Some("model") => commands::model(&args),
         Some("anneal") => commands::anneal(&args),
         Some("temper") => commands::temper(&args),

@@ -1,0 +1,454 @@
+//! Deterministic chaos harness: seeded random fault schedules plus vault
+//! corruption, with a driver that proves killed-corrupted-resumed runs
+//! stay bit-exact with uninterrupted ones.
+//!
+//! The paper's production runs (§6: 10⁶–8·10⁶ sweeps on up to 2048 cores)
+//! live long enough that every failure mode fires eventually: preempted
+//! cores, lost packets, slow links, and torn checkpoint writes. The
+//! subsystems that absorb those faults — the tiered mesh retries, the
+//! restart loop, and the durable [`Vault`] — are each tested in isolation;
+//! this module composes them under *randomized but reproducible* schedules:
+//!
+//! - A [`ChaosPlan`] is generated from a single `u64` seed via Philox, so a
+//!   failing schedule is reproduced exactly by its seed — no flaky CI.
+//! - Each chaos *session* runs the pod with a scheduled kill (and possibly
+//!   a packet drop or a transient delay), dies, optionally has its newest
+//!   vault generation corrupted (truncation, bit-flip, torn header), and
+//!   resumes from whatever the vault still holds.
+//! - The final session runs fault-free to completion, and the driver
+//!   compares the full magnetization history against an uninterrupted
+//!   reference run. Under site-keyed RNG the histories must be
+//!   **bit-identical**, no matter what the schedule did.
+
+use crate::distributed::{
+    run_pod_resilient, run_pod_vaulted, PodCheckpoint, PodConfig, PodError, ResilienceOpts,
+    POD_VAULT_KIND,
+};
+use crate::multispin::{
+    run_multispin_pod_resilient, run_multispin_pod_vaulted, MultiSpinPodCheckpoint,
+    MultiSpinPodConfig, MULTISPIN_VAULT_KIND,
+};
+use crate::vault::{Vault, VaultError};
+use std::path::Path;
+use std::time::Duration;
+use tpu_ising_device::mesh::{FaultPlan, RetryPolicy};
+use tpu_ising_rng::PhiloxStream;
+
+/// One vault-corruption action, applied to the newest on-disk generation
+/// between a crashed session and the resume that follows it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VaultCorruption {
+    /// Truncate the file to `permille`/1000 of its length — a torn write.
+    Truncate {
+        /// Fraction of the file kept, in thousandths.
+        permille: u16,
+    },
+    /// Flip bit `bit` of the byte at `permille`/1000 of the file length.
+    BitFlip {
+        /// Offset as a fraction of the file length, in thousandths.
+        permille: u16,
+        /// Which bit of that byte to flip (0–7).
+        bit: u8,
+    },
+    /// Cut the file inside the envelope header — the worst torn write.
+    TornHeader,
+}
+
+/// The faults one chaos session injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionFaults {
+    /// Kill this core...
+    pub kill_core: usize,
+    /// ...when its collective counter reaches this value.
+    pub kill_at: u64,
+    /// Optionally drop the packet `(from, to)` at a collective.
+    pub drop: Option<(usize, usize, u64)>,
+    /// Optionally delay a core's send (microseconds) at a collective —
+    /// sized to be absorbed by tier-1 collective retries.
+    pub delay: Option<(usize, u64, u64)>,
+    /// Optionally corrupt the newest vault generation after the crash.
+    pub corrupt: Option<VaultCorruption>,
+}
+
+/// A reproducible chaos schedule: everything is a pure function of `seed`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// One entry per chaos session; a final fault-free session follows.
+    pub sessions: Vec<SessionFaults>,
+}
+
+impl ChaosPlan {
+    /// Generate a `sessions`-session schedule for a `cores`-core pod whose
+    /// run issues about `collective_span` collectives per attempt. Same
+    /// seed ⇒ same plan, bit for bit.
+    pub fn generate(seed: u64, sessions: usize, cores: usize, collective_span: u64) -> ChaosPlan {
+        assert!(cores > 0 && collective_span > 0, "plan needs a non-empty pod and span");
+        let mut rng = PhiloxStream::from_seed(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut plan = Vec::with_capacity(sessions);
+        for _ in 0..sessions {
+            let kill_core = (rng.next_u64() % cores as u64) as usize;
+            let kill_at = rng.next_u64() % collective_span;
+            let drop = if rng.next_u64() % 3 == 0 {
+                let from = (rng.next_u64() % cores as u64) as usize;
+                let to = (rng.next_u64() % cores as u64) as usize;
+                let at = rng.next_u64() % collective_span;
+                (from != to).then_some((from, to, at))
+            } else {
+                None
+            };
+            let delay = if rng.next_u64() % 2 == 0 {
+                let core = (rng.next_u64() % cores as u64) as usize;
+                let at = rng.next_u64() % collective_span;
+                // ≤ 150 ms: absorbable by the driver's retry budget.
+                let micros = rng.next_u64() % 150_000;
+                Some((core, at, micros))
+            } else {
+                None
+            };
+            let corrupt = match rng.next_u64() % 4 {
+                0 => Some(VaultCorruption::Truncate { permille: (rng.next_u64() % 1000) as u16 }),
+                1 => Some(VaultCorruption::BitFlip {
+                    permille: (rng.next_u64() % 1000) as u16,
+                    bit: (rng.next_u64() % 8) as u8,
+                }),
+                2 => Some(VaultCorruption::TornHeader),
+                _ => None,
+            };
+            plan.push(SessionFaults { kill_core, kill_at, drop, delay, corrupt });
+        }
+        ChaosPlan { seed, sessions: plan }
+    }
+
+    /// The [`FaultPlan`] of one session (all faults on attempt 0: sessions
+    /// run with a zero restart budget, so every crash ends the session).
+    pub fn fault_plan(&self, session: usize) -> FaultPlan {
+        let s = &self.sessions[session];
+        let mut plan = FaultPlan::new().kill(s.kill_core, s.kill_at);
+        if let Some((from, to, at)) = s.drop {
+            plan = plan.drop_packet(from, to, at);
+        }
+        if let Some((core, at, micros)) = s.delay {
+            plan = plan.delay(core, at, Duration::from_micros(micros));
+        }
+        plan
+    }
+}
+
+/// Apply one corruption to `path` in place (a deliberately *non-atomic*
+/// write — this simulates exactly the torn state the vault must survive).
+pub fn apply_corruption(path: &Path, c: VaultCorruption) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    match c {
+        VaultCorruption::Truncate { permille } => {
+            let keep = bytes.len() * usize::from(permille.min(999)) / 1000;
+            bytes.truncate(keep);
+        }
+        VaultCorruption::BitFlip { permille, bit } => {
+            if !bytes.is_empty() {
+                let at = (bytes.len() - 1) * usize::from(permille.min(999)) / 1000;
+                bytes[at] ^= 1u8 << (bit % 8);
+            }
+        }
+        VaultCorruption::TornHeader => {
+            bytes.truncate(bytes.len().min(10));
+        }
+    }
+    std::fs::write(path, &bytes)
+}
+
+/// What a chaos run did and whether it converged.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Sessions actually run (including the final fault-free one).
+    pub sessions: usize,
+    /// Sessions ended by an injected crash.
+    pub crashes: usize,
+    /// Vault corruptions applied.
+    pub corruptions: usize,
+    /// Corrupt generations the vault quarantined on reload.
+    pub quarantined: usize,
+    /// Resumes that found *no* valid generation and restarted from scratch.
+    pub from_scratch: usize,
+    /// Final sweep reached.
+    pub final_sweep: u64,
+    /// `true` iff the chaos run's full magnetization history is
+    /// bit-identical to the uninterrupted reference run.
+    pub bit_exact: bool,
+}
+
+/// The session-level resilience knobs shared by both drivers: a zero
+/// restart budget (each crash ends the session and goes through the vault)
+/// and a retry policy sized to absorb the plan's transient delays.
+fn session_opts(checkpoint_every: usize, faults: FaultPlan) -> ResilienceOpts {
+    ResilienceOpts {
+        checkpoint_every,
+        max_restarts: 0,
+        recv_timeout: Duration::from_millis(200),
+        faults,
+        retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+    }
+}
+
+fn vault_resume_err(e: VaultError) -> PodError {
+    PodError::Resume(format!("vault reload during chaos: {e}"))
+}
+
+/// Run the scalar-pod chaos drill: an uninterrupted reference run, then
+/// the planned crash/corrupt/resume sessions through a vault in
+/// `vault_dir`, then a fault-free session to completion. The returned
+/// report says whether the two magnetization histories match bit for bit.
+pub fn run_chaos_pod(
+    cfg: &PodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+) -> Result<ChaosReport, PodError> {
+    let reference = run_pod_resilient::<f32>(
+        cfg,
+        sweeps,
+        &session_opts(checkpoint_every, FaultPlan::new()),
+        None,
+    )?
+    .result
+    .magnetization_sums;
+    let vault = Vault::new(vault_dir, "chaos-pod", keep).map_err(vault_resume_err)?;
+    let mut report = ChaosReport::default();
+    let mut latest: Option<PodCheckpoint> = None;
+    let mut done = None;
+    for (i, session) in plan.sessions.iter().enumerate() {
+        report.sessions += 1;
+        let opts = session_opts(checkpoint_every, plan.fault_plan(i));
+        match run_pod_vaulted::<f32>(cfg, sweeps, &opts, latest.take(), &vault) {
+            Ok(run) => {
+                // The scheduled kill landed beyond the end of the run —
+                // the session simply finished.
+                done = Some(run);
+                break;
+            }
+            Err(PodError::RestartsExhausted { .. }) | Err(PodError::Mesh(_)) => {
+                report.crashes += 1;
+                if let Some(c) = session.corrupt {
+                    if let Some(newest) = vault.generations().first() {
+                        apply_corruption(&newest.path, c).map_err(|e| {
+                            PodError::Resume(format!("corruption injection failed: {e}"))
+                        })?;
+                        report.corruptions += 1;
+                    }
+                }
+                match vault.load_latest(POD_VAULT_KIND) {
+                    Ok(loaded) => {
+                        report.quarantined += loaded.quarantined.len();
+                        latest = Some(PodCheckpoint::from_json(&loaded.payload)?);
+                    }
+                    Err(VaultError::NoValidGeneration { quarantined, .. }) => {
+                        report.quarantined += quarantined.len();
+                        report.from_scratch += 1;
+                        latest = None;
+                    }
+                    Err(e) => return Err(vault_resume_err(e)),
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let run = match done {
+        Some(run) => run,
+        None => {
+            report.sessions += 1;
+            run_pod_vaulted::<f32>(
+                cfg,
+                sweeps,
+                &session_opts(checkpoint_every, FaultPlan::new()),
+                latest,
+                &vault,
+            )?
+        }
+    };
+    report.final_sweep = run.final_checkpoint.sweep_index;
+    report.bit_exact = run.result.magnetization_sums == reference;
+    Ok(report)
+}
+
+/// The multispin analogue of [`run_chaos_pod`]: same schedule semantics,
+/// packed checkpoints, per-replica magnetization histories compared.
+pub fn run_chaos_multispin(
+    cfg: &MultiSpinPodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+) -> Result<ChaosReport, PodError> {
+    let reference = run_multispin_pod_resilient(
+        cfg,
+        sweeps,
+        &session_opts(checkpoint_every, FaultPlan::new()),
+        None,
+    )?
+    .result
+    .replica_magnetizations;
+    let vault = Vault::new(vault_dir, "chaos-multispin", keep).map_err(vault_resume_err)?;
+    let mut report = ChaosReport::default();
+    let mut latest: Option<MultiSpinPodCheckpoint> = None;
+    let mut done = None;
+    for (i, session) in plan.sessions.iter().enumerate() {
+        report.sessions += 1;
+        let opts = session_opts(checkpoint_every, plan.fault_plan(i));
+        match run_multispin_pod_vaulted(cfg, sweeps, &opts, latest.take(), &vault) {
+            Ok(run) => {
+                done = Some(run);
+                break;
+            }
+            Err(PodError::RestartsExhausted { .. }) | Err(PodError::Mesh(_)) => {
+                report.crashes += 1;
+                if let Some(c) = session.corrupt {
+                    if let Some(newest) = vault.generations().first() {
+                        apply_corruption(&newest.path, c).map_err(|e| {
+                            PodError::Resume(format!("corruption injection failed: {e}"))
+                        })?;
+                        report.corruptions += 1;
+                    }
+                }
+                match vault.load_latest(MULTISPIN_VAULT_KIND) {
+                    Ok(loaded) => {
+                        report.quarantined += loaded.quarantined.len();
+                        latest = Some(MultiSpinPodCheckpoint::from_json(&loaded.payload)?);
+                    }
+                    Err(VaultError::NoValidGeneration { quarantined, .. }) => {
+                        report.quarantined += quarantined.len();
+                        report.from_scratch += 1;
+                        latest = None;
+                    }
+                    Err(e) => return Err(vault_resume_err(e)),
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let run = match done {
+        Some(run) => run,
+        None => {
+            report.sessions += 1;
+            run_multispin_pod_vaulted(
+                cfg,
+                sweeps,
+                &session_opts(checkpoint_every, FaultPlan::new()),
+                latest,
+                &vault,
+            )?
+        }
+    };
+    report.final_sweep = run.final_checkpoint.sweep_index;
+    report.bit_exact = run.result.replica_magnetizations == reference;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::PodRng;
+    use tpu_ising_device::mesh::Torus;
+    use tpu_ising_tensor::KernelBackend;
+
+    fn serde_is_real() -> bool {
+        serde_json::to_string(&7u32).map(|s| s == "7").unwrap_or(false)
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tpu-ising-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn plans_are_reproducible_from_the_seed() {
+        let a = ChaosPlan::generate(42, 6, 4, 64);
+        let b = ChaosPlan::generate(42, 6, 4, 64);
+        assert_eq!(a, b);
+        let c = ChaosPlan::generate(43, 6, 4, 64);
+        assert_ne!(a, c, "different seeds must give different schedules");
+        assert_eq!(a.sessions.len(), 6);
+        for s in &a.sessions {
+            assert!(s.kill_core < 4 && s.kill_at < 64);
+        }
+    }
+
+    #[test]
+    fn fault_plan_includes_every_scheduled_fault() {
+        let plan = ChaosPlan {
+            seed: 0,
+            sessions: vec![SessionFaults {
+                kill_core: 1,
+                kill_at: 5,
+                drop: Some((0, 2, 3)),
+                delay: Some((3, 1, 1000)),
+                corrupt: None,
+            }],
+        };
+        let fp = plan.fault_plan(0);
+        assert_eq!(fp.faults.len(), 3);
+    }
+
+    #[test]
+    fn corruption_kinds_mangle_files_as_described() {
+        let dir = tmpdir("corrupt");
+        let f = dir.join("x.bin");
+        std::fs::write(&f, vec![0xAAu8; 100]).unwrap();
+        apply_corruption(&f, VaultCorruption::Truncate { permille: 500 }).unwrap();
+        assert_eq!(std::fs::read(&f).unwrap().len(), 50);
+        apply_corruption(&f, VaultCorruption::BitFlip { permille: 0, bit: 0 }).unwrap();
+        assert_eq!(std::fs::read(&f).unwrap()[0], 0xAB);
+        apply_corruption(&f, VaultCorruption::TornHeader).unwrap();
+        assert_eq!(std::fs::read(&f).unwrap().len(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scalar_chaos_run_is_bit_exact() {
+        if !serde_is_real() {
+            return; // vault payloads need a real serializer
+        }
+        let dir = tmpdir("scalar");
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.4,
+            seed: 99,
+            rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
+        };
+        let plan = ChaosPlan::generate(7, 3, 4, 8 * 6);
+        let report = run_chaos_pod(&cfg, 6, 2, &plan, &dir, 3).expect("chaos run");
+        assert!(report.bit_exact, "chaos diverged: {report:?}");
+        assert_eq!(report.final_sweep, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multispin_chaos_run_is_bit_exact() {
+        if !serde_is_real() {
+            return;
+        }
+        let dir = tmpdir("multispin");
+        let cfg = MultiSpinPodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 4,
+            per_core_w: 4,
+            beta: 0.4,
+            seed: 21,
+        };
+        let plan = ChaosPlan::generate(11, 3, 4, 8 * 6);
+        let report = run_chaos_multispin(&cfg, 6, 2, &plan, &dir, 3).expect("chaos run");
+        assert!(report.bit_exact, "chaos diverged: {report:?}");
+        assert_eq!(report.final_sweep, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -123,9 +123,11 @@ pub fn restore<S: Scalar + RandomUniform>(
     Ok(sim)
 }
 
-/// Serialize a checkpoint to JSON.
-pub fn to_json(ckpt: &Checkpoint) -> String {
-    serde_json::to_string(ckpt).expect("checkpoint serialization cannot fail")
+/// Serialize a checkpoint to JSON. Serializer failures (e.g. the offline
+/// stub harness) surface as a typed [`RestoreError`] instead of panicking
+/// the recovery path that asked for the snapshot.
+pub fn to_json(ckpt: &Checkpoint) -> Result<String, RestoreError> {
+    serde_json::to_string(ckpt).map_err(|e| RestoreError(format!("serialize failed: {e}")))
 }
 
 /// Deserialize a checkpoint from JSON.
@@ -177,7 +179,7 @@ mod tests {
     /// JSON round-trip where serde is real, identity otherwise.
     fn maybe_json_roundtrip(ckpt: Checkpoint) -> Checkpoint {
         if serde_is_real() {
-            from_json(&to_json(&ckpt)).unwrap()
+            from_json(&to_json(&ckpt).unwrap()).unwrap()
         } else {
             ckpt
         }
@@ -230,7 +232,7 @@ mod tests {
         for _ in 0..3 {
             sim.sweep();
         }
-        let json = to_json(&checkpoint(&sim));
+        let json = to_json(&checkpoint(&sim)).unwrap();
         let ckpt = from_json(&json).unwrap();
         let mut restored: CompactIsing<f32> = restore(&ckpt).unwrap();
         sim.sweep();
@@ -303,7 +305,7 @@ mod tests {
         }
         let mut sim = chain(29);
         sim.sweep();
-        let json = to_json(&checkpoint(&sim));
+        let json = to_json(&checkpoint(&sim)).unwrap();
         // simulate a pre-backend-field snapshot by stripping the field
         let stripped = json.replace(",\"backend\":\"band\"", "");
         assert_ne!(stripped, json, "serialized snapshot should carry the backend field");

@@ -35,13 +35,16 @@ use crate::checkpoint::{checkpoint, Checkpoint};
 use crate::compact::{ColorHalos, CompactIsing};
 use crate::lattice::{random_plane_window, Color};
 use crate::prob::{Randomness, RngState};
+use crate::vault::Vault;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::str::FromStr;
 use std::sync::Mutex;
 use std::time::Duration;
 use tpu_ising_bf16::Scalar;
-use tpu_ising_device::mesh::{run_spmd_cfg, FaultPlan, MeshConfig, MeshError, MeshHandle, Torus};
+use tpu_ising_device::mesh::{
+    run_spmd_cfg, FaultPlan, MeshConfig, MeshError, MeshHandle, RetryPolicy, Torus,
+};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
 use tpu_ising_tensor::{KernelBackend, Plane};
@@ -136,6 +139,8 @@ pub enum PodError {
     Mesh(MeshError),
     /// A checkpoint could not be resumed onto the requested configuration.
     Resume(String),
+    /// A checkpoint could not be serialized for persistence.
+    Serialize(String),
     /// [`run_pod_resilient`] spent its restart budget without finishing.
     RestartsExhausted {
         /// Restarts attempted (equals the configured maximum).
@@ -150,6 +155,7 @@ impl std::fmt::Display for PodError {
         match self {
             PodError::Mesh(e) => write!(f, "pod mesh failure: {e}"),
             PodError::Resume(msg) => write!(f, "pod resume failed: {msg}"),
+            PodError::Serialize(msg) => write!(f, "pod checkpoint serialization failed: {msg}"),
             PodError::RestartsExhausted { restarts, last } => {
                 write!(f, "pod gave up after {restarts} restart(s); last failure: {last}")
             }
@@ -219,9 +225,11 @@ impl PodCheckpoint {
         self.ny * self.per_core_w
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("pod checkpoint serialization cannot fail")
+    /// Serialize to JSON. Fails only if the serializer itself fails (e.g.
+    /// the offline stub) — propagated as [`PodError::Serialize`] instead of
+    /// panicking a recovery path.
+    pub fn to_json(&self) -> Result<String, PodError> {
+        serde_json::to_string(self).map_err(|e| PodError::Serialize(e.to_string()))
     }
 
     /// Deserialize from JSON.
@@ -241,12 +249,25 @@ impl PodCheckpoint {
 pub struct CheckpointStore {
     cores: usize,
     rows: Mutex<BTreeMap<u64, Vec<Option<(Checkpoint, Vec<f64>)>>>>,
+    /// Called with each newly completed row (outside the lock) — the hook
+    /// the vault uses to persist every globally consistent snapshot.
+    sink: Option<Box<dyn Fn(u64, &[(Checkpoint, Vec<f64>)]) + Send + Sync>>,
 }
 
 impl CheckpointStore {
     /// A store for an `cores`-core run.
     pub fn new(cores: usize) -> CheckpointStore {
-        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()) }
+        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()), sink: None }
+    }
+
+    /// A store that additionally hands every completed row to `sink` (e.g.
+    /// a durable-vault writer). The sink runs on the core thread that
+    /// completed the row, after the store lock is released.
+    pub fn with_sink(
+        cores: usize,
+        sink: impl Fn(u64, &[(Checkpoint, Vec<f64>)]) + Send + Sync + 'static,
+    ) -> CheckpointStore {
+        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()), sink: Some(Box::new(sink)) }
     }
 
     /// Record one core's snapshot at a sweep boundary. `mags` is the
@@ -257,11 +278,17 @@ impl CheckpointStore {
         let mut rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let row = rows.entry(sweep).or_insert_with(|| vec![None; self.cores]);
         row[core] = Some((ckpt, mags));
-        if row.iter().all(Option::is_some) {
+        let completed: Option<Vec<(Checkpoint, Vec<f64>)>> =
+            if row.iter().all(Option::is_some) { row.iter().cloned().collect() } else { None };
+        if completed.is_some() {
             rows.retain(|&s, _| s >= sweep);
             if obs::is_metrics() {
                 obs::metrics().counter("pod_checkpoints_total").inc(1);
             }
+        }
+        drop(rows);
+        if let (Some(sink), Some(row)) = (&self.sink, completed) {
+            sink(sweep, &row);
         }
     }
 
@@ -269,10 +296,11 @@ impl CheckpointStore {
     /// snapshots in core-id order.
     fn latest_complete(&self) -> Option<(u64, Vec<(Checkpoint, Vec<f64>)>)> {
         let rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // `collect::<Option<Vec<_>>>` is None for any incomplete row, so
+        // this cannot panic even if a row mutates between checks.
         rows.iter()
             .rev()
-            .find(|(_, row)| row.iter().all(Option::is_some))
-            .map(|(&s, row)| (s, row.iter().map(|o| o.clone().expect("row is complete")).collect()))
+            .find_map(|(&s, row)| row.iter().cloned().collect::<Option<Vec<_>>>().map(|r| (s, r)))
     }
 }
 
@@ -623,6 +651,9 @@ pub struct ResilienceOpts {
     pub recv_timeout: Duration,
     /// Deterministic fault schedule (testing; empty in production).
     pub faults: FaultPlan,
+    /// Tier-1 recovery: bounded in-place retries of timed-out collectives
+    /// before a fault escalates to the restart tier.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ResilienceOpts {
@@ -632,6 +663,7 @@ impl Default for ResilienceOpts {
             max_restarts: 3,
             recv_timeout: Duration::from_secs(30),
             faults: FaultPlan::new(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -665,13 +697,57 @@ pub fn run_pod_resilient<S: Scalar + RandomUniform>(
     opts: &ResilienceOpts,
     resume: Option<PodCheckpoint>,
 ) -> Result<ResilientPodRun<S>, PodError> {
+    run_pod_resilient_impl(cfg, sweeps, opts, resume, None)
+}
+
+/// [`run_pod_resilient`] with every globally consistent snapshot also
+/// persisted through a durable [`Vault`] (atomic writes, CRC envelopes,
+/// keep-N generations). The vault is the write side only: pass the resumed
+/// snapshot in via `resume` after loading it with [`Vault::load_latest`].
+pub fn run_pod_vaulted<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+    vault: &Vault,
+) -> Result<ResilientPodRun<S>, PodError> {
+    run_pod_resilient_impl(cfg, sweeps, opts, resume, Some(vault))
+}
+
+/// The envelope `kind` tag of scalar pod checkpoints in a vault.
+pub const POD_VAULT_KIND: &str = "pod";
+
+fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+    vault: Option<&Vault>,
+) -> Result<ResilientPodRun<S>, PodError> {
     assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
     let mut latest = resume;
     let mut faults_seen: Vec<MeshError> = Vec::new();
     let mut restarts = 0usize;
     loop {
         let _attempt_span = obs::span!("pod_attempt");
-        let store = CheckpointStore::new(cfg.torus.cores());
+        let store = match vault {
+            None => CheckpointStore::new(cfg.torus.cores()),
+            Some(v) => {
+                // The sink runs on a core thread mid-run, so failures are
+                // counted, not propagated: a full disk must not kill the
+                // simulation that the vault exists to protect.
+                let (v, cfg, base) = (v.clone(), *cfg, latest.clone());
+                CheckpointStore::with_sink(cfg.torus.cores(), move |sweep, rows| {
+                    let ckpt = assemble_checkpoint(&cfg, base.as_ref(), sweep, rows.to_vec());
+                    let saved = ckpt.to_json().map_err(|e| e.to_string()).and_then(|json| {
+                        v.save(POD_VAULT_KIND, sweep, &json).map_err(|e| e.to_string())
+                    });
+                    if saved.is_err() && obs::is_metrics() {
+                        obs::metrics().counter("vault_write_errors_total").inc(1);
+                    }
+                })
+            }
+        };
         let run_opts = PodRunOpts {
             checkpoint_every: Some(opts.checkpoint_every),
             resume: latest.as_ref(),
@@ -679,6 +755,7 @@ pub fn run_pod_resilient<S: Scalar + RandomUniform>(
                 recv_timeout: opts.recv_timeout,
                 faults: opts.faults.clone(),
                 attempt: restarts,
+                retry: opts.retry,
             },
             store: Some(&store),
         };
@@ -699,11 +776,15 @@ pub fn run_pod_resilient<S: Scalar + RandomUniform>(
                 }
                 faults_seen.push(e.clone());
                 if restarts >= opts.max_restarts {
+                    if obs::is_metrics() {
+                        obs::metrics().counter("recovery_tier_exhausted_total").inc(1);
+                    }
                     return Err(PodError::RestartsExhausted { restarts, last: e });
                 }
                 restarts += 1;
                 if obs::is_metrics() {
                     obs::metrics().counter("pod_restarts_total").inc(1);
+                    obs::metrics().counter("recovery_tier_restart_total").inc(1);
                 }
                 // Adopt the newest globally consistent snapshot the crashed
                 // attempt left behind; otherwise retry from the previous
@@ -761,6 +842,7 @@ mod tests {
             max_restarts: 3,
             recv_timeout: Duration::from_millis(300),
             faults,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -948,8 +1030,11 @@ mod tests {
         let ckpt = half.final_checkpoint;
         assert_eq!((ckpt.nx, ckpt.ny), (2, 2));
         // through JSON, like a real resume from disk
-        let ckpt =
-            if serde_is_real() { PodCheckpoint::from_json(&ckpt.to_json()).unwrap() } else { ckpt };
+        let ckpt = if serde_is_real() {
+            PodCheckpoint::from_json(&ckpt.to_json().unwrap()).unwrap()
+        } else {
+            ckpt
+        };
         let rest = run_pod_resilient::<f32>(
             &cfg_1x4,
             8,
@@ -1044,7 +1129,7 @@ mod tests {
         let run = run_pod_resilient::<f32>(&cfg, 3, &fast_resilience(2, FaultPlan::new()), None)
             .expect("run");
         let ck = run.final_checkpoint;
-        let back = PodCheckpoint::from_json(&ck.to_json()).unwrap();
+        let back = PodCheckpoint::from_json(&ck.to_json().unwrap()).unwrap();
         assert_eq!(back.sweep_index, ck.sweep_index);
         assert_eq!(back.magnetization_sums, ck.magnetization_sums);
         assert_eq!(back.cores.len(), 2);

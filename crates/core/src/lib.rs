@@ -36,6 +36,7 @@
 
 pub mod anneal;
 pub mod autocorrelation;
+pub mod chaos;
 pub mod checkpoint;
 pub mod compact;
 pub mod conv;
@@ -52,30 +53,34 @@ pub mod prob;
 pub mod reference;
 pub mod sampler;
 pub mod tempering;
+pub mod vault;
 pub mod visualize;
 pub mod wolff;
 
+pub use chaos::{run_chaos_multispin, run_chaos_pod, ChaosPlan, ChaosReport, VaultCorruption};
 pub use checkpoint::Checkpoint;
 pub use compact::{ColorHalos, CompactIsing};
 pub use conv::ConvIsing;
 pub use coupling::{Couplings, HeterogeneousIsing};
 pub use distributed::{
-    run_pod, run_pod_resilient, run_pod_with_opts, CheckpointStore, PodCheckpoint, PodConfig,
-    PodError, PodResult, PodRng, PodRunOpts, ResilienceOpts, ResilientPodRun,
+    run_pod, run_pod_resilient, run_pod_vaulted, run_pod_with_opts, CheckpointStore, PodCheckpoint,
+    PodConfig, PodError, PodResult, PodRng, PodRunOpts, ResilienceOpts, ResilientPodRun,
+    POD_VAULT_KIND,
 };
 pub use ising3d::{Ising3D, T_CRITICAL_3D};
 pub use lattice::{cold_plane, random_plane, Color};
 pub use multispin::{
-    run_multispin_pod, run_multispin_pod_resilient, run_multispin_pod_with_opts,
-    MultiSpinCheckpoint, MultiSpinIsing, MultiSpinPodCheckpoint, MultiSpinPodConfig,
-    MultiSpinPodResult, MultiSpinPodRunOpts, MultiSpinStore, PackedHalos, ResilientMultiSpinRun,
-    REPLICAS,
+    run_multispin_pod, run_multispin_pod_resilient, run_multispin_pod_vaulted,
+    run_multispin_pod_with_opts, MultiSpinCheckpoint, MultiSpinIsing, MultiSpinPodCheckpoint,
+    MultiSpinPodConfig, MultiSpinPodResult, MultiSpinPodRunOpts, MultiSpinStore, PackedHalos,
+    ResilientMultiSpinRun, MULTISPIN_VAULT_KIND, REPLICAS,
 };
 pub use naive::NaiveIsing;
 pub use observables::onsager;
 pub use prob::Randomness;
 pub use reference::ReferenceIsing;
 pub use sampler::{run_chain, run_chain_labeled, ChainStats, Sweeper};
+pub use vault::{FileLoad, LoadedCheckpoint, Vault, VaultError};
 pub use wolff::WolffIsing;
 
 pub use tpu_ising_bf16::{Bf16, Scalar};

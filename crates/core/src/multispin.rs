@@ -43,6 +43,7 @@
 
 use crate::distributed::{PodError, ResilienceOpts};
 use crate::lattice::Color;
+use crate::vault::Vault;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -686,9 +687,10 @@ impl MultiSpinPodCheckpoint {
         self.ny * self.per_core_w
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("multispin pod checkpoint serialization cannot fail")
+    /// Serialize to JSON. Serializer failures surface as
+    /// [`PodError::Serialize`] instead of panicking a recovery path.
+    pub fn to_json(&self) -> Result<String, PodError> {
+        serde_json::to_string(self).map_err(|e| PodError::Serialize(e.to_string()))
     }
 
     /// Deserialize from JSON.
@@ -703,12 +705,25 @@ pub struct MultiSpinStore {
     cores: usize,
     #[allow(clippy::type_complexity)]
     rows: Mutex<BTreeMap<u64, Vec<Option<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>>>>,
+    /// Called with each newly completed row (outside the lock) — the hook
+    /// the vault uses to persist every globally consistent snapshot.
+    #[allow(clippy::type_complexity)]
+    sink: Option<Box<dyn Fn(u64, &[(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)]) + Send + Sync>>,
 }
 
 impl MultiSpinStore {
     /// A store for a `cores`-core run.
     pub fn new(cores: usize) -> MultiSpinStore {
-        MultiSpinStore { cores, rows: Mutex::new(BTreeMap::new()) }
+        MultiSpinStore { cores, rows: Mutex::new(BTreeMap::new()), sink: None }
+    }
+
+    /// A store that additionally hands every completed row to `sink` (e.g.
+    /// a durable-vault writer), after the store lock is released.
+    pub fn with_sink(
+        cores: usize,
+        sink: impl Fn(u64, &[(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)]) + Send + Sync + 'static,
+    ) -> MultiSpinStore {
+        MultiSpinStore { cores, rows: Mutex::new(BTreeMap::new()), sink: Some(Box::new(sink)) }
     }
 
     fn record(
@@ -721,21 +736,28 @@ impl MultiSpinStore {
         let mut rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let row = rows.entry(sweep).or_insert_with(|| vec![None; self.cores]);
         row[core] = Some((ckpt, mags));
-        if row.iter().all(Option::is_some) {
+        let completed: Option<Vec<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>> =
+            if row.iter().all(Option::is_some) { row.iter().cloned().collect() } else { None };
+        if completed.is_some() {
             rows.retain(|&s, _| s >= sweep);
             if obs::is_metrics() {
                 obs::metrics().counter("pod_checkpoints_total").inc(1);
             }
+        }
+        drop(rows);
+        if let (Some(sink), Some(row)) = (&self.sink, completed) {
+            sink(sweep, &row);
         }
     }
 
     #[allow(clippy::type_complexity)]
     fn latest_complete(&self) -> Option<(u64, Vec<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>)> {
         let rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // `collect::<Option<Vec<_>>>` is None for incomplete rows — no
+        // panics on recovery paths.
         rows.iter()
             .rev()
-            .find(|(_, row)| row.iter().all(Option::is_some))
-            .map(|(&s, row)| (s, row.iter().map(|o| o.clone().expect("row is complete")).collect()))
+            .find_map(|(&s, row)| row.iter().cloned().collect::<Option<Vec<_>>>().map(|r| (s, r)))
     }
 }
 
@@ -1050,13 +1072,57 @@ pub fn run_multispin_pod_resilient(
     opts: &ResilienceOpts,
     resume: Option<MultiSpinPodCheckpoint>,
 ) -> Result<ResilientMultiSpinRun, PodError> {
+    run_multispin_pod_resilient_impl(cfg, sweeps, opts, resume, None)
+}
+
+/// [`run_multispin_pod_resilient`] with every globally consistent snapshot
+/// also persisted through a durable [`Vault`] — the packed analogue of
+/// [`crate::distributed::run_pod_vaulted`]. The vault is the write side
+/// only: load the resumed snapshot with [`Vault::load_latest`] first.
+pub fn run_multispin_pod_vaulted(
+    cfg: &MultiSpinPodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<MultiSpinPodCheckpoint>,
+    vault: &Vault,
+) -> Result<ResilientMultiSpinRun, PodError> {
+    run_multispin_pod_resilient_impl(cfg, sweeps, opts, resume, Some(vault))
+}
+
+/// The envelope `kind` tag of multispin pod checkpoints in a vault.
+pub const MULTISPIN_VAULT_KIND: &str = "multispin-pod";
+
+fn run_multispin_pod_resilient_impl(
+    cfg: &MultiSpinPodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<MultiSpinPodCheckpoint>,
+    vault: Option<&Vault>,
+) -> Result<ResilientMultiSpinRun, PodError> {
     assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
     let mut latest = resume;
     let mut faults_seen: Vec<MeshError> = Vec::new();
     let mut restarts = 0usize;
     loop {
         let _attempt_span = obs::span!("pod_attempt");
-        let store = MultiSpinStore::new(cfg.torus.cores());
+        let store = match vault {
+            None => MultiSpinStore::new(cfg.torus.cores()),
+            Some(v) => {
+                // Sink failures are counted, not propagated: a full disk
+                // must not kill the simulation the vault protects.
+                let (v, cfg, base) = (v.clone(), *cfg, latest.clone());
+                MultiSpinStore::with_sink(cfg.torus.cores(), move |sweep, rows| {
+                    let ckpt =
+                        assemble_multispin_checkpoint(&cfg, base.as_ref(), sweep, rows.to_vec());
+                    let saved = ckpt.to_json().map_err(|e| e.to_string()).and_then(|json| {
+                        v.save(MULTISPIN_VAULT_KIND, sweep, &json).map_err(|e| e.to_string())
+                    });
+                    if saved.is_err() && obs::is_metrics() {
+                        obs::metrics().counter("vault_write_errors_total").inc(1);
+                    }
+                })
+            }
+        };
         let run_opts = MultiSpinPodRunOpts {
             checkpoint_every: Some(opts.checkpoint_every),
             resume: latest.as_ref(),
@@ -1064,6 +1130,7 @@ pub fn run_multispin_pod_resilient(
                 recv_timeout: opts.recv_timeout,
                 faults: opts.faults.clone(),
                 attempt: restarts,
+                retry: opts.retry,
             },
             store: Some(&store),
         };
@@ -1089,11 +1156,15 @@ pub fn run_multispin_pod_resilient(
                 }
                 faults_seen.push(e.clone());
                 if restarts >= opts.max_restarts {
+                    if obs::is_metrics() {
+                        obs::metrics().counter("recovery_tier_exhausted_total").inc(1);
+                    }
                     return Err(PodError::RestartsExhausted { restarts, last: e });
                 }
                 restarts += 1;
                 if obs::is_metrics() {
                     obs::metrics().counter("pod_restarts_total").inc(1);
+                    obs::metrics().counter("recovery_tier_restart_total").inc(1);
                 }
                 if let Some((s, rows)) = store.latest_complete() {
                     latest = Some(assemble_multispin_checkpoint(cfg, latest.as_ref(), s, rows));
@@ -1109,7 +1180,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use std::time::Duration;
-    use tpu_ising_device::mesh::FaultPlan;
+    use tpu_ising_device::mesh::{FaultPlan, RetryPolicy};
 
     /// The offline dev container stubs `serde_json` out; JSON assertions
     /// only run where real serde is available (CI, workstations).
@@ -1141,6 +1212,7 @@ mod tests {
             max_restarts: 3,
             recv_timeout: Duration::from_millis(300),
             faults,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -1315,7 +1387,7 @@ mod tests {
         let ckpt = half.final_checkpoint;
         assert_eq!((ckpt.nx, ckpt.ny), (2, 2));
         let ckpt = if serde_is_real() {
-            MultiSpinPodCheckpoint::from_json(&ckpt.to_json()).unwrap()
+            MultiSpinPodCheckpoint::from_json(&ckpt.to_json().unwrap()).unwrap()
         } else {
             ckpt
         };

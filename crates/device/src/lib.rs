@@ -39,7 +39,8 @@ pub mod trace;
 pub use cost::{step_counts, step_time, Breakdown, ExecutionMode, OpCounts, StepConfig, Variant};
 pub use energy::energy_nj_per_flip;
 pub use mesh::{
-    run_spmd, run_spmd_cfg, Fault, FaultKind, FaultPlan, MeshConfig, MeshError, MeshHandle, Torus,
+    run_spmd, run_spmd_cfg, Fault, FaultKind, FaultPlan, MeshConfig, MeshError, MeshHandle,
+    RetryPolicy, Torus,
 };
 pub use params::TpuV3Params;
 pub use roofline::RooflineReport;

@@ -310,6 +310,45 @@ impl FaultPlan {
     }
 }
 
+/// Tier-1 recovery: bounded in-place retries of a timed-out collective
+/// receive, before the error escalates to the pod-restart tier.
+///
+/// A slow link or a transiently wedged peer often delivers the packet a
+/// little late; tearing down and restarting the whole pod for that wastes
+/// every core's progress since the last checkpoint. Instead the receive
+/// deadline is extended `max_retries` times, each extension one full
+/// [`MeshConfig::recv_timeout`] window plus a deterministic exponential
+/// backoff (`backoff`, `2·backoff`, `4·backoff`, …). Only
+/// [`MeshError::RecvTimeout`] is retried — a hung-up peer
+/// ([`MeshError::PeerGone`]) is permanent and escalates immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many extra receive windows to grant before giving up.
+    pub max_retries: u32,
+    /// Base backoff added to the first extension; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first timeout escalates immediately (the pre-tiered
+    /// behavior; used by tests that assert timeout timing).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, backoff: Duration::ZERO }
+    }
+
+    /// The extra wait granted by retry number `k` (1-based): one receive
+    /// window plus `backoff · 2^(k−1)`.
+    fn extension(&self, recv_timeout: Duration, k: u32) -> Duration {
+        recv_timeout + self.backoff.saturating_mul(1u32 << (k - 1).min(16))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) }
+    }
+}
+
 /// Runtime configuration of the functional mesh.
 #[derive(Clone, Debug)]
 pub struct MeshConfig {
@@ -323,11 +362,19 @@ pub struct MeshConfig {
     /// `attempt` fire. Restart drivers bump this per retry so transient
     /// faults are not replayed against the recovered run.
     pub attempt: usize,
+    /// Tier-1 recovery: how many times a timed-out receive is retried in
+    /// place before the timeout escalates.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MeshConfig {
     fn default() -> MeshConfig {
-        MeshConfig { recv_timeout: Duration::from_secs(30), faults: FaultPlan::new(), attempt: 0 }
+        MeshConfig {
+            recv_timeout: Duration::from_secs(30),
+            faults: FaultPlan::new(),
+            attempt: 0,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -443,22 +490,39 @@ impl<T: Send> MeshHandle<T> {
         if let Some(t) = self.stash.remove(&(seq, src)) {
             return Ok(Some(t));
         }
-        let deadline = Instant::now() + self.config.recv_timeout;
+        let started = Instant::now();
+        let mut retries_used: u32 = 0;
+        let mut deadline = started + self.config.recv_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.receiver.recv_timeout(remaining) {
                 Ok((pseq, psrc, payload)) => {
                     if pseq == seq && psrc == src {
+                        if retries_used > 0 && obs::is_metrics() {
+                            obs::metrics().counter("recovery_tier_retry_total").inc(1);
+                        }
                         return Ok(Some(payload));
                     }
                     self.stash.insert((pseq, psrc), payload);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // Tier-1 recovery: a timeout may be a slow link, not a
+                    // dead peer — extend the deadline a bounded number of
+                    // times before escalating to the restart tier.
+                    if retries_used < self.config.retry.max_retries {
+                        retries_used += 1;
+                        if obs::is_metrics() {
+                            obs::metrics().counter("collective_retries_total").inc(1);
+                        }
+                        deadline = Instant::now()
+                            + self.config.retry.extension(self.config.recv_timeout, retries_used);
+                        continue;
+                    }
                     return Err(MeshError::RecvTimeout {
                         core: self.id,
                         peer: src,
                         seq,
-                        waited_ms: self.config.recv_timeout.as_millis() as u64,
+                        waited_ms: started.elapsed().as_millis() as u64,
                     });
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -614,9 +678,15 @@ mod tests {
     use super::*;
 
     /// A short timeout so fault tests fail fast instead of waiting the
-    /// 30 s production default.
+    /// 30 s production default. Retries are off so timeout-timing
+    /// assertions see exactly one receive window.
     fn fast(faults: FaultPlan) -> MeshConfig {
-        MeshConfig { recv_timeout: Duration::from_millis(300), faults, attempt: 0 }
+        MeshConfig {
+            recv_timeout: Duration::from_millis(300),
+            faults,
+            attempt: 0,
+            retry: RetryPolicy::none(),
+        }
     }
 
     #[test]
@@ -846,11 +916,86 @@ mod tests {
                 recv_timeout: Duration::from_millis(300),
                 faults: plan.clone(),
                 attempt,
+                retry: RetryPolicy::none(),
             };
             run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
         };
         assert!(run(0).is_ok());
         assert_eq!(run(1).unwrap_err(), MeshError::InjectedKill { core: 0, seq: 0 });
+    }
+
+    #[test]
+    fn transient_delay_is_absorbed_by_collective_retries() {
+        // Core 0's send is delayed 180 ms; the receive window is only
+        // 100 ms. Tier-1 retries extend the deadline (100, then
+        // 100 + 50 = 150 more — cumulative 250 ms > 180 ms), so the
+        // collective succeeds without any pod-level restart.
+        let t = Torus::new(1, 2);
+        let cfg = MeshConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::new().delay(0, 0, Duration::from_millis(180)),
+            attempt: 0,
+            retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+        };
+        let got: Vec<u32> =
+            run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
+                .unwrap();
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn same_delay_without_retries_times_out() {
+        // The identical schedule with retries disabled escalates: the
+        // packet lands at 180 ms, after the single 100 ms window closed.
+        let t = Torus::new(1, 2);
+        let cfg = MeshConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::new().delay(0, 0, Duration::from_millis(180)),
+            attempt: 0,
+            retry: RetryPolicy::none(),
+        };
+        let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
+            .unwrap_err();
+        // Core 1 times out at 100 ms; core 0's late send at 180 ms may
+        // then land on a dropped receiver (PeerGone, which outranks the
+        // timeout in root-cause selection). Both are the same failure.
+        assert!(
+            matches!(err, MeshError::RecvTimeout { core: 1, peer: 0, .. })
+                || matches!(err, MeshError::PeerGone { core: 0, peer: 1, .. }),
+            "expected RecvTimeout or PeerGone, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded_and_report_total_wait() {
+        // A dropped packet never arrives: after max_retries extensions the
+        // timeout escalates, and waited_ms reflects the whole tiered wait
+        // (3 windows of 100 ms plus 50 + 100 ms backoff ≥ 450 ms).
+        let t = Torus::new(1, 2);
+        let cfg = MeshConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::new().drop_packet(0, 1, 0),
+            attempt: 0,
+            retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+        };
+        let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
+            .unwrap_err();
+        match err {
+            MeshError::RecvTimeout { core: 1, peer: 0, waited_ms, .. } => {
+                assert!(waited_ms >= 440, "waited only {waited_ms} ms");
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_deterministic() {
+        let p = RetryPolicy { max_retries: 3, backoff: Duration::from_millis(50) };
+        let w = Duration::from_millis(100);
+        assert_eq!(p.extension(w, 1), Duration::from_millis(150));
+        assert_eq!(p.extension(w, 2), Duration::from_millis(200));
+        assert_eq!(p.extension(w, 3), Duration::from_millis(300));
+        assert_eq!(RetryPolicy::none().max_retries, 0);
     }
 
     #[test]
