@@ -16,10 +16,16 @@
 //! zero-allocation steady state.
 //!
 //! `--quick` (or `ISING_BENCH_QUICK=1`) shrinks tiles and sweep counts.
+//! `--append` adds one `{commit, timestamp, algo, flips_per_ns}` row per
+//! algorithm (dense, band, multispin; best single-core figure) to
+//! `results/BENCH_trajectory.json`, so the performance history across
+//! commits accumulates in one machine-readable file.
 
 use std::time::Instant;
 
-use tpu_ising_bench::{print_table, quick_mode, results_dir, run_metadata};
+use tpu_ising_bench::{
+    append_trajectory, print_table, quick_mode, results_dir, run_metadata, TrajectoryRow,
+};
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::{
     random_plane, run_multispin_pod, CompactIsing, KernelBackend, MultiSpinIsing,
@@ -189,6 +195,7 @@ fn multispin_pod(sweeps: usize) -> Row {
 fn main() {
     let quick = quick_mode();
     let gate = std::env::args().skip(1).any(|a| a == "--gate-multispin");
+    let append = std::env::args().skip(1).any(|a| a == "--append");
     let tiles: &[usize] = if quick { &[8, 16] } else { &[32, 64, 128] };
 
     let mut rows = Vec::new();
@@ -336,6 +343,27 @@ fn main() {
     match std::fs::write(&path, &json) {
         Ok(()) => println!("[results written to {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    if append {
+        // One trajectory point per algorithm: the best single-core figure
+        // from this run, stamped with the commit it measured.
+        let point = |algo: &str, flips_per_ns: f64| TrajectoryRow {
+            commit: md.commit.clone(),
+            timestamp: md.timestamp.clone(),
+            algo: algo.to_string(),
+            flips_per_ns,
+        };
+        let rows = [
+            point("dense", best_dense),
+            point("band", best_band),
+            point("multispin", ms_single.flips_per_ns),
+        ];
+        let path = results_dir().join("BENCH_trajectory.json");
+        match append_trajectory(&path, &rows) {
+            Ok(n) => println!("[trajectory: {n} row(s) total in {}]", path.display()),
+            Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+        }
     }
 
     if gate {

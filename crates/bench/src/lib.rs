@@ -216,6 +216,68 @@ fn system_utc_iso8601() -> String {
     format!("{year:04}-{month:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
 }
 
+/// One point of the committed performance trajectory: which algorithm
+/// delivered how many flips/ns at which commit, measured when.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryRow {
+    pub commit: String,
+    pub timestamp: String,
+    pub algo: String,
+    pub flips_per_ns: f64,
+}
+
+impl TrajectoryRow {
+    /// One hand-assembled JSON object (the trajectory file must not
+    /// depend on which serializer is linked, like the other artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"commit\": \"{}\", \"timestamp\": \"{}\", \"algo\": \"{}\", \
+             \"flips_per_ns\": {:.5}}}",
+            json_escape(&self.commit),
+            json_escape(&self.timestamp),
+            json_escape(&self.algo),
+            self.flips_per_ns
+        )
+    }
+}
+
+/// Append rows to a JSON-array trajectory file (read-modify-write),
+/// creating it when missing. The file is kept in one-object-per-line
+/// form so prior entries survive as opaque lines — no parser needed.
+/// Returns the total number of rows after the append.
+pub fn append_trajectory(
+    path: &std::path::Path,
+    new_rows: &[TrajectoryRow],
+) -> std::io::Result<usize> {
+    let mut entries: Vec<String> = Vec::new();
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let t = text.trim();
+            let interior = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')).unwrap_or("");
+            for line in interior.lines() {
+                let line = line.trim().trim_end_matches(',');
+                if !line.is_empty() {
+                    entries.push(line.to_string());
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    entries.extend(new_rows.iter().map(TrajectoryRow::to_json));
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str("  ");
+        out.push_str(e);
+        out.push_str(sep);
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)?;
+    Ok(entries.len())
+}
+
 /// Relative deviation helper for "paper vs model" columns.
 pub fn pct_dev(model: f64, paper: f64) -> String {
     format!("{:+.1}%", (model / paper - 1.0) * 100.0)
@@ -290,6 +352,41 @@ mod tests {
             "\"timestamp\": \"t\", \"cpu_model\": \"Weird \\\"CPU\\\" \\\\ name\", \
              \"commit\": \"abc\""
         );
+    }
+
+    #[test]
+    fn trajectory_appends_and_creates() {
+        let dir = std::env::temp_dir().join(format!("traj-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_trajectory.json");
+        let _ = std::fs::remove_file(&path);
+
+        let row = |algo: &str, f: f64| TrajectoryRow {
+            commit: "abc123".into(),
+            timestamp: "2026-01-02T03:04:05Z".into(),
+            algo: algo.into(),
+            flips_per_ns: f,
+        };
+        // creates the file
+        assert_eq!(append_trajectory(&path, &[row("band", 0.25)]).unwrap(), 1);
+        // appends without losing prior rows
+        assert_eq!(
+            append_trajectory(&path, &[row("multispin", 4.5), row("dense", 0.01)]).unwrap(),
+            3
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"commit\": \"abc123\"").count(), 3, "{text}");
+        assert_eq!(text.matches("\"algo\": \"band\"").count(), 1, "{text}");
+        assert!(text.contains("\"flips_per_ns\": 4.50000"), "{text}");
+        // every row line parses as a standalone JSON-ish object
+        for line in text.lines().filter(|l| l.trim_start().starts_with('{')) {
+            let l = line.trim().trim_end_matches(',');
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -43,6 +43,41 @@ fn init_observability(args: &Args, trace_implies_metrics: bool) -> bool {
     want_metrics
 }
 
+/// Wire the flight-recorder/telemetry flags shared by `pod` and `chaos`:
+/// `--telemetry-dir DIR` turns the per-core event recorder on, points
+/// postmortem bundles at DIR, and starts a background sink that flushes
+/// metrics snapshots (JSONL + Prometheus text) into DIR every
+/// `--flush-every MS` (default 1000).
+fn init_telemetry(args: &Args) -> Result<Option<obs::TelemetryHandle>, ArgError> {
+    let Some(dir) = args.get("telemetry-dir") else { return Ok(None) };
+    let every_ms: u64 = args.get_parse_min("flush-every", 1000u64, 1)?;
+    // Telemetry without metrics would flush empty snapshots.
+    obs::enable_metrics();
+    obs::recorder::reset();
+    obs::recorder::enable_recording();
+    if let Ok(Some(seed)) = args.get_opt_parse::<u64>("seed") {
+        obs::recorder::set_run_id(seed);
+    }
+    obs::recorder::set_postmortem_dir(Some(std::path::PathBuf::from(dir)));
+    let sink = obs::TelemetrySink::new(dir, std::time::Duration::from_millis(every_ms))
+        .map_err(|e| ArgError(format!("cannot create telemetry dir '{dir}': {e}")))?;
+    Ok(Some(sink.start()))
+}
+
+/// Stop the telemetry sink (final metrics flush) and land a final
+/// postmortem bundle so the timeline also covers the surviving
+/// generation.
+fn finish_telemetry(handle: Option<obs::TelemetryHandle>) {
+    if let Some(h) = handle {
+        if let Some(path) = obs::recorder::dump_postmortem("run-complete") {
+            println!("[postmortem bundle written to {}]", path.display());
+        }
+        if let Some(sink) = h.stop() {
+            println!("[telemetry: {} flush(es) in {}]", sink.flushes(), sink.dir().display());
+        }
+    }
+}
+
 /// Print the flat metrics summary to stdout.
 fn print_metrics() {
     print!("\nmetrics:\n{}", obs::metrics().snapshot().render());
@@ -435,6 +470,7 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     let want_metrics = init_observability(args, true);
+    let telemetry = init_telemetry(args)?;
     if trace_out.is_some() {
         obs::reset();
         obs::enable_tracing();
@@ -469,8 +505,9 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     let run = match &vault {
         Some(v) => run_pod_vaulted::<f32>(&cfg, sweeps, &opts, resume_ckpt, v),
         None => run_pod_resilient::<f32>(&cfg, sweeps, &opts, resume_ckpt),
-    }
-    .map_err(|e| ArgError(e.to_string()))?;
+    };
+    finish_telemetry(telemetry);
+    let run = run.map_err(|e| ArgError(e.to_string()))?;
     let dt = t0.elapsed().as_secs_f64();
     obs::disable();
     let result = &run.result;
@@ -569,6 +606,7 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
         None => None,
     };
     let want_metrics = init_observability(args, false);
+    let telemetry = init_telemetry(args)?;
     let cfg = MultiSpinPodConfig {
         torus: Torus::new(nx, ny),
         per_core_h: h,
@@ -596,8 +634,9 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
     let run = match &vault {
         Some(v) => run_multispin_pod_vaulted(&cfg, sweeps, &opts, resume_ckpt, v),
         None => run_multispin_pod_resilient(&cfg, sweeps, &opts, resume_ckpt),
-    }
-    .map_err(|e| ArgError(e.to_string()))?;
+    };
+    finish_telemetry(telemetry);
+    let run = run.map_err(|e| ArgError(e.to_string()))?;
     let dt = t0.elapsed().as_secs_f64();
     obs::disable();
     let result = &run.result;
@@ -653,6 +692,8 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     let keep: usize = args.get_parse_min("keep-generations", 3usize, 1)?;
     let vault_dir = args.get_or("vault-dir", "chaos-vault").to_string();
     let cores = nx * ny;
+    let _want_metrics = init_observability(args, false);
+    let telemetry = init_telemetry(args)?;
     // Both pod engines issue ~8 collectives per sweep per core; spread the
     // injected faults across the whole run so some land late.
     let span = (sweeps as u64).saturating_mul(8).max(1);
@@ -690,8 +731,9 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             backend: backend(args)?,
         };
         run_chaos_pod(&cfg, sweeps, checkpoint_every, &plan, std::path::Path::new(&vault_dir), keep)
-    }
-    .map_err(|e| ArgError(e.to_string()))?;
+    };
+    finish_telemetry(telemetry);
+    let report = report.map_err(|e| ArgError(e.to_string()))?;
     println!(
         "sessions run      : {} ({} crashed, {} corruption(s) injected)",
         report.sessions, report.crashes, report.corruptions
@@ -850,5 +892,42 @@ pub fn hlo(args: &Args) -> Result<(), ArgError> {
     };
     tpu_ising_hlo::printer::verify(&graph).map_err(|e| ArgError(e.to_string()))?;
     print!("{}", tpu_ising_hlo::printer::print_graph(&graph, &roots));
+    Ok(())
+}
+
+/// `postmortem` — merge the flight recorder's `postmortem-*.jsonl`
+/// bundles from every core and restart generation into one globally
+/// ordered timeline (human table, optional Chrome-trace export).
+pub fn postmortem(args: &Args) -> Result<(), ArgError> {
+    let dir = args.get_or("dir", "telemetry");
+    let (events, bundles) = obs::postmortem::merge_dir(std::path::Path::new(dir))
+        .map_err(|e| ArgError(format!("cannot read postmortem bundles in '{dir}': {e}")))?;
+    if bundles.is_empty() {
+        return Err(ArgError(format!(
+            "no postmortem-*.jsonl bundles found in '{dir}' \
+             (run `tpu-ising pod`/`chaos` with --telemetry-dir {dir} first)"
+        )));
+    }
+    let generations = events.iter().map(|e| e.gen).max().map_or(0, |g| u64::from(g) + 1);
+    let mut cores: Vec<u32> = events.iter().filter(|e| !e.is_host()).map(|e| e.core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    println!(
+        "merged {} event(s) from {} bundle(s) in {dir}/ — {} generation(s), {} core track(s) + host\n",
+        events.len(),
+        bundles.len(),
+        generations,
+        cores.len()
+    );
+    print!("{}", obs::postmortem::render_table(&events));
+    if let Some(path) = args.get("trace-out") {
+        let json = obs::postmortem::chrome_timeline_json(&events, "tpu-ising postmortem");
+        std::fs::write(path, json)
+            .map_err(|e| ArgError(format!("cannot write --trace-out {path}: {e}")))?;
+        println!(
+            "\n[chrome timeline written to {path}: one track per core per generation — \
+             open in chrome://tracing or https://ui.perfetto.dev]"
+        );
+    }
     Ok(())
 }

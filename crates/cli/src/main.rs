@@ -61,12 +61,21 @@ COMMANDS:
              --trace-out PATH   write a Chrome trace (one track per core,
                                 open in chrome://tracing or Perfetto) and
                                 print measured vs modeled breakdowns
+             --telemetry-dir DIR   flight recorder + telemetry sink: typed
+                                per-core events, postmortem bundles on
+                                faults, metrics.jsonl + metrics.prom
+             --flush-every MS (1000)  telemetry flush interval
   chaos      seeded chaos drill: crash/corrupt/resume loop, verifies the
              surviving run is bit-exact with an uninterrupted reference
              --algo compact|multispin (compact)  --torus AxB (2x2)
              --per-core HxW (16x16)  --sweeps N (8)  --seed S (7)
              --chaos-seed S (1)  --sessions N (3)  --checkpoint-every N (2)
              --vault-dir DIR (chaos-vault)  --keep-generations N (3)
+             --telemetry-dir DIR  --flush-every MS (1000)   as in pod
+  postmortem merge flight-recorder bundles into one ordered timeline
+             --dir DIR (telemetry)  directory holding postmortem-*.jsonl
+             --trace-out PATH   Chrome-trace export, one track per core
+                                per restart generation
   model      modeled TPU v3 step time / throughput / roofline for a config
              --cores N (2)  --per-core HxW, in 128-spin units (896x448)
              --variant compact|naive|conv (compact)  --dtype f32|bf16 (bf16)
@@ -98,6 +107,7 @@ fn main() {
         Some("anneal") => commands::anneal(&args),
         Some("temper") => commands::temper(&args),
         Some("hlo") => commands::hlo(&args),
+        Some("postmortem") => commands::postmortem(&args),
         Some("help") | None => {
             println!("{}", usage());
             Ok(())

@@ -32,6 +32,7 @@ use crate::vault::{Vault, VaultError};
 use std::path::Path;
 use std::time::Duration;
 use tpu_ising_device::mesh::{FaultPlan, RetryPolicy};
+use tpu_ising_obs as obs;
 use tpu_ising_rng::PhiloxStream;
 
 /// One vault-corruption action, applied to the newest on-disk generation
@@ -136,6 +137,16 @@ impl ChaosPlan {
     }
 }
 
+/// The flight-recorder `mode` code of a [`VaultCorruption`] (the
+/// `chaos_injected` event's numeric payload).
+pub fn corruption_mode(c: VaultCorruption) -> u32 {
+    match c {
+        VaultCorruption::Truncate { .. } => 0,
+        VaultCorruption::BitFlip { .. } => 1,
+        VaultCorruption::TornHeader => 2,
+    }
+}
+
 /// Apply one corruption to `path` in place (a deliberately *non-atomic*
 /// write — this simulates exactly the torn state the vault must survive).
 pub fn apply_corruption(path: &Path, c: VaultCorruption) -> std::io::Result<()> {
@@ -221,6 +232,11 @@ pub fn run_chaos_pod(
     let mut done = None;
     for (i, session) in plan.sessions.iter().enumerate() {
         report.sessions += 1;
+        if i > 0 {
+            // Each resume is a new restart generation in the recorder.
+            obs::recorder::bump_generation();
+        }
+        obs::record(obs::EventKind::SessionStart { session: i as u64 });
         let opts = session_opts(checkpoint_every, plan.fault_plan(i));
         match run_pod_vaulted::<f32>(cfg, sweeps, &opts, latest.take(), &vault) {
             Ok(run) => {
@@ -236,6 +252,10 @@ pub fn run_chaos_pod(
                         apply_corruption(&newest.path, c).map_err(|e| {
                             PodError::Resume(format!("corruption injection failed: {e}"))
                         })?;
+                        obs::record(obs::EventKind::ChaosInjected {
+                            session: i as u64,
+                            mode: corruption_mode(c),
+                        });
                         report.corruptions += 1;
                     }
                 }
@@ -259,6 +279,8 @@ pub fn run_chaos_pod(
         Some(run) => run,
         None => {
             report.sessions += 1;
+            obs::recorder::bump_generation();
+            obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
             run_pod_vaulted::<f32>(
                 cfg,
                 sweeps,
@@ -297,6 +319,10 @@ pub fn run_chaos_multispin(
     let mut done = None;
     for (i, session) in plan.sessions.iter().enumerate() {
         report.sessions += 1;
+        if i > 0 {
+            obs::recorder::bump_generation();
+        }
+        obs::record(obs::EventKind::SessionStart { session: i as u64 });
         let opts = session_opts(checkpoint_every, plan.fault_plan(i));
         match run_multispin_pod_vaulted(cfg, sweeps, &opts, latest.take(), &vault) {
             Ok(run) => {
@@ -310,6 +336,10 @@ pub fn run_chaos_multispin(
                         apply_corruption(&newest.path, c).map_err(|e| {
                             PodError::Resume(format!("corruption injection failed: {e}"))
                         })?;
+                        obs::record(obs::EventKind::ChaosInjected {
+                            session: i as u64,
+                            mode: corruption_mode(c),
+                        });
                         report.corruptions += 1;
                     }
                 }
@@ -333,6 +363,8 @@ pub fn run_chaos_multispin(
         Some(run) => run,
         None => {
             report.sessions += 1;
+            obs::recorder::bump_generation();
+            obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
             run_multispin_pod_vaulted(
                 cfg,
                 sweeps,

@@ -526,6 +526,10 @@ fn core_main<S: Scalar + RandomUniform>(
         // of paper Fig. 6).
         obs::register_track(format!("core-{id} ({x},{y})"));
     }
+    // Bind this thread to its flight-recorder ring; if the core dies by
+    // panic the guard dumps every ring to a postmortem bundle.
+    obs::recorder::register_core(id as u32);
+    let _postmortem = obs::PostmortemGuard::arm("core-panic");
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
     let mut sim = match resume {
@@ -561,6 +565,8 @@ fn core_main<S: Scalar + RandomUniform>(
     let total = sweeps as u64;
     let mut mags = Vec::with_capacity((total - start) as usize);
     for s in (start + 1)..=total {
+        obs::recorder::set_sweep(s);
+        obs::record(obs::EventKind::SweepBoundary);
         for color in [Color::Black, Color::White] {
             // Wrapper spans (kind-less): the kinded leaves inside them
             // (collective_permute, neighbor_sums, …) carry the breakdown.
@@ -576,6 +582,7 @@ fn core_main<S: Scalar + RandomUniform>(
         if let (Some(every), Some(store)) = (checkpoint_every, store) {
             if s % every as u64 == 0 || s == total {
                 store.record(s, id, checkpoint(&sim), mags.clone());
+                obs::record(obs::EventKind::CheckpointRecorded);
             }
         }
     }
@@ -774,6 +781,8 @@ fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
                 if obs::is_metrics() {
                     obs::metrics().counter("pod_faults_total").inc(1);
                 }
+                obs::record(obs::EventKind::MeshFault { root: e.core() as u32 });
+                obs::recorder::dump_postmortem("mesh-fault");
                 faults_seen.push(e.clone());
                 if restarts >= opts.max_restarts {
                     if obs::is_metrics() {
@@ -786,6 +795,8 @@ fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
                     obs::metrics().counter("pod_restarts_total").inc(1);
                     obs::metrics().counter("recovery_tier_restart_total").inc(1);
                 }
+                obs::recorder::bump_generation();
+                obs::record(obs::EventKind::PodRestart { restarts: restarts as u64 });
                 // Adopt the newest globally consistent snapshot the crashed
                 // attempt left behind; otherwise retry from the previous
                 // resume point (or from scratch).

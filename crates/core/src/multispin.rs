@@ -944,6 +944,8 @@ fn ms_core_main(
     if obs::is_tracing() {
         obs::register_track(format!("core-{id} ({x},{y})"));
     }
+    obs::recorder::register_core(id as u32);
+    let _postmortem = obs::PostmortemGuard::arm("core-panic");
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
     let mut sim = match resume {
@@ -979,6 +981,8 @@ fn ms_core_main(
     let total = sweeps as u64;
     let mut mags: Vec<[f64; REPLICAS]> = Vec::with_capacity((total - start) as usize);
     for s in (start + 1)..=total {
+        obs::recorder::set_sweep(s);
+        obs::record(obs::EventKind::SweepBoundary);
         for color in [Color::Black, Color::White] {
             let halos = {
                 let _g = obs::span!("halo_exchange");
@@ -992,6 +996,7 @@ fn ms_core_main(
         if let (Some(every), Some(store)) = (checkpoint_every, store) {
             if s % every as u64 == 0 || s == total {
                 store.record(s, id, sim.checkpoint(), mags.clone());
+                obs::record(obs::EventKind::CheckpointRecorded);
             }
         }
     }
@@ -1154,6 +1159,8 @@ fn run_multispin_pod_resilient_impl(
                 if obs::is_metrics() {
                     obs::metrics().counter("pod_faults_total").inc(1);
                 }
+                obs::record(obs::EventKind::MeshFault { root: e.core() as u32 });
+                obs::recorder::dump_postmortem("mesh-fault");
                 faults_seen.push(e.clone());
                 if restarts >= opts.max_restarts {
                     if obs::is_metrics() {
@@ -1166,6 +1173,8 @@ fn run_multispin_pod_resilient_impl(
                     obs::metrics().counter("pod_restarts_total").inc(1);
                     obs::metrics().counter("recovery_tier_restart_total").inc(1);
                 }
+                obs::recorder::bump_generation();
+                obs::record(obs::EventKind::PodRestart { restarts: restarts as u64 });
                 if let Some((s, rows)) = store.latest_complete() {
                     latest = Some(assemble_multispin_checkpoint(cfg, latest.as_ref(), s, rows));
                 }

@@ -37,7 +37,7 @@ pub fn run_chain_labeled<W: Sweeper>(
     label: &str,
 ) -> ChainStats {
     let n = sweeper.sites() as f64;
-    let mut hb = obs::Heartbeat::new(label, (burn_in + samples) as u64);
+    let mut hb = obs::Heartbeat::new(label, (burn_in + samples) as u64).with_flips_per_sweep(n);
     {
         let _g = obs::span!("burn_in");
         for _ in 0..burn_in {

@@ -317,6 +317,7 @@ impl Vault {
         if obs::is_metrics() {
             obs::metrics().counter("vault_writes_total").inc(1);
         }
+        obs::record(obs::EventKind::VaultWrite { sweep, bytes: envelope.len() as u64 });
         self.prune();
         Ok(path)
     }
@@ -325,10 +326,17 @@ impl Vault {
     /// unremovable file is skipped, never an error.
     fn prune(&self) {
         let gens = self.generations();
+        let mut removed = 0u64;
         for g in gens.iter().skip(self.keep) {
-            if std::fs::remove_file(&g.path).is_ok() && obs::is_metrics() {
-                obs::metrics().counter("vault_generations_pruned_total").inc(1);
+            if std::fs::remove_file(&g.path).is_ok() {
+                removed += 1;
+                if obs::is_metrics() {
+                    obs::metrics().counter("vault_generations_pruned_total").inc(1);
+                }
             }
+        }
+        if removed > 0 {
+            obs::record(obs::EventKind::VaultPrune { removed });
         }
     }
 
@@ -343,6 +351,11 @@ impl Vault {
         for g in gens {
             match Self::read_verified(&g.path, kind) {
                 Ok((meta, payload)) => {
+                    if !quarantined.is_empty() {
+                        // The newest generation was corrupt; an older one
+                        // is carrying the restore.
+                        obs::record(obs::EventKind::VaultFallback { sweep: meta.sweep });
+                    }
                     return Ok(LoadedCheckpoint {
                         sweep: meta.sweep,
                         path: g.path,
@@ -372,6 +385,7 @@ impl Vault {
         if obs::is_metrics() {
             obs::metrics().counter("vault_corrupt_quarantined").inc(1);
         }
+        obs::record(obs::EventKind::VaultQuarantine);
         reported
     }
 

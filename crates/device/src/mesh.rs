@@ -171,6 +171,17 @@ impl std::fmt::Display for MeshError {
 impl std::error::Error for MeshError {}
 
 impl MeshError {
+    /// The core that reported (or caused) the error.
+    pub fn core(&self) -> usize {
+        match *self {
+            MeshError::PeerGone { core, .. }
+            | MeshError::RecvTimeout { core, .. }
+            | MeshError::InjectedKill { core, .. }
+            | MeshError::CorePanicked { core }
+            | MeshError::Protocol { core, .. } => core,
+        }
+    }
+
     /// How close this error is to a root cause. A dead core produces a
     /// cascade: its own `InjectedKill`/`CorePanicked` (rank 0), its peers'
     /// `PeerGone` sends into the dropped receiver (rank 2), and timeouts
@@ -441,6 +452,7 @@ impl<T: Send> MeshHandle<T> {
             if obs::is_metrics() {
                 obs::metrics().counter("mesh_faults_injected_total").inc(1);
             }
+            obs::record(obs::EventKind::KillInjected { collective: seq });
             return Err(MeshError::InjectedKill { core: self.id, seq });
         }
         let mut expect_from = None;
@@ -473,7 +485,9 @@ impl<T: Send> MeshHandle<T> {
                 if obs::is_metrics() {
                     obs::metrics().counter("mesh_faults_injected_total").inc(1);
                 }
+                obs::record(obs::EventKind::DropInjected { collective: seq, peer: dst as u32 });
             } else {
+                obs::record(obs::EventKind::CollectiveSend { collective: seq, peer: dst as u32 });
                 self.senders[dst].send((seq, self.id, data)).map_err(|_| MeshError::PeerGone {
                     core: self.id,
                     peer: dst,
@@ -488,6 +502,7 @@ impl<T: Send> MeshHandle<T> {
         // collectives this core has not reached yet — lockstep programs
         // guarantee they will be consumed in order).
         if let Some(t) = self.stash.remove(&(seq, src)) {
+            obs::record(obs::EventKind::CollectiveRecv { collective: seq, peer: src as u32 });
             return Ok(Some(t));
         }
         let started = Instant::now();
@@ -498,9 +513,19 @@ impl<T: Send> MeshHandle<T> {
             match self.receiver.recv_timeout(remaining) {
                 Ok((pseq, psrc, payload)) => {
                     if pseq == seq && psrc == src {
-                        if retries_used > 0 && obs::is_metrics() {
-                            obs::metrics().counter("recovery_tier_retry_total").inc(1);
+                        if retries_used > 0 {
+                            if obs::is_metrics() {
+                                obs::metrics().counter("recovery_tier_retry_total").inc(1);
+                            }
+                            obs::record(obs::EventKind::RetryRecovered {
+                                collective: seq,
+                                extensions: retries_used,
+                            });
                         }
+                        obs::record(obs::EventKind::CollectiveRecv {
+                            collective: seq,
+                            peer: src as u32,
+                        });
                         return Ok(Some(payload));
                     }
                     self.stash.insert((pseq, psrc), payload);
@@ -514,10 +539,15 @@ impl<T: Send> MeshHandle<T> {
                         if obs::is_metrics() {
                             obs::metrics().counter("collective_retries_total").inc(1);
                         }
+                        obs::record(obs::EventKind::RetryExtended {
+                            collective: seq,
+                            attempt: retries_used,
+                        });
                         deadline = Instant::now()
                             + self.config.retry.extension(self.config.recv_timeout, retries_used);
                         continue;
                     }
+                    obs::record(obs::EventKind::RetryExhausted { collective: seq });
                     return Err(MeshError::RecvTimeout {
                         core: self.id,
                         peer: src,

@@ -29,7 +29,7 @@ pub fn progress_interval() -> Option<Duration> {
 }
 
 /// Format a second count as a compact human ETA (`"43s"`, `"2m 05s"`,
-/// `"1h 13m"`).
+/// `"1h 13m"`, `"3d 07h"`).
 pub fn fmt_eta(seconds: f64) -> String {
     if !seconds.is_finite() || seconds < 0.0 {
         return "?".to_string();
@@ -39,8 +39,10 @@ pub fn fmt_eta(seconds: f64) -> String {
         format!("{s}s")
     } else if s < 3600 {
         format!("{}m {:02}s", s / 60, s % 60)
-    } else {
+    } else if s < 86_400 {
         format!("{}h {:02}m", s / 3600, (s % 3600) / 60)
+    } else {
+        format!("{}d {:02}h", s / 86_400, (s % 86_400) / 3600)
     }
 }
 
@@ -50,6 +52,7 @@ pub struct Heartbeat {
     label: String,
     total: u64,
     done: u64,
+    flips_per_sweep: f64,
     started: Instant,
     last_print: Instant,
     every: Option<Duration>,
@@ -64,10 +67,19 @@ impl Heartbeat {
             label: label.into(),
             total,
             done: 0,
+            flips_per_sweep: 0.0,
             started: now,
             last_print: now,
             every: progress_interval(),
         }
+    }
+
+    /// Declare how many spin updates one sweep attempts (sites ×
+    /// replicas); the status line then reports throughput in flips/ns —
+    /// the accounting unit of Romero et al. — alongside sweeps/s.
+    pub fn with_flips_per_sweep(mut self, flips: f64) -> Heartbeat {
+        self.flips_per_sweep = flips;
+        self
     }
 
     /// Sweeps completed so far.
@@ -76,8 +88,16 @@ impl Heartbeat {
     }
 
     /// One line describing the current state (what [`tick`](Self::tick)
-    /// prints).
+    /// prints). Includes the flip throughput when
+    /// [`with_flips_per_sweep`](Self::with_flips_per_sweep) was set, and
+    /// the restart generation whenever the run has restarted.
     pub fn status_line(&self) -> String {
+        self.status_line_at(crate::recorder::generation())
+    }
+
+    /// [`status_line`](Self::status_line) with an explicit restart
+    /// generation (the public entry point reads the flight recorder's).
+    pub fn status_line_at(&self, generation: u32) -> String {
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let rate = self.done as f64 / elapsed;
         let eta = if rate > 0.0 && self.total >= self.done {
@@ -86,8 +106,14 @@ impl Heartbeat {
             "?".to_string()
         };
         let pct = if self.total > 0 { self.done as f64 / self.total as f64 * 100.0 } else { 100.0 };
+        let flips = if self.flips_per_sweep > 0.0 {
+            format!(" · {:.3} flips/ns", rate * self.flips_per_sweep * 1e-9)
+        } else {
+            String::new()
+        };
+        let gen = if generation > 0 { format!(" · gen {generation}") } else { String::new() };
         format!(
-            "[{}] {}/{} sweeps ({pct:.1}%) · {rate:.0} sweeps/s · ETA {eta}",
+            "[{}] {}/{} sweeps ({pct:.1}%) · {rate:.0} sweeps/s{flips}{gen} · ETA {eta}",
             self.label, self.done, self.total
         )
     }
@@ -135,8 +161,31 @@ mod tests {
         assert_eq!(fmt_eta(43.0), "43s");
         assert_eq!(fmt_eta(125.0), "2m 05s");
         assert_eq!(fmt_eta(3661.0), "1h 01m");
+        // ≥ 24 h used to render as an hour count like "26h 03m"; days now
+        // get their own unit
+        assert_eq!(fmt_eta(86_400.0), "1d 00h");
+        assert_eq!(fmt_eta(93_784.0), "1d 02h");
+        assert_eq!(fmt_eta(3.0 * 86_400.0 + 7.5 * 3600.0), "3d 07h");
         assert_eq!(fmt_eta(f64::NAN), "?");
         assert_eq!(fmt_eta(-1.0), "?");
+    }
+
+    #[test]
+    fn status_line_reports_flips_and_generation() {
+        let _x = exclusive();
+        disable_progress();
+        let mut hb = Heartbeat::new("ms", 100).with_flips_per_sweep(1024.0 * 1024.0 * 64.0);
+        for _ in 0..10 {
+            hb.tick();
+        }
+        let line = hb.status_line_at(0);
+        assert!(line.contains("flips/ns"), "{line}");
+        assert!(!line.contains("gen"), "{line}");
+        let line = hb.status_line_at(3);
+        assert!(line.contains(" · gen 3 · "), "{line}");
+        // without a flip declaration the field stays out
+        let plain = Heartbeat::new("plain", 10);
+        assert!(!plain.status_line_at(0).contains("flips/ns"));
     }
 
     #[test]

@@ -23,6 +23,41 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Invert [`escape`]: decode a JSON string body (the part between the
+/// double quotes) back to the original text. Returns `None` on malformed
+/// escapes, so bundle parsers can reject a corrupt line instead of
+/// misreading it.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 /// Format an `f64` as a JSON number (JSON has no NaN/∞; they become 0).
 pub fn num(v: f64) -> String {
     if v.is_finite() {
@@ -53,6 +88,52 @@ mod tests {
         assert_eq!(escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
         assert_eq!(escape("\u{1}"), "\\u0001");
         assert_eq!(escape("σ̂01·K̂"), "σ̂01·K̂");
+    }
+
+    #[test]
+    fn escape_round_trips_span_and_event_names() {
+        // every name an exporter might emit must decode back bit-exact
+        let names = [
+            "halo_exchange",
+            "core-3 (1,1)",
+            "a\"quoted\"name",
+            "back\\slash",
+            "line\nfeed\ttab\rret",
+            "ctrl\u{1}\u{1f}chars",
+            "σ̂01·K̂ unicode",
+            "",
+        ];
+        for name in names {
+            let escaped = escape(name);
+            assert_eq!(unescape(&escaped).as_deref(), Some(name), "escaped form: {escaped}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_every_ascii_char() {
+        // exhaustive over the range where escaping decisions are made:
+        // every ASCII char, alone and sandwiched between ordinary text
+        for code in 0u32..0x80 {
+            let c = char::from_u32(code).unwrap();
+            for s in [c.to_string(), format!("a{c}b"), format!("{c}{c}")] {
+                let escaped = escape(&s);
+                assert_eq!(
+                    unescape(&escaped).as_deref(),
+                    Some(s.as_str()),
+                    "char U+{code:04X}, escaped form: {escaped:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_input() {
+        assert_eq!(unescape("trailing\\"), None);
+        assert_eq!(unescape("\\q"), None);
+        assert_eq!(unescape("\\u12"), None);
+        assert_eq!(unescape("\\ud800"), None); // lone surrogate
+        assert_eq!(unescape("\\u0041"), Some("A".to_string()));
+        assert_eq!(unescape("\\/slash"), Some("/slash".to_string()));
     }
 
     #[test]

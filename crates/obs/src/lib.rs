@@ -26,20 +26,33 @@
 //!   capacity and reports how many spans were dropped rather than
 //!   truncating silently.
 
+//!
+//! PR 6 adds the *fault-surviving* layer: a [`recorder`] flight recorder
+//! (per-core ring buffers of typed events that get dumped to postmortem
+//! bundles on faults), a [`telemetry`] sink flushing metrics snapshots
+//! to disk as JSONL + Prometheus text, and a [`postmortem`] merger that
+//! reassembles bundles from every core and restart generation into one
+//! ordered timeline.
+
 pub mod alloc;
 pub mod chrome;
 pub mod heartbeat;
 pub mod json;
 pub mod metrics;
+pub mod postmortem;
+pub mod recorder;
 pub mod span;
+pub mod telemetry;
 
 pub use chrome::chrome_trace_json;
 pub use heartbeat::{disable_progress, enable_progress, progress_interval, Heartbeat};
 pub use metrics::{metrics, Counter, Gauge, HistogramSummary, Metrics, MetricsSnapshot};
+pub use recorder::{record, EventKind, PostmortemGuard, RecorderSnapshot};
 pub use span::{
     disable, enable, enable_metrics, enable_tracing, is_metrics, is_tracing, register_track, reset,
     set_span_capacity, snapshot, SpanEvent, SpanGuard, TraceSnapshot,
 };
+pub use telemetry::{TelemetryHandle, TelemetrySink};
 
 /// The hardware-unit classes the TPU profiler groups ops into — shared by
 /// the *modeled* spans of `tpu-ising-device`'s cost walker and the

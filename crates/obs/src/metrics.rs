@@ -1,18 +1,33 @@
 //! A global metrics registry: named counters, gauges and histograms with
 //! a deterministic JSON/text snapshot.
 //!
-//! Handles are cheap `Arc` clones; hot paths fetch a handle once and
-//! `inc`/`observe` lock-free (counters, gauges) or under a short mutex
-//! (histograms).
+//! Handles are cheap `Arc` clones; every hot-path update — `inc`, `set`
+//! and `observe` alike — is lock-free. Histograms bucket observations
+//! into a fixed logarithmic grid ([`HISTOGRAM_SUBBUCKETS`] sub-buckets
+//! per power of two), so `observe` is a handful of relaxed atomic ops
+//! and percentiles are exact to the bucket's ~±1 % relative width.
 
 use crate::json::{escape, num};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Samples kept per histogram for percentile estimation; beyond it only
-/// count/sum/min/max keep updating (the snapshot reports the truncation).
-const HISTOGRAM_SAMPLE_CAP: usize = 65_536;
+/// Log-bucket resolution: sub-buckets per power of two. At 32 the bucket
+/// relative width is `2^(1/32) ≈ 2.2 %`, so a midpoint representative is
+/// within ~1.1 % of any sample in the bucket.
+pub const HISTOGRAM_SUBBUCKETS: u32 = 32;
+
+/// Smallest bucketed exponent: values below `2^-32` (≈2.3e-10) land in
+/// the underflow bucket.
+const HIST_MIN_EXP: i32 = -32;
+
+/// Largest bucketed exponent: values at or above `2^32` (≈4.3e9) land in
+/// the overflow bucket.
+const HIST_MAX_EXP: i32 = 32;
+
+/// Bucket count: the log grid plus one underflow and one overflow slot.
+const HIST_BUCKETS: usize =
+    (HIST_MAX_EXP - HIST_MIN_EXP) as usize * HISTOGRAM_SUBBUCKETS as usize + 2;
 
 /// A monotonically increasing counter.
 #[derive(Clone, Default)]
@@ -48,59 +63,138 @@ impl Gauge {
     }
 }
 
-#[derive(Default)]
 struct HistInner {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-    samples: Vec<f64>,
+    /// `f64` bits of the running sum, CAS-accumulated.
+    sum_bits: AtomicU64,
+    /// `f64` bits of the running minimum (starts at `+∞`).
+    min_bits: AtomicU64,
+    /// `f64` bits of the running maximum (starts at `-∞`).
+    max_bits: AtomicU64,
+    buckets: Vec<AtomicU64>,
 }
 
-/// A histogram of `f64` observations with percentile estimation.
+impl Default for HistInner {
+    fn default() -> HistInner {
+        HistInner {
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Bucket index on the log grid; 0 is underflow (≤ 0, NaN, or smaller
+/// than `2^HIST_MIN_EXP`), `HIST_BUCKETS - 1` is overflow.
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return if v == f64::INFINITY { HIST_BUCKETS - 1 } else { 0 };
+    }
+    let l = v.log2();
+    if l < HIST_MIN_EXP as f64 {
+        0
+    } else if l >= HIST_MAX_EXP as f64 {
+        HIST_BUCKETS - 1
+    } else {
+        let idx = 1 + ((l - HIST_MIN_EXP as f64) * HISTOGRAM_SUBBUCKETS as f64) as usize;
+        idx.min(HIST_BUCKETS - 2)
+    }
+}
+
+/// Geometric midpoint of bucket `idx`; `±∞` for the saturation buckets
+/// (the summary clamps representatives to the exact observed min/max).
+fn bucket_rep(idx: usize) -> f64 {
+    if idx == 0 {
+        f64::NEG_INFINITY
+    } else if idx == HIST_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        let exp = HIST_MIN_EXP as f64 + ((idx - 1) as f64 + 0.5) / HISTOGRAM_SUBBUCKETS as f64;
+        exp.exp2()
+    }
+}
+
+/// A lock-free histogram of `f64` observations on a fixed log-bucket
+/// grid. `observe` is hot-path safe: a few relaxed atomic ops, no mutex,
+/// no allocation.
 #[derive(Clone, Default)]
-pub struct Histogram(Arc<Mutex<HistInner>>);
+pub struct Histogram(Arc<HistInner>);
 
 impl Histogram {
     /// Record one observation.
+    #[inline]
     pub fn observe(&self, v: f64) {
-        let mut h = self.0.lock().unwrap_or_else(|e| e.into_inner());
-        if h.count == 0 {
-            h.min = v;
-            h.max = v;
-        } else {
-            h.min = h.min.min(v);
-            h.max = h.max.max(v);
+        let h = &*self.0;
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match h.sum_bits.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
         }
-        h.count += 1;
-        h.sum += v;
-        if h.samples.len() < HISTOGRAM_SAMPLE_CAP {
-            h.samples.push(v);
+        let mut cur = h.min_bits.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match h.min_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = h.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match h.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
         }
     }
 
-    /// Summarize for reporting.
+    /// Summarize for reporting. Percentiles are nearest-rank over the
+    /// bucket counts, reported as the bucket's geometric midpoint clamped
+    /// to the exact observed `[min, max]` — within ~1.1 % of the true
+    /// sample percentile, and exact when all samples share one bucket.
     pub fn summary(&self) -> HistogramSummary {
-        let h = self.0.lock().unwrap_or_else(|e| e.into_inner());
-        let mut sorted = h.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let h = &*self.0;
+        let counts: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return HistogramSummary::default();
+        }
+        let sum = f64::from_bits(h.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(h.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(h.max_bits.load(Ordering::Relaxed));
         let pct = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
+            let rank = ((total - 1) as f64 * q).round() as u64; // 0-based nearest rank
+            let mut cum = 0u64;
+            for (idx, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum > rank {
+                    return bucket_rep(idx).clamp(min, max);
+                }
             }
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx.min(sorted.len() - 1)]
+            max
         };
         HistogramSummary {
-            count: h.count,
-            sum: h.sum,
-            min: if h.count == 0 { 0.0 } else { h.min },
-            max: if h.count == 0 { 0.0 } else { h.max },
-            mean: if h.count == 0 { 0.0 } else { h.sum / h.count as f64 },
+            count: total,
+            sum,
+            min,
+            max,
+            mean: sum / total as f64,
             p50: pct(0.50),
             p90: pct(0.90),
             p99: pct(0.99),
-            truncated: h.count > h.samples.len() as u64,
+            truncated: counts[0] + counts[HIST_BUCKETS - 1] > 0,
         }
     }
 }
@@ -118,14 +212,15 @@ pub struct HistogramSummary {
     pub max: f64,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Median (nearest-rank on the retained samples).
+    /// Median (nearest-rank over the log buckets, ~±1 % relative).
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
     /// 99th percentile.
     pub p99: f64,
-    /// `true` when percentiles only cover the first
-    /// [`HISTOGRAM_SAMPLE_CAP`] samples.
+    /// `true` when observations landed outside the bucketed range
+    /// (non-positive, below `2^-32` or at/above `2^32`); their
+    /// percentile contribution saturates to the observed min/max.
     pub truncated: bool,
 }
 
@@ -315,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_nearest_rank() {
+    fn histogram_percentiles_within_bucket_tolerance() {
         let m = Metrics::default();
         let h = m.histogram("sweep_us");
         for v in 1..=100 {
@@ -326,10 +421,11 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
-        // nearest-rank on 100 samples: index round(99*q)
-        assert_eq!(s.p50, 51.0);
-        assert_eq!(s.p90, 90.0);
-        assert_eq!(s.p99, 99.0);
+        // log-bucket nearest rank: within one bucket's relative width of
+        // the exact sample percentiles (51 / 90 / 99)
+        for (got, want) in [(s.p50, 51.0), (s.p90, 90.0), (s.p99, 99.0)] {
+            assert!((got - want).abs() / want < 0.03, "got {got}, want ≈{want}");
+        }
         assert!(!s.truncated);
     }
 
@@ -339,11 +435,45 @@ mod tests {
         let h = m.histogram("empty");
         let s = h.summary();
         assert_eq!((s.count, s.p50, s.min, s.max), (0, 0.0, 0.0, 0.0));
+        // a single observation is exact: the representative clamps to the
+        // observed min == max
         let h1 = m.histogram("single");
         h1.observe(7.5);
         let s1 = h1.summary();
         assert_eq!((s1.p50, s1.p90, s1.p99), (7.5, 7.5, 7.5));
         assert_eq!(s1.mean, 7.5);
+        // out-of-range observations saturate and are flagged
+        let h2 = m.histogram("saturating");
+        h2.observe(0.0);
+        h2.observe(1e300);
+        let s2 = h2.summary();
+        assert!(s2.truncated);
+        assert_eq!(s2.min, 0.0);
+        assert_eq!(s2.max, 1e300);
+        assert!(s2.p50 >= s2.min && s2.p50 <= s2.max);
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_observers() {
+        let m = Metrics::default();
+        let h = m.histogram("contended");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 + 1.0);
+                    }
+                });
+            }
+        });
+        let s = h.summary();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4000.0);
+        // CAS-accumulated sum is exact regardless of interleaving
+        assert!((s.sum - (4000.0 * 4001.0 / 2.0)).abs() < 1e-6, "sum {}", s.sum);
+        assert!((s.p50 - 2000.0).abs() / 2000.0 < 0.03, "p50 {}", s.p50);
     }
 
     #[test]

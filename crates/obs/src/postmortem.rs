@@ -1,0 +1,267 @@
+//! Postmortem timeline assembly: merge the JSONL bundles the flight
+//! recorder dumped across cores, restarts and chaos sessions into one
+//! totally ordered story.
+//!
+//! Bundles overlap on purpose — every dump writes each ring's full
+//! contents, so a drill that crashes twice dumps the early events twice.
+//! The merger de-duplicates on the globally monotonic sequence number,
+//! then sorts by it, which reconstructs the exact interleaving of kill →
+//! retry escalation → restart → vault fallback regardless of which file
+//! each event came from. Output is a human-readable table and a Chrome
+//! trace-event document with one track per core per generation.
+
+use crate::json::{escape, micros};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One event parsed back out of a bundle line: the fixed envelope plus
+/// the kind-specific fields as raw `(name, value)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Run id stamped at record time.
+    pub run_id: u64,
+    /// Restart generation.
+    pub gen: u32,
+    /// Recording core ([`u32::MAX`](crate::recorder::HOST_CORE) = host).
+    pub core: u32,
+    /// Sweep index the recording thread had announced.
+    pub sweep: u64,
+    /// Global sequence number — the merge/ordering key.
+    pub seq: u64,
+    /// Microseconds since the recorder epoch.
+    pub t_us: f64,
+    /// Event kind name, e.g. `"retry_extended"`.
+    pub kind: String,
+    /// Kind-specific fields, in emission order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl TimelineEvent {
+    /// `true` for driver-side events.
+    pub fn is_host(&self) -> bool {
+        self.core == u32::MAX
+    }
+
+    /// A kind-specific field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Pull `"key":<value>` out of one of our own JSONL lines. The emitter
+/// is deterministic (no spaces, no reordering), so a targeted scan is
+/// exact without a general JSON parser.
+fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parse one bundle line; `None` for blank or foreign lines.
+pub fn parse_event_line(line: &str) -> Option<TimelineEvent> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.contains("\"kind\":\"") {
+        return None;
+    }
+    let kind = raw_value(line, "kind")?.trim_matches('"').to_string();
+    let mut ev = TimelineEvent {
+        run_id: raw_value(line, "run_id")?.parse().ok()?,
+        gen: raw_value(line, "gen")?.parse().ok()?,
+        core: raw_value(line, "core")?.parse().ok()?,
+        sweep: raw_value(line, "sweep")?.parse().ok()?,
+        seq: raw_value(line, "seq")?.parse().ok()?,
+        t_us: raw_value(line, "t_us")?.parse().ok()?,
+        kind,
+        fields: Vec::new(),
+    };
+    // Everything after the envelope is kind-specific. The emitter never
+    // puts a comma inside a value (kind names are bare identifiers), so a
+    // comma split recovers the `"name":value` pairs exactly.
+    const ENVELOPE: [&str; 7] = ["run_id", "gen", "core", "sweep", "seq", "t_us", "kind"];
+    for piece in line.trim_start_matches('{').trim_end_matches('}').split(',') {
+        let Some((name, value)) = piece.split_once(':') else { continue };
+        let name = name.trim().trim_matches('"');
+        if ENVELOPE.contains(&name) || ev.fields.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse() {
+            ev.fields.push((name.to_string(), v));
+        }
+    }
+    Some(ev)
+}
+
+/// Merge every `postmortem-*.jsonl` bundle in `dir` into one seq-ordered,
+/// de-duplicated timeline. Returns the events and the bundle paths read.
+pub fn merge_dir(dir: &Path) -> std::io::Result<(Vec<TimelineEvent>, Vec<PathBuf>)> {
+    let mut bundles: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("postmortem-") && name.ends_with(".jsonl")
+        })
+        .collect();
+    bundles.sort();
+    let mut by_seq: BTreeMap<u64, TimelineEvent> = BTreeMap::new();
+    for path in &bundles {
+        let body = std::fs::read_to_string(path)?;
+        for line in body.lines() {
+            if let Some(ev) = parse_event_line(line) {
+                by_seq.entry(ev.seq).or_insert(ev);
+            }
+        }
+    }
+    Ok((by_seq.into_values().collect(), bundles))
+}
+
+fn core_label(core: u32) -> String {
+    if core == u32::MAX {
+        "host".to_string()
+    } else {
+        format!("core-{core}")
+    }
+}
+
+/// Render a merged timeline as an aligned human-readable table.
+pub fn render_table(events: &[TimelineEvent]) -> String {
+    let mut out = String::from("   seq        t_us  gen  core    sweep  event\n");
+    for e in events {
+        let detail = e.fields.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join(" ");
+        out.push_str(&format!(
+            "{:>6}  {:>10}  {:>3}  {:<6}  {:>5}  {}{}{}\n",
+            e.seq,
+            micros(e.t_us),
+            e.gen,
+            core_label(e.core),
+            e.sweep,
+            e.kind,
+            if detail.is_empty() { "" } else { " " },
+            detail
+        ));
+    }
+    out
+}
+
+/// Export a merged timeline as a Chrome trace-event document with one
+/// instant-event track per `(core, generation)` pair, so the trace
+/// viewer shows each core's life across every restart as its own row.
+pub fn chrome_timeline_json(events: &[TimelineEvent], process_name: &str) -> String {
+    // stable track order: generation-major, host last within a generation
+    let mut tracks: Vec<(u32, u32)> = events.iter().map(|e| (e.gen, e.core)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let tid_of = |gen: u32, core: u32| -> usize {
+        tracks.iter().position(|&(g, c)| g == gen && c == core).unwrap_or(0)
+    };
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(process_name)
+    ));
+    for (tid, &(gen, core)) in tracks.iter().enumerate() {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{} gen{gen}\"}}}}",
+            escape(&core_label(core))
+        ));
+    }
+    for e in events {
+        let mut args = format!("\"seq\":{},\"sweep\":{}", e.seq, e.sweep);
+        for (n, v) in &e.fields {
+            args.push_str(&format!(",\"{}\":{v}", escape(n)));
+        }
+        out.push_str(&format!(
+            ",\n{{\"name\":\"{}\",\"cat\":\"flightrec\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{{args}}}}}",
+            escape(&e.kind),
+            tid_of(e.gen, e.core),
+            micros(e.t_us)
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, EventKind};
+
+    fn line(seq: u64, gen: u32, core: u32, kind: EventKind) -> String {
+        Event { run_id: 1, core, gen, sweep: seq * 10, seq, t_us: seq as f64, kind }.to_json_line()
+    }
+
+    #[test]
+    fn lines_round_trip_through_the_parser() {
+        let src = line(5, 1, 3, EventKind::RetryExtended { collective: 8, attempt: 2 });
+        let ev = parse_event_line(&src).expect("parse");
+        assert_eq!((ev.run_id, ev.gen, ev.core, ev.sweep, ev.seq), (1, 1, 3, 50, 5));
+        assert_eq!(ev.kind, "retry_extended");
+        assert_eq!(ev.fields, vec![("collective".to_string(), 8), ("attempt".to_string(), 2)]);
+        assert_eq!(ev.field("attempt"), Some(2));
+        assert!(parse_event_line("").is_none());
+        assert!(parse_event_line("not json").is_none());
+    }
+
+    #[test]
+    fn merge_dedups_on_seq_and_orders() {
+        let dir = std::env::temp_dir().join(format!("tpuising-pm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // two overlapping bundles, as successive dumps produce
+        std::fs::write(
+            dir.join("postmortem-gen000-000-a.jsonl"),
+            format!(
+                "{}\n{}\n",
+                line(0, 0, 0, EventKind::SweepBoundary),
+                line(1, 0, 0, EventKind::KillInjected { collective: 4 })
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("postmortem-gen001-001-b.jsonl"),
+            format!(
+                "{}\n{}\n{}\n",
+                line(1, 0, 0, EventKind::KillInjected { collective: 4 }),
+                line(2, 1, u32::MAX, EventKind::PodRestart { restarts: 1 }),
+                line(3, 1, 0, EventKind::SweepBoundary)
+            ),
+        )
+        .unwrap();
+        std::fs::write(dir.join("unrelated.txt"), "ignored\n").unwrap();
+        let (events, bundles) = merge_dir(&dir).expect("merge");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(bundles.len(), 2);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert!(events[2].is_host());
+        let table = render_table(&events);
+        assert!(table.contains("kill_injected collective=4"), "{table}");
+        assert!(table.contains("pod_restart restarts=1"), "{table}");
+    }
+
+    #[test]
+    fn chrome_export_has_one_track_per_core_per_generation() {
+        let events: Vec<TimelineEvent> = [
+            line(0, 0, 0, EventKind::SweepBoundary),
+            line(1, 0, 1, EventKind::SweepBoundary),
+            line(2, 1, 0, EventKind::SweepBoundary),
+            line(3, 1, u32::MAX, EventKind::PodRestart { restarts: 1 }),
+        ]
+        .iter()
+        .map(|l| parse_event_line(l).unwrap())
+        .collect();
+        let json = chrome_timeline_json(&events, "postmortem");
+        assert_eq!(json.matches("\"thread_name\"").count(), 4);
+        assert!(json.contains("\"name\":\"core-0 gen0\""));
+        assert!(json.contains("\"name\":\"core-0 gen1\""));
+        assert!(json.contains("\"name\":\"host gen1\""));
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 4);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,613 @@
+//! The flight recorder: per-core fixed-capacity ring buffers of typed
+//! fault and progress events that *survive* crashes.
+//!
+//! Spans and metrics (PR 1) only describe runs that finish cleanly; every
+//! kill, retry, restart and vault fallback added since discards its
+//! in-flight story. The recorder keeps the last N events per core in a
+//! pre-allocated ring — recording is a couple of atomic ops plus a short
+//! mutex and **zero heap allocation** in steady state (the counting
+//! allocator proves it) — and dumps the rings to a postmortem JSONL
+//! bundle on a mesh error, a pod restart, or a panic.
+//!
+//! Every event carries a fixed envelope: the `run_id`, the recording
+//! core's rank ([`HOST_CORE`] for driver-side events), the sweep index
+//! the thread last announced via [`set_sweep`], the **restart
+//! generation** (bumped by the resilient drivers on every restart and by
+//! the chaos harness on every session), a globally monotonic sequence
+//! number and a microsecond timestamp. The sequence number is the merge
+//! key: bundles dumped at different times can be concatenated, sorted and
+//! de-duplicated into one totally ordered timeline (see
+//! [`postmortem`](crate::postmortem)).
+
+use std::cell::Cell;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Default per-ring capacity (events kept per core before overwriting).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// The pseudo-rank host/driver events are recorded under.
+pub const HOST_CORE: u32 = u32::MAX;
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+static GENERATION: AtomicU32 = AtomicU32::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static DUMPS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static RING: Cell<Option<usize>> = const { Cell::new(None) };
+    static SWEEP: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One typed flight-recorder event payload. Every variant is `Copy` and
+/// carries only scalars so recording never touches the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A sweep finished (the sweep index lives in the envelope).
+    SweepBoundary,
+    /// This core sent its half of collective `collective` to `peer`.
+    CollectiveSend { collective: u64, peer: u32 },
+    /// This core received its half of collective `collective` from `peer`.
+    CollectiveRecv { collective: u64, peer: u32 },
+    /// Tier-1 recovery: the receive deadline of `collective` was extended
+    /// (extension number `attempt`, 1-based).
+    RetryExtended { collective: u64, attempt: u32 },
+    /// The packet arrived inside an extended deadline after `extensions`
+    /// tier-1 extensions.
+    RetryRecovered { collective: u64, extensions: u32 },
+    /// Tier-1 budget exhausted; the error escalates to the restart tier.
+    RetryExhausted { collective: u64 },
+    /// The fault plan killed this core at `collective`.
+    KillInjected { collective: u64 },
+    /// The fault plan dropped this core's packet to `peer`.
+    DropInjected { collective: u64, peer: u32 },
+    /// The driver observed a mesh error whose root cause is core `root`.
+    MeshFault { root: u32 },
+    /// The resilient driver is restarting the pod (restart number
+    /// `restarts`, 1-based).
+    PodRestart { restarts: u64 },
+    /// A complete pod checkpoint row was assembled at the envelope sweep.
+    CheckpointRecorded,
+    /// The vault persisted a generation at `sweep` (`bytes` on disk).
+    VaultWrite { sweep: u64, bytes: u64 },
+    /// A generation failed verification and was quarantined.
+    VaultQuarantine,
+    /// The newest generation was unusable; the scan fell back to the
+    /// older generation at `sweep`.
+    VaultFallback { sweep: u64 },
+    /// Retention pruning removed `removed` old generations.
+    VaultPrune { removed: u64 },
+    /// The chaos harness corrupted the newest vault generation in session
+    /// `session` (`mode`: 0 truncate, 1 bit-flip, 2 torn header).
+    ChaosInjected { session: u64, mode: u32 },
+    /// A chaos session began.
+    SessionStart { session: u64 },
+    /// A core thread unwound (recorded by the postmortem drop guard).
+    CorePanic,
+}
+
+impl EventKind {
+    /// Stable snake_case name used as the JSONL `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SweepBoundary => "sweep_boundary",
+            EventKind::CollectiveSend { .. } => "collective_send",
+            EventKind::CollectiveRecv { .. } => "collective_recv",
+            EventKind::RetryExtended { .. } => "retry_extended",
+            EventKind::RetryRecovered { .. } => "retry_recovered",
+            EventKind::RetryExhausted { .. } => "retry_exhausted",
+            EventKind::KillInjected { .. } => "kill_injected",
+            EventKind::DropInjected { .. } => "drop_injected",
+            EventKind::MeshFault { .. } => "mesh_fault",
+            EventKind::PodRestart { .. } => "pod_restart",
+            EventKind::CheckpointRecorded => "checkpoint_recorded",
+            EventKind::VaultWrite { .. } => "vault_write",
+            EventKind::VaultQuarantine => "vault_quarantine",
+            EventKind::VaultFallback { .. } => "vault_fallback",
+            EventKind::VaultPrune { .. } => "vault_prune",
+            EventKind::ChaosInjected { .. } => "chaos_injected",
+            EventKind::SessionStart { .. } => "session_start",
+            EventKind::CorePanic => "core_panic",
+        }
+    }
+
+    /// Kind-specific fields as `(name, value)` pairs, in emission order.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::SweepBoundary
+            | EventKind::CheckpointRecorded
+            | EventKind::VaultQuarantine
+            | EventKind::CorePanic => Vec::new(),
+            EventKind::CollectiveSend { collective, peer }
+            | EventKind::CollectiveRecv { collective, peer }
+            | EventKind::DropInjected { collective, peer } => {
+                vec![("collective", collective), ("peer", peer as u64)]
+            }
+            EventKind::RetryExtended { collective, attempt } => {
+                vec![("collective", collective), ("attempt", attempt as u64)]
+            }
+            EventKind::RetryRecovered { collective, extensions } => {
+                vec![("collective", collective), ("extensions", extensions as u64)]
+            }
+            EventKind::RetryExhausted { collective } | EventKind::KillInjected { collective } => {
+                vec![("collective", collective)]
+            }
+            EventKind::MeshFault { root } => vec![("root", root as u64)],
+            EventKind::PodRestart { restarts } => vec![("restarts", restarts)],
+            EventKind::VaultWrite { sweep, bytes } => {
+                vec![("vault_sweep", sweep), ("bytes", bytes)]
+            }
+            EventKind::VaultFallback { sweep } => vec![("vault_sweep", sweep)],
+            EventKind::VaultPrune { removed } => vec![("removed", removed)],
+            EventKind::ChaosInjected { session, mode } => {
+                vec![("session", session), ("mode", mode as u64)]
+            }
+            EventKind::SessionStart { session } => vec![("session", session)],
+        }
+    }
+}
+
+/// One recorded event: the fixed envelope plus the typed payload.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The run this event belongs to (set via [`set_run_id`]).
+    pub run_id: u64,
+    /// Recording core rank; [`HOST_CORE`] for driver-side events.
+    pub core: u32,
+    /// Restart generation at record time.
+    pub gen: u32,
+    /// Sweep index the recording thread last announced.
+    pub sweep: u64,
+    /// Globally monotonic sequence number — the merge/ordering key.
+    pub seq: u64,
+    /// Microseconds since the recorder epoch.
+    pub t_us: f64,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One deterministic JSONL line (hand-rolled; no serializer).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"run_id\":{},\"gen\":{},\"core\":{},\"sweep\":{},\"seq\":{},\
+             \"t_us\":{},\"kind\":\"{}\"",
+            self.run_id,
+            self.gen,
+            self.core,
+            self.sweep,
+            self.seq,
+            crate::json::micros(self.t_us),
+            self.kind.name()
+        );
+        for (k, v) in self.kind.fields() {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct RingInner {
+    core: u32,
+    buf: Vec<Event>,
+    head: usize,
+    overwritten: u64,
+}
+
+impl RingInner {
+    fn push(&mut self, e: Event) {
+        let cap = self.buf.capacity();
+        if cap == 0 {
+            self.overwritten += 1;
+        } else if self.buf.len() < cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events in record order (oldest first).
+    fn ordered(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+struct Registry {
+    epoch: Instant,
+    rings: Vec<RingInner>,
+    capacity: usize,
+    postmortem_dir: Option<PathBuf>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            epoch: Instant::now(),
+            rings: Vec::new(),
+            capacity: DEFAULT_RING_CAPACITY,
+            postmortem_dir: None,
+        })
+    })
+}
+
+fn lock() -> MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn ring_index(reg: &mut Registry, core: u32) -> usize {
+    match reg.rings.iter().position(|r| r.core == core) {
+        Some(i) => i,
+        None => {
+            let cap = reg.capacity;
+            reg.rings.push(RingInner {
+                core,
+                buf: Vec::with_capacity(cap),
+                head: 0,
+                overwritten: 0,
+            });
+            reg.rings.len() - 1
+        }
+    }
+}
+
+/// Arm the recorder. Pre-registers the host ring so driver-side events
+/// never allocate on the record path.
+pub fn enable_recording() {
+    let mut reg = lock();
+    ring_index(&mut reg, HOST_CORE);
+    drop(reg);
+    RECORDING.store(true, Ordering::Relaxed);
+}
+
+/// Disarm the recorder (recorded events are kept for dumping).
+pub fn disable_recording() {
+    RECORDING.store(false, Ordering::Relaxed);
+}
+
+/// Is the recorder armed? (One relaxed load — the whole cost of a
+/// [`record`] call site when recording is off.)
+#[inline]
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Drop every ring, re-arm the epoch and zero the sequence counter,
+/// generation and run id. Threads keep their ring bindings cleared.
+pub fn reset() {
+    let mut reg = lock();
+    reg.rings.clear();
+    reg.epoch = Instant::now();
+    reg.postmortem_dir = None;
+    drop(reg);
+    SEQ.store(0, Ordering::Relaxed);
+    DUMPS.store(0, Ordering::Relaxed);
+    GENERATION.store(0, Ordering::Relaxed);
+    RUN_ID.store(0, Ordering::Relaxed);
+    RING.with(|r| r.set(None));
+    SWEEP.with(|s| s.set(0));
+}
+
+/// Capacity for rings registered *after* this call (existing rings keep
+/// their pre-allocated buffers).
+pub fn set_ring_capacity(capacity: usize) {
+    lock().capacity = capacity;
+}
+
+/// Stamp subsequent events with this run id.
+pub fn set_run_id(id: u64) {
+    RUN_ID.store(id, Ordering::Relaxed);
+}
+
+/// The current run id.
+pub fn run_id() -> u64 {
+    RUN_ID.load(Ordering::Relaxed)
+}
+
+/// The current restart generation.
+pub fn generation() -> u32 {
+    GENERATION.load(Ordering::Relaxed)
+}
+
+/// Increment the restart generation (drivers call this on every pod
+/// restart; the chaos harness on every new session). Returns the new
+/// generation.
+pub fn bump_generation() -> u32 {
+    GENERATION.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Bind this thread to core `core`'s ring, creating (and pre-allocating)
+/// it on first registration. Re-registering after a restart reuses the
+/// existing ring — events from different generations share it and are
+/// told apart by their `gen` stamp.
+pub fn register_core(core: u32) {
+    let mut reg = lock();
+    let idx = ring_index(&mut reg, core);
+    drop(reg);
+    RING.with(|r| r.set(Some(idx)));
+}
+
+/// Announce the sweep this thread is working on; stamped into every
+/// subsequent event from this thread.
+#[inline]
+pub fn set_sweep(sweep: u64) {
+    SWEEP.with(|s| s.set(sweep));
+}
+
+/// Record one event onto this thread's ring (the host ring when the
+/// thread never called [`register_core`]). A no-op when recording is off;
+/// when on, the steady-state cost is the envelope stamp plus a ring slot
+/// write — no heap allocation.
+pub fn record(kind: EventKind) {
+    if !is_recording() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let sweep = SWEEP.with(|s| s.get());
+    let mut reg = lock();
+    let idx = match RING.with(|r| r.get()) {
+        Some(i) if i < reg.rings.len() => i,
+        _ => {
+            let i = ring_index(&mut reg, HOST_CORE);
+            RING.with(|r| r.set(Some(i)));
+            i
+        }
+    };
+    let t_us = Instant::now().saturating_duration_since(reg.epoch).as_secs_f64() * 1e6;
+    let e = Event {
+        run_id: RUN_ID.load(Ordering::Relaxed),
+        core: reg.rings[idx].core,
+        gen: GENERATION.load(Ordering::Relaxed),
+        sweep,
+        seq,
+        t_us,
+        kind,
+    };
+    reg.rings[idx].push(e);
+}
+
+/// An owned snapshot of every ring, merged and seq-ordered.
+#[derive(Clone, Debug, Default)]
+pub struct RecorderSnapshot {
+    /// All retained events, ordered by sequence number.
+    pub events: Vec<Event>,
+    /// Events overwritten ring-wide (flight-recorder semantics keep the
+    /// newest; this counts how many old ones rolled off).
+    pub overwritten: u64,
+    /// Number of registered rings (cores plus the host ring).
+    pub rings: usize,
+}
+
+impl RecorderSnapshot {
+    /// The whole snapshot as JSONL (one event per line, seq-ordered).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Snapshot every ring (events are cloned, not drained).
+pub fn snapshot() -> RecorderSnapshot {
+    let reg = lock();
+    let mut events: Vec<Event> = Vec::new();
+    let mut overwritten = 0;
+    for r in &reg.rings {
+        events.extend(r.ordered());
+        overwritten += r.overwritten;
+    }
+    events.sort_by_key(|e| e.seq);
+    RecorderSnapshot { events, overwritten, rings: reg.rings.len() }
+}
+
+/// Direct the postmortem dumps of [`dump_postmortem`] (and the drop
+/// guard) into `dir`. `None` disables dumping.
+pub fn set_postmortem_dir(dir: Option<PathBuf>) {
+    lock().postmortem_dir = dir;
+}
+
+/// The currently configured postmortem directory.
+pub fn postmortem_dir() -> Option<PathBuf> {
+    lock().postmortem_dir.clone()
+}
+
+/// Dump every ring to a fresh JSONL bundle in the configured postmortem
+/// directory, named `postmortem-gen<G>-<N>-<reason>.jsonl`. Returns the
+/// path, or `None` when no directory is configured or the write failed
+/// (dumping is best-effort: a postmortem must never turn a recoverable
+/// fault into a crash).
+pub fn dump_postmortem(reason: &str) -> Option<PathBuf> {
+    let dir = postmortem_dir()?;
+    dump_postmortem_to(&dir, reason).ok()
+}
+
+/// Dump every ring to a fresh JSONL bundle in `dir` (explicit-directory
+/// variant used by tests and the CLI).
+pub fn dump_postmortem_to(dir: &Path, reason: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let n = DUMPS.fetch_add(1, Ordering::Relaxed);
+    let safe: String =
+        reason.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    let path = dir.join(format!("postmortem-gen{:03}-{n:03}-{safe}.jsonl", generation()));
+    let snap = snapshot();
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(snap.to_jsonl().as_bytes())?;
+    f.sync_all()?;
+    Ok(path)
+}
+
+/// RAII guard that records a [`EventKind::CorePanic`] event and dumps a
+/// postmortem bundle if the owning thread unwinds. Construct it at the
+/// top of a core body; on a clean return the drop is a no-op.
+pub struct PostmortemGuard {
+    reason: &'static str,
+}
+
+impl PostmortemGuard {
+    /// Arm a guard labelled `reason` (used in the bundle file name).
+    pub fn arm(reason: &'static str) -> PostmortemGuard {
+        PostmortemGuard { reason }
+    }
+}
+
+impl Drop for PostmortemGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            record(EventKind::CorePanic);
+            let _ = dump_postmortem(self.reason);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is global; tests serialize on this gate and reset.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _x = exclusive();
+        reset();
+        disable_recording();
+        record(EventKind::SweepBoundary);
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn events_carry_envelope_and_merge_in_seq_order() {
+        let _x = exclusive();
+        reset();
+        enable_recording();
+        set_run_id(42);
+        register_core(0);
+        set_sweep(7);
+        record(EventKind::SweepBoundary);
+        record(EventKind::CollectiveSend { collective: 3, peer: 1 });
+        GENERATION.store(2, Ordering::Relaxed);
+        record(EventKind::KillInjected { collective: 4 });
+        disable_recording();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.rings, 2); // host + core 0
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        for e in &snap.events {
+            assert_eq!(e.run_id, 42);
+            assert_eq!(e.core, 0);
+            assert_eq!(e.sweep, 7);
+        }
+        assert_eq!(snap.events[0].gen, 0);
+        assert_eq!(snap.events[2].gen, 2);
+        assert_eq!(snap.events[2].kind, EventKind::KillInjected { collective: 4 });
+        reset();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts() {
+        let _x = exclusive();
+        reset();
+        set_ring_capacity(4);
+        enable_recording();
+        register_core(5);
+        for i in 0..10u64 {
+            record(EventKind::CollectiveSend { collective: i, peer: 0 });
+        }
+        disable_recording();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.overwritten, 6);
+        // the *newest* four survive
+        let kept: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::CollectiveSend { collective, .. } => collective,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+        reset();
+    }
+
+    #[test]
+    fn unbound_thread_lands_on_host_ring() {
+        let _x = exclusive();
+        reset();
+        enable_recording();
+        record(EventKind::VaultPrune { removed: 2 });
+        disable_recording();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].core, HOST_CORE);
+        reset();
+    }
+
+    #[test]
+    fn json_lines_are_deterministic() {
+        let e = Event {
+            run_id: 9,
+            core: 3,
+            gen: 1,
+            sweep: 20,
+            seq: 55,
+            t_us: 12.3456,
+            kind: EventKind::RetryExtended { collective: 8, attempt: 2 },
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"run_id\":9,\"gen\":1,\"core\":3,\"sweep\":20,\"seq\":55,\
+             \"t_us\":12.346,\"kind\":\"retry_extended\",\"collective\":8,\"attempt\":2}"
+        );
+    }
+
+    #[test]
+    fn dump_writes_bundle_with_generation_in_name() {
+        let _x = exclusive();
+        reset();
+        enable_recording();
+        register_core(1);
+        record(EventKind::SweepBoundary);
+        let dir = std::env::temp_dir().join(format!("tpuising-rec-{}", std::process::id()));
+        let path = dump_postmortem_to(&dir, "unit test").expect("dump");
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(name.starts_with("postmortem-gen000-"), "{name}");
+        assert!(name.ends_with("-unit-test.jsonl"), "{name}");
+        let body = std::fs::read_to_string(&path).expect("read bundle");
+        assert!(body.lines().any(|l| l.contains("\"kind\":\"sweep_boundary\"")));
+        std::fs::remove_dir_all(&dir).ok();
+        disable_recording();
+        reset();
+    }
+
+    #[test]
+    fn guard_is_silent_on_clean_return() {
+        let _x = exclusive();
+        reset();
+        enable_recording();
+        {
+            let _g = PostmortemGuard::arm("clean");
+        }
+        assert!(snapshot().events.is_empty());
+        disable_recording();
+        reset();
+    }
+}

@@ -1,0 +1,228 @@
+//! The telemetry sink: periodic metrics-snapshot flushes to disk, in
+//! both JSONL (one snapshot per line, machine-diffable) and Prometheus
+//! text exposition format (point-in-time, scrapeable).
+//!
+//! A [`TelemetrySink`] owns a directory and a flush interval. Each flush
+//! appends one line to `metrics.jsonl` and rewrites `metrics.prom`
+//! atomically (temp + rename), so a crash mid-run still leaves every
+//! completed snapshot on disk — the metrics-side complement of the
+//! flight recorder's postmortem bundles. [`TelemetrySink::start`] runs
+//! the flushes on a background thread until the returned handle is
+//! stopped (or dropped), which takes a final flush.
+
+use crate::metrics::{metrics, MetricsSnapshot};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Periodically persists metrics snapshots into one directory.
+pub struct TelemetrySink {
+    dir: PathBuf,
+    every: Duration,
+    started: Instant,
+    last_flush: Instant,
+    flushes: u64,
+}
+
+impl TelemetrySink {
+    /// Create the sink (and its directory). `every` is the flush
+    /// interval honored by [`maybe_flush`](Self::maybe_flush) and the
+    /// background thread of [`start`](Self::start).
+    pub fn new(dir: impl Into<PathBuf>, every: Duration) -> std::io::Result<TelemetrySink> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let now = Instant::now();
+        Ok(TelemetrySink { dir, every, started: now, last_flush: now, flushes: 0 })
+    }
+
+    /// The sink's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flushes taken so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flush now: append one JSONL snapshot line and atomically rewrite
+    /// the Prometheus text file.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        let snap = metrics().snapshot();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let line = format!(
+            "{{\"flush\":{},\"elapsed_s\":{},\"metrics\":{}}}\n",
+            self.flushes,
+            crate::json::num(elapsed),
+            snap.to_json()
+        );
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join("metrics.jsonl"))?;
+        f.write_all(line.as_bytes())?;
+        let prom = self.dir.join("metrics.prom");
+        let tmp = self.dir.join(".metrics.prom.tmp");
+        std::fs::write(&tmp, snap.to_prometheus())?;
+        std::fs::rename(&tmp, &prom)?;
+        self.flushes += 1;
+        self.last_flush = Instant::now();
+        Ok(())
+    }
+
+    /// Flush if the interval has elapsed since the last flush. Returns
+    /// whether a flush was taken.
+    pub fn maybe_flush(&mut self) -> std::io::Result<bool> {
+        if self.last_flush.elapsed() >= self.every {
+            self.flush()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Move the sink onto a background thread that flushes every
+    /// interval until the handle is stopped (or dropped). Flush errors
+    /// are swallowed: telemetry must never take down the run it watches.
+    pub fn start(self) -> TelemetryHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let mut sink = self;
+        let join = std::thread::spawn(move || {
+            // sleep in short slices so stop() returns promptly even for
+            // long flush intervals
+            let slice = sink.every.min(Duration::from_millis(20)).max(Duration::from_millis(1));
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                let _ = sink.maybe_flush();
+            }
+            let _ = sink.flush(); // final snapshot on the way out
+            sink
+        });
+        TelemetryHandle { stop, join: Some(join) }
+    }
+}
+
+/// Handle to a background [`TelemetrySink`]; stopping (or dropping) it
+/// takes a final flush and joins the thread.
+pub struct TelemetryHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<TelemetrySink>>,
+}
+
+impl TelemetryHandle {
+    /// Stop the background thread, take the final flush, and return the
+    /// sink (e.g. to inspect [`TelemetrySink::flushes`]).
+    pub fn stop(mut self) -> Option<TelemetrySink> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join.take().and_then(|j| j.join().ok())
+    }
+}
+
+impl Drop for TelemetryHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Render in the Prometheus text exposition format: counters and
+    /// gauges as single samples, histograms as summaries with
+    /// p50/p90/p99 quantiles plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", crate::json::num(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", crate::json::num(v)));
+            }
+            out.push_str(&format!("{n}_sum {}\n", crate::json::num(h.sum)));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tpuising-tel-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let m = Metrics::default();
+        m.counter("vault_writes_total").inc(3);
+        m.gauge("acceptance_ratio").set(0.25);
+        let h = m.histogram("sweep seconds"); // space must be sanitized
+        h.observe(2.0);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE vault_writes_total counter\nvault_writes_total 3\n"));
+        assert!(text.contains("# TYPE acceptance_ratio gauge\nacceptance_ratio 0.25\n"));
+        assert!(text.contains("# TYPE sweep_seconds summary\n"));
+        assert!(text.contains("sweep_seconds{quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("sweep_seconds_count 1\n"));
+        // exposition format: every non-comment line is `name[{labels}] value`
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn flush_appends_jsonl_and_rewrites_prom() {
+        let dir = tmpdir("flush");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = TelemetrySink::new(&dir, Duration::from_secs(3600)).expect("sink");
+        sink.flush().expect("flush 1");
+        sink.flush().expect("flush 2");
+        assert_eq!(sink.flushes(), 2);
+        let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("jsonl");
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().next().unwrap().starts_with("{\"flush\":0,"));
+        assert!(jsonl.lines().nth(1).unwrap().starts_with("{\"flush\":1,"));
+        for line in jsonl.lines() {
+            assert!(line.contains("\"metrics\":{\"counters\":{"), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(dir.join("metrics.prom").exists());
+        // interval far in the future: maybe_flush declines
+        assert!(!sink.maybe_flush().expect("maybe"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_handle_takes_final_flush_on_stop() {
+        let dir = tmpdir("bg");
+        std::fs::remove_dir_all(&dir).ok();
+        let sink = TelemetrySink::new(&dir, Duration::from_millis(5)).expect("sink");
+        let handle = sink.start();
+        std::thread::sleep(Duration::from_millis(30));
+        let sink = handle.stop().expect("join");
+        assert!(sink.flushes() >= 1, "expected at least the final flush");
+        let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("jsonl");
+        assert_eq!(jsonl.lines().count() as u64, sink.flushes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

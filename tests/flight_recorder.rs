@@ -1,0 +1,325 @@
+//! Flight-recorder integration: a faulted pod run plus a vault fallback
+//! must merge into one totally ordered postmortem timeline (kill → retry
+//! escalation → restart → vault fallback), a seeded 2×2 chaos kill must
+//! leave at least one event per restart generation, the merged-timeline
+//! renderers are golden-tested, and steady-state recording must not touch
+//! the heap.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use tpu_ising_core::chaos::{
+    apply_corruption, run_chaos_pod, ChaosPlan, SessionFaults, VaultCorruption,
+};
+use tpu_ising_core::distributed::{run_pod_resilient, PodConfig, PodRng, ResilienceOpts};
+use tpu_ising_core::{KernelBackend, Vault};
+use tpu_ising_device::mesh::{FaultPlan, RetryPolicy, Torus};
+use tpu_ising_obs as obs;
+use tpu_ising_obs::postmortem::{
+    chrome_timeline_json, merge_dir, parse_event_line, render_table, TimelineEvent,
+};
+use tpu_ising_obs::recorder::{Event, EventKind, HOST_CORE};
+
+// The zero-allocation guarantee is measured, not assumed.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
+/// The recorder is process-global; tests that arm or reset it serialize
+/// on this gate (same idiom as the recorder's own unit tests).
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tpu-ising-flightrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn pod_2x2() -> PodConfig {
+    PodConfig {
+        torus: Torus::new(2, 2),
+        per_core_h: 8,
+        per_core_w: 8,
+        tile: 2,
+        beta: 0.4,
+        seed: 99,
+        rng: PodRng::SiteKeyed,
+        backend: KernelBackend::Band,
+    }
+}
+
+/// First position of `kind` in a seq-ordered timeline.
+fn pos(events: &[TimelineEvent], kind: &str) -> usize {
+    events
+        .iter()
+        .position(|e| e.kind == kind)
+        .unwrap_or_else(|| panic!("no {kind} event in merged timeline:\n{}", render_table(events)))
+}
+
+/// The acceptance drill: a killed collective escalates through the retry
+/// tier to a pod restart, then a corrupted vault generation is
+/// quarantined and an older one carries the restore — and the merged
+/// postmortem timeline shows those stages **in order**.
+#[test]
+fn fault_drill_merges_into_ordered_timeline() {
+    let _x = exclusive();
+    let dir = tmpdir("drill");
+    obs::recorder::reset();
+    obs::recorder::enable_recording();
+    obs::recorder::set_run_id(77);
+    obs::recorder::set_postmortem_dir(Some(dir.clone()));
+
+    // Tier 1 + tier 2: kill core 1 at collective 3 and drop the 3→2
+    // packet of the same collective. The kill alone is not enough to
+    // exercise the retry tier deterministically — a peer that *sends* to
+    // the dead core fails fast (PeerGone) before any receive window
+    // expires — but core 2, whose expected packet was dropped by a peer
+    // that stays alive, is pinned in its receive window and must walk
+    // retry_extended → retry_exhausted before the driver can restart.
+    let opts = ResilienceOpts {
+        checkpoint_every: 2,
+        max_restarts: 2,
+        recv_timeout: Duration::from_millis(300),
+        faults: FaultPlan::new().kill(1, 3).drop_packet(3, 2, 3),
+        retry: RetryPolicy { max_retries: 1, backoff: Duration::from_millis(10) },
+    };
+    let run = run_pod_resilient::<f32>(&pod_2x2(), 4, &opts, None).expect("resilient run");
+    assert_eq!(run.restarts, 1, "the kill must cost exactly one restart");
+
+    // Tier 3: a durable vault whose newest generation is corrupt — the
+    // load quarantines it and falls back to the older generation.
+    let vault = Vault::new(dir.join("vault"), "drill", 3).expect("vault");
+    vault.save("pod", 2, "{\"m\":1}").expect("save sweep-2 generation");
+    vault.save("pod", 4, "{\"m\":2}").expect("save sweep-4 generation");
+    apply_corruption(&vault.generation_path(4), VaultCorruption::BitFlip { permille: 900, bit: 3 })
+        .expect("corrupt newest generation");
+    let loaded = vault.load_latest("pod").expect("fallback load");
+    assert_eq!(loaded.sweep, 2, "restore must fall back to the older generation");
+    assert_eq!(loaded.quarantined.len(), 1);
+
+    assert!(obs::recorder::dump_postmortem("drill complete").is_some());
+    let (events, bundles) = merge_dir(&dir).expect("merge bundles");
+    obs::recorder::set_postmortem_dir(None);
+    obs::recorder::disable_recording();
+    obs::recorder::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The driver dumped a gen-0 bundle at the mesh fault, plus our final
+    // dump; the merge de-duplicates their overlap on seq.
+    assert!(bundles.len() >= 2, "expected the mesh-fault bundle and the final dump");
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "merged timeline must be strictly seq-ordered");
+    assert!(events.iter().all(|e| e.run_id == 77));
+    for g in [0u32, 1] {
+        assert!(events.iter().any(|e| e.gen == g), "no events recorded in generation {g}");
+    }
+
+    // The ordered story the recorder exists to tell.
+    let kill = pos(&events, "kill_injected");
+    let dropped = pos(&events, "drop_injected");
+    let extended = pos(&events, "retry_extended");
+    let exhausted = pos(&events, "retry_exhausted");
+    let fault = pos(&events, "mesh_fault");
+    let restart = pos(&events, "pod_restart");
+    let write = pos(&events, "vault_write");
+    let quarantine = pos(&events, "vault_quarantine");
+    let fallback = pos(&events, "vault_fallback");
+    assert!(
+        kill < extended && extended < exhausted && exhausted < fault && fault < restart,
+        "kill → retry escalation → restart out of order: \
+         kill={kill} extended={extended} exhausted={exhausted} fault={fault} restart={restart}"
+    );
+    assert!(
+        restart < write && write < quarantine && quarantine < fallback,
+        "restart → vault fallback out of order: \
+         restart={restart} write={write} quarantine={quarantine} fallback={fallback}"
+    );
+    assert_eq!(events[kill].field("collective"), Some(3));
+    assert!(dropped < extended, "the drop precedes the receive window it starves");
+    assert_eq!(events[fallback].field("vault_sweep"), Some(2));
+    assert_eq!(events[restart].gen, 1, "the restart event belongs to the new generation");
+}
+
+/// A seeded 2×2 chaos drill (two scheduled kills, then the fault-free
+/// session) must leave postmortem bundles whose merge carries at least
+/// one event per restart generation, with each session's kill preceding
+/// its mesh fault.
+#[test]
+fn chaos_kill_leaves_postmortem_per_generation() {
+    let _x = exclusive();
+    let dir = tmpdir("chaos");
+    obs::recorder::reset();
+    obs::recorder::enable_recording();
+    obs::recorder::set_run_id(31);
+    obs::recorder::set_postmortem_dir(Some(dir.clone()));
+
+    // Hand-pinned schedule (the seed only labels it): kills land after
+    // the sweep-2 checkpoint so a vault generation exists to corrupt.
+    let plan = ChaosPlan {
+        seed: 0xC0FFEE,
+        sessions: vec![
+            SessionFaults {
+                kill_core: 1,
+                kill_at: 20,
+                drop: None,
+                delay: None,
+                corrupt: Some(VaultCorruption::BitFlip { permille: 500, bit: 2 }),
+            },
+            SessionFaults { kill_core: 2, kill_at: 12, drop: None, delay: None, corrupt: None },
+        ],
+    };
+    let report =
+        run_chaos_pod(&pod_2x2(), 6, 2, &plan, &dir.join("vault"), 3).expect("chaos drill");
+    assert_eq!(report.crashes, 2, "both scheduled kills must land: {report:?}");
+    assert_eq!(report.final_sweep, 6);
+    assert!(report.bit_exact, "chaos run diverged from the reference: {report:?}");
+
+    assert!(obs::recorder::dump_postmortem("chaos complete").is_some());
+    let (events, bundles) = merge_dir(&dir).expect("merge bundles");
+    obs::recorder::set_postmortem_dir(None);
+    obs::recorder::disable_recording();
+    obs::recorder::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One bundle per crashed session plus the final dump.
+    assert!(bundles.len() >= 3, "expected >= 3 bundles, got {}", bundles.len());
+
+    // Generations: 0 = reference + session 0, 1 = session 1, 2 = the
+    // fault-free final session. Each must have recorded something.
+    let max_gen = events.iter().map(|e| e.gen).max().expect("events");
+    assert_eq!(max_gen, 2);
+    for g in 0..=max_gen {
+        assert!(events.iter().any(|e| e.gen == g), "no events recorded in generation {g}");
+    }
+
+    // One session_start per generation, on the host track, in order.
+    let starts: Vec<&TimelineEvent> = events.iter().filter(|e| e.kind == "session_start").collect();
+    assert_eq!(starts.len(), 3);
+    for (i, s) in starts.iter().enumerate() {
+        assert!(s.is_host());
+        assert_eq!(s.field("session"), Some(i as u64));
+        assert_eq!(s.gen, i as u32);
+    }
+
+    // Within each crashed generation the kill precedes the mesh fault.
+    for g in [0u32, 1] {
+        let in_gen: Vec<&TimelineEvent> = events.iter().filter(|e| e.gen == g).collect();
+        let kill = in_gen
+            .iter()
+            .position(|e| e.kind == "kill_injected")
+            .unwrap_or_else(|| panic!("no kill_injected in generation {g}"));
+        let fault = in_gen
+            .iter()
+            .position(|e| e.kind == "mesh_fault")
+            .unwrap_or_else(|| panic!("no mesh_fault in generation {g}"));
+        assert!(kill < fault, "generation {g}: kill at {kill} not before mesh_fault at {fault}");
+    }
+
+    // Vault-side events need a real serializer (checkpoint payloads go
+    // through serde); when they are present the corruption injection must
+    // precede the quarantine it causes.
+    if events.iter().any(|e| e.kind == "vault_write") {
+        let injected = pos(&events, "chaos_injected");
+        let quarantine = pos(&events, "vault_quarantine");
+        assert!(injected < quarantine, "corruption injected={injected} quarantine={quarantine}");
+        assert_eq!(events[injected].field("session"), Some(0));
+    }
+}
+
+/// A canonical merged drill timeline, built from fixed JSONL lines so the
+/// renderer goldens are deterministic.
+fn canonical_timeline() -> Vec<TimelineEvent> {
+    let line = |seq: u64, gen: u32, core: u32, sweep: u64, kind: EventKind| {
+        Event { run_id: 7, core, gen, sweep, seq, t_us: seq as f64 * 100.0, kind }.to_json_line()
+    };
+    [
+        line(0, 0, 0, 1, EventKind::SweepBoundary),
+        line(1, 0, 0, 1, EventKind::CollectiveSend { collective: 2, peer: 1 }),
+        line(2, 0, 1, 1, EventKind::KillInjected { collective: 3 }),
+        line(3, 0, 0, 1, EventKind::RetryExtended { collective: 4, attempt: 1 }),
+        line(4, 0, 0, 1, EventKind::RetryExhausted { collective: 4 }),
+        line(5, 0, HOST_CORE, 0, EventKind::MeshFault { root: 1 }),
+        line(6, 1, HOST_CORE, 0, EventKind::PodRestart { restarts: 1 }),
+        line(7, 1, 0, 2, EventKind::VaultWrite { sweep: 2, bytes: 321 }),
+        line(8, 1, HOST_CORE, 0, EventKind::VaultQuarantine),
+        line(9, 1, HOST_CORE, 0, EventKind::VaultFallback { sweep: 2 }),
+    ]
+    .iter()
+    .map(|l| parse_event_line(l).expect("canonical line parses"))
+    .collect()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/postmortem_timeline.txt")
+}
+
+#[test]
+fn merged_timeline_table_matches_golden_file() {
+    let table = render_table(&canonical_timeline());
+    let path = golden_path();
+    if std::env::var_os("ISING_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &table).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        table, golden,
+        "postmortem table drifted from tests/golden/postmortem_timeline.txt \
+         (rerun with ISING_BLESS_GOLDEN=1 to re-bless an intended change)"
+    );
+}
+
+#[test]
+fn merged_timeline_chrome_export_is_structurally_sound() {
+    let events = canonical_timeline();
+    let json = chrome_timeline_json(&events, "tpu-ising postmortem");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    // tracks: (gen0, core0), (gen0, core1), (gen0, host), (gen1, core0),
+    // (gen1, host) — one per core per generation
+    assert_eq!(json.matches("\"thread_name\"").count(), 5);
+    assert!(json.contains("\"name\":\"core-1 gen0\""));
+    assert!(json.contains("\"name\":\"host gen1\""));
+    assert_eq!(json.matches("\"ph\":\"i\"").count(), events.len());
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+/// The acceptance bar for the recorder itself: once the rings exist,
+/// recording a sweep's worth of events costs **zero** heap allocation.
+#[test]
+fn recorder_steady_state_allocates_zero_bytes() {
+    let _x = exclusive();
+    obs::recorder::reset();
+    obs::recorder::set_ring_capacity(512);
+    obs::recorder::enable_recording();
+    obs::recorder::register_core(0);
+    // Warm past capacity so every later push overwrites a ring slot.
+    for i in 0..600u64 {
+        obs::recorder::set_sweep(i);
+        obs::record(EventKind::CollectiveSend { collective: i, peer: 1 });
+    }
+    // Min-delta over many sweeps: concurrent tests may allocate, but at
+    // least one iteration runs clean — and the recorder itself must never
+    // allocate (same idiom as the perfbase steady-state gate).
+    let mut min_delta = u64::MAX;
+    for s in 0..4096u64 {
+        let a0 = obs::alloc::allocated_bytes();
+        obs::recorder::set_sweep(s);
+        obs::record(EventKind::SweepBoundary);
+        obs::record(EventKind::CollectiveSend { collective: s, peer: 1 });
+        obs::record(EventKind::CollectiveRecv { collective: s, peer: 1 });
+        obs::record(EventKind::CheckpointRecorded);
+        min_delta = min_delta.min(obs::alloc::allocated_bytes() - a0);
+    }
+    obs::recorder::disable_recording();
+    obs::recorder::set_ring_capacity(obs::recorder::DEFAULT_RING_CAPACITY);
+    obs::recorder::reset();
+    assert_eq!(min_delta, 0, "recorder allocated {min_delta} B on the steady-state record path");
+}

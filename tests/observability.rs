@@ -102,9 +102,12 @@ fn histogram_percentiles_are_nearest_rank() {
     assert_eq!(s.min, 1.0);
     assert_eq!(s.max, 100.0);
     assert!((s.mean - 50.5).abs() < 1e-12);
-    assert_eq!(s.p50, 51.0);
-    assert_eq!(s.p90, 90.0);
-    assert_eq!(s.p99, 99.0);
+    // The lock-free histogram is log-bucketed (32 sub-buckets per
+    // octave), so nearest-rank percentiles land within the ~±1.1 %
+    // bucket resolution of the exact order statistics.
+    assert!((s.p50 - 51.0).abs() / 51.0 < 0.03, "p50 = {}", s.p50);
+    assert!((s.p90 - 90.0).abs() / 90.0 < 0.03, "p90 = {}", s.p90);
+    assert!((s.p99 - 99.0).abs() / 99.0 < 0.03, "p99 = {}", s.p99);
     assert!(!s.truncated);
 }
 
