@@ -1,0 +1,63 @@
+//! Focused multi-spin timing loop for SIMD-tier and tile-size tuning.
+//!
+//! `perfbase` measures the multi-spin engine in context (against the
+//! scalar backends, with provenance and the CI gate); this binary answers
+//! the narrower question "how fast is one configuration, measured
+//! cleanly?" so the per-ISA table in EXPERIMENTS.md and the
+//! `default_tile_rows` constant can be (re)derived in seconds:
+//!
+//! ```text
+//! TPU_ISING_SIMD=sse2 cargo run --release -p tpu-ising-bench --bin mstune -- 256 400
+//! TPU_ISING_TILE_ROWS=8 cargo run --release -p tpu-ising-bench --bin mstune
+//! ```
+//!
+//! Arguments: `[L] [sweeps] [beta]` (defaults 256, 400, 0.6). Prints the
+//! dispatched tier, the effective tile height, and median-of-5 flips/ns
+//! (medians resist the scheduling noise of shared CI machines).
+
+use std::time::Instant;
+
+use tpu_ising_core::MultiSpinIsing;
+use tpu_ising_obs as obs;
+
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
+fn main() {
+    let mut args = std::env::args().skip(1).filter_map(|a| a.parse::<f64>().ok());
+    let l = args.next().unwrap_or(256.0) as usize;
+    let sweeps = args.next().unwrap_or(400.0) as usize;
+    let beta = args.next().unwrap_or(0.6);
+
+    let mut sim = MultiSpinIsing::new(l, l, beta, 42);
+    for _ in 0..5 {
+        sim.sweep();
+    }
+    let flips = sim.flips_per_sweep() * sweeps as u64;
+
+    let mut rates = Vec::new();
+    let mut min_alloc = u64::MAX;
+    for _ in 0..5 {
+        let a0 = obs::alloc::allocated_bytes();
+        let t0 = Instant::now();
+        for _ in 0..sweeps {
+            sim.sweep();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        min_alloc = min_alloc.min(obs::alloc::allocated_bytes() - a0);
+        rates.push(flips as f64 / (secs * 1e9));
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+
+    let isa = tpu_ising_rng::simd::isa();
+    println!(
+        "L={l} beta={beta} sweeps={sweeps}x5 isa={} lanes={} tile_rows={} \
+         flips/ns median={:.4} min={:.4} max={:.4} alloc_B/rep={min_alloc}",
+        isa.name(),
+        isa.lanes(),
+        sim.tile_rows(),
+        rates[2],
+        rates[0],
+        rates[4],
+    );
+}

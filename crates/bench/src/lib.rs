@@ -129,17 +129,27 @@ pub struct RunMetadata {
     /// Git commit hash: `GIT_COMMIT` env, else `git rev-parse HEAD`,
     /// else `"unknown"`.
     pub commit: String,
+    /// SIMD tier the run dispatched to (`scalar`/`sse2`/`avx2`/`avx512`),
+    /// after any `TPU_ISING_SIMD` override — numbers from different tiers
+    /// must never be compared as if they came from the same kernel.
+    pub simd_isa: String,
+    /// CPU feature flags the detector saw (e.g. `"sse2,avx2,avx512f"`),
+    /// regardless of which tier was dispatched.
+    pub cpu_features: String,
 }
 
 impl RunMetadata {
-    /// The three fields as a hand-assembled JSON fragment (no trailing
-    /// comma), for binaries that build their JSON without a serializer.
+    /// The fields as a hand-assembled JSON fragment (no trailing comma),
+    /// for binaries that build their JSON without a serializer.
     pub fn to_json_fields(&self) -> String {
         format!(
-            "\"timestamp\": \"{}\", \"cpu_model\": \"{}\", \"commit\": \"{}\"",
+            "\"timestamp\": \"{}\", \"cpu_model\": \"{}\", \"commit\": \"{}\", \
+             \"simd_isa\": \"{}\", \"cpu_features\": \"{}\"",
             json_escape(&self.timestamp),
             json_escape(&self.cpu_model),
-            json_escape(&self.commit)
+            json_escape(&self.commit),
+            json_escape(&self.simd_isa),
+            json_escape(&self.cpu_features)
         )
     }
 }
@@ -154,6 +164,8 @@ pub fn run_metadata() -> RunMetadata {
         timestamp: timestamp_arg(std::env::args().skip(1)).unwrap_or_else(system_utc_iso8601),
         cpu_model: cpu_model().unwrap_or_else(|| "unknown".to_string()),
         commit: commit_hash().unwrap_or_else(|| "unknown".to_string()),
+        simd_isa: tpu_ising_rng::simd::isa().name().to_string(),
+        cpu_features: tpu_ising_rng::cpu_features().summary(),
     }
 }
 
@@ -223,6 +235,10 @@ pub struct TrajectoryRow {
     pub commit: String,
     pub timestamp: String,
     pub algo: String,
+    /// SIMD tier the measurement dispatched to (`"scalar"`..`"avx512"`),
+    /// so trajectory regressions can be separated from ISA changes when
+    /// the file accumulates rows from different hosts.
+    pub isa: String,
     pub flips_per_ns: f64,
 }
 
@@ -232,10 +248,11 @@ impl TrajectoryRow {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"commit\": \"{}\", \"timestamp\": \"{}\", \"algo\": \"{}\", \
-             \"flips_per_ns\": {:.5}}}",
+             \"isa\": \"{}\", \"flips_per_ns\": {:.5}}}",
             json_escape(&self.commit),
             json_escape(&self.timestamp),
             json_escape(&self.algo),
+            json_escape(&self.isa),
             self.flips_per_ns
         )
     }
@@ -346,11 +363,13 @@ mod tests {
             timestamp: "t".into(),
             cpu_model: "Weird \"CPU\" \\ name".into(),
             commit: "abc".into(),
+            simd_isa: "avx2".into(),
+            cpu_features: "sse2,avx2".into(),
         };
         assert_eq!(
             md.to_json_fields(),
             "\"timestamp\": \"t\", \"cpu_model\": \"Weird \\\"CPU\\\" \\\\ name\", \
-             \"commit\": \"abc\""
+             \"commit\": \"abc\", \"simd_isa\": \"avx2\", \"cpu_features\": \"sse2,avx2\""
         );
     }
 
@@ -365,6 +384,7 @@ mod tests {
             commit: "abc123".into(),
             timestamp: "2026-01-02T03:04:05Z".into(),
             algo: algo.into(),
+            isa: "avx2".into(),
             flips_per_ns: f,
         };
         // creates the file

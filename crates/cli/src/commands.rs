@@ -325,6 +325,14 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
             // The packed production engine: 64 independent chains on one
             // lattice, per-replica observables, one pass.
             let mut s = MultiSpinIsing::new(l, l, beta, seed);
+            s.set_tile_rows(args.get_opt_parse::<usize>("tile-rows")?);
+            let isa = tpu_ising_rng::simd::isa();
+            println!(
+                "multispin dispatch: {} ({} planes/feed), {}-row tiles",
+                isa.name(),
+                isa.lanes(),
+                s.tile_rows()
+            );
             for _ in 0..burn {
                 s.sweep();
             }
@@ -620,6 +628,10 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
         cfg.global_w(),
         t / T_CRITICAL
     );
+    {
+        let isa = tpu_ising_rng::simd::isa();
+        println!("multispin dispatch: {} ({} planes/feed)", isa.name(), isa.lanes());
+    }
     if let Some(ck) = &resume_ckpt {
         println!(
             "resuming from sweep {} (snapshot taken on a {}x{} torus)",

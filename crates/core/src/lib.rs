@@ -52,6 +52,7 @@ pub mod observables;
 pub mod prob;
 pub mod reference;
 pub mod sampler;
+pub mod sweep_pool;
 pub mod tempering;
 pub mod vault;
 pub mod visualize;

@@ -1,0 +1,236 @@
+//! Persistent tile-distributing worker pool for the multi-spin sweep.
+//!
+//! rayon's scope machinery heap-allocates a little on every parallel
+//! invocation (task queues, scope latches), which is why the multi-spin
+//! engine used to fall back to a plain loop to keep its measured steady
+//! state at 0 B/sweep. This pool removes the trade-off: workers are
+//! spawned once and parked on a condvar, a half-sweep publishes one
+//! type-erased closure reference plus a tile count, and the workers and
+//! the submitting thread drain tiles from a shared atomic counter.
+//! Nothing on the dispatch path allocates — epoch bump, `notify_all`,
+//! `fetch_add` — so the counting-allocator test passes with the parallel
+//! path fully enabled.
+//!
+//! Tiles are claimed dynamically (one `fetch_add` each), so row tiles
+//! whose words hit the far Bernoulli tail don't stall a static partition.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Environment variable overriding the pool's total worker count
+/// (including the submitting thread); unset → `available_parallelism`.
+pub const WORKERS_ENV: &str = "TPU_ISING_SWEEP_WORKERS";
+
+/// The tile job the pool is currently running, plus the handshake state.
+struct Slot {
+    /// Bumped once per `run`; workers pick up a job when the epoch moves.
+    epoch: u64,
+    /// The submitted closure, lifetime-erased. Only valid between the
+    /// epoch bump and the matching `finished == workers` handshake, which
+    /// `run` enforces by not returning until every worker checked in.
+    job: Option<&'static (dyn Fn(usize) + Sync)>,
+    n_tiles: usize,
+    /// Workers that finished the current epoch.
+    finished: usize,
+}
+
+/// A fixed set of helper threads that execute `f(tile)` for every tile of
+/// a half-sweep. See the module docs for the zero-allocation rationale.
+pub struct SweepPool {
+    /// Helper threads (the submitting thread participates too, so total
+    /// parallelism is `workers + 1`).
+    workers: usize,
+    slot: Mutex<Slot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Next unclaimed tile of the current epoch.
+    next: AtomicUsize,
+    /// Serializes concurrent `run` calls: the pool runs one job at a
+    /// time, and a caller that finds it busy (e.g. another mesh core
+    /// mid-sweep) just runs its tiles inline instead of queueing.
+    busy: Mutex<()>,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SweepPool {
+    /// Spawn a pool with `helpers` worker threads (0 = inline execution
+    /// only). The pool is leaked: workers live for the process, which is
+    /// exactly the persistence that makes dispatch allocation-free.
+    pub fn spawn(helpers: usize) -> &'static SweepPool {
+        let pool: &'static SweepPool = Box::leak(Box::new(SweepPool {
+            workers: helpers,
+            slot: Mutex::new(Slot { epoch: 0, job: None, n_tiles: 0, finished: 0 }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            busy: Mutex::new(()),
+        }));
+        for w in 0..helpers {
+            std::thread::Builder::new()
+                .name(format!("ms-sweep-{w}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawn sweep worker");
+        }
+        pool
+    }
+
+    /// Helper threads in this pool.
+    pub fn helpers(&self) -> usize {
+        self.workers
+    }
+
+    fn worker_loop(&self) {
+        let mut seen = 0u64;
+        let mut guard = relock(self.slot.lock());
+        loop {
+            if guard.epoch == seen {
+                guard = relock(self.work_cv.wait(guard));
+                continue;
+            }
+            seen = guard.epoch;
+            let job = guard.job;
+            let n = guard.n_tiles;
+            drop(guard);
+            if let Some(f) = job {
+                loop {
+                    let t = self.next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n {
+                        break;
+                    }
+                    f(t);
+                }
+            }
+            guard = relock(self.slot.lock());
+            guard.finished += 1;
+            if guard.finished == self.workers {
+                self.done_cv.notify_one();
+            }
+        }
+    }
+
+    /// Run `f(0)..f(n_tiles - 1)` across the helpers and the calling
+    /// thread; returns once every tile completed and every helper has
+    /// quiesced. Tiles must be independent (`f` is `Sync` and invoked
+    /// concurrently). Falls back to a plain inline loop when the pool has
+    /// no helpers or another thread is mid-`run`.
+    pub fn run(&self, n_tiles: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers == 0 || n_tiles <= 1 {
+            for t in 0..n_tiles {
+                f(t);
+            }
+            return;
+        }
+        let Ok(_busy) = self.busy.try_lock() else {
+            for t in 0..n_tiles {
+                f(t);
+            }
+            return;
+        };
+        // SAFETY: the 'static is a lie the handshake makes true — `run`
+        // does not return until every helper bumped `finished`, i.e. no
+        // helper holds the reference once the real lifetime ends.
+        let job: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        {
+            let mut guard = relock(self.slot.lock());
+            self.next.store(0, Ordering::Relaxed);
+            guard.epoch = guard.epoch.wrapping_add(1);
+            guard.job = Some(job);
+            guard.n_tiles = n_tiles;
+            guard.finished = 0;
+            self.work_cv.notify_all();
+        }
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= n_tiles {
+                break;
+            }
+            f(t);
+        }
+        let mut guard = relock(self.slot.lock());
+        while guard.finished < self.workers {
+            guard = relock(self.done_cv.wait(guard));
+        }
+        guard.job = None;
+    }
+}
+
+/// The process-wide sweep pool: `available_parallelism − 1` helpers (the
+/// submitting thread is the final lane), overridable with [`WORKERS_ENV`].
+/// Spawned lazily on the first parallel half-sweep.
+pub fn pool() -> &'static SweepPool {
+    static POOL: OnceLock<&'static SweepPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let total = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        SweepPool::spawn(total.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_tile_exactly_once() {
+        let pool = SweepPool::spawn(3);
+        for n in [0usize, 1, 2, 7, 64, 257] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "tile {t} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_runs_reuse_the_pool() {
+        let pool = SweepPool::spawn(2);
+        let sum = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.run(16, &|t| {
+                sum.fetch_add(t as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 200 * (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn zero_helper_pool_runs_inline() {
+        let pool = SweepPool::spawn(0);
+        let sum = AtomicU64::new(0);
+        pool.run(9, &|t| {
+            sum.fetch_add(t as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn concurrent_submitters_fall_back_inline_without_deadlock() {
+        let pool = SweepPool::spawn(2);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.run(8, &|t| {
+                            total.fetch_add(t as u64, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * (0..8).sum::<u64>());
+    }
+}

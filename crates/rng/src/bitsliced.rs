@@ -17,6 +17,7 @@
 //! ([`crate::PhiloxStream`]) and counter-addressed site-keyed generators
 //! plug in equally.
 
+use crate::simd::SimdIsa;
 use crate::PhiloxStream;
 
 /// Resolution (random bit-planes) of the Bernoulli masks: 24 bits, the
@@ -169,79 +170,29 @@ impl DualMaskBuilder {
     /// comparison state is `(lt, eq)` — "already decided less" and "still
     /// tied" — and two segments combine associatively as
     /// `(ltA | eqA·ltB, eqA·eqB)`, so eight planes reduce in depth 3
-    /// rather than a chain of eight dependent updates. Bit-identical to
-    /// [`Self::feed`] on the same planes; worth ~2× on the sweep hot path
-    /// where the mask build is latency-bound.
+    /// rather than a chain of eight dependent updates. Because the
+    /// combine is associative, *any* association order — scalar chain,
+    /// SSE2 pairs, AVX2 quads, AVX-512 octets — produces bit-identical
+    /// masks; the kernel is picked once per process by [`tree_feed`].
     #[inline]
     pub fn feed_tree8(&mut self, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+        self.feed_tree8_with(tree_feed(), hi_bits, lo_bits, planes)
+    }
+
+    /// [`Self::feed_tree8`] through an explicit kernel set instead of the
+    /// process-wide dispatch table. Differential tests use this to run
+    /// several ISA tiers side by side in one process.
+    #[inline]
+    pub fn feed_tree8_with(
+        &mut self,
+        kernels: &TreeFeed,
+        hi_bits: &[bool],
+        lo_bits: &[bool],
+        planes: &[u64; 8],
+    ) {
         debug_assert!(self.planes_used + 8 <= hi_bits.len());
         debug_assert_eq!(hi_bits.len(), lo_bits.len());
-        // On x86_64 the hi and lo thresholds ride in the two 64-bit lanes
-        // of one xmm register, so one tree decides both thresholds — the
-        // combine count halves against running the scalar tree twice.
-        // SSE2 is part of the x86_64 baseline, no dispatch needed.
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
-        unsafe {
-            use std::arch::x86_64::*;
-            #[inline(always)]
-            unsafe fn combine(a: (__m128i, __m128i), b: (__m128i, __m128i)) -> (__m128i, __m128i) {
-                (_mm_or_si128(a.0, _mm_and_si128(a.1, b.0)), _mm_and_si128(a.1, b.1))
-            }
-            let off = self.planes_used;
-            let ones = _mm_set1_epi64x(-1);
-            let mut leaf = [(ones, ones); 8];
-            for (i, l) in leaf.iter_mut().enumerate() {
-                let u = _mm_set1_epi64x(planes[i] as i64);
-                // per lane: m = all-ones iff that threshold's p-bit is 1;
-                // below p only where the p-bit is 1 and the u-bit is 0,
-                // tied where they match: (lt, eq) = (!u & m, u ^ !m)
-                let m = _mm_set_epi64x(-(hi_bits[off + i] as i64), -(lo_bits[off + i] as i64));
-                *l = (_mm_andnot_si128(u, m), _mm_xor_si128(u, _mm_xor_si128(m, ones)));
-            }
-            let (lt, eq) = combine(
-                combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
-                combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
-            );
-            let und = _mm_set_epi64x(self.und_hi as i64, self.und_lo as i64);
-            let acc = _mm_set_epi64x(self.acc_hi as i64, self.acc_lo as i64);
-            let acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
-            let und = _mm_and_si128(und, eq);
-            self.acc_lo = _mm_cvtsi128_si64(acc) as u64;
-            self.acc_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)) as u64;
-            self.und_lo = _mm_cvtsi128_si64(und) as u64;
-            self.und_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(und, und)) as u64;
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            #[inline(always)]
-            fn combine(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
-                (a.0 | (a.1 & b.0), a.1 & b.1)
-            }
-            #[inline(always)]
-            fn tree8(bits: &[bool], off: usize, planes: &[u64; 8]) -> (u64, u64) {
-                let mut leaf = [(0u64, 0u64); 8];
-                for (i, l) in leaf.iter_mut().enumerate() {
-                    let u = planes[i];
-                    // m = all-ones iff p-bit is 1: below p only possible
-                    // where the p-bit is 1 and the u-bit is 0; tied where
-                    // they match.
-                    let m = (bits[off + i] as u64).wrapping_neg();
-                    *l = (!u & m, u ^ !m);
-                }
-                combine(
-                    combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
-                    combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
-                )
-            }
-            let (lt_h, eq_h) = tree8(hi_bits, self.planes_used, planes);
-            let (lt_l, eq_l) = tree8(lo_bits, self.planes_used, planes);
-            self.acc_hi |= self.und_hi & lt_h;
-            self.und_hi &= eq_h;
-            self.acc_lo |= self.und_lo & lt_l;
-            self.und_lo &= eq_l;
-        }
-        self.planes_used += 8;
+        (kernels.feed8)(self, hi_bits, lo_bits, planes)
     }
 
     /// One vectorized RNG batch worth of planes — sixteen — folded as two
@@ -249,10 +200,10 @@ impl DualMaskBuilder {
     /// already decided every lane in `need_hi`/`need_lo`. Semantically
     /// exactly
     /// `feed_tree8(..planes[..8]); if undecided { feed_tree8(..planes[8..]) }`,
-    /// but on x86_64 the comparison state stays in one xmm register across
-    /// both trees and the short-circuit test instead of being packed and
-    /// unpacked per call — this is the hot path of the multi-spin sweep,
-    /// where a word is decided by the first tree ~75 % of the time.
+    /// but the vector kernels keep the comparison state in registers
+    /// across both trees and the short-circuit test instead of packing
+    /// and unpacking per call — this is the hot path of the multi-spin
+    /// sweep, where a word is decided by the first tree ~75 % of the time.
     #[inline]
     pub fn feed_tree16(
         &mut self,
@@ -262,65 +213,24 @@ impl DualMaskBuilder {
         need_hi: u64,
         need_lo: u64,
     ) {
+        self.feed_tree16_with(tree_feed(), hi_bits, lo_bits, planes, need_hi, need_lo)
+    }
+
+    /// [`Self::feed_tree16`] through an explicit kernel set — see
+    /// [`Self::feed_tree8_with`].
+    #[inline]
+    pub fn feed_tree16_with(
+        &mut self,
+        kernels: &TreeFeed,
+        hi_bits: &[bool],
+        lo_bits: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
         debug_assert!(self.planes_used + 16 <= hi_bits.len());
         debug_assert_eq!(hi_bits.len(), lo_bits.len());
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
-        unsafe {
-            use std::arch::x86_64::*;
-            #[inline(always)]
-            unsafe fn combine(a: (__m128i, __m128i), b: (__m128i, __m128i)) -> (__m128i, __m128i) {
-                (_mm_or_si128(a.0, _mm_and_si128(a.1, b.0)), _mm_and_si128(a.1, b.1))
-            }
-            #[inline(always)]
-            unsafe fn tree8(
-                hi_bits: &[bool],
-                lo_bits: &[bool],
-                off: usize,
-                planes: &[u64],
-            ) -> (__m128i, __m128i) {
-                let ones = _mm_set1_epi64x(-1);
-                let mut leaf = [(ones, ones); 8];
-                for (i, l) in leaf.iter_mut().enumerate() {
-                    let u = _mm_set1_epi64x(planes[i] as i64);
-                    let m = _mm_set_epi64x(-(hi_bits[off + i] as i64), -(lo_bits[off + i] as i64));
-                    *l = (_mm_andnot_si128(u, m), _mm_xor_si128(u, _mm_xor_si128(m, ones)));
-                }
-                combine(
-                    combine(combine(leaf[0], leaf[1]), combine(leaf[2], leaf[3])),
-                    combine(combine(leaf[4], leaf[5]), combine(leaf[6], leaf[7])),
-                )
-            }
-            let off = self.planes_used;
-            let (lt, eq) = tree8(hi_bits, lo_bits, off, &planes[..8]);
-            let mut und = _mm_set_epi64x(self.und_hi as i64, self.und_lo as i64);
-            let mut acc = _mm_set_epi64x(self.acc_hi as i64, self.acc_lo as i64);
-            acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
-            und = _mm_and_si128(und, eq);
-            let need = _mm_set_epi64x(need_hi as i64, need_lo as i64);
-            let live = _mm_and_si128(und, need);
-            // SSE2 all-zero test: every byte compares equal to zero
-            let decided = _mm_movemask_epi8(_mm_cmpeq_epi8(live, _mm_setzero_si128())) == 0xFFFF;
-            if decided {
-                self.planes_used = off + 8;
-            } else {
-                let (lt, eq) = tree8(hi_bits, lo_bits, off + 8, &planes[8..]);
-                acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
-                und = _mm_and_si128(und, eq);
-                self.planes_used = off + 16;
-            }
-            self.acc_lo = _mm_cvtsi128_si64(acc) as u64;
-            self.acc_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)) as u64;
-            self.und_lo = _mm_cvtsi128_si64(und) as u64;
-            self.und_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(und, und)) as u64;
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            self.feed_tree8(hi_bits, lo_bits, planes[..8].try_into().expect("8 planes"));
-            if self.undecided(need_hi, need_lo) {
-                self.feed_tree8(hi_bits, lo_bits, planes[8..].try_into().expect("8 planes"));
-            }
-        }
+        (kernels.feed16)(self, hi_bits, lo_bits, planes, need_hi, need_lo)
     }
 
     /// The accept masks accumulated so far `(hi, lo)`; final once
@@ -330,6 +240,615 @@ impl DualMaskBuilder {
     pub fn masks(&self) -> (u64, u64) {
         (self.acc_hi, self.acc_lo)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-dispatched tree-feed kernels
+//
+// Four implementations of the same fold, one per ISA tier. The comparison
+// combine `(ltA | eqA·ltB, eqA·eqB)` is associative, so the tiers differ
+// only in how many (threshold, plane) pairs ride one register — 1 per u64
+// (scalar), 2 per xmm (SSE2), 4 per ymm (AVX2), 8 per zmm (AVX-512) — and
+// in which association order the final reduction uses. Every tier is
+// bit-identical to the serial `feed` by construction, which the
+// differential test below pins for whatever the host can execute.
+// ---------------------------------------------------------------------------
+
+/// Signature of an unconditional 8-plane feed kernel.
+type Feed8Fn = fn(&mut DualMaskBuilder, &[bool], &[bool], &[u64; 8]);
+/// Signature of a need-gated 16-plane feed kernel.
+type Feed16Fn = fn(&mut DualMaskBuilder, &[bool], &[bool], &[u64; 16], u64, u64);
+
+/// The tree-feed kernel set for one ISA tier. Obtain the process-wide
+/// dispatched set with [`tree_feed`], or a specific tier (for tests and
+/// benchmarks) with [`TreeFeed::try_for_isa`].
+#[derive(Clone, Copy)]
+pub struct TreeFeed {
+    /// The tier these kernels run at.
+    pub isa: SimdIsa,
+    feed8: Feed8Fn,
+    feed16: Feed16Fn,
+}
+
+/// The portable tier, available everywhere.
+const SCALAR_FEED: TreeFeed =
+    TreeFeed { isa: SimdIsa::Scalar, feed8: feed8_scalar, feed16: feed16_scalar };
+
+impl TreeFeed {
+    /// The kernel set for `isa`, or `None` when this CPU cannot execute
+    /// that tier (differential tests iterate all tiers and skip the
+    /// unsupported ones).
+    pub fn try_for_isa(isa: SimdIsa) -> Option<TreeFeed> {
+        if isa > crate::simd::native_isa() {
+            return None;
+        }
+        match isa {
+            SimdIsa::Scalar => Some(SCALAR_FEED),
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Sse2 => Some(TreeFeed { isa, feed8: feed8_sse2, feed16: feed16_sse2 }),
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx2 => Some(TreeFeed { isa, feed8: feed8_avx2, feed16: feed16_avx2 }),
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx512 => Some(TreeFeed { isa, feed8: feed8_avx512, feed16: feed16_avx512 }),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide tree-feed dispatch table: resolved once from
+/// [`crate::simd::isa`] (native detection clamped by the
+/// [`crate::simd::FORCE_ENV`] override), then a plain function-pointer
+/// pair for the life of the process.
+pub fn tree_feed() -> &'static TreeFeed {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<TreeFeed> = OnceLock::new();
+    TABLE.get_or_init(|| TreeFeed::try_for_isa(crate::simd::isa()).unwrap_or(SCALAR_FEED))
+}
+
+/// Compile-time handle on one tier's tree-feed kernels.
+///
+/// [`TreeFeed`]'s function pointers are right for occasional calls, but a
+/// pointer call is an optimization barrier: the builder state round-trips
+/// through memory and the threshold vectors are rebuilt from the `&[bool]`
+/// expansions on every call. A hot loop that is *monomorphized* over one
+/// of the zero-sized types below — and, for the AVX tiers, wrapped in a
+/// matching `#[target_feature]` outer function — lets LLVM inline the
+/// whole feed, keep `(acc, und)` in registers, and hoist the threshold
+/// loads out of the loop. The multi-spin sweep dispatches once per color
+/// update and runs each row tile through such a monomorphized body.
+///
+/// The methods are `unsafe fn`: the caller promises the tier's CPU
+/// features are available, which holds whenever the tier was picked by
+/// [`crate::simd::isa`] / [`TreeFeed::try_for_isa`] (both clamp to what
+/// the host detected).
+pub trait TreeFeedKernel {
+    /// The tier these kernels run at.
+    const ISA: SimdIsa;
+
+    /// [`DualMaskBuilder::feed_tree8`] through this tier's kernel.
+    ///
+    /// # Safety
+    /// The CPU must support [`Self::ISA`].
+    unsafe fn feed8(b: &mut DualMaskBuilder, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]);
+
+    /// [`DualMaskBuilder::feed_tree16`] through this tier's kernel.
+    ///
+    /// # Safety
+    /// The CPU must support [`Self::ISA`].
+    unsafe fn feed16(
+        b: &mut DualMaskBuilder,
+        hi_bits: &[bool],
+        lo_bits: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    );
+}
+
+/// [`TreeFeedKernel`] for the portable tier.
+pub struct ScalarTree;
+
+impl TreeFeedKernel for ScalarTree {
+    const ISA: SimdIsa = SimdIsa::Scalar;
+
+    #[inline(always)]
+    unsafe fn feed8(b: &mut DualMaskBuilder, hi: &[bool], lo: &[bool], planes: &[u64; 8]) {
+        feed8_scalar(b, hi, lo, planes)
+    }
+
+    #[inline(always)]
+    unsafe fn feed16(
+        b: &mut DualMaskBuilder,
+        hi: &[bool],
+        lo: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
+        feed16_scalar(b, hi, lo, planes, need_hi, need_lo)
+    }
+}
+
+/// [`TreeFeedKernel`] for the SSE2 tier (x86_64 baseline).
+#[cfg(target_arch = "x86_64")]
+pub struct Sse2Tree;
+
+#[cfg(target_arch = "x86_64")]
+impl TreeFeedKernel for Sse2Tree {
+    const ISA: SimdIsa = SimdIsa::Sse2;
+
+    #[inline(always)]
+    unsafe fn feed8(b: &mut DualMaskBuilder, hi: &[bool], lo: &[bool], planes: &[u64; 8]) {
+        feed8_sse2(b, hi, lo, planes)
+    }
+
+    #[inline(always)]
+    unsafe fn feed16(
+        b: &mut DualMaskBuilder,
+        hi: &[bool],
+        lo: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
+        feed16_sse2(b, hi, lo, planes, need_hi, need_lo)
+    }
+}
+
+/// [`TreeFeedKernel`] for the AVX2 tier. Call only from an
+/// `#[target_feature(enable = "avx2")]` context (or after detection).
+#[cfg(target_arch = "x86_64")]
+pub struct Avx2Tree;
+
+#[cfg(target_arch = "x86_64")]
+impl TreeFeedKernel for Avx2Tree {
+    const ISA: SimdIsa = SimdIsa::Avx2;
+
+    #[inline(always)]
+    unsafe fn feed8(b: &mut DualMaskBuilder, hi: &[bool], lo: &[bool], planes: &[u64; 8]) {
+        feed8_avx2_impl(b, hi, lo, planes)
+    }
+
+    #[inline(always)]
+    unsafe fn feed16(
+        b: &mut DualMaskBuilder,
+        hi: &[bool],
+        lo: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
+        feed16_avx2_impl(b, hi, lo, planes, need_hi, need_lo)
+    }
+}
+
+/// [`TreeFeedKernel`] for the AVX-512 tier. Call only from an
+/// `#[target_feature(enable = "avx512f,avx512vl")]` context.
+#[cfg(target_arch = "x86_64")]
+pub struct Avx512Tree;
+
+#[cfg(target_arch = "x86_64")]
+impl TreeFeedKernel for Avx512Tree {
+    const ISA: SimdIsa = SimdIsa::Avx512;
+
+    #[inline(always)]
+    unsafe fn feed8(b: &mut DualMaskBuilder, hi: &[bool], lo: &[bool], planes: &[u64; 8]) {
+        feed8_avx512_impl(b, hi, lo, planes)
+    }
+
+    #[inline(always)]
+    unsafe fn feed16(
+        b: &mut DualMaskBuilder,
+        hi: &[bool],
+        lo: &[bool],
+        planes: &[u64; 16],
+        need_hi: u64,
+        need_lo: u64,
+    ) {
+        feed16_avx512_impl(b, hi, lo, planes, need_hi, need_lo)
+    }
+}
+
+// ---- scalar tier: one (threshold, plane) pair per u64 op --------------------
+
+/// Scalar `(lt, eq)` segment combine.
+#[inline(always)]
+fn combine_scalar(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    (a.0 | (a.1 & b.0), a.1 & b.1)
+}
+
+/// Depth-3 fold of eight planes against one threshold expansion.
+#[inline(always)]
+fn tree8_scalar(bits: &[bool], off: usize, planes: &[u64]) -> (u64, u64) {
+    let mut leaf = [(0u64, 0u64); 8];
+    for (i, l) in leaf.iter_mut().enumerate() {
+        let u = planes[i];
+        // m = all-ones iff p-bit is 1: below p only possible where the
+        // p-bit is 1 and the u-bit is 0; tied where they match.
+        let m = (bits[off + i] as u64).wrapping_neg();
+        *l = (!u & m, u ^ !m);
+    }
+    combine_scalar(
+        combine_scalar(combine_scalar(leaf[0], leaf[1]), combine_scalar(leaf[2], leaf[3])),
+        combine_scalar(combine_scalar(leaf[4], leaf[5]), combine_scalar(leaf[6], leaf[7])),
+    )
+}
+
+#[inline]
+fn feed8_scalar(b: &mut DualMaskBuilder, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+    let (lt_h, eq_h) = tree8_scalar(hi_bits, b.planes_used, planes);
+    let (lt_l, eq_l) = tree8_scalar(lo_bits, b.planes_used, planes);
+    b.acc_hi |= b.und_hi & lt_h;
+    b.und_hi &= eq_h;
+    b.acc_lo |= b.und_lo & lt_l;
+    b.und_lo &= eq_l;
+    b.planes_used += 8;
+}
+
+#[inline]
+fn feed16_scalar(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    feed8_scalar(b, hi_bits, lo_bits, planes[..8].try_into().expect("8 planes"));
+    if b.undecided(need_hi, need_lo) {
+        feed8_scalar(b, hi_bits, lo_bits, planes[8..].try_into().expect("8 planes"));
+    }
+}
+
+// ---- SSE2 tier: hi and lo thresholds in the two lanes of one xmm -----------
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn combine128(
+    a: (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i),
+    b: (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i),
+) -> (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i) {
+    use std::arch::x86_64::*;
+    (_mm_or_si128(a.0, _mm_and_si128(a.1, b.0)), _mm_and_si128(a.1, b.1))
+}
+
+/// Eight planes × both thresholds in one xmm: lane 0 carries the lo
+/// threshold, lane 1 the hi — one tree decides both, halving the combine
+/// count against running the scalar tree twice.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn tree8_sse2(
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    off: usize,
+    planes: &[u64],
+) -> (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i) {
+    use std::arch::x86_64::*;
+    let ones = _mm_set1_epi64x(-1);
+    let mut leaf = [(ones, ones); 8];
+    for (i, l) in leaf.iter_mut().enumerate() {
+        let u = _mm_set1_epi64x(planes[i] as i64);
+        // per lane: m = all-ones iff that threshold's p-bit is 1; below p
+        // only where the p-bit is 1 and the u-bit is 0, tied where they
+        // match: (lt, eq) = (!u & m, u ^ !m)
+        let m = _mm_set_epi64x(-(hi_bits[off + i] as i64), -(lo_bits[off + i] as i64));
+        *l = (_mm_andnot_si128(u, m), _mm_xor_si128(u, _mm_xor_si128(m, ones)));
+    }
+    combine128(
+        combine128(combine128(leaf[0], leaf[1]), combine128(leaf[2], leaf[3])),
+        combine128(combine128(leaf[4], leaf[5]), combine128(leaf[6], leaf[7])),
+    )
+}
+
+/// Unpack an xmm `(acc, und)` pair back into the builder fields.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn store_state128(
+    b: &mut DualMaskBuilder,
+    acc: std::arch::x86_64::__m128i,
+    und: std::arch::x86_64::__m128i,
+) {
+    use std::arch::x86_64::*;
+    b.acc_lo = _mm_cvtsi128_si64(acc) as u64;
+    b.acc_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)) as u64;
+    b.und_lo = _mm_cvtsi128_si64(und) as u64;
+    b.und_hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(und, und)) as u64;
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn feed8_sse2(b: &mut DualMaskBuilder, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+    // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
+    unsafe {
+        use std::arch::x86_64::*;
+        let (lt, eq) = tree8_sse2(hi_bits, lo_bits, b.planes_used, planes);
+        let und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+        let acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+        let acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+        let und = _mm_and_si128(und, eq);
+        store_state128(b, acc, und);
+    }
+    b.planes_used += 8;
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn feed16_sse2(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    // SAFETY: SSE2 intrinsics, unconditionally available on x86_64.
+    unsafe {
+        use std::arch::x86_64::*;
+        let off = b.planes_used;
+        let (lt, eq) = tree8_sse2(hi_bits, lo_bits, off, &planes[..8]);
+        let mut und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+        let mut acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+        acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+        und = _mm_and_si128(und, eq);
+        let need = _mm_set_epi64x(need_hi as i64, need_lo as i64);
+        let live = _mm_and_si128(und, need);
+        // SSE2 all-zero test: every byte compares equal to zero
+        let decided = _mm_movemask_epi8(_mm_cmpeq_epi8(live, _mm_setzero_si128())) == 0xFFFF;
+        if decided {
+            b.planes_used = off + 8;
+        } else {
+            let (lt, eq) = tree8_sse2(hi_bits, lo_bits, off + 8, &planes[8..]);
+            acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+            und = _mm_and_si128(und, eq);
+            b.planes_used = off + 16;
+        }
+        store_state128(b, acc, und);
+    }
+}
+
+// ---- AVX2 tier: two threshold pairs (four lanes) per ymm -------------------
+
+/// Eight planes × both thresholds with four lanes per register: leaf `k`
+/// holds plane `k` in its low xmm half and plane `k+4` in its high half,
+/// each as the SSE2 `[lo, hi]` lane pair. Three 256-bit combines fold the
+/// pairs, then one cross-half 128-bit combine joins planes 0–3 with 4–7 —
+/// the same association tree as SSE2 at half the combine count.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tree8_avx2(
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    off: usize,
+    planes: &[u64],
+) -> (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i) {
+    use std::arch::x86_64::*;
+    #[inline(always)]
+    unsafe fn combine256(a: (__m256i, __m256i), b: (__m256i, __m256i)) -> (__m256i, __m256i) {
+        (_mm256_or_si256(a.0, _mm256_and_si256(a.1, b.0)), _mm256_and_si256(a.1, b.1))
+    }
+    let ones = _mm256_set1_epi64x(-1);
+    let mut leaf = [(ones, ones); 4];
+    for (k, l) in leaf.iter_mut().enumerate() {
+        let u = _mm256_set_epi64x(
+            planes[k + 4] as i64,
+            planes[k + 4] as i64,
+            planes[k] as i64,
+            planes[k] as i64,
+        );
+        let m = _mm256_set_epi64x(
+            -(hi_bits[off + k + 4] as i64),
+            -(lo_bits[off + k + 4] as i64),
+            -(hi_bits[off + k] as i64),
+            -(lo_bits[off + k] as i64),
+        );
+        *l = (_mm256_andnot_si256(u, m), _mm256_xor_si256(u, _mm256_xor_si256(m, ones)));
+    }
+    // low halves fold ((0·1)·(2·3)), high halves ((4·5)·(6·7)) in lockstep
+    let t = combine256(combine256(leaf[0], leaf[1]), combine256(leaf[2], leaf[3]));
+    let lo_half = (_mm256_castsi256_si128(t.0), _mm256_castsi256_si128(t.1));
+    let hi_half = (_mm256_extracti128_si256(t.0, 1), _mm256_extracti128_si256(t.1, 1));
+    combine128(lo_half, hi_half)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn feed8_avx2(b: &mut DualMaskBuilder, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+    // SAFETY: this entry is only installed in a TreeFeed after AVX2 was
+    // detected at runtime (TreeFeed::try_for_isa clamps to native_isa).
+    unsafe { feed8_avx2_impl(b, hi_bits, lo_bits, planes) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn feed8_avx2_impl(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 8],
+) {
+    use std::arch::x86_64::*;
+    let (lt, eq) = tree8_avx2(hi_bits, lo_bits, b.planes_used, planes);
+    let und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+    let acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+    let acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+    let und = _mm_and_si128(und, eq);
+    store_state128(b, acc, und);
+    b.planes_used += 8;
+}
+
+#[cfg(target_arch = "x86_64")]
+fn feed16_avx2(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    // SAFETY: installed only after AVX2 was detected at runtime.
+    unsafe { feed16_avx2_impl(b, hi_bits, lo_bits, planes, need_hi, need_lo) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn feed16_avx2_impl(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    use std::arch::x86_64::*;
+    let off = b.planes_used;
+    let (lt, eq) = tree8_avx2(hi_bits, lo_bits, off, &planes[..8]);
+    let mut und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+    let mut acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+    acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+    und = _mm_and_si128(und, eq);
+    let need = _mm_set_epi64x(need_hi as i64, need_lo as i64);
+    if _mm_testz_si128(und, need) != 0 {
+        b.planes_used = off + 8;
+    } else {
+        let (lt, eq) = tree8_avx2(hi_bits, lo_bits, off + 8, &planes[8..]);
+        acc = _mm_or_si128(acc, _mm_and_si128(und, lt));
+        und = _mm_and_si128(und, eq);
+        b.planes_used = off + 16;
+    }
+    store_state128(b, acc, und);
+}
+
+// ---- AVX-512 tier: four threshold pairs (eight lanes) per zmm --------------
+
+/// Eight planes × both thresholds in two zmm registers: R0 carries planes
+/// 0,2,4,6 and R1 planes 1,3,5,7, each 128-bit block a `[lo, hi]` lane
+/// pair. One 512-bit combine joins odd planes into even (blocks become
+/// the segments (0·1),(2·3),(4·5),(6·7)), a block shuffle folds evens
+/// against odds at 256 bits, and a final 128-bit combine yields the
+/// segment of all eight planes. `vpternlogd` fuses each combine's
+/// or-and pair (`A|(B&C)` = imm 0xF8) and the XNOR leaf (imm 0xC3) into
+/// single ops.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn tree8_avx512(
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    off: usize,
+    planes: &[u64],
+) -> (std::arch::x86_64::__m128i, std::arch::x86_64::__m128i) {
+    use std::arch::x86_64::*;
+    debug_assert!(planes.len() >= 8);
+    // One 512-bit load of all eight planes, then two qword permutes fan
+    // them out pairwise — far cheaper than building each register from
+    // sixteen 64-bit inserts.
+    let src = _mm512_loadu_si512(planes.as_ptr() as *const _);
+    let u0 = _mm512_permutexvar_epi64(_mm512_set_epi64(6, 6, 4, 4, 2, 2, 0, 0), src);
+    let u1 = _mm512_permutexvar_epi64(_mm512_set_epi64(7, 7, 5, 5, 3, 3, 1, 1), src);
+    let thresholds = |a: usize, b: usize, c: usize, d: usize| {
+        _mm512_set_epi64(
+            -(hi_bits[off + d] as i64),
+            -(lo_bits[off + d] as i64),
+            -(hi_bits[off + c] as i64),
+            -(lo_bits[off + c] as i64),
+            -(hi_bits[off + b] as i64),
+            -(lo_bits[off + b] as i64),
+            -(hi_bits[off + a] as i64),
+            -(lo_bits[off + a] as i64),
+        )
+    };
+    let m0 = thresholds(0, 2, 4, 6);
+    let m1 = thresholds(1, 3, 5, 7);
+    // leaf: (lt, eq) = (!u & m, XNOR(u, m)); 0xC3 is the XNOR(A, B) table
+    let lt0 = _mm512_andnot_si512(u0, m0);
+    let eq0 = _mm512_ternarylogic_epi64(u0, m0, m0, 0xC3);
+    let lt1 = _mm512_andnot_si512(u1, m1);
+    let eq1 = _mm512_ternarylogic_epi64(u1, m1, m1, 0xC3);
+    // combine even planes with their odd successors: 0xF8 is A | (B & C)
+    let lt = _mm512_ternarylogic_epi64(lt0, eq0, lt1, 0xF8);
+    let eq = _mm512_and_si512(eq0, eq1);
+    // fold even segments [q0,q2] against odd segments [q1,q3]
+    let lt_e = _mm512_castsi512_si256(_mm512_shuffle_i64x2(lt, lt, 0x88));
+    let lt_o = _mm512_castsi512_si256(_mm512_shuffle_i64x2(lt, lt, 0xDD));
+    let eq_e = _mm512_castsi512_si256(_mm512_shuffle_i64x2(eq, eq, 0x88));
+    let eq_o = _mm512_castsi512_si256(_mm512_shuffle_i64x2(eq, eq, 0xDD));
+    let lt2 = _mm256_ternarylogic_epi64(lt_e, eq_e, lt_o, 0xF8);
+    let eq2 = _mm256_and_si256(eq_e, eq_o);
+    // final cross-half combine: planes 0–3 (low xmm) with planes 4–7
+    let alt = _mm256_castsi256_si128(lt2);
+    let aeq = _mm256_castsi256_si128(eq2);
+    let blt = _mm256_extracti128_si256(lt2, 1);
+    let beq = _mm256_extracti128_si256(eq2, 1);
+    (_mm_ternarylogic_epi64(alt, aeq, blt, 0xF8), _mm_and_si128(aeq, beq))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn feed8_avx512(b: &mut DualMaskBuilder, hi_bits: &[bool], lo_bits: &[bool], planes: &[u64; 8]) {
+    // SAFETY: installed only after AVX-512F+VL was detected at runtime.
+    unsafe { feed8_avx512_impl(b, hi_bits, lo_bits, planes) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn feed8_avx512_impl(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 8],
+) {
+    use std::arch::x86_64::*;
+    let (lt, eq) = tree8_avx512(hi_bits, lo_bits, b.planes_used, planes);
+    let und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+    let acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+    let acc = _mm_ternarylogic_epi64(acc, und, lt, 0xF8);
+    let und = _mm_and_si128(und, eq);
+    store_state128(b, acc, und);
+    b.planes_used += 8;
+}
+
+#[cfg(target_arch = "x86_64")]
+fn feed16_avx512(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    // SAFETY: installed only after AVX-512F+VL was detected at runtime.
+    unsafe { feed16_avx512_impl(b, hi_bits, lo_bits, planes, need_hi, need_lo) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn feed16_avx512_impl(
+    b: &mut DualMaskBuilder,
+    hi_bits: &[bool],
+    lo_bits: &[bool],
+    planes: &[u64; 16],
+    need_hi: u64,
+    need_lo: u64,
+) {
+    use std::arch::x86_64::*;
+    let off = b.planes_used;
+    let (lt, eq) = tree8_avx512(hi_bits, lo_bits, off, &planes[..8]);
+    let mut und = _mm_set_epi64x(b.und_hi as i64, b.und_lo as i64);
+    let mut acc = _mm_set_epi64x(b.acc_hi as i64, b.acc_lo as i64);
+    acc = _mm_ternarylogic_epi64(acc, und, lt, 0xF8);
+    und = _mm_and_si128(und, eq);
+    let need = _mm_set_epi64x(need_hi as i64, need_lo as i64);
+    if _mm_test_epi64_mask(und, need) == 0 {
+        b.planes_used = off + 8;
+    } else {
+        let (lt, eq) = tree8_avx512(hi_bits, lo_bits, off + 8, &planes[8..]);
+        acc = _mm_ternarylogic_epi64(acc, und, lt, 0xF8);
+        und = _mm_and_si128(und, eq);
+        b.planes_used = off + 16;
+    }
+    store_state128(b, acc, und);
 }
 
 #[cfg(test)]
@@ -500,6 +1019,98 @@ mod tests {
             assert_eq!(reference.masks(), fused.masks());
             assert_eq!(reference.planes_used(), fused.planes_used());
             assert_eq!(reference.undecided(need_hi, need_lo), fused.undecided(need_hi, need_lo));
+        }
+    }
+
+    /// Every ISA tier this host can execute, scalar reference first.
+    fn supported_tiers() -> Vec<TreeFeed> {
+        [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512]
+            .into_iter()
+            .filter_map(TreeFeed::try_for_isa)
+            .collect()
+    }
+
+    #[test]
+    fn tree_feed_table_matches_dispatched_isa() {
+        assert_eq!(tree_feed().isa, crate::simd::isa());
+        // a tier above the native one must be refused, never mis-installed
+        for isa in [SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512] {
+            if isa > crate::simd::native_isa() {
+                assert!(TreeFeed::try_for_isa(isa).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_bit_identical_on_random_planes() {
+        // The differential property: random thresholds, random planes and
+        // random need sets through every executable tier — masks, consumed
+        // plane count and full accept/undecided state must match the
+        // scalar reference word for word (tiers the CPU lacks are skipped).
+        let tiers = supported_tiers();
+        assert_eq!(tiers[0].isa, SimdIsa::Scalar);
+        let mut seq = PhiloxStream::from_seed(0xD15BA7C4);
+        for trial in 0..600 {
+            let p_hi = (seq.next_u32() as f64 + 0.5) / 2f64.powi(32);
+            let p_lo = p_hi * ((seq.next_u32() as f64 + 0.5) / 2f64.powi(32));
+            // sprinkle in the degenerate expansions (all-zero, all-one)
+            let (hi, lo) = match trial % 8 {
+                6 => (expand(1.0), expand(0.0)),
+                7 => (expand(0.0), expand(0.0)),
+                _ => (expand(p_hi), expand(p_lo)),
+            };
+            let mut planes = [0u64; 16];
+            for p in planes.iter_mut() {
+                *p = seq.next_u64();
+            }
+            let (need_hi, need_lo) = match trial % 4 {
+                0 => (!0u64, !0u64),
+                1 => (seq.next_u64(), seq.next_u64()),
+                2 => (seq.next_u64(), 0),
+                _ => (0, 0),
+            };
+            let mut reference = DualMaskBuilder::new();
+            reference.feed_tree16_with(&tiers[0], &hi, &lo, &planes, need_hi, need_lo);
+            let mut ref8 = DualMaskBuilder::new();
+            ref8.feed_tree8_with(&tiers[0], &hi, &lo, planes[..8].try_into().unwrap());
+            for tier in &tiers[1..] {
+                let mut t16 = DualMaskBuilder::new();
+                t16.feed_tree16_with(tier, &hi, &lo, &planes, need_hi, need_lo);
+                assert_eq!(reference.masks(), t16.masks(), "{} tree16", tier.isa.name());
+                assert_eq!(reference.planes_used(), t16.planes_used(), "{}", tier.isa.name());
+                assert_eq!((reference.und_hi, reference.und_lo), (t16.und_hi, t16.und_lo));
+                let mut t8 = DualMaskBuilder::new();
+                t8.feed_tree8_with(tier, &hi, &lo, planes[..8].try_into().unwrap());
+                assert_eq!(ref8.masks(), t8.masks(), "{} tree8", tier.isa.name());
+                assert_eq!((ref8.und_hi, ref8.und_lo), (t8.und_hi, t8.und_lo));
+                assert_eq!(ref8.planes_used(), t8.planes_used());
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_match_serial_feed_to_full_depth() {
+        // Chain tree8 feeds to the full 24-plane resolution on every tier
+        // and compare against the plane-by-plane serial feed.
+        let hi = expand(0.37);
+        let lo = expand(0.004);
+        let mut seq = PhiloxStream::from_seed(0x7EE5);
+        for _ in 0..200 {
+            let mut planes = [0u64; 24];
+            for p in planes.iter_mut() {
+                *p = seq.next_u64();
+            }
+            let mut serial = DualMaskBuilder::new();
+            serial.feed(&hi, &lo, &planes);
+            for tier in supported_tiers() {
+                let mut tree = DualMaskBuilder::new();
+                tree.feed_tree8_with(&tier, &hi, &lo, planes[..8].try_into().unwrap());
+                tree.feed_tree8_with(&tier, &hi, &lo, planes[8..16].try_into().unwrap());
+                tree.feed_tree8_with(&tier, &hi, &lo, planes[16..].try_into().unwrap());
+                assert_eq!(serial.masks(), tree.masks(), "{}", tier.isa.name());
+                assert_eq!(serial.undecided(!0, !0), tree.undecided(!0, !0));
+                assert_eq!(serial.planes_used(), tree.planes_used());
+            }
         }
     }
 

@@ -28,17 +28,19 @@
 
 pub mod bitsliced;
 mod philox;
+pub mod simd;
 mod site;
 mod uniform;
 
 pub use bitsliced::{
-    bernoulli_mask, bernoulli_mask_with, bernoulli_masks_dual, expand, DualMaskBuilder,
-    BERNOULLI_BITS,
+    bernoulli_mask, bernoulli_mask_with, bernoulli_masks_dual, expand, tree_feed, DualMaskBuilder,
+    TreeFeed, BERNOULLI_BITS,
 };
 pub use philox::{
     philox4x32_10, philox4x32_10_planes16, philox4x32_10_planes8_x2, philox4x32_10_x8,
     Philox4x32Key, PHILOX_BATCH,
 };
+pub use simd::{cpu_features, CpuFeatures, SimdIsa};
 pub use site::SiteRng;
 pub use uniform::RandomUniform;
 

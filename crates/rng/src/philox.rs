@@ -174,28 +174,20 @@ unsafe fn philox_x8_avx2(
     }
 }
 
-/// One-time cached SIMD tier detection: 1 = AVX-512 (F+VL at 256-bit
+/// SIMD tier of the Philox batch kernels: 1 = AVX-512 (F+VL at 256-bit
 /// width, so no heavy-512 frequency license), 2 = AVX2, 3 = scalar.
+/// Routed through the shared [`crate::simd::isa`] dispatch (one CPUID
+/// read, [`crate::simd::FORCE_ENV`]-overridable), so forcing the process
+/// to a tier also forces the Philox expansion — CI's forced-scalar pass
+/// exercises the portable batch bodies end to end.
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn simd_tier() -> u8 {
-    use std::sync::atomic::{AtomicU8, Ordering};
-    static TIER: AtomicU8 = AtomicU8::new(0);
-    match TIER.load(Ordering::Relaxed) {
-        0 => {
-            let t = if std::arch::is_x86_feature_detected!("avx512f")
-                && std::arch::is_x86_feature_detected!("avx512vl")
-            {
-                1
-            } else if std::arch::is_x86_feature_detected!("avx2") {
-                2
-            } else {
-                3
-            };
-            TIER.store(t, Ordering::Relaxed);
-            t
-        }
-        t => t,
+    use crate::simd::SimdIsa;
+    match crate::simd::isa() {
+        SimdIsa::Avx512 => 1,
+        SimdIsa::Avx2 => 2,
+        SimdIsa::Sse2 | SimdIsa::Scalar => 3,
     }
 }
 

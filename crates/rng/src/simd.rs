@@ -1,0 +1,265 @@
+//! Runtime SIMD tier detection for the bit-sliced hot kernels.
+//!
+//! Every vectorized kernel in the workspace — the Philox plane batches in
+//! [`crate::philox`] and the acceptance comparison trees in
+//! [`crate::bitsliced`] — dispatches through **one** detected tier, cached
+//! on first use (`is_x86_feature_detected!` reads CPUID once; afterwards
+//! the choice is a relaxed load). All tiers are bit-identical by
+//! construction: a tier is an evaluation-order optimization, never a
+//! semantic change, so a trajectory computed on an AVX-512 host replays
+//! exactly on a scalar one.
+//!
+//! The default dispatch prefers the **AVX2** tier even on AVX-512
+//! hosts: the 512-bit tree keeps every bitwise op on `zmm` registers,
+//! which on Skylake-SP/Cascade Lake server cores costs a frequency
+//! license that measures ~13% slower end to end than the 256-bit tree
+//! (see EXPERIMENTS.md). The wide tier stays available as an explicit
+//! opt-in.
+//!
+//! The [`FORCE_ENV`] environment variable (`TPU_ISING_SIMD=scalar`,
+//! `sse2`, `avx2` or `avx512`) selects any tier the CPU can execute,
+//! read once before the first dispatch — down for debugging and CI
+//! fallback coverage, or up to `avx512` to opt in to the wide tree.
+//! Requesting a tier the CPU cannot execute clamps to the detected one
+//! with a warning — the variable can never make the process crash on
+//! illegal instructions.
+
+use std::sync::OnceLock;
+
+/// Environment variable that forces the dispatched tier (`scalar`,
+/// `sse2`, `avx2`, `avx512`). Read once, before the first kernel runs.
+pub const FORCE_ENV: &str = "TPU_ISING_SIMD";
+
+/// The instruction-set tiers the dispatched kernels are compiled for,
+/// ordered by width so `<=` means "executable wherever the other is".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdIsa {
+    /// Portable `u64` bitwise code — every architecture.
+    Scalar,
+    /// 128-bit trees (part of the x86-64 baseline): the two acceptance
+    /// thresholds ride the two 64-bit lanes of one `xmm` register.
+    Sse2,
+    /// 256-bit trees: four 64-bit lanes per feed (two threshold pairs).
+    Avx2,
+    /// 512-bit trees: eight 64-bit lanes per feed. Only light bitwise
+    /// ops run at 512-bit width (no frequency-license concern); the
+    /// multiply-heavy Philox rounds stay at 256-bit under AVX-512VL.
+    Avx512,
+}
+
+impl SimdIsa {
+    /// Lower-case tier name, as stamped into benchmark provenance rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            SimdIsa::Sse2 => "sse2",
+            SimdIsa::Avx2 => "avx2",
+            SimdIsa::Avx512 => "avx512",
+        }
+    }
+
+    /// 64-bit lanes one comparison-tree feed folds at once.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdIsa::Scalar => 1,
+            SimdIsa::Sse2 => 2,
+            SimdIsa::Avx2 => 4,
+            SimdIsa::Avx512 => 8,
+        }
+    }
+
+    /// Parse a [`FORCE_ENV`] value (case-insensitive).
+    pub fn parse(s: &str) -> Option<SimdIsa> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdIsa::Scalar),
+            "sse2" => Some(SimdIsa::Sse2),
+            "avx2" => Some(SimdIsa::Avx2),
+            "avx512" | "avx512f" => Some(SimdIsa::Avx512),
+            _ => None,
+        }
+    }
+}
+
+/// Raw CPU capability bits, independent of any [`FORCE_ENV`] override —
+/// what the host *could* run, recorded in benchmark metadata so a scalar
+/// fallback row is still attributable to the hardware it ran on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// SSE2 (always true on x86-64).
+    pub sse2: bool,
+    /// AVX2.
+    pub avx2: bool,
+    /// AVX-512 Foundation.
+    pub avx512f: bool,
+}
+
+impl CpuFeatures {
+    /// Comma-joined list of the detected flags (`"sse2,avx2,avx512f"`),
+    /// or `"none"` off x86-64 — the provenance string for JSON rows.
+    pub fn summary(&self) -> String {
+        let mut out: Vec<&str> = Vec::new();
+        if self.sse2 {
+            out.push("sse2");
+        }
+        if self.avx2 {
+            out.push("avx2");
+        }
+        if self.avx512f {
+            out.push("avx512f");
+        }
+        if out.is_empty() {
+            "none".to_string()
+        } else {
+            out.join(",")
+        }
+    }
+}
+
+/// Detect the host's capability bits (cached CPUID reads).
+pub fn cpu_features() -> CpuFeatures {
+    #[cfg(target_arch = "x86_64")]
+    {
+        CpuFeatures {
+            sse2: true,
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        CpuFeatures::default()
+    }
+}
+
+/// The widest tier this CPU can execute, ignoring any override. The
+/// AVX-512 tier additionally requires AVX-512VL: the Philox rounds run at
+/// 256-bit width (`vpermt2d`/`vpternlogd` on `ymm`), which VL gates.
+pub fn native_isa() -> SimdIsa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            SimdIsa::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            SimdIsa::Avx2
+        } else {
+            SimdIsa::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdIsa::Scalar
+    }
+}
+
+/// The dispatched tier, decided once per process: the [`FORCE_ENV`]
+/// override when set (clamped to [`native_isa`]), otherwise the native
+/// tier capped at [`SimdIsa::Avx2`] — the wide tier's all-`zmm` tree
+/// triggers the 512-bit frequency license on Skylake-SP-class cores and
+/// measures slower than the 256-bit tree there, so AVX-512 is opt-in
+/// via `TPU_ISING_SIMD=avx512`. Every kernel dispatch site and every
+/// provenance stamp reads this single source of truth.
+pub fn isa() -> SimdIsa {
+    static ISA: OnceLock<SimdIsa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        let native = native_isa();
+        match std::env::var(FORCE_ENV) {
+            Ok(v) if !v.is_empty() => match SimdIsa::parse(&v) {
+                Some(forced) if forced <= native => forced,
+                Some(forced) => {
+                    eprintln!(
+                        "warning: {FORCE_ENV}={v} requests {} but this CPU tops out at {}; \
+                         using {}",
+                        forced.name(),
+                        native.name(),
+                        native.name()
+                    );
+                    native
+                }
+                None => {
+                    // An unparseable value behaves like an unset one:
+                    // fall back to the default (avx2-capped) dispatch,
+                    // never silently opt in to the wide tier.
+                    let default = native.min(SimdIsa::Avx2);
+                    eprintln!(
+                        "warning: unrecognized {FORCE_ENV}={v} (expected \
+                         scalar|sse2|avx2|avx512); using {}",
+                        default.name()
+                    );
+                    default
+                }
+            },
+            _ => native.min(SimdIsa::Avx2),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered_by_width() {
+        assert!(SimdIsa::Scalar < SimdIsa::Sse2);
+        assert!(SimdIsa::Sse2 < SimdIsa::Avx2);
+        assert!(SimdIsa::Avx2 < SimdIsa::Avx512);
+        assert_eq!(SimdIsa::Scalar.lanes(), 1);
+        assert_eq!(SimdIsa::Sse2.lanes(), 2);
+        assert_eq!(SimdIsa::Avx2.lanes(), 4);
+        assert_eq!(SimdIsa::Avx512.lanes(), 8);
+    }
+
+    #[test]
+    fn parse_accepts_every_tier_name_and_rejects_noise() {
+        for isa in [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512] {
+            assert_eq!(SimdIsa::parse(isa.name()), Some(isa));
+            assert_eq!(SimdIsa::parse(&isa.name().to_uppercase()), Some(isa));
+        }
+        assert_eq!(SimdIsa::parse("avx512f"), Some(SimdIsa::Avx512));
+        assert_eq!(SimdIsa::parse("neon"), None);
+        assert_eq!(SimdIsa::parse(""), None);
+    }
+
+    #[test]
+    fn dispatched_isa_never_exceeds_native() {
+        assert!(isa() <= native_isa());
+    }
+
+    #[test]
+    fn default_dispatch_caps_at_avx2() {
+        // The wide tier is opt-in: without an explicit force the process
+        // must not dispatch past the 256-bit tree.
+        if std::env::var(FORCE_ENV).map_or(true, |v| v.is_empty()) {
+            assert!(isa() <= SimdIsa::Avx2);
+        }
+    }
+
+    #[test]
+    fn feature_summary_lists_detected_flags() {
+        let f = cpu_features();
+        let s = f.summary();
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert!(f.sse2);
+            assert!(s.starts_with("sse2"), "{s}");
+        }
+        assert_eq!(f.avx2, s.contains("avx2"));
+        assert_eq!(f.avx512f, s.contains("avx512f"));
+        // the summary is stable and never empty
+        assert!(!s.is_empty());
+        assert_eq!(CpuFeatures::default().summary(), "none");
+    }
+
+    #[test]
+    fn native_isa_matches_feature_flags() {
+        let f = cpu_features();
+        let n = native_isa();
+        if f.avx2 {
+            assert!(n >= SimdIsa::Avx2);
+        }
+        if !f.avx2 {
+            assert!(n <= SimdIsa::Sse2);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! SIMD dispatch and sweep-pool integration.
+//!
+//! Pins the two cross-crate guarantees of the runtime-dispatched sweep:
+//! the multi-spin steady state allocates zero bytes **with the parallel
+//! path enabled** (the persistent pool replaced rayon's per-scope task
+//! machinery precisely for this), and the dispatched ISA tier is one
+//! consistent value everywhere it surfaces.
+
+use tpu_ising_core::multispin::MultiSpinIsing;
+use tpu_ising_core::sweep_pool;
+use tpu_ising_obs as obs;
+use tpu_ising_rng::{simd, tree_feed};
+
+// The zero-allocation guarantee is measured, not assumed.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
+/// Size the global pool before its first use so the parallel dispatch
+/// path is exercised even on single-CPU runners (the pool reads the env
+/// once, on the first parallel half-sweep).
+fn force_parallel_pool() -> &'static sweep_pool::SweepPool {
+    std::env::set_var(sweep_pool::WORKERS_ENV, "4");
+    sweep_pool::pool()
+}
+
+#[test]
+fn multispin_steady_state_allocates_zero_bytes_with_parallel_path() {
+    let pool = force_parallel_pool();
+    assert!(pool.helpers() >= 1, "pool must have helper threads for this test");
+    let mut sim = MultiSpinIsing::new(64, 64, 0.6, 99);
+    sim.set_tile_rows(Some(4)); // plenty of tiles per half-sweep
+    for _ in 0..5 {
+        sim.sweep(); // warm-up: pool spawn, lazy statics
+    }
+    // Min-delta over many windows: concurrent tests may allocate, but at
+    // least one window must be clean if the sweep itself does not
+    // allocate (same idiom as the perfbase steady-state gate).
+    let mut min_delta = u64::MAX;
+    for _ in 0..20 {
+        let a0 = obs::alloc::allocated_bytes();
+        for _ in 0..3 {
+            sim.sweep();
+        }
+        min_delta = min_delta.min(obs::alloc::allocated_bytes() - a0);
+    }
+    assert_eq!(min_delta, 0, "parallel multispin sweep allocated {min_delta} B steady-state");
+}
+
+#[test]
+fn pool_helpers_really_participate() {
+    let pool = force_parallel_pool();
+    let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+    // enough tiles, slow enough, that helpers reliably claim some
+    for _ in 0..50 {
+        pool.run(64, &|_t| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+    }
+    let seen = ids.lock().unwrap().len();
+    assert!(seen >= 2, "tiles only ever ran on {seen} thread(s)");
+}
+
+#[test]
+fn dispatched_isa_is_one_consistent_value() {
+    let isa = simd::isa();
+    assert_eq!(tree_feed().isa, isa, "tree kernels disagree with the dispatched tier");
+    assert!(isa <= simd::native_isa(), "dispatch exceeded hardware capability");
+    assert!(isa.lanes() >= 1);
+    // the provenance strings benches stamp into JSON rows are non-empty
+    assert!(!isa.name().is_empty());
+    assert!(!simd::cpu_features().summary().is_empty());
+}
