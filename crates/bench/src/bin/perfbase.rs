@@ -13,7 +13,7 @@
 //! provenance (timestamp, CPU model, commit, dispatched SIMD tier).
 //! `--gate-multispin` turns the committed acceptance bar into an exit
 //! code: single-core multispin must clear an **absolute flips/ns floor
-//! keyed on the dispatched ISA tier** (see [`multispin_floor`]) with a
+//! keyed on the dispatched ISA tier** (see [`tpu_ising_bench::multispin_floor`]) with a
 //! zero-allocation steady state; the old ≥ 10× band ratio is still
 //! printed, but as information — a same-run ratio can mask a regression
 //! when both sides slow down together.
@@ -27,7 +27,8 @@
 use std::time::Instant;
 
 use tpu_ising_bench::{
-    append_trajectory, print_table, quick_mode, results_dir, run_metadata, TrajectoryRow,
+    append_trajectory, multispin_floor, print_table, quick_mode, results_dir, run_metadata,
+    TrajectoryRow,
 };
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::{
@@ -36,7 +37,6 @@ use tpu_ising_core::{
 };
 use tpu_ising_device::mesh::Torus;
 use tpu_ising_obs as obs;
-use tpu_ising_rng::SimdIsa;
 
 // Heap traffic is an acceptance criterion here, so this binary measures
 // its own allocations rather than trusting the sweeper's gauge.
@@ -64,25 +64,6 @@ struct Row {
 /// The dispatched tier's name, as every row records it.
 fn isa_name() -> &'static str {
     tpu_ising_rng::simd::isa().name()
-}
-
-/// Absolute single-core multi-spin floor per dispatched ISA tier, in
-/// aggregate flips/ns. Floors sit at roughly 60 % of the figure measured
-/// on the reference dev host (see EXPERIMENTS.md), so shared CI machines
-/// pass with margin while a real regression — a silent scalar fallback,
-/// broken tiling, a mis-dispatched tree — still trips the gate.
-fn multispin_floor(isa: SimdIsa) -> f64 {
-    // Reference host (Cascade Lake Xeon 2.10 GHz, single core, L = 256):
-    // scalar 0.59, sse2 0.58, avx2 0.95, avx512 0.84 flips/ns. The
-    // avx512 floor sits *below* avx2 on purpose — the all-`zmm` tree
-    // pays the 512-bit frequency license on this core class, which is
-    // why the default dispatch caps at avx2 (see `tpu_ising_rng::simd`).
-    match isa {
-        SimdIsa::Scalar => 0.35,
-        SimdIsa::Sse2 => 0.35,
-        SimdIsa::Avx2 => 0.55,
-        SimdIsa::Avx512 => 0.50,
-    }
 }
 
 struct Speedup {

@@ -154,8 +154,30 @@ impl RunMetadata {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in hand-assembled JSON.
+pub fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Absolute single-core multi-spin floor per dispatched ISA tier, in
+/// aggregate flips/ns. Floors sit at roughly 60 % of the figure measured
+/// on the reference dev host (see EXPERIMENTS.md), so shared CI machines
+/// pass with margin while a real regression — a silent scalar fallback,
+/// broken tiling, a mis-dispatched tree — still trips the gate. Shared by
+/// the `perfbase --gate-multispin` gate and the suite grid runner so both
+/// enforce the same bar.
+pub fn multispin_floor(isa: tpu_ising_rng::SimdIsa) -> f64 {
+    // Reference host (Cascade Lake Xeon 2.10 GHz, single core, L = 256):
+    // scalar 0.59, sse2 0.58, avx2 0.95, avx512 0.84 flips/ns. The
+    // avx512 floor sits *below* avx2 on purpose — the all-`zmm` tree
+    // pays the 512-bit frequency license on this core class, which is
+    // why the default dispatch caps at avx2 (see `tpu_ising_rng::simd`).
+    match isa {
+        tpu_ising_rng::SimdIsa::Scalar => 0.35,
+        tpu_ising_rng::SimdIsa::Sse2 => 0.35,
+        tpu_ising_rng::SimdIsa::Avx2 => 0.55,
+        tpu_ising_rng::SimdIsa::Avx512 => 0.50,
+    }
 }
 
 /// Collect run provenance. See [`RunMetadata`] for the per-field sources.

@@ -23,21 +23,26 @@ impl std::fmt::Display for ArgError {
 }
 
 impl Args {
-    /// Parse a token stream (excluding `argv[0]`).
+    /// Parse a token stream (excluding `argv[0]`). Never panics on any
+    /// input: malformed command lines come back as [`ArgError`] naming
+    /// the offending token, which `main` prints with usage (exit 2).
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
         let mut out = Args::default();
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                // value or bare flag?
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = it.next().unwrap();
+                if key.is_empty() {
+                    return Err(ArgError("stray '--' with no option name".to_string()));
+                }
+                // A following token that is not itself an option is this
+                // option's value; otherwise the option is a bare flag.
+                match it.next_if(|v| !v.starts_with("--")) {
+                    Some(v) => {
                         if out.kv.insert(key.to_string(), v).is_some() {
                             return Err(ArgError(format!("duplicate option --{key}")));
                         }
                     }
-                    _ => out.flags.push(key.to_string()),
+                    None => out.flags.push(key.to_string()),
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
@@ -202,5 +207,32 @@ mod tests {
         let a = parse("pod --torus 2x2x2");
         assert!(a.get_pair("torus", (1, 1)).is_err());
         assert!(Args::parse("s --k 1 --k 2".split_whitespace().map(String::from)).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_flag() {
+        let a = parse("simulate --size abc --torus 9 --sizes 1,x,3");
+        let e = a.get_parse("size", 0usize).unwrap_err();
+        assert!(e.0.contains("--size") && e.0.contains("abc"), "{e}");
+        let e = a.get_pair("torus", (1, 1)).unwrap_err();
+        assert!(e.0.contains("--torus"), "{e}");
+        let e = a.get_list("sizes", vec![0usize]).unwrap_err();
+        assert!(e.0.contains("--sizes") && e.0.contains('x'), "{e}");
+    }
+
+    #[test]
+    fn hostile_token_streams_never_panic() {
+        // trailing option with no value → bare flag
+        let a = parse("pod --resume");
+        assert!(a.has_flag("resume"));
+        // an option followed by another option is a flag, not a value
+        let a = parse("pod --metrics --torus 2x2");
+        assert!(a.has_flag("metrics"));
+        assert_eq!(a.get("torus"), Some("2x2"));
+        // a stray `--` is a parse error, not a panic
+        assert!(Args::parse(["pod".into(), "--".into()]).is_err());
+        // negative numbers still parse as values
+        let a = parse("anneal --temp -1.5");
+        assert_eq!(a.get_parse("temp", 0.0f64).unwrap(), -1.5);
     }
 }

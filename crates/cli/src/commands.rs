@@ -2,21 +2,24 @@
 
 use crate::args::{ArgError, Args};
 use tpu_ising_baseline::GpuStyleIsing;
-use tpu_ising_bf16::Bf16;
-use tpu_ising_core::chaos::{run_chaos_multispin, run_chaos_pod, ChaosPlan};
+use tpu_ising_core::chaos::{run_chaos_engine, run_chaos_multispin, ChaosPlan, ChaosReport};
 use tpu_ising_core::distributed::{
-    run_pod_resilient, run_pod_vaulted, PodCheckpoint, PodConfig, PodRng, ResilienceOpts,
-    POD_VAULT_KIND,
+    run_pod_engine_resilient, run_pod_engine_vaulted, PodCheckpoint, PodConfig, PodError, PodRng,
+    ResilienceOpts, POD_VAULT_KIND,
+};
+use tpu_ising_core::engine::{
+    build_engine, with_scalar_engine, Algo, Dtype, EngineSpec, ScalarEngineVisitor,
+    ScalarMeshEngine,
 };
 use tpu_ising_core::fss::{binder_tc_estimate, SizeCurve};
 use tpu_ising_core::multispin::{
-    run_multispin_pod_resilient, run_multispin_pod_vaulted, MultiSpinIsing, MultiSpinPodCheckpoint,
+    run_multispin_pod_resilient, run_multispin_pod_vaulted, MultiSpinPodCheckpoint,
     MultiSpinPodConfig, MULTISPIN_VAULT_KIND, REPLICAS,
 };
 use tpu_ising_core::vault::{encode_envelope, load_file, FileLoad, Vault, VaultError};
 use tpu_ising_core::{
     cold_plane, onsager, random_plane, run_chain_labeled, ChainStats, Color, CompactIsing,
-    ConvIsing, KernelBackend, NaiveIsing, Randomness, WolffIsing, T_CRITICAL,
+    KernelBackend, Randomness, Scalar, T_CRITICAL,
 };
 use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
@@ -26,6 +29,7 @@ use tpu_ising_device::mesh::{FaultPlan, RetryPolicy, Torus};
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
 use tpu_ising_obs as obs;
+use tpu_ising_rng::RandomUniform;
 
 /// Wire the shared observability flags: `--progress` (heartbeats on
 /// stderr), `--metrics` (counter/gauge summary after the run) and, where a
@@ -259,7 +263,9 @@ fn print_stats(t: f64, l: usize, stats: &ChainStats, json: bool) {
     }
 }
 
-/// `simulate` — one chain, one algorithm, one precision.
+/// `simulate` — one chain, one algorithm, one precision. Every registered
+/// algorithm dispatches through [`build_engine`]; the replica-parallel
+/// path below is driven purely by the engine's capabilities, not its name.
 pub fn simulate(args: &Args) -> Result<(), ArgError> {
     let l: usize = args.get_parse("size", 64usize)?;
     let t = temperature(args)?;
@@ -268,7 +274,6 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     let sweeps: usize = args.get_parse("sweeps", 2000usize)?;
     let seed: u64 = args.get_parse("seed", 42u64)?;
     let algo = args.get_or("algo", "compact");
-    let dtype = args.get_or("dtype", "f32");
     let json = args.has_flag("json");
     let cold = args.has_flag("cold") || t < T_CRITICAL;
     let tile = (l / 4).clamp(2, 16);
@@ -276,119 +281,108 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     let want_metrics = init_observability(args, false);
     let label = format!("simulate {algo} L={l}");
 
-    macro_rules! run_generic {
-        ($S:ty) => {{
-            let init = if cold { cold_plane::<$S>(l, l) } else { random_plane::<$S>(seed, l, l) };
-            let stats = match algo {
-                "compact" => {
-                    let mut s = CompactIsing::from_plane(&init, tile, beta, Randomness::bulk(seed))
-                        .with_backend(be);
-                    run_chain_labeled(&mut s, burn, sweeps, &label)
-                }
-                "naive" => {
-                    let mut s = NaiveIsing::from_plane(&init, tile, beta, Randomness::bulk(seed))
-                        .with_backend(be);
-                    run_chain_labeled(&mut s, burn, sweeps, &label)
-                }
-                "conv" => {
-                    let mut s = ConvIsing::new(init, beta, Randomness::bulk(seed)).with_backend(be);
-                    run_chain_labeled(&mut s, burn, sweeps, &label)
-                }
-                "wolff" => {
-                    let mut s = WolffIsing::new(init, beta, Randomness::bulk(seed));
-                    run_chain_labeled(&mut s, burn, sweeps, &label)
-                }
-                other => return Err(ArgError(format!("unknown --algo '{other}' for this dtype"))),
-            };
-            print_stats(t, l, &stats, json);
-            if want_metrics {
-                finalize_rate_gauges();
-                print_metrics();
-            }
-            Ok(())
-        }};
+    // The GPU-style baseline exists to be compared against, not deployed,
+    // so it stays outside the Engine registry as an f32-only special case.
+    if algo == "gpu" {
+        if args.get_or("dtype", "f32") != "f32" {
+            return Err(ArgError("the gpu baseline is f32-only".into()));
+        }
+        let init = if cold { cold_plane(l, l) } else { random_plane(seed, l, l) };
+        let mut s = GpuStyleIsing::new(init, beta, Randomness::bulk(seed));
+        let stats = run_chain_labeled(&mut s, burn, sweeps, &label);
+        print_stats(t, l, &stats, json);
+        if want_metrics {
+            finalize_rate_gauges();
+            print_metrics();
+        }
+        return Ok(());
     }
 
-    match (algo, dtype) {
-        ("gpu", "f32") => {
-            let init = if cold { cold_plane(l, l) } else { random_plane(seed, l, l) };
-            let mut s = GpuStyleIsing::new(init, beta, Randomness::bulk(seed));
-            let stats = run_chain_labeled(&mut s, burn, sweeps, &label);
-            print_stats(t, l, &stats, json);
-            if want_metrics {
-                finalize_rate_gauges();
-                print_metrics();
-            }
-            Ok(())
-        }
-        ("multispin", _) => {
-            // The packed production engine: 64 independent chains on one
-            // lattice, per-replica observables, one pass.
-            let mut s = MultiSpinIsing::new(l, l, beta, seed);
-            s.set_tile_rows(args.get_opt_parse::<usize>("tile-rows")?);
+    let algo: Algo = algo.parse().map_err(ArgError)?;
+    let dtype: Dtype = args.get_or("dtype", "f32").parse().map_err(ArgError)?;
+    let mut engine = build_engine(&EngineSpec {
+        algo,
+        dtype,
+        height: l,
+        width: l,
+        tile,
+        beta,
+        seed,
+        cold,
+        backend: be,
+    })
+    .map_err(ArgError)?;
+    engine.set_tile_rows(args.get_opt_parse::<usize>("tile-rows")?);
+    let replicas = engine.caps().replicas;
+
+    if replicas > 1 {
+        // Replica-parallel engines advance many independent chains per
+        // sweep, so ⟨|m|⟩ gets a cross-replica standard error and the
+        // Binder cumulant pools every chain's moments.
+        {
             let isa = tpu_ising_rng::simd::isa();
             println!(
                 "multispin dispatch: {} ({} planes/feed), {}-row tiles",
                 isa.name(),
                 isa.lanes(),
-                s.tile_rows()
+                engine.tile_rows().unwrap_or(1)
             );
-            for _ in 0..burn {
-                s.sweep();
-            }
-            let n = (l * l) as f64;
-            let mut abs_m = [0.0f64; REPLICAS];
-            let mut m2 = [0.0f64; REPLICAS];
-            let mut m4 = [0.0f64; REPLICAS];
-            let t0 = std::time::Instant::now();
-            for _ in 0..sweeps {
-                s.sweep();
-                for (k, &mag) in s.replica_magnetizations().iter().enumerate() {
-                    let m = mag / n;
-                    abs_m[k] += m.abs();
-                    m2[k] += m * m;
-                    m4[k] += m * m * m * m;
-                }
-            }
-            let dt = t0.elapsed().as_secs_f64();
-            let per_replica: Vec<f64> = abs_m.iter().map(|a| a / sweeps as f64).collect();
-            let mean = per_replica.iter().sum::<f64>() / REPLICAS as f64;
-            let var = per_replica.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / (REPLICAS - 1) as f64;
-            let stderr = (var / REPLICAS as f64).sqrt();
-            let (p2, p4) = (
-                m2.iter().sum::<f64>() / (REPLICAS * sweeps) as f64,
-                m4.iter().sum::<f64>() / (REPLICAS * sweeps) as f64,
-            );
-            let binder = 1.0 - p4 / (3.0 * p2 * p2);
-            let flips = s.flips_per_sweep() as f64 * sweeps as f64;
-            println!(
-                "L = {l}, T = {t:.4} (T/Tc = {:.4}), 64 replicas × {sweeps} sweeps",
-                t / T_CRITICAL
-            );
-            println!(
-                "  ⟨|m|⟩ = {:.4} ± {:.4} across replicas   (replica 0: {:.4}, Onsager: {:.4})",
-                mean,
-                stderr,
-                per_replica[0],
-                onsager::magnetization(t)
-            );
-            println!("  U4    = {binder:.4} (pooled over 64 chains)");
-            println!(
-                "  throughput: {:.3} flips/ns aggregate ({:.1} Msweeps-sites/s)",
-                flips / dt / 1e9,
-                n * sweeps as f64 / dt / 1e6
-            );
-            if want_metrics {
-                finalize_rate_gauges();
-                print_metrics();
-            }
-            Ok(())
         }
-        (_, "f32") => run_generic!(f32),
-        (_, "bf16") => run_generic!(Bf16),
-        (_, other) => Err(ArgError(format!("unknown --dtype '{other}'"))),
+        for _ in 0..burn {
+            engine.sweep();
+        }
+        let n = (l * l) as f64;
+        let mut abs_m = vec![0.0f64; replicas];
+        let mut m2 = vec![0.0f64; replicas];
+        let mut m4 = vec![0.0f64; replicas];
+        let t0 = std::time::Instant::now();
+        for _ in 0..sweeps {
+            engine.sweep();
+            for (k, &mag) in engine.replica_magnetization_sums().iter().enumerate() {
+                let m = mag / n;
+                abs_m[k] += m.abs();
+                m2[k] += m * m;
+                m4[k] += m * m * m * m;
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let per_replica: Vec<f64> = abs_m.iter().map(|a| a / sweeps as f64).collect();
+        let mean = per_replica.iter().sum::<f64>() / replicas as f64;
+        let var = per_replica.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (replicas - 1) as f64;
+        let stderr = (var / replicas as f64).sqrt();
+        let (p2, p4) = (
+            m2.iter().sum::<f64>() / (replicas * sweeps) as f64,
+            m4.iter().sum::<f64>() / (replicas * sweeps) as f64,
+        );
+        let binder = 1.0 - p4 / (3.0 * p2 * p2);
+        let flips = engine.flips_per_sweep() as f64 * sweeps as f64;
+        println!(
+            "L = {l}, T = {t:.4} (T/Tc = {:.4}), {replicas} replicas × {sweeps} sweeps",
+            t / T_CRITICAL
+        );
+        println!(
+            "  ⟨|m|⟩ = {:.4} ± {:.4} across replicas   (replica 0: {:.4}, Onsager: {:.4})",
+            mean,
+            stderr,
+            per_replica[0],
+            onsager::magnetization(t)
+        );
+        println!("  U4    = {binder:.4} (pooled over {replicas} chains)");
+        println!(
+            "  throughput: {:.3} flips/ns aggregate ({:.1} Msweeps-sites/s)",
+            flips / dt / 1e9,
+            n * sweeps as f64 / dt / 1e6
+        );
+    } else {
+        let stats = run_chain_labeled(&mut engine, burn, sweeps, &label);
+        print_stats(t, l, &stats, json);
     }
+    if want_metrics {
+        finalize_rate_gauges();
+        print_metrics();
+    }
+    Ok(())
 }
 
 /// `scan` — Binder scan over sizes and temperatures, Tc estimate.
@@ -455,11 +449,45 @@ pub fn scan(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `pod` — distributed SPMD run.
+/// `pod` — distributed SPMD run. Routing is capability-driven: any
+/// mesh-capable algorithm works, replica-parallel engines take the packed
+/// pod path, and everything scalar funnels through one generic body
+/// instantiated per (algo, dtype) by [`with_scalar_engine`].
 pub fn pod(args: &Args) -> Result<(), ArgError> {
-    if args.get_or("algo", "compact") == "multispin" {
+    let algo: Algo = args.get_or("algo", "compact").parse().map_err(ArgError)?;
+    let caps = algo.caps();
+    if !caps.mesh {
+        return Err(ArgError(format!(
+            "--algo {algo} has no mesh support (pod needs halo exchange)"
+        )));
+    }
+    if caps.replicas > 1 {
         return pod_multispin(args);
     }
+    let dtype: Dtype = args.get_or("dtype", "f32").parse().map_err(ArgError)?;
+    struct PodCmd<'a> {
+        args: &'a Args,
+        algo: Algo,
+    }
+    impl ScalarEngineVisitor for PodCmd<'_> {
+        type Out = Result<(), ArgError>;
+        fn visit<S, E>(self) -> Self::Out
+        where
+            S: Scalar + RandomUniform + 'static,
+            E: ScalarMeshEngine<S> + Send + 'static,
+        {
+            pod_scalar::<S, E>(self.args, self.algo)
+        }
+    }
+    with_scalar_engine(algo, dtype, PodCmd { args, algo }).map_err(ArgError)?
+}
+
+/// The scalar `pod` body, written once for every mesh engine.
+fn pod_scalar<S, E>(args: &Args, algo: Algo) -> Result<(), ArgError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + Send + 'static,
+{
     let (nx, ny) = args.get_pair("torus", (2, 2))?;
     let (h, w) = args.get_pair("per-core", (64, 64))?;
     let t = temperature(args)?;
@@ -494,7 +522,7 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         backend: backend(args)?,
     };
     println!(
-        "pod {nx}x{ny} cores, per-core {h}x{w}, global {}x{}, T/Tc = {:.3}, {sweeps} sweeps",
+        "pod {nx}x{ny} cores, {algo}: per-core {h}x{w}, global {}x{}, T/Tc = {:.3}, {sweeps} sweeps",
         cfg.global_h(),
         cfg.global_w(),
         t / T_CRITICAL
@@ -511,8 +539,8 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
     };
     let t0 = std::time::Instant::now();
     let run = match &vault {
-        Some(v) => run_pod_vaulted::<f32>(&cfg, sweeps, &opts, resume_ckpt, v),
-        None => run_pod_resilient::<f32>(&cfg, sweeps, &opts, resume_ckpt),
+        Some(v) => run_pod_engine_vaulted::<S, E>(&cfg, sweeps, &opts, resume_ckpt, v),
+        None => run_pod_engine_resilient::<S, E>(&cfg, sweeps, &opts, resume_ckpt),
     };
     finish_telemetry(telemetry);
     let run = run.map_err(|e| ArgError(e.to_string()))?;
@@ -563,13 +591,14 @@ pub fn pod(args: &Args) -> Result<(), ArgError> {
         // Aggregate measured view next to the modeled Table-3 view for the
         // same per-core geometry, sharing one TraceBreakdown shape.
         let measured = snap.breakdown();
+        let variant: Variant = algo.name().parse().map_err(ArgError)?;
         let modeled = step_time(
             &TpuV3Params::v3(),
             &StepConfig {
                 per_core_h: h,
                 per_core_w: w,
-                dtype_bytes: 4,
-                variant: Variant::Compact,
+                dtype_bytes: std::mem::size_of::<S>(),
+                variant,
                 mode: if nx * ny <= 1 {
                     ExecutionMode::SingleCore
                 } else {
@@ -689,9 +718,12 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
 /// vault-backed pod, then verify the surviving run is bit-exact with an
 /// uninterrupted reference. Exits non-zero if determinism is broken.
 pub fn chaos(args: &Args) -> Result<(), ArgError> {
-    let algo = args.get_or("algo", "compact");
-    if algo != "compact" && algo != "multispin" {
-        return Err(ArgError(format!("unknown --algo '{algo}' (expected compact or multispin)")));
+    let algo: Algo = args.get_or("algo", "compact").parse().map_err(ArgError)?;
+    let caps = algo.caps();
+    if !caps.mesh || !caps.checkpoint {
+        return Err(ArgError(format!(
+            "--algo {algo} cannot run the chaos drill (needs mesh + checkpoint support)"
+        )));
     }
     let (nx, ny) = args.get_pair("torus", (2, 2))?;
     let (h, w) = args.get_pair("per-core", (16, 16))?;
@@ -714,7 +746,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
         "chaos drill: {algo} pod {nx}x{ny}, per-core {h}x{w}, {sweeps} sweeps, \
          {sessions} crash session(s), chaos seed {chaos_seed}, vault in {vault_dir}/"
     );
-    let report = if algo == "multispin" {
+    let report = if caps.replicas > 1 {
         let cfg = MultiSpinPodConfig {
             torus: Torus::new(nx, ny),
             per_core_h: h,
@@ -731,6 +763,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             keep,
         )
     } else {
+        let dtype: Dtype = args.get_or("dtype", "f32").parse().map_err(ArgError)?;
         let tile = (h.min(w) / 4).clamp(1, 16);
         let cfg = PodConfig {
             torus: Torus::new(nx, ny),
@@ -742,7 +775,44 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             rng: PodRng::SiteKeyed,
             backend: backend(args)?,
         };
-        run_chaos_pod(&cfg, sweeps, checkpoint_every, &plan, std::path::Path::new(&vault_dir), keep)
+        struct ChaosCmd<'a> {
+            cfg: &'a PodConfig,
+            sweeps: usize,
+            checkpoint_every: usize,
+            plan: &'a ChaosPlan,
+            vault_dir: &'a std::path::Path,
+            keep: usize,
+        }
+        impl ScalarEngineVisitor for ChaosCmd<'_> {
+            type Out = Result<ChaosReport, PodError>;
+            fn visit<S, E>(self) -> Self::Out
+            where
+                S: Scalar + RandomUniform + 'static,
+                E: ScalarMeshEngine<S> + Send + 'static,
+            {
+                run_chaos_engine::<S, E>(
+                    self.cfg,
+                    self.sweeps,
+                    self.checkpoint_every,
+                    self.plan,
+                    self.vault_dir,
+                    self.keep,
+                )
+            }
+        }
+        with_scalar_engine(
+            algo,
+            dtype,
+            ChaosCmd {
+                cfg: &cfg,
+                sweeps,
+                checkpoint_every,
+                plan: &plan,
+                vault_dir: std::path::Path::new(&vault_dir),
+                keep,
+            },
+        )
+        .map_err(ArgError)?
     };
     finish_telemetry(telemetry);
     let report = report.map_err(|e| ArgError(e.to_string()))?;
@@ -766,12 +836,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
 pub fn model(args: &Args) -> Result<(), ArgError> {
     let cores: usize = args.get_parse("cores", 2usize)?;
     let (h, w) = args.get_pair("per-core", (896, 448))?;
-    let variant = match args.get_or("variant", "compact") {
-        "compact" => Variant::Compact,
-        "naive" => Variant::Naive,
-        "conv" => Variant::Conv,
-        other => return Err(ArgError(format!("unknown --variant '{other}'"))),
-    };
+    let variant: Variant = args.get_or("variant", "compact").parse().map_err(ArgError)?;
     let dtype_bytes = match args.get_or("dtype", "bf16") {
         "bf16" => 2,
         "f32" => 4,

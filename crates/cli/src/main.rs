@@ -44,9 +44,11 @@ COMMANDS:
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
              --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
              --backend dense|band (band)
-             --algo compact|multispin (compact)   multispin = 64 replicas
-                                per word, packed u64 halo exchange (32×
-                                fewer halo bytes), always site-keyed
+             --algo compact|naive|conv|multispin (compact)
+                                any mesh-capable engine; multispin = 64
+                                replicas per word, packed u64 halo exchange
+                                (32× fewer halo bytes), always site-keyed
+             --dtype f32|bf16 (f32)   scalar engines only
              --checkpoint-every N (final only; must be >= 1 if given)
              --checkpoint-out FILE   also keeps a durable vault of CRC-
                                 checked generations next to FILE
@@ -67,8 +69,9 @@ COMMANDS:
              --flush-every MS (1000)  telemetry flush interval
   chaos      seeded chaos drill: crash/corrupt/resume loop, verifies the
              surviving run is bit-exact with an uninterrupted reference
-             --algo compact|multispin (compact)  --torus AxB (2x2)
+             --algo compact|naive|conv|multispin (compact)  --torus AxB (2x2)
              --per-core HxW (16x16)  --sweeps N (8)  --seed S (7)
+             --dtype f32|bf16 (f32)   scalar engines only
              --chaos-seed S (1)  --sessions N (3)  --checkpoint-every N (2)
              --vault-dir DIR (chaos-vault)  --keep-generations N (3)
              --telemetry-dir DIR  --flush-every MS (1000)   as in pod

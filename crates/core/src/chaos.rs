@@ -20,20 +20,24 @@
 //!   reference run. Under site-keyed RNG the histories must be
 //!   **bit-identical**, no matter what the schedule did.
 
+use crate::compact::CompactIsing;
 use crate::distributed::{
-    run_pod_resilient, run_pod_vaulted, PodCheckpoint, PodConfig, PodError, ResilienceOpts,
-    POD_VAULT_KIND,
+    run_pod_engine_resilient, run_pod_engine_vaulted, PodCheckpoint, PodConfig, PodError,
+    ResilienceOpts, POD_VAULT_KIND,
 };
+use crate::engine::ScalarMeshEngine;
 use crate::multispin::{
     run_multispin_pod_resilient, run_multispin_pod_vaulted, MultiSpinPodCheckpoint,
     MultiSpinPodConfig, MULTISPIN_VAULT_KIND,
 };
 use crate::vault::{Vault, VaultError};
+use std::marker::PhantomData;
 use std::path::Path;
 use std::time::Duration;
+use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::{FaultPlan, RetryPolicy};
 use tpu_ising_obs as obs;
-use tpu_ising_rng::PhiloxStream;
+use tpu_ising_rng::{PhiloxStream, RandomUniform};
 
 /// One vault-corruption action, applied to the newest on-disk generation
 /// between a crashed session and the resume that follows it.
@@ -91,7 +95,7 @@ impl ChaosPlan {
         for _ in 0..sessions {
             let kill_core = (rng.next_u64() % cores as u64) as usize;
             let kill_at = rng.next_u64() % collective_span;
-            let drop = if rng.next_u64() % 3 == 0 {
+            let drop = if rng.next_u64().is_multiple_of(3) {
                 let from = (rng.next_u64() % cores as u64) as usize;
                 let to = (rng.next_u64() % cores as u64) as usize;
                 let at = rng.next_u64() % collective_span;
@@ -99,7 +103,7 @@ impl ChaosPlan {
             } else {
                 None
             };
-            let delay = if rng.next_u64() % 2 == 0 {
+            let delay = if rng.next_u64().is_multiple_of(2) {
                 let core = (rng.next_u64() % cores as u64) as usize;
                 let at = rng.next_u64() % collective_span;
                 // ≤ 150 ms: absorbable by the driver's retry budget.
@@ -206,29 +210,53 @@ fn vault_resume_err(e: VaultError) -> PodError {
     PodError::Resume(format!("vault reload during chaos: {e}"))
 }
 
-/// Run the scalar-pod chaos drill: an uninterrupted reference run, then
-/// the planned crash/corrupt/resume sessions through a vault in
-/// `vault_dir`, then a fault-free session to completion. The returned
-/// report says whether the two magnetization histories match bit for bit.
-pub fn run_chaos_pod(
-    cfg: &PodConfig,
-    sweeps: usize,
+/// One deployment family the chaos driver can exercise. This is the
+/// session-level sibling of [`crate::distributed`]'s restart family: where
+/// that trait binds a single resilient *attempt*, this one binds whole
+/// vault-backed *sessions*, so the crash → corrupt → quarantine → resume
+/// loop is written once and every engine plugs into it.
+trait ChaosFamily {
+    /// The pod-level checkpoint resumed between sessions.
+    type Ckpt;
+    /// The observable history compared bit-for-bit against the reference.
+    type History: PartialEq;
+
+    /// The vault envelope `kind` tag this family's checkpoints carry.
+    const VAULT_KIND: &'static str;
+    /// The vault namespace this family's chaos generations live under.
+    const VAULT_NAMESPACE: &'static str;
+
+    /// An uninterrupted run's history — the bit-exactness oracle.
+    fn reference(&self, opts: &ResilienceOpts) -> Result<Self::History, PodError>;
+
+    /// One vault-backed session: the full history (spanning sweep 1 to the
+    /// final sweep, across resumes) and the final sweep index.
+    fn vaulted(
+        &self,
+        opts: &ResilienceOpts,
+        resume: Option<Self::Ckpt>,
+        vault: &Vault,
+    ) -> Result<(Self::History, u64), PodError>;
+
+    /// Decode a vault payload back into a resumable checkpoint.
+    fn ckpt_from_json(json: &str) -> Result<Self::Ckpt, PodError>;
+}
+
+/// The shared chaos session loop: an uninterrupted reference run, then the
+/// planned crash/corrupt/resume sessions through a vault in `vault_dir`,
+/// then (if no session ran to completion) a fault-free session. The report
+/// says whether the chaos history matches the reference bit for bit.
+fn run_chaos_family<F: ChaosFamily>(
+    family: &F,
     checkpoint_every: usize,
     plan: &ChaosPlan,
     vault_dir: &Path,
     keep: usize,
 ) -> Result<ChaosReport, PodError> {
-    let reference = run_pod_resilient::<f32>(
-        cfg,
-        sweeps,
-        &session_opts(checkpoint_every, FaultPlan::new()),
-        None,
-    )?
-    .result
-    .magnetization_sums;
-    let vault = Vault::new(vault_dir, "chaos-pod", keep).map_err(vault_resume_err)?;
+    let reference = family.reference(&session_opts(checkpoint_every, FaultPlan::new()))?;
+    let vault = Vault::new(vault_dir, F::VAULT_NAMESPACE, keep).map_err(vault_resume_err)?;
     let mut report = ChaosReport::default();
-    let mut latest: Option<PodCheckpoint> = None;
+    let mut latest: Option<F::Ckpt> = None;
     let mut done = None;
     for (i, session) in plan.sessions.iter().enumerate() {
         report.sessions += 1;
@@ -238,7 +266,7 @@ pub fn run_chaos_pod(
         }
         obs::record(obs::EventKind::SessionStart { session: i as u64 });
         let opts = session_opts(checkpoint_every, plan.fault_plan(i));
-        match run_pod_vaulted::<f32>(cfg, sweeps, &opts, latest.take(), &vault) {
+        match family.vaulted(&opts, latest.take(), &vault) {
             Ok(run) => {
                 // The scheduled kill landed beyond the end of the run —
                 // the session simply finished.
@@ -259,10 +287,10 @@ pub fn run_chaos_pod(
                         report.corruptions += 1;
                     }
                 }
-                match vault.load_latest(POD_VAULT_KIND) {
+                match vault.load_latest(F::VAULT_KIND) {
                     Ok(loaded) => {
                         report.quarantined += loaded.quarantined.len();
-                        latest = Some(PodCheckpoint::from_json(&loaded.payload)?);
+                        latest = Some(F::ckpt_from_json(&loaded.payload)?);
                     }
                     Err(VaultError::NoValidGeneration { quarantined, .. }) => {
                         report.quarantined += quarantined.len();
@@ -275,24 +303,123 @@ pub fn run_chaos_pod(
             Err(other) => return Err(other),
         }
     }
-    let run = match done {
+    let (history, final_sweep) = match done {
         Some(run) => run,
         None => {
             report.sessions += 1;
             obs::recorder::bump_generation();
             obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
-            run_pod_vaulted::<f32>(
-                cfg,
-                sweeps,
-                &session_opts(checkpoint_every, FaultPlan::new()),
-                latest,
-                &vault,
-            )?
+            family.vaulted(&session_opts(checkpoint_every, FaultPlan::new()), latest, &vault)?
         }
     };
-    report.final_sweep = run.final_checkpoint.sweep_index;
-    report.bit_exact = run.result.magnetization_sums == reference;
+    report.final_sweep = final_sweep;
+    report.bit_exact = history == reference;
     Ok(report)
+}
+
+/// The chaos bindings of any scalar mesh engine (compact, naive, conv).
+struct ScalarChaosFamily<'a, S, E> {
+    cfg: &'a PodConfig,
+    sweeps: usize,
+    _engine: PhantomData<fn() -> (S, E)>,
+}
+
+impl<S, E> ChaosFamily for ScalarChaosFamily<'_, S, E>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    type Ckpt = PodCheckpoint;
+    type History = Vec<f64>;
+    const VAULT_KIND: &'static str = POD_VAULT_KIND;
+    const VAULT_NAMESPACE: &'static str = "chaos-pod";
+
+    fn reference(&self, opts: &ResilienceOpts) -> Result<Vec<f64>, PodError> {
+        Ok(run_pod_engine_resilient::<S, E>(self.cfg, self.sweeps, opts, None)?
+            .result
+            .magnetization_sums)
+    }
+
+    fn vaulted(
+        &self,
+        opts: &ResilienceOpts,
+        resume: Option<PodCheckpoint>,
+        vault: &Vault,
+    ) -> Result<(Vec<f64>, u64), PodError> {
+        let run = run_pod_engine_vaulted::<S, E>(self.cfg, self.sweeps, opts, resume, vault)?;
+        Ok((run.result.magnetization_sums, run.final_checkpoint.sweep_index))
+    }
+
+    fn ckpt_from_json(json: &str) -> Result<PodCheckpoint, PodError> {
+        PodCheckpoint::from_json(json)
+    }
+}
+
+/// The chaos bindings of the bit-packed multispin engine.
+struct MultiSpinChaosFamily<'a> {
+    cfg: &'a MultiSpinPodConfig,
+    sweeps: usize,
+}
+
+impl ChaosFamily for MultiSpinChaosFamily<'_> {
+    type Ckpt = MultiSpinPodCheckpoint;
+    type History = Vec<[f64; crate::multispin::REPLICAS]>;
+    const VAULT_KIND: &'static str = MULTISPIN_VAULT_KIND;
+    const VAULT_NAMESPACE: &'static str = "chaos-multispin";
+
+    fn reference(&self, opts: &ResilienceOpts) -> Result<Self::History, PodError> {
+        Ok(run_multispin_pod_resilient(self.cfg, self.sweeps, opts, None)?
+            .result
+            .replica_magnetizations)
+    }
+
+    fn vaulted(
+        &self,
+        opts: &ResilienceOpts,
+        resume: Option<MultiSpinPodCheckpoint>,
+        vault: &Vault,
+    ) -> Result<(Self::History, u64), PodError> {
+        let run = run_multispin_pod_vaulted(self.cfg, self.sweeps, opts, resume, vault)?;
+        Ok((run.result.replica_magnetizations, run.final_checkpoint.sweep_index))
+    }
+
+    fn ckpt_from_json(json: &str) -> Result<MultiSpinPodCheckpoint, PodError> {
+        MultiSpinPodCheckpoint::from_json(json)
+    }
+}
+
+/// Run the chaos drill for any scalar mesh engine: an uninterrupted
+/// reference run, then the planned crash/corrupt/resume sessions through a
+/// vault in `vault_dir`, then a fault-free session to completion. The
+/// returned report says whether the two magnetization histories match bit
+/// for bit.
+pub fn run_chaos_engine<S, E>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+) -> Result<ChaosReport, PodError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    let family = ScalarChaosFamily::<S, E> { cfg, sweeps, _engine: PhantomData };
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep)
+}
+
+/// [`run_chaos_engine`] at the paper's benchmark configuration: the
+/// compact (Algorithm 2) engine in `f32`.
+pub fn run_chaos_pod(
+    cfg: &PodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+) -> Result<ChaosReport, PodError> {
+    run_chaos_engine::<f32, CompactIsing<f32>>(cfg, sweeps, checkpoint_every, plan, vault_dir, keep)
 }
 
 /// The multispin analogue of [`run_chaos_pod`]: same schedule semantics,
@@ -305,78 +432,8 @@ pub fn run_chaos_multispin(
     vault_dir: &Path,
     keep: usize,
 ) -> Result<ChaosReport, PodError> {
-    let reference = run_multispin_pod_resilient(
-        cfg,
-        sweeps,
-        &session_opts(checkpoint_every, FaultPlan::new()),
-        None,
-    )?
-    .result
-    .replica_magnetizations;
-    let vault = Vault::new(vault_dir, "chaos-multispin", keep).map_err(vault_resume_err)?;
-    let mut report = ChaosReport::default();
-    let mut latest: Option<MultiSpinPodCheckpoint> = None;
-    let mut done = None;
-    for (i, session) in plan.sessions.iter().enumerate() {
-        report.sessions += 1;
-        if i > 0 {
-            obs::recorder::bump_generation();
-        }
-        obs::record(obs::EventKind::SessionStart { session: i as u64 });
-        let opts = session_opts(checkpoint_every, plan.fault_plan(i));
-        match run_multispin_pod_vaulted(cfg, sweeps, &opts, latest.take(), &vault) {
-            Ok(run) => {
-                done = Some(run);
-                break;
-            }
-            Err(PodError::RestartsExhausted { .. }) | Err(PodError::Mesh(_)) => {
-                report.crashes += 1;
-                if let Some(c) = session.corrupt {
-                    if let Some(newest) = vault.generations().first() {
-                        apply_corruption(&newest.path, c).map_err(|e| {
-                            PodError::Resume(format!("corruption injection failed: {e}"))
-                        })?;
-                        obs::record(obs::EventKind::ChaosInjected {
-                            session: i as u64,
-                            mode: corruption_mode(c),
-                        });
-                        report.corruptions += 1;
-                    }
-                }
-                match vault.load_latest(MULTISPIN_VAULT_KIND) {
-                    Ok(loaded) => {
-                        report.quarantined += loaded.quarantined.len();
-                        latest = Some(MultiSpinPodCheckpoint::from_json(&loaded.payload)?);
-                    }
-                    Err(VaultError::NoValidGeneration { quarantined, .. }) => {
-                        report.quarantined += quarantined.len();
-                        report.from_scratch += 1;
-                        latest = None;
-                    }
-                    Err(e) => return Err(vault_resume_err(e)),
-                }
-            }
-            Err(other) => return Err(other),
-        }
-    }
-    let run = match done {
-        Some(run) => run,
-        None => {
-            report.sessions += 1;
-            obs::recorder::bump_generation();
-            obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
-            run_multispin_pod_vaulted(
-                cfg,
-                sweeps,
-                &session_opts(checkpoint_every, FaultPlan::new()),
-                latest,
-                &vault,
-            )?
-        }
-    };
-    report.final_sweep = run.final_checkpoint.sweep_index;
-    report.bit_exact = run.result.replica_magnetizations == reference;
-    Ok(report)
+    let family = MultiSpinChaosFamily { cfg, sweeps };
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep)
 }
 
 #[cfg(test)]
@@ -459,6 +516,31 @@ mod tests {
         };
         let plan = ChaosPlan::generate(7, 3, 4, 8 * 6);
         let report = run_chaos_pod(&cfg, 6, 2, &plan, &dir, 3).expect("chaos run");
+        assert!(report.bit_exact, "chaos diverged: {report:?}");
+        assert_eq!(report.final_sweep, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn naive_engine_chaos_run_is_bit_exact() {
+        if !serde_is_real() {
+            return;
+        }
+        let dir = tmpdir("naive");
+        let cfg = PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.4,
+            seed: 99,
+            rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
+        };
+        let plan = ChaosPlan::generate(5, 3, 4, 8 * 6);
+        let report =
+            run_chaos_engine::<f32, crate::naive::NaiveIsing<f32>>(&cfg, 6, 2, &plan, &dir, 3)
+                .expect("chaos run");
         assert!(report.bit_exact, "chaos diverged: {report:?}");
         assert_eq!(report.final_sweep, 6);
         let _ = std::fs::remove_dir_all(&dir);

@@ -12,11 +12,12 @@
 //! convolves into a preallocated workspace and flips in place — zero heap
 //! allocations in steady state, bit-identical to the reference.
 
-use crate::lattice::Color;
+use crate::lattice::{Color, PlaneHalos};
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
 use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
+use tpu_ising_device::mesh::Dir;
 use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
 use tpu_ising_tensor::{KernelBackend, Plane};
@@ -136,18 +137,78 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
     }
 
     /// Update all sites of one color: convolve for neighbor sums, then a
-    /// masked Metropolis accept.
+    /// masked Metropolis accept. Neighbor sums wrap around the local
+    /// window (correct for a single-core torus).
     pub fn update_color(&mut self, color: Color) {
         match self.backend {
-            KernelBackend::Dense => self.update_color_dense(color),
-            KernelBackend::Band => self.update_color_band(color),
+            KernelBackend::Dense => self.update_color_dense(color, None),
+            KernelBackend::Band => self.update_color_band(color, None),
         }
+    }
+
+    /// [`update_color`](Self::update_color) for a mesh window: local
+    /// periodic sums are corrected at the window boundary with the
+    /// neighboring cores' edges, giving the exact global-torus sums —
+    /// bit-identical to a single-core run on the stitched lattice.
+    pub fn update_color_with_halos(&mut self, color: Color, halos: &PlaneHalos<S>) {
+        match self.backend {
+            KernelBackend::Dense => self.update_color_dense(color, Some(halos)),
+            KernelBackend::Band => self.update_color_band(color, Some(halos)),
+        }
+    }
+
+    /// Completed sweeps.
+    pub fn sweep_index(&self) -> u64 {
+        self.sweep_index
+    }
+
+    /// Set the sweep counter (resume).
+    pub fn set_sweep_index(&mut self, sweep: u64) {
+        self.sweep_index = sweep;
+    }
+
+    /// Global offset of the local window.
+    pub fn window_offset(&self) -> (usize, usize) {
+        (self.row0, self.col0)
+    }
+
+    /// Snapshot of the RNG state (checkpointing).
+    pub fn rng_state(&self) -> crate::prob::RngState {
+        self.rng.state()
+    }
+
+    /// Bump the sweep counter after both colors of a mesh sweep (the
+    /// single-core [`Sweeper::sweep`] does this internally).
+    pub fn advance_sweep(&mut self) {
+        self.sweep_index += 1;
+    }
+
+    /// What this core must contribute to its neighbors for a color
+    /// update, as `(payload, shift direction)` pairs in the fixed order
+    /// `[north, south, west, east]` (the receiver's [`PlaneHalos`]
+    /// slots). Shifting a payload in direction `D` delivers it to the
+    /// neighbor on the `D` side, so e.g. the `north` halo every core
+    /// *receives* is the last row its north neighbor sent southward. The
+    /// payloads are full (both-color) edges, identical for either color
+    /// update.
+    pub fn halo_exchange_spec(&self, _color: Color) -> [(Vec<S>, Dir); 4] {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        [
+            ((0..w).map(|c| self.plane.get(h - 1, c)).collect(), Dir::South),
+            ((0..w).map(|c| self.plane.get(0, c)).collect(), Dir::North),
+            ((0..h).map(|r| self.plane.get(r, w - 1)).collect(), Dir::East),
+            ((0..h).map(|r| self.plane.get(r, 0)).collect(), Dir::West),
+        ]
     }
 
     /// The legacy reference update: allocates the neighbor-sum plane, a
     /// zeroed uniforms plane, and a fresh output plane every call.
-    fn update_color_dense(&mut self, color: Color) {
-        let nn = self.plane.neighbor_sum_periodic();
+    fn update_color_dense(&mut self, color: Color, halos: Option<&PlaneHalos<S>>) {
+        let mut nn = self.plane.neighbor_sum_periodic();
+        if let Some(halos) = halos {
+            correct_plane_boundary(&mut nn, &self.plane, halos);
+        }
+        let nn = nn;
         let (h, w) = (self.plane.height(), self.plane.width());
         if obs::is_metrics() {
             // plus-kernel stencil: 4 adds per site
@@ -201,11 +262,14 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
     /// The fused update: convolve into the workspace, draw uniforms into
     /// the workspace, flip in place. No heap allocations in steady state,
     /// bit-identical to [`update_color_dense`](Self::update_color_dense).
-    fn update_color_band(&mut self, color: Color) {
+    fn update_color_band(&mut self, color: Color, halos: Option<&PlaneHalos<S>>) {
         let (h, w) = (self.plane.height(), self.plane.width());
         {
             let _span = obs::span!("neighbor_sums", obs::SpanKind::Mxu);
             self.plane.neighbor_sum_periodic_into(&mut self.ws.nn);
+        }
+        if let Some(halos) = halos {
+            correct_plane_boundary(&mut self.ws.nn, &self.plane, halos);
         }
         if obs::is_metrics() {
             obs::metrics().counter("kernel_flops").inc((4 * h * w) as u64);
@@ -243,6 +307,32 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
             metrics.counter("flip_proposals_total").inc((h * w / 2) as u64);
             metrics.counter("flips_accepted_total").inc(accepted);
         }
+    }
+}
+
+/// Replace the locally-wrapped contributions at the window boundary of a
+/// periodic neighbor-sum plane with the true neighboring cores' edges:
+/// `nn += halo − wrongly_wrapped_own_edge`. Exact (not approximate) for
+/// ±1 spins: every term and partial sum is a small integer, represented
+/// without rounding in both `f32` and bf16, so the corrected sums are
+/// bit-identical to computing the global-torus sums directly.
+fn correct_plane_boundary<S: Scalar>(nn: &mut Plane<S>, plane: &Plane<S>, halos: &PlaneHalos<S>) {
+    let (h, w) = (plane.height(), plane.width());
+    assert_eq!(halos.north.len(), w, "north halo length");
+    assert_eq!(halos.south.len(), w, "south halo length");
+    assert_eq!(halos.west.len(), h, "west halo length");
+    assert_eq!(halos.east.len(), h, "east halo length");
+    for c in 0..w {
+        let top = nn.get(0, c) + halos.north[c] - plane.get(h - 1, c);
+        nn.set(0, c, top);
+        let bot = nn.get(h - 1, c) + halos.south[c] - plane.get(0, c);
+        nn.set(h - 1, c, bot);
+    }
+    for r in 0..h {
+        let left = nn.get(r, 0) + halos.west[r] - plane.get(r, w - 1);
+        nn.set(r, 0, left);
+        let right = nn.get(r, w - 1) + halos.east[r] - plane.get(r, 0);
+        nn.set(r, w - 1, right);
     }
 }
 
@@ -357,6 +447,49 @@ mod tests {
         assert_eq!(c.magnetization_sum(), -36.0);
         c.sweep();
         assert_eq!(c.magnetization_sum(), 36.0);
+    }
+
+    #[test]
+    fn self_wrap_halos_reproduce_periodic_update() {
+        // On a 1×1 "torus" every halo is the window's own wrapped edge, so
+        // the boundary correction is exactly zero and the halo update must
+        // be bit-identical to the plain periodic one — for both backends.
+        for backend in [KernelBackend::Dense, KernelBackend::Band] {
+            let init = random_plane::<f32>(9, 10, 12);
+            let mut plain = ConvIsing::new(init.clone(), 0.44, Randomness::site_keyed(17))
+                .with_backend(backend);
+            let mut meshy =
+                ConvIsing::new(init, 0.44, Randomness::site_keyed(17)).with_backend(backend);
+            for step in 0..4 {
+                for color in [Color::Black, Color::White] {
+                    let (h, w) = (meshy.plane().height(), meshy.plane().width());
+                    let halos = PlaneHalos {
+                        north: (0..w).map(|c| meshy.plane().get(h - 1, c)).collect(),
+                        south: (0..w).map(|c| meshy.plane().get(0, c)).collect(),
+                        west: (0..h).map(|r| meshy.plane().get(r, w - 1)).collect(),
+                        east: (0..h).map(|r| meshy.plane().get(r, 0)).collect(),
+                    };
+                    plain.update_color(color);
+                    meshy.update_color_with_halos(color, &halos);
+                }
+                plain.advance_sweep();
+                meshy.advance_sweep();
+                assert_eq!(plain.plane(), meshy.plane(), "diverged at sweep {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_exchange_spec_carries_window_edges() {
+        let init = random_plane::<f32>(3, 6, 8);
+        let c = ConvIsing::new(init.clone(), 0.4, Randomness::site_keyed(1));
+        let spec = c.halo_exchange_spec(Color::Black);
+        let last_row: Vec<f32> = (0..8).map(|cc| init.get(5, cc)).collect();
+        let first_col: Vec<f32> = (0..6).map(|r| init.get(r, 0)).collect();
+        assert_eq!(spec[0].0, last_row);
+        assert!(matches!(spec[0].1, Dir::South));
+        assert_eq!(spec[3].0, first_col);
+        assert!(matches!(spec[3].1, Dir::West));
     }
 
     #[test]

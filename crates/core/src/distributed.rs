@@ -31,13 +31,15 @@
 //!   under site-keyed RNG, whose uniforms depend only on global
 //!   coordinates.
 
-use crate::checkpoint::{checkpoint, Checkpoint};
-use crate::compact::{ColorHalos, CompactIsing};
+use crate::checkpoint::Checkpoint;
+use crate::compact::CompactIsing;
+use crate::engine::{Algo, MeshCore, ScalarMeshEngine};
 use crate::lattice::{random_plane_window, Color};
 use crate::prob::{Randomness, RngState};
 use crate::vault::Vault;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::str::FromStr;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -205,6 +207,11 @@ pub struct PodCheckpoint {
     /// Kernel backend name at snapshot time (informational: backends are
     /// bit-identical, so a resume may use either).
     pub backend: String,
+    /// Update-algorithm name ("naive", "compact", "conv"). Empty in
+    /// snapshots written before the engine unification, which were always
+    /// compact — resume treats empty as "compact".
+    #[serde(default)]
+    pub algo: String,
     /// Sweeps completed at snapshot time.
     pub sweep_index: u64,
     /// Global `Σσ` after every sweep from 1 to `sweep_index` — carried in
@@ -238,26 +245,34 @@ impl PodCheckpoint {
     }
 }
 
-/// Shared landing pad for in-flight per-core snapshots.
+/// Shared landing pad for in-flight per-core snapshots, generic over the
+/// per-core checkpoint payload `C` and per-sweep observation `O` (scalar
+/// engines: [`Checkpoint`] and `f64`; multispin: packed words and one
+/// magnetization per replica).
 ///
-/// Cores record their [`Checkpoint`] (plus local magnetization history)
-/// here as the run progresses; because the store outlives a failed
+/// Cores record their snapshots (plus local observation history) here as
+/// the run progresses; because the store outlives a failed
 /// [`run_spmd_cfg`] call, the driver can read back the latest sweep for
 /// which **every** core checked in — the newest globally consistent state —
 /// after a crash. Rows older than the latest complete one are pruned, so
 /// memory stays bounded at two rows per run.
-pub struct CheckpointStore {
+pub struct EngineStore<C, O> {
     cores: usize,
-    rows: Mutex<BTreeMap<u64, Vec<Option<(Checkpoint, Vec<f64>)>>>>,
+    #[allow(clippy::type_complexity)]
+    rows: Mutex<BTreeMap<u64, Vec<Option<(C, Vec<O>)>>>>,
     /// Called with each newly completed row (outside the lock) — the hook
     /// the vault uses to persist every globally consistent snapshot.
-    sink: Option<Box<dyn Fn(u64, &[(Checkpoint, Vec<f64>)]) + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    sink: Option<Box<dyn Fn(u64, &[(C, Vec<O>)]) + Send + Sync>>,
 }
 
-impl CheckpointStore {
+/// The scalar-engine store: one [`Checkpoint`] and a `Σσ` history per core.
+pub type CheckpointStore = EngineStore<Checkpoint, f64>;
+
+impl<C: Clone, O: Clone> EngineStore<C, O> {
     /// A store for an `cores`-core run.
-    pub fn new(cores: usize) -> CheckpointStore {
-        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()), sink: None }
+    pub fn new(cores: usize) -> EngineStore<C, O> {
+        EngineStore { cores, rows: Mutex::new(BTreeMap::new()), sink: None }
     }
 
     /// A store that additionally hands every completed row to `sink` (e.g.
@@ -265,20 +280,21 @@ impl CheckpointStore {
     /// completed the row, after the store lock is released.
     pub fn with_sink(
         cores: usize,
-        sink: impl Fn(u64, &[(Checkpoint, Vec<f64>)]) + Send + Sync + 'static,
-    ) -> CheckpointStore {
-        CheckpointStore { cores, rows: Mutex::new(BTreeMap::new()), sink: Some(Box::new(sink)) }
+        sink: impl Fn(u64, &[(C, Vec<O>)]) + Send + Sync + 'static,
+    ) -> EngineStore<C, O> {
+        EngineStore { cores, rows: Mutex::new(BTreeMap::new()), sink: Some(Box::new(sink)) }
     }
 
-    /// Record one core's snapshot at a sweep boundary. `mags` is the
-    /// core's local `Σσ` history for the sweeps it has run this attempt.
-    fn record(&self, sweep: u64, core: usize, ckpt: Checkpoint, mags: Vec<f64>) {
+    /// Record one core's snapshot at a sweep boundary. `obs_hist` is the
+    /// core's local observation history for the sweeps it has run this
+    /// attempt.
+    pub(crate) fn record(&self, sweep: u64, core: usize, ckpt: C, obs_hist: Vec<O>) {
         // A panicked peer may have poisoned the lock; snapshots must keep
         // flowing regardless — that is the whole point of the store.
         let mut rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let row = rows.entry(sweep).or_insert_with(|| vec![None; self.cores]);
-        row[core] = Some((ckpt, mags));
-        let completed: Option<Vec<(Checkpoint, Vec<f64>)>> =
+        row[core] = Some((ckpt, obs_hist));
+        let completed: Option<Vec<(C, Vec<O>)>> =
             if row.iter().all(Option::is_some) { row.iter().cloned().collect() } else { None };
         if completed.is_some() {
             rows.retain(|&s, _| s >= sweep);
@@ -294,7 +310,8 @@ impl CheckpointStore {
 
     /// The newest sweep at which every core checked in, with the per-core
     /// snapshots in core-id order.
-    fn latest_complete(&self) -> Option<(u64, Vec<(Checkpoint, Vec<f64>)>)> {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn latest_complete(&self) -> Option<(u64, Vec<(C, Vec<O>)>)> {
         let rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // `collect::<Option<Vec<_>>>` is None for any incomplete row, so
         // this cannot panic even if a row mutates between checks.
@@ -305,6 +322,7 @@ impl CheckpointStore {
 }
 
 /// Options for a single (non-retrying) pod run.
+#[derive(Default)]
 pub struct PodRunOpts<'a> {
     /// Take a pod snapshot every this many sweeps (and always at the end).
     pub checkpoint_every: Option<usize>,
@@ -317,17 +335,6 @@ pub struct PodRunOpts<'a> {
     pub store: Option<&'a CheckpointStore>,
 }
 
-impl Default for PodRunOpts<'_> {
-    fn default() -> Self {
-        PodRunOpts {
-            checkpoint_every: None,
-            resume: None,
-            mesh: MeshConfig::default(),
-            store: None,
-        }
-    }
-}
-
 /// Host-side data precomputed from a [`PodCheckpoint`] for the new torus.
 struct ResumeData {
     start_sweep: u64,
@@ -338,7 +345,8 @@ struct ResumeData {
     rngs: Vec<RngState>,
 }
 
-/// Run `sweeps` full sweeps from the seed-determined hot start.
+/// Run `sweeps` full sweeps from the seed-determined hot start on the
+/// compact engine (the paper's main configuration).
 pub fn run_pod<S: Scalar + RandomUniform>(
     cfg: &PodConfig,
     sweeps: usize,
@@ -346,19 +354,39 @@ pub fn run_pod<S: Scalar + RandomUniform>(
     run_pod_with_opts(cfg, sweeps, &PodRunOpts::default())
 }
 
-/// [`run_pod`] with checkpointing, resume, and mesh-fault knobs.
+/// [`run_pod`] with checkpointing, resume, and mesh-fault knobs (compact
+/// engine).
+pub fn run_pod_with_opts<S: Scalar + RandomUniform>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &PodRunOpts<'_>,
+) -> Result<PodResult<S>, PodError> {
+    run_pod_engine_with_opts::<S, CompactIsing<S>>(cfg, sweeps, opts)
+}
+
+/// Run `sweeps` full sweeps of any scalar mesh engine `E` from the
+/// seed-determined hot start.
+pub fn run_pod_engine<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
+    cfg: &PodConfig,
+    sweeps: usize,
+) -> Result<PodResult<S>, PodError> {
+    run_pod_engine_with_opts::<S, E>(cfg, sweeps, &PodRunOpts::default())
+}
+
+/// [`run_pod_engine`] with checkpointing, resume, and mesh-fault knobs —
+/// the one SPMD driver every scalar algorithm shares.
 ///
 /// `sweeps` is the *total* chain length: resuming a snapshot taken at
 /// sweep `k` runs `sweeps − k` more sweeps and returns the full-history
 /// magnetization vector.
-pub fn run_pod_with_opts<S: Scalar + RandomUniform>(
+pub fn run_pod_engine_with_opts<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
     cfg: &PodConfig,
     sweeps: usize,
     opts: &PodRunOpts<'_>,
 ) -> Result<PodResult<S>, PodError> {
     let torus = cfg.torus;
     let resume = match opts.resume {
-        Some(ck) => Some(prepare_resume::<S>(ck, cfg)?),
+        Some(ck) => Some(prepare_resume::<S>(ck, cfg, E::ALGO)?),
         None => None,
     };
     let start_sweep = resume.as_ref().map_or(0, |r| r.start_sweep);
@@ -370,7 +398,7 @@ pub fn run_pod_with_opts<S: Scalar + RandomUniform>(
     let resume_ref = resume.as_ref();
     let per_core: Vec<(Vec<f64>, Plane<S>)> =
         run_spmd_cfg(torus, opts.mesh.clone(), |mut h: MeshHandle<Vec<S>>| {
-            core_main::<S>(cfg, &mut h, sweeps, resume_ref, opts.checkpoint_every, opts.store)
+            core_main::<S, E>(cfg, &mut h, sweeps, resume_ref, opts.checkpoint_every, opts.store)
         })?;
 
     // Stitch the global lattice and reduce magnetizations on the host.
@@ -399,10 +427,25 @@ fn reduce_mags<'a, I: IntoIterator<Item = &'a Vec<f64>>>(per_core: I) -> Vec<f64
 
 /// Validate a snapshot against the (possibly reshaped) target config and
 /// pre-slice the per-core windows and RNG states for the new torus.
-fn prepare_resume<S: Scalar>(ck: &PodCheckpoint, cfg: &PodConfig) -> Result<ResumeData, PodError> {
+fn prepare_resume<S: Scalar>(
+    ck: &PodCheckpoint,
+    cfg: &PodConfig,
+    algo: Algo,
+) -> Result<ResumeData, PodError> {
     let err = |msg: String| Err(PodError::Resume(msg));
     if ck.version != POD_CHECKPOINT_VERSION {
         return err(format!("unsupported pod checkpoint version {}", ck.version));
+    }
+    // Pre-unification snapshots carry no algo tag; they were always compact.
+    let ck_algo: Algo = if ck.algo.is_empty() {
+        Algo::Compact
+    } else {
+        ck.algo.parse().map_err(PodError::Resume)?
+    };
+    if ck_algo != algo {
+        return err(format!(
+            "checkpoint was written by the {ck_algo} engine but resume requested {algo}"
+        ));
     }
     if ck.dtype != S::DTYPE {
         return err(format!("checkpoint is {} but resume requested {}", ck.dtype, S::DTYPE));
@@ -510,8 +553,69 @@ fn prepare_resume<S: Scalar>(ck: &PodCheckpoint, cfg: &PodConfig) -> Result<Resu
     })
 }
 
-/// The per-core SPMD program.
-fn core_main<S: Scalar + RandomUniform>(
+/// Arm the per-core observability surfaces: one timeline track per modeled
+/// TensorCore (the trace-viewer rows of paper Fig. 6), the flight-recorder
+/// ring binding, and the postmortem guard that dumps every ring if the
+/// core dies by panic.
+pub(crate) fn arm_core_observability(id: usize, x: usize, y: usize) -> obs::PostmortemGuard {
+    if obs::is_tracing() {
+        obs::register_track(format!("core-{id} ({x},{y})"));
+    }
+    obs::recorder::register_core(id as u32);
+    obs::PostmortemGuard::arm("core-panic")
+}
+
+/// The shared SPMD sweep loop every mesh engine runs: per sweep, exchange
+/// halos and update each color, advance, observe, and land snapshots in
+/// the store on the checkpoint cadence (always including the final sweep).
+/// Returns the observation history for the sweeps run this attempt.
+pub(crate) fn drive_mesh_core<E: MeshCore>(
+    sim: &mut E,
+    handle: &mut MeshHandle<Vec<E::Elem>>,
+    core_id: usize,
+    total: u64,
+    tile_hint: usize,
+    checkpoint_every: Option<usize>,
+    store: Option<&EngineStore<E::Ckpt, E::Obs>>,
+) -> Result<Vec<E::Obs>, MeshError> {
+    let start = sim.sweep_index();
+    let mut history: Vec<E::Obs> = Vec::with_capacity((total - start) as usize);
+    for s in (start + 1)..=total {
+        obs::recorder::set_sweep(s);
+        obs::record(obs::EventKind::SweepBoundary);
+        for color in [Color::Black, Color::White] {
+            // Wrapper spans (kind-less): the kinded leaves inside them
+            // (collective_permute, neighbor_sums, …) carry the breakdown.
+            let halos = {
+                let _g = obs::span!("halo_exchange");
+                exchange_engine_halos(sim, handle, color)?
+            };
+            let _g = obs::span!("update_color");
+            sim.update_color_with(color, &halos);
+        }
+        sim.advance_sweep();
+        history.push(sim.observe_window());
+        if let (Some(every), Some(store)) = (checkpoint_every, store) {
+            if s % every as u64 == 0 || s == total {
+                store.record(s, core_id, sim.snapshot(tile_hint), history.clone());
+                obs::record(obs::EventKind::CheckpointRecorded);
+            }
+        }
+    }
+    if start == total {
+        // Zero sweeps to run (e.g. resuming a finished chain): still land a
+        // snapshot so the driver always has a final checkpoint.
+        if let Some(store) = store {
+            if checkpoint_every.is_some() {
+                store.record(total, core_id, sim.snapshot(tile_hint), history.clone());
+            }
+        }
+    }
+    Ok(history)
+}
+
+/// The per-core SPMD program for any scalar mesh engine.
+fn core_main<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
     cfg: &PodConfig,
     handle: &mut MeshHandle<Vec<S>>,
     sweeps: usize,
@@ -521,15 +625,7 @@ fn core_main<S: Scalar + RandomUniform>(
 ) -> Result<(Vec<f64>, Plane<S>), MeshError> {
     let id = handle.id();
     let (x, y) = handle.coords();
-    if obs::is_tracing() {
-        // One timeline track per modeled TensorCore (the trace-viewer rows
-        // of paper Fig. 6).
-        obs::register_track(format!("core-{id} ({x},{y})"));
-    }
-    // Bind this thread to its flight-recorder ring; if the core dies by
-    // panic the guard dumps every ring to a postmortem bundle.
-    obs::recorder::register_core(id as u32);
-    let _postmortem = obs::PostmortemGuard::arm("core-panic");
+    let _postmortem = arm_core_observability(id, x, y);
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
     let mut sim = match resume {
@@ -543,8 +639,7 @@ fn core_main<S: Scalar + RandomUniform>(
                     Randomness::Bulk(PhiloxStream::from_seed(cfg.seed).split(id as u64 + 1))
                 }
             };
-            CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
-                .with_backend(cfg.backend)
+            E::from_plane_at_backend(&window, cfg.tile, cfg.beta, rng, row0, col0, cfg.backend)
         }
         Some(r) => {
             // Spins are ±1 — exact at every precision — so the f32 window
@@ -554,73 +649,46 @@ fn core_main<S: Scalar + RandomUniform>(
                 S::from_f32(src.get(rr, cc))
             });
             let rng = Randomness::from_state(r.rngs[id]);
-            let mut sim = CompactIsing::from_plane_at(&window, cfg.tile, cfg.beta, rng, row0, col0)
-                .with_backend(cfg.backend);
+            let mut sim =
+                E::from_plane_at_backend(&window, cfg.tile, cfg.beta, rng, row0, col0, cfg.backend);
             sim.set_sweep_index(r.start_sweep);
             sim
         }
     };
-
-    let start = sim.sweep_index();
-    let total = sweeps as u64;
-    let mut mags = Vec::with_capacity((total - start) as usize);
-    for s in (start + 1)..=total {
-        obs::recorder::set_sweep(s);
-        obs::record(obs::EventKind::SweepBoundary);
-        for color in [Color::Black, Color::White] {
-            // Wrapper spans (kind-less): the kinded leaves inside them
-            // (collective_permute, neighbor_sums, …) carry the breakdown.
-            let halos = {
-                let _g = obs::span!("halo_exchange");
-                exchange_halos(&sim, handle, color)?
-            };
-            let _g = obs::span!("update_color");
-            sim.update_color(color, &halos);
-        }
-        sim.advance_sweep();
-        mags.push(crate::sampler::Sweeper::magnetization_sum(&sim));
-        if let (Some(every), Some(store)) = (checkpoint_every, store) {
-            if s % every as u64 == 0 || s == total {
-                store.record(s, id, checkpoint(&sim), mags.clone());
-                obs::record(obs::EventKind::CheckpointRecorded);
-            }
-        }
-    }
-    if start == total {
-        // Zero sweeps to run (e.g. resuming a finished chain): still land a
-        // snapshot so the driver always has a final checkpoint.
-        if let Some(store) = store {
-            if checkpoint_every.is_some() {
-                store.record(total, id, checkpoint(&sim), mags.clone());
-            }
-        }
-    }
+    let mags =
+        drive_mesh_core(&mut sim, handle, id, sweeps as u64, cfg.tile, checkpoint_every, store)?;
     Ok((mags, sim.to_plane()))
 }
 
-/// The four collective permutes of one half-sweep.
-fn exchange_halos<S: Scalar + RandomUniform>(
-    sim: &CompactIsing<S>,
-    handle: &mut MeshHandle<Vec<S>>,
+/// The four collective permutes of one half-sweep, for any mesh engine:
+/// shift each of the engine's halo specs and hand the received vectors
+/// back for assembly (fixed receiver-slot order, see
+/// [`MeshCore::halo_exchange_spec`]). Halo traffic lands in the shared
+/// `halo_bytes_total` metric.
+pub(crate) fn exchange_engine_halos<E: MeshCore>(
+    sim: &E,
+    handle: &mut MeshHandle<Vec<E::Elem>>,
     color: Color,
-) -> Result<ColorHalos<S>, MeshError> {
-    let [north_spec, south_spec, first_spec, second_spec] = sim.halo_exchange_spec(color);
+) -> Result<E::Halos, MeshError> {
+    let [spec0, spec1, spec2, spec3] = sim.halo_exchange_spec(color);
     if obs::is_metrics() {
-        let lens =
-            north_spec.0.len() + south_spec.0.len() + first_spec.0.len() + second_spec.0.len();
-        obs::metrics().counter("halo_bytes_total").inc((lens * std::mem::size_of::<S>()) as u64);
+        let elems = spec0.0.len() + spec1.0.len() + spec2.0.len() + spec3.0.len();
+        obs::metrics()
+            .counter("halo_bytes_total")
+            .inc((elems * std::mem::size_of::<E::Elem>()) as u64);
     }
-    let north = handle.shift(north_spec.0, north_spec.1)?;
-    let south = handle.shift(south_spec.0, south_spec.1)?;
-    let first_col = handle.shift(first_spec.0, first_spec.1)?;
-    let second_col = handle.shift(second_spec.0, second_spec.1)?;
-    Ok(ColorHalos { north, south, first_col, second_col })
+    let r0 = handle.shift(spec0.0, spec0.1)?;
+    let r1 = handle.shift(spec1.0, spec1.1)?;
+    let r2 = handle.shift(spec2.0, spec2.1)?;
+    let r3 = handle.shift(spec3.0, spec3.1)?;
+    Ok(sim.assemble_halos(color, [r0, r1, r2, r3]))
 }
 
 /// Assemble a [`PodCheckpoint`] from a complete store row, appending the
 /// row's magnetization history to the base snapshot's.
 fn assemble_checkpoint(
     cfg: &PodConfig,
+    algo: Algo,
     base: Option<&PodCheckpoint>,
     sweep: u64,
     rows: Vec<(Checkpoint, Vec<f64>)>,
@@ -640,6 +708,7 @@ fn assemble_checkpoint(
         rng_mode: cfg.rng.name().to_string(),
         dtype,
         backend: cfg.backend.name().to_string(),
+        algo: algo.name().to_string(),
         sweep_index: sweep,
         magnetization_sums: mags,
         cores: rows.into_iter().map(|r| r.0).collect(),
@@ -704,7 +773,7 @@ pub fn run_pod_resilient<S: Scalar + RandomUniform>(
     opts: &ResilienceOpts,
     resume: Option<PodCheckpoint>,
 ) -> Result<ResilientPodRun<S>, PodError> {
-    run_pod_resilient_impl(cfg, sweeps, opts, resume, None)
+    run_pod_engine_resilient::<S, CompactIsing<S>>(cfg, sweeps, opts, resume)
 }
 
 /// [`run_pod_resilient`] with every globally consistent snapshot also
@@ -718,19 +787,104 @@ pub fn run_pod_vaulted<S: Scalar + RandomUniform>(
     resume: Option<PodCheckpoint>,
     vault: &Vault,
 ) -> Result<ResilientPodRun<S>, PodError> {
-    run_pod_resilient_impl(cfg, sweeps, opts, resume, Some(vault))
+    run_pod_engine_vaulted::<S, CompactIsing<S>>(cfg, sweeps, opts, resume, vault)
+}
+
+/// [`run_pod_resilient`] for any scalar mesh engine.
+pub fn run_pod_engine_resilient<S, E>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+) -> Result<ResilientPodRun<S>, PodError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    run_pod_engine_resilient_impl::<S, E>(cfg, sweeps, opts, resume, None)
+}
+
+/// [`run_pod_vaulted`] for any scalar mesh engine.
+pub fn run_pod_engine_vaulted<S, E>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+    vault: &Vault,
+) -> Result<ResilientPodRun<S>, PodError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    run_pod_engine_resilient_impl::<S, E>(cfg, sweeps, opts, resume, Some(vault))
 }
 
 /// The envelope `kind` tag of scalar pod checkpoints in a vault.
 pub const POD_VAULT_KIND: &str = "pod";
 
-fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
-    cfg: &PodConfig,
-    sweeps: usize,
+/// One engine family's bindings for the shared restart loop: how many
+/// cores run, how a complete store row becomes a pod-level snapshot, how
+/// that snapshot serializes for the vault, and how one mesh attempt runs.
+/// The scalar engines and multispin each implement this once;
+/// [`run_resilient_family`] is the single retry/restart driver both use.
+pub(crate) trait RestartFamily: Clone + Send + Sync + 'static {
+    /// Pod-level (whole-run) checkpoint.
+    type Ckpt: Clone + Send + Sync + 'static;
+    /// Per-core checkpoint payload landing in the store.
+    type CoreCkpt: Clone + Send + 'static;
+    /// Per-sweep observation in the store rows.
+    type Obs: Clone + Send + 'static;
+    /// The completed run's result.
+    type Output;
+
+    /// The vault envelope `kind` tag for this family's snapshots.
+    const VAULT_KIND: &'static str;
+
+    /// Cores on the torus.
+    fn cores(&self) -> usize;
+
+    /// Assemble a pod-level checkpoint from a complete store row,
+    /// appending the row's history to `base`'s.
+    fn assemble(
+        &self,
+        base: Option<&Self::Ckpt>,
+        sweep: u64,
+        rows: Vec<(Self::CoreCkpt, Vec<Self::Obs>)>,
+    ) -> Self::Ckpt;
+
+    /// Serialize a pod-level checkpoint for the vault.
+    fn ckpt_to_json(&self, ck: &Self::Ckpt) -> Result<String, PodError>;
+
+    /// Run one mesh attempt to completion (or to its first mesh fault).
+    fn attempt(
+        &self,
+        resume: Option<&Self::Ckpt>,
+        checkpoint_every: usize,
+        mesh: MeshConfig,
+        store: &EngineStore<Self::CoreCkpt, Self::Obs>,
+    ) -> Result<Self::Output, PodError>;
+}
+
+/// What [`run_resilient_family`] hands back: the family's run output plus
+/// the restart bookkeeping and the final pod snapshot.
+pub(crate) struct FamilyRun<F: RestartFamily> {
+    pub output: F::Output,
+    pub restarts: usize,
+    pub faults_seen: Vec<MeshError>,
+    pub final_checkpoint: F::Ckpt,
+}
+
+/// The one restart loop every deployment shape shares: run an attempt; on
+/// a mesh fault adopt the newest globally consistent snapshot and retry
+/// (bounded by the restart budget); on success assemble the final
+/// checkpoint. With a vault, every completed store row is persisted from
+/// the core thread that completed it.
+pub(crate) fn run_resilient_family<F: RestartFamily>(
+    family: &F,
     opts: &ResilienceOpts,
-    resume: Option<PodCheckpoint>,
+    resume: Option<F::Ckpt>,
     vault: Option<&Vault>,
-) -> Result<ResilientPodRun<S>, PodError> {
+) -> Result<FamilyRun<F>, PodError> {
     assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
     let mut latest = resume;
     let mut faults_seen: Vec<MeshError> = Vec::new();
@@ -738,44 +892,40 @@ fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
     loop {
         let _attempt_span = obs::span!("pod_attempt");
         let store = match vault {
-            None => CheckpointStore::new(cfg.torus.cores()),
+            None => EngineStore::new(family.cores()),
             Some(v) => {
                 // The sink runs on a core thread mid-run, so failures are
                 // counted, not propagated: a full disk must not kill the
                 // simulation that the vault exists to protect.
-                let (v, cfg, base) = (v.clone(), *cfg, latest.clone());
-                CheckpointStore::with_sink(cfg.torus.cores(), move |sweep, rows| {
-                    let ckpt = assemble_checkpoint(&cfg, base.as_ref(), sweep, rows.to_vec());
-                    let saved = ckpt.to_json().map_err(|e| e.to_string()).and_then(|json| {
-                        v.save(POD_VAULT_KIND, sweep, &json).map_err(|e| e.to_string())
-                    });
+                let (v, fam, base) = (v.clone(), family.clone(), latest.clone());
+                EngineStore::with_sink(family.cores(), move |sweep, rows| {
+                    let ckpt = fam.assemble(base.as_ref(), sweep, rows.to_vec());
+                    let saved =
+                        fam.ckpt_to_json(&ckpt).map_err(|e| e.to_string()).and_then(|json| {
+                            v.save(F::VAULT_KIND, sweep, &json).map_err(|e| e.to_string())
+                        });
                     if saved.is_err() && obs::is_metrics() {
                         obs::metrics().counter("vault_write_errors_total").inc(1);
                     }
                 })
             }
         };
-        let run_opts = PodRunOpts {
-            checkpoint_every: Some(opts.checkpoint_every),
-            resume: latest.as_ref(),
-            mesh: MeshConfig {
-                recv_timeout: opts.recv_timeout,
-                faults: opts.faults.clone(),
-                attempt: restarts,
-                retry: opts.retry,
-            },
-            store: Some(&store),
+        let mesh = MeshConfig {
+            recv_timeout: opts.recv_timeout,
+            faults: opts.faults.clone(),
+            attempt: restarts,
+            retry: opts.retry,
         };
-        match run_pod_with_opts::<S>(cfg, sweeps, &run_opts) {
-            Ok(result) => {
+        match family.attempt(latest.as_ref(), opts.checkpoint_every, mesh, &store) {
+            Ok(output) => {
                 let final_checkpoint = store
                     .latest_complete()
-                    .map(|(s, rows)| assemble_checkpoint(cfg, latest.as_ref(), s, rows))
+                    .map(|(s, rows)| family.assemble(latest.as_ref(), s, rows))
                     .or(latest)
                     .ok_or_else(|| {
                         PodError::Resume("completed run produced no checkpoint".into())
                     })?;
-                return Ok(ResilientPodRun { result, restarts, faults_seen, final_checkpoint });
+                return Ok(FamilyRun { output, restarts, faults_seen, final_checkpoint });
             }
             Err(PodError::Mesh(e)) => {
                 if obs::is_metrics() {
@@ -801,7 +951,7 @@ fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
                 // attempt left behind; otherwise retry from the previous
                 // resume point (or from scratch).
                 if let Some((s, rows)) = store.latest_complete() {
-                    latest = Some(assemble_checkpoint(cfg, latest.as_ref(), s, rows));
+                    latest = Some(family.assemble(latest.as_ref(), s, rows));
                 }
             }
             // Resume-validation errors are configuration bugs, not
@@ -809,6 +959,86 @@ fn run_pod_resilient_impl<S: Scalar + RandomUniform>(
             Err(other) => return Err(other),
         }
     }
+}
+
+/// The scalar-engine restart family: one instance per `(S, E)` pair.
+struct ScalarPodFamily<S, E> {
+    cfg: PodConfig,
+    sweeps: usize,
+    _marker: PhantomData<fn() -> (S, E)>,
+}
+
+impl<S, E> Clone for ScalarPodFamily<S, E> {
+    fn clone(&self) -> Self {
+        ScalarPodFamily { cfg: self.cfg, sweeps: self.sweeps, _marker: PhantomData }
+    }
+}
+
+impl<S, E> RestartFamily for ScalarPodFamily<S, E>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    type Ckpt = PodCheckpoint;
+    type CoreCkpt = Checkpoint;
+    type Obs = f64;
+    type Output = PodResult<S>;
+
+    const VAULT_KIND: &'static str = POD_VAULT_KIND;
+
+    fn cores(&self) -> usize {
+        self.cfg.torus.cores()
+    }
+
+    fn assemble(
+        &self,
+        base: Option<&PodCheckpoint>,
+        sweep: u64,
+        rows: Vec<(Checkpoint, Vec<f64>)>,
+    ) -> PodCheckpoint {
+        assemble_checkpoint(&self.cfg, E::ALGO, base, sweep, rows)
+    }
+
+    fn ckpt_to_json(&self, ck: &PodCheckpoint) -> Result<String, PodError> {
+        ck.to_json()
+    }
+
+    fn attempt(
+        &self,
+        resume: Option<&PodCheckpoint>,
+        checkpoint_every: usize,
+        mesh: MeshConfig,
+        store: &CheckpointStore,
+    ) -> Result<PodResult<S>, PodError> {
+        let run_opts = PodRunOpts {
+            checkpoint_every: Some(checkpoint_every),
+            resume,
+            mesh,
+            store: Some(store),
+        };
+        run_pod_engine_with_opts::<S, E>(&self.cfg, self.sweeps, &run_opts)
+    }
+}
+
+fn run_pod_engine_resilient_impl<S, E>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    opts: &ResilienceOpts,
+    resume: Option<PodCheckpoint>,
+    vault: Option<&Vault>,
+) -> Result<ResilientPodRun<S>, PodError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
+    let family = ScalarPodFamily::<S, E> { cfg: *cfg, sweeps, _marker: PhantomData };
+    let run = run_resilient_family(&family, opts, resume, vault)?;
+    Ok(ResilientPodRun {
+        result: run.output,
+        restarts: run.restarts,
+        faults_seen: run.faults_seen,
+        final_checkpoint: run.final_checkpoint,
+    })
 }
 
 #[cfg(test)]
@@ -1006,6 +1236,36 @@ mod tests {
         );
         // and the final snapshot resumes to the same state
         assert_eq!(run.final_checkpoint.sweep_index, sweeps as u64);
+    }
+
+    #[test]
+    fn engine_generic_resilient_resume_is_bit_exact() {
+        // The generic restart loop restores naive and conv engines from
+        // their snapshots just as faithfully as compact: a killed run
+        // ends bit-identical to an unfaulted one of the same engine.
+        fn drill<E: crate::engine::ScalarMeshEngine<f32> + 'static>(cfg: &PodConfig) {
+            let clean = run_pod_engine_resilient::<f32, E>(
+                cfg,
+                6,
+                &fast_resilience(2, FaultPlan::new()),
+                None,
+            )
+            .expect("clean run");
+            let faulted = run_pod_engine_resilient::<f32, E>(
+                cfg,
+                6,
+                &fast_resilience(2, FaultPlan::new().kill(3, 30)),
+                None,
+            )
+            .expect("faulted run");
+            assert_eq!(clean.restarts, 0);
+            assert_eq!(faulted.restarts, 1);
+            assert_eq!(clean.result.final_plane, faulted.result.final_plane);
+            assert_eq!(clean.result.magnetization_sums, faulted.result.magnetization_sums);
+        }
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 4242);
+        drill::<crate::naive::NaiveIsing<f32>>(&cfg);
+        drill::<crate::conv::ConvIsing<f32>>(&cfg);
     }
 
     #[test]

@@ -1,0 +1,1293 @@
+//! The unifying `Engine` abstraction over every update algorithm.
+//!
+//! The crate grew one engine per paper variant — [`NaiveIsing`]
+//! (Algorithm 1), [`CompactIsing`] (Algorithm 2), [`ConvIsing`] (the
+//! appendix convolution), [`MultiSpinIsing`] (the bit-packed fast path)
+//! and [`WolffIsing`] (the cluster cross-check) — and every deployment
+//! driver (CLI chains, SPMD pods, resilient restarts, durable vaults,
+//! chaos drills) used to be written once *per algorithm*. This module
+//! collapses that matrix along the algorithm axis:
+//!
+//! - [`Engine`] is the object-safe trait for single-lattice chains:
+//!   `step`/`sweep`/`observe`/`checkpoint` plus a typed
+//!   [`EngineDescriptor`] (algo × backend × dtype) and an
+//!   [`EngineCaps`] capability set, so callers branch on *capabilities*
+//!   (can it checkpoint? does it mesh? how many replicas?) instead of on
+//!   algorithm names.
+//! - [`build_engine`] / [`restore_engine`] are the only places that match
+//!   on [`Algo`]: everything above them works with `Box<dyn Engine>`.
+//! - [`MeshCore`] is the typed (non-object-safe) trait the SPMD pod
+//!   drivers are generic over: halo-exchange specs, halo assembly, color
+//!   updates and per-sweep observations, with the element/observation/
+//!   checkpoint types as associated types so the scalar engines
+//!   (`Elem = S`, `Obs = f64`) and the packed engine (`Elem = u64`,
+//!   `Obs = [f64; 64]`) share one driver.
+//! - [`ScalarMeshEngine`] narrows [`MeshCore`] to the three scalar
+//!   checkerboard engines and adds the constructors a pod core needs;
+//!   [`with_scalar_engine`] dispatches an `(algo, dtype)` pair to the
+//!   matching concrete type exactly once, so the CLI contains zero
+//!   per-algorithm match arms.
+//!
+//! Every trait method forwards to the pre-existing inherent methods; the
+//! conformance tests (here and in `crates/suite`) pin trait-built engines
+//! bit-exactly to the concrete ones.
+
+use crate::checkpoint::{self, Checkpoint, RestoreError, CHECKPOINT_VERSION};
+use crate::compact::{ColorHalos, CompactIsing};
+use crate::conv::ConvIsing;
+use crate::lattice::{cold_plane, random_plane, Color, PlaneHalos};
+use crate::multispin::{MultiSpinCheckpoint, MultiSpinIsing, PackedHalos, REPLICAS};
+use crate::naive::NaiveIsing;
+use crate::prob::{Randomness, RngState};
+use crate::sampler::Sweeper;
+use crate::wolff::WolffIsing;
+use tpu_ising_bf16::{Bf16, Scalar};
+use tpu_ising_device::mesh::Dir;
+use tpu_ising_rng::RandomUniform;
+use tpu_ising_tensor::{KernelBackend, Plane};
+
+// ---------------------------------------------------------------------
+// Descriptor types
+// ---------------------------------------------------------------------
+
+/// The update algorithm families the crate implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Algorithm 1: full-lattice neighbor sums + parity mask.
+    Naive,
+    /// Algorithm 2: four compact quarter lattices (the paper's main path).
+    Compact,
+    /// Appendix variant: plus-kernel convolution.
+    Conv,
+    /// 64 bit-packed replicas per word.
+    Multispin,
+    /// Wolff cluster updates (sequential cross-check).
+    Wolff,
+}
+
+impl Algo {
+    /// Every algorithm, in suite-grid row order.
+    pub const ALL: [Algo; 5] =
+        [Algo::Naive, Algo::Compact, Algo::Conv, Algo::Multispin, Algo::Wolff];
+
+    /// The CLI / checkpoint spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Naive => "naive",
+            Algo::Compact => "compact",
+            Algo::Conv => "conv",
+            Algo::Multispin => "multispin",
+            Algo::Wolff => "wolff",
+        }
+    }
+
+    /// What this algorithm can do, independent of any instance.
+    pub fn caps(self) -> EngineCaps {
+        match self {
+            Algo::Naive | Algo::Compact | Algo::Conv => {
+                EngineCaps { checkpoint: true, mesh: true, replicas: 1, has_model: true }
+            }
+            Algo::Multispin => {
+                EngineCaps { checkpoint: true, mesh: true, replicas: REPLICAS, has_model: false }
+            }
+            Algo::Wolff => {
+                EngineCaps { checkpoint: false, mesh: false, replicas: 1, has_model: false }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algo {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Algo, String> {
+        match s {
+            "naive" => Ok(Algo::Naive),
+            "compact" => Ok(Algo::Compact),
+            "conv" => Ok(Algo::Conv),
+            "multispin" => Ok(Algo::Multispin),
+            "wolff" => Ok(Algo::Wolff),
+            other => {
+                Err(format!("unknown algo '{other}' (expected naive|compact|conv|multispin|wolff)"))
+            }
+        }
+    }
+}
+
+/// Storage precision of an engine's lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE single precision.
+    F32,
+    /// Truncated bfloat16 (the paper's TPU-native precision study).
+    Bf16,
+    /// One bit per replica spin (multispin only).
+    Packed,
+}
+
+impl Dtype {
+    /// The CLI / checkpoint spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::Bf16 => "bf16",
+            Dtype::Packed => "packed",
+        }
+    }
+
+    /// The dtype of a [`Scalar`] lattice (by its `DTYPE` tag).
+    pub fn of_scalar<S: Scalar>() -> Dtype {
+        if S::DTYPE == "bf16" {
+            Dtype::Bf16
+        } else {
+            Dtype::F32
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dtype {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Dtype, String> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            "bf16" => Ok(Dtype::Bf16),
+            "packed" => Ok(Dtype::Packed),
+            other => Err(format!("unknown dtype '{other}' (expected f32|bf16|packed)")),
+        }
+    }
+}
+
+/// How an engine computes its neighbor sums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Matmul kernels ([`KernelBackend::Dense`] or [`KernelBackend::Band`]).
+    Kernel(KernelBackend),
+    /// Runtime-dispatched SIMD full adders (multispin); the label is the
+    /// active ISA tier.
+    Simd,
+    /// Sequential traversal (Wolff cluster growth).
+    Sequential,
+}
+
+impl BackendKind {
+    /// The display label ("dense", "band", "avx2", "sequential", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Kernel(b) => b.name(),
+            BackendKind::Simd => tpu_ising_rng::simd::isa().name(),
+            BackendKind::Sequential => "sequential",
+        }
+    }
+}
+
+/// What an engine *is*: the `algo × backend × dtype` coordinate of a
+/// capability-grid cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineDescriptor {
+    /// Update algorithm family.
+    pub algo: Algo,
+    /// Neighbor-sum backend.
+    pub backend: BackendKind,
+    /// Lattice storage precision.
+    pub dtype: Dtype,
+}
+
+impl std::fmt::Display for EngineDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.algo, self.backend.name(), self.dtype)
+    }
+}
+
+/// What an engine *can do* — the flags deployment drivers branch on
+/// instead of matching algorithm names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Supports bit-exact checkpoint / restore.
+    pub checkpoint: bool,
+    /// Supports SPMD mesh runs with halo exchange.
+    pub mesh: bool,
+    /// Independent chains advanced per sweep (64 for multispin, else 1).
+    pub replicas: usize,
+    /// Has an analytic step-time model (`model` command variants).
+    pub has_model: bool,
+}
+
+/// One measurement of the chain state (extensive sums, not per-site).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// `Σᵢ σᵢ` over the lattice.
+    pub magnetization: f64,
+    /// `H(σ) = −Σ_bonds σᵢσⱼ`.
+    pub energy: f64,
+}
+
+/// An algorithm-tagged snapshot from any checkpoint-capable engine.
+#[derive(Clone, Debug)]
+pub enum EngineCheckpoint {
+    /// A scalar-lattice snapshot (naive / compact / conv share the
+    /// algorithm-agnostic [`Checkpoint`] payload; the tag restores the
+    /// right engine).
+    Scalar {
+        /// Which engine wrote the snapshot.
+        algo: Algo,
+        /// The lattice / RNG / sweep-counter payload.
+        snapshot: Checkpoint,
+    },
+    /// A bit-packed 64-replica snapshot.
+    Packed(MultiSpinCheckpoint),
+}
+
+impl EngineCheckpoint {
+    /// The engine family that wrote this snapshot.
+    pub fn algo(&self) -> Algo {
+        match self {
+            EngineCheckpoint::Scalar { algo, .. } => *algo,
+            EngineCheckpoint::Packed(_) => Algo::Multispin,
+        }
+    }
+
+    /// Sweeps completed at snapshot time.
+    pub fn sweep_index(&self) -> u64 {
+        match self {
+            EngineCheckpoint::Scalar { snapshot, .. } => snapshot.sweep_index,
+            EngineCheckpoint::Packed(ck) => ck.sweep_index,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The object-safe Engine trait
+// ---------------------------------------------------------------------
+
+/// An update engine as a deployment driver sees it: advanceable
+/// ([`Sweeper`]), half-sweep steppable, observable, and (capability
+/// permitting) checkpointable — with a typed descriptor identifying the
+/// `algo × backend × dtype` cell it occupies.
+pub trait Engine: Sweeper {
+    /// The `algo × backend × dtype` coordinate of this engine.
+    fn descriptor(&self) -> EngineDescriptor;
+
+    /// What this engine can do. Defaults to the algorithm's static caps.
+    fn caps(&self) -> EngineCaps {
+        self.descriptor().algo.caps()
+    }
+
+    /// One half-sweep: update every site of `color`. Calling
+    /// `step(Black)` then `step(White)` advances the chain exactly like
+    /// one [`Sweeper::sweep`] (the white step also advances the sweep
+    /// counter). Engines without checkerboard structure (Wolff) do the
+    /// whole sweep on `Black` and nothing on `White`.
+    fn step(&mut self, color: Color);
+
+    /// Sweeps completed since the initial configuration.
+    fn sweep_index(&self) -> u64;
+
+    /// Extensive observables of the current state (replica mean for
+    /// multi-replica engines).
+    fn observe(&self) -> Observation {
+        Observation { magnetization: self.magnetization_sum(), energy: self.energy_sum() }
+    }
+
+    /// Per-replica observables; single-chain engines return one entry.
+    fn replica_observations(&self) -> Vec<Observation> {
+        vec![self.observe()]
+    }
+
+    /// Spin proposals per sweep (replicas × sites for multispin).
+    fn flips_per_sweep(&self) -> u64 {
+        self.sites() as u64
+    }
+
+    /// Per-replica `Σσ` of the current state — cheap (no energy), for
+    /// per-sweep statistics loops. Single-chain engines return one entry.
+    fn replica_magnetization_sums(&self) -> Vec<f64> {
+        vec![self.magnetization_sum()]
+    }
+
+    /// Cache-blocking hint: row-tile height for engines that sweep in row
+    /// tiles (multispin). `None` restores the automatic choice; engines
+    /// without the knob ignore it.
+    fn set_tile_rows(&mut self, _rows: Option<usize>) {}
+
+    /// The row-tile height in effect, or `None` for engines without one.
+    fn tile_rows(&self) -> Option<usize> {
+        None
+    }
+
+    /// A restart snapshot, or `None` when `caps().checkpoint` is false.
+    fn checkpoint(&self) -> Option<EngineCheckpoint>;
+}
+
+impl Sweeper for Box<dyn Engine> {
+    fn sweep(&mut self) {
+        (**self).sweep();
+    }
+    fn sites(&self) -> usize {
+        (**self).sites()
+    }
+    fn magnetization_sum(&self) -> f64 {
+        (**self).magnetization_sum()
+    }
+    fn energy_sum(&self) -> f64 {
+        (**self).energy_sum()
+    }
+}
+
+/// A [`Checkpoint`] assembled field-by-field — how the full-lattice
+/// engines (which predate the checkpoint format) snapshot without a new
+/// format.
+#[allow(clippy::too_many_arguments)]
+fn scalar_snapshot<S: Scalar>(
+    plane: &Plane<S>,
+    tile: usize,
+    beta: f64,
+    sweep_index: u64,
+    (row0, col0): (usize, usize),
+    rng: RngState,
+    backend: KernelBackend,
+) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        height: plane.height(),
+        width: plane.width(),
+        tile,
+        beta,
+        sweep_index,
+        dtype: S::DTYPE.to_string(),
+        spins: plane.data().iter().map(|s| s.to_f32()).collect(),
+        row0,
+        col0,
+        rng,
+        backend: backend.name().to_string(),
+    }
+}
+
+/// The shared validation half of restoring a scalar snapshot: version,
+/// dtype, payload shape and spin-ness, then the decoded plane plus the
+/// backend and RNG to rebuild with.
+fn validated_scalar_parts<S: Scalar>(
+    ck: &Checkpoint,
+) -> Result<(Plane<S>, KernelBackend, Randomness), RestoreError> {
+    if ck.version != CHECKPOINT_VERSION {
+        return Err(RestoreError(format!("unsupported version {}", ck.version)));
+    }
+    if ck.dtype != S::DTYPE {
+        return Err(RestoreError(format!(
+            "checkpoint is {} but restore requested {}",
+            ck.dtype,
+            S::DTYPE
+        )));
+    }
+    if ck.spins.len() != ck.height * ck.width {
+        return Err(RestoreError("spin payload length mismatch".into()));
+    }
+    if ck.spins.iter().any(|&s| s != 1.0 && s != -1.0) {
+        return Err(RestoreError("corrupt spin values (not ±1)".into()));
+    }
+    let plane = Plane::from_fn(ck.height, ck.width, |r, c| S::from_f32(ck.spins[r * ck.width + c]));
+    let backend: KernelBackend = ck.backend.parse().map_err(RestoreError)?;
+    Ok((plane, backend, Randomness::from_state(ck.rng)))
+}
+
+impl<S: Scalar + RandomUniform> Engine for CompactIsing<S> {
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            algo: Algo::Compact,
+            backend: BackendKind::Kernel(self.backend()),
+            dtype: Dtype::of_scalar::<S>(),
+        }
+    }
+
+    fn step(&mut self, color: Color) {
+        let halos = self.local_halos(color);
+        CompactIsing::update_color(self, color, &halos);
+        if color == Color::White {
+            self.advance_sweep();
+        }
+    }
+
+    fn sweep_index(&self) -> u64 {
+        CompactIsing::sweep_index(self)
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        Some(EngineCheckpoint::Scalar {
+            algo: Algo::Compact,
+            snapshot: checkpoint::checkpoint(self),
+        })
+    }
+}
+
+impl<S: Scalar + RandomUniform> Engine for NaiveIsing<S> {
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            algo: Algo::Naive,
+            backend: BackendKind::Kernel(self.backend()),
+            dtype: Dtype::of_scalar::<S>(),
+        }
+    }
+
+    fn step(&mut self, color: Color) {
+        NaiveIsing::update_color(self, color);
+        if color == Color::White {
+            self.advance_sweep();
+        }
+    }
+
+    fn sweep_index(&self) -> u64 {
+        NaiveIsing::sweep_index(self)
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        Some(EngineCheckpoint::Scalar {
+            algo: Algo::Naive,
+            snapshot: scalar_snapshot(
+                &self.to_plane(),
+                self.tile(),
+                self.beta(),
+                NaiveIsing::sweep_index(self),
+                self.window_offset(),
+                self.rng_state(),
+                self.backend(),
+            ),
+        })
+    }
+}
+
+impl<S: Scalar + RandomUniform> Engine for ConvIsing<S> {
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            algo: Algo::Conv,
+            backend: BackendKind::Kernel(self.backend()),
+            dtype: Dtype::of_scalar::<S>(),
+        }
+    }
+
+    fn step(&mut self, color: Color) {
+        ConvIsing::update_color(self, color);
+        if color == Color::White {
+            self.advance_sweep();
+        }
+    }
+
+    fn sweep_index(&self) -> u64 {
+        ConvIsing::sweep_index(self)
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        Some(EngineCheckpoint::Scalar {
+            algo: Algo::Conv,
+            // Conv has no tile decomposition; the snapshot echoes 0 and
+            // restore ignores it.
+            snapshot: scalar_snapshot(
+                self.plane(),
+                0,
+                self.beta(),
+                ConvIsing::sweep_index(self),
+                self.window_offset(),
+                self.rng_state(),
+                self.backend(),
+            ),
+        })
+    }
+}
+
+impl<S: Scalar + RandomUniform> Engine for WolffIsing<S> {
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            algo: Algo::Wolff,
+            backend: BackendKind::Sequential,
+            dtype: Dtype::of_scalar::<S>(),
+        }
+    }
+
+    /// Cluster updates have no checkerboard halves: the whole sweep runs
+    /// on `Black`, `White` is a no-op.
+    fn step(&mut self, color: Color) {
+        if color == Color::Black {
+            Sweeper::sweep(self);
+        }
+    }
+
+    /// Wolff keeps no sweep counter of its own; chains drive it through
+    /// [`Sweeper`] only. Reported as 0 (see `caps().checkpoint == false`).
+    fn sweep_index(&self) -> u64 {
+        0
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        None
+    }
+}
+
+/// [`Sweeper`] for the packed engine, pooling the 64 replicas: the
+/// extensive sums are *replica means*, so `magnetization_sum / sites` is
+/// the mean per-site magnetization across chains, directly comparable
+/// with the scalar engines' observables.
+impl Sweeper for MultiSpinIsing {
+    fn sweep(&mut self) {
+        MultiSpinIsing::sweep(self);
+    }
+
+    fn sites(&self) -> usize {
+        MultiSpinIsing::sites(self)
+    }
+
+    fn magnetization_sum(&self) -> f64 {
+        let m = self.replica_magnetizations();
+        m.iter().sum::<f64>() / REPLICAS as f64
+    }
+
+    fn energy_sum(&self) -> f64 {
+        (0..REPLICAS).map(|k| self.replica_energy(k)).sum::<f64>() / REPLICAS as f64
+    }
+}
+
+impl Engine for MultiSpinIsing {
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor { algo: Algo::Multispin, backend: BackendKind::Simd, dtype: Dtype::Packed }
+    }
+
+    fn step(&mut self, color: Color) {
+        MultiSpinIsing::update_color(self, color, None);
+        if color == Color::White {
+            self.advance_sweep();
+        }
+    }
+
+    fn sweep_index(&self) -> u64 {
+        MultiSpinIsing::sweep_index(self)
+    }
+
+    fn replica_observations(&self) -> Vec<Observation> {
+        let mags = self.replica_magnetizations();
+        (0..REPLICAS)
+            .map(|k| Observation { magnetization: mags[k], energy: self.replica_energy(k) })
+            .collect()
+    }
+
+    fn flips_per_sweep(&self) -> u64 {
+        MultiSpinIsing::flips_per_sweep(self)
+    }
+
+    fn replica_magnetization_sums(&self) -> Vec<f64> {
+        self.replica_magnetizations().to_vec()
+    }
+
+    fn set_tile_rows(&mut self, rows: Option<usize>) {
+        MultiSpinIsing::set_tile_rows(self, rows);
+    }
+
+    fn tile_rows(&self) -> Option<usize> {
+        Some(MultiSpinIsing::tile_rows(self))
+    }
+
+    fn checkpoint(&self) -> Option<EngineCheckpoint> {
+        Some(EngineCheckpoint::Packed(MultiSpinIsing::checkpoint(self)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Construction and restoration (the only algo matches)
+// ---------------------------------------------------------------------
+
+/// Everything needed to build a fresh engine for one grid cell.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSpec {
+    /// Update algorithm.
+    pub algo: Algo,
+    /// Storage precision (ignored by multispin, which is always packed).
+    pub dtype: Dtype,
+    /// Lattice height.
+    pub height: usize,
+    /// Lattice width.
+    pub width: usize,
+    /// Tile size for tiled engines (naive / compact).
+    pub tile: usize,
+    /// Inverse temperature β.
+    pub beta: f64,
+    /// RNG seed (bulk stream, matching the historical CLI behavior).
+    pub seed: u64,
+    /// Start all-up instead of hot.
+    pub cold: bool,
+    /// Kernel backend for the matmul engines.
+    pub backend: KernelBackend,
+}
+
+/// Build a fresh engine from a spec — the algorithm match for
+/// construction. Multispin ignores `dtype`/`cold` (packed, hot start);
+/// scalar algos reject `Dtype::Packed`.
+pub fn build_engine(spec: &EngineSpec) -> Result<Box<dyn Engine>, String> {
+    match (spec.algo, spec.dtype) {
+        (Algo::Multispin, _) => {
+            Ok(Box::new(MultiSpinIsing::new(spec.height, spec.width, spec.beta, spec.seed)))
+        }
+        (algo, Dtype::Packed) => {
+            Err(format!("dtype 'packed' is multispin-only, not available for {algo}"))
+        }
+        (_, Dtype::F32) => build_scalar_engine::<f32>(spec),
+        (_, Dtype::Bf16) => build_scalar_engine::<Bf16>(spec),
+    }
+}
+
+fn build_scalar_engine<S: Scalar + RandomUniform + 'static>(
+    spec: &EngineSpec,
+) -> Result<Box<dyn Engine>, String> {
+    let init: Plane<S> = if spec.cold {
+        cold_plane(spec.height, spec.width)
+    } else {
+        random_plane(spec.seed, spec.height, spec.width)
+    };
+    let rng = Randomness::bulk(spec.seed);
+    Ok(match spec.algo {
+        Algo::Compact => Box::new(
+            CompactIsing::from_plane(&init, spec.tile, spec.beta, rng).with_backend(spec.backend),
+        ),
+        Algo::Naive => Box::new(
+            NaiveIsing::from_plane(&init, spec.tile, spec.beta, rng).with_backend(spec.backend),
+        ),
+        Algo::Conv => Box::new(ConvIsing::new(init, spec.beta, rng).with_backend(spec.backend)),
+        Algo::Wolff => Box::new(WolffIsing::new(init, spec.beta, rng)),
+        Algo::Multispin => unreachable!("handled by build_engine"),
+    })
+}
+
+/// Rebuild an engine from a snapshot, continuing the interrupted chain
+/// bit-exactly — the algorithm match for restoration.
+pub fn restore_engine(ck: &EngineCheckpoint) -> Result<Box<dyn Engine>, RestoreError> {
+    match ck {
+        EngineCheckpoint::Packed(ms) => MultiSpinIsing::restore(ms)
+            .map(|e| Box::new(e) as Box<dyn Engine>)
+            .map_err(RestoreError),
+        EngineCheckpoint::Scalar { algo, snapshot } => match snapshot.dtype.as_str() {
+            "f32" => restore_scalar_engine::<f32>(*algo, snapshot),
+            "bf16" => restore_scalar_engine::<Bf16>(*algo, snapshot),
+            other => Err(RestoreError(format!("unknown dtype '{other}'"))),
+        },
+    }
+}
+
+fn restore_scalar_engine<S: Scalar + RandomUniform + 'static>(
+    algo: Algo,
+    ck: &Checkpoint,
+) -> Result<Box<dyn Engine>, RestoreError> {
+    match algo {
+        Algo::Compact => checkpoint::restore::<S>(ck).map(|sim| Box::new(sim) as Box<dyn Engine>),
+        Algo::Naive => {
+            let (plane, backend, rng) = validated_scalar_parts::<S>(ck)?;
+            let mut sim =
+                NaiveIsing::from_plane_at(&plane, ck.tile, ck.beta, rng, ck.row0, ck.col0)
+                    .with_backend(backend);
+            sim.set_sweep_index(ck.sweep_index);
+            Ok(Box::new(sim))
+        }
+        Algo::Conv => {
+            let (plane, backend, rng) = validated_scalar_parts::<S>(ck)?;
+            let mut sim =
+                ConvIsing::new_at(plane, ck.beta, rng, ck.row0, ck.col0).with_backend(backend);
+            sim.set_sweep_index(ck.sweep_index);
+            Ok(Box::new(sim))
+        }
+        Algo::Multispin | Algo::Wolff => {
+            Err(RestoreError(format!("{algo} does not restore from a scalar snapshot")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MeshCore: the typed trait the SPMD pod drivers are generic over
+// ---------------------------------------------------------------------
+
+/// One core's engine in an SPMD mesh run, as the generic pod driver sees
+/// it: it announces what to send each half-sweep, assembles what arrived,
+/// updates with the halos, and snapshots for the checkpoint store. The
+/// four halo specs use fixed *receiver-slot* order — the payload shifted
+/// in slot `i` lands in slot `i` of `assemble_halos`'s `received` array
+/// as `[north, south, west, east]` (compact: first/second column).
+pub trait MeshCore {
+    /// Wire element of a halo vector (`S` for scalar engines, `u64`
+    /// packed words for multispin).
+    type Elem: Clone + Send + 'static;
+    /// The assembled halo set one color update consumes.
+    type Halos;
+    /// Per-sweep observation (`f64` magnetization sum, or one per
+    /// replica).
+    type Obs: Clone + Send + 'static;
+    /// Per-core snapshot payload.
+    type Ckpt: Clone + Send + 'static;
+
+    /// The four `(payload, direction)` collective-permute specs of one
+    /// half-sweep, in receiver-slot order.
+    fn halo_exchange_spec(&self, color: Color) -> [(Vec<Self::Elem>, Dir); 4];
+
+    /// Assemble the four received vectors (same slot order as
+    /// [`halo_exchange_spec`](Self::halo_exchange_spec)) into the halo
+    /// set for `color`.
+    fn assemble_halos(&self, color: Color, received: [Vec<Self::Elem>; 4]) -> Self::Halos;
+
+    /// Update every site of `color` using cross-core halos.
+    fn update_color_with(&mut self, color: Color, halos: &Self::Halos);
+
+    /// Commit one full sweep (advances the sweep counter).
+    fn advance_sweep(&mut self);
+
+    /// Sweeps completed.
+    fn sweep_index(&self) -> u64;
+
+    /// This sweep's observation of the local window.
+    fn observe_window(&self) -> Self::Obs;
+
+    /// Snapshot the core. `tile_hint` is the pod-level tile knob for
+    /// engines that don't track one themselves (conv).
+    fn snapshot(&self, tile_hint: usize) -> Self::Ckpt;
+}
+
+/// A scalar checkerboard engine that can serve as a pod core: a
+/// [`MeshCore`] over scalar halos plus the constructors the generic SPMD
+/// driver needs to build or resume a window.
+pub trait ScalarMeshEngine<S: Scalar + RandomUniform>:
+    MeshCore<Elem = S, Obs = f64, Ckpt = Checkpoint> + Engine + Sized
+{
+    /// The algorithm tag recorded in pod checkpoints.
+    const ALGO: Algo;
+
+    /// Wrap a window of the global lattice at offset `(row0, col0)`.
+    #[allow(clippy::too_many_arguments)]
+    fn from_plane_at_backend(
+        plane: &Plane<S>,
+        tile: usize,
+        beta: f64,
+        rng: Randomness,
+        row0: usize,
+        col0: usize,
+        backend: KernelBackend,
+    ) -> Self;
+
+    /// Fast-forward the sweep counter (resume).
+    fn set_sweep_index(&mut self, sweep: u64);
+
+    /// The local window as a plane (stitching / snapshots).
+    fn to_plane(&self) -> Plane<S>;
+}
+
+impl<S: Scalar + RandomUniform> MeshCore for CompactIsing<S> {
+    type Elem = S;
+    type Halos = ColorHalos<S>;
+    type Obs = f64;
+    type Ckpt = Checkpoint;
+
+    fn halo_exchange_spec(&self, color: Color) -> [(Vec<S>, Dir); 4] {
+        CompactIsing::halo_exchange_spec(self, color)
+    }
+
+    fn assemble_halos(&self, _color: Color, received: [Vec<S>; 4]) -> ColorHalos<S> {
+        let [north, south, first_col, second_col] = received;
+        ColorHalos { north, south, first_col, second_col }
+    }
+
+    fn update_color_with(&mut self, color: Color, halos: &ColorHalos<S>) {
+        CompactIsing::update_color(self, color, halos);
+    }
+
+    fn advance_sweep(&mut self) {
+        CompactIsing::advance_sweep(self);
+    }
+
+    fn sweep_index(&self) -> u64 {
+        CompactIsing::sweep_index(self)
+    }
+
+    fn observe_window(&self) -> f64 {
+        Sweeper::magnetization_sum(self)
+    }
+
+    fn snapshot(&self, _tile_hint: usize) -> Checkpoint {
+        checkpoint::checkpoint(self)
+    }
+}
+
+impl<S: Scalar + RandomUniform> ScalarMeshEngine<S> for CompactIsing<S> {
+    const ALGO: Algo = Algo::Compact;
+
+    fn from_plane_at_backend(
+        plane: &Plane<S>,
+        tile: usize,
+        beta: f64,
+        rng: Randomness,
+        row0: usize,
+        col0: usize,
+        backend: KernelBackend,
+    ) -> Self {
+        CompactIsing::from_plane_at(plane, tile, beta, rng, row0, col0).with_backend(backend)
+    }
+
+    fn set_sweep_index(&mut self, sweep: u64) {
+        CompactIsing::set_sweep_index(self, sweep);
+    }
+
+    fn to_plane(&self) -> Plane<S> {
+        CompactIsing::to_plane(self)
+    }
+}
+
+impl<S: Scalar + RandomUniform> MeshCore for NaiveIsing<S> {
+    type Elem = S;
+    type Halos = PlaneHalos<S>;
+    type Obs = f64;
+    type Ckpt = Checkpoint;
+
+    fn halo_exchange_spec(&self, color: Color) -> [(Vec<S>, Dir); 4] {
+        NaiveIsing::halo_exchange_spec(self, color)
+    }
+
+    fn assemble_halos(&self, _color: Color, received: [Vec<S>; 4]) -> PlaneHalos<S> {
+        let [north, south, west, east] = received;
+        PlaneHalos { north, south, west, east }
+    }
+
+    fn update_color_with(&mut self, color: Color, halos: &PlaneHalos<S>) {
+        self.update_color_with_halos(color, halos);
+    }
+
+    fn advance_sweep(&mut self) {
+        NaiveIsing::advance_sweep(self);
+    }
+
+    fn sweep_index(&self) -> u64 {
+        NaiveIsing::sweep_index(self)
+    }
+
+    fn observe_window(&self) -> f64 {
+        Sweeper::magnetization_sum(self)
+    }
+
+    fn snapshot(&self, _tile_hint: usize) -> Checkpoint {
+        scalar_snapshot(
+            &NaiveIsing::to_plane(self),
+            self.tile(),
+            self.beta(),
+            NaiveIsing::sweep_index(self),
+            self.window_offset(),
+            self.rng_state(),
+            self.backend(),
+        )
+    }
+}
+
+impl<S: Scalar + RandomUniform> ScalarMeshEngine<S> for NaiveIsing<S> {
+    const ALGO: Algo = Algo::Naive;
+
+    fn from_plane_at_backend(
+        plane: &Plane<S>,
+        tile: usize,
+        beta: f64,
+        rng: Randomness,
+        row0: usize,
+        col0: usize,
+        backend: KernelBackend,
+    ) -> Self {
+        NaiveIsing::from_plane_at(plane, tile, beta, rng, row0, col0).with_backend(backend)
+    }
+
+    fn set_sweep_index(&mut self, sweep: u64) {
+        NaiveIsing::set_sweep_index(self, sweep);
+    }
+
+    fn to_plane(&self) -> Plane<S> {
+        NaiveIsing::to_plane(self)
+    }
+}
+
+impl<S: Scalar + RandomUniform> MeshCore for ConvIsing<S> {
+    type Elem = S;
+    type Halos = PlaneHalos<S>;
+    type Obs = f64;
+    type Ckpt = Checkpoint;
+
+    fn halo_exchange_spec(&self, color: Color) -> [(Vec<S>, Dir); 4] {
+        ConvIsing::halo_exchange_spec(self, color)
+    }
+
+    fn assemble_halos(&self, _color: Color, received: [Vec<S>; 4]) -> PlaneHalos<S> {
+        let [north, south, west, east] = received;
+        PlaneHalos { north, south, west, east }
+    }
+
+    fn update_color_with(&mut self, color: Color, halos: &PlaneHalos<S>) {
+        self.update_color_with_halos(color, halos);
+    }
+
+    fn advance_sweep(&mut self) {
+        ConvIsing::advance_sweep(self);
+    }
+
+    fn sweep_index(&self) -> u64 {
+        ConvIsing::sweep_index(self)
+    }
+
+    fn observe_window(&self) -> f64 {
+        Sweeper::magnetization_sum(self)
+    }
+
+    fn snapshot(&self, tile_hint: usize) -> Checkpoint {
+        scalar_snapshot(
+            self.plane(),
+            tile_hint,
+            self.beta(),
+            ConvIsing::sweep_index(self),
+            self.window_offset(),
+            self.rng_state(),
+            self.backend(),
+        )
+    }
+}
+
+impl<S: Scalar + RandomUniform> ScalarMeshEngine<S> for ConvIsing<S> {
+    const ALGO: Algo = Algo::Conv;
+
+    fn from_plane_at_backend(
+        plane: &Plane<S>,
+        _tile: usize,
+        beta: f64,
+        rng: Randomness,
+        row0: usize,
+        col0: usize,
+        backend: KernelBackend,
+    ) -> Self {
+        ConvIsing::new_at(plane.clone(), beta, rng, row0, col0).with_backend(backend)
+    }
+
+    fn set_sweep_index(&mut self, sweep: u64) {
+        ConvIsing::set_sweep_index(self, sweep);
+    }
+
+    fn to_plane(&self) -> Plane<S> {
+        self.plane().clone()
+    }
+}
+
+impl MeshCore for MultiSpinIsing {
+    type Elem = u64;
+    type Halos = PackedHalos;
+    type Obs = [f64; REPLICAS];
+    type Ckpt = MultiSpinCheckpoint;
+
+    fn halo_exchange_spec(&self, color: Color) -> [(Vec<u64>, Dir); 4] {
+        MultiSpinIsing::halo_exchange_spec(self, color)
+    }
+
+    fn assemble_halos(&self, _color: Color, received: [Vec<u64>; 4]) -> PackedHalos {
+        let [north, south, west, east] = received;
+        PackedHalos { north, south, west, east }
+    }
+
+    fn update_color_with(&mut self, color: Color, halos: &PackedHalos) {
+        MultiSpinIsing::update_color(self, color, Some(halos));
+    }
+
+    fn advance_sweep(&mut self) {
+        MultiSpinIsing::advance_sweep(self);
+    }
+
+    fn sweep_index(&self) -> u64 {
+        MultiSpinIsing::sweep_index(self)
+    }
+
+    fn observe_window(&self) -> [f64; REPLICAS] {
+        self.replica_magnetizations()
+    }
+
+    fn snapshot(&self, _tile_hint: usize) -> MultiSpinCheckpoint {
+        MultiSpinIsing::checkpoint(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar-engine dispatch (the visitor the CLI uses)
+// ---------------------------------------------------------------------
+
+/// A computation generic over which scalar mesh engine runs it. The CLI
+/// pod / chaos / vault drivers implement this once; [`with_scalar_engine`]
+/// instantiates it for the `(algo, dtype)` the user asked for.
+pub trait ScalarEngineVisitor {
+    /// The computation's result.
+    type Out;
+
+    /// Run with the concrete engine type `E` over scalar `S`.
+    fn visit<S, E>(self) -> Self::Out
+    where
+        S: Scalar + RandomUniform + 'static,
+        E: ScalarMeshEngine<S> + Send + 'static;
+}
+
+/// Dispatch `(algo, dtype)` to the matching concrete scalar mesh engine
+/// — the one algorithm match for every mesh deployment shape. Errors on
+/// combinations with no scalar mesh engine (wolff is sequential-only,
+/// multispin is packed and drives the packed pod path via
+/// `EngineCaps::replicas`).
+pub fn with_scalar_engine<V: ScalarEngineVisitor>(
+    algo: Algo,
+    dtype: Dtype,
+    v: V,
+) -> Result<V::Out, String> {
+    match (algo, dtype) {
+        (Algo::Compact, Dtype::F32) => Ok(v.visit::<f32, CompactIsing<f32>>()),
+        (Algo::Compact, Dtype::Bf16) => Ok(v.visit::<Bf16, CompactIsing<Bf16>>()),
+        (Algo::Naive, Dtype::F32) => Ok(v.visit::<f32, NaiveIsing<f32>>()),
+        (Algo::Naive, Dtype::Bf16) => Ok(v.visit::<Bf16, NaiveIsing<Bf16>>()),
+        (Algo::Conv, Dtype::F32) => Ok(v.visit::<f32, ConvIsing<f32>>()),
+        (Algo::Conv, Dtype::Bf16) => Ok(v.visit::<Bf16, ConvIsing<Bf16>>()),
+        (Algo::Multispin, _) => {
+            Err("multispin is bit-packed; drive it through the packed pod path".into())
+        }
+        (Algo::Wolff, _) => Err("wolff grows clusters sequentially and has no mesh support".into()),
+        (algo, Dtype::Packed) => Err(format!("dtype 'packed' is multispin-only, not {algo}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::T_CRITICAL;
+
+    fn spec(algo: Algo, dtype: Dtype) -> EngineSpec {
+        EngineSpec {
+            algo,
+            dtype,
+            height: 16,
+            width: 16,
+            tile: 4,
+            beta: 1.0 / T_CRITICAL,
+            seed: 9,
+            cold: false,
+            backend: KernelBackend::Band,
+        }
+    }
+
+    #[test]
+    fn algo_and_dtype_spellings_roundtrip() {
+        for algo in Algo::ALL {
+            assert_eq!(algo.name().parse::<Algo>().unwrap(), algo);
+        }
+        for dtype in [Dtype::F32, Dtype::Bf16, Dtype::Packed] {
+            assert_eq!(dtype.name().parse::<Dtype>().unwrap(), dtype);
+        }
+        assert!("gpu".parse::<Algo>().is_err());
+        assert!("f64".parse::<Dtype>().is_err());
+    }
+
+    #[test]
+    fn caps_encode_the_capability_grid() {
+        assert!(Algo::Compact.caps().mesh && Algo::Compact.caps().checkpoint);
+        assert!(Algo::Naive.caps().mesh && Algo::Conv.caps().mesh);
+        assert_eq!(Algo::Multispin.caps().replicas, REPLICAS);
+        let wolff = Algo::Wolff.caps();
+        assert!(!wolff.mesh && !wolff.checkpoint);
+        assert_eq!(wolff.replicas, 1);
+    }
+
+    #[test]
+    fn build_engine_covers_every_supported_cell() {
+        for algo in Algo::ALL {
+            for dtype in [Dtype::F32, Dtype::Bf16] {
+                let mut e = build_engine(&spec(algo, dtype)).unwrap();
+                let d = e.descriptor();
+                assert_eq!(d.algo, algo);
+                if algo == Algo::Multispin {
+                    assert_eq!(d.dtype, Dtype::Packed);
+                } else {
+                    assert_eq!(d.dtype, dtype);
+                }
+                e.sweep();
+                assert_eq!(e.sites(), 256);
+                let m = e.observe().magnetization;
+                assert!(m.abs() <= 256.0, "{algo}/{dtype}: |Σσ| = {m}");
+                assert_eq!(e.caps().checkpoint, e.checkpoint().is_some(), "{algo}");
+            }
+        }
+        // packed dtype is multispin-only
+        assert!(build_engine(&spec(Algo::Compact, Dtype::Packed)).is_err());
+        assert!(build_engine(&spec(Algo::Multispin, Dtype::Packed)).is_ok());
+    }
+
+    #[test]
+    fn two_steps_equal_one_sweep() {
+        for algo in [Algo::Naive, Algo::Compact, Algo::Conv, Algo::Multispin] {
+            let mut stepped = build_engine(&spec(algo, Dtype::F32)).unwrap();
+            let mut swept = build_engine(&spec(algo, Dtype::F32)).unwrap();
+            for _ in 0..3 {
+                stepped.step(Color::Black);
+                stepped.step(Color::White);
+                swept.sweep();
+            }
+            assert_eq!(stepped.sweep_index(), 3, "{algo}");
+            assert_eq!(swept.sweep_index(), 3, "{algo}");
+            assert_eq!(stepped.observe(), swept.observe(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_exact_for_every_capable_engine() {
+        for algo in [Algo::Naive, Algo::Compact, Algo::Conv, Algo::Multispin] {
+            let mut reference = build_engine(&spec(algo, Dtype::F32)).unwrap();
+            let mut interrupted = build_engine(&spec(algo, Dtype::F32)).unwrap();
+            for _ in 0..6 {
+                reference.sweep();
+            }
+            for _ in 0..2 {
+                interrupted.sweep();
+            }
+            let ck = interrupted.checkpoint().expect("checkpoint-capable");
+            assert_eq!(ck.algo(), algo);
+            assert_eq!(ck.sweep_index(), 2);
+            let mut resumed = restore_engine(&ck).unwrap();
+            assert_eq!(resumed.descriptor().algo, algo);
+            for _ in 0..4 {
+                resumed.sweep();
+            }
+            assert_eq!(resumed.sweep_index(), reference.sweep_index(), "{algo}");
+            assert_eq!(resumed.observe(), reference.observe(), "{algo}");
+            let (a, b) = (resumed.replica_observations(), reference.replica_observations());
+            assert_eq!(a, b, "{algo}: replica observations diverge after resume");
+        }
+    }
+
+    #[test]
+    fn bf16_engines_checkpoint_with_their_dtype() {
+        for algo in [Algo::Naive, Algo::Compact, Algo::Conv] {
+            let mut e = build_engine(&spec(algo, Dtype::Bf16)).unwrap();
+            e.sweep();
+            let ck = e.checkpoint().unwrap();
+            let EngineCheckpoint::Scalar { snapshot, .. } = &ck else {
+                panic!("scalar snapshot expected");
+            };
+            assert_eq!(snapshot.dtype, "bf16");
+            let mut r = restore_engine(&ck).unwrap();
+            r.sweep();
+            e.sweep();
+            assert_eq!(r.observe(), e.observe(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn wolff_steps_whole_sweeps_on_black_only() {
+        let mut a = build_engine(&spec(Algo::Wolff, Dtype::F32)).unwrap();
+        let mut b = build_engine(&spec(Algo::Wolff, Dtype::F32)).unwrap();
+        a.step(Color::Black);
+        a.step(Color::White);
+        b.sweep();
+        assert_eq!(a.observe(), b.observe());
+        assert!(a.checkpoint().is_none());
+    }
+
+    #[test]
+    fn multispin_sweeper_pools_replica_means() {
+        let mut e = MultiSpinIsing::new(8, 8, 0.4, 5);
+        Sweeper::sweep(&mut e);
+        let mags = e.replica_magnetizations();
+        let mean = mags.iter().sum::<f64>() / REPLICAS as f64;
+        assert_eq!(Sweeper::magnetization_sum(&e), mean);
+        assert_eq!(Engine::flips_per_sweep(&e), 64 * 64);
+        assert_eq!(e.replica_observations().len(), REPLICAS);
+    }
+
+    #[test]
+    fn scalar_visitor_reaches_every_mesh_cell() {
+        struct NameOf;
+        impl ScalarEngineVisitor for NameOf {
+            type Out = (Algo, &'static str);
+            fn visit<S, E>(self) -> (Algo, &'static str)
+            where
+                S: Scalar + RandomUniform + 'static,
+                E: ScalarMeshEngine<S> + Send + 'static,
+            {
+                (E::ALGO, S::DTYPE)
+            }
+        }
+        for algo in [Algo::Naive, Algo::Compact, Algo::Conv] {
+            assert_eq!(with_scalar_engine(algo, Dtype::F32, NameOf).unwrap(), (algo, "f32"));
+            assert_eq!(with_scalar_engine(algo, Dtype::Bf16, NameOf).unwrap(), (algo, "bf16"));
+        }
+        assert!(with_scalar_engine(Algo::Wolff, Dtype::F32, NameOf).is_err());
+        assert!(with_scalar_engine(Algo::Multispin, Dtype::F32, NameOf).is_err());
+        assert!(with_scalar_engine(Algo::Compact, Dtype::Packed, NameOf).is_err());
+    }
+
+    #[test]
+    fn mesh_core_self_wrap_matches_local_update() {
+        // A single-core "mesh" run through the MeshCore surface: halos
+        // shifted on a 1×1 torus are the engine's own opposite edges, so
+        // the trajectory must equal the plain local update.
+        fn check<E: ScalarMeshEngine<f32>>(mut mesh: E, mut local: E) {
+            for _ in 0..3 {
+                for color in [Color::Black, Color::White] {
+                    let spec = MeshCore::halo_exchange_spec(&mesh, color);
+                    // On a 1×1 torus every shift returns the payload it
+                    // sent, delivered into the same slot.
+                    let received = spec.map(|(payload, _dir)| payload);
+                    let halos = mesh.assemble_halos(color, received);
+                    mesh.update_color_with(color, &halos);
+                }
+                MeshCore::advance_sweep(&mut mesh);
+                Sweeper::sweep(&mut local);
+                assert_eq!(mesh.to_plane(), local.to_plane());
+            }
+        }
+        let init = random_plane::<f32>(3, 8, 8);
+        let rng = || Randomness::site_keyed(11);
+        let be = KernelBackend::Band;
+        check(
+            CompactIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+            CompactIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+        );
+        check(
+            NaiveIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+            NaiveIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+        );
+        check(
+            ConvIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+            ConvIsing::from_plane_at_backend(&init, 2, 0.44, rng(), 0, 0, be),
+        );
+    }
+
+    #[test]
+    fn mesh_snapshots_restore_through_the_engine_path() {
+        // ScalarMeshEngine::snapshot → EngineCheckpoint::Scalar →
+        // restore_engine round-trips for each mesh-capable scalar algo.
+        fn check<E: ScalarMeshEngine<f32>>(algo: Algo) {
+            let init = random_plane::<f32>(7, 8, 8);
+            let mut sim = E::from_plane_at_backend(
+                &init,
+                2,
+                0.5,
+                Randomness::site_keyed(7),
+                0,
+                0,
+                KernelBackend::Band,
+            );
+            for _ in 0..2 {
+                Sweeper::sweep(&mut sim);
+            }
+            let snapshot = MeshCore::snapshot(&sim, 2);
+            let ck = EngineCheckpoint::Scalar { algo, snapshot };
+            let mut restored = restore_engine(&ck).unwrap();
+            Sweeper::sweep(&mut sim);
+            restored.sweep();
+            assert_eq!(restored.observe().magnetization, Sweeper::magnetization_sum(&sim));
+        }
+        check::<CompactIsing<f32>>(Algo::Compact);
+        check::<NaiveIsing<f32>>(Algo::Naive);
+        check::<ConvIsing<f32>>(Algo::Conv);
+    }
+}

@@ -155,6 +155,30 @@ pub fn splice_halo_col<S: Scalar>(edge: &mut Tensor4<S>, at_first_batch: bool, h
     }
 }
 
+/// The four full-plane boundary halos a mesh run of a *full-lattice*
+/// engine ([`crate::naive::NaiveIsing`], [`crate::conv::ConvIsing`])
+/// needs: the neighboring cores' edge rows/columns adjacent to this
+/// core's window. Unlike the compact quarter-lattice
+/// [`crate::compact::ColorHalos`], these carry both colors — the engines
+/// compute locally-periodic neighbor sums first and then *correct* their
+/// window boundary with `halo − wrongly_wrapped_own_edge`, which is exact
+/// because spins are ±1 and every intermediate sum is a small integer
+/// representable in both `f32` and bf16.
+#[derive(Clone, Debug, Default)]
+pub struct PlaneHalos<S> {
+    /// The global row just above the window (north neighbor's last row),
+    /// length = window width.
+    pub north: Vec<S>,
+    /// The global row just below the window (south neighbor's first row).
+    pub south: Vec<S>,
+    /// The global column just left of the window (west neighbor's last
+    /// column), length = window height.
+    pub west: Vec<S>,
+    /// The global column just right of the window (east neighbor's first
+    /// column).
+    pub east: Vec<S>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,7 @@ pub mod compact;
 pub mod conv;
 pub mod coupling;
 pub mod distributed;
+pub mod engine;
 pub mod fss;
 pub mod hlo_frontend;
 pub mod ising3d;
@@ -58,7 +59,9 @@ pub mod vault;
 pub mod visualize;
 pub mod wolff;
 
-pub use chaos::{run_chaos_multispin, run_chaos_pod, ChaosPlan, ChaosReport, VaultCorruption};
+pub use chaos::{
+    run_chaos_engine, run_chaos_multispin, run_chaos_pod, ChaosPlan, ChaosReport, VaultCorruption,
+};
 pub use checkpoint::Checkpoint;
 pub use compact::{ColorHalos, CompactIsing};
 pub use conv::ConvIsing;
@@ -67,6 +70,11 @@ pub use distributed::{
     run_pod, run_pod_resilient, run_pod_vaulted, run_pod_with_opts, CheckpointStore, PodCheckpoint,
     PodConfig, PodError, PodResult, PodRng, PodRunOpts, ResilienceOpts, ResilientPodRun,
     POD_VAULT_KIND,
+};
+pub use engine::{
+    build_engine, restore_engine, with_scalar_engine, Algo, BackendKind, Dtype, Engine, EngineCaps,
+    EngineCheckpoint, EngineDescriptor, EngineSpec, MeshCore, Observation, ScalarEngineVisitor,
+    ScalarMeshEngine,
 };
 pub use ising3d::{Ising3D, T_CRITICAL_3D};
 pub use lattice::{cold_plane, random_plane, Color};

@@ -52,8 +52,6 @@ use crate::lattice::Color;
 use crate::sweep_pool;
 use crate::vault::Vault;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::Mutex;
 use tpu_ising_device::mesh::{run_spmd_cfg, Dir, MeshConfig, MeshError, MeshHandle, Torus};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::bitsliced::{
@@ -398,14 +396,14 @@ pub struct MultiSpinIsing {
 /// Environment variable overriding the cache-block tile height (rows per
 /// parallel work unit) for engines without an explicit
 /// [`MultiSpinIsing::set_tile_rows`]: `TPU_ISING_TILE_ROWS=N`, `N ≥ 1`.
+/// Invalid values follow the workspace env fallback rule
+/// (`tpu_ising_rng::envcfg`): warn and use the automatic default.
 pub const TILE_ROWS_ENV: &str = "TPU_ISING_TILE_ROWS";
 
 /// The env override, read once (re-reading per half-sweep would allocate).
 fn tile_rows_override() -> Option<usize> {
     static V: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-    *V.get_or_init(|| {
-        std::env::var(TILE_ROWS_ENV).ok().and_then(|s| s.parse::<usize>().ok()).filter(|&n| n >= 1)
-    })
+    *V.get_or_init(|| tpu_ising_rng::envcfg::env_usize(TILE_ROWS_ENV, 1))
 }
 
 /// Default cache-block height for packed rows of `w2` words. A tile's
@@ -961,67 +959,11 @@ impl MultiSpinPodCheckpoint {
     }
 }
 
-/// Shared landing pad for in-flight per-core multispin snapshots (the
-/// packed analogue of [`crate::distributed::CheckpointStore`]).
-pub struct MultiSpinStore {
-    cores: usize,
-    #[allow(clippy::type_complexity)]
-    rows: Mutex<BTreeMap<u64, Vec<Option<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>>>>,
-    /// Called with each newly completed row (outside the lock) — the hook
-    /// the vault uses to persist every globally consistent snapshot.
-    #[allow(clippy::type_complexity)]
-    sink: Option<Box<dyn Fn(u64, &[(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)]) + Send + Sync>>,
-}
-
-impl MultiSpinStore {
-    /// A store for a `cores`-core run.
-    pub fn new(cores: usize) -> MultiSpinStore {
-        MultiSpinStore { cores, rows: Mutex::new(BTreeMap::new()), sink: None }
-    }
-
-    /// A store that additionally hands every completed row to `sink` (e.g.
-    /// a durable-vault writer), after the store lock is released.
-    pub fn with_sink(
-        cores: usize,
-        sink: impl Fn(u64, &[(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)]) + Send + Sync + 'static,
-    ) -> MultiSpinStore {
-        MultiSpinStore { cores, rows: Mutex::new(BTreeMap::new()), sink: Some(Box::new(sink)) }
-    }
-
-    fn record(
-        &self,
-        sweep: u64,
-        core: usize,
-        ckpt: MultiSpinCheckpoint,
-        mags: Vec<[f64; REPLICAS]>,
-    ) {
-        let mut rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let row = rows.entry(sweep).or_insert_with(|| vec![None; self.cores]);
-        row[core] = Some((ckpt, mags));
-        let completed: Option<Vec<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>> =
-            if row.iter().all(Option::is_some) { row.iter().cloned().collect() } else { None };
-        if completed.is_some() {
-            rows.retain(|&s, _| s >= sweep);
-            if obs::is_metrics() {
-                obs::metrics().counter("pod_checkpoints_total").inc(1);
-            }
-        }
-        drop(rows);
-        if let (Some(sink), Some(row)) = (&self.sink, completed) {
-            sink(sweep, &row);
-        }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn latest_complete(&self) -> Option<(u64, Vec<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>)> {
-        let rows = self.rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        // `collect::<Option<Vec<_>>>` is None for incomplete rows — no
-        // panics on recovery paths.
-        rows.iter()
-            .rev()
-            .find_map(|(&s, row)| row.iter().cloned().collect::<Option<Vec<_>>>().map(|r| (s, r)))
-    }
-}
+/// Shared landing pad for in-flight per-core multispin snapshots — the
+/// packed instantiation of the generic
+/// [`crate::distributed::EngineStore`]: one [`MultiSpinCheckpoint`] and a
+/// per-replica magnetization history per core.
+pub type MultiSpinStore = crate::distributed::EngineStore<MultiSpinCheckpoint, [f64; REPLICAS]>;
 
 /// Options for a single (non-retrying) multi-spin pod run.
 #[derive(Default)]
@@ -1203,11 +1145,7 @@ fn ms_core_main(
 ) -> Result<(Vec<[f64; REPLICAS]>, Vec<u64>), MeshError> {
     let id = handle.id();
     let (x, y) = handle.coords();
-    if obs::is_tracing() {
-        obs::register_track(format!("core-{id} ({x},{y})"));
-    }
-    obs::recorder::register_core(id as u32);
-    let _postmortem = obs::PostmortemGuard::arm("core-panic");
+    let _postmortem = crate::distributed::arm_core_observability(id, x, y);
     let row0 = x * cfg.per_core_h;
     let col0 = y * cfg.per_core_w;
     let mut sim = match resume {
@@ -1239,58 +1177,18 @@ fn ms_core_main(
         }
     };
 
-    let start = sim.sweep_index();
-    let total = sweeps as u64;
-    let mut mags: Vec<[f64; REPLICAS]> = Vec::with_capacity((total - start) as usize);
-    for s in (start + 1)..=total {
-        obs::recorder::set_sweep(s);
-        obs::record(obs::EventKind::SweepBoundary);
-        for color in [Color::Black, Color::White] {
-            let halos = {
-                let _g = obs::span!("halo_exchange");
-                exchange_packed_halos(&sim, handle, color)?
-            };
-            let _g = obs::span!("update_color");
-            sim.update_color(color, Some(&halos));
-        }
-        sim.advance_sweep();
-        mags.push(sim.replica_magnetizations());
-        if let (Some(every), Some(store)) = (checkpoint_every, store) {
-            if s % every as u64 == 0 || s == total {
-                store.record(s, id, sim.checkpoint(), mags.clone());
-                obs::record(obs::EventKind::CheckpointRecorded);
-            }
-        }
-    }
-    if start == total {
-        if let Some(store) = store {
-            if checkpoint_every.is_some() {
-                store.record(total, id, sim.checkpoint(), mags.clone());
-            }
-        }
-    }
+    // One u64 word of halo traffic carries the boundary spin of all 64
+    // replicas — 32× fewer bytes than shipping each replica as an f32.
+    let mags = crate::distributed::drive_mesh_core(
+        &mut sim,
+        handle,
+        id,
+        sweeps as u64,
+        0,
+        checkpoint_every,
+        store,
+    )?;
     Ok((mags, sim.to_words()))
-}
-
-/// The four packed collective permutes of one half-sweep. Halo traffic is
-/// counted in the shared `halo_bytes_total` metric: one u64 word carries
-/// the boundary spin of all 64 replicas, 32× fewer bytes than shipping
-/// each replica as an f32.
-fn exchange_packed_halos(
-    sim: &MultiSpinIsing,
-    handle: &mut MeshHandle<Vec<u64>>,
-    color: Color,
-) -> Result<PackedHalos, MeshError> {
-    let [north_spec, south_spec, west_spec, east_spec] = sim.halo_exchange_spec(color);
-    if obs::is_metrics() {
-        let words = north_spec.0.len() + south_spec.0.len() + west_spec.0.len() + east_spec.0.len();
-        obs::metrics().counter("halo_bytes_total").inc((words * std::mem::size_of::<u64>()) as u64);
-    }
-    let north = handle.shift(north_spec.0, north_spec.1)?;
-    let south = handle.shift(south_spec.0, south_spec.1)?;
-    let west = handle.shift(west_spec.0, west_spec.1)?;
-    let east = handle.shift(east_spec.0, east_spec.1)?;
-    Ok(PackedHalos { north, south, west, east })
 }
 
 /// Assemble a pod checkpoint from a complete store row.
@@ -1359,6 +1257,56 @@ pub fn run_multispin_pod_vaulted(
 /// The envelope `kind` tag of multispin pod checkpoints in a vault.
 pub const MULTISPIN_VAULT_KIND: &str = "multispin-pod";
 
+/// The packed restart family — the multispin bindings for the shared
+/// [`crate::distributed::run_resilient_family`] loop.
+#[derive(Clone)]
+struct MultiSpinFamily {
+    cfg: MultiSpinPodConfig,
+    sweeps: usize,
+}
+
+impl crate::distributed::RestartFamily for MultiSpinFamily {
+    type Ckpt = MultiSpinPodCheckpoint;
+    type CoreCkpt = MultiSpinCheckpoint;
+    type Obs = [f64; REPLICAS];
+    type Output = MultiSpinPodResult;
+
+    const VAULT_KIND: &'static str = MULTISPIN_VAULT_KIND;
+
+    fn cores(&self) -> usize {
+        self.cfg.torus.cores()
+    }
+
+    fn assemble(
+        &self,
+        base: Option<&MultiSpinPodCheckpoint>,
+        sweep: u64,
+        rows: Vec<(MultiSpinCheckpoint, Vec<[f64; REPLICAS]>)>,
+    ) -> MultiSpinPodCheckpoint {
+        assemble_multispin_checkpoint(&self.cfg, base, sweep, rows)
+    }
+
+    fn ckpt_to_json(&self, ck: &MultiSpinPodCheckpoint) -> Result<String, PodError> {
+        ck.to_json()
+    }
+
+    fn attempt(
+        &self,
+        resume: Option<&MultiSpinPodCheckpoint>,
+        checkpoint_every: usize,
+        mesh: MeshConfig,
+        store: &MultiSpinStore,
+    ) -> Result<MultiSpinPodResult, PodError> {
+        let run_opts = MultiSpinPodRunOpts {
+            checkpoint_every: Some(checkpoint_every),
+            resume,
+            mesh,
+            store: Some(store),
+        };
+        run_multispin_pod_with_opts(&self.cfg, self.sweeps, &run_opts)
+    }
+}
+
 fn run_multispin_pod_resilient_impl(
     cfg: &MultiSpinPodConfig,
     sweeps: usize,
@@ -1366,84 +1314,14 @@ fn run_multispin_pod_resilient_impl(
     resume: Option<MultiSpinPodCheckpoint>,
     vault: Option<&Vault>,
 ) -> Result<ResilientMultiSpinRun, PodError> {
-    assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
-    let mut latest = resume;
-    let mut faults_seen: Vec<MeshError> = Vec::new();
-    let mut restarts = 0usize;
-    loop {
-        let _attempt_span = obs::span!("pod_attempt");
-        let store = match vault {
-            None => MultiSpinStore::new(cfg.torus.cores()),
-            Some(v) => {
-                // Sink failures are counted, not propagated: a full disk
-                // must not kill the simulation the vault protects.
-                let (v, cfg, base) = (v.clone(), *cfg, latest.clone());
-                MultiSpinStore::with_sink(cfg.torus.cores(), move |sweep, rows| {
-                    let ckpt =
-                        assemble_multispin_checkpoint(&cfg, base.as_ref(), sweep, rows.to_vec());
-                    let saved = ckpt.to_json().map_err(|e| e.to_string()).and_then(|json| {
-                        v.save(MULTISPIN_VAULT_KIND, sweep, &json).map_err(|e| e.to_string())
-                    });
-                    if saved.is_err() && obs::is_metrics() {
-                        obs::metrics().counter("vault_write_errors_total").inc(1);
-                    }
-                })
-            }
-        };
-        let run_opts = MultiSpinPodRunOpts {
-            checkpoint_every: Some(opts.checkpoint_every),
-            resume: latest.as_ref(),
-            mesh: MeshConfig {
-                recv_timeout: opts.recv_timeout,
-                faults: opts.faults.clone(),
-                attempt: restarts,
-                retry: opts.retry,
-            },
-            store: Some(&store),
-        };
-        match run_multispin_pod_with_opts(cfg, sweeps, &run_opts) {
-            Ok(result) => {
-                let final_checkpoint = store
-                    .latest_complete()
-                    .map(|(s, rows)| assemble_multispin_checkpoint(cfg, latest.as_ref(), s, rows))
-                    .or(latest)
-                    .ok_or_else(|| {
-                        PodError::Resume("completed run produced no checkpoint".into())
-                    })?;
-                return Ok(ResilientMultiSpinRun {
-                    result,
-                    restarts,
-                    faults_seen,
-                    final_checkpoint,
-                });
-            }
-            Err(PodError::Mesh(e)) => {
-                if obs::is_metrics() {
-                    obs::metrics().counter("pod_faults_total").inc(1);
-                }
-                obs::record(obs::EventKind::MeshFault { root: e.core() as u32 });
-                obs::recorder::dump_postmortem("mesh-fault");
-                faults_seen.push(e.clone());
-                if restarts >= opts.max_restarts {
-                    if obs::is_metrics() {
-                        obs::metrics().counter("recovery_tier_exhausted_total").inc(1);
-                    }
-                    return Err(PodError::RestartsExhausted { restarts, last: e });
-                }
-                restarts += 1;
-                if obs::is_metrics() {
-                    obs::metrics().counter("pod_restarts_total").inc(1);
-                    obs::metrics().counter("recovery_tier_restart_total").inc(1);
-                }
-                obs::recorder::bump_generation();
-                obs::record(obs::EventKind::PodRestart { restarts: restarts as u64 });
-                if let Some((s, rows)) = store.latest_complete() {
-                    latest = Some(assemble_multispin_checkpoint(cfg, latest.as_ref(), s, rows));
-                }
-            }
-            Err(other) => return Err(other),
-        }
-    }
+    let family = MultiSpinFamily { cfg: *cfg, sweeps };
+    let run = crate::distributed::run_resilient_family(&family, opts, resume, vault)?;
+    Ok(ResilientMultiSpinRun {
+        result: run.output,
+        restarts: run.restarts,
+        faults_seen: run.faults_seen,
+        final_checkpoint: run.final_checkpoint,
+    })
 }
 
 #[cfg(test)]

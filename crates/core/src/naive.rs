@@ -16,11 +16,12 @@
 //! workspace buffers (zero heap allocations in steady state). Both backends
 //! are bit-identical.
 
-use crate::lattice::Color;
+use crate::lattice::{grid_boundary_col, grid_boundary_row, Color, PlaneHalos};
 use crate::prob::Randomness;
 use crate::sampler::Sweeper;
 use rayon::prelude::*;
 use tpu_ising_bf16::Scalar;
+use tpu_ising_device::mesh::Dir;
 use tpu_ising_obs as obs;
 use tpu_ising_rng::RandomUniform;
 use tpu_ising_tensor::{band_kernel, Axis, BandKernel, KernelBackend, Mat, Plane, Side, Tensor4};
@@ -59,6 +60,9 @@ pub struct NaiveIsing<S> {
     beta: f64,
     rng: Randomness,
     sweep_index: u64,
+    /// Global offset of the local window (distributed site-keying).
+    row0: usize,
+    col0: usize,
     backend: KernelBackend,
     ws: NaiveWorkspace<S>,
 }
@@ -68,7 +72,22 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
     /// (so intra-tile parity equals global parity) and divide both plane
     /// dimensions.
     pub fn from_plane(plane: &Plane<S>, tile: usize, beta: f64, rng: Randomness) -> Self {
+        Self::from_plane_at(plane, tile, beta, rng, 0, 0)
+    }
+
+    /// Like [`from_plane`](Self::from_plane) with a global window offset
+    /// (both even, so the intra-tile parity mask stays valid and the
+    /// site-keyed RNG addresses global coordinates).
+    pub fn from_plane_at(
+        plane: &Plane<S>,
+        tile: usize,
+        beta: f64,
+        rng: Randomness,
+        row0: usize,
+        col0: usize,
+    ) -> Self {
         assert!(tile.is_multiple_of(2), "tile size must be even for a parity mask");
+        assert!(row0.is_multiple_of(2) && col0.is_multiple_of(2), "core offsets must be even");
         let grid = plane.to_tiles(tile);
         let [m, n, _, _] = grid.shape();
         let mask_black = Tensor4::from_fn([m, n, tile, tile], |_, _, r, c| {
@@ -86,6 +105,8 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
             beta,
             rng,
             sweep_index: 0,
+            row0,
+            col0,
             backend: KernelBackend::default(),
             ws,
         }
@@ -117,6 +138,54 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
         self.beta = beta;
     }
 
+    /// Completed sweeps.
+    pub fn sweep_index(&self) -> u64 {
+        self.sweep_index
+    }
+
+    /// Set the sweep counter (resume).
+    pub fn set_sweep_index(&mut self, sweep: u64) {
+        self.sweep_index = sweep;
+    }
+
+    /// Global offset of the local window.
+    pub fn window_offset(&self) -> (usize, usize) {
+        (self.row0, self.col0)
+    }
+
+    /// The tile size the lattice is blocked into.
+    pub fn tile(&self) -> usize {
+        self.grid.shape()[2]
+    }
+
+    /// Snapshot of the RNG state (checkpointing).
+    pub fn rng_state(&self) -> crate::prob::RngState {
+        self.rng.state()
+    }
+
+    /// Bump the sweep counter after both colors of a mesh sweep (the
+    /// single-core [`Sweeper::sweep`] does this internally).
+    pub fn advance_sweep(&mut self) {
+        self.sweep_index += 1;
+    }
+
+    /// What this core must contribute to its neighbors for a color
+    /// update, as `(payload, shift direction)` pairs in the fixed order
+    /// `[north, south, west, east]` (the receiver's [`PlaneHalos`]
+    /// slots). Shifting a payload in direction `D` delivers it to the
+    /// neighbor on the `D` side, so e.g. the `north` halo every core
+    /// *receives* is the last row its north neighbor sent southward. The
+    /// payloads are full (both-color) edges, identical for either color
+    /// update.
+    pub fn halo_exchange_spec(&self, _color: Color) -> [(Vec<S>, Dir); 4] {
+        [
+            (grid_boundary_row(&self.grid, Side::Last), Dir::South),
+            (grid_boundary_row(&self.grid, Side::First), Dir::North),
+            (grid_boundary_col(&self.grid, Side::Last), Dir::East),
+            (grid_boundary_col(&self.grid, Side::First), Dir::West),
+        ]
+    }
+
     /// Full-lattice neighbor sums: `σ·K + K·σ` per tile, then the four
     /// boundary compensations of Algorithm 1 lines 3–6 (torus wrap via
     /// grid rolls). This is the dense reference path; the band backend
@@ -141,11 +210,24 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
 
     /// Update all spins of one color (Algorithm 1).
     pub fn update_color(&mut self, color: Color) {
+        self.update_color_impl(color, None);
+    }
+
+    /// [`update_color`](Self::update_color) for a mesh window: local
+    /// periodic sums are corrected at the window boundary with the
+    /// neighboring cores' edges, giving the exact global-torus sums —
+    /// bit-identical to a single-core run on the stitched lattice.
+    pub fn update_color_with_halos(&mut self, color: Color, halos: &PlaneHalos<S>) {
+        self.update_color_impl(color, Some(halos));
+    }
+
+    fn update_color_impl(&mut self, color: Color, halos: Option<&PlaneHalos<S>>) {
         let [m, n, t, _] = self.grid.shape();
         // line 1: probs for ALL sites (the waste Algorithm 2 eliminates)
         let sweep = self.sweep_index;
+        let (row0, col0) = (self.row0, self.col0);
         self.rng.fill(&mut self.ws.probs, sweep, color, |b0, b1, r, c| {
-            ((b0 * t + r) as u32, (b1 * t + c) as u32)
+            ((row0 + b0 * t + r) as u32, (col0 + b1 * t + c) as u32)
         });
         if obs::is_metrics() {
             obs::metrics().counter("rng_draws_total").inc(self.ws.probs.len() as u64);
@@ -168,6 +250,9 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
                     obs::metrics().counter("kernel_flops").inc((4 * m * n * t * t) as u64);
                 }
             }
+        }
+        if let Some(halos) = halos {
+            correct_grid_boundary(&mut self.ws.nn, &self.grid, halos);
         }
         // lines 7–10 fused in place: acceptance = exp(−2β·nn·σ), parity
         // mask, flip. Off-color sites are left untouched, which equals the
@@ -231,6 +316,37 @@ fn band_neighbor_sums<S: Scalar>(
     // eastern boundary
     grid.rolled_edge_into(0, -1, Axis::Col, Side::First, edge_col);
     nn.add_edge_assign(Axis::Col, Side::Last, edge_col);
+}
+
+/// Replace the locally-wrapped contributions at the window boundary of a
+/// periodic neighbor-sum grid with the true neighboring cores' edges:
+/// `nn += halo − wrongly_wrapped_own_edge`, in the tiled `[m, n, t, t]`
+/// layout. Exact for ±1 spins: every term and partial sum is a small
+/// integer, represented without rounding in both `f32` and bf16, so the
+/// corrected sums are bit-identical to global-torus sums.
+fn correct_grid_boundary<S: Scalar>(nn: &mut Tensor4<S>, grid: &Tensor4<S>, halos: &PlaneHalos<S>) {
+    let [m, n, t, _] = grid.shape();
+    assert_eq!(halos.north.len(), n * t, "north halo length");
+    assert_eq!(halos.south.len(), n * t, "south halo length");
+    assert_eq!(halos.west.len(), m * t, "west halo length");
+    assert_eq!(halos.east.len(), m * t, "east halo length");
+    for b1 in 0..n {
+        for c in 0..t {
+            let top = nn.get(0, b1, 0, c) + halos.north[b1 * t + c] - grid.get(m - 1, b1, t - 1, c);
+            nn.set(0, b1, 0, c, top);
+            let bot = nn.get(m - 1, b1, t - 1, c) + halos.south[b1 * t + c] - grid.get(0, b1, 0, c);
+            nn.set(m - 1, b1, t - 1, c, bot);
+        }
+    }
+    for b0 in 0..m {
+        for r in 0..t {
+            let left = nn.get(b0, 0, r, 0) + halos.west[b0 * t + r] - grid.get(b0, n - 1, r, t - 1);
+            nn.set(b0, 0, r, 0, left);
+            let right =
+                nn.get(b0, n - 1, r, t - 1) + halos.east[b0 * t + r] - grid.get(b0, 0, r, 0);
+            nn.set(b0, n - 1, r, t - 1, right);
+        }
+    }
 }
 
 impl<S: Scalar + RandomUniform> Sweeper for NaiveIsing<S> {
@@ -364,6 +480,83 @@ mod tests {
         }
         nv.update_color(Color::White);
         assert_eq!(nv.magnetization_sum(), -16.0);
+    }
+
+    #[test]
+    fn self_wrap_halos_reproduce_periodic_update() {
+        // On a 1×1 "torus" every halo is the window's own wrapped edge, so
+        // the boundary correction is exactly zero and the halo update must
+        // be bit-identical to the plain periodic one — for both backends.
+        for backend in [KernelBackend::Dense, KernelBackend::Band] {
+            let init = random_plane::<f32>(5, 8, 12);
+            let mut plain = NaiveIsing::from_plane(&init, 4, 0.44, Randomness::site_keyed(13))
+                .with_backend(backend);
+            let mut meshy = NaiveIsing::from_plane(&init, 4, 0.44, Randomness::site_keyed(13))
+                .with_backend(backend);
+            for step in 0..4 {
+                for color in [Color::Black, Color::White] {
+                    let g = &meshy.grid;
+                    let halos = PlaneHalos {
+                        north: grid_boundary_row(g, Side::Last),
+                        south: grid_boundary_row(g, Side::First),
+                        west: grid_boundary_col(g, Side::Last),
+                        east: grid_boundary_col(g, Side::First),
+                    };
+                    plain.update_color(color);
+                    meshy.update_color_with_halos(color, &halos);
+                }
+                plain.advance_sweep();
+                meshy.advance_sweep();
+                assert_eq!(plain.to_plane(), meshy.to_plane(), "diverged at sweep {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_window_draws_global_coordinates() {
+        // Two vertically stacked 4×8 windows of a global 8×8 lattice,
+        // fed each other's edges, must reproduce the single-lattice run.
+        let beta = 1.0 / crate::T_CRITICAL;
+        let full = random_plane::<f32>(91, 8, 8);
+        let mut whole = NaiveIsing::from_plane(&full, 2, beta, Randomness::site_keyed(5));
+        let top_init = Plane::from_fn(4, 8, |r, c| full.get(r, c));
+        let bot_init = Plane::from_fn(4, 8, |r, c| full.get(4 + r, c));
+        let mut top =
+            NaiveIsing::from_plane_at(&top_init, 2, beta, Randomness::site_keyed(5), 0, 0);
+        let mut bot =
+            NaiveIsing::from_plane_at(&bot_init, 2, beta, Randomness::site_keyed(5), 4, 0);
+        for step in 0..4 {
+            for color in [Color::Black, Color::White] {
+                // On a 2×1 torus each window's north AND south neighbor is
+                // the other window; east/west wrap to itself.
+                let top_halos = PlaneHalos {
+                    north: grid_boundary_row(&bot.grid, Side::Last),
+                    south: grid_boundary_row(&bot.grid, Side::First),
+                    west: grid_boundary_col(&top.grid, Side::Last),
+                    east: grid_boundary_col(&top.grid, Side::First),
+                };
+                let bot_halos = PlaneHalos {
+                    north: grid_boundary_row(&top.grid, Side::Last),
+                    south: grid_boundary_row(&top.grid, Side::First),
+                    west: grid_boundary_col(&bot.grid, Side::Last),
+                    east: grid_boundary_col(&bot.grid, Side::First),
+                };
+                whole.update_color(color);
+                top.update_color_with_halos(color, &top_halos);
+                bot.update_color_with_halos(color, &bot_halos);
+            }
+            whole.advance_sweep();
+            top.advance_sweep();
+            bot.advance_sweep();
+            let stitched = Plane::from_fn(8, 8, |r, c| {
+                if r < 4 {
+                    top.to_plane().get(r, c)
+                } else {
+                    bot.to_plane().get(r - 4, c)
+                }
+            });
+            assert_eq!(whole.to_plane(), stitched, "diverged at sweep {step}");
+        }
     }
 
     #[test]

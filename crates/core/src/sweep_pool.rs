@@ -16,9 +16,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use tpu_ising_obs as obs;
 
 /// Environment variable overriding the pool's total worker count
 /// (including the submitting thread); unset → `available_parallelism`.
+/// Invalid values follow the workspace env fallback rule
+/// (`tpu_ising_rng::envcfg`): warn and use the default.
 pub const WORKERS_ENV: &str = "TPU_ISING_SWEEP_WORKERS";
 
 /// The tile job the pool is currently running, plus the handshake state.
@@ -37,9 +40,13 @@ struct Slot {
 /// A fixed set of helper threads that execute `f(tile)` for every tile of
 /// a half-sweep. See the module docs for the zero-allocation rationale.
 pub struct SweepPool {
-    /// Helper threads (the submitting thread participates too, so total
-    /// parallelism is `workers + 1`).
-    workers: usize,
+    /// Helper threads actually running (the submitting thread
+    /// participates too, so total parallelism is `workers + 1`). Written
+    /// once at the end of [`SweepPool::spawn`] — it may be smaller than
+    /// the requested count when thread spawning fails — and read by the
+    /// `finished == workers` handshake, which therefore never waits for
+    /// a worker that does not exist.
+    workers: AtomicUsize,
     slot: Mutex<Slot>,
     work_cv: Condvar,
     done_cv: Condvar,
@@ -58,30 +65,57 @@ fn relock<'a, T>(
 }
 
 impl SweepPool {
-    /// Spawn a pool with `helpers` worker threads (0 = inline execution
-    /// only). The pool is leaked: workers live for the process, which is
-    /// exactly the persistence that makes dispatch allocation-free.
+    /// Spawn a pool with up to `helpers` worker threads (0 = inline
+    /// execution only). The pool is leaked: workers live for the process,
+    /// which is exactly the persistence that makes dispatch
+    /// allocation-free.
+    ///
+    /// Thread-spawn failure (fd/thread exhaustion, tight cgroup limits)
+    /// is *degradation, not death*: the pool keeps whatever helpers did
+    /// start — possibly none, which is the plain sequential sweep path —
+    /// warns once, and bumps the `sweep_pool_spawn_failures_total`
+    /// counter so the shortfall is visible in `--metrics` output.
     pub fn spawn(helpers: usize) -> &'static SweepPool {
         let pool: &'static SweepPool = Box::leak(Box::new(SweepPool {
-            workers: helpers,
+            workers: AtomicUsize::new(0),
             slot: Mutex::new(Slot { epoch: 0, job: None, n_tiles: 0, finished: 0 }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
             busy: Mutex::new(()),
         }));
+        let mut spawned = 0usize;
         for w in 0..helpers {
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name(format!("ms-sweep-{w}"))
                 .spawn(move || pool.worker_loop())
-                .expect("spawn sweep worker");
+            {
+                Ok(_) => spawned += 1,
+                Err(e) => {
+                    obs::metrics().counter("sweep_pool_spawn_failures_total").inc(1);
+                    eprintln!(
+                        "warning: could not spawn sweep worker {w} of {helpers}: {e}; \
+                         continuing with {spawned} helper(s){}",
+                        if spawned == 0 { " (sequential sweeps)" } else { "" }
+                    );
+                    // Spawn failures mean the process is resource-starved;
+                    // asking for the remaining threads would likely fail
+                    // the same way.
+                    break;
+                }
+            }
         }
+        // No job is published until `spawn` returns, so workers are still
+        // parked on the condvar when the final count lands: the
+        // `finished == workers` handshake only ever sees this value.
+        pool.workers.store(spawned, Ordering::Release);
         pool
     }
 
-    /// Helper threads in this pool.
+    /// Helper threads actually running in this pool (may be fewer than
+    /// requested if spawning failed).
     pub fn helpers(&self) -> usize {
-        self.workers
+        self.workers.load(Ordering::Acquire)
     }
 
     fn worker_loop(&self) {
@@ -107,7 +141,7 @@ impl SweepPool {
             }
             guard = relock(self.slot.lock());
             guard.finished += 1;
-            if guard.finished == self.workers {
+            if guard.finished == self.helpers() {
                 self.done_cv.notify_one();
             }
         }
@@ -119,7 +153,8 @@ impl SweepPool {
     /// concurrently). Falls back to a plain inline loop when the pool has
     /// no helpers or another thread is mid-`run`.
     pub fn run(&self, n_tiles: usize, f: &(dyn Fn(usize) + Sync)) {
-        if self.workers == 0 || n_tiles <= 1 {
+        let workers = self.helpers();
+        if workers == 0 || n_tiles <= 1 {
             for t in 0..n_tiles {
                 f(t);
             }
@@ -153,7 +188,7 @@ impl SweepPool {
             f(t);
         }
         let mut guard = relock(self.slot.lock());
-        while guard.finished < self.workers {
+        while guard.finished < workers {
             guard = relock(self.done_cv.wait(guard));
         }
         guard.job = None;
@@ -166,10 +201,7 @@ impl SweepPool {
 pub fn pool() -> &'static SweepPool {
     static POOL: OnceLock<&'static SweepPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let total = std::env::var(WORKERS_ENV)
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
+        let total = tpu_ising_rng::envcfg::env_usize(WORKERS_ENV, 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         SweepPool::spawn(total.saturating_sub(1))
     })
@@ -204,6 +236,19 @@ mod tests {
             });
         }
         assert_eq!(sum.load(Ordering::Relaxed), 200 * (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn helpers_reports_spawned_count() {
+        // A pool never claims more helpers than it actually spawned; the
+        // handshake math in `run` relies on this.
+        let pool = SweepPool::spawn(2);
+        assert!(pool.helpers() <= 2);
+        let sum = AtomicU64::new(0);
+        pool.run(5, &|t| {
+            sum.fetch_add(t as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
     }
 
     #[test]

@@ -292,7 +292,7 @@ impl Vault {
                 out.push(Generation { sweep, path: entry.path() });
             }
         }
-        out.sort_by(|a, b| b.sweep.cmp(&a.sweep));
+        out.sort_by_key(|g| std::cmp::Reverse(g.sweep));
         out
     }
 

@@ -20,6 +20,18 @@ pub enum Variant {
     Conv,
 }
 
+impl std::str::FromStr for Variant {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Variant, String> {
+        match s {
+            "naive" => Ok(Variant::Naive),
+            "compact" => Ok(Variant::Compact),
+            "conv" => Ok(Variant::Conv),
+            other => Err(format!("unknown variant '{other}' (expected naive|compact|conv)")),
+        }
+    }
+}
+
 /// Single-core or SPMD-distributed execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum ExecutionMode {

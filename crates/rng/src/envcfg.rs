@@ -1,0 +1,114 @@
+//! One fallback rule for every `TPU_ISING_*` tuning variable.
+//!
+//! The workspace reads a handful of environment knobs
+//! (`TPU_ISING_SIMD`, `TPU_ISING_SWEEP_WORKERS`, `TPU_ISING_TILE_ROWS`).
+//! They are *tuning* inputs, never correctness inputs, so an invalid
+//! value must never panic or silently change behavior. Every reader
+//! follows the same documented rule:
+//!
+//! - **unset or empty** → use the built-in default, silently;
+//! - **invalid** (garbage, out of range, overflow) → warn once on
+//!   stderr naming the variable and the offending value, then use the
+//!   built-in default — exactly as if the variable were unset.
+//!
+//! [`env_parse`] implements the rule for any value type; [`env_usize`]
+//! is the common integer case.
+
+/// Read `name` and parse it with `parse`, applying the workspace
+/// fallback rule: unset/empty → `None` silently; a parse error → warn
+/// and `None`. `parse` returns `Err(reason)` for invalid values.
+pub fn env_parse<T>(name: &str, parse: impl FnOnce(&str) -> Result<T, String>) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match parse(trimmed) {
+        Ok(v) => Some(v),
+        Err(why) => {
+            warn_ignored(name, trimmed, &why);
+            None
+        }
+    }
+}
+
+/// Read an integer knob that must be at least `min`. Zero, negative,
+/// non-numeric, and overflowing values all fall back with a warning.
+pub fn env_usize(name: &str, min: usize) -> Option<usize> {
+    env_parse(name, |raw| match raw.parse::<usize>() {
+        Ok(v) if v >= min => Ok(v),
+        Ok(v) => Err(format!("must be at least {min}, got {v}")),
+        Err(_) => Err("not a valid non-negative integer".to_string()),
+    })
+}
+
+/// The warning side of the fallback rule, shared so every knob reports
+/// invalid values in the same shape.
+pub fn warn_ignored(name: &str, raw: &str, why: &str) {
+    eprintln!("warning: ignoring {name}={raw} ({why}); using the default");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a distinct variable name: the process environment
+    // is global and tests run concurrently.
+
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(env_usize("TPU_ISING_TEST_UNSET", 1), None);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        std::env::set_var("TPU_ISING_TEST_EMPTY", "");
+        assert_eq!(env_usize("TPU_ISING_TEST_EMPTY", 1), None);
+        std::env::set_var("TPU_ISING_TEST_BLANK", "   ");
+        assert_eq!(env_usize("TPU_ISING_TEST_BLANK", 1), None);
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        std::env::set_var("TPU_ISING_TEST_OK", "7");
+        assert_eq!(env_usize("TPU_ISING_TEST_OK", 1), Some(7));
+        std::env::set_var("TPU_ISING_TEST_PAD", " 3 ");
+        assert_eq!(env_usize("TPU_ISING_TEST_PAD", 1), Some(3));
+    }
+
+    #[test]
+    fn zero_below_min_falls_back() {
+        std::env::set_var("TPU_ISING_TEST_ZERO", "0");
+        assert_eq!(env_usize("TPU_ISING_TEST_ZERO", 1), None);
+    }
+
+    #[test]
+    fn garbage_falls_back() {
+        std::env::set_var("TPU_ISING_TEST_GARBAGE", "lots");
+        assert_eq!(env_usize("TPU_ISING_TEST_GARBAGE", 1), None);
+        std::env::set_var("TPU_ISING_TEST_NEGATIVE", "-4");
+        assert_eq!(env_usize("TPU_ISING_TEST_NEGATIVE", 1), None);
+    }
+
+    #[test]
+    fn overflow_falls_back() {
+        std::env::set_var("TPU_ISING_TEST_OVERFLOW", "99999999999999999999999999");
+        assert_eq!(env_usize("TPU_ISING_TEST_OVERFLOW", 1), None);
+    }
+
+    #[test]
+    fn custom_parser_applies_same_rule() {
+        std::env::set_var("TPU_ISING_TEST_ENUM", "banana");
+        let parsed = env_parse("TPU_ISING_TEST_ENUM", |raw| match raw {
+            "apple" => Ok(1u8),
+            other => Err(format!("unknown fruit '{other}'")),
+        });
+        assert_eq!(parsed, None);
+        std::env::set_var("TPU_ISING_TEST_ENUM_OK", "apple");
+        let parsed = env_parse("TPU_ISING_TEST_ENUM_OK", |raw| match raw {
+            "apple" => Ok(1u8),
+            other => Err(format!("unknown fruit '{other}'")),
+        });
+        assert_eq!(parsed, Some(1));
+    }
+}

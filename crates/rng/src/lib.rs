@@ -27,6 +27,7 @@
 //!   the multi-spin sweepers in `baseline` and `core`.
 
 pub mod bitsliced;
+pub mod envcfg;
 mod philox;
 pub mod simd;
 mod site;

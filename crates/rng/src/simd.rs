@@ -164,33 +164,30 @@ pub fn isa() -> SimdIsa {
     static ISA: OnceLock<SimdIsa> = OnceLock::new();
     *ISA.get_or_init(|| {
         let native = native_isa();
-        match std::env::var(FORCE_ENV) {
-            Ok(v) if !v.is_empty() => match SimdIsa::parse(&v) {
-                Some(forced) if forced <= native => forced,
-                Some(forced) => {
-                    eprintln!(
-                        "warning: {FORCE_ENV}={v} requests {} but this CPU tops out at {}; \
-                         using {}",
-                        forced.name(),
-                        native.name(),
-                        native.name()
-                    );
-                    native
-                }
-                None => {
-                    // An unparseable value behaves like an unset one:
-                    // fall back to the default (avx2-capped) dispatch,
-                    // never silently opt in to the wide tier.
-                    let default = native.min(SimdIsa::Avx2);
-                    eprintln!(
-                        "warning: unrecognized {FORCE_ENV}={v} (expected \
-                         scalar|sse2|avx2|avx512); using {}",
-                        default.name()
-                    );
-                    default
-                }
-            },
-            _ => native.min(SimdIsa::Avx2),
+        // The workspace env fallback rule (`envcfg`): unparseable values
+        // warn and behave like an unset variable — fall back to the
+        // default (avx2-capped) dispatch, never silently opt in to the
+        // wide tier.
+        let forced = crate::envcfg::env_parse(FORCE_ENV, |raw| {
+            SimdIsa::parse(raw)
+                .ok_or_else(|| format!("expected scalar|sse2|avx2|avx512, got '{raw}'"))
+        });
+        match forced {
+            Some(forced) if forced <= native => forced,
+            Some(forced) => {
+                // A *valid* tier the CPU cannot execute clamps (with a
+                // warning) instead of falling back: the intent "force a
+                // specific tier" is honored as far as the hardware allows,
+                // and the variable can never crash the process.
+                eprintln!(
+                    "warning: {FORCE_ENV} requests {} but this CPU tops out at {}; using {}",
+                    forced.name(),
+                    native.name(),
+                    native.name()
+                );
+                native
+            }
+            None => native.min(SimdIsa::Avx2),
         }
     })
 }

@@ -1,6 +1,9 @@
 //! Umbrella crate: hosts the workspace-root `examples/` binaries and the
 //! cross-crate integration tests in `tests/`. It re-exports the public
-//! surface of the workspace so examples read like downstream user code.
+//! surface of the workspace so examples read like downstream user code,
+//! and hosts the [`grid`] capability-grid suite runner (`suite_grid` bin).
+
+pub mod grid;
 
 pub use tpu_ising_baseline as baseline;
 pub use tpu_ising_bf16 as bf16;

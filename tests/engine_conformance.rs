@@ -1,0 +1,190 @@
+//! Engine conformance suite: every registered algorithm must behave
+//! identically whether it is driven through the type-erased [`Engine`]
+//! trait (the path every deployment driver now uses) or constructed
+//! concretely the pre-trait way — and checkpoint/restore round-trips must
+//! continue the chain bit-exactly.
+
+use tpu_ising_suite::ising::engine::{
+    build_engine, restore_engine, Algo, Dtype, Engine, EngineSpec,
+};
+use tpu_ising_suite::ising::{
+    cold_plane, Color, CompactIsing, ConvIsing, KernelBackend, MultiSpinIsing, NaiveIsing,
+    Randomness, Sweeper, WolffIsing,
+};
+
+const L: usize = 16;
+const BETA: f64 = 0.4;
+const SEED: u64 = 1234;
+
+fn spec(algo: Algo, dtype: Dtype) -> EngineSpec {
+    EngineSpec {
+        algo,
+        dtype,
+        height: L,
+        width: L,
+        tile: 4,
+        beta: BETA,
+        seed: SEED,
+        cold: true,
+        backend: KernelBackend::Band,
+    }
+}
+
+/// Advance `n` sweeps and return the (magnetization, energy) trace.
+fn trace(engine: &mut dyn Engine, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| {
+            engine.sweep();
+            let o = engine.observe();
+            (o.magnetization, o.energy)
+        })
+        .collect()
+}
+
+/// The trait-built engine must reproduce the concrete pre-trait
+/// construction bit-for-bit, for every registered algorithm.
+#[test]
+fn trait_built_engines_match_concrete_construction() {
+    let n = 8;
+    for algo in Algo::ALL {
+        let mut built = build_engine(&spec(algo, Dtype::F32)).expect("build_engine");
+        let built_trace = trace(built.as_mut(), n);
+
+        let init = cold_plane::<f32>(L, L);
+        let rng = Randomness::bulk(SEED);
+        let concrete: Vec<(f64, f64)> = match algo {
+            Algo::Compact => {
+                let mut s =
+                    CompactIsing::from_plane(&init, 4, BETA, rng).with_backend(KernelBackend::Band);
+                (0..n)
+                    .map(|_| {
+                        s.sweep();
+                        (s.magnetization_sum(), s.energy_sum())
+                    })
+                    .collect()
+            }
+            Algo::Naive => {
+                let mut s =
+                    NaiveIsing::from_plane(&init, 4, BETA, rng).with_backend(KernelBackend::Band);
+                (0..n)
+                    .map(|_| {
+                        s.sweep();
+                        (s.magnetization_sum(), s.energy_sum())
+                    })
+                    .collect()
+            }
+            Algo::Conv => {
+                let mut s = ConvIsing::new(init, BETA, rng).with_backend(KernelBackend::Band);
+                (0..n)
+                    .map(|_| {
+                        s.sweep();
+                        (s.magnetization_sum(), s.energy_sum())
+                    })
+                    .collect()
+            }
+            Algo::Wolff => {
+                let mut s = WolffIsing::new(init, BETA, rng);
+                (0..n)
+                    .map(|_| {
+                        s.sweep();
+                        (s.magnetization_sum(), s.energy_sum())
+                    })
+                    .collect()
+            }
+            Algo::Multispin => {
+                let mut s = MultiSpinIsing::new(L, L, BETA, SEED);
+                let n_rep = s.replica_magnetizations().len();
+                (0..n)
+                    .map(|_| {
+                        s.sweep();
+                        // The trait's observe() reports the replica mean.
+                        let m = s.replica_magnetizations().iter().sum::<f64>() / n_rep as f64;
+                        let e = (0..n_rep).map(|k| s.replica_energy(k)).sum::<f64>() / n_rep as f64;
+                        (m, e)
+                    })
+                    .collect()
+            }
+        };
+        assert_eq!(
+            built_trace, concrete,
+            "{algo}: trait-built trace diverged from concrete construction"
+        );
+    }
+}
+
+/// Checkpoint at mid-chain, restore, and run both branches forward: the
+/// restored engine must continue bit-exactly. Applies to every engine
+/// whose capabilities claim checkpoint support.
+#[test]
+fn checkpoint_restore_round_trip_is_bit_exact() {
+    for algo in Algo::ALL {
+        let caps = algo.caps();
+        let mut original = build_engine(&spec(algo, Dtype::F32)).expect("build_engine");
+        for _ in 0..5 {
+            original.sweep();
+        }
+        let Some(ck) = original.checkpoint() else {
+            assert!(!caps.checkpoint, "{algo}: caps claim checkpoint but none was produced");
+            continue;
+        };
+        assert!(caps.checkpoint, "{algo}: produced a checkpoint but caps deny it");
+        assert_eq!(ck.algo(), algo);
+        assert_eq!(ck.sweep_index(), original.sweep_index());
+        let mut restored = restore_engine(&ck).expect("restore_engine");
+        assert_eq!(restored.sweep_index(), original.sweep_index());
+        assert_eq!(
+            trace(original.as_mut(), 6),
+            trace(restored.as_mut(), 6),
+            "{algo}: restored engine diverged from the original"
+        );
+    }
+}
+
+/// Two half-steps must equal one sweep, for every engine: this is the
+/// contract the SPMD drivers rely on when they interleave halo exchange
+/// between colors.
+#[test]
+fn two_half_steps_equal_one_sweep() {
+    for algo in Algo::ALL {
+        let mut stepped = build_engine(&spec(algo, Dtype::F32)).expect("build_engine");
+        let mut swept = build_engine(&spec(algo, Dtype::F32)).expect("build_engine");
+        for _ in 0..4 {
+            stepped.step(Color::Black);
+            stepped.step(Color::White);
+            swept.sweep();
+        }
+        assert_eq!(stepped.sweep_index(), swept.sweep_index(), "{algo}: sweep counter drift");
+        let a = stepped.observe();
+        let b = swept.observe();
+        assert_eq!((a.magnetization, a.energy), (b.magnetization, b.energy), "{algo}");
+    }
+}
+
+/// The descriptor and capability surface every driver keys on.
+#[test]
+fn descriptors_and_caps_are_consistent() {
+    for algo in Algo::ALL {
+        let engine = build_engine(&spec(algo, Dtype::F32)).expect("build_engine");
+        let desc = engine.descriptor();
+        assert_eq!(desc.algo, algo);
+        assert_eq!(engine.caps(), algo.caps());
+        assert_eq!(engine.replica_observations().len(), algo.caps().replicas);
+        assert_eq!(engine.replica_magnetization_sums().len(), algo.caps().replicas);
+        // Round-trip the registry spelling.
+        assert_eq!(algo.name().parse::<Algo>().unwrap(), algo);
+    }
+    assert!("gpu".parse::<Algo>().is_err(), "gpu baseline must stay outside the registry");
+    // Packed lattices cannot be requested for scalar algorithms.
+    assert!(build_engine(&spec(Algo::Compact, Dtype::Packed)).is_err());
+}
+
+/// bf16 engines build and advance through the same trait path.
+#[test]
+fn bf16_engines_build_and_run() {
+    for algo in [Algo::Naive, Algo::Compact, Algo::Conv] {
+        let mut engine = build_engine(&spec(algo, Dtype::Bf16)).expect("bf16 build");
+        assert_eq!(engine.descriptor().dtype, Dtype::Bf16);
+        engine.sweep();
+        assert_eq!(engine.sweep_index(), 1);
+    }
+}
