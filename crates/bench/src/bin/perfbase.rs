@@ -32,10 +32,10 @@ use tpu_ising_bench::{
 };
 use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
 use tpu_ising_core::{
-    random_plane, run_multispin_pod, CompactIsing, KernelBackend, MultiSpinIsing,
-    MultiSpinPodConfig, Randomness, Sweeper, REPLICAS,
+    random_plane, run_multispin_pod, run_multispin_pod_with_opts, CompactIsing, KernelBackend,
+    MultiSpinIsing, MultiSpinPodConfig, MultiSpinPodRunOpts, Randomness, Sweeper, REPLICAS,
 };
-use tpu_ising_device::mesh::Torus;
+use tpu_ising_device::mesh::{MeshConfig, MeshRuntime, Torus};
 use tpu_ising_obs as obs;
 
 // Heap traffic is an acceptance criterion here, so this binary measures
@@ -210,6 +210,30 @@ fn multispin_pod(sweeps: usize) -> Row {
     }
 }
 
+/// Aggregate multispin throughput of an `nx`×`ny` pod on the cooperative
+/// work-stealing scheduler, strong-scaling a fixed 256×256 global lattice.
+/// This is the slice the trajectory file tracks across commits: the same
+/// lattice sharded ever finer, up to 1024 logical cores on however few
+/// worker threads the host has.
+fn multispin_pod_coop(nx: usize, ny: usize, sweeps: usize) -> f64 {
+    let cfg = MultiSpinPodConfig {
+        torus: Torus::new(nx, ny),
+        per_core_h: L / nx,
+        per_core_w: L / ny,
+        beta: BETA,
+        seed: 99,
+    };
+    let opts = MultiSpinPodRunOpts {
+        mesh: MeshConfig { runtime: MeshRuntime::coop(), ..MeshConfig::default() },
+        ..MultiSpinPodRunOpts::default()
+    };
+    let _ = run_multispin_pod_with_opts(&cfg, 1, &opts).expect("coop pod warmup failed");
+    let t0 = Instant::now();
+    let _ = run_multispin_pod_with_opts(&cfg, sweeps, &opts).expect("coop pod run failed");
+    let secs = t0.elapsed().as_secs_f64();
+    (cfg.flips_per_sweep() * sweeps as u64) as f64 / (secs * 1e9)
+}
+
 fn main() {
     let quick = quick_mode();
     let gate = std::env::args().skip(1).any(|a| a == "--gate-multispin");
@@ -373,20 +397,42 @@ fn main() {
     if append {
         // One trajectory point per algorithm: the best single-core figure
         // from this run, stamped with the commit it measured.
-        let point = |algo: &str, flips_per_ns: f64| TrajectoryRow {
+        let point = |algo: &str, cores: usize, flips_per_ns: f64| TrajectoryRow {
             commit: md.commit.clone(),
             timestamp: md.timestamp.clone(),
             algo: algo.to_string(),
             isa: md.simd_isa.clone(),
+            cores,
             flips_per_ns,
         };
-        let rows = [
-            point("dense", best_dense),
-            point("band", best_band),
-            point("multispin", ms_single.flips_per_ns),
+        let mut traj = vec![
+            point("dense", 1, best_dense),
+            point("band", 1, best_band),
+            point("multispin", 1, ms_single.flips_per_ns),
         ];
+        // Per-topology scaling points: the same 256×256 multispin lattice
+        // strong-scaled across ever more logical cores on the coop
+        // scheduler, so the trajectory records how pod overhead moves
+        // with the core count (not just the single-core kernel).
+        let scaling: &[(usize, usize)] = if quick {
+            &[(2, 2), (8, 8), (32, 32)]
+        } else {
+            &[(2, 2), (4, 4), (8, 8), (16, 16), (32, 32)]
+        };
+        let pod_sweeps = if quick { 2 } else { 6 };
+        let mut scale_rows = Vec::new();
+        for &(nx, ny) in scaling {
+            let f = multispin_pod_coop(nx, ny, pod_sweeps);
+            scale_rows.push(vec![format!("{nx}x{ny}"), (nx * ny).to_string(), format!("{f:.4}")]);
+            traj.push(point("multispin_pod_coop", nx * ny, f));
+        }
+        print_table(
+            "Coop-scheduler strong scaling (256x256 multispin, aggregate flips/ns)",
+            &["topology", "cores", "flips/ns"],
+            &scale_rows,
+        );
         let path = results_dir().join("BENCH_trajectory.json");
-        match append_trajectory(&path, &rows) {
+        match append_trajectory(&path, &traj) {
             Ok(n) => println!("[trajectory: {n} row(s) total in {}]", path.display()),
             Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
         }

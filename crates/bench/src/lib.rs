@@ -261,20 +261,27 @@ pub struct TrajectoryRow {
     /// so trajectory regressions can be separated from ISA changes when
     /// the file accumulates rows from different hosts.
     pub isa: String,
+    /// Logical cores the measurement ran across: 1 for the single-core
+    /// kernel figures, the pod size for per-topology scaling rows (where
+    /// `flips_per_ns` is the aggregate across the whole pod).
+    pub cores: usize,
     pub flips_per_ns: f64,
 }
 
 impl TrajectoryRow {
     /// One hand-assembled JSON object (the trajectory file must not
     /// depend on which serializer is linked, like the other artifacts).
+    /// Rows appended before the `cores` column existed survive as opaque
+    /// lines; consumers treat a missing `cores` as 1.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"commit\": \"{}\", \"timestamp\": \"{}\", \"algo\": \"{}\", \
-             \"isa\": \"{}\", \"flips_per_ns\": {:.5}}}",
+             \"isa\": \"{}\", \"cores\": {}, \"flips_per_ns\": {:.5}}}",
             json_escape(&self.commit),
             json_escape(&self.timestamp),
             json_escape(&self.algo),
             json_escape(&self.isa),
+            self.cores,
             self.flips_per_ns
         )
     }
@@ -407,6 +414,7 @@ mod tests {
             timestamp: "2026-01-02T03:04:05Z".into(),
             algo: algo.into(),
             isa: "avx2".into(),
+            cores: 1,
             flips_per_ns: f,
         };
         // creates the file

@@ -2,7 +2,7 @@
 
 use crate::args::{ArgError, Args};
 use tpu_ising_baseline::GpuStyleIsing;
-use tpu_ising_core::chaos::{run_chaos_engine, run_chaos_multispin, ChaosPlan, ChaosReport};
+use tpu_ising_core::chaos::{run_chaos_engine_rt, run_chaos_multispin_rt, ChaosPlan, ChaosReport};
 use tpu_ising_core::distributed::{
     run_pod_engine_resilient, run_pod_engine_vaulted, PodCheckpoint, PodConfig, PodError, PodRng,
     ResilienceOpts, POD_VAULT_KIND,
@@ -25,7 +25,7 @@ use tpu_ising_device::cost::{
     step_time, throughput_flips_per_ns, ExecutionMode, StepConfig, Variant,
 };
 use tpu_ising_device::energy::energy_nj_per_flip;
-use tpu_ising_device::mesh::{FaultPlan, RetryPolicy, Torus};
+use tpu_ising_device::mesh::{FaultPlan, MeshRuntime, RetryPolicy, Torus};
 use tpu_ising_device::params::TpuV3Params;
 use tpu_ising_device::roofline::roofline;
 use tpu_ising_obs as obs;
@@ -179,6 +179,26 @@ fn write_enveloped(path: &str, kind: &str, sweep: u64, json: &str) -> Result<(),
         .map_err(|e| ArgError(format!("cannot write --checkpoint-out {path}: {e}")))
 }
 
+/// Parse `--mesh-runtime threads|coop|auto` (default auto: one thread per
+/// core while the pod fits the host, the work-stealing cooperative
+/// scheduler beyond that) plus `--workers N` (coop worker-thread count;
+/// implies the coop runtime).
+fn mesh_runtime_from_args(args: &Args) -> Result<MeshRuntime, ArgError> {
+    let s = args.get_or("mesh-runtime", "auto");
+    let runtime: MeshRuntime = s.parse().map_err(|_| {
+        ArgError(format!("unknown --mesh-runtime '{s}' (expected threads|coop|auto)"))
+    })?;
+    let workers: Option<usize> = args.get_opt_parse("workers")?;
+    match (runtime, workers) {
+        (rt, None) => Ok(rt),
+        (MeshRuntime::Threads, Some(_)) => {
+            Err(ArgError("--workers needs --mesh-runtime coop or auto".into()))
+        }
+        (_, Some(0)) => Err(ArgError("--workers must be at least 1".into())),
+        (_, Some(n)) => Ok(MeshRuntime::Coop { workers: Some(n) }),
+    }
+}
+
 /// The shared fault-tolerance knobs of `pod` (both algos): snapshot
 /// cadence, restart budget, recv timeout, tier-1 retry policy, and the
 /// deterministic kill switch used by CI drills.
@@ -206,6 +226,7 @@ fn resilience_from_args(args: &Args, sweeps: usize) -> Result<ResilienceOpts, Ar
             max_retries: args.get_parse("collective-retries", 2u32)?,
             backoff: std::time::Duration::from_millis(args.get_parse("retry-backoff-ms", 50u64)?),
         },
+        runtime: mesh_runtime_from_args(args)?,
     })
 }
 
@@ -736,12 +757,25 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     let keep: usize = args.get_parse_min("keep-generations", 3usize, 1)?;
     let vault_dir = args.get_or("vault-dir", "chaos-vault").to_string();
     let cores = nx * ny;
+    let runtime = mesh_runtime_from_args(args)?;
     let _want_metrics = init_observability(args, false);
     let telemetry = init_telemetry(args)?;
     // Both pod engines issue ~8 collectives per sweep per core; spread the
     // injected faults across the whole run so some land late.
     let span = (sweeps as u64).saturating_mul(8).max(1);
-    let plan = ChaosPlan::generate(chaos_seed, sessions, cores, span);
+    // `--kill-fraction F` switches to the mass-preemption schedule: every
+    // session takes out ⌈F·cores⌉ distinct cores at once, the paper-scale
+    // drill where a maintenance event claims a slice of the pod.
+    let kill_fraction: Option<f64> = args.get_opt_parse("kill-fraction")?;
+    let plan = match kill_fraction {
+        Some(f) => {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(ArgError(format!("--kill-fraction {f} must be within [0, 1]")));
+            }
+            ChaosPlan::generate_mass_kill(chaos_seed, sessions, cores, span, f)
+        }
+        None => ChaosPlan::generate(chaos_seed, sessions, cores, span),
+    };
     println!(
         "chaos drill: {algo} pod {nx}x{ny}, per-core {h}x{w}, {sweeps} sweeps, \
          {sessions} crash session(s), chaos seed {chaos_seed}, vault in {vault_dir}/"
@@ -754,13 +788,14 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             beta: 1.0 / t,
             seed,
         };
-        run_chaos_multispin(
+        run_chaos_multispin_rt(
             &cfg,
             sweeps,
             checkpoint_every,
             &plan,
             std::path::Path::new(&vault_dir),
             keep,
+            runtime,
         )
     } else {
         let dtype: Dtype = args.get_or("dtype", "f32").parse().map_err(ArgError)?;
@@ -782,6 +817,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             plan: &'a ChaosPlan,
             vault_dir: &'a std::path::Path,
             keep: usize,
+            runtime: MeshRuntime,
         }
         impl ScalarEngineVisitor for ChaosCmd<'_> {
             type Out = Result<ChaosReport, PodError>;
@@ -790,13 +826,14 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
                 S: Scalar + RandomUniform + 'static,
                 E: ScalarMeshEngine<S> + Send + 'static,
             {
-                run_chaos_engine::<S, E>(
+                run_chaos_engine_rt::<S, E>(
                     self.cfg,
                     self.sweeps,
                     self.checkpoint_every,
                     self.plan,
                     self.vault_dir,
                     self.keep,
+                    self.runtime,
                 )
             }
         }
@@ -810,6 +847,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
                 plan: &plan,
                 vault_dir: std::path::Path::new(&vault_dir),
                 keep,
+                runtime,
             },
         )
         .map_err(ArgError)?

@@ -40,8 +40,16 @@ COMMANDS:
              --sizes A,B,.. (16,32)  --from X (0.92)  --to X (1.08)
              --points N (9)  --burn N (400)  --sweeps N (1600)  --json
              --backend dense|band (band)  --progress
-  pod        distributed SPMD run on a thread-per-core mesh
+  pod        distributed SPMD run on a modeled TensorCore mesh
              --torus AxB (2x2)  --per-core HxW (64x64)  --t-over-tc X (0.95)
+             --mesh-runtime threads|coop|auto (auto)
+                                threads = one OS thread per core; coop =
+                                work-stealing cooperative scheduler (runs
+                                1024+ logical cores on a laptop, virtual-
+                                time timeouts); auto picks coop only when
+                                the pod exceeds the host's parallelism
+             --workers N        coop worker threads (implies coop;
+                                default min(cores, host parallelism))
              --sweeps N (50)  --seed S (7)  --site-keyed  --metrics
              --backend dense|band (band)
              --algo compact|naive|conv|multispin (compact)
@@ -74,6 +82,9 @@ COMMANDS:
              --dtype f32|bf16 (f32)   scalar engines only
              --chaos-seed S (1)  --sessions N (3)  --checkpoint-every N (2)
              --vault-dir DIR (chaos-vault)  --keep-generations N (3)
+             --kill-fraction F  mass-preemption drill: every session kills
+                                ceil(F * cores) distinct cores at once
+             --mesh-runtime threads|coop|auto (auto)  --workers N  as in pod
              --telemetry-dir DIR  --flush-every MS (1000)   as in pod
   postmortem merge flight-recorder bundles into one ordered timeline
              --dir DIR (telemetry)  directory holding postmortem-*.jsonl

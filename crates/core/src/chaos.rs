@@ -35,7 +35,7 @@ use std::marker::PhantomData;
 use std::path::Path;
 use std::time::Duration;
 use tpu_ising_bf16::Scalar;
-use tpu_ising_device::mesh::{FaultPlan, RetryPolicy};
+use tpu_ising_device::mesh::{FaultPlan, MeshRuntime, RetryPolicy};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
 
@@ -60,12 +60,16 @@ pub enum VaultCorruption {
 }
 
 /// The faults one chaos session injects.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionFaults {
     /// Kill this core...
     pub kill_core: usize,
     /// ...when its collective counter reaches this value.
     pub kill_at: u64,
+    /// Additional `(core, at_collective)` kills in the same session —
+    /// the paper-scale drill where a preemption event takes out a whole
+    /// slice of the pod (e.g. 1 % of 1024 cores) at once.
+    pub extra_kills: Vec<(usize, u64)>,
     /// Optionally drop the packet `(from, to)` at a collective.
     pub drop: Option<(usize, usize, u64)>,
     /// Optionally delay a core's send (microseconds) at a collective —
@@ -73,6 +77,13 @@ pub struct SessionFaults {
     pub delay: Option<(usize, u64, u64)>,
     /// Optionally corrupt the newest vault generation after the crash.
     pub corrupt: Option<VaultCorruption>,
+}
+
+impl SessionFaults {
+    /// Every kill this session schedules, primary first.
+    pub fn kills(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        std::iter::once((self.kill_core, self.kill_at)).chain(self.extra_kills.iter().copied())
+    }
 }
 
 /// A reproducible chaos schedule: everything is a pure function of `seed`.
@@ -121,7 +132,61 @@ impl ChaosPlan {
                 2 => Some(VaultCorruption::TornHeader),
                 _ => None,
             };
-            plan.push(SessionFaults { kill_core, kill_at, drop, delay, corrupt });
+            plan.push(SessionFaults {
+                kill_core,
+                kill_at,
+                extra_kills: Vec::new(),
+                drop,
+                delay,
+                corrupt,
+            });
+        }
+        ChaosPlan { seed, sessions: plan }
+    }
+
+    /// A mass-preemption schedule: every session kills `kill_fraction` of
+    /// the pod (at least one core, distinct cores, independent collective
+    /// offsets) — the paper-scale drill where a maintenance event takes a
+    /// slice of a 1024-core pod at once. Same seed ⇒ same plan.
+    pub fn generate_mass_kill(
+        seed: u64,
+        sessions: usize,
+        cores: usize,
+        collective_span: u64,
+        kill_fraction: f64,
+    ) -> ChaosPlan {
+        assert!(cores > 0 && collective_span > 0, "plan needs a non-empty pod and span");
+        assert!((0.0..=1.0).contains(&kill_fraction), "kill fraction must be within [0, 1]");
+        let victims = ((cores as f64 * kill_fraction).ceil() as usize).clamp(1, cores);
+        let mut rng = PhiloxStream::from_seed(seed ^ 0x9D2C_5680_9D2C_5680);
+        let mut plan = Vec::with_capacity(sessions);
+        for _ in 0..sessions {
+            // Distinct victims via seeded rejection; bounded because the
+            // victim count never exceeds the core count.
+            let mut kills: Vec<(usize, u64)> = Vec::with_capacity(victims);
+            while kills.len() < victims {
+                let core = (rng.next_u64() % cores as u64) as usize;
+                if kills.iter().any(|&(c, _)| c == core) {
+                    continue;
+                }
+                let at = rng.next_u64() % collective_span;
+                kills.push((core, at));
+            }
+            let (kill_core, kill_at) = kills[0];
+            plan.push(SessionFaults {
+                kill_core,
+                kill_at,
+                extra_kills: kills[1..].to_vec(),
+                drop: None,
+                delay: None,
+                corrupt: match rng.next_u64() % 3 {
+                    0 => {
+                        Some(VaultCorruption::Truncate { permille: (rng.next_u64() % 1000) as u16 })
+                    }
+                    1 => Some(VaultCorruption::TornHeader),
+                    _ => None,
+                },
+            });
         }
         ChaosPlan { seed, sessions: plan }
     }
@@ -130,7 +195,10 @@ impl ChaosPlan {
     /// run with a zero restart budget, so every crash ends the session).
     pub fn fault_plan(&self, session: usize) -> FaultPlan {
         let s = &self.sessions[session];
-        let mut plan = FaultPlan::new().kill(s.kill_core, s.kill_at);
+        let mut plan = FaultPlan::new();
+        for (core, at) in s.kills() {
+            plan = plan.kill(core, at);
+        }
         if let Some((from, to, at)) = s.drop {
             plan = plan.drop_packet(from, to, at);
         }
@@ -196,13 +264,18 @@ pub struct ChaosReport {
 /// The session-level resilience knobs shared by both drivers: a zero
 /// restart budget (each crash ends the session and goes through the vault)
 /// and a retry policy sized to absorb the plan's transient delays.
-fn session_opts(checkpoint_every: usize, faults: FaultPlan) -> ResilienceOpts {
+fn session_opts(
+    checkpoint_every: usize,
+    faults: FaultPlan,
+    runtime: MeshRuntime,
+) -> ResilienceOpts {
     ResilienceOpts {
         checkpoint_every,
         max_restarts: 0,
         recv_timeout: Duration::from_millis(200),
         faults,
         retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+        runtime,
     }
 }
 
@@ -252,8 +325,9 @@ fn run_chaos_family<F: ChaosFamily>(
     plan: &ChaosPlan,
     vault_dir: &Path,
     keep: usize,
+    runtime: MeshRuntime,
 ) -> Result<ChaosReport, PodError> {
-    let reference = family.reference(&session_opts(checkpoint_every, FaultPlan::new()))?;
+    let reference = family.reference(&session_opts(checkpoint_every, FaultPlan::new(), runtime))?;
     let vault = Vault::new(vault_dir, F::VAULT_NAMESPACE, keep).map_err(vault_resume_err)?;
     let mut report = ChaosReport::default();
     let mut latest: Option<F::Ckpt> = None;
@@ -265,7 +339,7 @@ fn run_chaos_family<F: ChaosFamily>(
             obs::recorder::bump_generation();
         }
         obs::record(obs::EventKind::SessionStart { session: i as u64 });
-        let opts = session_opts(checkpoint_every, plan.fault_plan(i));
+        let opts = session_opts(checkpoint_every, plan.fault_plan(i), runtime);
         match family.vaulted(&opts, latest.take(), &vault) {
             Ok(run) => {
                 // The scheduled kill landed beyond the end of the run —
@@ -309,7 +383,11 @@ fn run_chaos_family<F: ChaosFamily>(
             report.sessions += 1;
             obs::recorder::bump_generation();
             obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
-            family.vaulted(&session_opts(checkpoint_every, FaultPlan::new()), latest, &vault)?
+            family.vaulted(
+                &session_opts(checkpoint_every, FaultPlan::new(), runtime),
+                latest,
+                &vault,
+            )?
         }
     };
     report.final_sweep = final_sweep;
@@ -405,8 +483,36 @@ where
     S: Scalar + RandomUniform + 'static,
     E: ScalarMeshEngine<S> + 'static,
 {
+    run_chaos_engine_rt::<S, E>(
+        cfg,
+        sweeps,
+        checkpoint_every,
+        plan,
+        vault_dir,
+        keep,
+        MeshRuntime::Threads,
+    )
+}
+
+/// [`run_chaos_engine`] on an explicit mesh runtime — the paper-scale
+/// variant: with [`MeshRuntime::coop`] a 1024-core chaos drill (mass
+/// preemption included) runs on a laptop-class host.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_engine_rt<S, E>(
+    cfg: &PodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+    runtime: MeshRuntime,
+) -> Result<ChaosReport, PodError>
+where
+    S: Scalar + RandomUniform + 'static,
+    E: ScalarMeshEngine<S> + 'static,
+{
     let family = ScalarChaosFamily::<S, E> { cfg, sweeps, _engine: PhantomData };
-    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep)
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime)
 }
 
 /// [`run_chaos_engine`] at the paper's benchmark configuration: the
@@ -432,8 +538,30 @@ pub fn run_chaos_multispin(
     vault_dir: &Path,
     keep: usize,
 ) -> Result<ChaosReport, PodError> {
+    run_chaos_multispin_rt(
+        cfg,
+        sweeps,
+        checkpoint_every,
+        plan,
+        vault_dir,
+        keep,
+        MeshRuntime::Threads,
+    )
+}
+
+/// [`run_chaos_multispin`] on an explicit mesh runtime.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos_multispin_rt(
+    cfg: &MultiSpinPodConfig,
+    sweeps: usize,
+    checkpoint_every: usize,
+    plan: &ChaosPlan,
+    vault_dir: &Path,
+    keep: usize,
+    runtime: MeshRuntime,
+) -> Result<ChaosReport, PodError> {
     let family = MultiSpinChaosFamily { cfg, sweeps };
-    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep)
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime)
 }
 
 #[cfg(test)]
@@ -475,13 +603,32 @@ mod tests {
             sessions: vec![SessionFaults {
                 kill_core: 1,
                 kill_at: 5,
+                extra_kills: vec![(2, 7), (3, 9)],
                 drop: Some((0, 2, 3)),
                 delay: Some((3, 1, 1000)),
                 corrupt: None,
             }],
         };
         let fp = plan.fault_plan(0);
-        assert_eq!(fp.faults.len(), 3);
+        assert_eq!(fp.faults.len(), 5);
+    }
+
+    #[test]
+    fn mass_kill_plans_hit_the_requested_fraction_of_distinct_cores() {
+        let plan = ChaosPlan::generate_mass_kill(3, 4, 1024, 48, 0.01);
+        assert_eq!(plan.sessions.len(), 4);
+        for s in &plan.sessions {
+            let kills: Vec<(usize, u64)> = s.kills().collect();
+            // ⌈0.01 · 1024⌉ = 11 victims per session.
+            assert_eq!(kills.len(), 11);
+            for (i, &(core, at)) in kills.iter().enumerate() {
+                assert!(core < 1024 && at < 48);
+                assert!(kills[..i].iter().all(|&(c, _)| c != core), "duplicate victim {core}");
+            }
+        }
+        // Reproducible from the seed, distinct across seeds.
+        assert_eq!(plan, ChaosPlan::generate_mass_kill(3, 4, 1024, 48, 0.01));
+        assert_ne!(plan, ChaosPlan::generate_mass_kill(4, 4, 1024, 48, 0.01));
     }
 
     #[test]

@@ -45,7 +45,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 use tpu_ising_bf16::Scalar;
 use tpu_ising_device::mesh::{
-    run_spmd_cfg, FaultPlan, MeshConfig, MeshError, MeshHandle, RetryPolicy, Torus,
+    run_mesh, Collectives, CoreProgram, FaultPlan, MeshConfig, MeshError, MeshRuntime, RetryPolicy,
+    Torus,
 };
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
@@ -252,7 +253,7 @@ impl PodCheckpoint {
 ///
 /// Cores record their snapshots (plus local observation history) here as
 /// the run progresses; because the store outlives a failed
-/// [`run_spmd_cfg`] call, the driver can read back the latest sweep for
+/// [`run_mesh`] call, the driver can read back the latest sweep for
 /// which **every** core checked in — the newest globally consistent state —
 /// after a crash. Rows older than the latest complete one are pruned, so
 /// memory stays bounded at two rows per run.
@@ -395,11 +396,15 @@ pub fn run_pod_engine_with_opts<S: Scalar + RandomUniform, E: ScalarMeshEngine<S
             "checkpoint is at sweep {start_sweep}, past the requested total of {sweeps}"
         )));
     }
-    let resume_ref = resume.as_ref();
-    let per_core: Vec<(Vec<f64>, Plane<S>)> =
-        run_spmd_cfg(torus, opts.mesh.clone(), |mut h: MeshHandle<Vec<S>>| {
-            core_main::<S, E>(cfg, &mut h, sweeps, resume_ref, opts.checkpoint_every, opts.store)
-        })?;
+    let prog = ScalarPodProgram::<'_, S, E> {
+        cfg,
+        sweeps,
+        resume: resume.as_ref(),
+        checkpoint_every: opts.checkpoint_every,
+        store: opts.store,
+        _engine: PhantomData,
+    };
+    let per_core: Vec<(Vec<f64>, Plane<S>)> = run_mesh(torus, opts.mesh.clone(), &prog)?;
 
     // Stitch the global lattice and reduce magnetizations on the host.
     let mut mags = resume.map_or_else(Vec::new, |r| r.history);
@@ -569,9 +574,9 @@ pub(crate) fn arm_core_observability(id: usize, x: usize, y: usize) -> obs::Post
 /// halos and update each color, advance, observe, and land snapshots in
 /// the store on the checkpoint cadence (always including the final sweep).
 /// Returns the observation history for the sweeps run this attempt.
-pub(crate) fn drive_mesh_core<E: MeshCore>(
+pub(crate) async fn drive_mesh_core<E: MeshCore, H: Collectives<Vec<E::Elem>>>(
     sim: &mut E,
-    handle: &mut MeshHandle<Vec<E::Elem>>,
+    handle: &mut H,
     core_id: usize,
     total: u64,
     tile_hint: usize,
@@ -586,9 +591,12 @@ pub(crate) fn drive_mesh_core<E: MeshCore>(
         for color in [Color::Black, Color::White] {
             // Wrapper spans (kind-less): the kinded leaves inside them
             // (collective_permute, neighbor_sums, …) carry the breakdown.
+            // On the cooperative runtime the guard is held across the
+            // suspension point; the per-task track context keeps its
+            // begin/end on the right timeline row.
             let halos = {
                 let _g = obs::span!("halo_exchange");
-                exchange_engine_halos(sim, handle, color)?
+                exchange_engine_halos(sim, handle, color).await?
             };
             let _g = obs::span!("update_color");
             sim.update_color_with(color, &halos);
@@ -614,10 +622,12 @@ pub(crate) fn drive_mesh_core<E: MeshCore>(
     Ok(history)
 }
 
-/// The per-core SPMD program for any scalar mesh engine.
-fn core_main<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
+/// The per-core SPMD program for any scalar mesh engine, generic over the
+/// substrate: the same body runs on a dedicated thread (thread runtime) or
+/// as a multiplexed task (cooperative runtime).
+async fn core_main<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>, H: Collectives<Vec<S>>>(
     cfg: &PodConfig,
-    handle: &mut MeshHandle<Vec<S>>,
+    mut handle: H,
     sweeps: usize,
     resume: Option<&ResumeData>,
     checkpoint_every: Option<usize>,
@@ -655,9 +665,48 @@ fn core_main<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
             sim
         }
     };
-    let mags =
-        drive_mesh_core(&mut sim, handle, id, sweeps as u64, cfg.tile, checkpoint_every, store)?;
+    let mags = drive_mesh_core(
+        &mut sim,
+        &mut handle,
+        id,
+        sweeps as u64,
+        cfg.tile,
+        checkpoint_every,
+        store,
+    )
+    .await?;
     Ok((mags, sim.to_plane()))
+}
+
+/// [`CoreProgram`] adapter binding [`core_main`] to a pod run's borrowed
+/// host-side state, so [`run_mesh`] can execute it on either substrate.
+struct ScalarPodProgram<'a, S: Scalar, E> {
+    cfg: &'a PodConfig,
+    sweeps: usize,
+    resume: Option<&'a ResumeData>,
+    checkpoint_every: Option<usize>,
+    store: Option<&'a CheckpointStore>,
+    _engine: PhantomData<fn() -> (S, E)>,
+}
+
+impl<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>> CoreProgram<Vec<S>>
+    for ScalarPodProgram<'_, S, E>
+{
+    type Out = (Vec<f64>, Plane<S>);
+
+    fn run<H: Collectives<Vec<S>>>(
+        &self,
+        handle: H,
+    ) -> impl std::future::Future<Output = Result<Self::Out, MeshError>> + Send {
+        core_main::<S, E, H>(
+            self.cfg,
+            handle,
+            self.sweeps,
+            self.resume,
+            self.checkpoint_every,
+            self.store,
+        )
+    }
 }
 
 /// The four collective permutes of one half-sweep, for any mesh engine:
@@ -665,9 +714,9 @@ fn core_main<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>>(
 /// back for assembly (fixed receiver-slot order, see
 /// [`MeshCore::halo_exchange_spec`]). Halo traffic lands in the shared
 /// `halo_bytes_total` metric.
-pub(crate) fn exchange_engine_halos<E: MeshCore>(
+pub(crate) async fn exchange_engine_halos<E: MeshCore, H: Collectives<Vec<E::Elem>>>(
     sim: &E,
-    handle: &mut MeshHandle<Vec<E::Elem>>,
+    handle: &mut H,
     color: Color,
 ) -> Result<E::Halos, MeshError> {
     let [spec0, spec1, spec2, spec3] = sim.halo_exchange_spec(color);
@@ -677,10 +726,10 @@ pub(crate) fn exchange_engine_halos<E: MeshCore>(
             .counter("halo_bytes_total")
             .inc((elems * std::mem::size_of::<E::Elem>()) as u64);
     }
-    let r0 = handle.shift(spec0.0, spec0.1)?;
-    let r1 = handle.shift(spec1.0, spec1.1)?;
-    let r2 = handle.shift(spec2.0, spec2.1)?;
-    let r3 = handle.shift(spec3.0, spec3.1)?;
+    let r0 = handle.shift(spec0.0, spec0.1).await?;
+    let r1 = handle.shift(spec1.0, spec1.1).await?;
+    let r2 = handle.shift(spec2.0, spec2.1).await?;
+    let r3 = handle.shift(spec3.0, spec3.1).await?;
     Ok(sim.assemble_halos(color, [r0, r1, r2, r3]))
 }
 
@@ -730,6 +779,10 @@ pub struct ResilienceOpts {
     /// Tier-1 recovery: bounded in-place retries of timed-out collectives
     /// before a fault escalates to the restart tier.
     pub retry: RetryPolicy,
+    /// Which substrate carries the logical cores: one thread per core,
+    /// the work-stealing cooperative scheduler, or auto-selection by
+    /// topology size vs host parallelism.
+    pub runtime: MeshRuntime,
 }
 
 impl Default for ResilienceOpts {
@@ -740,6 +793,7 @@ impl Default for ResilienceOpts {
             recv_timeout: Duration::from_secs(30),
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
+            runtime: MeshRuntime::Threads,
         }
     }
 }
@@ -915,6 +969,7 @@ pub(crate) fn run_resilient_family<F: RestartFamily>(
             faults: opts.faults.clone(),
             attempt: restarts,
             retry: opts.retry,
+            runtime: opts.runtime,
         };
         match family.attempt(latest.as_ref(), opts.checkpoint_every, mesh, &store) {
             Ok(output) => {
@@ -1084,6 +1139,7 @@ mod tests {
             recv_timeout: Duration::from_millis(300),
             faults,
             retry: RetryPolicy::none(),
+            runtime: MeshRuntime::Threads,
         }
     }
 

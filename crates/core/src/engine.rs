@@ -715,7 +715,11 @@ fn restore_scalar_engine<S: Scalar + RandomUniform + 'static>(
 /// four halo specs use fixed *receiver-slot* order — the payload shifted
 /// in slot `i` lands in slot `i` of `assemble_halos`'s `received` array
 /// as `[north, south, west, east]` (compact: first/second column).
-pub trait MeshCore {
+///
+/// `Send + Sync` because the cooperative mesh runtime migrates a core's
+/// task (and therefore its engine) between worker threads at suspension
+/// points; engines are plain owned data, so this costs nothing.
+pub trait MeshCore: Send + Sync {
     /// Wire element of a halo vector (`S` for scalar engines, `u64`
     /// packed words for multispin).
     type Elem: Clone + Send + 'static;

@@ -60,7 +60,8 @@ pub mod visualize;
 pub mod wolff;
 
 pub use chaos::{
-    run_chaos_engine, run_chaos_multispin, run_chaos_pod, ChaosPlan, ChaosReport, VaultCorruption,
+    run_chaos_engine, run_chaos_engine_rt, run_chaos_multispin, run_chaos_multispin_rt,
+    run_chaos_pod, ChaosPlan, ChaosReport, SessionFaults, VaultCorruption,
 };
 pub use checkpoint::Checkpoint;
 pub use compact::{ColorHalos, CompactIsing};

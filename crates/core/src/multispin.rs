@@ -52,7 +52,9 @@ use crate::lattice::Color;
 use crate::sweep_pool;
 use crate::vault::Vault;
 use serde::{Deserialize, Serialize};
-use tpu_ising_device::mesh::{run_spmd_cfg, Dir, MeshConfig, MeshError, MeshHandle, Torus};
+use tpu_ising_device::mesh::{
+    run_mesh, Collectives, CoreProgram, Dir, MeshConfig, MeshError, Torus,
+};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::bitsliced::{
     expand, tree_feed, DualMaskBuilder, ScalarTree, TreeFeedKernel, BERNOULLI_BITS,
@@ -1012,11 +1014,15 @@ pub fn run_multispin_pod_with_opts(
             "checkpoint is at sweep {start_sweep}, past the requested total of {sweeps}"
         )));
     }
-    let resume_ref = resume.as_ref();
+    let prog = MsPodProgram {
+        cfg,
+        sweeps,
+        resume: resume.as_ref(),
+        checkpoint_every: opts.checkpoint_every,
+        store: opts.store,
+    };
     let per_core: Vec<(Vec<[f64; REPLICAS]>, Vec<u64>)> =
-        run_spmd_cfg(torus, opts.mesh.clone(), |mut h: MeshHandle<Vec<u64>>| {
-            ms_core_main(cfg, &mut h, sweeps, resume_ref, opts.checkpoint_every, opts.store)
-        })?;
+        run_mesh(torus, opts.mesh.clone(), &prog)?;
 
     let mut mags = resume.map_or_else(Vec::new, |r| r.history);
     mags.extend(reduce_replica_mags(per_core.iter().map(|p| &p.0)));
@@ -1134,10 +1140,11 @@ fn prepare_multispin_resume(
     Ok(MsResumeData { start_sweep: ck.sweep_index, history, global_words })
 }
 
-/// The per-core SPMD program for the packed engine.
-fn ms_core_main(
+/// The per-core SPMD program for the packed engine, generic over the
+/// substrate (dedicated thread or cooperative task).
+async fn ms_core_main<H: Collectives<Vec<u64>>>(
     cfg: &MultiSpinPodConfig,
-    handle: &mut MeshHandle<Vec<u64>>,
+    mut handle: H,
     sweeps: usize,
     resume: Option<&MsResumeData>,
     checkpoint_every: Option<usize>,
@@ -1181,14 +1188,36 @@ fn ms_core_main(
     // replicas — 32× fewer bytes than shipping each replica as an f32.
     let mags = crate::distributed::drive_mesh_core(
         &mut sim,
-        handle,
+        &mut handle,
         id,
         sweeps as u64,
         0,
         checkpoint_every,
         store,
-    )?;
+    )
+    .await?;
     Ok((mags, sim.to_words()))
+}
+
+/// [`CoreProgram`] adapter binding [`ms_core_main`] to a pod run's
+/// borrowed host-side state.
+struct MsPodProgram<'a> {
+    cfg: &'a MultiSpinPodConfig,
+    sweeps: usize,
+    resume: Option<&'a MsResumeData>,
+    checkpoint_every: Option<usize>,
+    store: Option<&'a MultiSpinStore>,
+}
+
+impl CoreProgram<Vec<u64>> for MsPodProgram<'_> {
+    type Out = (Vec<[f64; REPLICAS]>, Vec<u64>);
+
+    fn run<H: Collectives<Vec<u64>>>(
+        &self,
+        handle: H,
+    ) -> impl std::future::Future<Output = Result<Self::Out, MeshError>> + Send {
+        ms_core_main(self.cfg, handle, self.sweeps, self.resume, self.checkpoint_every, self.store)
+    }
 }
 
 /// Assemble a pod checkpoint from a complete store row.
@@ -1362,6 +1391,7 @@ mod tests {
             recv_timeout: Duration::from_millis(300),
             faults,
             retry: RetryPolicy::none(),
+            ..ResilienceOpts::default()
         }
     }
 

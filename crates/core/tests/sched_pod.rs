@@ -1,0 +1,231 @@
+//! Pod-level drills for the cooperative work-stealing mesh runtime.
+//!
+//! The device crate proves the scheduler's own invariants (virtual clock,
+//! steal fairness, 2048 tasks on 4 workers); these tests prove the claims
+//! that matter at the *simulation* level:
+//!
+//! - the coop runtime is **bit-exact** against the thread-per-core mesh on
+//!   the paper's differential topologies (2×2, 1×4), for both the compact
+//!   scalar engine and the bit-packed multispin engine;
+//! - trajectories are independent of the worker count (1, 4, host);
+//! - a 1024-core pod (32×32) runs on a laptop-class host and is
+//!   topology-transparent against a 16×64 reshaping of the same lattice;
+//! - checkpoints reshape across awkward tori (3×5 → 5×3 → 1×15) under the
+//!   coop runtime;
+//! - a chaos drill that kills 1% of a 1024-core pod mid-run still resumes
+//!   bit-exact from the vault.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use tpu_ising_core::{
+    run_chaos_engine_rt, run_multispin_pod_with_opts, run_pod_resilient, run_pod_with_opts,
+    ChaosPlan, CompactIsing, KernelBackend, MultiSpinPodConfig, MultiSpinPodResult,
+    MultiSpinPodRunOpts, PodConfig, PodResult, PodRng, PodRunOpts, ResilienceOpts,
+};
+use tpu_ising_device::{MeshConfig, MeshRuntime, Torus};
+
+fn serde_is_real() -> bool {
+    serde_json::to_string(&7u32).map(|s| s == "7").unwrap_or(false)
+}
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A unique scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "tpu-ising-sched-pod-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn pod_cfg(nx: usize, ny: usize, h: usize, w: usize, tile: usize, seed: u64) -> PodConfig {
+    PodConfig {
+        torus: Torus::new(nx, ny),
+        per_core_h: h,
+        per_core_w: w,
+        tile,
+        beta: 0.44,
+        seed,
+        rng: PodRng::SiteKeyed,
+        backend: KernelBackend::Band,
+    }
+}
+
+fn runtime_opts(runtime: MeshRuntime) -> PodRunOpts<'static> {
+    PodRunOpts { mesh: MeshConfig { runtime, ..MeshConfig::default() }, ..PodRunOpts::default() }
+}
+
+fn run_compact(cfg: &PodConfig, sweeps: usize, runtime: MeshRuntime) -> PodResult<f32> {
+    run_pod_with_opts::<f32>(cfg, sweeps, &runtime_opts(runtime)).expect("pod run")
+}
+
+fn run_multispin(
+    cfg: &MultiSpinPodConfig,
+    sweeps: usize,
+    runtime: MeshRuntime,
+) -> MultiSpinPodResult {
+    let opts = MultiSpinPodRunOpts {
+        mesh: MeshConfig { runtime, ..MeshConfig::default() },
+        ..MultiSpinPodRunOpts::default()
+    };
+    run_multispin_pod_with_opts(cfg, sweeps, &opts).expect("multispin pod run")
+}
+
+// ---------------------------------------------------------------------
+// Differential: coop vs thread-per-core, bit for bit
+// ---------------------------------------------------------------------
+
+#[test]
+fn coop_matches_thread_mesh_bit_exact_for_compact_pods() {
+    for (nx, ny, h, w) in [(2usize, 2usize, 8usize, 8usize), (1, 4, 16, 4)] {
+        let cfg = pod_cfg(nx, ny, h, w, 2, 4242);
+        let threads = run_compact(&cfg, 5, MeshRuntime::Threads);
+        let coop = run_compact(&cfg, 5, MeshRuntime::coop());
+        assert_eq!(
+            threads.magnetization_sums, coop.magnetization_sums,
+            "magnetization trace diverged on {nx}x{ny}"
+        );
+        assert_eq!(threads.final_plane, coop.final_plane, "final plane diverged on {nx}x{ny}");
+    }
+}
+
+#[test]
+fn coop_matches_thread_mesh_bit_exact_for_multispin_pods() {
+    for (nx, ny, h, w) in [(2usize, 2usize, 4usize, 4usize), (1, 4, 8, 2)] {
+        let cfg = MultiSpinPodConfig {
+            torus: Torus::new(nx, ny),
+            per_core_h: h,
+            per_core_w: w,
+            beta: 0.45,
+            seed: 97,
+        };
+        let threads = run_multispin(&cfg, 5, MeshRuntime::Threads);
+        let coop = run_multispin(&cfg, 5, MeshRuntime::coop());
+        assert_eq!(
+            threads.replica_magnetizations, coop.replica_magnetizations,
+            "replica traces diverged on {nx}x{ny}"
+        );
+        assert_eq!(threads.final_words, coop.final_words, "packed lattice diverged on {nx}x{ny}");
+        assert_eq!((threads.height, threads.width), (coop.height, coop.width));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler determinism: the worker count is invisible
+// ---------------------------------------------------------------------
+
+#[test]
+fn pod_trajectory_is_identical_across_worker_counts() {
+    let cfg = pod_cfg(3, 3, 4, 4, 1, 1234);
+    let reference = run_compact(&cfg, 6, MeshRuntime::Coop { workers: Some(1) });
+    for workers in [Some(4), None] {
+        let run = run_compact(&cfg, 6, MeshRuntime::Coop { workers });
+        assert_eq!(
+            reference.magnetization_sums, run.magnetization_sums,
+            "trace depends on worker count {workers:?}"
+        );
+        assert_eq!(reference.final_plane, run.final_plane);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper scale: 1024 logical cores on a small host
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_1024_core_pod_runs_and_is_topology_transparent() {
+    // 32×32 = 1024 cores over a 128×128 global lattice; the same lattice
+    // resharded as 16×64 must produce the bit-identical trajectory
+    // (site-keyed randomness is a pure function of global coordinates).
+    let cfg_32x32 = pod_cfg(32, 32, 4, 4, 1, 2025);
+    let cfg_16x64 = pod_cfg(16, 64, 8, 2, 1, 2025);
+    assert_eq!(cfg_32x32.torus.cores(), 1024);
+    assert_eq!(cfg_16x64.torus.cores(), 1024);
+    let a = run_compact(&cfg_32x32, 2, MeshRuntime::coop());
+    let b = run_compact(&cfg_16x64, 2, MeshRuntime::coop());
+    assert_eq!(a.magnetization_sums.len(), 2);
+    assert_eq!(a.magnetization_sums, b.magnetization_sums, "sharding leaked into the physics");
+    assert_eq!(a.final_plane, b.final_plane);
+}
+
+// ---------------------------------------------------------------------
+// Reshape-on-resume across awkward tori, on the coop runtime
+// ---------------------------------------------------------------------
+
+#[test]
+fn checkpoints_reshape_across_awkward_tori_under_coop() {
+    // One 60×60 global lattice sharded three incompatible ways. Snapshot
+    // at sweep 4 on 3×5, resume to sweep 8 on 5×3 and on 1×15: both must
+    // land exactly where the uninterrupted 3×5 run lands.
+    let coop_res = |checkpoint_every| ResilienceOpts {
+        checkpoint_every,
+        recv_timeout: Duration::from_secs(5),
+        runtime: MeshRuntime::coop(),
+        ..ResilienceOpts::default()
+    };
+    let cfg_3x5 = pod_cfg(3, 5, 20, 12, 2, 606);
+    let unbroken = run_pod_resilient::<f32>(&cfg_3x5, 8, &coop_res(4), None).expect("unbroken");
+    let half = run_pod_resilient::<f32>(&cfg_3x5, 4, &coop_res(2), None).expect("first half");
+    assert_eq!((half.final_checkpoint.nx, half.final_checkpoint.ny), (3, 5));
+    for (nx, ny, h, w) in [(5usize, 3usize, 12usize, 20usize), (1, 15, 60, 4)] {
+        let cfg = pod_cfg(nx, ny, h, w, 2, 606);
+        let rest =
+            run_pod_resilient::<f32>(&cfg, 8, &coop_res(4), Some(half.final_checkpoint.clone()))
+                .expect("resumed half");
+        assert_eq!(
+            rest.result.magnetization_sums, unbroken.result.magnetization_sums,
+            "resume onto {nx}x{ny} diverged"
+        );
+        assert_eq!(rest.result.final_plane, unbroken.result.final_plane);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos: kill 1% of a 1024-core pod mid-run
+// ---------------------------------------------------------------------
+
+#[test]
+fn mass_kill_drill_on_1024_cores_resumes_bit_exact() {
+    if !serde_is_real() {
+        return; // vault payloads need a real serializer
+    }
+    let tmp = Scratch::new("mass-kill");
+    let cfg = pod_cfg(32, 32, 4, 4, 1, 31337);
+    let sweeps = 4;
+    // 8 collectives per sweep (4 shifts × 2 colors) on the compact engine.
+    let span = 8 * sweeps as u64;
+    // 2 mass-kill sessions, each taking ⌈1%·1024⌉ = 11 distinct cores.
+    let plan = ChaosPlan::generate_mass_kill(11, 2, 1024, span, 0.01);
+    let report = run_chaos_engine_rt::<f32, CompactIsing<f32>>(
+        &cfg,
+        sweeps,
+        2,
+        &plan,
+        tmp.path(),
+        3,
+        MeshRuntime::coop(),
+    )
+    .expect("chaos drill");
+    assert!(report.bit_exact, "mass-kill drill diverged: {report:?}");
+    assert_eq!(report.final_sweep, sweeps as u64);
+    assert!(report.crashes >= 1, "the drill never actually crashed: {report:?}");
+}

@@ -34,14 +34,16 @@ pub mod mesh;
 pub mod params;
 pub mod pod;
 pub mod roofline;
+pub mod sched;
 pub mod trace;
 
 pub use cost::{step_counts, step_time, Breakdown, ExecutionMode, OpCounts, StepConfig, Variant};
 pub use energy::energy_nj_per_flip;
 pub use mesh::{
-    run_spmd, run_spmd_cfg, Fault, FaultKind, FaultPlan, MeshConfig, MeshError, MeshHandle,
-    RetryPolicy, Torus,
+    run_mesh, run_spmd, run_spmd_cfg, Collectives, CoreProgram, Fault, FaultKind, FaultPlan,
+    MeshConfig, MeshError, MeshHandle, MeshRuntime, RetryPolicy, Torus,
 };
 pub use params::TpuV3Params;
 pub use roofline::RooflineReport;
+pub use sched::{run_coop_fn, CoopMeshHandle};
 pub use trace::{SpanKind, Trace};

@@ -18,6 +18,7 @@
 //! hardware.
 
 use std::collections::HashMap;
+use std::future::Future;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -187,7 +188,7 @@ impl MeshError {
     /// `PeerGone` sends into the dropped receiver (rank 2), and timeouts
     /// ripple outward from there (rank 3). [`run_spmd_cfg`] reports the
     /// lowest-ranked error so the caller sees the cause, not a symptom.
-    fn rank(&self) -> u8 {
+    pub(crate) fn rank(&self) -> u8 {
         match self {
             MeshError::InjectedKill { .. } | MeshError::CorePanicked { .. } => 0,
             MeshError::Protocol { .. } => 1,
@@ -291,7 +292,7 @@ impl FaultPlan {
         self
     }
 
-    fn kill_fires(&self, core: usize, seq: u64, attempt: usize) -> bool {
+    pub(crate) fn kill_fires(&self, core: usize, seq: u64, attempt: usize) -> bool {
         self.faults.iter().any(|f| {
             f.kind == FaultKind::Kill
                 && f.core == core
@@ -300,7 +301,7 @@ impl FaultPlan {
         })
     }
 
-    fn drop_fires(&self, core: usize, to: usize, seq: u64, attempt: usize) -> bool {
+    pub(crate) fn drop_fires(&self, core: usize, to: usize, seq: u64, attempt: usize) -> bool {
         self.faults.iter().any(|f| {
             f.core == core
                 && f.at_collective == seq
@@ -309,7 +310,7 @@ impl FaultPlan {
         })
     }
 
-    fn delay_for(&self, core: usize, seq: u64, attempt: usize) -> Option<Duration> {
+    pub(crate) fn delay_for(&self, core: usize, seq: u64, attempt: usize) -> Option<Duration> {
         self.faults.iter().find_map(|f| match f.kind {
             FaultKind::Delay { micros }
                 if f.core == core && f.at_collective == seq && f.attempt == attempt =>
@@ -349,7 +350,7 @@ impl RetryPolicy {
 
     /// The extra wait granted by retry number `k` (1-based): one receive
     /// window plus `backoff · 2^(k−1)`.
-    fn extension(&self, recv_timeout: Duration, k: u32) -> Duration {
+    pub(crate) fn extension(&self, recv_timeout: Duration, k: u32) -> Duration {
         recv_timeout + self.backoff.saturating_mul(1u32 << (k - 1).min(16))
     }
 }
@@ -360,12 +361,69 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Which execution substrate carries the SPMD cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MeshRuntime {
+    /// One OS thread per modeled core (the original runtime). Faithful to
+    /// real preemption and wall-clock timeouts, but capped by how many
+    /// threads the host tolerates.
+    #[default]
+    Threads,
+    /// The work-stealing cooperative scheduler ([`crate::sched`]): N
+    /// logical cores multiplexed over `min(N, workers)` worker threads,
+    /// yielding at collective boundaries, with timeouts, retry backoff and
+    /// injected delays on a deterministic virtual clock. This is what runs
+    /// the paper's 2025/2048-core topologies on a laptop-class host.
+    Coop {
+        /// Worker threads; `None` means `min(cores, available_parallelism)`.
+        workers: Option<usize>,
+    },
+    /// [`MeshRuntime::Threads`] while the topology fits the host's
+    /// parallelism, [`MeshRuntime::Coop`] beyond it.
+    Auto,
+}
+
+impl MeshRuntime {
+    /// The cooperative runtime with the default worker count.
+    pub fn coop() -> MeshRuntime {
+        MeshRuntime::Coop { workers: None }
+    }
+
+    /// Resolve `Auto` against a concrete core count.
+    pub fn resolve(self, cores: usize) -> MeshRuntime {
+        match self {
+            MeshRuntime::Auto => {
+                let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+                if cores > host {
+                    MeshRuntime::coop()
+                } else {
+                    MeshRuntime::Threads
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::str::FromStr for MeshRuntime {
+    type Err = String;
+    fn from_str(s: &str) -> Result<MeshRuntime, String> {
+        match s {
+            "threads" => Ok(MeshRuntime::Threads),
+            "coop" => Ok(MeshRuntime::coop()),
+            "auto" => Ok(MeshRuntime::Auto),
+            other => Err(format!("unknown mesh runtime '{other}' (expected threads|coop|auto)")),
+        }
+    }
+}
+
 /// Runtime configuration of the functional mesh.
 #[derive(Clone, Debug)]
 pub struct MeshConfig {
     /// How long a core waits for a packet before reporting
     /// [`MeshError::RecvTimeout`]. Bounds the damage of a dead peer: the
-    /// pod surfaces an error instead of hanging forever.
+    /// pod surfaces an error instead of hanging forever. On the
+    /// cooperative runtime this window elapses in *virtual* time.
     pub recv_timeout: Duration,
     /// Deterministic fault schedule (empty by default).
     pub faults: FaultPlan,
@@ -376,6 +434,9 @@ pub struct MeshConfig {
     /// Tier-1 recovery: how many times a timed-out receive is retried in
     /// place before the timeout escalates.
     pub retry: RetryPolicy,
+    /// Which substrate carries the cores (threads, cooperative scheduler,
+    /// or auto-selection by topology size).
+    pub runtime: MeshRuntime,
 }
 
 impl Default for MeshConfig {
@@ -385,12 +446,18 @@ impl Default for MeshConfig {
             faults: FaultPlan::new(),
             attempt: 0,
             retry: RetryPolicy::default(),
+            runtime: MeshRuntime::Threads,
         }
     }
 }
 
-/// A message on the mesh: (collective sequence number, source core, payload).
-type Packet<T> = (u64, usize, T);
+/// A message on the mesh: (collective sequence number, source core,
+/// earliest delivery instant, payload). `deliver_at` is `None` for an
+/// undelayed packet; a [`FaultKind::Delay`] stamps the maturity instant
+/// instead of sleeping in the sender, so an injected delay never occupies
+/// the sending thread (and, on the cooperative scheduler, never occupies a
+/// worker at all — it becomes a virtual-time wakeup).
+type Packet<T> = (u64, usize, Option<Instant>, T);
 
 /// Per-core handle into the functional mesh: identifies the core and lets
 /// it participate in collectives.
@@ -400,8 +467,9 @@ pub struct MeshHandle<T: Send> {
     seq: u64,
     senders: Vec<Sender<Packet<T>>>,
     receiver: Receiver<Packet<T>>,
-    /// Out-of-order packets parked until their collective comes up.
-    stash: HashMap<(u64, usize), T>,
+    /// Out-of-order (or not-yet-mature) packets parked until their
+    /// collective comes up and their delivery instant has passed.
+    stash: HashMap<(u64, usize), (Option<Instant>, T)>,
     config: Arc<MeshConfig>,
 }
 
@@ -455,31 +523,12 @@ impl<T: Send> MeshHandle<T> {
             obs::record(obs::EventKind::KillInjected { collective: seq });
             return Err(MeshError::InjectedKill { core: self.id, seq });
         }
-        let mut expect_from = None;
-        let mut send_to = None;
-        for &(src, dst) in pairs {
-            if src == self.id {
-                if send_to.is_some() {
-                    return Err(MeshError::Protocol {
-                        core: self.id,
-                        msg: format!("core {} listed as source twice", self.id),
-                    });
-                }
-                send_to = Some(dst);
-            }
-            if dst == self.id {
-                if expect_from.is_some() {
-                    return Err(MeshError::Protocol {
-                        core: self.id,
-                        msg: format!("core {} listed as destination twice", self.id),
-                    });
-                }
-                expect_from = Some(src);
-            }
-        }
-        if let Some(delay) = self.config.faults.delay_for(self.id, seq, attempt) {
-            std::thread::sleep(delay);
-        }
+        let (expect_from, send_to) = parse_pairs(self.id, pairs)?;
+        // An injected delay stamps the packet's maturity instant instead of
+        // sleeping here: the receiver holds the packet until it matures, so
+        // the sending thread (or scheduler worker) is never occupied.
+        let deliver_at =
+            self.config.faults.delay_for(self.id, seq, attempt).map(|d| Instant::now() + d);
         if let Some(dst) = send_to {
             if self.config.faults.drop_fires(self.id, dst, seq, attempt) {
                 if obs::is_metrics() {
@@ -488,31 +537,67 @@ impl<T: Send> MeshHandle<T> {
                 obs::record(obs::EventKind::DropInjected { collective: seq, peer: dst as u32 });
             } else {
                 obs::record(obs::EventKind::CollectiveSend { collective: seq, peer: dst as u32 });
-                self.senders[dst].send((seq, self.id, data)).map_err(|_| MeshError::PeerGone {
-                    core: self.id,
-                    peer: dst,
-                    seq,
-                })?;
+                self.senders[dst]
+                    .send((seq, self.id, deliver_at, data))
+                    .map_err(|_| MeshError::PeerGone { core: self.id, peer: dst, seq })?;
             }
         }
         let Some(src) = expect_from else {
             return Ok(None);
         };
-        // Drain until our packet arrives; park strays (they belong to
-        // collectives this core has not reached yet — lockstep programs
-        // guarantee they will be consumed in order).
-        if let Some(t) = self.stash.remove(&(seq, src)) {
-            obs::record(obs::EventKind::CollectiveRecv { collective: seq, peer: src as u32 });
-            return Ok(Some(t));
-        }
         let started = Instant::now();
         let mut retries_used: u32 = 0;
         let mut deadline = started + self.config.recv_timeout;
+        // The maturity instant of an already-arrived but still-delayed
+        // packet for this collective, if any.
+        let mut pending_at: Option<Instant> = None;
+        if let Some((at, t)) = self.stash.remove(&(seq, src)) {
+            match at {
+                Some(at) if Instant::now() < at => {
+                    pending_at = Some(at);
+                    self.stash.insert((seq, src), (Some(at), t));
+                }
+                _ => {
+                    obs::record(obs::EventKind::CollectiveRecv {
+                        collective: seq,
+                        peer: src as u32,
+                    });
+                    return Ok(Some(t));
+                }
+            }
+        }
+        // Drain until our packet arrives and matures; park strays (they
+        // belong to collectives this core has not reached yet — lockstep
+        // programs guarantee they will be consumed in order).
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let now = Instant::now();
+            if let Some(at) = pending_at {
+                if now >= at {
+                    let (_, t) = self.stash.remove(&(seq, src)).expect("pending packet vanished");
+                    if retries_used > 0 {
+                        if obs::is_metrics() {
+                            obs::metrics().counter("recovery_tier_retry_total").inc(1);
+                        }
+                        obs::record(obs::EventKind::RetryRecovered {
+                            collective: seq,
+                            extensions: retries_used,
+                        });
+                    }
+                    obs::record(obs::EventKind::CollectiveRecv {
+                        collective: seq,
+                        peer: src as u32,
+                    });
+                    return Ok(Some(t));
+                }
+            }
+            // Wake at whichever comes first: the receive deadline or the
+            // maturity of a delayed packet already in hand.
+            let wake_at = pending_at.map_or(deadline, |at| at.min(deadline));
+            let remaining = wake_at.saturating_duration_since(now);
             match self.receiver.recv_timeout(remaining) {
-                Ok((pseq, psrc, payload)) => {
-                    if pseq == seq && psrc == src {
+                Ok((pseq, psrc, at, payload)) => {
+                    let mature = at.is_none_or(|a| Instant::now() >= a);
+                    if pseq == seq && psrc == src && mature {
                         if retries_used > 0 {
                             if obs::is_metrics() {
                                 obs::metrics().counter("recovery_tier_retry_total").inc(1);
@@ -528,9 +613,17 @@ impl<T: Send> MeshHandle<T> {
                         });
                         return Ok(Some(payload));
                     }
-                    self.stash.insert((pseq, psrc), payload);
+                    if pseq == seq && psrc == src {
+                        pending_at = at;
+                    }
+                    self.stash.insert((pseq, psrc), (at, payload));
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() < deadline {
+                        // Woken for a maturing delayed packet, not the
+                        // deadline; the loop head delivers it.
+                        continue;
+                    }
                     // Tier-1 recovery: a timeout may be a slow link, not a
                     // dead peer — extend the deadline a bounded number of
                     // times before escalating to the restart tier.
@@ -676,7 +769,13 @@ where
             .collect()
     });
 
-    let mut results = Vec::with_capacity(n);
+    fold_outcomes(per_core)
+}
+
+/// Root-cause selection shared by both runtimes: fold per-core outcomes
+/// into either every result (core-id order) or the lowest-ranked error.
+pub(crate) fn fold_outcomes<R>(per_core: Vec<Result<R, MeshError>>) -> Result<Vec<R>, MeshError> {
+    let mut results = Vec::with_capacity(per_core.len());
     let mut first_err: Option<MeshError> = None;
     for r in per_core {
         match r {
@@ -703,6 +802,144 @@ where
     }
 }
 
+/// Parse a `collective_permute` pair list from one core's point of view:
+/// whom it receives from and whom it sends to, enforcing XLA's
+/// at-most-once precondition on both roles.
+pub(crate) fn parse_pairs(
+    id: usize,
+    pairs: &[(usize, usize)],
+) -> Result<(Option<usize>, Option<usize>), MeshError> {
+    let mut expect_from = None;
+    let mut send_to = None;
+    for &(src, dst) in pairs {
+        if src == id {
+            if send_to.is_some() {
+                return Err(MeshError::Protocol {
+                    core: id,
+                    msg: format!("core {id} listed as source twice"),
+                });
+            }
+            send_to = Some(dst);
+        }
+        if dst == id {
+            if expect_from.is_some() {
+                return Err(MeshError::Protocol {
+                    core: id,
+                    msg: format!("core {id} listed as destination twice"),
+                });
+            }
+            expect_from = Some(src);
+        }
+    }
+    Ok((expect_from, send_to))
+}
+
+/// The collective surface a per-core SPMD program runs against, written
+/// once and executed by either runtime: on [`MeshRuntime::Threads`] every
+/// operation completes synchronously inside a dedicated OS thread; on
+/// [`MeshRuntime::Coop`] the returned futures genuinely suspend at
+/// collective boundaries so thousands of logical cores multiplex over a
+/// few workers.
+pub trait Collectives<T: Send>: Send {
+    /// This core's id.
+    fn id(&self) -> usize;
+
+    /// The mesh topology.
+    fn torus(&self) -> Torus;
+
+    /// This core's torus coordinates.
+    fn coords(&self) -> (usize, usize) {
+        self.torus().coords(self.id())
+    }
+
+    /// The collective sequence number the next collective will use.
+    fn next_collective(&self) -> u64;
+
+    /// XLA `CollectivePermute` (see [`MeshHandle::collective_permute`]).
+    fn collective_permute(
+        &mut self,
+        data: T,
+        pairs: &[(usize, usize)],
+    ) -> impl Future<Output = Result<Option<T>, MeshError>> + Send;
+
+    /// Shift a tensor one mesh step in `dir`; every core sends and
+    /// receives.
+    fn shift(&mut self, data: T, dir: Dir) -> impl Future<Output = Result<T, MeshError>> + Send;
+}
+
+impl<T: Send> Collectives<T> for MeshHandle<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    fn next_collective(&self) -> u64 {
+        self.seq
+    }
+
+    fn collective_permute(
+        &mut self,
+        data: T,
+        pairs: &[(usize, usize)],
+    ) -> impl Future<Output = Result<Option<T>, MeshError>> + Send {
+        // Evaluated eagerly: on the thread runtime the blocking collective
+        // *is* the operation; the future only carries its result.
+        std::future::ready(MeshHandle::collective_permute(self, data, pairs))
+    }
+
+    fn shift(&mut self, data: T, dir: Dir) -> impl Future<Output = Result<T, MeshError>> + Send {
+        std::future::ready(MeshHandle::shift(self, data, dir))
+    }
+}
+
+/// A per-core SPMD program, generic over the runtime it lands on. The one
+/// `run` body is compiled twice: against [`MeshHandle`] (threads, every
+/// await ready immediately) and against
+/// [`crate::sched::CoopMeshHandle`] (cooperative scheduler, awaits
+/// suspend).
+pub trait CoreProgram<T: Send>: Sync {
+    /// What each core returns.
+    type Out: Send;
+
+    /// The program one core runs.
+    fn run<H: Collectives<T>>(
+        &self,
+        handle: H,
+    ) -> impl Future<Output = Result<Self::Out, MeshError>> + Send;
+}
+
+/// Single-poll executor for the thread runtime: every await in a
+/// [`CoreProgram`] running against a [`MeshHandle`] is ready immediately,
+/// so the whole program completes in one poll on its dedicated thread.
+pub(crate) fn block_on_ready<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = std::task::Context::from_waker(std::task::Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        std::task::Poll::Ready(v) => v,
+        std::task::Poll::Pending => {
+            unreachable!("thread-runtime mesh futures complete in one poll")
+        }
+    }
+}
+
+/// Run a [`CoreProgram`] on every core of the torus, on whichever runtime
+/// `config.runtime` selects ([`MeshRuntime::Auto`] resolves against the
+/// host's parallelism). Results come back in core-id order; failures
+/// surface as the root-cause [`MeshError`], identically on both runtimes.
+pub fn run_mesh<T, P>(torus: Torus, config: MeshConfig, prog: &P) -> Result<Vec<P::Out>, MeshError>
+where
+    T: Send,
+    P: CoreProgram<T>,
+{
+    match config.runtime.resolve(torus.cores()) {
+        MeshRuntime::Coop { workers } => crate::sched::run_coop(torus, config, workers, prog),
+        _ => run_spmd_cfg(torus, config, |h| block_on_ready(prog.run(h))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,6 +953,7 @@ mod tests {
             faults,
             attempt: 0,
             retry: RetryPolicy::none(),
+            runtime: MeshRuntime::Threads,
         }
     }
 
@@ -947,6 +1185,7 @@ mod tests {
                 faults: plan.clone(),
                 attempt,
                 retry: RetryPolicy::none(),
+                runtime: MeshRuntime::Threads,
             };
             run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
         };
@@ -966,6 +1205,7 @@ mod tests {
             faults: FaultPlan::new().delay(0, 0, Duration::from_millis(180)),
             attempt: 0,
             retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+            runtime: MeshRuntime::Threads,
         };
         let got: Vec<u32> =
             run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
@@ -983,6 +1223,7 @@ mod tests {
             faults: FaultPlan::new().delay(0, 0, Duration::from_millis(180)),
             attempt: 0,
             retry: RetryPolicy::none(),
+            runtime: MeshRuntime::Threads,
         };
         let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
             .unwrap_err();
@@ -1007,6 +1248,7 @@ mod tests {
             faults: FaultPlan::new().drop_packet(0, 1, 0),
             attempt: 0,
             retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
+            runtime: MeshRuntime::Threads,
         };
         let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
             .unwrap_err();
@@ -1035,5 +1277,117 @@ mod tests {
         assert!(s.contains("core 2") && s.contains("peer 5") && s.contains("250"));
         let k = MeshError::InjectedKill { core: 1, seq: 3 }.to_string();
         assert!(k.contains("fault plan"));
+    }
+
+    /// The paper-scale and deliberately awkward shapes: the paper's 45×45
+    /// and 32×64 pods, a degenerate 1×N ring, and a small odd-by-odd grid.
+    const AWKWARD_GRIDS: [(usize, usize); 4] = [(45, 45), (32, 64), (1, 2048), (3, 5)];
+
+    fn opposite(dir: Dir) -> Dir {
+        match dir {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+            Dir::East => Dir::West,
+        }
+    }
+
+    /// Exhaustive neighbor-math properties on non-square and odd grids:
+    /// id↔coords roundtrip, neighbor-inverse symmetry, single-axis moves,
+    /// and wraparound at the edges.
+    #[test]
+    fn torus_neighbor_math_holds_on_awkward_grids() {
+        for (nx, ny) in AWKWARD_GRIDS {
+            let t = Torus::new(nx, ny);
+            assert_eq!(t.cores(), nx * ny);
+            for id in 0..t.cores() {
+                let (x, y) = t.coords(id);
+                assert_eq!(t.id(x, y), id, "{nx}x{ny} roundtrip of {id}");
+                for dir in [Dir::North, Dir::South, Dir::West, Dir::East] {
+                    let n = t.neighbor(id, dir);
+                    assert!(n < t.cores(), "{nx}x{ny} neighbor out of range");
+                    assert_eq!(
+                        t.neighbor(n, opposite(dir)),
+                        id,
+                        "{nx}x{ny} {dir:?} not inverted by its opposite at {id}"
+                    );
+                    // A step moves exactly one axis, by a wrap-aware
+                    // distance of one (zero only on a length-1 axis).
+                    let (xn, yn) = t.coords(n);
+                    let expect = match dir {
+                        Dir::North | Dir::South => usize::from(nx > 1),
+                        Dir::West | Dir::East => usize::from(ny > 1),
+                    };
+                    assert_eq!(t.hops(id, n), expect, "{nx}x{ny} {dir:?} hop from {id}");
+                    match dir {
+                        Dir::North | Dir::South => assert_eq!(yn, y),
+                        Dir::West | Dir::East => assert_eq!(xn, x),
+                    }
+                }
+            }
+            // Wraparound symmetry: walking a full axis returns home.
+            for id in [0, t.cores() / 2, t.cores() - 1] {
+                let mut walk = id;
+                for _ in 0..nx {
+                    walk = t.neighbor(walk, Dir::South);
+                }
+                assert_eq!(walk, id, "{nx}x{ny} south walk is not {nx}-periodic");
+                for _ in 0..ny {
+                    walk = t.neighbor(walk, Dir::East);
+                }
+                assert_eq!(walk, id, "{nx}x{ny} east walk is not {ny}-periodic");
+            }
+        }
+    }
+
+    /// `shift_pairs` must be a permutation on every grid — each core
+    /// appears exactly once as source and once as destination, so a shift
+    /// is collision-free and delivers to everyone.
+    #[test]
+    fn shift_pairs_is_a_permutation_on_awkward_grids() {
+        for (nx, ny) in AWKWARD_GRIDS {
+            let t = Torus::new(nx, ny);
+            for dir in [Dir::North, Dir::South, Dir::West, Dir::East] {
+                let pairs = t.shift_pairs(dir);
+                assert_eq!(pairs.len(), t.cores());
+                let mut as_src = vec![false; t.cores()];
+                let mut as_dst = vec![false; t.cores()];
+                for &(src, dst) in &pairs {
+                    assert!(!as_src[src], "{nx}x{ny} {dir:?}: duplicate source {src}");
+                    assert!(!as_dst[dst], "{nx}x{ny} {dir:?}: duplicate destination {dst}");
+                    as_src[src] = true;
+                    as_dst[dst] = true;
+                    assert_eq!(dst, t.neighbor(src, dir));
+                }
+            }
+        }
+    }
+
+    /// Hop distances stay symmetric and bounded by the diameter on skewed
+    /// grids, and transposing the torus transposes the metric — the
+    /// geometric half of reshape-on-resume compatibility (the state-level
+    /// half lives in the pod resume tests).
+    #[test]
+    fn torus_metric_is_symmetric_and_transpose_consistent() {
+        for (nx, ny) in [(32usize, 64usize), (1, 2048), (3, 5), (45, 45)] {
+            let t = Torus::new(nx, ny);
+            let flipped = Torus::new(ny, nx);
+            assert_eq!(t.diameter(), flipped.diameter());
+            let samples = [0, 1 % t.cores(), t.cores() / 3, t.cores() / 2, t.cores() - 1];
+            for &a in &samples {
+                for &b in &samples {
+                    assert_eq!(t.hops(a, b), t.hops(b, a), "{nx}x{ny} hops asymmetric");
+                    assert!(t.hops(a, b) <= t.diameter(), "{nx}x{ny} hops exceed diameter");
+                    // Transposed coordinates give the same distance.
+                    let (ax, ay) = t.coords(a);
+                    let (bx, by) = t.coords(b);
+                    assert_eq!(
+                        t.hops(a, b),
+                        flipped.hops(flipped.id(ay, ax), flipped.id(by, bx)),
+                        "{nx}x{ny} metric changed under transpose"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,836 @@
+//! Work-stealing cooperative scheduler: paper-scale mesh topologies on a
+//! laptop-class host.
+//!
+//! The thread-per-core runtime ([`crate::mesh::run_spmd_cfg`]) is faithful
+//! but capped: the paper's §6 topologies (45×45 = 2025 and 32×64 = 2048
+//! TensorCores) would need thousands of OS threads mostly parked in
+//! `recv_timeout`. Here each logical core is a resumable task — the same
+//! [`CoreProgram`] body the thread runtime runs — multiplexed over
+//! `min(cores, workers)` worker threads. Tasks yield at collective
+//! boundaries; a halo send wakes the receiving core's task through its
+//! mailbox waker; and *every* time-out — receive deadlines, tier-1 retry
+//! backoff, injected [`FaultKind::Delay`](crate::mesh::FaultKind)s — lives
+//! on a **virtual clock** that only advances when no task can run. A
+//! 2048-core pod with fault injection therefore runs on a 16-core (or
+//! 1-core) host with zero threads sleeping in real time, and its virtual
+//! timeout behavior is deterministic: independent of worker count, steal
+//! order, and host load.
+//!
+//! Scheduler shape: per-worker FIFO deques behind mutexes plus a global
+//! injector; a worker drains its own deque, then the injector, then
+//! steals from the back of its siblings' deques (counted in the
+//! `sched_steals` metric). Idle workers park on a condvar
+//! (`sched_park_ns`); when *all* workers are idle and nothing is
+//! runnable, the earliest virtual timer fires and the clock jumps to it.
+
+use crate::mesh::{fold_outcomes, parse_pairs, CoreProgram, Dir, MeshConfig, MeshError, Torus};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Instant;
+use tpu_ising_obs as obs;
+
+/// Task states for the wake/poll handshake.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_WOKEN: u8 = 3;
+const DONE: u8 = 4;
+
+thread_local! {
+    /// Which worker this thread is, so wakes issued from inside a poll
+    /// land on the waking worker's own deque.
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// One virtual-time wakeup. Ordered by `(at_ns, seq)` so equal deadlines
+/// fire in registration order — deterministic regardless of worker count.
+struct TimerEntry {
+    at_ns: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &TimerEntry) -> bool {
+        (self.at_ns, self.seq) == (other.at_ns, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &TimerEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &TimerEntry) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest timer
+        // on top.
+        (other.at_ns, other.seq).cmp(&(self.at_ns, self.seq))
+    }
+}
+
+/// The type-erased scheduler core: run queues, task states, the virtual
+/// clock and its timer heap. Wakers hold an `Arc` of this (it carries no
+/// payload type, so wakers stay `'static`).
+struct RuntimeCore {
+    workers: usize,
+    state: Vec<AtomicU8>,
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    injector: Mutex<VecDeque<usize>>,
+    /// Tasks sitting in some queue.
+    runnable: AtomicUsize,
+    /// Tasks not yet complete.
+    live: AtomicUsize,
+    /// Parked-or-parking workers; also the quiescence gate.
+    idle: Mutex<usize>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Virtual time, nanoseconds since the run started.
+    now_ns: AtomicU64,
+    timers: Mutex<(BinaryHeap<TimerEntry>, u64)>,
+    steals: AtomicU64,
+    park_ns: AtomicU64,
+}
+
+impl RuntimeCore {
+    fn new(tasks: usize, workers: usize) -> RuntimeCore {
+        RuntimeCore {
+            workers,
+            state: (0..tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            runnable: AtomicUsize::new(tasks),
+            live: AtomicUsize::new(tasks),
+            idle: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            now_ns: AtomicU64::new(0),
+            timers: Mutex::new((BinaryHeap::new(), 0)),
+            steals: AtomicU64::new(0),
+            park_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn lock<'a, Q>(m: &'a Mutex<Q>) -> MutexGuard<'a, Q> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current virtual time, nanoseconds.
+    fn now(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+
+    /// Schedule `waker` at virtual instant `at_ns` (immediately if the
+    /// clock is already past it).
+    fn register_timer(&self, at_ns: u64, waker: Waker) {
+        if at_ns <= self.now() {
+            waker.wake();
+            return;
+        }
+        let mut timers = Self::lock(&self.timers);
+        let seq = timers.1;
+        timers.1 += 1;
+        timers.0.push(TimerEntry { at_ns, seq, waker });
+    }
+
+    /// Put a queued task into a run queue and unpark a worker.
+    fn push_runnable(&self, tid: usize) {
+        let hint = CURRENT_WORKER.with(|w| w.get());
+        match hint {
+            Some(w) => Self::lock(&self.locals[w]).push_back(tid),
+            None => Self::lock(&self.injector).push_back(tid),
+        }
+        let depth = self.runnable.fetch_add(1, Ordering::SeqCst) + 1;
+        if obs::is_metrics() {
+            obs::metrics().gauge("runnable_depth").set(depth as f64);
+        }
+        // Serialize with the park path so a worker checking `runnable`
+        // under the idle lock cannot miss this wakeup.
+        let _idle = Self::lock(&self.idle);
+        self.cv.notify_all();
+    }
+
+    /// Transition `tid` toward runnable from a waker.
+    fn wake_task(&self, tid: usize) {
+        loop {
+            match self.state[tid].load(Ordering::SeqCst) {
+                IDLE => {
+                    if self.state[tid]
+                        .compare_exchange(IDLE, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        self.push_runnable(tid);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self.state[tid]
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_WOKEN,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already woken, or complete.
+                _ => return,
+            }
+        }
+    }
+
+    /// Pop the next task for worker `w`: own deque front, then the
+    /// injector, then steal from the back of a sibling's deque.
+    fn next_task(&self, w: usize) -> Option<usize> {
+        let found = Self::lock(&self.locals[w]).pop_front().or_else(|| {
+            Self::lock(&self.injector).pop_front().or_else(|| {
+                (1..self.workers).find_map(|i| {
+                    let victim = (w + i) % self.workers;
+                    let stolen = Self::lock(&self.locals[victim]).pop_back();
+                    if stolen.is_some() {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    stolen
+                })
+            })
+        })?;
+        self.runnable.fetch_sub(1, Ordering::SeqCst);
+        Some(found)
+    }
+
+    /// All workers idle, nothing runnable: fire every timer at the
+    /// earliest deadline and jump the clock to it.
+    fn advance_clock(&self) {
+        let mut fired: Vec<Waker> = Vec::new();
+        {
+            let mut timers = Self::lock(&self.timers);
+            let Some(at) = timers.0.peek().map(|t| t.at_ns) else {
+                // Live tasks, no runnable work, and nothing scheduled:
+                // a genuine scheduler invariant violation — every pending
+                // mesh future registers a timer.
+                panic!(
+                    "cooperative mesh wedged: {} live task(s), nothing runnable, no timers",
+                    self.live.load(Ordering::SeqCst)
+                );
+            };
+            self.now_ns.fetch_max(at, Ordering::SeqCst);
+            while timers.0.peek().is_some_and(|t| t.at_ns <= at) {
+                fired.push(timers.0.pop().expect("peeked timer").waker);
+            }
+        }
+        for w in fired {
+            w.wake();
+        }
+    }
+}
+
+struct TaskWaker {
+    tid: usize,
+    rt: Arc<RuntimeCore>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.rt.wake_task(self.tid);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.rt.wake_task(self.tid);
+    }
+}
+
+/// One logical core's mailbox: packets keyed by `(collective seq, source
+/// core)` with their virtual maturity instant, plus the waker of a task
+/// blocked on a receive.
+struct Mailbox<T> {
+    packets: HashMap<(u64, usize), (u64, T)>,
+    waker: Option<Waker>,
+}
+
+/// The mesh fabric shared by every cooperative core: mailboxes, death
+/// flags, the config, and the scheduler core that carries the clock.
+struct MeshShared<T> {
+    config: MeshConfig,
+    mailboxes: Vec<Mutex<Mailbox<T>>>,
+    dead: Vec<AtomicBool>,
+    rt: Arc<RuntimeCore>,
+}
+
+impl<T: Send> MeshShared<T> {
+    fn send(
+        &self,
+        from: usize,
+        to: usize,
+        seq: u64,
+        deliver_at_ns: u64,
+        data: T,
+    ) -> Result<(), MeshError> {
+        if self.dead[to].load(Ordering::SeqCst) {
+            return Err(MeshError::PeerGone { core: from, peer: to, seq });
+        }
+        let waker = {
+            let mut mb = RuntimeCore::lock(&self.mailboxes[to]);
+            mb.packets.insert((seq, from), (deliver_at_ns, data));
+            mb.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+/// The receive half of a cooperative collective: suspends until the
+/// expected packet is present *and mature*, extending its virtual
+/// deadline through the tier-1 retry policy exactly like the thread
+/// runtime does in real time.
+struct RecvFuture<'a, T: Send> {
+    shared: &'a MeshShared<T>,
+    core: usize,
+    src: usize,
+    seq: u64,
+    started_ns: u64,
+    deadline_ns: u64,
+    retries_used: u32,
+    timer_at: Option<u64>,
+}
+
+impl<T: Send> Future for RecvFuture<'_, T> {
+    type Output = Result<T, MeshError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let now = this.shared.rt.now();
+        let mut mb = RuntimeCore::lock(&this.shared.mailboxes[this.core]);
+        let mut maturity = None;
+        if let Some(&(at, _)) = mb.packets.get(&(this.seq, this.src)) {
+            if at <= now {
+                let (_, t) = mb.packets.remove(&(this.seq, this.src)).expect("packet vanished");
+                drop(mb);
+                if this.retries_used > 0 {
+                    if obs::is_metrics() {
+                        obs::metrics().counter("recovery_tier_retry_total").inc(1);
+                    }
+                    obs::record(obs::EventKind::RetryRecovered {
+                        collective: this.seq,
+                        extensions: this.retries_used,
+                    });
+                }
+                obs::record(obs::EventKind::CollectiveRecv {
+                    collective: this.seq,
+                    peer: this.src as u32,
+                });
+                return Poll::Ready(Ok(t));
+            }
+            maturity = Some(at);
+        }
+        // Timed out (in virtual time): extend through the retry budget,
+        // then escalate.
+        while now >= this.deadline_ns {
+            let retry = this.shared.config.retry;
+            if this.retries_used < retry.max_retries {
+                this.retries_used += 1;
+                if obs::is_metrics() {
+                    obs::metrics().counter("collective_retries_total").inc(1);
+                }
+                obs::record(obs::EventKind::RetryExtended {
+                    collective: this.seq,
+                    attempt: this.retries_used,
+                });
+                let ext = retry.extension(this.shared.config.recv_timeout, this.retries_used);
+                this.deadline_ns = now + ext.as_nanos() as u64;
+            } else {
+                drop(mb);
+                obs::record(obs::EventKind::RetryExhausted { collective: this.seq });
+                return Poll::Ready(Err(MeshError::RecvTimeout {
+                    core: this.core,
+                    peer: this.src,
+                    seq: this.seq,
+                    waited_ms: (now - this.started_ns) / 1_000_000,
+                }));
+            }
+        }
+        mb.waker = Some(cx.waker().clone());
+        drop(mb);
+        // Wake at the receive deadline, or earlier if a delayed packet is
+        // already in hand and matures first.
+        let wake_at = maturity.map_or(this.deadline_ns, |m| m.min(this.deadline_ns));
+        if this.timer_at != Some(wake_at) {
+            this.shared.rt.register_timer(wake_at, cx.waker().clone());
+            this.timer_at = Some(wake_at);
+        }
+        Poll::Pending
+    }
+}
+
+/// Per-core handle into the cooperative mesh: the [`Collectives`]
+/// implementation whose operations genuinely suspend.
+///
+/// [`Collectives`]: crate::mesh::Collectives
+pub struct CoopMeshHandle<T: Send> {
+    id: usize,
+    torus: Torus,
+    seq: u64,
+    shared: Arc<MeshShared<T>>,
+}
+
+impl<T: Send> CoopMeshHandle<T> {
+    async fn permute(&mut self, data: T, pairs: &[(usize, usize)]) -> Result<Option<T>, MeshError> {
+        if obs::is_metrics() {
+            obs::metrics().counter("collectives_total").inc(1);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let cfg = &self.shared.config;
+        let attempt = cfg.attempt;
+        if cfg.faults.kill_fires(self.id, seq, attempt) {
+            if obs::is_metrics() {
+                obs::metrics().counter("mesh_faults_injected_total").inc(1);
+            }
+            obs::record(obs::EventKind::KillInjected { collective: seq });
+            return Err(MeshError::InjectedKill { core: self.id, seq });
+        }
+        let (expect_from, send_to) = parse_pairs(self.id, pairs)?;
+        // Injected delays are virtual-time stamps on the packet, not
+        // sleeps: the sending task keeps running and no worker blocks.
+        let deliver_at_ns = match cfg.faults.delay_for(self.id, seq, attempt) {
+            Some(d) => self.shared.rt.now() + d.as_nanos() as u64,
+            None => 0,
+        };
+        if let Some(dst) = send_to {
+            if cfg.faults.drop_fires(self.id, dst, seq, attempt) {
+                if obs::is_metrics() {
+                    obs::metrics().counter("mesh_faults_injected_total").inc(1);
+                }
+                obs::record(obs::EventKind::DropInjected { collective: seq, peer: dst as u32 });
+            } else {
+                obs::record(obs::EventKind::CollectiveSend { collective: seq, peer: dst as u32 });
+                self.shared.send(self.id, dst, seq, deliver_at_ns, data)?;
+            }
+        }
+        let Some(src) = expect_from else {
+            return Ok(None);
+        };
+        let started_ns = self.shared.rt.now();
+        let fut = RecvFuture {
+            shared: &self.shared,
+            core: self.id,
+            src,
+            seq,
+            started_ns,
+            deadline_ns: started_ns + cfg.recv_timeout.as_nanos() as u64,
+            retries_used: 0,
+            timer_at: None,
+        };
+        fut.await.map(Some)
+    }
+}
+
+impl<T: Send> crate::mesh::Collectives<T> for CoopMeshHandle<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    fn next_collective(&self) -> u64 {
+        self.seq
+    }
+
+    fn collective_permute(
+        &mut self,
+        data: T,
+        pairs: &[(usize, usize)],
+    ) -> impl Future<Output = Result<Option<T>, MeshError>> + Send {
+        self.permute(data, pairs)
+    }
+
+    // Written as an explicit `impl Future` block (not `async fn`) so the
+    // `+ Send` bound the trait promises stays visible at the signature.
+    #[allow(clippy::manual_async_fn)]
+    fn shift(&mut self, data: T, dir: Dir) -> impl Future<Output = Result<T, MeshError>> + Send {
+        async move {
+            let pairs = self.torus.shift_pairs(dir);
+            match self.permute(data, &pairs).await? {
+                Some(t) => Ok(t),
+                None => Err(MeshError::Protocol {
+                    core: self.id,
+                    msg: "full-shift permute delivered nothing".into(),
+                }),
+            }
+        }
+    }
+}
+
+/// One task's future and its observability bindings, swapped in around
+/// every poll so flight-recorder events and spans land on the logical
+/// core's ring/track even though a few worker threads do all the polling.
+struct TaskSlot<F> {
+    fut: Option<Pin<Box<F>>>,
+    obs: obs::TaskObs,
+}
+
+/// Run a [`CoreProgram`] on every core of `torus` under the cooperative
+/// scheduler with `workers` worker threads (`None`: one per host CPU,
+/// capped at the core count). Semantics — results, root-cause error
+/// selection, fault injection, retry policy — match
+/// [`crate::mesh::run_spmd_cfg`] exactly; only the substrate differs.
+pub(crate) fn run_coop<T, P>(
+    torus: Torus,
+    config: MeshConfig,
+    workers: Option<usize>,
+    prog: &P,
+) -> Result<Vec<P::Out>, MeshError>
+where
+    T: Send,
+    P: CoreProgram<T>,
+{
+    run_executor(torus, config, workers, |h| prog.run(h))
+}
+
+/// Closure-flavored entry mirroring [`crate::mesh::run_spmd_cfg`]: one
+/// async closure per core on the cooperative scheduler. Mostly for tests;
+/// production drivers go through [`crate::mesh::run_mesh`].
+pub fn run_coop_fn<T, R, F, Fut>(
+    torus: Torus,
+    config: MeshConfig,
+    workers: Option<usize>,
+    f: F,
+) -> Result<Vec<R>, MeshError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(CoopMeshHandle<T>) -> Fut + Sync,
+    Fut: Future<Output = Result<R, MeshError>> + Send,
+{
+    run_executor(torus, config, workers, f)
+}
+
+fn run_executor<T, R, F, Fut>(
+    torus: Torus,
+    config: MeshConfig,
+    workers: Option<usize>,
+    make: F,
+) -> Result<Vec<R>, MeshError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(CoopMeshHandle<T>) -> Fut + Sync,
+    Fut: Future<Output = Result<R, MeshError>> + Send,
+{
+    let n = torus.cores();
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let nworkers = workers.unwrap_or(host).min(n).max(1);
+    let rt = Arc::new(RuntimeCore::new(n, nworkers));
+    let shared = Arc::new(MeshShared {
+        config,
+        mailboxes: (0..n)
+            .map(|_| Mutex::new(Mailbox { packets: HashMap::new(), waker: None }))
+            .collect(),
+        dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        rt: rt.clone(),
+    });
+
+    // One slot per logical core; tasks seeded round-robin across workers.
+    let slots: Vec<Mutex<TaskSlot<Fut>>> = (0..n)
+        .map(|id| {
+            let handle = CoopMeshHandle { id, torus, seq: 0, shared: shared.clone() };
+            Mutex::new(TaskSlot { fut: Some(Box::pin(make(handle))), obs: obs::TaskObs::default() })
+        })
+        .collect();
+    for tid in 0..n {
+        RuntimeCore::lock(&rt.locals[tid % nworkers]).push_back(tid);
+    }
+    let results: Vec<Mutex<Option<Result<R, MeshError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let wakers: Vec<Waker> =
+        (0..n).map(|tid| Waker::from(Arc::new(TaskWaker { tid, rt: rt.clone() }))).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..nworkers {
+            let rt = &rt;
+            let shared = &shared;
+            let slots = &slots;
+            let results = &results;
+            let wakers = &wakers;
+            scope.spawn(move || {
+                CURRENT_WORKER.with(|c| c.set(Some(w)));
+                worker_loop(w, rt, shared, slots, results, wakers);
+            });
+        }
+    });
+
+    let per_core: Vec<Result<R, MeshError>> = results
+        .into_iter()
+        .enumerate()
+        .map(|(core, slot)| {
+            RuntimeCore::lock(&slot).take().unwrap_or(Err(MeshError::CorePanicked { core }))
+        })
+        .collect();
+    fold_outcomes(per_core)
+}
+
+fn worker_loop<T, F, R>(
+    w: usize,
+    rt: &Arc<RuntimeCore>,
+    shared: &MeshShared<T>,
+    slots: &[Mutex<TaskSlot<F>>],
+    results: &[Mutex<Option<Result<R, MeshError>>>],
+    wakers: &[Waker],
+) where
+    T: Send,
+    F: Future<Output = Result<R, MeshError>> + Send,
+    R: Send,
+{
+    loop {
+        if rt.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(tid) = rt.next_task(w) {
+            run_one(rt, shared, tid, &mut RuntimeCore::lock(&slots[tid]), results, &wakers[tid]);
+            continue;
+        }
+        let mut idle = RuntimeCore::lock(&rt.idle);
+        if rt.runnable.load(Ordering::SeqCst) > 0 || rt.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        if rt.live.load(Ordering::SeqCst) == 0 {
+            rt.shutdown.store(true, Ordering::SeqCst);
+            rt.cv.notify_all();
+            return;
+        }
+        *idle += 1;
+        if *idle == rt.workers {
+            // Global quiescence: nothing runnable anywhere, no poll in
+            // flight — the only way forward is virtual time.
+            *idle -= 1;
+            drop(idle);
+            rt.advance_clock();
+            continue;
+        }
+        let parked = Instant::now();
+        idle = rt.cv.wait(idle).unwrap_or_else(std::sync::PoisonError::into_inner);
+        *idle -= 1;
+        drop(idle);
+        rt.park_ns.fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+fn run_one<T, F, R>(
+    rt: &RuntimeCore,
+    shared: &MeshShared<T>,
+    tid: usize,
+    slot: &mut TaskSlot<F>,
+    results: &[Mutex<Option<Result<R, MeshError>>>],
+    waker: &Waker,
+) where
+    T: Send,
+    F: Future<Output = Result<R, MeshError>> + Send,
+    R: Send,
+{
+    rt.state[tid].store(RUNNING, Ordering::SeqCst);
+    let Some(fut) = slot.fut.as_mut() else {
+        rt.state[tid].store(DONE, Ordering::SeqCst);
+        return;
+    };
+    let mut cx = Context::from_waker(waker);
+    let prev_obs = obs::swap_task_obs(slot.obs);
+    let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+    slot.obs = obs::swap_task_obs(prev_obs);
+    let outcome = match polled {
+        Ok(Poll::Pending) => {
+            if rt.state[tid]
+                .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // Woken mid-poll: put it straight back on a queue.
+                rt.state[tid].store(QUEUED, Ordering::SeqCst);
+                rt.push_runnable(tid);
+            }
+            return;
+        }
+        Ok(Poll::Ready(res)) => res,
+        Err(_panic) => Err(MeshError::CorePanicked { core: tid }),
+    };
+    slot.fut = None;
+    *RuntimeCore::lock(&results[tid]) = Some(outcome);
+    rt.state[tid].store(DONE, Ordering::SeqCst);
+    shared.dead[tid].store(true, Ordering::SeqCst);
+    if rt.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Last task out: unpark everyone so the pool can shut down.
+        let _idle = RuntimeCore::lock(&rt.idle);
+        rt.cv.notify_all();
+    }
+    if obs::is_metrics() {
+        obs::metrics().counter("sched_steals").inc(rt.steals.swap(0, Ordering::Relaxed));
+        obs::metrics().counter("sched_park_ns").inc(rt.park_ns.swap(0, Ordering::Relaxed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Collectives, FaultPlan, MeshRuntime, RetryPolicy};
+    use std::time::Duration;
+
+    fn cfg(recv_ms: u64, faults: FaultPlan, retry: RetryPolicy) -> MeshConfig {
+        MeshConfig {
+            recv_timeout: Duration::from_millis(recv_ms),
+            faults,
+            attempt: 0,
+            retry,
+            runtime: MeshRuntime::coop(),
+        }
+    }
+
+    fn shift_east(
+        torus: Torus,
+        config: MeshConfig,
+        workers: Option<usize>,
+    ) -> Result<Vec<u32>, MeshError> {
+        run_coop_fn(torus, config, workers, |mut h: CoopMeshHandle<u32>| async move {
+            let me = h.id() as u32;
+            h.shift(me, Dir::East).await
+        })
+    }
+
+    #[test]
+    fn coop_shift_matches_ring_expectation() {
+        let t = Torus::new(3, 4);
+        let got = shift_east(t, cfg(500, FaultPlan::new(), RetryPolicy::none()), Some(3)).unwrap();
+        for (id, &v) in got.iter().enumerate() {
+            assert_eq!(v as usize, t.neighbor(id, Dir::West), "core {id}");
+        }
+    }
+
+    #[test]
+    fn coop_handles_self_loop_torus() {
+        let got =
+            shift_east(Torus::new(1, 1), cfg(500, FaultPlan::new(), RetryPolicy::none()), Some(1))
+                .unwrap();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn two_thousand_cores_run_on_four_workers() {
+        let t = Torus::new(1, 2048);
+        let got =
+            shift_east(t, cfg(2_000, FaultPlan::new(), RetryPolicy::none()), Some(4)).unwrap();
+        assert_eq!(got.len(), 2048);
+        for (id, &v) in got.iter().enumerate() {
+            assert_eq!(v as usize, t.neighbor(id, Dir::West), "core {id}");
+        }
+    }
+
+    /// Satellite: an injected delay must become a virtual-time wakeup, not
+    /// a sleeping worker thread. A 1024-core pod with a 60-second injected
+    /// delay finishes in wall-clock milliseconds because the only thing
+    /// between the pod and completion is the virtual clock.
+    #[test]
+    fn injected_delay_on_1024_cores_does_not_occupy_a_worker() {
+        let t = Torus::new(32, 32);
+        let faults = FaultPlan::new().delay(0, 0, Duration::from_secs(60));
+        let started = Instant::now();
+        let got = shift_east(t, cfg(120_000, faults, RetryPolicy::none()), Some(2)).unwrap();
+        let wall = started.elapsed();
+        assert_eq!(got.len(), 1024);
+        for (id, &v) in got.iter().enumerate() {
+            assert_eq!(v as usize, t.neighbor(id, Dir::West), "core {id}");
+        }
+        // 60 virtual seconds must not cost anywhere near 60 wall seconds.
+        assert!(wall < Duration::from_secs(10), "delay occupied a worker: {wall:?}");
+    }
+
+    /// Virtual timeouts are exact: a dropped packet burns the receive
+    /// window plus every retry extension in virtual nanoseconds, so
+    /// `waited_ms` is a deterministic constant, not a wall-clock measure.
+    #[test]
+    fn virtual_timeout_is_deterministic_and_fast() {
+        let faults = FaultPlan::new().drop_packet(0, 1, 0);
+        let retry = RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) };
+        let started = Instant::now();
+        let err = shift_east(Torus::new(1, 2), cfg(100, faults, retry), Some(2)).unwrap_err();
+        let wall = started.elapsed();
+        match err {
+            // 100 ms window + (100+50) ms + (100+100) ms extensions.
+            MeshError::RecvTimeout { core: 1, peer: 0, seq: 0, waited_ms } => {
+                assert_eq!(waited_ms, 450);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(wall < Duration::from_secs(5), "virtual timeout took {wall:?}");
+    }
+
+    #[test]
+    fn injected_kill_still_selects_root_cause() {
+        let faults = FaultPlan::new().kill(5, 0);
+        let err =
+            shift_east(Torus::new(2, 4), cfg(200, faults, RetryPolicy::none()), None).unwrap_err();
+        assert_eq!(err, MeshError::InjectedKill { core: 5, seq: 0 });
+    }
+
+    #[test]
+    fn panicking_core_is_contained_by_the_scheduler() {
+        let t = Torus::new(1, 3);
+        let err = run_coop_fn(
+            t,
+            cfg(200, FaultPlan::new(), RetryPolicy::none()),
+            Some(2),
+            |mut h: CoopMeshHandle<u32>| async move {
+                if h.id() == 1 {
+                    panic!("injected task panic");
+                }
+                h.shift(0, Dir::East).await
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MeshError::CorePanicked { core: 1 });
+    }
+
+    /// The tentpole determinism claim: packet contents only depend on core
+    /// state, and virtual time only advances at quiescence, so the result
+    /// vector is bit-identical for any worker count and steal ordering.
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        fn chained(workers: usize) -> Vec<u64> {
+            let t = Torus::new(4, 4);
+            run_coop_fn(
+                t,
+                cfg(2_000, FaultPlan::new(), RetryPolicy::none()),
+                Some(workers),
+                |mut h: CoopMeshHandle<u64>| async move {
+                    let mut acc = h.id() as u64 + 1;
+                    for step in 0..8u64 {
+                        let dir = if step % 2 == 0 { Dir::East } else { Dir::South };
+                        let got = h.shift(acc, dir).await?;
+                        acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(got ^ step);
+                    }
+                    Ok(acc)
+                },
+            )
+            .unwrap()
+        }
+        let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let reference = chained(1);
+        assert_eq!(chained(4), reference);
+        assert_eq!(chained(host), reference);
+    }
+
+    #[test]
+    fn worker_count_defaults_are_clamped() {
+        // More workers than cores must not spawn dead threads or wedge.
+        let got =
+            shift_east(Torus::new(1, 2), cfg(500, FaultPlan::new(), RetryPolicy::none()), Some(64))
+                .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+}

@@ -54,6 +54,25 @@ pub use span::{
 };
 pub use telemetry::{TelemetryHandle, TelemetrySink};
 
+/// Every thread-local observability binding of one logical core's task:
+/// flight-recorder ring + sweep stamp and span track + depth. Cooperative
+/// schedulers swap the whole bundle around each poll so a worker thread
+/// records on behalf of whichever logical core it is currently running.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskObs {
+    recorder: recorder::TaskContext,
+    track: span::TrackContext,
+}
+
+/// Install `next` as this thread's observability bindings and return the
+/// previous ones. `TaskObs::default()` is the unbound (host) state.
+pub fn swap_task_obs(next: TaskObs) -> TaskObs {
+    TaskObs {
+        recorder: recorder::swap_task_context(next.recorder),
+        track: span::swap_track_context(next.track),
+    }
+}
+
 /// The hardware-unit classes the TPU profiler groups ops into — shared by
 /// the *modeled* spans of `tpu-ising-device`'s cost walker and the
 /// *measured* spans this crate records, so both aggregate into the same

@@ -344,6 +344,27 @@ pub fn set_sweep(sweep: u64) {
     SWEEP.with(|s| s.set(sweep));
 }
 
+/// The recorder bindings of one logical core's task: which ring this
+/// thread records onto and the sweep stamp. A cooperative scheduler that
+/// multiplexes many logical cores over few worker threads swaps this
+/// around every poll so events keep landing on the right core's ring
+/// (see [`swap_task_context`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskContext {
+    ring: Option<usize>,
+    sweep: u64,
+}
+
+/// Install `next` as this thread's recorder bindings and return the
+/// previous ones. `TaskContext::default()` is the unbound state (events
+/// fall through to the host ring, sweep 0).
+pub fn swap_task_context(next: TaskContext) -> TaskContext {
+    let prev = TaskContext { ring: RING.with(|r| r.get()), sweep: SWEEP.with(|s| s.get()) };
+    RING.with(|r| r.set(next.ring));
+    SWEEP.with(|s| s.set(next.sweep));
+    prev
+}
+
 /// Record one event onto this thread's ring (the host ring when the
 /// thread never called [`register_core`]). A no-op when recording is off;
 /// when on, the steady-state cost is the envelope stamp plus a ring slot

@@ -127,6 +127,26 @@ pub fn register_track(name: impl Into<String>) -> u32 {
     id
 }
 
+/// The span-recorder bindings of one logical core's task: its timeline
+/// track and nesting depth. Swapped per poll by cooperative schedulers so
+/// spans from interleaved tasks keep their own tracks and depth counters
+/// (see [`swap_track_context`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrackContext {
+    track: Option<u32>,
+    depth: u16,
+}
+
+/// Install `next` as this thread's span bindings and return the previous
+/// ones. `TrackContext::default()` is the unbound state (auto-registered
+/// track, depth 0).
+pub fn swap_track_context(next: TrackContext) -> TrackContext {
+    let prev = TrackContext { track: TRACK.with(|t| t.get()), depth: DEPTH.with(|d| d.get()) };
+    TRACK.with(|t| t.set(next.track));
+    DEPTH.with(|d| d.set(next.depth));
+    prev
+}
+
 fn current_track(inner: &mut Inner) -> u32 {
     TRACK.with(|t| match t.get() {
         Some(id) => id,

@@ -160,6 +160,7 @@ fn grid_opts(faults: FaultPlan, max_restarts: usize) -> ResilienceOpts {
         recv_timeout: std::time::Duration::from_millis(500),
         faults,
         retry: RetryPolicy { max_retries: 2, backoff: std::time::Duration::from_millis(10) },
+        ..ResilienceOpts::default()
     }
 }
 

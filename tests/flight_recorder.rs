@@ -86,6 +86,7 @@ fn fault_drill_merges_into_ordered_timeline() {
         recv_timeout: Duration::from_millis(300),
         faults: FaultPlan::new().kill(1, 3).drop_packet(3, 2, 3),
         retry: RetryPolicy { max_retries: 1, backoff: Duration::from_millis(10) },
+        ..ResilienceOpts::default()
     };
     let run = run_pod_resilient::<f32>(&pod_2x2(), 4, &opts, None).expect("resilient run");
     assert_eq!(run.restarts, 1, "the kill must cost exactly one restart");
@@ -168,8 +169,16 @@ fn chaos_kill_leaves_postmortem_per_generation() {
                 drop: None,
                 delay: None,
                 corrupt: Some(VaultCorruption::BitFlip { permille: 500, bit: 2 }),
+                extra_kills: Vec::new(),
             },
-            SessionFaults { kill_core: 2, kill_at: 12, drop: None, delay: None, corrupt: None },
+            SessionFaults {
+                kill_core: 2,
+                kill_at: 12,
+                drop: None,
+                delay: None,
+                corrupt: None,
+                extra_kills: Vec::new(),
+            },
         ],
     };
     let report =
