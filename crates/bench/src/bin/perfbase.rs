@@ -30,7 +30,7 @@ use tpu_ising_bench::{
     append_trajectory, multispin_floor, print_table, quick_mode, results_dir, run_metadata,
     TrajectoryRow,
 };
-use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng};
+use tpu_ising_core::distributed::{run_pod, PodConfig, PodRng, DEFAULT_SCRUB_CADENCE};
 use tpu_ising_core::{
     random_plane, run_multispin_pod, run_multispin_pod_with_opts, CompactIsing, KernelBackend,
     MultiSpinIsing, MultiSpinPodConfig, MultiSpinPodRunOpts, Randomness, Sweeper, REPLICAS,
@@ -210,6 +210,33 @@ fn multispin_pod(sweeps: usize) -> Row {
     }
 }
 
+/// Multispin throughput with the integrity scrubber folding a CRC-32
+/// lattice digest every [`DEFAULT_SCRUB_CADENCE`] sweeps — the cost a
+/// production run pays for silent-corruption detection. Returned as
+/// (flips/ns scrubbed, flips/ns plain, overhead fraction).
+fn multispin_scrub_overhead(sweeps: usize) -> (f64, f64, f64) {
+    let cadence = DEFAULT_SCRUB_CADENCE as usize;
+    let run = |scrub: bool| {
+        let mut sim = MultiSpinIsing::new(L, L, BETA, 42);
+        for _ in 0..3 {
+            sim.sweep();
+        }
+        let flips = sim.flips_per_sweep() * sweeps as u64;
+        let mut i = 0usize;
+        let (secs, _) = time_sweeps(sweeps, || {
+            sim.sweep();
+            i += 1;
+            if scrub && i.is_multiple_of(cadence) {
+                std::hint::black_box(sim.state_digest());
+            }
+        });
+        flips as f64 / (secs * 1e9)
+    };
+    let plain = run(false);
+    let scrubbed = run(true);
+    (scrubbed, plain, (plain - scrubbed).max(0.0) / plain)
+}
+
 /// Aggregate multispin throughput of an `nx`×`ny` pod on the cooperative
 /// work-stealing scheduler, strong-scaling a fixed 256×256 global lattice.
 /// This is the slice the trajectory file tracks across commits: the same
@@ -372,6 +399,17 @@ fn main() {
         tpu_ising_rng::cpu_features().summary()
     );
 
+    // Integrity-scrubber overhead at the recommended production cadence:
+    // the CRC-32 lattice digest every DEFAULT_SCRUB_CADENCE sweeps must
+    // cost well under 5% of multispin throughput.
+    let scrub_sweeps = if quick { 32 } else { 128 };
+    let (scrub_on, scrub_off, scrub_overhead) = multispin_scrub_overhead(scrub_sweeps);
+    println!(
+        "scrubber overhead: {scrub_on:.3} flips/ns scrubbed every {DEFAULT_SCRUB_CADENCE} \
+         sweeps vs {scrub_off:.3} plain = {:.2}% (budget 5%)",
+        scrub_overhead * 100.0
+    );
+
     let md = run_metadata();
     let mut json = format!(
         "{{\n  {},\n  \"quick\": {quick},\n  \"beta\": {BETA},\n  \"replicas\": {REPLICAS},\n  \
@@ -409,6 +447,7 @@ fn main() {
             point("dense", 1, best_dense),
             point("band", 1, best_band),
             point("multispin", 1, ms_single.flips_per_ns),
+            point("multispin_scrubbed", 1, scrub_on),
         ];
         // Per-topology scaling points: the same 256×256 multispin lattice
         // strong-scaled across ever more logical cores on the coop
@@ -453,6 +492,13 @@ fn main() {
             failures.push(format!(
                 "multispin steady state allocates {} B/sweep (need 0)",
                 ms_single.steady_alloc_bytes_per_sweep
+            ));
+        }
+        if scrub_overhead > 0.05 {
+            failures.push(format!(
+                "scrubber overhead {:.2}% exceeds the 5% budget at cadence {}",
+                scrub_overhead * 100.0,
+                DEFAULT_SCRUB_CADENCE
             ));
         }
         if failures.is_empty() {

@@ -2,7 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use tpu_ising_baseline::GpuStyleIsing;
-use tpu_ising_core::chaos::{run_chaos_engine_rt, run_chaos_multispin_rt, ChaosPlan, ChaosReport};
+use tpu_ising_core::chaos::{
+    run_chaos_engine_rt, run_chaos_multispin_rt, ChaosPlan, ChaosReport, IntegrityKnobs,
+};
 use tpu_ising_core::distributed::{
     run_pod_engine_resilient, run_pod_engine_vaulted, PodCheckpoint, PodConfig, PodError, PodRng,
     ResilienceOpts, POD_VAULT_KIND,
@@ -227,6 +229,11 @@ fn resilience_from_args(args: &Args, sweeps: usize) -> Result<ResilienceOpts, Ar
             backoff: std::time::Duration::from_millis(args.get_parse("retry-backoff-ms", 50u64)?),
         },
         runtime: mesh_runtime_from_args(args)?,
+        scrub_every: args.get_opt_parse("scrub-every")?.map(|n: u64| n.max(1)),
+        watchdog_timeout: args
+            .get_opt_parse("watchdog-timeout-ms")?
+            .map(std::time::Duration::from_millis),
+        degraded_min_cores: args.get_opt_parse("degraded-min-cores")?,
     })
 }
 
@@ -580,6 +587,9 @@ where
             println!("  {f}");
         }
     }
+    if let Some(t) = run.degraded_to {
+        println!("degraded continuation: finished on the {}x{} survivor torus", t.nx, t.ny);
+    }
     if let Some(path) = &checkpoint_out {
         let ckpt = &run.final_checkpoint;
         let json = ckpt.to_json().map_err(|e| ArgError(e.to_string()))?;
@@ -718,6 +728,9 @@ fn pod_multispin(args: &Args) -> Result<(), ArgError> {
             println!("  {f}");
         }
     }
+    if let Some(t) = run.degraded_to {
+        println!("degraded continuation: finished on the {}x{} survivor torus", t.nx, t.ny);
+    }
     if let Some(path) = &checkpoint_out {
         let ckpt = &run.final_checkpoint;
         let json = ckpt.to_json().map_err(|e| ArgError(e.to_string()))?;
@@ -767,15 +780,43 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     // session takes out ⌈F·cores⌉ distinct cores at once, the paper-scale
     // drill where a maintenance event claims a slice of the pod.
     let kill_fraction: Option<f64> = args.get_opt_parse("kill-fraction")?;
-    let plan = match kill_fraction {
-        Some(f) => {
-            if !(0.0..=1.0).contains(&f) {
-                return Err(ArgError(format!("--kill-fraction {f} must be within [0, 1]")));
-            }
-            ChaosPlan::generate_mass_kill(chaos_seed, sessions, cores, span, f)
+    // `--integrity` swaps the crash schedule for the silent-data-corruption
+    // one: lattice bit flips, corrupted halo payloads and wedged cores.
+    let integrity = args.has_flag("integrity");
+    let plan = if integrity {
+        if kill_fraction.is_some() {
+            return Err(ArgError("--integrity and --kill-fraction are mutually exclusive".into()));
         }
-        None => ChaosPlan::generate(chaos_seed, sessions, cores, span),
+        ChaosPlan::generate_integrity(chaos_seed, sessions, cores, sweeps as u64)
+    } else {
+        match kill_fraction {
+            Some(f) => {
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(ArgError(format!("--kill-fraction {f} must be within [0, 1]")));
+                }
+                ChaosPlan::generate_mass_kill(chaos_seed, sessions, cores, span, f)
+            }
+            None => ChaosPlan::generate(chaos_seed, sessions, cores, span),
+        }
     };
+    // The scrubber/watchdog arm explicitly via flags; a bare `--integrity`
+    // drill arms both at the tight CI cadence, and `--disarmed` forces the
+    // divergence demonstration (injections land with nobody watching).
+    let knobs = if args.has_flag("disarmed") {
+        IntegrityKnobs::default()
+    } else if args.get("scrub-every").is_some() || args.get("watchdog-timeout-ms").is_some() {
+        IntegrityKnobs {
+            scrub_every: args.get_opt_parse("scrub-every")?.map(|n: u64| n.max(1)),
+            watchdog_timeout: args
+                .get_opt_parse("watchdog-timeout-ms")?
+                .map(std::time::Duration::from_millis),
+        }
+    } else if integrity {
+        IntegrityKnobs::armed()
+    } else {
+        IntegrityKnobs::default()
+    };
+    let armed = knobs.scrub_every.is_some() || knobs.watchdog_timeout.is_some();
     println!(
         "chaos drill: {algo} pod {nx}x{ny}, per-core {h}x{w}, {sweeps} sweeps, \
          {sessions} crash session(s), chaos seed {chaos_seed}, vault in {vault_dir}/"
@@ -796,6 +837,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             std::path::Path::new(&vault_dir),
             keep,
             runtime,
+            knobs,
         )
     } else {
         let dtype: Dtype = args.get_or("dtype", "f32").parse().map_err(ArgError)?;
@@ -818,6 +860,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
             vault_dir: &'a std::path::Path,
             keep: usize,
             runtime: MeshRuntime,
+            knobs: IntegrityKnobs,
         }
         impl ScalarEngineVisitor for ChaosCmd<'_> {
             type Out = Result<ChaosReport, PodError>;
@@ -834,6 +877,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
                     self.vault_dir,
                     self.keep,
                     self.runtime,
+                    self.knobs,
                 )
             }
         }
@@ -848,6 +892,7 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
                 vault_dir: std::path::Path::new(&vault_dir),
                 keep,
                 runtime,
+                knobs,
             },
         )
         .map_err(ArgError)?
@@ -861,11 +906,29 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     println!("quarantined       : {} corrupt generation(s)", report.quarantined);
     println!("from scratch      : {} resume(s) found no valid generation", report.from_scratch);
     println!("final sweep       : {}", report.final_sweep);
+    println!(
+        "scrub detections  : {} lattice/halo, {} watchdog stall(s)",
+        report.scrub_detected, report.stalls_detected
+    );
     println!("bit-exact resume  : {}", if report.bit_exact { "yes" } else { "NO" });
+    // Distinct exit codes so CI can tell the three outcomes apart:
+    //   0 = every injection was detected and recovered bit-exactly
+    //   1 = divergence with integrity checks off (the expected demo)
+    //   2 = undetected corruption: the scrubber was armed yet the final
+    //       state still differs from the reference — the alarming case.
     if !report.bit_exact {
-        return Err(ArgError(
-            "chaos run diverged from the uninterrupted reference (determinism broken)".into(),
-        ));
+        if armed {
+            eprintln!(
+                "error: UNDETECTED CORRUPTION — scrubber armed but the final state \
+                 diverged from the uninterrupted reference"
+            );
+            std::process::exit(2);
+        }
+        eprintln!(
+            "error: chaos run diverged from the uninterrupted reference \
+             (integrity checks disarmed)"
+        );
+        std::process::exit(1);
     }
     Ok(())
 }

@@ -68,6 +68,16 @@ COMMANDS:
                                 transient collective timeouts are retried
                                 in place before a pod restart
              --kill-core N --kill-at K (inject a fault for testing)
+             --scrub-every N    arm the integrity scrubber: rolling CRC-32
+                                lattice digests every N sweeps plus halo
+                                wire checksums; silent corruption becomes
+                                a typed error and a tiered recovery
+             --watchdog-timeout-ms MS   arm the liveness watchdog: a wedged
+                                core becomes a typed stall (virtual time
+                                under the coop runtime)
+             --degraded-min-cores N   when the restart budget exhausts,
+                                continue on the largest survivor torus
+                                with at least N cores (site-keyed only)
              --trace-out PATH   write a Chrome trace (one track per core,
                                 open in chrome://tracing or Perfetto) and
                                 print measured vs modeled breakdowns
@@ -84,6 +94,16 @@ COMMANDS:
              --vault-dir DIR (chaos-vault)  --keep-generations N (3)
              --kill-fraction F  mass-preemption drill: every session kills
                                 ceil(F * cores) distinct cores at once
+             --integrity        silent-corruption drill instead: rotating
+                                lattice bit flips, corrupted halos and
+                                wedged cores; arms the scrubber + watchdog
+                                unless --disarmed or explicit knobs given
+             --disarmed         run the drill with integrity checks off
+                                (demonstrates silent divergence; exit 1)
+             --scrub-every N --watchdog-timeout-ms MS   as in pod
+                                exit codes: 0 detected + recovered bit-
+                                exact, 1 diverged disarmed, 2 diverged
+                                with the scrubber armed (undetected SDC)
              --mesh-runtime threads|coop|auto (auto)  --workers N  as in pod
              --telemetry-dir DIR  --flush-every MS (1000)   as in pod
   postmortem merge flight-recorder bundles into one ordered timeline

@@ -35,7 +35,7 @@ use std::marker::PhantomData;
 use std::path::Path;
 use std::time::Duration;
 use tpu_ising_bf16::Scalar;
-use tpu_ising_device::mesh::{FaultPlan, MeshRuntime, RetryPolicy};
+use tpu_ising_device::mesh::{FaultPlan, MeshError, MeshRuntime, RetryPolicy};
 use tpu_ising_obs as obs;
 use tpu_ising_rng::{PhiloxStream, RandomUniform};
 
@@ -62,27 +62,45 @@ pub enum VaultCorruption {
 /// The faults one chaos session injects.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionFaults {
-    /// Kill this core...
-    pub kill_core: usize,
-    /// ...when its collective counter reaches this value.
-    pub kill_at: u64,
-    /// Additional `(core, at_collective)` kills in the same session —
-    /// the paper-scale drill where a preemption event takes out a whole
-    /// slice of the pod (e.g. 1 % of 1024 cores) at once.
-    pub extra_kills: Vec<(usize, u64)>,
+    /// Every `(core, at_collective)` kill this session schedules — one
+    /// for the classic drill, a whole pod slice for mass preemption,
+    /// possibly none for pure-integrity sessions.
+    pub kills: Vec<(usize, u64)>,
     /// Optionally drop the packet `(from, to)` at a collective.
     pub drop: Option<(usize, usize, u64)>,
     /// Optionally delay a core's send (microseconds) at a collective —
     /// sized to be absorbed by tier-1 collective retries.
     pub delay: Option<(usize, u64, u64)>,
+    /// Silent lattice corruption `(core, at_sweep, word, bit)` — only
+    /// the armed scrubber can catch it.
+    pub sdc: Option<(usize, u64, u32, u8)>,
+    /// Halo wire corruption `(core, at_collective, bit)` — only the
+    /// armed wire checksum can catch it.
+    pub halo: Option<(usize, u64, u8)>,
+    /// Wedge `(core, at_collective)` — only the armed watchdog turns
+    /// the hang into a typed stall.
+    pub wedge: Option<(usize, u64)>,
     /// Optionally corrupt the newest vault generation after the crash.
     pub corrupt: Option<VaultCorruption>,
 }
 
 impl SessionFaults {
+    /// A session with no faults at all, for literal construction.
+    pub fn none() -> SessionFaults {
+        SessionFaults {
+            kills: Vec::new(),
+            drop: None,
+            delay: None,
+            sdc: None,
+            halo: None,
+            wedge: None,
+            corrupt: None,
+        }
+    }
+
     /// Every kill this session schedules, primary first.
     pub fn kills(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        std::iter::once((self.kill_core, self.kill_at)).chain(self.extra_kills.iter().copied())
+        self.kills.iter().copied()
     }
 }
 
@@ -133,21 +151,21 @@ impl ChaosPlan {
                 _ => None,
             };
             plan.push(SessionFaults {
-                kill_core,
-                kill_at,
-                extra_kills: Vec::new(),
+                kills: vec![(kill_core, kill_at)],
                 drop,
                 delay,
                 corrupt,
+                ..SessionFaults::none()
             });
         }
         ChaosPlan { seed, sessions: plan }
     }
 
-    /// A mass-preemption schedule: every session kills `kill_fraction` of
-    /// the pod (at least one core, distinct cores, independent collective
-    /// offsets) — the paper-scale drill where a maintenance event takes a
-    /// slice of a 1024-core pod at once. Same seed ⇒ same plan.
+    /// A mass-preemption schedule: every session kills exactly
+    /// `⌈kill_fraction · cores⌉` *distinct* cores at independent
+    /// collective offsets — the paper-scale drill where a maintenance
+    /// event takes a slice of a 1024-core pod at once (a fraction of 0
+    /// schedules kill-less sessions). Same seed ⇒ same plan.
     pub fn generate_mass_kill(
         seed: u64,
         sessions: usize,
@@ -157,7 +175,7 @@ impl ChaosPlan {
     ) -> ChaosPlan {
         assert!(cores > 0 && collective_span > 0, "plan needs a non-empty pod and span");
         assert!((0.0..=1.0).contains(&kill_fraction), "kill fraction must be within [0, 1]");
-        let victims = ((cores as f64 * kill_fraction).ceil() as usize).clamp(1, cores);
+        let victims = ((cores as f64 * kill_fraction).ceil() as usize).min(cores);
         let mut rng = PhiloxStream::from_seed(seed ^ 0x9D2C_5680_9D2C_5680);
         let mut plan = Vec::with_capacity(sessions);
         for _ in 0..sessions {
@@ -172,13 +190,8 @@ impl ChaosPlan {
                 let at = rng.next_u64() % collective_span;
                 kills.push((core, at));
             }
-            let (kill_core, kill_at) = kills[0];
             plan.push(SessionFaults {
-                kill_core,
-                kill_at,
-                extra_kills: kills[1..].to_vec(),
-                drop: None,
-                delay: None,
+                kills,
                 corrupt: match rng.next_u64() % 3 {
                     0 => {
                         Some(VaultCorruption::Truncate { permille: (rng.next_u64() % 1000) as u16 })
@@ -186,7 +199,42 @@ impl ChaosPlan {
                     1 => Some(VaultCorruption::TornHeader),
                     _ => None,
                 },
+                ..SessionFaults::none()
             });
+        }
+        ChaosPlan { seed, sessions: plan }
+    }
+
+    /// An integrity drill: session `i` injects one silent fault —
+    /// rotating lattice bit-flip, halo wire corruption, core wedge — at a
+    /// seeded core and time. No loud kills: with the scrubber and
+    /// watchdog armed every session must crash with a *typed* error and
+    /// recover; disarmed, the corruptions poison the run silently (the
+    /// divergence half of the drill). Same seed ⇒ same plan.
+    pub fn generate_integrity(seed: u64, sessions: usize, cores: usize, sweeps: u64) -> ChaosPlan {
+        assert!(cores > 0 && sweeps > 0, "plan needs a non-empty pod and span");
+        // Four shifts per half-sweep, two colors.
+        let collective_span = sweeps * 8;
+        let mut rng = PhiloxStream::from_seed(seed ^ 0x1B56_C4E9_1B56_C4E9);
+        let mut plan = Vec::with_capacity(sessions);
+        for i in 0..sessions {
+            let core = (rng.next_u64() % cores as u64) as usize;
+            let mut s = SessionFaults::none();
+            match i % 3 {
+                0 => {
+                    let at_sweep = 1 + rng.next_u64() % sweeps;
+                    s.sdc =
+                        Some((core, at_sweep, rng.next_u64() as u32, (rng.next_u64() % 64) as u8));
+                }
+                1 => {
+                    let at = rng.next_u64() % collective_span;
+                    s.halo = Some((core, at, (rng.next_u64() % 64) as u8));
+                }
+                _ => {
+                    s.wedge = Some((core, rng.next_u64() % collective_span));
+                }
+            }
+            plan.push(s);
         }
         ChaosPlan { seed, sessions: plan }
     }
@@ -204,6 +252,15 @@ impl ChaosPlan {
         }
         if let Some((core, at, micros)) = s.delay {
             plan = plan.delay(core, at, Duration::from_micros(micros));
+        }
+        if let Some((core, at_sweep, word, bit)) = s.sdc {
+            plan = plan.flip_lattice_bit(core, at_sweep, word, bit);
+        }
+        if let Some((core, at, bit)) = s.halo {
+            plan = plan.corrupt_halo(core, at, bit);
+        }
+        if let Some((core, at)) = s.wedge {
+            plan = plan.wedge(core, at);
         }
         plan
     }
@@ -254,11 +311,35 @@ pub struct ChaosReport {
     pub quarantined: usize,
     /// Resumes that found *no* valid generation and restarted from scratch.
     pub from_scratch: usize,
+    /// Injected corruptions the scrubber caught as typed
+    /// [`MeshError::Corrupt`] (lattice digest or halo checksum).
+    pub scrub_detected: usize,
+    /// Wedges the watchdog converted into typed [`MeshError::Stalled`].
+    pub stalls_detected: usize,
     /// Final sweep reached.
     pub final_sweep: u64,
     /// `true` iff the chaos run's full magnetization history is
     /// bit-identical to the uninterrupted reference run.
     pub bit_exact: bool,
+}
+
+/// Which integrity layers a chaos run arms. `Default` is fully disarmed —
+/// the divergence half of the SDC drill.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityKnobs {
+    /// Scrubber cadence in sweeps (`None`: disarmed). Arms both lattice
+    /// digests and halo wire checksums.
+    pub scrub_every: Option<u64>,
+    /// Watchdog deadline (`None`: disarmed).
+    pub watchdog_timeout: Option<Duration>,
+}
+
+impl IntegrityKnobs {
+    /// Fully armed at drill settings: scrub every sweep, a short
+    /// watchdog — every injection is caught at its first opportunity.
+    pub fn armed() -> IntegrityKnobs {
+        IntegrityKnobs { scrub_every: Some(1), watchdog_timeout: Some(Duration::from_millis(50)) }
+    }
 }
 
 /// The session-level resilience knobs shared by both drivers: a zero
@@ -268,6 +349,7 @@ fn session_opts(
     checkpoint_every: usize,
     faults: FaultPlan,
     runtime: MeshRuntime,
+    knobs: IntegrityKnobs,
 ) -> ResilienceOpts {
     ResilienceOpts {
         checkpoint_every,
@@ -276,6 +358,9 @@ fn session_opts(
         faults,
         retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
         runtime,
+        scrub_every: knobs.scrub_every,
+        watchdog_timeout: knobs.watchdog_timeout,
+        degraded_min_cores: None,
     }
 }
 
@@ -326,8 +411,10 @@ fn run_chaos_family<F: ChaosFamily>(
     vault_dir: &Path,
     keep: usize,
     runtime: MeshRuntime,
+    knobs: IntegrityKnobs,
 ) -> Result<ChaosReport, PodError> {
-    let reference = family.reference(&session_opts(checkpoint_every, FaultPlan::new(), runtime))?;
+    let reference =
+        family.reference(&session_opts(checkpoint_every, FaultPlan::new(), runtime, knobs))?;
     let vault = Vault::new(vault_dir, F::VAULT_NAMESPACE, keep).map_err(vault_resume_err)?;
     let mut report = ChaosReport::default();
     let mut latest: Option<F::Ckpt> = None;
@@ -339,7 +426,7 @@ fn run_chaos_family<F: ChaosFamily>(
             obs::recorder::bump_generation();
         }
         obs::record(obs::EventKind::SessionStart { session: i as u64 });
-        let opts = session_opts(checkpoint_every, plan.fault_plan(i), runtime);
+        let opts = session_opts(checkpoint_every, plan.fault_plan(i), runtime, knobs);
         match family.vaulted(&opts, latest.take(), &vault) {
             Ok(run) => {
                 // The scheduled kill landed beyond the end of the run —
@@ -347,8 +434,13 @@ fn run_chaos_family<F: ChaosFamily>(
                 done = Some(run);
                 break;
             }
-            Err(PodError::RestartsExhausted { .. }) | Err(PodError::Mesh(_)) => {
+            Err(PodError::RestartsExhausted { last: e, .. }) | Err(PodError::Mesh(e)) => {
                 report.crashes += 1;
+                match e {
+                    MeshError::Corrupt { .. } => report.scrub_detected += 1,
+                    MeshError::Stalled { .. } => report.stalls_detected += 1,
+                    _ => {}
+                }
                 if let Some(c) = session.corrupt {
                     if let Some(newest) = vault.generations().first() {
                         apply_corruption(&newest.path, c).map_err(|e| {
@@ -384,7 +476,7 @@ fn run_chaos_family<F: ChaosFamily>(
             obs::recorder::bump_generation();
             obs::record(obs::EventKind::SessionStart { session: plan.sessions.len() as u64 });
             family.vaulted(
-                &session_opts(checkpoint_every, FaultPlan::new(), runtime),
+                &session_opts(checkpoint_every, FaultPlan::new(), runtime, knobs),
                 latest,
                 &vault,
             )?
@@ -491,6 +583,7 @@ where
         vault_dir,
         keep,
         MeshRuntime::Threads,
+        IntegrityKnobs::default(),
     )
 }
 
@@ -506,13 +599,14 @@ pub fn run_chaos_engine_rt<S, E>(
     vault_dir: &Path,
     keep: usize,
     runtime: MeshRuntime,
+    knobs: IntegrityKnobs,
 ) -> Result<ChaosReport, PodError>
 where
     S: Scalar + RandomUniform + 'static,
     E: ScalarMeshEngine<S> + 'static,
 {
     let family = ScalarChaosFamily::<S, E> { cfg, sweeps, _engine: PhantomData };
-    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime)
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime, knobs)
 }
 
 /// [`run_chaos_engine`] at the paper's benchmark configuration: the
@@ -546,6 +640,7 @@ pub fn run_chaos_multispin(
         vault_dir,
         keep,
         MeshRuntime::Threads,
+        IntegrityKnobs::default(),
     )
 }
 
@@ -559,9 +654,10 @@ pub fn run_chaos_multispin_rt(
     vault_dir: &Path,
     keep: usize,
     runtime: MeshRuntime,
+    knobs: IntegrityKnobs,
 ) -> Result<ChaosReport, PodError> {
     let family = MultiSpinChaosFamily { cfg, sweeps };
-    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime)
+    run_chaos_family(&family, checkpoint_every, plan, vault_dir, keep, runtime, knobs)
 }
 
 #[cfg(test)]
@@ -592,7 +688,8 @@ mod tests {
         assert_ne!(a, c, "different seeds must give different schedules");
         assert_eq!(a.sessions.len(), 6);
         for s in &a.sessions {
-            assert!(s.kill_core < 4 && s.kill_at < 64);
+            let (core, at) = s.kills[0];
+            assert!(core < 4 && at < 64);
         }
     }
 
@@ -601,12 +698,10 @@ mod tests {
         let plan = ChaosPlan {
             seed: 0,
             sessions: vec![SessionFaults {
-                kill_core: 1,
-                kill_at: 5,
-                extra_kills: vec![(2, 7), (3, 9)],
+                kills: vec![(1, 5), (2, 7), (3, 9)],
                 drop: Some((0, 2, 3)),
                 delay: Some((3, 1, 1000)),
-                corrupt: None,
+                ..SessionFaults::none()
             }],
         };
         let fp = plan.fault_plan(0);
@@ -691,6 +786,166 @@ mod tests {
         assert!(report.bit_exact, "chaos diverged: {report:?}");
         assert_eq!(report.final_sweep, 6);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integrity_plans_rotate_injections_and_are_seed_deterministic() {
+        let a = ChaosPlan::generate_integrity(9, 6, 4, 6);
+        assert_eq!(a, ChaosPlan::generate_integrity(9, 6, 4, 6));
+        assert_ne!(a, ChaosPlan::generate_integrity(10, 6, 4, 6));
+        assert_eq!(a.sessions.len(), 6);
+        for (i, s) in a.sessions.iter().enumerate() {
+            assert!(s.kills.is_empty() && s.drop.is_none() && s.corrupt.is_none());
+            match i % 3 {
+                0 => {
+                    let (core, at_sweep, _, bit) = s.sdc.expect("sdc session");
+                    assert!(core < 4 && (1..=6).contains(&at_sweep) && bit < 64);
+                }
+                1 => {
+                    let (core, at, bit) = s.halo.expect("halo session");
+                    assert!(core < 4 && at < 48 && bit < 64);
+                }
+                _ => {
+                    let (core, at) = s.wedge.expect("wedge session");
+                    assert!(core < 4 && at < 48);
+                }
+            }
+        }
+    }
+
+    fn integrity_pod() -> PodConfig {
+        PodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 8,
+            per_core_w: 8,
+            tile: 2,
+            beta: 0.4,
+            seed: 99,
+            rng: PodRng::SiteKeyed,
+            backend: KernelBackend::Band,
+        }
+    }
+
+    /// One hand-placed injection of each silent kind: a lattice bit flip
+    /// in sweep 2, a halo corruption at collective 10, a wedge at
+    /// collective 5 — all guaranteed to fire within a 6-sweep run.
+    fn integrity_plan() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0,
+            sessions: vec![
+                SessionFaults { sdc: Some((1, 2, 5, 3)), ..SessionFaults::none() },
+                SessionFaults { halo: Some((2, 10, 7)), ..SessionFaults::none() },
+                SessionFaults { wedge: Some((3, 5)), ..SessionFaults::none() },
+            ],
+        }
+    }
+
+    #[test]
+    fn armed_integrity_drill_detects_every_injection_and_recovers_bit_exact() {
+        if !serde_is_real() {
+            return;
+        }
+        let dir = tmpdir("integrity-armed");
+        let report = run_chaos_engine_rt::<f32, CompactIsing<f32>>(
+            &integrity_pod(),
+            6,
+            2,
+            &integrity_plan(),
+            &dir,
+            3,
+            MeshRuntime::Threads,
+            IntegrityKnobs::armed(),
+        )
+        .expect("armed drill");
+        assert_eq!(report.crashes, 3, "every injection must end its session: {report:?}");
+        assert_eq!(report.scrub_detected, 2, "lattice flip + halo corruption: {report:?}");
+        assert_eq!(report.stalls_detected, 1, "the wedge must become a typed stall: {report:?}");
+        assert!(report.bit_exact, "armed drill diverged: {report:?}");
+        assert_eq!(report.final_sweep, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disarmed_integrity_drill_diverges_silently() {
+        if !serde_is_real() {
+            return;
+        }
+        let dir = tmpdir("integrity-disarmed");
+        let report = run_chaos_engine_rt::<f32, CompactIsing<f32>>(
+            &integrity_pod(),
+            6,
+            2,
+            &integrity_plan(),
+            &dir,
+            3,
+            MeshRuntime::Threads,
+            IntegrityKnobs::default(),
+        )
+        .expect("disarmed drill");
+        // With nobody watching, the first (SDC) session sails through with
+        // a poisoned lattice: no typed errors, no detections, and a final
+        // history that silently disagrees with the reference.
+        assert_eq!(report.scrub_detected, 0);
+        assert_eq!(report.stalls_detected, 0);
+        assert!(!report.bit_exact, "undetected corruption must diverge: {report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multispin_armed_integrity_drill_recovers_bit_exact() {
+        if !serde_is_real() {
+            return;
+        }
+        let dir = tmpdir("integrity-multispin");
+        let cfg = MultiSpinPodConfig {
+            torus: Torus::new(2, 2),
+            per_core_h: 4,
+            per_core_w: 4,
+            beta: 0.4,
+            seed: 21,
+        };
+        let report = run_chaos_multispin_rt(
+            &cfg,
+            6,
+            2,
+            &integrity_plan(),
+            &dir,
+            3,
+            MeshRuntime::Threads,
+            IntegrityKnobs::armed(),
+        )
+        .expect("multispin armed drill");
+        assert_eq!(report.crashes, 3, "every injection must end its session: {report:?}");
+        assert_eq!(report.scrub_detected, 2, "{report:?}");
+        assert_eq!(report.stalls_detected, 1, "{report:?}");
+        assert!(report.bit_exact, "multispin armed drill diverged: {report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// The mass-kill generator's contract: every session schedules
+        /// exactly ⌈F·cores⌉ *distinct* victims for any F ∈ [0, 1], and
+        /// the whole plan is a pure function of the seed.
+        #[test]
+        fn mass_kill_fraction_contract(
+            seed in proptest::prelude::any::<u64>(),
+            cores in 1usize..=256,
+            fraction in 0.0f64..=1.0,
+        ) {
+            let expected = ((cores as f64 * fraction).ceil() as usize).min(cores);
+            let plan = ChaosPlan::generate_mass_kill(seed, 2, cores, 16, fraction);
+            for s in &plan.sessions {
+                proptest::prop_assert_eq!(s.kills.len(), expected);
+                let mut victims: Vec<usize> = s.kills().map(|(c, _)| c).collect();
+                victims.sort_unstable();
+                victims.dedup();
+                proptest::prop_assert_eq!(victims.len(), expected, "victims must be distinct");
+            }
+            let again = ChaosPlan::generate_mass_kill(seed, 2, cores, 16, fraction);
+            proptest::prop_assert_eq!(&plan, &again);
+        }
     }
 
     #[test]

@@ -176,6 +176,28 @@ impl<S: Scalar + RandomUniform> CompactIsing<S> {
         self.backend = backend;
     }
 
+    /// Negate the spin at linear site `site % (height·width)` of the
+    /// interleaved local lattice — the chaos drill's silent-corruption
+    /// injection. The flipped spin is a legal value, so only the
+    /// integrity scrubber can tell. Site `(r, c)` lives in quadrant
+    /// `σ̂(r%2)(c%2)` at quarter coordinates `(r/2, c/2)`.
+    pub(crate) fn flip_spin(&mut self, site: usize) {
+        let [m, n, t, _] = self.q00.shape();
+        let (qh, qw) = (m * t, n * t);
+        let (h, w) = (2 * qh, 2 * qw);
+        let site = site % (h * w);
+        let (r, c) = (site / w, site % w);
+        let q = match (r % 2, c % 2) {
+            (0, 0) => &mut self.q00,
+            (0, 1) => &mut self.q01,
+            (1, 0) => &mut self.q10,
+            _ => &mut self.q11,
+        };
+        let (qr, qc) = (r / 2, c / 2);
+        let v = q.get(qr / t, qc / t, qr % t, qc % t);
+        q.set(qr / t, qc / t, qr % t, qc % t, S::from_f32(-v.to_f32()));
+    }
+
     /// Reassemble the full local lattice.
     pub fn to_plane(&self) -> Plane<S> {
         Plane::interleave(&[

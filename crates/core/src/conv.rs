@@ -85,6 +85,17 @@ impl<S: Scalar + RandomUniform> ConvIsing<S> {
         &self.plane
     }
 
+    /// Negate the spin at linear site `site % (height·width)` — the
+    /// chaos drill's silent-corruption injection. The flipped spin is a
+    /// legal value, so only the integrity scrubber can tell.
+    pub(crate) fn flip_spin(&mut self, site: usize) {
+        let (h, w) = (self.plane.height(), self.plane.width());
+        let site = site % (h * w);
+        let (r, c) = (site / w, site % w);
+        let v = self.plane.get(r, c);
+        self.plane.set(r, c, S::from_f32(-v.to_f32()));
+    }
+
     /// Inverse temperature.
     pub fn beta(&self) -> f64 {
         self.beta

@@ -585,8 +585,41 @@ pub(crate) async fn drive_mesh_core<E: MeshCore, H: Collectives<Vec<E::Elem>>>(
 ) -> Result<Vec<E::Obs>, MeshError> {
     let start = sim.sweep_index();
     let mut history: Vec<E::Obs> = Vec::with_capacity((total - start) as usize);
+    let scrub_every = handle.mesh_config().scrub_every;
+    let attempt = handle.mesh_config().attempt;
+    // Scrubber protocol: fold a digest at the cadence (and at the start),
+    // cross-check it at the top of the *next* sweep — before the lattice
+    // legitimately changes again — so any bit that flipped in between is
+    // caught before it can poison an update or land in a checkpoint.
+    let mut expected: Option<u32> = scrub_every.map(|_| sim.state_digest());
     for s in (start + 1)..=total {
         obs::recorder::set_sweep(s);
+        // SDC injection point: flip one unit of lattice state *between*
+        // sweeps, exactly where a real silent corruption would land.
+        if let Some((word, bit)) = handle.mesh_config().faults.lattice_flip_for(core_id, s, attempt)
+        {
+            if obs::is_metrics() {
+                obs::metrics().counter("mesh_faults_injected_total").inc(1);
+            }
+            sim.flip_lattice_bit(word as usize, bit);
+        }
+        if let Some(expect) = expected.take() {
+            let found = sim.state_digest();
+            if found != expect {
+                obs::record(obs::EventKind::ScrubMismatch {
+                    expect: expect as u64,
+                    found: found as u64,
+                });
+                if obs::is_metrics() {
+                    obs::metrics().counter("scrub_mismatches_total").inc(1);
+                }
+                return Err(MeshError::Corrupt {
+                    core: core_id,
+                    sweep: s - 1,
+                    what: "lattice digest",
+                });
+            }
+        }
         obs::record(obs::EventKind::SweepBoundary);
         for color in [Color::Black, Color::White] {
             // Wrapper spans (kind-less): the kinded leaves inside them
@@ -603,8 +636,17 @@ pub(crate) async fn drive_mesh_core<E: MeshCore, H: Collectives<Vec<E::Elem>>>(
         }
         sim.advance_sweep();
         history.push(sim.observe_window());
-        if let (Some(every), Some(store)) = (checkpoint_every, store) {
-            if s % every as u64 == 0 || s == total {
+        let checkpointing = matches!(checkpoint_every, Some(every) if s % every as u64 == 0)
+            || (checkpoint_every.is_some() && s == total);
+        if let Some(every) = scrub_every {
+            // Fold at the cadence and at every checkpoint sweep, so a
+            // snapshot is always written from digest-verified state.
+            if s % every == 0 || s == total || checkpointing {
+                expected = Some(sim.state_digest());
+            }
+        }
+        if checkpointing {
+            if let Some(store) = store {
                 store.record(s, core_id, sim.snapshot(tile_hint), history.clone());
                 obs::record(obs::EventKind::CheckpointRecorded);
             }
@@ -714,23 +756,71 @@ impl<S: Scalar + RandomUniform, E: ScalarMeshEngine<S>> CoreProgram<Vec<S>>
 /// back for assembly (fixed receiver-slot order, see
 /// [`MeshCore::halo_exchange_spec`]). Halo traffic lands in the shared
 /// `halo_bytes_total` metric.
+/// When the scrubber is armed, each halo payload carries a 4-element CRC-32
+/// trailer (one byte per element — exact even in bf16) that the receiver
+/// strips and verifies, so a bit flipped on the wire surfaces as a typed
+/// [`MeshError::Corrupt`] instead of a silently poisoned boundary.
 pub(crate) async fn exchange_engine_halos<E: MeshCore, H: Collectives<Vec<E::Elem>>>(
     sim: &E,
     handle: &mut H,
     color: Color,
 ) -> Result<E::Halos, MeshError> {
-    let [spec0, spec1, spec2, spec3] = sim.halo_exchange_spec(color);
+    let specs = sim.halo_exchange_spec(color);
     if obs::is_metrics() {
-        let elems = spec0.0.len() + spec1.0.len() + spec2.0.len() + spec3.0.len();
+        let elems: usize = specs.iter().map(|s| s.0.len()).sum();
         obs::metrics()
             .counter("halo_bytes_total")
             .inc((elems * std::mem::size_of::<E::Elem>()) as u64);
     }
-    let r0 = handle.shift(spec0.0, spec0.1).await?;
-    let r1 = handle.shift(spec1.0, spec1.1).await?;
-    let r2 = handle.shift(spec2.0, spec2.1).await?;
-    let r3 = handle.shift(spec3.0, spec3.1).await?;
-    Ok(sim.assemble_halos(color, [r0, r1, r2, r3]))
+    let armed = handle.mesh_config().scrub_every.is_some();
+    let attempt = handle.mesh_config().attempt;
+    let core = handle.id();
+    // `sweep_index` counts *completed* sweeps; this exchange belongs to
+    // the one in progress.
+    let sweep = sim.sweep_index() + 1;
+    let mut received: [Vec<E::Elem>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for (slot, (mut payload, dir)) in specs.into_iter().enumerate() {
+        if armed {
+            let crc = !E::fold_elems(0xFFFF_FFFF, &payload);
+            payload.extend_from_slice(&E::encode_crc(crc));
+        }
+        let seq = handle.next_collective();
+        // Wire-corruption injection: flip a payload bit *after* the
+        // checksum trailer is attached, modeling a link error.
+        if let Some(bit) = handle.mesh_config().faults.halo_corrupt_for(core, seq, attempt) {
+            if let Some(first) = payload.first_mut() {
+                if obs::is_metrics() {
+                    obs::metrics().counter("mesh_faults_injected_total").inc(1);
+                }
+                E::flip_elem_bit(first, bit);
+            }
+        }
+        let mut got = handle.shift(payload, dir).await?;
+        if armed {
+            if got.len() < 4 {
+                return Err(MeshError::Protocol {
+                    core,
+                    msg: format!("halo payload too short for checksum trailer: {}", got.len()),
+                });
+            }
+            let trailer = got.split_off(got.len() - 4);
+            let expect = E::decode_crc(&trailer);
+            let found = !E::fold_elems(0xFFFF_FFFF, &got);
+            if found != expect {
+                obs::record(obs::EventKind::HaloChecksumFail {
+                    collective: seq,
+                    expect: expect as u64,
+                    found: found as u64,
+                });
+                if obs::is_metrics() {
+                    obs::metrics().counter("halo_checksum_failures_total").inc(1);
+                }
+                return Err(MeshError::Corrupt { core, sweep, what: "halo checksum" });
+            }
+        }
+        received[slot] = got;
+    }
+    Ok(sim.assemble_halos(color, received))
 }
 
 /// Assemble a [`PodCheckpoint`] from a complete store row, appending the
@@ -764,6 +854,12 @@ fn assemble_checkpoint(
     }
 }
 
+/// The recommended production scrubber cadence, in sweeps. Chosen so the
+/// full-lattice CRC-32 digest amortizes to well under the 5% throughput
+/// budget (the perfbase binary measures and gates this); integrity drills
+/// scrub every sweep instead to catch injections at first opportunity.
+pub const DEFAULT_SCRUB_CADENCE: u64 = 16;
+
 /// Knobs for [`run_pod_resilient`].
 #[derive(Clone, Debug)]
 pub struct ResilienceOpts {
@@ -783,6 +879,23 @@ pub struct ResilienceOpts {
     /// the work-stealing cooperative scheduler, or auto-selection by
     /// topology size vs host parallelism.
     pub runtime: MeshRuntime,
+    /// Integrity scrubber cadence in sweeps (`None`: disarmed). When
+    /// armed, every core folds a CRC-32 over its lattice at this cadence
+    /// and cross-checks it a sweep later, and halo payloads carry wire
+    /// checksums; any mismatch surfaces as [`MeshError::Corrupt`] and
+    /// feeds the tiered recovery ladder. Production runs should start
+    /// from [`DEFAULT_SCRUB_CADENCE`]; drills scrub every sweep.
+    pub scrub_every: Option<u64>,
+    /// Liveness watchdog deadline (`None`: disarmed). A core making no
+    /// progress within this window is declared [`MeshError::Stalled`] —
+    /// wall-clock on the thread mesh, virtual-clock on the cooperative
+    /// runtime.
+    pub watchdog_timeout: Option<Duration>,
+    /// Degraded continuation (`None`: disarmed). When the restart budget
+    /// is exhausted, remap onto the largest strictly smaller torus that
+    /// still covers the global lattice with at least this many cores and
+    /// continue from the latest snapshot instead of failing.
+    pub degraded_min_cores: Option<usize>,
 }
 
 impl Default for ResilienceOpts {
@@ -794,6 +907,9 @@ impl Default for ResilienceOpts {
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
             runtime: MeshRuntime::Threads,
+            scrub_every: None,
+            watchdog_timeout: None,
+            degraded_min_cores: None,
         }
     }
 }
@@ -810,6 +926,9 @@ pub struct ResilientPodRun<S> {
     pub faults_seen: Vec<MeshError>,
     /// The final pod snapshot (at `sweeps`), ready to persist.
     pub final_checkpoint: PodCheckpoint,
+    /// The survivor torus the run degraded onto after exhausting its
+    /// restart budget, if it did (`None`: full topology throughout).
+    pub degraded_to: Option<Torus>,
 }
 
 /// Drive a pod run to completion through failures: on a mesh error, resume
@@ -897,6 +1016,16 @@ pub(crate) trait RestartFamily: Clone + Send + Sync + 'static {
     /// Cores on the torus.
     fn cores(&self) -> usize;
 
+    /// The torus this family currently runs on.
+    fn torus(&self) -> Torus;
+
+    /// This family remapped onto the largest valid torus with at most
+    /// `max_cores` cores over the same global lattice — the degraded-
+    /// continuation step. `None` when no strictly smaller topology can
+    /// continue bit-exactly (bulk-split RNG carries per-core stream
+    /// state; some lattices admit no smaller valid sharding).
+    fn degrade(&self, max_cores: usize) -> Option<Self>;
+
     /// Assemble a pod-level checkpoint from a complete store row,
     /// appending the row's history to `base`'s.
     fn assemble(
@@ -926,6 +1055,7 @@ pub(crate) struct FamilyRun<F: RestartFamily> {
     pub restarts: usize,
     pub faults_seen: Vec<MeshError>,
     pub final_checkpoint: F::Ckpt,
+    pub degraded_to: Option<Torus>,
 }
 
 /// The one restart loop every deployment shape shares: run an attempt; on
@@ -940,9 +1070,15 @@ pub(crate) fn run_resilient_family<F: RestartFamily>(
     vault: Option<&Vault>,
 ) -> Result<FamilyRun<F>, PodError> {
     assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
+    let mut family = family.clone();
     let mut latest = resume;
     let mut faults_seen: Vec<MeshError> = Vec::new();
     let mut restarts = 0usize;
+    // `attempt` gates the fault plan and never resets: a degraded
+    // continuation zeroes the restart *budget* but must not replay the
+    // faults already absorbed by earlier attempts.
+    let mut attempt = 0usize;
+    let mut degraded_to: Option<Torus> = None;
     loop {
         let _attempt_span = obs::span!("pod_attempt");
         let store = match vault {
@@ -967,9 +1103,11 @@ pub(crate) fn run_resilient_family<F: RestartFamily>(
         let mesh = MeshConfig {
             recv_timeout: opts.recv_timeout,
             faults: opts.faults.clone(),
-            attempt: restarts,
+            attempt,
             retry: opts.retry,
             runtime: opts.runtime,
+            scrub_every: opts.scrub_every,
+            watchdog_timeout: opts.watchdog_timeout,
         };
         match family.attempt(latest.as_ref(), opts.checkpoint_every, mesh, &store) {
             Ok(output) => {
@@ -980,7 +1118,13 @@ pub(crate) fn run_resilient_family<F: RestartFamily>(
                     .ok_or_else(|| {
                         PodError::Resume("completed run produced no checkpoint".into())
                     })?;
-                return Ok(FamilyRun { output, restarts, faults_seen, final_checkpoint });
+                return Ok(FamilyRun {
+                    output,
+                    restarts,
+                    faults_seen,
+                    final_checkpoint,
+                    degraded_to,
+                });
             }
             Err(PodError::Mesh(e)) => {
                 if obs::is_metrics() {
@@ -990,12 +1134,43 @@ pub(crate) fn run_resilient_family<F: RestartFamily>(
                 obs::recorder::dump_postmortem("mesh-fault");
                 faults_seen.push(e.clone());
                 if restarts >= opts.max_restarts {
+                    // Adopt whatever complete snapshot the failed attempt
+                    // left behind before deciding how to end.
+                    if let Some((s, rows)) = store.latest_complete() {
+                        latest = Some(family.assemble(latest.as_ref(), s, rows));
+                    }
+                    // Degraded continuation: give up on the full topology
+                    // and remap onto the largest survivor torus the knob
+                    // still allows, continuing from the latest snapshot.
+                    let survivor = opts.degraded_min_cores.and_then(|min| {
+                        family
+                            .degrade(family.cores().saturating_sub(1))
+                            .filter(|f| f.cores() >= min)
+                    });
+                    if let Some(smaller) = survivor {
+                        let (from, to) = (family.cores(), smaller.cores());
+                        obs::record(obs::EventKind::DegradedContinue {
+                            from_cores: from as u64,
+                            to_cores: to as u64,
+                        });
+                        if obs::is_metrics() {
+                            obs::metrics().counter("pod_degraded_continues_total").inc(1);
+                        }
+                        obs::recorder::dump_postmortem("degraded-continue");
+                        obs::recorder::bump_generation();
+                        degraded_to = Some(smaller.torus());
+                        family = smaller;
+                        restarts = 0;
+                        attempt += 1;
+                        continue;
+                    }
                     if obs::is_metrics() {
                         obs::metrics().counter("recovery_tier_exhausted_total").inc(1);
                     }
                     return Err(PodError::RestartsExhausted { restarts, last: e });
                 }
                 restarts += 1;
+                attempt += 1;
                 if obs::is_metrics() {
                     obs::metrics().counter("pod_restarts_total").inc(1);
                     obs::metrics().counter("recovery_tier_restart_total").inc(1);
@@ -1043,6 +1218,50 @@ where
 
     fn cores(&self) -> usize {
         self.cfg.torus.cores()
+    }
+
+    fn torus(&self) -> Torus {
+        self.cfg.torus
+    }
+
+    fn degrade(&self, max_cores: usize) -> Option<Self> {
+        // Only the stateless site-keyed stream continues exactly on a
+        // different sharding; bulk-split streams are per-core state.
+        if self.cfg.rng != PodRng::SiteKeyed {
+            return None;
+        }
+        let (gh, gw) = (self.cfg.global_h(), self.cfg.global_w());
+        // Per-core windows must stay divisible by 2·tile (compact
+        // quadrants of whole tiles; even offsets keep parity global).
+        let unit = 2 * self.cfg.tile;
+        let mut best: Option<Torus> = None;
+        for nx in 1..=max_cores {
+            if gh % nx != 0 || (gh / nx) % unit != 0 {
+                continue;
+            }
+            for ny in 1..=max_cores / nx {
+                if gw % ny != 0 || (gw / ny) % unit != 0 {
+                    continue;
+                }
+                let cand = Torus::new(nx, ny);
+                // Only strictly smaller pods count as "degraded".
+                if cand.cores() >= self.cfg.torus.cores() {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        cand.cores() > b.cores() || (cand.cores() == b.cores() && cand.nx < b.nx)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let t = best?;
+        let cfg = PodConfig { torus: t, per_core_h: gh / t.nx, per_core_w: gw / t.ny, ..self.cfg };
+        Some(ScalarPodFamily { cfg, sweeps: self.sweeps, _marker: PhantomData })
     }
 
     fn assemble(
@@ -1093,6 +1312,7 @@ where
         restarts: run.restarts,
         faults_seen: run.faults_seen,
         final_checkpoint: run.final_checkpoint,
+        degraded_to: run.degraded_to,
     })
 }
 
@@ -1140,6 +1360,7 @@ mod tests {
             faults,
             retry: RetryPolicy::none(),
             runtime: MeshRuntime::Threads,
+            ..ResilienceOpts::default()
         }
     }
 
@@ -1403,6 +1624,146 @@ mod tests {
             PodError::Resume(msg) => assert!(msg.contains("bulk-split")),
             other => panic!("expected PodError::Resume, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degrade_picks_the_largest_survivor_torus() {
+        let fam = ScalarPodFamily::<f32, CompactIsing<f32>> {
+            cfg: site_keyed_cfg(2, 2, 8, 8, 1),
+            sweeps: 4,
+            _marker: PhantomData,
+        };
+        // Global 16×16, tile 2: with at most 3 cores the best survivor is
+        // 2 cores, and the nx < ny tie-break picks 1×2 over 2×1.
+        let d = fam.degrade(3).expect("a survivor torus exists");
+        assert_eq!(d.torus(), Torus::new(1, 2));
+        assert_eq!((d.cfg.per_core_h, d.cfg.per_core_w), (16, 8));
+        // The survivor must be strictly smaller than the current torus.
+        assert!(fam.degrade(4).is_some_and(|d| d.torus().cores() < 4));
+        assert!(fam.degrade(0).is_none(), "no zero-core pods");
+        // Only the site-keyed stream survives resharding.
+        let mut bulk = fam.clone();
+        bulk.cfg.rng = PodRng::BulkSplit;
+        assert!(bulk.degrade(3).is_none(), "bulk-split streams cannot degrade");
+        // A single-core pod has nowhere smaller to go.
+        let solo = ScalarPodFamily::<f32, CompactIsing<f32>> {
+            cfg: site_keyed_cfg(1, 1, 16, 16, 1),
+            sweeps: 4,
+            _marker: PhantomData,
+        };
+        assert!(solo.degrade(1).is_none());
+    }
+
+    #[test]
+    fn degraded_continuation_is_bit_exact_on_the_survivor_torus() {
+        // Core 3 dies on both budgeted attempts; instead of giving up, the
+        // driver remaps the 2×2 pod onto the 1×2 survivor torus and
+        // finishes from the latest snapshot — ending bit-identical to the
+        // uninterrupted single-core trajectory AND to a clean from-scratch
+        // run at the survivor topology.
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 4242);
+        let sweeps = 6;
+        let faults = FaultPlan::new().kill_on_attempt(3, 30, 0).kill_on_attempt(3, 30, 1);
+        let mut opts = fast_resilience(2, faults);
+        opts.max_restarts = 1;
+        opts.degraded_min_cores = Some(2);
+        let run = run_pod_resilient::<f32>(&cfg, sweeps, &opts, None)
+            .expect("degraded continuation must survive budget exhaustion");
+        assert_eq!(run.degraded_to, Some(Torus::new(1, 2)), "must remap onto the survivor");
+        assert_eq!(run.faults_seen.len(), 2);
+        assert_eq!(run.result.final_plane, single_core_trajectory(&cfg, sweeps));
+        assert_eq!(run.result.magnetization_sums.len(), sweeps);
+        let survivor_cfg = site_keyed_cfg(1, 2, 16, 8, 4242);
+        let clean = run_pod_resilient::<f32>(
+            &survivor_cfg,
+            sweeps,
+            &fast_resilience(2, FaultPlan::new()),
+            None,
+        )
+        .expect("clean survivor-topology run");
+        assert_eq!(run.result.final_plane, clean.result.final_plane);
+        assert_eq!(run.result.magnetization_sums, clean.result.magnetization_sums);
+        assert_eq!(run.final_checkpoint.sweep_index, sweeps as u64);
+    }
+
+    #[test]
+    fn degraded_continuation_respects_the_min_cores_floor() {
+        // Same exhaustion, but the floor forbids anything below 4 cores:
+        // the driver must fall through to RestartsExhausted.
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 4242);
+        let faults = FaultPlan::new().kill_on_attempt(3, 30, 0).kill_on_attempt(3, 30, 1);
+        let mut opts = fast_resilience(2, faults);
+        opts.max_restarts = 1;
+        opts.degraded_min_cores = Some(4);
+        let err = run_pod_resilient::<f32>(&cfg, 6, &opts, None)
+            .expect_err("no survivor torus satisfies the floor");
+        assert!(matches!(err, PodError::RestartsExhausted { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn armed_watchdog_turns_a_wedge_into_a_typed_stall() {
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 7);
+        let mut opts = fast_resilience(2, FaultPlan::new().wedge(3, 10));
+        opts.max_restarts = 0;
+        opts.watchdog_timeout = Some(Duration::from_millis(50));
+        let err = run_pod_resilient::<f32>(&cfg, 6, &opts, None).expect_err("wedged");
+        match err {
+            PodError::RestartsExhausted {
+                last: MeshError::Stalled { core, stalled_ms, .. },
+                ..
+            } => {
+                assert_eq!(core, 3, "the watchdog must name the wedged core");
+                assert!(stalled_ms >= 50);
+            }
+            other => panic!("expected a typed stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disarmed_wedge_surfaces_as_a_peer_timeout_and_restart_recovers() {
+        // Without the watchdog the wedged core just hangs; its neighbors'
+        // receive timeouts fire instead, and the ordinary restart tier
+        // still recovers the run bit-exactly.
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 7);
+        let mut opts = fast_resilience(2, FaultPlan::new().wedge(3, 10));
+        opts.recv_timeout = Duration::from_millis(150);
+        let run = run_pod_resilient::<f32>(&cfg, 6, &opts, None).expect("restart recovers");
+        assert!(run.restarts >= 1);
+        assert!(
+            run.faults_seen
+                .iter()
+                .any(|e| matches!(e, MeshError::RecvTimeout { .. } | MeshError::PeerGone { .. })),
+            "a disarmed wedge must surface as an untyped peer failure: {:?}",
+            run.faults_seen
+        );
+        assert_eq!(run.result.final_plane, single_core_trajectory(&cfg, 6));
+    }
+
+    #[test]
+    fn armed_scrubber_is_invisible_on_a_clean_run() {
+        // Arming the lattice digests + halo checksums on a fault-free run
+        // must not change a single bit of the trajectory — for f32 and for
+        // the Bf16 wire format the CRC trailer rides on.
+        let cfg = site_keyed_cfg(2, 2, 8, 8, 4242);
+        let mut armed = fast_resilience(2, FaultPlan::new());
+        armed.scrub_every = Some(1);
+        armed.watchdog_timeout = Some(Duration::from_millis(500));
+        let run = run_pod_resilient::<f32>(&cfg, 6, &armed, None).expect("armed clean run");
+        assert_eq!(run.restarts, 0, "no false positives: {:?}", run.faults_seen);
+        assert_eq!(run.result.final_plane, single_core_trajectory(&cfg, 6));
+
+        let bf = run_pod_resilient::<tpu_ising_bf16::Bf16>(&cfg, 6, &armed, None)
+            .expect("armed bf16 clean run");
+        let bf_plain = run_pod_resilient::<tpu_ising_bf16::Bf16>(
+            &cfg,
+            6,
+            &fast_resilience(2, FaultPlan::new()),
+            None,
+        )
+        .expect("disarmed bf16 clean run");
+        assert_eq!(bf.restarts, 0);
+        assert_eq!(bf.result.final_plane, bf_plain.result.final_plane);
+        assert_eq!(bf.result.magnetization_sums, bf_plain.result.magnetization_sums);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::multispin::{MultiSpinCheckpoint, MultiSpinIsing, PackedHalos, REPLICA
 use crate::naive::NaiveIsing;
 use crate::prob::{Randomness, RngState};
 use crate::sampler::Sweeper;
+use crate::vault;
 use crate::wolff::WolffIsing;
 use tpu_ising_bf16::{Bf16, Scalar};
 use tpu_ising_device::mesh::Dir;
@@ -755,6 +756,76 @@ pub trait MeshCore: Send + Sync {
     /// Snapshot the core. `tile_hint` is the pod-level tile knob for
     /// engines that don't track one themselves (conv).
     fn snapshot(&self, tile_hint: usize) -> Self::Ckpt;
+
+    // --- integrity: scrubbing and wire checksums ----------------------
+
+    /// CRC-32 digest over the core's full lattice state. Two engines
+    /// holding the same spins — regardless of internal layout — return
+    /// the same digest, so the scrubber can verify it across snapshot /
+    /// resume boundaries.
+    fn state_digest(&self) -> u32;
+
+    /// Flip one unit of lattice state in place — the silent-data-
+    /// corruption injection. Packed engines flip bit `bit % 64` of word
+    /// `word % words`; scalar engines negate the spin at linear site
+    /// `word % sites` (a *legal* spin value, so nothing downstream
+    /// faults — only the digest can tell).
+    fn flip_lattice_bit(&mut self, word: usize, bit: u8);
+
+    /// Fold halo wire elements into an in-flight CRC-32 state (start
+    /// from `0xFFFF_FFFF`, invert to finish).
+    fn fold_elems(state: u32, elems: &[Self::Elem]) -> u32;
+
+    /// Encode a finished CRC-32 as a 4-element wire trailer, one byte
+    /// per element. Scalar engines carry each byte as an exact small
+    /// float (0..=255 round-trips through bf16), so the trailer needs
+    /// no side channel next to the payload.
+    fn encode_crc(crc: u32) -> [Self::Elem; 4];
+
+    /// Decode a trailer produced by [`encode_crc`](Self::encode_crc).
+    fn decode_crc(trailer: &[Self::Elem]) -> u32;
+
+    /// Corrupt one wire element in place — the halo-corruption
+    /// injection. Packed engines flip a real bit; scalar engines negate
+    /// the element.
+    fn flip_elem_bit(e: &mut Self::Elem, bit: u8);
+}
+
+/// CRC-32 over a plane's spins in row-major order, folding each
+/// element's f32 bit pattern. Layout-independent: every scalar engine
+/// digests through its plane view, so naive/conv/compact windows over
+/// the same spins agree.
+pub(crate) fn plane_digest<S: Scalar>(p: &Plane<S>) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    for r in 0..p.height() {
+        for c in 0..p.width() {
+            state = vault::crc32_update(state, &p.get(r, c).to_f32().to_bits().to_le_bytes());
+        }
+    }
+    !state
+}
+
+fn scalar_fold_elems<S: Scalar>(mut state: u32, elems: &[S]) -> u32 {
+    for e in elems {
+        state = vault::crc32_update(state, &e.to_f32().to_bits().to_le_bytes());
+    }
+    state
+}
+
+fn scalar_encode_crc<S: Scalar>(crc: u32) -> [S; 4] {
+    crc.to_le_bytes().map(|b| S::from_f32(b as f32))
+}
+
+fn scalar_decode_crc<S: Scalar>(trailer: &[S]) -> u32 {
+    let mut bytes = [0u8; 4];
+    for (slot, e) in bytes.iter_mut().zip(trailer) {
+        *slot = e.to_f32() as u8;
+    }
+    u32::from_le_bytes(bytes)
+}
+
+fn scalar_flip_elem<S: Scalar>(e: &mut S) {
+    *e = S::from_f32(-e.to_f32());
 }
 
 /// A scalar checkerboard engine that can serve as a pod core: a
@@ -818,6 +889,30 @@ impl<S: Scalar + RandomUniform> MeshCore for CompactIsing<S> {
 
     fn snapshot(&self, _tile_hint: usize) -> Checkpoint {
         checkpoint::checkpoint(self)
+    }
+
+    fn state_digest(&self) -> u32 {
+        plane_digest(&CompactIsing::to_plane(self))
+    }
+
+    fn flip_lattice_bit(&mut self, word: usize, _bit: u8) {
+        self.flip_spin(word);
+    }
+
+    fn fold_elems(state: u32, elems: &[S]) -> u32 {
+        scalar_fold_elems(state, elems)
+    }
+
+    fn encode_crc(crc: u32) -> [S; 4] {
+        scalar_encode_crc(crc)
+    }
+
+    fn decode_crc(trailer: &[S]) -> u32 {
+        scalar_decode_crc(trailer)
+    }
+
+    fn flip_elem_bit(e: &mut S, _bit: u8) {
+        scalar_flip_elem(e);
     }
 }
 
@@ -887,6 +982,30 @@ impl<S: Scalar + RandomUniform> MeshCore for NaiveIsing<S> {
             self.backend(),
         )
     }
+
+    fn state_digest(&self) -> u32 {
+        plane_digest(&NaiveIsing::to_plane(self))
+    }
+
+    fn flip_lattice_bit(&mut self, word: usize, _bit: u8) {
+        self.flip_spin(word);
+    }
+
+    fn fold_elems(state: u32, elems: &[S]) -> u32 {
+        scalar_fold_elems(state, elems)
+    }
+
+    fn encode_crc(crc: u32) -> [S; 4] {
+        scalar_encode_crc(crc)
+    }
+
+    fn decode_crc(trailer: &[S]) -> u32 {
+        scalar_decode_crc(trailer)
+    }
+
+    fn flip_elem_bit(e: &mut S, _bit: u8) {
+        scalar_flip_elem(e);
+    }
 }
 
 impl<S: Scalar + RandomUniform> ScalarMeshEngine<S> for NaiveIsing<S> {
@@ -955,6 +1074,30 @@ impl<S: Scalar + RandomUniform> MeshCore for ConvIsing<S> {
             self.backend(),
         )
     }
+
+    fn state_digest(&self) -> u32 {
+        plane_digest(self.plane())
+    }
+
+    fn flip_lattice_bit(&mut self, word: usize, _bit: u8) {
+        self.flip_spin(word);
+    }
+
+    fn fold_elems(state: u32, elems: &[S]) -> u32 {
+        scalar_fold_elems(state, elems)
+    }
+
+    fn encode_crc(crc: u32) -> [S; 4] {
+        scalar_encode_crc(crc)
+    }
+
+    fn decode_crc(trailer: &[S]) -> u32 {
+        scalar_decode_crc(trailer)
+    }
+
+    fn flip_elem_bit(e: &mut S, _bit: u8) {
+        scalar_flip_elem(e);
+    }
 }
 
 impl<S: Scalar + RandomUniform> ScalarMeshEngine<S> for ConvIsing<S> {
@@ -1014,6 +1157,37 @@ impl MeshCore for MultiSpinIsing {
 
     fn snapshot(&self, _tile_hint: usize) -> MultiSpinCheckpoint {
         MultiSpinIsing::checkpoint(self)
+    }
+
+    fn state_digest(&self) -> u32 {
+        MultiSpinIsing::state_digest(self)
+    }
+
+    fn flip_lattice_bit(&mut self, word: usize, bit: u8) {
+        self.corrupt_word(word, bit);
+    }
+
+    fn fold_elems(mut state: u32, elems: &[u64]) -> u32 {
+        for w in elems {
+            state = vault::crc32_update(state, &w.to_le_bytes());
+        }
+        state
+    }
+
+    fn encode_crc(crc: u32) -> [u64; 4] {
+        crc.to_le_bytes().map(|b| b as u64)
+    }
+
+    fn decode_crc(trailer: &[u64]) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (slot, w) in bytes.iter_mut().zip(trailer) {
+            *slot = *w as u8;
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    fn flip_elem_bit(e: &mut u64, bit: u8) {
+        *e ^= 1 << (bit % 64);
     }
 }
 

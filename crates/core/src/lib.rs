@@ -61,7 +61,7 @@ pub mod wolff;
 
 pub use chaos::{
     run_chaos_engine, run_chaos_engine_rt, run_chaos_multispin, run_chaos_multispin_rt,
-    run_chaos_pod, ChaosPlan, ChaosReport, SessionFaults, VaultCorruption,
+    run_chaos_pod, ChaosPlan, ChaosReport, IntegrityKnobs, SessionFaults, VaultCorruption,
 };
 pub use checkpoint::Checkpoint;
 pub use compact::{ColorHalos, CompactIsing};
@@ -70,7 +70,7 @@ pub use coupling::{Couplings, HeterogeneousIsing};
 pub use distributed::{
     run_pod, run_pod_resilient, run_pod_vaulted, run_pod_with_opts, CheckpointStore, PodCheckpoint,
     PodConfig, PodError, PodResult, PodRng, PodRunOpts, ResilienceOpts, ResilientPodRun,
-    POD_VAULT_KIND,
+    DEFAULT_SCRUB_CADENCE, POD_VAULT_KIND,
 };
 pub use engine::{
     build_engine, restore_engine, with_scalar_engine, Algo, BackendKind, Dtype, Engine, EngineCaps,

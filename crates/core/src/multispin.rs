@@ -660,6 +660,32 @@ impl MultiSpinIsing {
         out
     }
 
+    /// CRC-32 digest over the packed planes (black words then white) —
+    /// what the integrity scrubber folds at its cadence and cross-checks
+    /// a sweep later to catch silent corruption.
+    pub fn state_digest(&self) -> u32 {
+        let mut state = 0xFFFF_FFFFu32;
+        for w in self.black.iter().chain(self.white.iter()) {
+            state = crate::vault::crc32_update(state, &w.to_le_bytes());
+        }
+        !state
+    }
+
+    /// Flip bit `bit % 64` of packed word `word % words` — the chaos
+    /// drill's silent-corruption injection. Flips one spin of one
+    /// replica; every downstream sweep is poisoned but nothing faults.
+    pub(crate) fn corrupt_word(&mut self, word: usize, bit: u8) {
+        let total = self.black.len() + self.white.len();
+        let idx = word % total;
+        let mask = 1u64 << (bit % 64);
+        if idx < self.black.len() {
+            self.black[idx] ^= mask;
+        } else {
+            let i = idx - self.black.len();
+            self.white[i] ^= mask;
+        }
+    }
+
     /// Snapshot this window.
     pub fn checkpoint(&self) -> MultiSpinCheckpoint {
         MultiSpinCheckpoint {
@@ -1255,6 +1281,9 @@ pub struct ResilientMultiSpinRun {
     pub faults_seen: Vec<MeshError>,
     /// The final pod snapshot (at `sweeps`), ready to persist.
     pub final_checkpoint: MultiSpinPodCheckpoint,
+    /// The survivor torus the run degraded onto after exhausting its
+    /// restart budget, if it did (`None`: full topology throughout).
+    pub degraded_to: Option<Torus>,
 }
 
 /// Drive a multi-spin pod run to completion through failures, restarting
@@ -1306,6 +1335,49 @@ impl crate::distributed::RestartFamily for MultiSpinFamily {
         self.cfg.torus.cores()
     }
 
+    fn torus(&self) -> Torus {
+        self.cfg.torus
+    }
+
+    fn degrade(&self, max_cores: usize) -> Option<Self> {
+        // Multispin randomness is always site-keyed, so any torus whose
+        // per-core windows stay even continues the trajectory exactly.
+        let (gh, gw) = (self.cfg.global_h(), self.cfg.global_w());
+        let mut best: Option<Torus> = None;
+        for nx in 1..=max_cores {
+            if gh % nx != 0 || (gh / nx) % 2 != 0 {
+                continue;
+            }
+            for ny in 1..=max_cores / nx {
+                if gw % ny != 0 || (gw / ny) % 2 != 0 {
+                    continue;
+                }
+                let cand = Torus::new(nx, ny);
+                // Only strictly smaller pods count as "degraded".
+                if cand.cores() >= self.cfg.torus.cores() {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        cand.cores() > b.cores() || (cand.cores() == b.cores() && cand.nx < b.nx)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let t = best?;
+        let cfg = MultiSpinPodConfig {
+            torus: t,
+            per_core_h: gh / t.nx,
+            per_core_w: gw / t.ny,
+            ..self.cfg
+        };
+        Some(MultiSpinFamily { cfg, sweeps: self.sweeps })
+    }
+
     fn assemble(
         &self,
         base: Option<&MultiSpinPodCheckpoint>,
@@ -1350,6 +1422,7 @@ fn run_multispin_pod_resilient_impl(
         restarts: run.restarts,
         faults_seen: run.faults_seen,
         final_checkpoint: run.final_checkpoint,
+        degraded_to: run.degraded_to,
     })
 }
 
@@ -1601,6 +1674,32 @@ mod tests {
         assert_eq!(run.result.final_words, single_core_words(&cfg, sweeps));
         assert_eq!(run.result.replica_magnetizations.len(), sweeps);
         assert_eq!(run.final_checkpoint.sweep_index, sweeps as u64);
+    }
+
+    #[test]
+    fn degraded_continuation_is_bit_exact_on_the_survivor_torus() {
+        // Exhaust the restart budget on a 2×2 packed pod; the driver must
+        // remap onto the 1×2 survivor (per-core 16×8, still even) and end
+        // bit-identical to the uninterrupted trajectory.
+        let cfg = pod_cfg(2, 2, 8, 8, 4242);
+        let sweeps = 6;
+        let faults = FaultPlan::new().kill_on_attempt(3, 30, 0).kill_on_attempt(3, 30, 1);
+        let mut opts = fast_resilience(2, faults);
+        opts.max_restarts = 1;
+        opts.degraded_min_cores = Some(2);
+        let run = run_multispin_pod_resilient(&cfg, sweeps, &opts, None)
+            .expect("degraded continuation must survive budget exhaustion");
+        assert_eq!(run.degraded_to, Some(Torus::new(1, 2)));
+        assert_eq!(run.result.final_words, single_core_words(&cfg, sweeps));
+        let clean = run_multispin_pod_resilient(
+            &pod_cfg(1, 2, 16, 8, 4242),
+            sweeps,
+            &fast_resilience(2, FaultPlan::new()),
+            None,
+        )
+        .expect("clean survivor-topology run");
+        assert_eq!(run.result.final_words, clean.result.final_words);
+        assert_eq!(run.result.replica_magnetizations, clean.result.replica_magnetizations);
     }
 
     #[test]

@@ -128,6 +128,18 @@ impl<S: Scalar + RandomUniform> NaiveIsing<S> {
         Plane::from_tiles(&self.grid)
     }
 
+    /// Negate the spin at linear site `site % (height·width)` — the
+    /// chaos drill's silent-corruption injection. The flipped spin is a
+    /// legal value, so only the integrity scrubber can tell.
+    pub(crate) fn flip_spin(&mut self, site: usize) {
+        let [m, n, t, _] = self.grid.shape();
+        let (h, w) = (m * t, n * t);
+        let site = site % (h * w);
+        let (r, c) = (site / w, site % w);
+        let v = self.grid.get(r / t, c / t, r % t, c % t);
+        self.grid.set(r / t, c / t, r % t, c % t, S::from_f32(-v.to_f32()));
+    }
+
     /// Inverse temperature.
     pub fn beta(&self) -> f64 {
         self.beta

@@ -118,7 +118,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc32_update(0xFFFF_FFFF, bytes)
 }
 
-fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+/// Fold bytes into an in-flight (pre-inversion) CRC-32 state. Start from
+/// `0xFFFF_FFFF` and invert the final state to finish; the integrity
+/// scrubber uses this to fold lattice words incrementally.
+pub(crate) fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
@@ -242,7 +245,14 @@ pub struct Vault {
     dir: PathBuf,
     stem: String,
     keep: usize,
+    quarantine_keep: usize,
 }
+
+/// Default retention budget for quarantined (`*.corrupt`) generations.
+/// Quarantine files are evidence, not state: a handful is enough for a
+/// postmortem, and an unbounded pile-up would eventually eat the disk on
+/// a long-lived pod that keeps hitting flaky storage.
+pub const DEFAULT_QUARANTINE_KEEP: usize = 8;
 
 impl Vault {
     /// Open (creating the directory if needed) a vault that retains the
@@ -255,7 +265,15 @@ impl Vault {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| VaultError::Io { path: dir.display().to_string(), msg: e.to_string() })?;
-        Ok(Vault { dir, stem: stem.to_string(), keep })
+        Ok(Vault { dir, stem: stem.to_string(), keep, quarantine_keep: DEFAULT_QUARANTINE_KEEP })
+    }
+
+    /// Override the quarantine retention budget (how many `*.corrupt`
+    /// files survive pruning). Zero means quarantined files are deleted
+    /// at the next prune.
+    pub fn with_quarantine_keep(mut self, quarantine_keep: usize) -> Vault {
+        self.quarantine_keep = quarantine_keep;
+        self
     }
 
     /// The vault directory.
@@ -314,6 +332,12 @@ impl Vault {
             f.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
         std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        // The rename is only durable once the directory entry itself is on
+        // disk: fsync the parent so a crash right after `save` returns can
+        // never lose the generation we just promised the caller.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
         if obs::is_metrics() {
             obs::metrics().counter("vault_writes_total").inc(1);
         }
@@ -335,9 +359,45 @@ impl Vault {
                 }
             }
         }
+        // Quarantined generations age out on the same schedule, just with
+        // their own (larger) budget: keep the newest few as postmortem
+        // evidence, drop the rest.
+        let mut corrupt = self.quarantined_generations();
+        for (_, path) in corrupt.drain(..).skip(self.quarantine_keep) {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+                if obs::is_metrics() {
+                    obs::metrics().counter("vault_quarantine_pruned_total").inc(1);
+                }
+            }
+        }
         if removed > 0 {
             obs::record(obs::EventKind::VaultPrune { removed });
         }
+    }
+
+    /// Quarantined generation files (`<stem>-ckpt-<sweep>.json.corrupt`)
+    /// currently on disk, newest (highest sweep) first.
+    fn quarantined_generations(&self) -> Vec<(u64, PathBuf)> {
+        let prefix = format!("{}-ckpt-", self.stem);
+        let mut out: Vec<(u64, PathBuf)> = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(middle) =
+                name.strip_prefix(&prefix).and_then(|r| r.strip_suffix(".json.corrupt"))
+            else {
+                continue;
+            };
+            if let Ok(sweep) = middle.parse::<u64>() {
+                out.push((sweep, entry.path()));
+            }
+        }
+        out.sort_by_key(|(sweep, _)| std::cmp::Reverse(*sweep));
+        out
     }
 
     /// Load the newest generation whose envelope verifies, quarantining
@@ -516,6 +576,60 @@ mod tests {
         }
         let sweeps: Vec<u64> = vault.generations().iter().map(|g| g.sweep).collect();
         assert_eq!(sweeps, vec![8, 6]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_durable_no_temp_left_and_dir_syncable() {
+        // The fsync contract: after `save` returns, the generation is the
+        // only artifact — the temp file is gone (renamed, not copied) and
+        // the parent directory can be opened for the entry fsync. We can't
+        // observe fsync from userspace, but we can pin the sequence that
+        // makes it meaningful.
+        let dir = tmpdir("durable");
+        let vault = Vault::new(&dir, "pod", 2).unwrap();
+        let path = vault.save("pod", 3, "payload").unwrap();
+        assert!(path.exists());
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files survived save: {leftovers:?}");
+        assert!(std::fs::File::open(&dir).is_ok(), "parent dir must be openable for fsync");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_pruning_keeps_newest_corrupt_files() {
+        let dir = tmpdir("quarantine-prune");
+        let vault = Vault::new(&dir, "pod", 2).unwrap().with_quarantine_keep(2);
+        // Manufacture five quarantined generations plus one stranger file
+        // the pruner must never touch.
+        for sweep in [1u64, 2, 3, 4, 5] {
+            std::fs::write(dir.join(format!("pod-ckpt-{sweep}.json.corrupt")), "bad").unwrap();
+        }
+        std::fs::write(dir.join("resume.json.corrupt"), "user file").unwrap();
+        vault.save("pod", 10, "good").unwrap();
+        let mut corrupt: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".corrupt"))
+            .collect();
+        corrupt.sort();
+        assert_eq!(
+            corrupt,
+            vec![
+                "pod-ckpt-4.json.corrupt".to_string(),
+                "pod-ckpt-5.json.corrupt".to_string(),
+                "resume.json.corrupt".to_string(),
+            ],
+            "newest two vault quarantines survive; foreign .corrupt files are untouched"
+        );
+        // The live generation is unaffected.
+        assert_eq!(vault.load_latest("pod").unwrap().sweep, 10);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use tpu_ising_core::{
     run_chaos_engine_rt, run_multispin_pod_with_opts, run_pod_resilient, run_pod_with_opts,
-    ChaosPlan, CompactIsing, KernelBackend, MultiSpinPodConfig, MultiSpinPodResult,
+    ChaosPlan, CompactIsing, IntegrityKnobs, KernelBackend, MultiSpinPodConfig, MultiSpinPodResult,
     MultiSpinPodRunOpts, PodConfig, PodResult, PodRng, PodRunOpts, ResilienceOpts,
 };
 use tpu_ising_device::{MeshConfig, MeshRuntime, Torus};
@@ -223,6 +223,7 @@ fn mass_kill_drill_on_1024_cores_resumes_bit_exact() {
         tmp.path(),
         3,
         MeshRuntime::coop(),
+        IntegrityKnobs::default(),
     )
     .expect("chaos drill");
     assert!(report.bit_exact, "mass-kill drill diverged: {report:?}");

@@ -218,8 +218,10 @@ fn chaos_plans_are_deterministic_and_respect_bounds() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
     assert_eq!(a.sessions.len(), 5);
     for s in &a.sessions {
-        assert!(s.kill_core < 4);
-        assert!(s.kill_at < 64);
+        for &(core, at) in &s.kills {
+            assert!(core < 4);
+            assert!(at < 64);
+        }
         if let Some((from, to, at)) = s.drop {
             assert!(from < 4 && to < 4 && from != to && at < 64);
         }

@@ -148,6 +148,29 @@ pub enum MeshError {
         /// What went wrong.
         msg: String,
     },
+    /// The integrity scrubber detected silent data corruption: a lattice
+    /// digest changed between sweeps or a halo payload failed its wire
+    /// checksum. The corrupted state is discarded and the tiered recovery
+    /// ladder restarts from the last verified snapshot.
+    Corrupt {
+        /// The core that detected the corruption.
+        core: usize,
+        /// The sweep the core was on when the check failed.
+        sweep: u64,
+        /// What failed verification ("lattice digest", "halo checksum").
+        what: &'static str,
+    },
+    /// The liveness watchdog declared this core stalled: it made no
+    /// progress within [`MeshConfig::watchdog_timeout`] (virtual time on
+    /// the cooperative runtime, wall time on the thread mesh).
+    Stalled {
+        /// The stalled core.
+        core: usize,
+        /// The collective sequence number at which it stalled.
+        seq: u64,
+        /// How long the watchdog waited before declaring the stall, ms.
+        stalled_ms: u64,
+    },
 }
 
 impl std::fmt::Display for MeshError {
@@ -165,6 +188,13 @@ impl std::fmt::Display for MeshError {
             }
             MeshError::CorePanicked { core } => write!(f, "core {core} panicked"),
             MeshError::Protocol { core, msg } => write!(f, "core {core}: protocol error: {msg}"),
+            MeshError::Corrupt { core, sweep, what } => {
+                write!(f, "core {core}: silent corruption detected at sweep {sweep}: {what}")
+            }
+            MeshError::Stalled { core, seq, stalled_ms } => write!(
+                f,
+                "core {core}: watchdog declared stall at collective {seq} after {stalled_ms} ms"
+            ),
         }
     }
 }
@@ -179,7 +209,9 @@ impl MeshError {
             | MeshError::RecvTimeout { core, .. }
             | MeshError::InjectedKill { core, .. }
             | MeshError::CorePanicked { core }
-            | MeshError::Protocol { core, .. } => core,
+            | MeshError::Protocol { core, .. }
+            | MeshError::Corrupt { core, .. }
+            | MeshError::Stalled { core, .. } => core,
         }
     }
 
@@ -191,9 +223,12 @@ impl MeshError {
     pub(crate) fn rank(&self) -> u8 {
         match self {
             MeshError::InjectedKill { .. } | MeshError::CorePanicked { .. } => 0,
-            MeshError::Protocol { .. } => 1,
-            MeshError::PeerGone { .. } => 2,
-            MeshError::RecvTimeout { .. } => 3,
+            // A detected corruption or a declared stall names the core at
+            // fault; the timeouts its neighbors see are knock-on symptoms.
+            MeshError::Corrupt { .. } | MeshError::Stalled { .. } => 1,
+            MeshError::Protocol { .. } => 2,
+            MeshError::PeerGone { .. } => 3,
+            MeshError::RecvTimeout { .. } => 4,
         }
     }
 }
@@ -217,6 +252,32 @@ pub enum FaultKind {
         /// Sleep duration in microseconds.
         micros: u64,
     },
+    /// Silent data corruption in the core's lattice words: the pod driver
+    /// flips one stored bit *between sweeps*, where only the integrity
+    /// scrubber can see it. For this kind `at_collective` holds the sweep
+    /// index (SDC is injected at sweep boundaries, not collectives).
+    FlipLatticeBit {
+        /// Which lattice word to corrupt (wrapped into range by the
+        /// engine).
+        word: u32,
+        /// Which bit of the word flips (engine-specific addressing).
+        bit: u8,
+    },
+    /// Wire corruption of the core's outgoing halo payload at this
+    /// collective, applied *after* the wire checksum is computed — so an
+    /// armed scrubber detects it on the receiver and a disarmed one lets
+    /// the corrupt halo poison the neighbor's update.
+    CorruptHalo {
+        /// Which bit of the first payload element flips (engine-specific
+        /// addressing; scalar elements flip their sign).
+        bit: u8,
+    },
+    /// The core stops making progress at this collective — a livelock or
+    /// scheduler wedge. With the watchdog armed the core declares itself
+    /// [`MeshError::Stalled`] after [`MeshConfig::watchdog_timeout`];
+    /// disarmed, the stall only surfaces through its peers' receive
+    /// deadlines.
+    WedgeCore,
 }
 
 /// One deterministic fault: fires on `core` when its collective counter
@@ -292,6 +353,38 @@ impl FaultPlan {
         self
     }
 
+    /// Flip `bit` of lattice `word` on `core` at the top of sweep
+    /// `at_sweep` (on attempt 0) — silent data corruption only the
+    /// integrity scrubber can catch.
+    pub fn flip_lattice_bit(mut self, core: usize, at_sweep: u64, word: u32, bit: u8) -> FaultPlan {
+        self.faults.push(Fault {
+            core,
+            at_collective: at_sweep,
+            attempt: 0,
+            kind: FaultKind::FlipLatticeBit { word, bit },
+        });
+        self
+    }
+
+    /// Corrupt `core`'s outgoing halo payload at collective
+    /// `at_collective` (on attempt 0), after its wire checksum is taken.
+    pub fn corrupt_halo(mut self, core: usize, at_collective: u64, bit: u8) -> FaultPlan {
+        self.faults.push(Fault {
+            core,
+            at_collective,
+            attempt: 0,
+            kind: FaultKind::CorruptHalo { bit },
+        });
+        self
+    }
+
+    /// Wedge `core` at collective `at_collective` (on attempt 0): it stops
+    /// progressing until the watchdog — or its peers' deadlines — give up.
+    pub fn wedge(mut self, core: usize, at_collective: u64) -> FaultPlan {
+        self.faults.push(Fault { core, at_collective, attempt: 0, kind: FaultKind::WedgeCore });
+        self
+    }
+
     pub(crate) fn kill_fires(&self, core: usize, seq: u64, attempt: usize) -> bool {
         self.faults.iter().any(|f| {
             f.kind == FaultKind::Kill
@@ -318,6 +411,43 @@ impl FaultPlan {
                 Some(Duration::from_micros(micros))
             }
             _ => None,
+        })
+    }
+
+    /// The `(word, bit)` of a scheduled [`FaultKind::FlipLatticeBit`] on
+    /// `core` at sweep `sweep` on this `attempt`, if any. Public because
+    /// the SDC injection happens in the pod sweep loop, not the mesh.
+    pub fn lattice_flip_for(&self, core: usize, sweep: u64, attempt: usize) -> Option<(u32, u8)> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::FlipLatticeBit { word, bit }
+                if f.core == core && f.at_collective == sweep && f.attempt == attempt =>
+            {
+                Some((word, bit))
+            }
+            _ => None,
+        })
+    }
+
+    /// The bit of a scheduled [`FaultKind::CorruptHalo`] on `core` at
+    /// collective `seq` on this `attempt`, if any. Public because halo
+    /// payloads are typed in the pod layer, above the generic mesh.
+    pub fn halo_corrupt_for(&self, core: usize, seq: u64, attempt: usize) -> Option<u8> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::CorruptHalo { bit }
+                if f.core == core && f.at_collective == seq && f.attempt == attempt =>
+            {
+                Some(bit)
+            }
+            _ => None,
+        })
+    }
+
+    pub(crate) fn wedge_fires(&self, core: usize, seq: u64, attempt: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.kind == FaultKind::WedgeCore
+                && f.core == core
+                && f.at_collective == seq
+                && f.attempt == attempt
         })
     }
 }
@@ -437,6 +567,16 @@ pub struct MeshConfig {
     /// Which substrate carries the cores (threads, cooperative scheduler,
     /// or auto-selection by topology size).
     pub runtime: MeshRuntime,
+    /// Integrity scrubber cadence in sweeps: `Some(k)` arms per-core
+    /// lattice digests (verified across the inter-sweep gap every `k`
+    /// sweeps) and wire checksums on every halo payload. `None` disarms
+    /// the scrubber entirely (the pre-integrity behavior).
+    pub scrub_every: Option<u64>,
+    /// Liveness watchdog: how long a core may go without progress before
+    /// declaring itself [`MeshError::Stalled`]. Virtual time on the
+    /// cooperative runtime, wall time on the thread mesh. `None` disarms
+    /// the watchdog; stalls then surface only as peers' receive timeouts.
+    pub watchdog_timeout: Option<Duration>,
 }
 
 impl Default for MeshConfig {
@@ -447,6 +587,8 @@ impl Default for MeshConfig {
             attempt: 0,
             retry: RetryPolicy::default(),
             runtime: MeshRuntime::Threads,
+            scrub_every: None,
+            watchdog_timeout: None,
         }
     }
 }
@@ -494,6 +636,32 @@ impl<T: Send> MeshHandle<T> {
         self.seq
     }
 
+    /// An injected [`FaultKind::WedgeCore`] fired: stop progressing. With
+    /// the watchdog armed, the stall converts to a typed
+    /// [`MeshError::Stalled`] after `watchdog_timeout` of wall time; with
+    /// it disarmed the core merely resumes after every peer's retry budget
+    /// has burned down, so the stall surfaces as their timeouts.
+    fn wedge_stall(&self, seq: u64) -> Option<MeshError> {
+        if obs::is_metrics() {
+            obs::metrics().counter("mesh_faults_injected_total").inc(1);
+        }
+        match self.config.watchdog_timeout {
+            Some(deadline) => {
+                std::thread::sleep(deadline);
+                let stalled_ms = deadline.as_millis() as u64;
+                obs::record(obs::EventKind::WatchdogStall { collective: seq, stalled_ms });
+                if obs::is_metrics() {
+                    obs::metrics().counter("watchdog_stalls_total").inc(1);
+                }
+                Some(MeshError::Stalled { core: self.id, seq, stalled_ms })
+            }
+            None => {
+                std::thread::sleep(peer_patience(&self.config));
+                None
+            }
+        }
+    }
+
     /// XLA `CollectivePermute`: permute `data` across cores according to a
     /// globally identical `(source, destination)` pair list.
     ///
@@ -522,6 +690,13 @@ impl<T: Send> MeshHandle<T> {
             }
             obs::record(obs::EventKind::KillInjected { collective: seq });
             return Err(MeshError::InjectedKill { core: self.id, seq });
+        }
+        if self.config.faults.wedge_fires(self.id, seq, attempt) {
+            if let Some(err) = self.wedge_stall(seq) {
+                return Err(err);
+            }
+            // Watchdog disarmed: the core resumes late; its peers have
+            // already burned their receive deadlines.
         }
         let (expect_from, send_to) = parse_pairs(self.id, pairs)?;
         // An injected delay stamps the packet's maturity instant instead of
@@ -772,6 +947,16 @@ where
     fold_outcomes(per_core)
 }
 
+/// How long a wedged core must stay silent for every peer to exhaust its
+/// receive window plus the full tier-1 retry budget (plus a small margin).
+pub(crate) fn peer_patience(config: &MeshConfig) -> Duration {
+    let mut total = config.recv_timeout;
+    for k in 1..=config.retry.max_retries {
+        total += config.retry.extension(config.recv_timeout, k);
+    }
+    total + Duration::from_millis(50)
+}
+
 /// Root-cause selection shared by both runtimes: fold per-core outcomes
 /// into either every result (core-id order) or the lowest-ranked error.
 pub(crate) fn fold_outcomes<R>(per_core: Vec<Result<R, MeshError>>) -> Result<Vec<R>, MeshError> {
@@ -855,6 +1040,11 @@ pub trait Collectives<T: Send>: Send {
     /// The collective sequence number the next collective will use.
     fn next_collective(&self) -> u64;
 
+    /// The mesh configuration this core runs under — fault plan, current
+    /// attempt, scrubber cadence, watchdog deadline. The pod layer reads
+    /// it to fold integrity digests and apply lattice-level injections.
+    fn mesh_config(&self) -> &MeshConfig;
+
     /// XLA `CollectivePermute` (see [`MeshHandle::collective_permute`]).
     fn collective_permute(
         &mut self,
@@ -878,6 +1068,10 @@ impl<T: Send> Collectives<T> for MeshHandle<T> {
 
     fn next_collective(&self) -> u64 {
         self.seq
+    }
+
+    fn mesh_config(&self) -> &MeshConfig {
+        &self.config
     }
 
     fn collective_permute(
@@ -954,6 +1148,7 @@ mod tests {
             attempt: 0,
             retry: RetryPolicy::none(),
             runtime: MeshRuntime::Threads,
+            ..MeshConfig::default()
         }
     }
 
@@ -1186,6 +1381,7 @@ mod tests {
                 attempt,
                 retry: RetryPolicy::none(),
                 runtime: MeshRuntime::Threads,
+                ..MeshConfig::default()
             };
             run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
         };
@@ -1206,6 +1402,7 @@ mod tests {
             attempt: 0,
             retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
             runtime: MeshRuntime::Threads,
+            ..MeshConfig::default()
         };
         let got: Vec<u32> =
             run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
@@ -1224,6 +1421,7 @@ mod tests {
             attempt: 0,
             retry: RetryPolicy::none(),
             runtime: MeshRuntime::Threads,
+            ..MeshConfig::default()
         };
         let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
             .unwrap_err();
@@ -1249,6 +1447,7 @@ mod tests {
             attempt: 0,
             retry: RetryPolicy { max_retries: 2, backoff: Duration::from_millis(50) },
             runtime: MeshRuntime::Threads,
+            ..MeshConfig::default()
         };
         let err = run_spmd_cfg(t, cfg, |mut h: MeshHandle<u32>| h.shift(h.id() as u32, Dir::East))
             .unwrap_err();

@@ -370,6 +370,32 @@ impl<T: Send> Future for RecvFuture<'_, T> {
     }
 }
 
+/// A pure virtual-time sleep: ready once the runtime clock reaches
+/// `at_ns`, registering a timer so the quiescence-gated clock advances
+/// past it. Used by the wedge injection so a "hung" core costs no wall
+/// time under the cooperative runtime.
+struct SleepFuture<'a> {
+    rt: &'a Arc<RuntimeCore>,
+    at_ns: u64,
+    registered: bool,
+}
+
+impl Future for SleepFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if this.rt.now() >= this.at_ns {
+            return Poll::Ready(());
+        }
+        if !this.registered {
+            this.rt.register_timer(this.at_ns, cx.waker().clone());
+            this.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
 /// Per-core handle into the cooperative mesh: the [`Collectives`]
 /// implementation whose operations genuinely suspend.
 ///
@@ -396,6 +422,27 @@ impl<T: Send> CoopMeshHandle<T> {
             }
             obs::record(obs::EventKind::KillInjected { collective: seq });
             return Err(MeshError::InjectedKill { core: self.id, seq });
+        }
+        if cfg.faults.wedge_fires(self.id, seq, attempt) {
+            if obs::is_metrics() {
+                obs::metrics().counter("mesh_faults_injected_total").inc(1);
+            }
+            if let Some(deadline) = cfg.watchdog_timeout {
+                // Armed: the stall elapses in virtual time, then the
+                // watchdog converts the wedge into a typed error.
+                let at = self.shared.rt.now() + deadline.as_nanos() as u64;
+                SleepFuture { rt: &self.shared.rt, at_ns: at, registered: false }.await;
+                let stalled_ms = deadline.as_millis() as u64;
+                obs::record(obs::EventKind::WatchdogStall { collective: seq, stalled_ms });
+                if obs::is_metrics() {
+                    obs::metrics().counter("watchdog_stalls_total").inc(1);
+                }
+                return Err(MeshError::Stalled { core: self.id, seq, stalled_ms });
+            }
+            // Watchdog disarmed: the core resumes late; its peers have
+            // already burned their receive deadlines.
+            let at = self.shared.rt.now() + crate::mesh::peer_patience(cfg).as_nanos() as u64;
+            SleepFuture { rt: &self.shared.rt, at_ns: at, registered: false }.await;
         }
         let (expect_from, send_to) = parse_pairs(self.id, pairs)?;
         // Injected delays are virtual-time stamps on the packet, not
@@ -444,6 +491,10 @@ impl<T: Send> crate::mesh::Collectives<T> for CoopMeshHandle<T> {
 
     fn next_collective(&self) -> u64 {
         self.seq
+    }
+
+    fn mesh_config(&self) -> &MeshConfig {
+        &self.shared.config
     }
 
     fn collective_permute(
@@ -689,6 +740,7 @@ mod tests {
             attempt: 0,
             retry,
             runtime: MeshRuntime::coop(),
+            ..MeshConfig::default()
         }
     }
 

@@ -88,6 +88,18 @@ pub enum EventKind {
     SessionStart { session: u64 },
     /// A core thread unwound (recorded by the postmortem drop guard).
     CorePanic,
+    /// The integrity scrubber found the lattice digest changed between
+    /// sweeps: silent data corruption (`expect`/`found` are CRC-32s).
+    ScrubMismatch { expect: u64, found: u64 },
+    /// A halo payload failed its wire checksum on receive.
+    HaloChecksumFail { collective: u64, expect: u64, found: u64 },
+    /// The liveness watchdog declared this core stalled at `collective`
+    /// after `stalled_ms` without progress (virtual ms on the coop
+    /// runtime).
+    WatchdogStall { collective: u64, stalled_ms: u64 },
+    /// The resilient driver exhausted a core's restart budget and remapped
+    /// the pod onto a smaller survivor torus.
+    DegradedContinue { from_cores: u64, to_cores: u64 },
 }
 
 impl EventKind {
@@ -112,6 +124,10 @@ impl EventKind {
             EventKind::ChaosInjected { .. } => "chaos_injected",
             EventKind::SessionStart { .. } => "session_start",
             EventKind::CorePanic => "core_panic",
+            EventKind::ScrubMismatch { .. } => "scrub_mismatch",
+            EventKind::HaloChecksumFail { .. } => "halo_checksum_fail",
+            EventKind::WatchdogStall { .. } => "watchdog_stall",
+            EventKind::DegradedContinue { .. } => "degraded_continue",
         }
     }
 
@@ -147,6 +163,18 @@ impl EventKind {
                 vec![("session", session), ("mode", mode as u64)]
             }
             EventKind::SessionStart { session } => vec![("session", session)],
+            EventKind::ScrubMismatch { expect, found } => {
+                vec![("expect", expect), ("found", found)]
+            }
+            EventKind::HaloChecksumFail { collective, expect, found } => {
+                vec![("collective", collective), ("expect", expect), ("found", found)]
+            }
+            EventKind::WatchdogStall { collective, stalled_ms } => {
+                vec![("collective", collective), ("stalled_ms", stalled_ms)]
+            }
+            EventKind::DegradedContinue { from_cores, to_cores } => {
+                vec![("from_cores", from_cores), ("to_cores", to_cores)]
+            }
         }
     }
 }

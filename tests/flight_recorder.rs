@@ -164,21 +164,11 @@ fn chaos_kill_leaves_postmortem_per_generation() {
         seed: 0xC0FFEE,
         sessions: vec![
             SessionFaults {
-                kill_core: 1,
-                kill_at: 20,
-                drop: None,
-                delay: None,
+                kills: vec![(1, 20)],
                 corrupt: Some(VaultCorruption::BitFlip { permille: 500, bit: 2 }),
-                extra_kills: Vec::new(),
+                ..SessionFaults::none()
             },
-            SessionFaults {
-                kill_core: 2,
-                kill_at: 12,
-                drop: None,
-                delay: None,
-                corrupt: None,
-                extra_kills: Vec::new(),
-            },
+            SessionFaults { kills: vec![(2, 12)], ..SessionFaults::none() },
         ],
     };
     let report =
